@@ -1,0 +1,75 @@
+// Figure 7 (case study): solving TopRR + cost-optimal placement on the
+// CNET-like laptop data for the two clientele windows of Sec. 6.2, and the
+// cost savings vs existing in-region competitors. The examples/
+// laptop_case_study binary prints the narrative version; this bench
+// tracks the numbers as counters.
+#include <algorithm>
+
+#include "bench/bench_common.h"
+#include "core/placement.h"
+
+namespace toprr {
+namespace bench {
+namespace {
+
+void RunScenario(::benchmark::State& state, double wlo, double whi) {
+  const Dataset data = GenerateCnetLaptops(GlobalConfig().seed);
+  PrefBox clientele;
+  clientele.lo = Vec{wlo};
+  clientele.hi = Vec{whi};
+  for (auto _ : state) {
+    Timer timer;
+    const ToprrResult region = SolveToprr(data, 3, clientele);
+    const PlacementResult optimal = MinimumCostCreation(region);
+    const double seconds = timer.Seconds();
+    state.SetIterationTime(seconds);
+    state.counters["sec_per_query"] = seconds;
+    state.counters["vall"] = static_cast<double>(region.vall.size());
+    if (!optimal.ok) continue;
+    state.counters["optimal_cost"] = optimal.cost;
+    // Savings vs existing laptops inside the region.
+    double cheapest = 1e9;
+    double priciest = -1e9;
+    int competitors = 0;
+    for (size_t i = 0; i < data.size(); ++i) {
+      const Vec p = data.Option(i);
+      if (region.Contains(p)) {
+        ++competitors;
+        cheapest = std::min(cheapest, p.SquaredNorm());
+        priciest = std::max(priciest, p.SquaredNorm());
+      }
+    }
+    state.counters["competitors"] = competitors;
+    if (competitors > 0) {
+      state.counters["savings_min_pct"] =
+          100.0 * (1.0 - optimal.cost / cheapest);
+      state.counters["savings_max_pct"] =
+          100.0 * (1.0 - optimal.cost / priciest);
+    }
+  }
+}
+
+void RegisterAll() {
+  ::benchmark::RegisterBenchmark(
+      "fig7a/designers_wR_0.7_0.8",
+      [](::benchmark::State& state) { RunScenario(state, 0.7, 0.8); })
+      ->Iterations(1)
+      ->UseManualTime();
+  ::benchmark::RegisterBenchmark(
+      "fig7b/business_wR_0.1_0.2",
+      [](::benchmark::State& state) { RunScenario(state, 0.1, 0.2); })
+      ->Iterations(1)
+      ->UseManualTime();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace toprr
+
+int main(int argc, char** argv) {
+  if (!toprr::bench::ParseBenchFlags(&argc, argv)) return 1;
+  toprr::bench::RegisterAll();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

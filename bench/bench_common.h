@@ -1,0 +1,157 @@
+// Shared infrastructure for the paper-reproduction benchmarks.
+//
+// Every bench binary accepts:
+//   --full            paper-scale parameters (hours on a laptop core!)
+//   --queries=N       TopRR queries averaged per data point (default 3)
+//   --budget=SECONDS  per-query time budget before reporting DNF
+//   --seed=S          RNG seed for datasets and wR boxes
+// plus the standard google-benchmark flags.
+//
+// Paper defaults (Table 5 boldface, adopted per DESIGN.md): n = 400K,
+// d = 4, k = 10, sigma = 1%, IND. The scaled defaults below keep total
+// bench runtime reasonable on the 1-core CI machine while preserving the
+// figures' shapes.
+#ifndef TOPRR_BENCH_BENCH_COMMON_H_
+#define TOPRR_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "common/flags.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "core/toprr.h"
+#include "data/generator.h"
+#include "pref/pref_space.h"
+
+namespace toprr {
+namespace bench {
+
+struct BenchConfig {
+  bool full = false;
+  int queries = 2;
+  double budget_seconds = 5.0;
+  uint64_t seed = 2019;
+
+  // Defaults at the current scale.
+  size_t default_n() const { return full ? 400000 : 50000; }
+  size_t default_d() const { return 4; }
+  int default_k() const { return 10; }
+  double default_sigma() const { return 0.01; }
+
+  std::vector<size_t> n_values() const {
+    if (full) return {100000, 200000, 400000, 800000, 1600000};
+    return {12500, 25000, 50000, 100000, 200000};
+  }
+  std::vector<size_t> d_values() const {
+    if (full) return {2, 4, 6, 8, 10, 12};
+    return {2, 3, 4, 5, 6};
+  }
+  std::vector<int> k_values() const { return {1, 5, 10, 20, 40}; }
+  std::vector<double> sigma_values() const {
+    return {0.001, 0.005, 0.01, 0.05, 0.10};
+  }
+};
+
+inline BenchConfig& GlobalConfig() {
+  static BenchConfig config;
+  return config;
+}
+
+/// Parses our flags out of argv (leaving benchmark flags in place).
+inline bool ParseBenchFlags(int* argc, char** argv) {
+  BenchConfig& config = GlobalConfig();
+  FlagParser flags;
+  flags.AddBool("full", &config.full, "paper-scale parameters");
+  flags.AddInt("queries", &config.queries, "queries per data point");
+  flags.AddDouble("budget", &config.budget_seconds,
+                  "per-query time budget (s)");
+  int64_t seed = static_cast<int64_t>(config.seed);
+  flags.AddInt("seed", &seed, "rng seed");
+  if (!flags.Parse(argc, argv)) return false;
+  config.seed = static_cast<uint64_t>(seed);
+  return true;
+}
+
+/// Process-lifetime dataset cache so sweeps over k / sigma reuse data.
+inline const Dataset& CachedSynthetic(size_t n, size_t d,
+                                      Distribution dist, uint64_t seed) {
+  using Key = std::tuple<size_t, size_t, int, uint64_t>;
+  static std::map<Key, Dataset>& cache = *new std::map<Key, Dataset>();
+  const Key key{n, d, static_cast<int>(dist), seed};
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    it = cache.emplace(key, GenerateSynthetic(n, d, dist, seed)).first;
+  }
+  return it->second;
+}
+
+/// Aggregated outcome of `queries` TopRR solves at one parameter point.
+struct SweepPoint {
+  double avg_seconds = 0.0;
+  double avg_vall = 0.0;
+  double avg_candidates = 0.0;
+  double avg_halfspaces = 0.0;
+  int dnf = 0;  // queries that exceeded the budget
+};
+
+/// Runs `queries` solves with distinct random wR boxes and averages.
+inline SweepPoint RunSweepPoint(const Dataset& data, int k, double sigma,
+                                const ToprrOptions& base_options,
+                                double gamma = 1.0) {
+  const BenchConfig& config = GlobalConfig();
+  SweepPoint point;
+  Rng rng(config.seed * 7919 + static_cast<uint64_t>(k * 131) +
+          static_cast<uint64_t>(sigma * 1e6));
+  int completed = 0;
+  for (int q = 0; q < config.queries; ++q) {
+    const PrefBox box =
+        gamma == 1.0
+            ? RandomPrefBox(data.dim() - 1, sigma, rng)
+            : RandomElongatedPrefBox(data.dim() - 1, sigma, gamma, rng);
+    ToprrOptions options = base_options;
+    options.time_budget_seconds = config.budget_seconds;
+    options.build_geometry = false;  // timing the core algorithm
+    const ToprrResult result = SolveToprr(data, k, box, options);
+    if (result.timed_out) {
+      ++point.dnf;
+      continue;
+    }
+    ++completed;
+    point.avg_seconds += result.stats.total_seconds;
+    point.avg_vall += static_cast<double>(result.stats.vall_unique);
+    point.avg_candidates +=
+        static_cast<double>(result.stats.candidates_after_filter);
+    point.avg_halfspaces +=
+        static_cast<double>(result.impact_halfspaces.size());
+  }
+  if (completed > 0) {
+    point.avg_seconds /= completed;
+    point.avg_vall /= completed;
+    point.avg_candidates /= completed;
+    point.avg_halfspaces /= completed;
+  }
+  return point;
+}
+
+/// Reports a sweep point through google-benchmark counters, marking DNF
+/// runs with an error state so the tables read like the paper's charts.
+inline void ReportSweepPoint(::benchmark::State& state,
+                             const SweepPoint& point) {
+  state.counters["sec_per_query"] = point.avg_seconds;
+  state.counters["Vall"] = point.avg_vall;
+  state.counters["Dprime"] = point.avg_candidates;
+  state.counters["dnf"] = point.dnf;
+  state.SetIterationTime(point.avg_seconds);
+}
+
+}  // namespace bench
+}  // namespace toprr
+
+#endif  // TOPRR_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,74 @@
+// Ablation for the pre-computation extension (paper Sec. 7 future work,
+// realized in core/engine.h): per-query latency of a cold SolveToprr
+// (full-dataset r-skyband each time) vs a warm ToprrEngine (r-skyband
+// restricted to the cached k-skyband). The gap grows with n since the
+// global filter scan is the per-query O(n) component.
+#include "bench/bench_common.h"
+#include "core/engine.h"
+
+namespace toprr {
+namespace bench {
+namespace {
+
+void RunPoint(::benchmark::State& state, size_t n, bool warm) {
+  const BenchConfig& config = GlobalConfig();
+  const Dataset& data = CachedSynthetic(
+      n, config.default_d(), Distribution::kIndependent, config.seed);
+  static std::map<const Dataset*, ToprrEngine>& engines =
+      *new std::map<const Dataset*, ToprrEngine>();
+  auto it = engines.find(&data);
+  if (it == engines.end()) {
+    it = engines.emplace(std::piecewise_construct,
+                         std::forward_as_tuple(&data),
+                         std::forward_as_tuple(&data)).first;
+  }
+  ToprrEngine& engine = it->second;
+  if (warm) engine.KSkyband(config.default_k());  // precompute outside timing
+
+  Rng rng(config.seed + n);
+  ToprrOptions options;
+  options.build_geometry = false;
+  for (auto _ : state) {
+    Timer timer;
+    double vall = 0.0;
+    for (int q = 0; q < config.queries; ++q) {
+      const PrefBox box =
+          RandomPrefBox(data.dim() - 1, config.default_sigma(), rng);
+      const ToprrResult result =
+          warm ? engine.Solve(config.default_k(), box, options)
+               : SolveToprr(data, config.default_k(), box, options);
+      vall += static_cast<double>(result.stats.vall_unique);
+    }
+    const double seconds = timer.Seconds() / config.queries;
+    state.counters["sec_per_query"] = seconds;
+    state.counters["Vall"] = vall / config.queries;
+    state.SetIterationTime(seconds);
+  }
+}
+
+void RegisterAll() {
+  for (size_t n : GlobalConfig().n_values()) {
+    ::benchmark::RegisterBenchmark(
+        ("engine/cold/n:" + std::to_string(n)).c_str(),
+        [n](::benchmark::State& state) { RunPoint(state, n, false); })
+        ->Iterations(1)
+        ->UseManualTime();
+    ::benchmark::RegisterBenchmark(
+        ("engine/warm/n:" + std::to_string(n)).c_str(),
+        [n](::benchmark::State& state) { RunPoint(state, n, true); })
+        ->Iterations(1)
+        ->UseManualTime();
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace toprr
+
+int main(int argc, char** argv) {
+  if (!toprr::bench::ParseBenchFlags(&argc, argv)) return 1;
+  toprr::bench::RegisterAll();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

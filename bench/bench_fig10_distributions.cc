@@ -1,0 +1,84 @@
+// Figure 10: robustness of TAS* across data distributions (COR, IND,
+// ANTI), varying (a) k, (b) sigma, (c) n, (d) d.
+#include "bench/bench_common.h"
+
+namespace toprr {
+namespace bench {
+namespace {
+
+void RunPoint(::benchmark::State& state, Distribution dist, size_t n,
+              size_t d, int k, double sigma) {
+  const Dataset& data = CachedSynthetic(n, d, dist, GlobalConfig().seed);
+  ToprrOptions options;  // TAS* with all optimizations
+  for (auto _ : state) {
+    const SweepPoint point = RunSweepPoint(data, k, sigma, options);
+    ReportSweepPoint(state, point);
+  }
+}
+
+void RegisterAll() {
+  const BenchConfig& config = GlobalConfig();
+  for (Distribution dist : {Distribution::kAnticorrelated,
+                            Distribution::kIndependent,
+                            Distribution::kCorrelated}) {
+    const std::string dist_name = DistributionName(dist);
+    for (int k : config.k_values()) {
+      ::benchmark::RegisterBenchmark(
+          ("fig10a/" + dist_name + "/k:" + std::to_string(k)).c_str(),
+          [dist, k](::benchmark::State& state) {
+            RunPoint(state, dist, GlobalConfig().default_n(),
+                     GlobalConfig().default_d(), k,
+                     GlobalConfig().default_sigma());
+          })
+          ->Iterations(1)
+          ->UseManualTime();
+    }
+    for (double sigma : config.sigma_values()) {
+      ::benchmark::RegisterBenchmark(
+          ("fig10b/" + dist_name + "/sigma_pct:" +
+           std::to_string(sigma * 100.0))
+              .c_str(),
+          [dist, sigma](::benchmark::State& state) {
+            RunPoint(state, dist, GlobalConfig().default_n(),
+                     GlobalConfig().default_d(), GlobalConfig().default_k(),
+                     sigma);
+          })
+          ->Iterations(1)
+          ->UseManualTime();
+    }
+    for (size_t n : config.n_values()) {
+      ::benchmark::RegisterBenchmark(
+          ("fig10c/" + dist_name + "/n:" + std::to_string(n)).c_str(),
+          [dist, n](::benchmark::State& state) {
+            RunPoint(state, dist, n, GlobalConfig().default_d(),
+                     GlobalConfig().default_k(),
+                     GlobalConfig().default_sigma());
+          })
+          ->Iterations(1)
+          ->UseManualTime();
+    }
+    for (size_t d : config.d_values()) {
+      ::benchmark::RegisterBenchmark(
+          ("fig10d/" + dist_name + "/d:" + std::to_string(d)).c_str(),
+          [dist, d](::benchmark::State& state) {
+            RunPoint(state, dist, GlobalConfig().default_n(), d,
+                     GlobalConfig().default_k(),
+                     GlobalConfig().default_sigma());
+          })
+          ->Iterations(1)
+          ->UseManualTime();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace toprr
+
+int main(int argc, char** argv) {
+  if (!toprr::bench::ParseBenchFlags(&argc, argv)) return 1;
+  toprr::bench::RegisterAll();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Figure 11: TAS* on the real datasets (HOTEL d=4, HOUSE d=6, NBA d=8
+// stand-ins; see DESIGN.md substitutions), varying (a) k and (b) sigma.
+// Stand-ins use the paper's cardinalities scaled by --real_scale
+// (default 0.05 for the 1-core machine; --full uses 1.0).
+#include "bench/bench_common.h"
+
+namespace toprr {
+namespace bench {
+namespace {
+
+double g_real_scale = 0.05;
+
+const Dataset& RealDataset(const std::string& name) {
+  static std::map<std::string, Dataset>& cache =
+      *new std::map<std::string, Dataset>();
+  auto it = cache.find(name);
+  if (it == cache.end()) {
+    const double scale = GlobalConfig().full ? 1.0 : g_real_scale;
+    Dataset ds;
+    if (name == "HOTEL") {
+      ds = GenerateHotelLike(GlobalConfig().seed, scale);
+    } else if (name == "HOUSE") {
+      ds = GenerateHouseLike(GlobalConfig().seed, scale);
+    } else {
+      ds = GenerateNbaLike(GlobalConfig().seed, scale);
+    }
+    it = cache.emplace(name, std::move(ds)).first;
+  }
+  return it->second;
+}
+
+void RunPoint(::benchmark::State& state, const std::string& dataset, int k,
+              double sigma) {
+  const Dataset& data = RealDataset(dataset);
+  ToprrOptions options;
+  for (auto _ : state) {
+    const SweepPoint point = RunSweepPoint(data, k, sigma, options);
+    ReportSweepPoint(state, point);
+    state.counters["n"] = static_cast<double>(data.size());
+    state.counters["d"] = static_cast<double>(data.dim());
+  }
+}
+
+void RegisterAll() {
+  const BenchConfig& config = GlobalConfig();
+  for (const std::string dataset : {"HOTEL", "HOUSE", "NBA"}) {
+    for (int k : config.k_values()) {
+      ::benchmark::RegisterBenchmark(
+          ("fig11a/" + dataset + "/k:" + std::to_string(k)).c_str(),
+          [dataset, k](::benchmark::State& state) {
+            RunPoint(state, dataset, k, GlobalConfig().default_sigma());
+          })
+          ->Iterations(1)
+          ->UseManualTime();
+    }
+    for (double sigma : config.sigma_values()) {
+      ::benchmark::RegisterBenchmark(
+          ("fig11b/" + dataset + "/sigma_pct:" +
+           std::to_string(sigma * 100.0))
+              .c_str(),
+          [dataset, sigma](::benchmark::State& state) {
+            RunPoint(state, dataset, GlobalConfig().default_k(), sigma);
+          })
+          ->Iterations(1)
+          ->UseManualTime();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace toprr
+
+int main(int argc, char** argv) {
+  toprr::FlagParser extra;
+  extra.AddDouble("real_scale", &toprr::bench::g_real_scale,
+                  "cardinality scale for real-data stand-ins");
+  if (!extra.Parse(&argc, argv)) return 1;
+  if (!toprr::bench::ParseBenchFlags(&argc, argv)) return 1;
+  toprr::bench::RegisterAll();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Figure 12: effectiveness of consistent top-scorer pruning (Lemma 5,
+// Sec. 5.1). Compares |D'| after r-skyband alone vs r-skyband + Lemma 5
+// applied at the root region, varying k and sigma (IND data). The paper
+// reports up to 2.8x fewer options let through.
+#include <algorithm>
+
+#include "bench/bench_common.h"
+#include "topk/rskyband.h"
+#include "topk/topk.h"
+
+namespace toprr {
+namespace bench {
+namespace {
+
+// Size of D' after removing the root region's consistent top-lambda set
+// (the Lemma 5 application the figure isolates).
+size_t Lemma5ReducedSize(const Dataset& data, const PrefBox& box, int k,
+                         const std::vector<int>& rskyband) {
+  const std::vector<Vec> corners = box.Vertices();
+  std::vector<std::vector<int>> prefix_sets(corners.size());
+  std::vector<TopkResult> profiles;
+  profiles.reserve(corners.size());
+  for (const Vec& v : corners) {
+    profiles.push_back(ComputeTopKReduced(data, rskyband, v, k));
+  }
+  int lambda = 0;
+  for (int cand = k - 1; cand >= 1; --cand) {
+    bool same = true;
+    std::vector<int> reference;
+    for (size_t p = 0; p < profiles.size() && same; ++p) {
+      std::vector<int> ids;
+      for (int i = 0; i < cand; ++i) {
+        ids.push_back(profiles[p].entries[i].id);
+      }
+      std::sort(ids.begin(), ids.end());
+      if (p == 0) {
+        reference = ids;
+      } else if (ids != reference) {
+        same = false;
+      }
+    }
+    if (same) {
+      lambda = cand;
+      break;
+    }
+  }
+  return rskyband.size() - static_cast<size_t>(lambda);
+}
+
+void RunPoint(::benchmark::State& state, int k, double sigma) {
+  const BenchConfig& config = GlobalConfig();
+  const Dataset& data =
+      CachedSynthetic(config.default_n(), config.default_d(),
+                      Distribution::kIndependent, config.seed);
+  Rng rng(config.seed + k * 1000 + static_cast<uint64_t>(sigma * 1e5));
+  for (auto _ : state) {
+    double rsky_total = 0.0;
+    double lemma5_total = 0.0;
+    double seconds = 0.0;
+    for (int q = 0; q < config.queries; ++q) {
+      const PrefBox box = RandomPrefBox(data.dim() - 1, sigma, rng);
+      Timer timer;
+      const std::vector<int> rsky = RSkyband(data, box, k);
+      rsky_total += static_cast<double>(rsky.size());
+      lemma5_total +=
+          static_cast<double>(Lemma5ReducedSize(data, box, k, rsky));
+      seconds += timer.Seconds();
+    }
+    state.counters["rskyband"] = rsky_total / config.queries;
+    state.counters["rskyband_plus_lemma5"] = lemma5_total / config.queries;
+    state.SetIterationTime(seconds / config.queries);
+  }
+}
+
+void RegisterAll() {
+  const BenchConfig& config = GlobalConfig();
+  for (int k : config.k_values()) {
+    ::benchmark::RegisterBenchmark(
+        ("fig12a/k:" + std::to_string(k)).c_str(),
+        [k](::benchmark::State& state) {
+          RunPoint(state, k, GlobalConfig().default_sigma());
+        })
+        ->Iterations(1)
+        ->UseManualTime();
+  }
+  for (double sigma : config.sigma_values()) {
+    ::benchmark::RegisterBenchmark(
+        ("fig12b/sigma_pct:" + std::to_string(sigma * 100.0)).c_str(),
+        [sigma](::benchmark::State& state) {
+          RunPoint(state, GlobalConfig().default_k(), sigma);
+        })
+        ->Iterations(1)
+        ->UseManualTime();
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace toprr
+
+int main(int argc, char** argv) {
+  if (!toprr::bench::ParseBenchFlags(&argc, argv)) return 1;
+  toprr::bench::RegisterAll();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Figure 14: effectiveness of k-switch splitting hyperplane selection
+// (Definition 4, Sec. 5.3). Compares |Vall| with the k-switch strategy
+// enabled vs disabled (random violating pair), varying k and sigma on IND
+// data. The paper reports up to 8.9x fewer vertices.
+#include "bench/bench_common.h"
+
+namespace toprr {
+namespace bench {
+namespace {
+
+void RunPoint(::benchmark::State& state, int k, double sigma) {
+  const BenchConfig& config = GlobalConfig();
+  const Dataset& data =
+      CachedSynthetic(config.default_n(), config.default_d(),
+                      Distribution::kIndependent, config.seed);
+  ToprrOptions enabled;
+  ToprrOptions disabled;
+  disabled.use_kswitch = false;
+  for (auto _ : state) {
+    const SweepPoint with = RunSweepPoint(data, k, sigma, enabled);
+    const SweepPoint without = RunSweepPoint(data, k, sigma, disabled);
+    state.counters["vall_enabled"] = with.avg_vall;
+    state.counters["vall_disabled"] = without.avg_vall;
+    state.counters["dnf"] = with.dnf + without.dnf;
+    state.SetIterationTime(with.avg_seconds + without.avg_seconds);
+  }
+}
+
+void RegisterAll() {
+  const BenchConfig& config = GlobalConfig();
+  for (int k : config.k_values()) {
+    ::benchmark::RegisterBenchmark(
+        ("fig14a/k:" + std::to_string(k)).c_str(),
+        [k](::benchmark::State& state) {
+          RunPoint(state, k, GlobalConfig().default_sigma());
+        })
+        ->Iterations(1)
+        ->UseManualTime();
+  }
+  for (double sigma : config.sigma_values()) {
+    ::benchmark::RegisterBenchmark(
+        ("fig14b/sigma_pct:" + std::to_string(sigma * 100.0)).c_str(),
+        [sigma](::benchmark::State& state) {
+          RunPoint(state, GlobalConfig().default_k(), sigma);
+        })
+        ->Iterations(1)
+        ->UseManualTime();
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace toprr
+
+int main(int argc, char** argv) {
+  if (!toprr::bench::ParseBenchFlags(&argc, argv)) return 1;
+  toprr::bench::RegisterAll();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

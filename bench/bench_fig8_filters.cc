@@ -1,0 +1,93 @@
+// Figure 8: trade-off between the four fast-filtering alternatives of
+// Sec. 6.3 -- k-skyband, k-onion layers, r-skyband, exact UTK -- measured
+// as retained candidate count |D'| vs computation time at the default
+// parameter point (IND data).
+//
+// The paper's chart normalizes both axes by the maximum; we report the
+// raw values as counters (retained, sec_per_query) from which the
+// normalized chart follows.
+#include "bench/bench_common.h"
+#include "core/utk_filter.h"
+#include "topk/onion.h"
+#include "topk/rskyband.h"
+#include "topk/skyband.h"
+
+namespace toprr {
+namespace bench {
+namespace {
+
+enum class Filter { kSkyband, kOnion, kRSkyband, kUtk };
+
+void RunFilter(::benchmark::State& state, Filter filter) {
+  const BenchConfig& config = GlobalConfig();
+  // Onion layers recompute d-dimensional hulls per layer; cap the input
+  // size so the bench finishes (the paper's chart likewise shows onion as
+  // the slowest filter).
+  const size_t n = filter == Filter::kOnion
+                       ? std::min<size_t>(config.default_n(), 20000)
+                       : config.default_n();
+  const Dataset& data = CachedSynthetic(
+      n, config.default_d(), Distribution::kIndependent, config.seed);
+  const int k = config.default_k();
+  Rng rng(config.seed + 17);
+
+  for (auto _ : state) {
+    double total_seconds = 0.0;
+    double total_retained = 0.0;
+    for (int q = 0; q < config.queries; ++q) {
+      const PrefBox box =
+          RandomPrefBox(data.dim() - 1, config.default_sigma(), rng);
+      Timer timer;
+      size_t retained = 0;
+      switch (filter) {
+        case Filter::kSkyband:
+          retained = SortBasedKSkyband(data, k).size();
+          break;
+        case Filter::kOnion:
+          retained = OnionLayers(data, k).size();
+          break;
+        case Filter::kRSkyband:
+          retained = RSkyband(data, box, k).size();
+          break;
+        case Filter::kUtk:
+          retained =
+              ExactTopkUnion(data, box, k, config.budget_seconds).size();
+          break;
+      }
+      total_seconds += timer.Seconds();
+      total_retained += static_cast<double>(retained);
+    }
+    state.counters["retained"] = total_retained / config.queries;
+    state.counters["sec_per_query"] = total_seconds / config.queries;
+    state.SetIterationTime(total_seconds / config.queries);
+  }
+}
+
+void RegisterAll() {
+  const struct {
+    Filter filter;
+    const char* name;
+  } filters[] = {{Filter::kSkyband, "k_skyband"},
+                 {Filter::kOnion, "k_onion_layers"},
+                 {Filter::kRSkyband, "r_skyband"},
+                 {Filter::kUtk, "UTK"}};
+  for (const auto& f : filters) {
+    ::benchmark::RegisterBenchmark(
+        (std::string("fig8/") + f.name).c_str(),
+        [f](::benchmark::State& state) { RunFilter(state, f.filter); })
+        ->Iterations(1)
+        ->UseManualTime();
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace toprr
+
+int main(int argc, char** argv) {
+  if (!toprr::bench::ParseBenchFlags(&argc, argv)) return 1;
+  toprr::bench::RegisterAll();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

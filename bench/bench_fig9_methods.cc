@@ -1,0 +1,103 @@
+// Figure 9: collective performance evaluation of PAC / TAS / TAS* on IND
+// data, varying (a) k, (b) sigma, (c) n, (d) d. One benchmark per
+// (method, parameter) point; the sec_per_query counter is the figure's
+// y-axis. DNF counters mark queries that exceeded --budget (the paper
+// reports PAC unable to finish within 24h for d >= 8).
+#include "bench/bench_common.h"
+
+namespace toprr {
+namespace bench {
+namespace {
+
+void RunPoint(::benchmark::State& state, ToprrMethod method, size_t n,
+              size_t d, int k, double sigma) {
+  const Dataset& data =
+      CachedSynthetic(n, d, Distribution::kIndependent, GlobalConfig().seed);
+  ToprrOptions options;
+  options.method = method;
+  for (auto _ : state) {
+    const SweepPoint point = RunSweepPoint(data, k, sigma, options);
+    ReportSweepPoint(state, point);
+  }
+}
+
+void RegisterAll() {
+  const BenchConfig& config = GlobalConfig();
+  const struct {
+    ToprrMethod method;
+    const char* name;
+  } methods[] = {{ToprrMethod::kPac, "PAC"},
+                 {ToprrMethod::kTas, "TAS"},
+                 {ToprrMethod::kTasStar, "TASstar"}};
+
+  for (const auto& m : methods) {
+    // (a) varying k.
+    for (int k : config.k_values()) {
+      std::string name = std::string("fig9a/") + m.name + "/k:" +
+                         std::to_string(k);
+      ::benchmark::RegisterBenchmark(
+          name.c_str(),
+          [m, k](::benchmark::State& state) {
+            RunPoint(state, m.method, GlobalConfig().default_n(),
+                     GlobalConfig().default_d(), k,
+                     GlobalConfig().default_sigma());
+          })
+          ->Iterations(1)
+          ->UseManualTime();
+    }
+    // (b) varying sigma.
+    for (double sigma : config.sigma_values()) {
+      std::string name = std::string("fig9b/") + m.name + "/sigma_pct:" +
+                         std::to_string(sigma * 100.0);
+      ::benchmark::RegisterBenchmark(
+          name.c_str(),
+          [m, sigma](::benchmark::State& state) {
+            RunPoint(state, m.method, GlobalConfig().default_n(),
+                     GlobalConfig().default_d(),
+                     GlobalConfig().default_k(), sigma);
+          })
+          ->Iterations(1)
+          ->UseManualTime();
+    }
+    // (c) varying n.
+    for (size_t n : config.n_values()) {
+      std::string name = std::string("fig9c/") + m.name + "/n:" +
+                         std::to_string(n);
+      ::benchmark::RegisterBenchmark(
+          name.c_str(),
+          [m, n](::benchmark::State& state) {
+            RunPoint(state, m.method, n, GlobalConfig().default_d(),
+                     GlobalConfig().default_k(),
+                     GlobalConfig().default_sigma());
+          })
+          ->Iterations(1)
+          ->UseManualTime();
+    }
+    // (d) varying d.
+    for (size_t d : config.d_values()) {
+      std::string name = std::string("fig9d/") + m.name + "/d:" +
+                         std::to_string(d);
+      ::benchmark::RegisterBenchmark(
+          name.c_str(),
+          [m, d](::benchmark::State& state) {
+            RunPoint(state, m.method, GlobalConfig().default_n(), d,
+                     GlobalConfig().default_k(),
+                     GlobalConfig().default_sigma());
+          })
+          ->Iterations(1)
+          ->UseManualTime();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace toprr
+
+int main(int argc, char** argv) {
+  if (!toprr::bench::ParseBenchFlags(&argc, argv)) return 1;
+  toprr::bench::RegisterAll();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Table 6: TAS* on each real dataset versus COR/IND/ANTI synthetic data
+// of the same cardinality and dimensionality (default k and sigma). The
+// paper's takeaway -- HOTEL/HOUSE behave between IND and ANTI, NBA close
+// to COR -- should reproduce in the sec_per_query ordering.
+#include "bench/bench_common.h"
+
+namespace toprr {
+namespace bench {
+namespace {
+
+double g_real_scale = 0.05;
+
+struct Row {
+  const char* name;
+  Dataset real;
+};
+
+std::vector<Row>& Rows() {
+  static std::vector<Row>& rows = *new std::vector<Row>();
+  if (rows.empty()) {
+    const double scale = GlobalConfig().full ? 1.0 : g_real_scale;
+    rows.push_back({"HOTEL", GenerateHotelLike(GlobalConfig().seed, scale)});
+    rows.push_back({"HOUSE", GenerateHouseLike(GlobalConfig().seed, scale)});
+    rows.push_back({"NBA", GenerateNbaLike(GlobalConfig().seed, scale)});
+  }
+  return rows;
+}
+
+void RunCell(::benchmark::State& state, size_t row_index,
+             const char* which) {
+  const Row& row = Rows()[row_index];
+  const BenchConfig& config = GlobalConfig();
+  ToprrOptions options;
+  const Dataset* data = &row.real;
+  Distribution dist;
+  if (ParseDistribution(which, &dist)) {
+    data = &CachedSynthetic(row.real.size(), row.real.dim(), dist,
+                            config.seed + 3);
+  }
+  for (auto _ : state) {
+    const SweepPoint point = RunSweepPoint(*data, config.default_k(),
+                                           config.default_sigma(), options);
+    ReportSweepPoint(state, point);
+    state.counters["n"] = static_cast<double>(data->size());
+    state.counters["d"] = static_cast<double>(data->dim());
+  }
+}
+
+void RegisterAll() {
+  for (size_t r = 0; r < Rows().size(); ++r) {
+    for (const char* which : {"COR", "IND", "ANTI", "Real"}) {
+      ::benchmark::RegisterBenchmark(
+          (std::string("table6/") + Rows()[r].name + "/" + which).c_str(),
+          [r, which](::benchmark::State& state) {
+            RunCell(state, r, which);
+          })
+          ->Iterations(1)
+          ->UseManualTime();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace toprr
+
+int main(int argc, char** argv) {
+  toprr::FlagParser extra;
+  extra.AddDouble("real_scale", &toprr::bench::g_real_scale,
+                  "cardinality scale for real-data stand-ins");
+  if (!extra.Parse(&argc, argv)) return 1;
+  if (!toprr::bench::ParseBenchFlags(&argc, argv)) return 1;
+  toprr::bench::RegisterAll();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Table 7: effect of wR elongation on TAS*. One side of the box has
+// length gamma * s, the rest s, at constant volume sigma^(d-1). The paper
+// finds TAS* essentially insensitive to gamma in 0.25..4.
+#include "bench/bench_common.h"
+
+namespace toprr {
+namespace bench {
+namespace {
+
+double g_real_scale = 0.05;
+
+void RunPoint(::benchmark::State& state, const std::string& dataset,
+              double gamma) {
+  static std::map<std::string, Dataset>& cache =
+      *new std::map<std::string, Dataset>();
+  auto it = cache.find(dataset);
+  if (it == cache.end()) {
+    const double scale = GlobalConfig().full ? 1.0 : g_real_scale;
+    Dataset ds;
+    if (dataset == "HOTEL") {
+      ds = GenerateHotelLike(GlobalConfig().seed, scale);
+    } else if (dataset == "HOUSE") {
+      ds = GenerateHouseLike(GlobalConfig().seed, scale);
+    } else {
+      ds = GenerateNbaLike(GlobalConfig().seed, scale);
+    }
+    it = cache.emplace(dataset, std::move(ds)).first;
+  }
+  const BenchConfig& config = GlobalConfig();
+  ToprrOptions options;
+  for (auto _ : state) {
+    const SweepPoint point =
+        RunSweepPoint(it->second, config.default_k(),
+                      config.default_sigma(), options, gamma);
+    ReportSweepPoint(state, point);
+  }
+}
+
+void RegisterAll() {
+  for (const std::string dataset : {"HOTEL", "HOUSE", "NBA"}) {
+    for (double gamma : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+      ::benchmark::RegisterBenchmark(
+          ("table7/" + dataset + "/gamma:" + std::to_string(gamma))
+              .c_str(),
+          [dataset, gamma](::benchmark::State& state) {
+            RunPoint(state, dataset, gamma);
+          })
+          ->Iterations(1)
+          ->UseManualTime();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace toprr
+
+int main(int argc, char** argv) {
+  toprr::FlagParser extra;
+  extra.AddDouble("real_scale", &toprr::bench::g_real_scale,
+                  "cardinality scale for real-data stand-ins");
+  if (!extra.Parse(&argc, argv)) return 1;
+  if (!toprr::bench::ParseBenchFlags(&argc, argv)) return 1;
+  toprr::bench::RegisterAll();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Market-coverage sweep: slide a clientele window across the preference
+// space and report, for each window, how large the top-ranking region is
+// and the cheapest top-ranking design. This is the kind of market-impact
+// dashboard the paper's introduction motivates: where in the consumer
+// spectrum is it cheap (or expensive) to launch a guaranteed top-k
+// product?
+#include <cstdio>
+
+#include "core/placement.h"
+#include "core/toprr.h"
+#include "common/flags.h"
+#include "data/generator.h"
+#include "geom/convex_hull.h"
+#include "pref/pref_space.h"
+
+int main(int argc, char** argv) {
+  using namespace toprr;
+  FlagParser flags;
+  int64_t n = 5000;
+  int64_t seed = 11;
+  int k = 5;
+  int steps = 8;
+  double width = 0.08;
+  flags.AddInt("n", &n, "dataset size");
+  flags.AddInt("seed", &seed, "dataset seed");
+  flags.AddInt("k", &k, "rank requirement");
+  flags.AddInt("steps", &steps, "number of window positions");
+  flags.AddDouble("width", &width, "clientele window side length");
+  if (!flags.Parse(&argc, argv)) return 1;
+
+  const Dataset market = GenerateSynthetic(
+      static_cast<size_t>(n), 3, Distribution::kAnticorrelated,
+      static_cast<uint64_t>(seed));
+  std::printf("market: %zu options, 3 attributes; k = %d\n\n",
+              market.size(), k);
+  std::printf("%-24s %8s %8s %10s %26s\n", "clientele window wR", "|D'|",
+              "|Vall|", "volume", "cheapest design (cost)");
+
+  for (int i = 0; i < steps; ++i) {
+    const double start =
+        (1.0 - 2.0 * width) * static_cast<double>(i) / (steps - 1);
+    PrefBox window;
+    window.lo = Vec{start, start};
+    window.hi = Vec{start + width, start + width};
+    if (!window.InsideSimplex()) continue;
+    const ToprrResult region = SolveToprr(market, k, window);
+    if (region.timed_out) continue;
+    const double volume =
+        region.vertices.empty() ? 0.0 : ConvexHullVolume(region.vertices);
+    const PlacementResult design = MinimumCostCreation(region);
+    char window_str[64];
+    std::snprintf(window_str, sizeof(window_str), "[%.2f,%.2f]^2", start,
+                  start + width);
+    char design_str[64];
+    if (design.ok) {
+      std::snprintf(design_str, sizeof(design_str), "%s (%.3f)",
+                    design.option.ToString(2).c_str(), design.cost);
+    } else {
+      std::snprintf(design_str, sizeof(design_str), "n/a");
+    }
+    std::printf("%-24s %8zu %8zu %10.5f %26s\n", window_str,
+                region.stats.candidates_after_filter, region.vall.size(),
+                volume, design_str);
+  }
+  std::printf("\nReading: low-volume windows are crowded market segments "
+              "where a guaranteed top-%d design is expensive;\n"
+              "high-volume windows are open segments.\n", k);
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Quickstart: solve TopRR on the paper's running example (Figure 1).
+//
+// A laptop market with six models rated on speed and battery life. We ask:
+// where must a new laptop be placed so it ranks in the top-3 for every
+// customer whose speed-weight lies in [0.2, 0.8]?
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/placement.h"
+#include "core/toprr.h"
+#include "data/dataset.h"
+#include "pref/pref_space.h"
+
+int main() {
+  using namespace toprr;
+
+  // The dataset of paper Figure 1(a): (speed, battery) in [0,1].
+  const Dataset laptops = Dataset::FromRows({
+      Vec{0.9, 0.4},  // p1
+      Vec{0.7, 0.9},  // p2
+      Vec{0.6, 0.2},  // p3
+      Vec{0.3, 0.8},  // p4
+      Vec{0.2, 0.3},  // p5
+      Vec{0.1, 0.1},  // p6
+  });
+
+  // Target clientele: weight on speed anywhere in [0.2, 0.8].
+  PrefBox clientele;
+  clientele.lo = Vec{0.2};
+  clientele.hi = Vec{0.8};
+  const int k = 3;
+
+  const ToprrResult region = SolveToprr(laptops, k, clientele);
+
+  std::printf("TopRR for k=%d, wR=[%.1f, %.1f]\n", k, clientele.lo[0],
+              clientele.hi[0]);
+  std::printf("  r-skyband candidates: %zu of %zu options\n",
+              region.stats.candidates_after_filter, laptops.size());
+  std::printf("  |Vall| = %zu preference vertices\n", region.vall.size());
+  std::printf("  oR = intersection of %zu impact halfspaces + unit box\n",
+              region.impact_halfspaces.size());
+  for (const Halfspace& h : region.impact_halfspaces) {
+    std::printf("    %.3f*speed + %.3f*battery >= %.4f\n", -h.normal[0],
+                -h.normal[1], -h.offset);
+  }
+  std::printf("  region vertices:\n");
+  for (const Vec& v : region.vertices) {
+    std::printf("    (%.4f, %.4f)\n", v[0], v[1]);
+  }
+
+  // Check a few placements.
+  for (const Vec& o : {Vec{0.7, 0.9}, Vec{0.3, 0.8}, Vec{0.95, 0.95}}) {
+    std::printf("  option (%.2f, %.2f): %s\n", o[0], o[1],
+                region.Contains(o) ? "top-ranking" : "NOT top-ranking");
+  }
+
+  // Cost-optimal creation (manufacturing cost = speed^2 + battery^2).
+  const PlacementResult cheapest = MinimumCostCreation(region);
+  if (cheapest.ok) {
+    std::printf("  cheapest top-ranking design: (%.4f, %.4f), cost %.4f\n",
+                cheapest.option[0], cheapest.option[1], cheapest.cost);
+  }
+  return 0;
+}

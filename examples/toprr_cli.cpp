@@ -1,0 +1,172 @@
+// toprr_cli: a command-line driver for end users.
+//
+// Load a product catalog from CSV (or generate a synthetic one), solve
+// TopRR for a clientele box, and print the region, optimal placements, and
+// optionally an enhanced version of an existing product.
+//
+//   toprr_cli --csv products.csv --k 5 --wr 0.2,0.3x0.25,0.35
+//   toprr_cli --n 100000 --d 4 --dist ANTI --k 10 --sigma 0.05
+//   toprr_cli --csv products.csv --k 3 --wr 0.7x0.8 --enhance 17
+#include <cstdio>
+#include <optional>
+#include <string>
+
+#include "common/flags.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "core/placement.h"
+#include "core/toprr.h"
+#include "data/csv.h"
+#include "data/generator.h"
+#include "geom/volume.h"
+#include "pref/pref_space.h"
+
+namespace {
+
+using namespace toprr;
+
+// Parses "l1,l2,..xh1,h2,.." into a PrefBox ("0.2,0.3x0.25,0.35").
+std::optional<PrefBox> ParseBox(const std::string& text) {
+  const auto parts = Split(text, 'x');
+  if (parts.size() != 2) return std::nullopt;
+  PrefBox box;
+  for (int side = 0; side < 2; ++side) {
+    const auto cells = Split(parts[side], ',');
+    Vec v(cells.size());
+    for (size_t i = 0; i < cells.size(); ++i) {
+      char* end = nullptr;
+      v[i] = std::strtod(cells[i].c_str(), &end);
+      if (end == cells[i].c_str() || *end != '\0') return std::nullopt;
+    }
+    (side == 0 ? box.lo : box.hi) = std::move(v);
+  }
+  if (box.lo.dim() != box.hi.dim()) return std::nullopt;
+  for (size_t j = 0; j < box.lo.dim(); ++j) {
+    if (box.lo[j] > box.hi[j]) return std::nullopt;
+  }
+  return box;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  std::string csv_path;
+  std::string wr_text;
+  std::string dist_text = "IND";
+  std::string log_level = "warning";
+  int64_t n = 10000;
+  int d = 4;
+  int k = 10;
+  double sigma = 0.01;
+  int64_t seed = 2019;
+  int enhance = -1;
+  bool normalize = true;
+  bool help = false;
+  flags.AddString("csv", &csv_path, "load options from this CSV file");
+  flags.AddString("wr", &wr_text,
+                  "clientele box 'lo1,..xhi1,..' in reduced weights "
+                  "(random box of side --sigma when omitted)");
+  flags.AddString("dist", &dist_text, "synthetic distribution IND/COR/ANTI");
+  flags.AddString("log", &log_level, "log level (debug/info/warning/error)");
+  flags.AddInt("n", &n, "synthetic dataset size");
+  flags.AddInt("d", &d, "synthetic dimensionality");
+  flags.AddInt("k", &k, "rank requirement");
+  flags.AddDouble("sigma", &sigma, "random wR side length");
+  flags.AddInt("seed", &seed, "random seed");
+  flags.AddInt("enhance", &enhance,
+               "also compute the min-cost enhancement of this option id");
+  flags.AddBool("normalize", &normalize, "min-max normalize CSV columns");
+  flags.AddBool("help", &help, "print usage");
+  if (!flags.Parse(&argc, argv)) return 1;
+  if (help) {
+    std::fputs(flags.HelpString().c_str(), stdout);
+    return 0;
+  }
+  LogLevel level;
+  if (ParseLogLevel(log_level, &level)) GlobalLogLevel() = level;
+
+  // ---- Load or generate the catalog. ----
+  Dataset data;
+  if (!csv_path.empty()) {
+    auto loaded = ReadCsv(csv_path);
+    if (!loaded.has_value()) return 1;
+    data = std::move(*loaded);
+    if (normalize) data.NormalizeUnit();
+    std::printf("loaded %zu options x %zu attributes from %s\n",
+                data.size(), data.dim(), csv_path.c_str());
+  } else {
+    Distribution dist;
+    if (!ParseDistribution(dist_text, &dist)) {
+      std::fprintf(stderr, "unknown distribution '%s'\n", dist_text.c_str());
+      return 1;
+    }
+    data = GenerateSynthetic(static_cast<size_t>(n), static_cast<size_t>(d),
+                             dist, static_cast<uint64_t>(seed));
+    std::printf("generated %zu x %d %s options (seed %lld)\n", data.size(),
+                d, dist_text.c_str(), static_cast<long long>(seed));
+  }
+  if (data.dim() < 2) {
+    std::fprintf(stderr, "need at least 2 attributes\n");
+    return 1;
+  }
+
+  // ---- Clientele region. ----
+  PrefBox box;
+  if (!wr_text.empty()) {
+    auto parsed = ParseBox(wr_text);
+    if (!parsed.has_value() || parsed->dim() != data.dim() - 1) {
+      std::fprintf(stderr,
+                   "bad --wr (expected 'lo1,..xhi1,..' with %zu reduced "
+                   "weights)\n",
+                   data.dim() - 1);
+      return 1;
+    }
+    box = std::move(*parsed);
+  } else {
+    Rng rng(static_cast<uint64_t>(seed) + 1);
+    box = RandomPrefBox(data.dim() - 1, sigma, rng);
+    std::printf("random clientele box: lo=%s hi=%s\n",
+                box.lo.ToString(4).c_str(), box.hi.ToString(4).c_str());
+  }
+
+  // ---- Solve. ----
+  const ToprrResult region = SolveToprr(data, k, box);
+  if (region.timed_out) {
+    std::fprintf(stderr, "solver exceeded its budget\n");
+    return 1;
+  }
+  std::printf("\nTopRR(k=%d): %s\n", k, region.stats.DebugString().c_str());
+  std::printf("oR: %zu impact halfspaces (+ unit box)%s%s\n",
+              region.impact_halfspaces.size(),
+              region.degenerate ? " [degenerate]" : "",
+              region.geometry_skipped ? " [geometry skipped]" : "");
+  if (!region.vertices.empty()) {
+    std::printf("oR vertices: %zu; volume %.6g\n", region.vertices.size(),
+                PolytopeVolume(region.AllHalfspaces(), data.dim()));
+  }
+
+  const PlacementResult creation = MinimumCostCreation(region);
+  if (creation.ok) {
+    std::printf("cheapest new option (cost = sum of squares): %s "
+                "(cost %.4f)\n",
+                creation.option.ToString(4).c_str(), creation.cost);
+  }
+
+  if (enhance >= 0 && static_cast<size_t>(enhance) < data.size()) {
+    const Vec current = data.Option(static_cast<size_t>(enhance));
+    if (region.Contains(current)) {
+      std::printf("option %d is already top-ranking for this clientele\n",
+                  enhance);
+    } else {
+      const PlacementResult revamp = MinimumModification(region, current);
+      if (revamp.ok) {
+        std::printf("option %d %s -> %s (modification cost %.4f)\n",
+                    enhance, current.ToString(4).c_str(),
+                    revamp.option.ToString(4).c_str(), revamp.cost);
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Assertion macros in the spirit of glog/absl CHECK.
+//
+// CHECK(cond) aborts (with file:line and the failed expression) when `cond`
+// is false, in every build mode. DCHECK compiles away in NDEBUG builds.
+// Both stream additional context: CHECK(x > 0) << "x=" << x;
+#ifndef TOPRR_COMMON_CHECK_H_
+#define TOPRR_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace toprr {
+namespace internal_check {
+
+// Accumulates the user-streamed message and aborts on destruction.
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* file, int line, const char* expr) {
+    stream_ << "CHECK failed at " << file << ":" << line << ": " << expr;
+  }
+
+  CheckFailureStream(const CheckFailureStream&) = delete;
+  CheckFailureStream& operator=(const CheckFailureStream&) = delete;
+
+  [[noreturn]] ~CheckFailureStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailureStream& operator<<(const T& value) {
+    stream_ << " " << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed message when the check passes (or in NDEBUG DCHECK).
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal_check
+}  // namespace toprr
+
+#define TOPRR_CHECK(cond)                                           \
+  ((cond)) ? (void)0                                                \
+           : (void)(::toprr::internal_check::CheckFailureStream(    \
+                 __FILE__, __LINE__, #cond))
+
+// CHECK with streaming support requires the ternary trick above to not work
+// with <<; provide a statement-expression-free variant instead.
+#define CHECK(cond)                                                       \
+  switch (0)                                                              \
+  case 0:                                                                 \
+  default:                                                                \
+    if (cond)                                                             \
+      ;                                                                   \
+    else                                                                  \
+      ::toprr::internal_check::CheckFailureStream(__FILE__, __LINE__, #cond)
+
+#define CHECK_EQ(a, b) CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ")"
+#define CHECK_NE(a, b) CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ")"
+#define CHECK_LT(a, b) CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ")"
+#define CHECK_LE(a, b) CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ")"
+#define CHECK_GT(a, b) CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ")"
+#define CHECK_GE(a, b) CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ")"
+
+#ifdef NDEBUG
+#define DCHECK(cond) \
+  if (true)          \
+    ;                \
+  else               \
+    ::toprr::internal_check::NullStream()
+#define DCHECK_EQ(a, b) DCHECK((a) == (b))
+#define DCHECK_NE(a, b) DCHECK((a) != (b))
+#define DCHECK_LT(a, b) DCHECK((a) < (b))
+#define DCHECK_LE(a, b) DCHECK((a) <= (b))
+#define DCHECK_GT(a, b) DCHECK((a) > (b))
+#define DCHECK_GE(a, b) DCHECK((a) >= (b))
+#else
+#define DCHECK(cond) CHECK(cond)
+#define DCHECK_EQ(a, b) CHECK_EQ(a, b)
+#define DCHECK_NE(a, b) CHECK_NE(a, b)
+#define DCHECK_LT(a, b) CHECK_LT(a, b)
+#define DCHECK_LE(a, b) CHECK_LE(a, b)
+#define DCHECK_GT(a, b) CHECK_GT(a, b)
+#define DCHECK_GE(a, b) CHECK_GE(a, b)
+#endif
+
+#endif  // TOPRR_COMMON_CHECK_H_

@@ -1,0 +1,131 @@
+#include "common/flags.h"
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace toprr {
+
+void FlagParser::AddInt(const std::string& name, int64_t* target,
+                        const std::string& help) {
+  flags_.push_back({name, Type::kInt64, target, help});
+}
+
+void FlagParser::AddInt(const std::string& name, int* target,
+                        const std::string& help) {
+  flags_.push_back({name, Type::kInt, target, help});
+}
+
+void FlagParser::AddDouble(const std::string& name, double* target,
+                           const std::string& help) {
+  flags_.push_back({name, Type::kDouble, target, help});
+}
+
+void FlagParser::AddBool(const std::string& name, bool* target,
+                         const std::string& help) {
+  flags_.push_back({name, Type::kBool, target, help});
+}
+
+void FlagParser::AddString(const std::string& name, std::string* target,
+                           const std::string& help) {
+  flags_.push_back({name, Type::kString, target, help});
+}
+
+bool FlagParser::Assign(const Flag& flag, const std::string& value) {
+  char* end = nullptr;
+  switch (flag.type) {
+    case Type::kInt64: {
+      const int64_t v = std::strtoll(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0') return false;
+      *static_cast<int64_t*>(flag.target) = v;
+      return true;
+    }
+    case Type::kInt: {
+      const long v = std::strtol(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0') return false;
+      *static_cast<int*>(flag.target) = static_cast<int>(v);
+      return true;
+    }
+    case Type::kDouble: {
+      const double v = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0') return false;
+      *static_cast<double*>(flag.target) = v;
+      return true;
+    }
+    case Type::kBool: {
+      if (value == "true" || value == "1" || value.empty()) {
+        *static_cast<bool*>(flag.target) = true;
+        return true;
+      }
+      if (value == "false" || value == "0") {
+        *static_cast<bool*>(flag.target) = false;
+        return true;
+      }
+      return false;
+    }
+    case Type::kString: {
+      *static_cast<std::string*>(flag.target) = value;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FlagParser::Parse(int* argc, char** argv) {
+  std::vector<char*> keep;
+  keep.push_back(argv[0]);
+  for (int i = 1; i < *argc; ++i) {
+    std::string arg(argv[i]);
+    if (arg.rfind("--", 0) != 0) {
+      keep.push_back(argv[i]);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    std::string name = body;
+    std::string value;
+    bool has_value = false;
+    const size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      name = body.substr(0, eq);
+      value = body.substr(eq + 1);
+      has_value = true;
+    }
+    const Flag* match = nullptr;
+    for (const Flag& f : flags_) {
+      if (f.name == name) {
+        match = &f;
+        break;
+      }
+    }
+    if (match == nullptr) {
+      keep.push_back(argv[i]);
+      continue;
+    }
+    if (!has_value && match->type != Type::kBool) {
+      if (i + 1 >= *argc) {
+        std::cerr << "flag --" << name << " requires a value\n";
+        return false;
+      }
+      value = argv[++i];
+      has_value = true;
+    }
+    if (!Assign(*match, value)) {
+      std::cerr << "bad value for flag --" << name << ": '" << value << "'\n";
+      return false;
+    }
+  }
+  for (size_t i = 0; i < keep.size(); ++i) argv[i] = keep[i];
+  *argc = static_cast<int>(keep.size());
+  return true;
+}
+
+std::string FlagParser::HelpString() const {
+  std::ostringstream out;
+  out << "flags:\n";
+  for (const Flag& f : flags_) {
+    out << "  --" << f.name << "  " << f.help << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace toprr

@@ -1,0 +1,59 @@
+// A tiny command-line flag parser used by benchmarks and examples.
+//
+// Usage:
+//   FlagParser flags;
+//   int n = 1000;
+//   flags.AddInt("n", &n, "dataset size");
+//   flags.Parse(argc, argv);            // accepts --n=5 or --n 5
+#ifndef TOPRR_COMMON_FLAGS_H_
+#define TOPRR_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace toprr {
+
+/// Registers typed flags backed by caller-owned variables and parses argv.
+/// Unrecognized arguments are preserved (so google-benchmark flags pass
+/// through untouched).
+class FlagParser {
+ public:
+  FlagParser() = default;
+  FlagParser(const FlagParser&) = delete;
+  FlagParser& operator=(const FlagParser&) = delete;
+
+  void AddInt(const std::string& name, int64_t* target,
+              const std::string& help);
+  void AddInt(const std::string& name, int* target, const std::string& help);
+  void AddDouble(const std::string& name, double* target,
+                 const std::string& help);
+  void AddBool(const std::string& name, bool* target, const std::string& help);
+  void AddString(const std::string& name, std::string* target,
+                 const std::string& help);
+
+  /// Parses argv in place. Recognized flags are removed from argv/argc.
+  /// Returns false (after printing an error) on a malformed value.
+  bool Parse(int* argc, char** argv);
+
+  /// Human-readable flag listing.
+  std::string HelpString() const;
+
+ private:
+  enum class Type { kInt64, kInt, kDouble, kBool, kString };
+
+  struct Flag {
+    std::string name;
+    Type type;
+    void* target;
+    std::string help;
+  };
+
+  bool Assign(const Flag& flag, const std::string& value);
+
+  std::vector<Flag> flags_;
+};
+
+}  // namespace toprr
+
+#endif  // TOPRR_COMMON_FLAGS_H_

@@ -1,0 +1,60 @@
+// Minimal leveled logging: LOG(INFO) << ...; controlled by a global level.
+#ifndef TOPRR_COMMON_LOGGING_H_
+#define TOPRR_COMMON_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace toprr {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// Returns the mutable global minimum level; messages below it are dropped.
+LogLevel& GlobalLogLevel();
+
+/// Parses "debug"/"info"/"warning"/"error"/"off" (case-insensitive).
+/// Returns true on success.
+bool ParseLogLevel(const std::string& text, LogLevel* level);
+
+namespace internal_log {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_log
+}  // namespace toprr
+
+#define LOG_DEBUG \
+  ::toprr::internal_log::LogMessage(::toprr::LogLevel::kDebug, __FILE__, __LINE__)
+#define LOG_INFO \
+  ::toprr::internal_log::LogMessage(::toprr::LogLevel::kInfo, __FILE__, __LINE__)
+#define LOG_WARNING                                                    \
+  ::toprr::internal_log::LogMessage(::toprr::LogLevel::kWarning, __FILE__, \
+                                    __LINE__)
+#define LOG_ERROR \
+  ::toprr::internal_log::LogMessage(::toprr::LogLevel::kError, __FILE__, __LINE__)
+#define LOG(severity) LOG_##severity
+
+#endif  // TOPRR_COMMON_LOGGING_H_

@@ -1,0 +1,63 @@
+#include "common/strings.h"
+
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+namespace toprr {
+
+std::vector<std::string> Split(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  std::string current;
+  for (char c : text) {
+    if (c == sep) {
+      parts.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  parts.push_back(current);
+  return parts;
+}
+
+std::string Trim(const std::string& text) {
+  size_t begin = 0;
+  size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+std::string Join(const std::vector<std::string>& items,
+                 const std::string& sep) {
+  std::ostringstream out;
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out << sep;
+    out << items[i];
+  }
+  return out.str();
+}
+
+std::string FormatDouble(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", digits, value);
+  return buf;
+}
+
+std::string FormatSeconds(double seconds) {
+  char buf[64];
+  if (seconds >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2fs", seconds);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1fms", seconds * 1e3);
+  }
+  return buf;
+}
+
+}  // namespace toprr

@@ -1,0 +1,28 @@
+// Small string helpers shared by CSV I/O and report printing.
+#ifndef TOPRR_COMMON_STRINGS_H_
+#define TOPRR_COMMON_STRINGS_H_
+
+#include <string>
+#include <vector>
+
+namespace toprr {
+
+/// Splits `text` on `sep`, keeping empty fields.
+std::vector<std::string> Split(const std::string& text, char sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string Trim(const std::string& text);
+
+/// Joins items with `sep`.
+std::string Join(const std::vector<std::string>& items,
+                 const std::string& sep);
+
+/// Formats a double with `digits` significant digits (for table printing).
+std::string FormatDouble(double value, int digits = 4);
+
+/// Human-readable duration, e.g. "1.24s" / "83ms".
+std::string FormatSeconds(double seconds);
+
+}  // namespace toprr
+
+#endif  // TOPRR_COMMON_STRINGS_H_

@@ -1,0 +1,31 @@
+// Wall-clock timing helpers for the benchmark harness.
+#ifndef TOPRR_COMMON_TIMER_H_
+#define TOPRR_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace toprr {
+
+/// Measures elapsed wall-clock time from construction (or the last Reset).
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction / last Reset.
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds.
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace toprr
+
+#endif  // TOPRR_COMMON_TIMER_H_

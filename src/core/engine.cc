@@ -1,0 +1,44 @@
+#include "core/engine.h"
+
+#include "common/timer.h"
+#include "topk/rskyband.h"
+#include "topk/skyband.h"
+
+namespace toprr {
+
+const std::vector<int>& ToprrEngine::KSkyband(int k) {
+  auto it = skyband_cache_.find(k);
+  if (it == skyband_cache_.end()) {
+    it = skyband_cache_.emplace(k, SortBasedKSkyband(*data_, k)).first;
+  }
+  return it->second;
+}
+
+ToprrResult ToprrEngine::Solve(int k, const PrefBox& region,
+                               const ToprrOptions& options) {
+  const std::vector<int>& skyband = KSkyband(k);
+  Timer filter_timer;
+  const std::vector<int> candidates =
+      options.use_rskyband_filter ? RSkyband(*data_, region, k, &skyband)
+                                  : skyband;
+  ToprrResult result = SolveToprrWithCandidates(
+      *data_, k, PrefRegion::FromBox(region), candidates, options);
+  result.stats.filter_seconds = filter_timer.Seconds();
+  return result;
+}
+
+ToprrResult ToprrEngine::Solve(int k, const PrefRegion& region,
+                               const ToprrOptions& options) {
+  const std::vector<int>& skyband = KSkyband(k);
+  Timer filter_timer;
+  const std::vector<int> candidates =
+      options.use_rskyband_filter
+          ? RSkybandVertices(*data_, region.vertices(), k, &skyband)
+          : skyband;
+  ToprrResult result =
+      SolveToprrWithCandidates(*data_, k, region, candidates, options);
+  result.stats.filter_seconds = filter_timer.Seconds();
+  return result;
+}
+
+}  // namespace toprr

@@ -1,0 +1,57 @@
+// ToprrEngine: precomputation for repeated TopRR queries over the same
+// dataset (the paper's Sec. 7 names pre-computation as future work; this
+// realizes the obvious instance of it).
+//
+// The k-skyband is independent of wR and is a superset of every r-skyband,
+// so the engine computes it once per k and restricts the per-query
+// r-skyband scan to it. For large n this removes the dominant filtering
+// cost from the per-query path (see bench_engine_precompute).
+#ifndef TOPRR_CORE_ENGINE_H_
+#define TOPRR_CORE_ENGINE_H_
+
+#include <map>
+#include <vector>
+
+#include "core/toprr.h"
+#include "data/dataset.h"
+#include "pref/pref_space.h"
+#include "pref/region.h"
+
+namespace toprr {
+
+/// Caches per-k candidate supersets for one dataset. The dataset must
+/// outlive the engine and must not change while it is in use.
+class ToprrEngine {
+ public:
+  explicit ToprrEngine(const Dataset* data) : data_(data) {
+    DCHECK(data != nullptr);
+  }
+
+  ToprrEngine(const ToprrEngine&) = delete;
+  ToprrEngine& operator=(const ToprrEngine&) = delete;
+
+  /// The cached k-skyband (computed on first use for each k).
+  const std::vector<int>& KSkyband(int k);
+
+  /// Solves TopRR(D, k, wR) reusing the cached k-skyband: the per-query
+  /// r-skyband is computed within it instead of over the whole dataset.
+  ToprrResult Solve(int k, const PrefBox& region,
+                    const ToprrOptions& options = {});
+
+  /// General convex-polytope variant.
+  ToprrResult Solve(int k, const PrefRegion& region,
+                    const ToprrOptions& options = {});
+
+  /// Drops all cached state (e.g. after the dataset changed).
+  void InvalidateCache() { skyband_cache_.clear(); }
+
+  const Dataset& data() const { return *data_; }
+
+ private:
+  const Dataset* data_;
+  std::map<int, std::vector<int>> skyband_cache_;
+};
+
+}  // namespace toprr
+
+#endif  // TOPRR_CORE_ENGINE_H_

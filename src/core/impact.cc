@@ -1,0 +1,67 @@
+#include "core/impact.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "core/partition.h"
+#include "geom/convex_hull.h"
+#include "topk/rskyband.h"
+
+namespace toprr {
+
+ImpactRegionsResult ComputeImpactRegions(const Dataset& data, int option_id,
+                                         int k, const PrefBox& region,
+                                         double time_budget_seconds) {
+  CHECK_GE(option_id, 0);
+  CHECK_LT(static_cast<size_t>(option_id), data.size());
+  const std::vector<int> candidates = RSkyband(data, region, k);
+
+  PartitionConfig config;
+  config.use_lemma5 = true;   // pruned options are recorded per region
+  config.use_lemma7 = false;  // need true kIPRs: membership must be exact
+  config.use_kswitch = true;
+  config.collect_regions = true;
+  config.time_budget_seconds = time_budget_seconds;
+
+  const PartitionOutput out = PartitionPreferenceRegion(
+      data, candidates, k, PrefRegion::FromBox(region), config);
+
+  ImpactRegionsResult result;
+  result.timed_out = out.timed_out;
+  size_t favorable = 0;
+  double favorable_volume = 0.0;
+  double total_volume = 0.0;
+  for (const AcceptedRegion& cell : out.regions) {
+    // Cell volumes for the impact probability (1-D cells are intervals;
+    // higher dimensions triangulate the vertex hull).
+    double cell_volume = 0.0;
+    if (cell.region.dim() == 1) {
+      double lo = 1.0;
+      double hi = 0.0;
+      for (const Vec& v : cell.region.vertices()) {
+        lo = std::min(lo, v[0]);
+        hi = std::max(hi, v[0]);
+      }
+      cell_volume = std::max(0.0, hi - lo);
+    } else {
+      cell_volume = ConvexHullVolume(cell.region.vertices());
+    }
+    total_volume += cell_volume;
+    if (std::binary_search(cell.topk_ids.begin(), cell.topk_ids.end(),
+                           option_id)) {
+      ++favorable;
+      favorable_volume += cell_volume;
+      result.favorable.push_back(cell.region);
+    }
+  }
+  if (!out.regions.empty()) {
+    result.cell_fraction =
+        static_cast<double>(favorable) / out.regions.size();
+  }
+  if (total_volume > 0.0) {
+    result.volume_fraction = favorable_volume / total_volume;
+  }
+  return result;
+}
+
+}  // namespace toprr

@@ -1,0 +1,426 @@
+#include "core/partition.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <set>
+#include <utility>
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "common/timer.h"
+#include "pref/pref_space.h"
+#include "topk/topk.h"
+
+namespace toprr {
+namespace {
+
+constexpr size_t kDefaultMaxRegions = size_t{16} << 20;
+
+// One pending unit of work: a sub-region with its (possibly Lemma-5
+// reduced) candidate pool and k value, plus the options pruned so far on
+// this branch (needed only for the exact top-k union filter).
+struct Work {
+  PrefRegion region;
+  std::vector<int> candidates;
+  int k = 0;
+  std::vector<int> pruned;
+};
+
+// Per-vertex top-k profiles for a region.
+std::vector<TopkResult> ComputeProfiles(const Dataset& data,
+                                        const Work& work) {
+  std::vector<TopkResult> profiles;
+  profiles.reserve(work.region.vertices().size());
+  for (const Vec& v : work.region.vertices()) {
+    profiles.push_back(
+        ComputeTopKReduced(data, work.candidates, v, work.k));
+  }
+  return profiles;
+}
+
+// True if the first `count` entries of every profile form the same id set.
+bool SamePrefixSet(const std::vector<TopkResult>& profiles, size_t count) {
+  std::vector<int> reference;
+  for (size_t p = 0; p < profiles.size(); ++p) {
+    std::vector<int> ids;
+    ids.reserve(count);
+    for (size_t i = 0; i < count; ++i) ids.push_back(profiles[p].entries[i].id);
+    std::sort(ids.begin(), ids.end());
+    if (p == 0) {
+      reference = std::move(ids);
+    } else if (ids != reference) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Applies Lemma 5: removes the largest common top-lambda prefix set
+// (lambda < k) from the candidate pool and decrements k. Profiles are
+// updated in place by dropping their first lambda entries (the remaining
+// entries are exactly the top-(k-lambda) of the reduced pool).
+// Returns lambda (0 when nothing was pruned).
+int ApplyLemma5(std::vector<TopkResult>& profiles, Work& work) {
+  const int k = work.k;
+  if (k <= 1) return 0;
+  int lambda = 0;
+  for (int cand = k - 1; cand >= 1; --cand) {
+    if (SamePrefixSet(profiles, static_cast<size_t>(cand))) {
+      lambda = cand;
+      break;
+    }
+  }
+  if (lambda == 0) return 0;
+
+  std::vector<int> phi;
+  phi.reserve(lambda);
+  for (int i = 0; i < lambda; ++i) phi.push_back(profiles[0].entries[i].id);
+  std::sort(phi.begin(), phi.end());
+
+  std::vector<int> reduced;
+  reduced.reserve(work.candidates.size() - phi.size());
+  for (int id : work.candidates) {
+    if (!std::binary_search(phi.begin(), phi.end(), id)) {
+      reduced.push_back(id);
+    }
+  }
+  work.candidates = std::move(reduced);
+  work.k -= lambda;
+  work.pruned.insert(work.pruned.end(), phi.begin(), phi.end());
+  for (TopkResult& profile : profiles) {
+    profile.entries.erase(profile.entries.begin(),
+                          profile.entries.begin() + lambda);
+  }
+  return lambda;
+}
+
+// Candidate splitting pair (pz1, pz2) whose score-equality hyperplane is
+// proposed as the cut.
+using SplitPair = std::pair<int, int>;
+
+// k-switch hyperplane selection (Definition 4) for a Case-1 violation
+// between vertices va and vb. Returns (-1, -1) when LC is empty for both
+// orientations.
+SplitPair KSwitchPair(const Dataset& data, const PrefRegion& region,
+                      const std::vector<TopkResult>& profiles, size_t va,
+                      size_t vb) {
+  const auto attempt = [&](size_t a, size_t b) -> SplitPair {
+    const Vec& xa = region.vertices()[a];
+    const Vec& xb = region.vertices()[b];
+    const int pz1 = profiles[a].KthId();
+    const double pz1_at_a = ReducedScore(data.Row(pz1), xa);
+    const double pz1_at_b = ReducedScore(data.Row(pz1), xb);
+    int best = -1;
+    double best_gap = 0.0;
+    for (const ScoredOption& entry : profiles[b].entries) {
+      const int p = entry.id;
+      if (p == pz1) continue;
+      const double p_at_a = ReducedScore(data.Row(p), xa);
+      const double p_at_b = entry.score;
+      if (p_at_a < pz1_at_a && p_at_b > pz1_at_b) {
+        const double gap = pz1_at_a - p_at_a;
+        if (best < 0 || gap < best_gap) {
+          best = p;
+          best_gap = gap;
+        }
+      }
+    }
+    return {pz1, best};
+  };
+  SplitPair pair = attempt(va, vb);
+  if (pair.second >= 0) return pair;
+  pair = attempt(vb, va);
+  if (pair.second >= 0) return pair;
+  return {-1, -1};
+}
+
+// Builds an ordered list of splitting pairs to try. The first entry is the
+// method's primary choice; the rest are fallbacks guaranteeing progress
+// under numeric ties. `salt` drives the pseudo-random pair choice of the
+// non-k-switch strategy (the paper's TAS picks a violating pair at
+// random; we use a deterministic per-region hash for reproducibility).
+std::vector<SplitPair> ChooseSplitPairs(
+    const Dataset& data, const PrefRegion& region,
+    const std::vector<TopkResult>& profiles, const PartitionConfig& config,
+    uint64_t salt) {
+  std::vector<SplitPair> pairs;
+  const size_t nv = profiles.size();
+  const auto push_unique = [&pairs](int a, int b) {
+    if (a == b || a < 0 || b < 0) return;
+    for (const SplitPair& p : pairs) {
+      if ((p.first == a && p.second == b) ||
+          (p.first == b && p.second == a)) {
+        return;
+      }
+    }
+    pairs.emplace_back(a, b);
+  };
+
+  if (config.ordered_invariance) {
+    // PAC: first rank position where two vertices' ordered lists differ.
+    for (size_t a = 0; a < nv; ++a) {
+      for (size_t b = a + 1; b < nv; ++b) {
+        const auto& ea = profiles[a].entries;
+        const auto& eb = profiles[b].entries;
+        for (size_t r = 0; r < ea.size(); ++r) {
+          if (ea[r].id != eb[r].id) {
+            push_unique(ea[r].id, eb[r].id);
+            break;
+          }
+        }
+      }
+    }
+    return pairs;
+  }
+
+  // Locate a Case-1 violation (different top-k sets).
+  const std::vector<int> set0 = profiles[0].IdSet();
+  size_t va = nv;
+  size_t vb = nv;
+  for (size_t a = 0; a < nv && va == nv; ++a) {
+    for (size_t b = a + 1; b < nv; ++b) {
+      if (profiles[a].IdSet() != profiles[b].IdSet()) {
+        va = a;
+        vb = b;
+        break;
+      }
+    }
+  }
+
+  if (va < nv) {
+    if (config.use_kswitch) {
+      const SplitPair ks = KSwitchPair(data, region, profiles, va, vb);
+      if (ks.second >= 0) push_unique(ks.first, ks.second);
+    }
+    // Plain Case-1 pairs: options in one set but not the other, tried in
+    // a pseudo-random rotation (the paper's TAS chooses among them at
+    // random).
+    const std::vector<int> sa = profiles[va].IdSet();
+    const std::vector<int> sb = profiles[vb].IdSet();
+    std::vector<int> only_a;
+    std::vector<int> only_b;
+    std::set_difference(sa.begin(), sa.end(), sb.begin(), sb.end(),
+                        std::back_inserter(only_a));
+    std::set_difference(sb.begin(), sb.end(), sa.begin(), sa.end(),
+                        std::back_inserter(only_b));
+    const size_t combos = only_a.size() * only_b.size();
+    if (combos > 0) {
+      // splitmix64 step over the salt for a well-scrambled start index.
+      uint64_t z = salt + 0x9e3779b97f4a7c15ULL;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      z ^= z >> 31;
+      const size_t start = static_cast<size_t>(z % combos);
+      for (size_t step = 0; step < combos; ++step) {
+        const size_t idx = (start + step) % combos;
+        push_unique(only_a[idx / only_b.size()],
+                    only_b[idx % only_b.size()]);
+      }
+    }
+  }
+
+  // Case-2 pairs: same sets, different top-k-th options.
+  for (size_t a = 0; a < nv; ++a) {
+    for (size_t b = a + 1; b < nv; ++b) {
+      if (profiles[a].KthId() != profiles[b].KthId()) {
+        push_unique(profiles[a].KthId(), profiles[b].KthId());
+      }
+    }
+  }
+  return pairs;
+}
+
+// Exhaustive fallback when every preferred pair's hyperplane fails to cut
+// (possible under exact score ties at region vertices, where Lemma 4's
+// strictness argument degenerates): any pair of options from the union of
+// the vertices' top-k sets whose *strict* score order flips between two
+// vertices is guaranteed to strictly separate those vertices, hence to
+// cut the region. If no such pair exists, every ranking difference across
+// the region is a tie and accepting the region is correct.
+std::vector<SplitPair> ExhaustiveFlipPairs(
+    const Dataset& data, const PrefRegion& region,
+    const std::vector<TopkResult>& profiles, double eps) {
+  std::set<int> union_set;
+  for (const TopkResult& profile : profiles) {
+    for (const ScoredOption& e : profile.entries) union_set.insert(e.id);
+  }
+  const std::vector<int> options(union_set.begin(), union_set.end());
+  const std::vector<Vec>& vertices = region.vertices();
+  std::vector<SplitPair> pairs;
+  for (size_t i = 0; i < options.size(); ++i) {
+    for (size_t j = i + 1; j < options.size(); ++j) {
+      bool positive = false;
+      bool negative = false;
+      for (const Vec& v : vertices) {
+        const double diff = ReducedScoreDiff(data.Row(options[i]),
+                                             data.Row(options[j]), v);
+        if (diff > eps) positive = true;
+        if (diff < -eps) negative = true;
+        if (positive && negative) break;
+      }
+      if (positive && negative) pairs.emplace_back(options[i], options[j]);
+    }
+  }
+  return pairs;
+}
+
+}  // namespace
+
+PartitionOutput PartitionPreferenceRegion(const Dataset& data,
+                                          const std::vector<int>& candidates,
+                                          int k, const PrefRegion& root,
+                                          const PartitionConfig& config) {
+  CHECK_GT(k, 0);
+  CHECK_GE(candidates.size(), static_cast<size_t>(k))
+      << "candidate pool smaller than k";
+  PartitionOutput out;
+  std::set<int> topk_union;
+  const size_t max_regions =
+      config.max_regions > 0 ? config.max_regions : kDefaultMaxRegions;
+  Timer timer;
+
+  std::deque<Work> queue;
+  queue.push_back(Work{root, candidates, k, {}});
+
+  const auto accept = [&](Work& work,
+                          const std::vector<TopkResult>& profiles) {
+    ++out.regions_accepted;
+    for (const Vec& v : work.region.vertices()) out.vall.push_back(v);
+    if (config.collect_topk_union) {
+      topk_union.insert(work.pruned.begin(), work.pruned.end());
+      for (const TopkResult& profile : profiles) {
+        for (const ScoredOption& e : profile.entries) {
+          topk_union.insert(e.id);
+        }
+      }
+    }
+    if (config.collect_regions) {
+      // Evaluate the set at the centroid: ties are confined to cell
+      // boundaries, so the interior point reports the cell's true top-k
+      // set even when vertex evaluations are tie-ambiguous.
+      const TopkResult center_topk = ComputeTopKReduced(
+          data, work.candidates, work.region.Centroid(), work.k);
+      std::set<int> ids(work.pruned.begin(), work.pruned.end());
+      for (const ScoredOption& e : center_topk.entries) ids.insert(e.id);
+      out.regions.push_back(AcceptedRegion{
+          std::move(work.region), std::vector<int>(ids.begin(), ids.end())});
+    }
+  };
+
+  while (!queue.empty()) {
+    if (config.time_budget_seconds > 0.0 &&
+        timer.Seconds() > config.time_budget_seconds) {
+      out.timed_out = true;
+      break;
+    }
+    if (out.regions_tested >= max_regions) {
+      LOG(WARNING) << "partitioning hit the region cap (" << max_regions
+                   << "); aborting";
+      out.timed_out = true;
+      break;
+    }
+    Work work = std::move(queue.front());
+    queue.pop_front();
+    ++out.regions_tested;
+    if (GlobalLogLevel() == LogLevel::kDebug) {
+      LOG(DEBUG) << "region " << out.regions_tested << ": |V|="
+                 << work.region.vertices().size() << " |F|="
+                 << work.region.facets().size() << " |D'|="
+                 << work.candidates.size() << " k=" << work.k << " queue="
+                 << queue.size();
+    }
+
+    std::vector<TopkResult> profiles = ComputeProfiles(data, work);
+    if (config.use_lemma5 && ApplyLemma5(profiles, work) > 0) {
+      ++out.lemma5_prunes;
+    }
+
+    // Acceptance test.
+    bool accepted = false;
+    if (config.ordered_invariance) {
+      accepted = true;
+      for (size_t p = 1; p < profiles.size() && accepted; ++p) {
+        for (size_t r = 0; r < profiles[0].entries.size(); ++r) {
+          if (profiles[p].entries[r].id != profiles[0].entries[r].id) {
+            accepted = false;
+            break;
+          }
+        }
+      }
+      if (accepted) ++out.kipr_accepts;
+    } else {
+      // Plain kIPR test (Lemma 3): same top-k set, same top-k-th option.
+      const bool same_set =
+          SamePrefixSet(profiles, profiles[0].entries.size());
+      bool same_kth = true;
+      for (size_t p = 1; p < profiles.size(); ++p) {
+        if (profiles[p].KthId() != profiles[0].KthId()) {
+          same_kth = false;
+          break;
+        }
+      }
+      if (same_set && same_kth) {
+        accepted = true;
+        ++out.kipr_accepts;
+      } else if (config.use_lemma7) {
+        // Optimized test (Lemma 7, via Lemma 6): if every vertex shares
+        // the same top-(k-1) set, the impact halfspaces at the vertices
+        // already define the region's TopRR solution. k == 1 is Lemma 6
+        // directly: no invariance needed at all.
+        if (work.k == 1 ||
+            SamePrefixSet(profiles,
+                          static_cast<size_t>(work.k - 1))) {
+          accepted = true;
+          ++out.lemma7_accepts;
+        }
+      }
+    }
+    if (accepted) {
+      accept(work, profiles);
+      continue;
+    }
+
+    // Split. Try the method's preferred pair first; fall back to any
+    // violating pair whose hyperplane actually cuts the region (Lemma 4
+    // guarantees one exists up to numeric ties).
+    std::vector<SplitPair> pairs = ChooseSplitPairs(
+        data, work.region, profiles, config, out.regions_tested);
+    bool split_done = false;
+    for (int attempt = 0; attempt < 2 && !split_done; ++attempt) {
+      for (const SplitPair& pair : pairs) {
+        const Hyperplane plane = ScoreEqualityHyperplane(
+            data.Row(pair.first), data.Row(pair.second), work.region.dim());
+        if (plane.normal.MaxAbs() <= config.eps) continue;  // identical
+        PrefRegionSplit split = work.region.Split(plane, config.eps);
+        if (split.below.has_value() && split.above.has_value()) {
+          ++out.regions_split;
+          queue.push_back(
+              Work{std::move(*split.below), work.candidates, work.k,
+                   work.pruned});
+          queue.push_back(
+              Work{std::move(*split.above), std::move(work.candidates),
+                   work.k, std::move(work.pruned)});
+          split_done = true;
+          break;
+        }
+      }
+      if (!split_done && attempt == 0) {
+        pairs = ExhaustiveFlipPairs(data, work.region, profiles,
+                                    config.eps);
+      }
+    }
+    if (!split_done) {
+      // Every violating pair is an epsilon-tie across this region; accept
+      // within tolerance (see DESIGN.md, numeric robustness).
+      LOG(DEBUG) << "no cutting hyperplane found for a non-invariant "
+                 << "region; accepting within tolerance";
+      accept(work, profiles);
+    }
+  }
+
+  out.topk_union.assign(topk_union.begin(), topk_union.end());
+  return out;
+}
+
+}  // namespace toprr

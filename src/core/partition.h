@@ -1,0 +1,72 @@
+// Internal engine: recursive partitioning of a preference region until
+// every sub-region passes its acceptance test, accumulating the union of
+// defining vertices (the paper's set Vall, Theorem 1).
+//
+// One engine drives all three methods:
+//  * TAS      -- kIPR acceptance (Lemma 3), violating-pair splits (Sec 4.2);
+//  * TAS*     -- adds Lemma 5 pruning, Lemma 7 testing, k-switch splits;
+//  * PAC/UTK  -- ordered-invariance acceptance (every vertex has the same
+//                score-ordered top-k list), rank-conflict splits, faithful
+//                to the UTK building block of [30] (see DESIGN.md).
+//
+// This header is internal to toprr_core; the public entry point is
+// SolveToprr in core/toprr.h.
+#ifndef TOPRR_CORE_PARTITION_H_
+#define TOPRR_CORE_PARTITION_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "geom/vec.h"
+#include "pref/region.h"
+
+namespace toprr {
+
+struct PartitionConfig {
+  /// PAC mode: accept only when the full score-ordered top-k lists agree.
+  bool ordered_invariance = false;
+  bool use_lemma5 = false;
+  bool use_lemma7 = false;
+  bool use_kswitch = false;
+  double eps = 1e-10;
+  double time_budget_seconds = 0.0;  // <= 0: unlimited
+  size_t max_regions = 0;            // 0: default (16M)
+  /// Also accumulate the union of top-k option ids over all accepted
+  /// regions (the exact UTK option filter, Sec. 6.3 choice (iv)).
+  bool collect_topk_union = false;
+  /// Also keep every accepted region with its top-k id set (the options
+  /// pruned by Lemma 5 on that branch are included). Used by the
+  /// reverse-top-k style impact-region API.
+  bool collect_regions = false;
+};
+
+/// An accepted region together with its (order-insensitive) top-k set.
+struct AcceptedRegion {
+  PrefRegion region;
+  std::vector<int> topk_ids;  // sorted; union over vertices + Lemma-5 set
+};
+
+struct PartitionOutput {
+  std::vector<Vec> vall;        // accumulated defining vertices (raw)
+  std::vector<int> topk_union;  // sorted ids (when collect_topk_union)
+  std::vector<AcceptedRegion> regions;  // when collect_regions
+  bool timed_out = false;
+
+  size_t regions_tested = 0;
+  size_t regions_accepted = 0;
+  size_t regions_split = 0;
+  size_t kipr_accepts = 0;
+  size_t lemma7_accepts = 0;
+  size_t lemma5_prunes = 0;
+};
+
+/// Partitions `root` over the candidate option ids (a guaranteed superset
+/// of every top-k in the region, e.g. the r-skyband) for parameter k.
+PartitionOutput PartitionPreferenceRegion(const Dataset& data,
+                                          const std::vector<int>& candidates,
+                                          int k, const PrefRegion& root,
+                                          const PartitionConfig& config);
+
+}  // namespace toprr
+
+#endif  // TOPRR_CORE_PARTITION_H_

@@ -1,0 +1,75 @@
+#include "core/placement.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "geom/qp.h"
+
+namespace toprr {
+namespace {
+
+PlacementResult Project(const ToprrResult& region, const Vec& target,
+                        bool cost_is_distance,
+                        const std::vector<Halfspace>* extra = nullptr) {
+  PlacementResult out;
+  std::vector<Halfspace> constraints = region.AllHalfspaces();
+  if (extra != nullptr) {
+    constraints.insert(constraints.end(), extra->begin(), extra->end());
+  }
+  const QpResult qp = ProjectOntoPolytope(target, constraints);
+  if (!qp.ok()) {
+    LOG(WARNING) << "placement QP failed (status "
+                 << static_cast<int>(qp.status) << ")";
+    return out;
+  }
+  out.option = qp.x;
+  out.cost = cost_is_distance ? Distance(qp.x, target) : qp.x.SquaredNorm();
+  out.ok = true;
+  return out;
+}
+
+}  // namespace
+
+PlacementResult MinimumCostCreation(const ToprrResult& region) {
+  CHECK(!region.box_halfspaces.empty());
+  const size_t d = region.box_halfspaces[0].dim();
+  return Project(region, Vec(d, 0.0), /*cost_is_distance=*/false);
+}
+
+PlacementResult MinimumModification(const ToprrResult& region,
+                                    const Vec& current) {
+  return Project(region, current, /*cost_is_distance=*/true);
+}
+
+PlacementResult MinimumCostCreationConstrained(
+    const ToprrResult& region, const std::vector<Halfspace>& extra) {
+  CHECK(!region.box_halfspaces.empty());
+  const size_t d = region.box_halfspaces[0].dim();
+  return Project(region, Vec(d, 0.0), /*cost_is_distance=*/false, &extra);
+}
+
+PlacementResult MinimumModificationConstrained(
+    const ToprrResult& region, const Vec& current,
+    const std::vector<Halfspace>& extra) {
+  return Project(region, current, /*cost_is_distance=*/true, &extra);
+}
+
+std::optional<BudgetPlacement> SmallestKWithinBudget(
+    const Dataset& data, const PrefBox& region, const Vec& current,
+    double budget, int k_max, const ToprrOptions& options) {
+  CHECK_GT(k_max, 0);
+  // Decreasing k shrinks oR, so cost is monotone non-decreasing; scan k
+  // downward and stop at the first k whose cost exceeds the budget.
+  std::optional<BudgetPlacement> best;
+  for (int k = k_max; k >= 1; --k) {
+    const ToprrResult result = SolveToprr(data, k, region, options);
+    if (result.timed_out) break;
+    const PlacementResult placement = MinimumModification(result, current);
+    if (!placement.ok || placement.cost > budget) break;
+    best = BudgetPlacement{k, placement};
+  }
+  return best;
+}
+
+}  // namespace toprr

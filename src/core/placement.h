@@ -1,0 +1,62 @@
+// Cost-optimal option placement on top of a TopRR result (paper Sec. 1,
+// Sec. 3.1 and the Sec. 6.2 case study):
+//
+//  * creating a new option at minimum manufacturing cost (cost monotonic
+//    in the attributes, modeled as sum of squared attribute values);
+//  * enhancing an existing option p_i at minimum modification cost
+//    (Euclidean distance between old and new version);
+//  * budget-constrained impact maximization: the smallest k whose
+//    cost-optimal enhancement fits a redesign budget B.
+#ifndef TOPRR_CORE_PLACEMENT_H_
+#define TOPRR_CORE_PLACEMENT_H_
+
+#include <optional>
+
+#include "core/toprr.h"
+#include "data/dataset.h"
+#include "geom/vec.h"
+#include "pref/pref_space.h"
+
+namespace toprr {
+
+struct PlacementResult {
+  Vec option;         // the chosen placement
+  double cost = 0.0;  // sum of squares (creation) or distance (enhance)
+  bool ok = false;
+};
+
+/// The cheapest top-ranking placement for a new option under quadratic
+/// manufacturing cost sum_j o[j]^2.
+PlacementResult MinimumCostCreation(const ToprrResult& region);
+
+/// The minimum-modification enhancement of existing option `current`: the
+/// closest point of oR in Euclidean distance (cost = that distance).
+PlacementResult MinimumModification(const ToprrResult& region,
+                                    const Vec& current);
+
+/// Constrained variants (paper Sec. 3.1: manufacturing constraints and
+/// attribute interdependencies, e.g. p[1] + p[2] <= 1.5, are intersected
+/// with oR before optimizing). `extra` are additional halfspaces in
+/// option space; infeasible combinations yield ok == false.
+PlacementResult MinimumCostCreationConstrained(
+    const ToprrResult& region, const std::vector<Halfspace>& extra);
+PlacementResult MinimumModificationConstrained(
+    const ToprrResult& region, const Vec& current,
+    const std::vector<Halfspace>& extra);
+
+/// Budget-constrained smallest-k search (paper Sec. 3.1): the TopRR result
+/// shrinks monotonically as k decreases, so the optimal redesign cost
+/// increases; this finds the smallest k in [1, k_max] whose cost-optimal
+/// enhancement of `current` stays within `budget`, along with that
+/// placement. Returns std::nullopt when even k_max exceeds the budget.
+struct BudgetPlacement {
+  int k = 0;
+  PlacementResult placement;
+};
+std::optional<BudgetPlacement> SmallestKWithinBudget(
+    const Dataset& data, const PrefBox& region, const Vec& current,
+    double budget, int k_max, const ToprrOptions& options = {});
+
+}  // namespace toprr
+
+#endif  // TOPRR_CORE_PLACEMENT_H_

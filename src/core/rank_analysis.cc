@@ -1,0 +1,61 @@
+#include "core/rank_analysis.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "core/impact.h"
+#include "core/toprr.h"
+
+namespace toprr {
+namespace {
+
+// Generic first-true binary search over a monotone predicate on [1, max_k].
+template <typename Predicate>
+std::optional<int> FirstTrue(int max_k, const Predicate& predicate) {
+  int lo = 1;
+  int hi = max_k;
+  std::optional<int> best;
+  while (lo <= hi) {
+    const int mid = lo + (hi - lo) / 2;
+    if (predicate(mid)) {
+      best = mid;
+      hi = mid - 1;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::optional<int> BestAchievableRank(const Dataset& data, int option_id,
+                                      const PrefBox& region, int max_k) {
+  CHECK_GT(max_k, 0);
+  CHECK_LE(static_cast<size_t>(max_k), data.size());
+  // Monotone: if the option enters some top-k, it enters every top-k' with
+  // k' > k (the top-k set only grows).
+  return FirstTrue(max_k, [&](int k) {
+    const ImpactRegionsResult impact =
+        ComputeImpactRegions(data, option_id, k, region);
+    return !impact.favorable.empty();
+  });
+}
+
+std::optional<int> GuaranteedRank(const Dataset& data, int option_id,
+                                  const PrefBox& region, int max_k) {
+  CHECK_GT(max_k, 0);
+  CHECK_LE(static_cast<size_t>(max_k), data.size());
+  CHECK_GE(option_id, 0);
+  CHECK_LT(static_cast<size_t>(option_id), data.size());
+  const Vec option = data.Option(static_cast<size_t>(option_id));
+  ToprrOptions options;
+  options.build_geometry = false;
+  // Monotone: TopRR regions are nested in k (paper Sec. 3.1).
+  return FirstTrue(max_k, [&](int k) {
+    const ToprrResult result = SolveToprr(data, k, region, options);
+    return !result.timed_out && result.Contains(option);
+  });
+}
+
+}  // namespace toprr

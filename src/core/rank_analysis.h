@@ -1,0 +1,34 @@
+// Rank analysis of an existing option over a preference region, built on
+// the same kIPR machinery as TopRR:
+//
+//  * BestAchievableRank -- the smallest k such that the option enters the
+//    top-k for at least one w in wR (cf. the maximum-rank query of
+//    Mouratidis et al. [31], restricted to wR);
+//  * GuaranteedRank -- the smallest k such that the option is in the
+//    top-k for every w in wR (the "k-guarantee" of paper Sec. 3.1's
+//    budget discussion: TopRR(k) contains the option iff k >= this).
+//
+// Both are computed by binary search on k over monotone predicates.
+#ifndef TOPRR_CORE_RANK_ANALYSIS_H_
+#define TOPRR_CORE_RANK_ANALYSIS_H_
+
+#include <optional>
+
+#include "data/dataset.h"
+#include "pref/pref_space.h"
+
+namespace toprr {
+
+/// Smallest k in [1, max_k] such that `option_id` appears in some top-k
+/// within wR; std::nullopt if it is outside the top-max_k everywhere.
+std::optional<int> BestAchievableRank(const Dataset& data, int option_id,
+                                      const PrefBox& region, int max_k);
+
+/// Smallest k in [1, max_k] such that `option_id` is in the top-k for
+/// every w in wR; std::nullopt if even top-max_k is not guaranteed.
+std::optional<int> GuaranteedRank(const Dataset& data, int option_id,
+                                  const PrefBox& region, int max_k);
+
+}  // namespace toprr
+
+#endif  // TOPRR_CORE_RANK_ANALYSIS_H_

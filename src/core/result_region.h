@@ -1,0 +1,36 @@
+// Internal: assembly of the TopRR result region oR from the accumulated
+// vertex set Vall (Theorem 1).
+//
+//   oR = intersection over v in Vall of oH(v), clipped to O = [0,1]^d,
+//   oH(v) = { o : S_v(o) >= TopK(v) }.
+//
+// TopK(v) is evaluated against the r-skyband candidate superset, which by
+// construction contains the top-k of every w in wR, so the k-th score is
+// exact w.r.t. the full dataset.
+#ifndef TOPRR_CORE_RESULT_REGION_H_
+#define TOPRR_CORE_RESULT_REGION_H_
+
+#include <vector>
+
+#include "core/toprr.h"
+#include "data/dataset.h"
+#include "geom/vec.h"
+
+namespace toprr {
+
+/// Deduplicates Vall vertices (quantized) and returns the unique list.
+std::vector<Vec> DedupVertices(const std::vector<Vec>& vall,
+                               double tol = 1e-9);
+
+/// Builds the result-region description (impact halfspaces + box), and --
+/// when `build_geometry` -- the explicit vertices and the set of
+/// supporting (irredundant) impact halfspaces. `candidates` is the filter
+/// superset used for exact TopK evaluation, `k` the original parameter.
+void AssembleResultRegion(const Dataset& data,
+                          const std::vector<int>& candidates, int k,
+                          const std::vector<Vec>& vall_unique,
+                          const ToprrOptions& options, ToprrResult* result);
+
+}  // namespace toprr
+
+#endif  // TOPRR_CORE_RESULT_REGION_H_

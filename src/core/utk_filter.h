@@ -1,0 +1,26 @@
+// The exact UTK option filter (Sec. 6.3, choice (iv); Mouratidis & Tang
+// [30]): the precise set of options that appear in the top-k result of at
+// least one weight vector in wR.
+//
+// Computed by partitioning wR into exact kIPRs (no Lemma 7 short-circuit,
+// which could skip interior witnesses) and accumulating the union of the
+// per-region top-k sets, including options pruned by Lemma 5 along the
+// way (those are in every top-k of their branch).
+#ifndef TOPRR_CORE_UTK_FILTER_H_
+#define TOPRR_CORE_UTK_FILTER_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "pref/pref_space.h"
+
+namespace toprr {
+
+/// Returns the sorted ids of options appearing in some top-k within the
+/// preference box. `time_budget_seconds <= 0` means unlimited.
+std::vector<int> ExactTopkUnion(const Dataset& data, const PrefBox& region,
+                                int k, double time_budget_seconds = 0.0);
+
+}  // namespace toprr
+
+#endif  // TOPRR_CORE_UTK_FILTER_H_

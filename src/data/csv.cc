@@ -1,0 +1,78 @@
+#include "data/csv.h"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace toprr {
+
+std::optional<Dataset> ReadCsv(const std::string& path,
+                               const CsvReadOptions& options) {
+  std::ifstream in(path);
+  if (!in) {
+    LOG(ERROR) << "cannot open CSV file: " << path;
+    return std::nullopt;
+  }
+  Dataset ds;
+  std::string line;
+  size_t line_no = 0;
+  bool skipped_header = !options.has_header;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!skipped_header) {
+      skipped_header = true;
+      continue;
+    }
+    const std::string trimmed = Trim(line);
+    if (trimmed.empty()) continue;
+    const std::vector<std::string> cells = Split(trimmed, options.separator);
+    std::vector<size_t> take = options.columns;
+    if (take.empty()) {
+      for (size_t c = 0; c < cells.size(); ++c) take.push_back(c);
+    }
+    Vec row(take.size());
+    for (size_t i = 0; i < take.size(); ++i) {
+      if (take[i] >= cells.size()) {
+        LOG(ERROR) << path << ":" << line_no << ": missing column "
+                   << take[i];
+        return std::nullopt;
+      }
+      const std::string cell = Trim(cells[take[i]]);
+      char* end = nullptr;
+      row[i] = std::strtod(cell.c_str(), &end);
+      if (end == cell.c_str() || *end != '\0') {
+        LOG(ERROR) << path << ":" << line_no << ": non-numeric cell '"
+                   << cell << "'";
+        return std::nullopt;
+      }
+    }
+    ds.Append(row);
+  }
+  return ds;
+}
+
+bool WriteCsv(const std::string& path, const Dataset& dataset,
+              const std::vector<std::string>& header) {
+  std::ofstream out(path);
+  if (!out) {
+    LOG(ERROR) << "cannot write CSV file: " << path;
+    return false;
+  }
+  if (!header.empty()) {
+    CHECK_EQ(header.size(), dataset.dim());
+    out << Join(header, ",") << "\n";
+  }
+  out.precision(10);
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    for (size_t j = 0; j < dataset.dim(); ++j) {
+      if (j > 0) out << ",";
+      out << dataset.At(i, j);
+    }
+    out << "\n";
+  }
+  return out.good();
+}
+
+}  // namespace toprr

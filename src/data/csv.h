@@ -1,0 +1,34 @@
+// CSV import/export for option datasets, so users can run TopRR on their
+// own product tables.
+#ifndef TOPRR_DATA_CSV_H_
+#define TOPRR_DATA_CSV_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace toprr {
+
+struct CsvReadOptions {
+  char separator = ',';
+  /// Skip the first line (column names).
+  bool has_header = true;
+  /// Columns to load (empty = all numeric columns).
+  std::vector<size_t> columns;
+};
+
+/// Reads a numeric CSV file into a Dataset. Returns std::nullopt (and logs)
+/// when the file is missing or a selected cell fails to parse.
+std::optional<Dataset> ReadCsv(const std::string& path,
+                               const CsvReadOptions& options = {});
+
+/// Writes the dataset as CSV with optional header names (must match dim()).
+/// Returns false on I/O failure.
+bool WriteCsv(const std::string& path, const Dataset& dataset,
+              const std::vector<std::string>& header = {});
+
+}  // namespace toprr
+
+#endif  // TOPRR_DATA_CSV_H_

@@ -1,0 +1,68 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+namespace toprr {
+
+Dataset Dataset::FromRows(const std::vector<Vec>& rows) {
+  Dataset ds;
+  for (const Vec& r : rows) ds.Append(r);
+  return ds;
+}
+
+Vec Dataset::Option(size_t row) const {
+  DCHECK_LT(row, n_);
+  Vec out(d_);
+  const double* p = Row(row);
+  for (size_t j = 0; j < d_; ++j) out[j] = p[j];
+  return out;
+}
+
+void Dataset::Append(const Vec& option) {
+  if (n_ == 0 && d_ == 0) {
+    d_ = option.dim();
+  }
+  CHECK_EQ(option.dim(), d_);
+  values_.insert(values_.end(), option.begin(), option.end());
+  ++n_;
+}
+
+std::vector<std::pair<double, double>> Dataset::NormalizeUnit() {
+  std::vector<std::pair<double, double>> ranges(d_);
+  for (size_t j = 0; j < d_; ++j) {
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < n_; ++i) {
+      lo = std::min(lo, At(i, j));
+      hi = std::max(hi, At(i, j));
+    }
+    ranges[j] = {lo, hi};
+    const double span = hi - lo;
+    for (size_t i = 0; i < n_; ++i) {
+      At(i, j) = span > 0.0 ? (At(i, j) - lo) / span : 0.5;
+    }
+  }
+  return ranges;
+}
+
+double Dataset::Score(size_t row, const Vec& w) const {
+  DCHECK_EQ(w.dim(), d_);
+  const double* p = Row(row);
+  double acc = 0.0;
+  for (size_t j = 0; j < d_; ++j) acc += p[j] * w[j];
+  return acc;
+}
+
+std::string Dataset::DebugString(size_t max_rows) const {
+  std::ostringstream out;
+  out << "Dataset(n=" << n_ << ", d=" << d_ << ")\n";
+  for (size_t i = 0; i < std::min(n_, max_rows); ++i) {
+    out << "  " << Option(i).ToString() << "\n";
+  }
+  if (n_ > max_rows) out << "  ...\n";
+  return out.str();
+}
+
+}  // namespace toprr

@@ -1,0 +1,70 @@
+// In-memory option dataset: n options ("products") with d continuous
+// attributes each, stored row-major. Larger attribute values are assumed
+// preferable on every attribute (paper Sec. 3.1), and benchmark datasets
+// live in the unit option space O = [0,1]^d.
+#ifndef TOPRR_DATA_DATASET_H_
+#define TOPRR_DATA_DATASET_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "geom/vec.h"
+
+namespace toprr {
+
+/// A flat, row-major table of options.
+class Dataset {
+ public:
+  Dataset() = default;
+  Dataset(size_t n, size_t d) : n_(n), d_(d), values_(n * d, 0.0) {}
+
+  /// Builds from explicit rows (all of dimension d).
+  static Dataset FromRows(const std::vector<Vec>& rows);
+
+  size_t size() const { return n_; }
+  size_t dim() const { return d_; }
+  bool empty() const { return n_ == 0; }
+
+  double At(size_t row, size_t col) const {
+    DCHECK_LT(row, n_);
+    DCHECK_LT(col, d_);
+    return values_[row * d_ + col];
+  }
+  double& At(size_t row, size_t col) {
+    DCHECK_LT(row, n_);
+    DCHECK_LT(col, d_);
+    return values_[row * d_ + col];
+  }
+
+  /// Raw pointer to the row (d contiguous doubles).
+  const double* Row(size_t row) const {
+    DCHECK_LT(row, n_);
+    return values_.data() + row * d_;
+  }
+
+  /// Copies row `row` into a Vec.
+  Vec Option(size_t row) const;
+
+  /// Appends a row; dimension must match (or sets it on the first row).
+  void Append(const Vec& option);
+
+  /// Min-max normalizes every attribute into [0, 1] in place. Constant
+  /// attributes map to 0.5. Returns per-column (min, max) before scaling.
+  std::vector<std::pair<double, double>> NormalizeUnit();
+
+  /// The score w . option for a full d-dimensional weight vector.
+  double Score(size_t row, const Vec& w) const;
+
+  std::string DebugString(size_t max_rows = 10) const;
+
+ private:
+  size_t n_ = 0;
+  size_t d_ = 0;
+  std::vector<double> values_;
+};
+
+}  // namespace toprr
+
+#endif  // TOPRR_DATA_DATASET_H_

@@ -1,0 +1,205 @@
+#include "data/generator.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace toprr {
+namespace {
+
+double Clamp01(double v) { return std::min(1.0, std::max(0.0, v)); }
+
+// A normal draw clamped into (0,1); redraws a few times before clamping to
+// avoid probability mass piling up at the ends.
+double ClampedGaussian(Rng& rng, double mean, double stddev) {
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const double v = rng.Gaussian(mean, stddev);
+    if (v > 0.0 && v < 1.0) return v;
+  }
+  return Clamp01(rng.Gaussian(mean, stddev));
+}
+
+// One COR point: all attributes close to a common "quality" level.
+Vec CorrelatedPoint(Rng& rng, size_t d, double jitter) {
+  const double level = ClampedGaussian(rng, 0.5, 0.18);
+  Vec p(d);
+  for (size_t j = 0; j < d; ++j) {
+    p[j] = Clamp01(level + rng.Uniform(-jitter, jitter));
+  }
+  return p;
+}
+
+// One ANTI point: attributes trade off against each other; the attribute
+// sum concentrates around d/2 while individual values spread widely.
+Vec AnticorrelatedPoint(Rng& rng, size_t d, double jitter) {
+  const double level = ClampedGaussian(rng, 0.5, 0.06);
+  const double total = level * static_cast<double>(d);
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    Vec u(d);
+    double sum = 0.0;
+    for (size_t j = 0; j < d; ++j) {
+      u[j] = rng.Uniform() + 1e-9;
+      sum += u[j];
+    }
+    bool ok = true;
+    Vec p(d);
+    for (size_t j = 0; j < d; ++j) {
+      p[j] = u[j] * total / sum + rng.Uniform(-jitter, jitter);
+      if (p[j] < 0.0 || p[j] > 1.0) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return p;
+  }
+  // Fallback after repeated rejection: clamped proportional split.
+  Vec u(d);
+  double sum = 0.0;
+  for (size_t j = 0; j < d; ++j) {
+    u[j] = rng.Uniform() + 1e-9;
+    sum += u[j];
+  }
+  Vec p(d);
+  for (size_t j = 0; j < d; ++j) p[j] = Clamp01(u[j] * total / sum);
+  return p;
+}
+
+Vec IndependentPoint(Rng& rng, size_t d) {
+  Vec p(d);
+  for (size_t j = 0; j < d; ++j) p[j] = rng.Uniform();
+  return p;
+}
+
+// Blended real-like point: mixes an IND draw with a COR or ANTI draw so
+// real datasets land between the synthetic extremes (paper Table 6).
+Vec BlendedPoint(Rng& rng, size_t d, Distribution flavor, double blend,
+                 double jitter) {
+  Vec base = IndependentPoint(rng, d);
+  Vec shaped = flavor == Distribution::kCorrelated
+                   ? CorrelatedPoint(rng, d, jitter)
+                   : AnticorrelatedPoint(rng, d, jitter);
+  Vec p(d);
+  for (size_t j = 0; j < d; ++j) {
+    p[j] = Clamp01((1.0 - blend) * base[j] + blend * shaped[j]);
+  }
+  return p;
+}
+
+size_t ScaledCount(size_t full, double scale) {
+  CHECK_GT(scale, 0.0);
+  CHECK_LE(scale, 1.0);
+  return std::max<size_t>(64, static_cast<size_t>(full * scale));
+}
+
+}  // namespace
+
+bool ParseDistribution(const std::string& text, Distribution* dist) {
+  std::string lower(text);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower == "ind" || lower == "independent") {
+    *dist = Distribution::kIndependent;
+  } else if (lower == "cor" || lower == "correlated") {
+    *dist = Distribution::kCorrelated;
+  } else if (lower == "anti" || lower == "anticorrelated") {
+    *dist = Distribution::kAnticorrelated;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* DistributionName(Distribution dist) {
+  switch (dist) {
+    case Distribution::kIndependent:
+      return "IND";
+    case Distribution::kCorrelated:
+      return "COR";
+    case Distribution::kAnticorrelated:
+      return "ANTI";
+  }
+  return "?";
+}
+
+Dataset GenerateSynthetic(size_t n, size_t d, Distribution dist,
+                          uint64_t seed) {
+  CHECK_GE(d, 2u);
+  Rng rng(seed);
+  Dataset ds(n, d);
+  for (size_t i = 0; i < n; ++i) {
+    Vec p;
+    switch (dist) {
+      case Distribution::kIndependent:
+        p = IndependentPoint(rng, d);
+        break;
+      case Distribution::kCorrelated:
+        p = CorrelatedPoint(rng, d, 0.06);
+        break;
+      case Distribution::kAnticorrelated:
+        p = AnticorrelatedPoint(rng, d, 0.12);
+        break;
+    }
+    for (size_t j = 0; j < d; ++j) ds.At(i, j) = p[j];
+  }
+  return ds;
+}
+
+Dataset GenerateHotelLike(uint64_t seed, double scale) {
+  const size_t n = ScaledCount(418843, scale);
+  const size_t d = 4;
+  Rng rng(seed);
+  Dataset ds(n, d);
+  for (size_t i = 0; i < n; ++i) {
+    Vec p = BlendedPoint(rng, d, Distribution::kAnticorrelated, 0.45, 0.15);
+    // Star rating: 5 discrete levels.
+    p[0] = std::round(p[0] * 4.0) / 4.0;
+    for (size_t j = 0; j < d; ++j) ds.At(i, j) = p[j];
+  }
+  return ds;
+}
+
+Dataset GenerateHouseLike(uint64_t seed, double scale) {
+  const size_t n = ScaledCount(315265, scale);
+  const size_t d = 6;
+  Rng rng(seed);
+  Dataset ds(n, d);
+  for (size_t i = 0; i < n; ++i) {
+    const Vec p =
+        BlendedPoint(rng, d, Distribution::kAnticorrelated, 0.5, 0.18);
+    for (size_t j = 0; j < d; ++j) ds.At(i, j) = p[j];
+  }
+  return ds;
+}
+
+Dataset GenerateNbaLike(uint64_t seed, double scale) {
+  const size_t n = ScaledCount(21960, scale);
+  const size_t d = 8;
+  Rng rng(seed);
+  Dataset ds(n, d);
+  for (size_t i = 0; i < n; ++i) {
+    const Vec p = BlendedPoint(rng, d, Distribution::kCorrelated, 0.6, 0.12);
+    for (size_t j = 0; j < d; ++j) ds.At(i, j) = p[j];
+  }
+  return ds;
+}
+
+Dataset GenerateCnetLaptops(uint64_t seed) {
+  const size_t n = 149;
+  Rng rng(seed);
+  Dataset ds(n, 2);
+  for (size_t i = 0; i < n; ++i) {
+    // Performance vs battery life trade-off with a few all-round models.
+    const double performance = ClampedGaussian(rng, 0.55, 0.22);
+    const double tradeoff = 1.05 - 0.8 * performance;
+    const double battery = Clamp01(rng.Gaussian(tradeoff, 0.13));
+    ds.At(i, 0) = performance;
+    ds.At(i, 1) = battery;
+  }
+  ds.NormalizeUnit();
+  return ds;
+}
+
+}  // namespace toprr

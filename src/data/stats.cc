@@ -1,0 +1,99 @@
+#include "data/stats.h"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace toprr {
+
+std::vector<ColumnStats> ComputeColumnStats(const Dataset& data) {
+  CHECK(!data.empty());
+  const size_t n = data.size();
+  const size_t d = data.dim();
+  std::vector<ColumnStats> stats(d);
+  for (size_t j = 0; j < d; ++j) {
+    stats[j].min = std::numeric_limits<double>::infinity();
+    stats[j].max = -std::numeric_limits<double>::infinity();
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const double* row = data.Row(i);
+    for (size_t j = 0; j < d; ++j) {
+      stats[j].min = std::min(stats[j].min, row[j]);
+      stats[j].max = std::max(stats[j].max, row[j]);
+      stats[j].mean += row[j];
+    }
+  }
+  for (size_t j = 0; j < d; ++j) stats[j].mean /= static_cast<double>(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double* row = data.Row(i);
+    for (size_t j = 0; j < d; ++j) {
+      const double c = row[j] - stats[j].mean;
+      stats[j].stddev += c * c;
+    }
+  }
+  for (size_t j = 0; j < d; ++j) {
+    stats[j].stddev = std::sqrt(stats[j].stddev / static_cast<double>(n));
+  }
+  return stats;
+}
+
+Matrix CorrelationMatrix(const Dataset& data) {
+  CHECK(!data.empty());
+  const size_t n = data.size();
+  const size_t d = data.dim();
+  const std::vector<ColumnStats> stats = ComputeColumnStats(data);
+  Matrix cov(d, d);
+  for (size_t i = 0; i < n; ++i) {
+    const double* row = data.Row(i);
+    for (size_t a = 0; a < d; ++a) {
+      const double ca = row[a] - stats[a].mean;
+      for (size_t b = a; b < d; ++b) {
+        cov.At(a, b) += ca * (row[b] - stats[b].mean);
+      }
+    }
+  }
+  Matrix corr(d, d);
+  for (size_t a = 0; a < d; ++a) {
+    corr.At(a, a) = 1.0;
+    for (size_t b = a + 1; b < d; ++b) {
+      const double denom =
+          stats[a].stddev * stats[b].stddev * static_cast<double>(n);
+      const double value = denom > 0.0 ? cov.At(a, b) / denom : 0.0;
+      corr.At(a, b) = value;
+      corr.At(b, a) = value;
+    }
+  }
+  return corr;
+}
+
+double MeanPairwiseCorrelation(const Dataset& data) {
+  const size_t d = data.dim();
+  if (d < 2) return 0.0;
+  const Matrix corr = CorrelationMatrix(data);
+  double acc = 0.0;
+  size_t pairs = 0;
+  for (size_t a = 0; a < d; ++a) {
+    for (size_t b = a + 1; b < d; ++b) {
+      acc += corr.At(a, b);
+      ++pairs;
+    }
+  }
+  return acc / static_cast<double>(pairs);
+}
+
+std::string DescribeDataset(const Dataset& data) {
+  std::ostringstream out;
+  out << "n=" << data.size() << " d=" << data.dim()
+      << " mean_pairwise_corr=" << MeanPairwiseCorrelation(data) << "\n";
+  const std::vector<ColumnStats> stats = ComputeColumnStats(data);
+  for (size_t j = 0; j < stats.size(); ++j) {
+    out << "  col" << j << ": min=" << stats[j].min
+        << " max=" << stats[j].max << " mean=" << stats[j].mean
+        << " sd=" << stats[j].stddev << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace toprr

@@ -1,0 +1,39 @@
+// Descriptive statistics over datasets: per-attribute moments and the
+// pairwise Pearson correlation structure. Used to validate that generated
+// workloads match their intended COR/IND/ANTI shape (paper Sec. 6.1) and
+// to characterize user-supplied CSV catalogs in the CLI.
+#ifndef TOPRR_DATA_STATS_H_
+#define TOPRR_DATA_STATS_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "geom/linalg.h"
+
+namespace toprr {
+
+struct ColumnStats {
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+/// Per-column summary statistics.
+std::vector<ColumnStats> ComputeColumnStats(const Dataset& data);
+
+/// The d x d Pearson correlation matrix. Constant columns yield 0
+/// correlation with everything (and 1 on the diagonal).
+Matrix CorrelationMatrix(const Dataset& data);
+
+/// Mean of the off-diagonal correlation entries: > 0 for correlated
+/// datasets, < 0 for anticorrelated, ~0 for independent.
+double MeanPairwiseCorrelation(const Dataset& data);
+
+/// Human-readable one-dataset report for CLI / example output.
+std::string DescribeDataset(const Dataset& data);
+
+}  // namespace toprr
+
+#endif  // TOPRR_DATA_STATS_H_

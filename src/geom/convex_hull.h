@@ -1,0 +1,61 @@
+// d-dimensional convex hull via the incremental (quickhull-style) algorithm
+// with conflict lists, after Barber et al.'s Qhull. The paper's methods call
+// on qhull for halfspace intersection and hull computation; this module is
+// our from-scratch replacement.
+//
+// Facets are simplicial (d vertices each); a non-simplicial geometric facet
+// appears as several coplanar simplicial facets, which is harmless for every
+// use in this library (vertex enumeration, onion layers, volumes).
+#ifndef TOPRR_GEOM_CONVEX_HULL_H_
+#define TOPRR_GEOM_CONVEX_HULL_H_
+
+#include <optional>
+#include <vector>
+
+#include "geom/hyperplane.h"
+#include "geom/vec.h"
+
+namespace toprr {
+
+/// One simplicial hull facet: `vertices` are indices into the input point
+/// set; the outward halfspace is normal . x <= offset for hull-interior x.
+struct HullFacet {
+  std::vector<int> vertices;  // exactly dim indices
+  Vec normal;                 // outward unit normal
+  double offset = 0.0;        // normal . v for v on the facet
+};
+
+/// The result of a hull computation.
+struct ConvexHullResult {
+  /// Indices of input points that are hull vertices (strictly extreme;
+  /// points on a facet's interior within tolerance are not reported).
+  std::vector<int> vertex_indices;
+  /// All (simplicial) facets of the hull.
+  std::vector<HullFacet> facets;
+};
+
+struct ConvexHullOptions {
+  /// Absolute tolerance for "above facet" tests. Inputs in this library
+  /// live in [0,1]-ish boxes, so an absolute epsilon is appropriate.
+  double eps = 1e-9;
+};
+
+/// Computes the convex hull of `points` (each of the same dimension d >= 1).
+/// Returns std::nullopt when the points are degenerate: fewer than d+1
+/// points, or affine dimension < d (all points within `eps` of a common
+/// hyperplane). Dimension 1 is handled specially (hull = [min, max]).
+std::optional<ConvexHullResult> ComputeConvexHull(
+    const std::vector<Vec>& points, const ConvexHullOptions& options = {});
+
+/// Convenience: hull vertex indices only; empty vector when degenerate.
+std::vector<int> ConvexHullVertices(const std::vector<Vec>& points,
+                                    const ConvexHullOptions& options = {});
+
+/// Volume of the hull (sum of simplex volumes against an interior point).
+/// Returns 0 for degenerate inputs.
+double ConvexHullVolume(const std::vector<Vec>& points,
+                        const ConvexHullOptions& options = {});
+
+}  // namespace toprr
+
+#endif  // TOPRR_GEOM_CONVEX_HULL_H_

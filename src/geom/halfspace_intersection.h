@@ -1,0 +1,54 @@
+// Vertex enumeration of an intersection of halfspaces (qhull's "H-mode"),
+// via point/hyperplane duality about a strictly interior point:
+//
+//   halfspace a.x <= b with interior x0  <->  dual point a / (b - a.x0)
+//
+// Facets of the dual hull correspond one-to-one to vertices of the primal
+// intersection. Redundant halfspaces become interior dual points and drop
+// out automatically.
+#ifndef TOPRR_GEOM_HALFSPACE_INTERSECTION_H_
+#define TOPRR_GEOM_HALFSPACE_INTERSECTION_H_
+
+#include <optional>
+#include <vector>
+
+#include "geom/hyperplane.h"
+#include "geom/vec.h"
+
+namespace toprr {
+
+struct HalfspaceIntersectionResult {
+  /// Vertices of the intersection polytope (deduplicated).
+  std::vector<Vec> vertices;
+  /// Indices (into the input halfspace list) that support at least one
+  /// vertex, i.e. the non-redundant constraints.
+  std::vector<size_t> active_halfspaces;
+  /// True when a dual facet at infinity was detected, i.e. the primal
+  /// intersection is unbounded (vertices lists only the finite ones).
+  bool unbounded = false;
+};
+
+struct HalfspaceIntersectionOptions {
+  double eps = 1e-9;
+  /// Vertices closer than this (L-inf) are merged.
+  double merge_tol = 1e-7;
+};
+
+/// Enumerates the vertices of the intersection of `halfspaces` given a
+/// strictly interior point (every constraint satisfied with slack > eps;
+/// CHECK-fails otherwise). Returns std::nullopt when the dual hull is
+/// degenerate (intersection not full-dimensional around `interior`).
+std::optional<HalfspaceIntersectionResult> IntersectHalfspaces(
+    const std::vector<Halfspace>& halfspaces, const Vec& interior,
+    const HalfspaceIntersectionOptions& options = {});
+
+/// Convenience overload that finds the interior point itself via the
+/// Chebyshev center. Returns std::nullopt when the system is infeasible or
+/// has empty interior.
+std::optional<HalfspaceIntersectionResult> IntersectHalfspaces(
+    const std::vector<Halfspace>& halfspaces, size_t dim,
+    const HalfspaceIntersectionOptions& options = {});
+
+}  // namespace toprr
+
+#endif  // TOPRR_GEOM_HALFSPACE_INTERSECTION_H_

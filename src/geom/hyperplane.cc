@@ -1,0 +1,50 @@
+#include "geom/hyperplane.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace toprr {
+
+void Hyperplane::Normalize() {
+  const double norm = normal.Norm();
+  CHECK_GT(norm, 0.0) << "cannot normalize zero hyperplane";
+  normal /= norm;
+  offset /= norm;
+}
+
+std::string Hyperplane::ToString() const {
+  std::ostringstream out;
+  out << normal.ToString() << " . x = " << offset;
+  return out.str();
+}
+
+void Halfspace::Normalize() {
+  const double norm = normal.Norm();
+  CHECK_GT(norm, 0.0) << "cannot normalize zero halfspace";
+  normal /= norm;
+  offset /= norm;
+}
+
+std::string Halfspace::ToString() const {
+  std::ostringstream out;
+  out << normal.ToString() << " . x <= " << offset;
+  return out.str();
+}
+
+std::vector<Halfspace> BoxHalfspaces(const Vec& lo, const Vec& hi) {
+  CHECK_EQ(lo.dim(), hi.dim());
+  const size_t d = lo.dim();
+  std::vector<Halfspace> out;
+  out.reserve(2 * d);
+  for (size_t j = 0; j < d; ++j) {
+    Vec up(d);
+    up[j] = 1.0;
+    out.emplace_back(up, hi[j]);  // x[j] <= hi[j]
+    Vec down(d);
+    down[j] = -1.0;
+    out.emplace_back(down, -lo[j]);  // -x[j] <= -lo[j]
+  }
+  return out;
+}
+
+}  // namespace toprr

@@ -1,0 +1,83 @@
+// Hyperplanes and halfspaces in arbitrary dimension.
+//
+// A Hyperplane is the locus  normal . x = offset.
+// A Halfspace is the closed region  normal . x <= offset.
+// These back both spaces of the paper: preference-space score hyperplanes
+// wHP(p_i, p_j) and option-space impact halfspaces oH(w).
+#ifndef TOPRR_GEOM_HYPERPLANE_H_
+#define TOPRR_GEOM_HYPERPLANE_H_
+
+#include <string>
+#include <vector>
+
+#include "geom/vec.h"
+
+namespace toprr {
+
+/// Side classification of a point against a hyperplane, with tolerance.
+enum class Side {
+  kBelow,  // normal . x < offset - tol
+  kOn,     // |normal . x - offset| <= tol
+  kAbove,  // normal . x > offset + tol
+};
+
+/// The locus normal . x = offset.
+struct Hyperplane {
+  Vec normal;
+  double offset = 0.0;
+
+  Hyperplane() = default;
+  Hyperplane(Vec n, double b) : normal(std::move(n)), offset(b) {}
+
+  size_t dim() const { return normal.dim(); }
+
+  /// Signed evaluation normal . x - offset (positive on the kAbove side).
+  double Eval(const Vec& x) const { return Dot(normal, x) - offset; }
+
+  /// Classifies `x` with absolute tolerance `tol`.
+  Side Classify(const Vec& x, double tol) const {
+    const double v = Eval(x);
+    if (v > tol) return Side::kAbove;
+    if (v < -tol) return Side::kBelow;
+    return Side::kOn;
+  }
+
+  /// Scales the equation so ||normal|| = 1. CHECK-fails on a zero normal.
+  void Normalize();
+
+  std::string ToString() const;
+};
+
+/// The closed region normal . x <= offset.
+struct Halfspace {
+  Vec normal;
+  double offset = 0.0;
+
+  Halfspace() = default;
+  Halfspace(Vec n, double b) : normal(std::move(n)), offset(b) {}
+
+  size_t dim() const { return normal.dim(); }
+
+  /// True if x satisfies the constraint within `tol`.
+  bool Contains(const Vec& x, double tol = 1e-9) const {
+    return Dot(normal, x) <= offset + tol;
+  }
+
+  /// Amount by which x violates the constraint (<= 0 means inside).
+  double Violation(const Vec& x) const { return Dot(normal, x) - offset; }
+
+  /// The bounding hyperplane normal . x = offset.
+  Hyperplane Boundary() const { return Hyperplane(normal, offset); }
+
+  /// Scales the inequality so ||normal|| = 1.
+  void Normalize();
+
+  std::string ToString() const;
+};
+
+/// Axis-aligned box constraints lo <= x <= hi as a list of 2*dim halfspaces.
+std::vector<Halfspace> BoxHalfspaces(const Vec& lo, const Vec& hi);
+
+}  // namespace toprr
+
+#endif  // TOPRR_GEOM_HYPERPLANE_H_

@@ -1,0 +1,126 @@
+#include "geom/linalg.h"
+
+#include <cmath>
+
+namespace toprr {
+
+void Matrix::SetRow(size_t r, const Vec& v) {
+  DCHECK_EQ(v.dim(), cols_);
+  for (size_t c = 0; c < cols_; ++c) At(r, c) = v[c];
+}
+
+Vec Matrix::Row(size_t r) const {
+  Vec out(cols_);
+  for (size_t c = 0; c < cols_; ++c) out[c] = At(r, c);
+  return out;
+}
+
+Vec Matrix::Apply(const Vec& x) const {
+  DCHECK_EQ(x.dim(), cols_);
+  Vec out(rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (size_t c = 0; c < cols_; ++c) acc += At(r, c) * x[c];
+    out[r] = acc;
+  }
+  return out;
+}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m.At(i, i) = 1.0;
+  return m;
+}
+
+std::optional<Vec> SolveLinearSystem(Matrix a, Vec b, double pivot_tol) {
+  const size_t n = a.rows();
+  CHECK_EQ(a.cols(), n);
+  CHECK_EQ(b.dim(), n);
+
+  std::vector<size_t> perm(n);
+  for (size_t i = 0; i < n; ++i) perm[i] = i;
+
+  for (size_t col = 0; col < n; ++col) {
+    // Partial pivoting: pick the largest-magnitude entry in this column.
+    size_t pivot = col;
+    double best = std::fabs(a.At(col, col));
+    for (size_t r = col + 1; r < n; ++r) {
+      const double mag = std::fabs(a.At(r, col));
+      if (mag > best) {
+        best = mag;
+        pivot = r;
+      }
+    }
+    if (best <= pivot_tol) return std::nullopt;
+    if (pivot != col) {
+      for (size_t c = 0; c < n; ++c) std::swap(a.At(pivot, c), a.At(col, c));
+      std::swap(b[pivot], b[col]);
+    }
+    const double inv = 1.0 / a.At(col, col);
+    for (size_t r = col + 1; r < n; ++r) {
+      const double factor = a.At(r, col) * inv;
+      if (factor == 0.0) continue;
+      a.At(r, col) = 0.0;
+      for (size_t c = col + 1; c < n; ++c) {
+        a.At(r, c) -= factor * a.At(col, c);
+      }
+      b[r] -= factor * b[col];
+    }
+  }
+
+  Vec x(n);
+  for (size_t i = n; i-- > 0;) {
+    double acc = b[i];
+    for (size_t c = i + 1; c < n; ++c) acc -= a.At(i, c) * x[c];
+    x[i] = acc / a.At(i, i);
+  }
+  return x;
+}
+
+double Determinant(Matrix a) {
+  const size_t n = a.rows();
+  CHECK_EQ(a.cols(), n);
+  double det = 1.0;
+  for (size_t col = 0; col < n; ++col) {
+    size_t pivot = col;
+    double best = std::fabs(a.At(col, col));
+    for (size_t r = col + 1; r < n; ++r) {
+      const double mag = std::fabs(a.At(r, col));
+      if (mag > best) {
+        best = mag;
+        pivot = r;
+      }
+    }
+    if (best == 0.0) return 0.0;
+    if (pivot != col) {
+      for (size_t c = 0; c < n; ++c) std::swap(a.At(pivot, c), a.At(col, c));
+      det = -det;
+    }
+    det *= a.At(col, col);
+    const double inv = 1.0 / a.At(col, col);
+    for (size_t r = col + 1; r < n; ++r) {
+      const double factor = a.At(r, col) * inv;
+      if (factor == 0.0) continue;
+      for (size_t c = col; c < n; ++c) a.At(r, c) -= factor * a.At(col, c);
+    }
+  }
+  return det;
+}
+
+std::optional<Vec> SolveHyperplanes(const std::vector<Vec>& normals,
+                                    const std::vector<double>& offsets,
+                                    double pivot_tol) {
+  CHECK_EQ(normals.size(), offsets.size());
+  CHECK(!normals.empty());
+  const size_t n = normals[0].dim();
+  CHECK_EQ(normals.size(), n);
+  Matrix a(n, n);
+  Vec b(n);
+  for (size_t r = 0; r < n; ++r) {
+    a.SetRow(r, normals[r]);
+    b[r] = offsets[r];
+  }
+  return SolveLinearSystem(std::move(a), std::move(b), pivot_tol);
+}
+
+}  // namespace toprr

@@ -1,0 +1,69 @@
+// Dense linear algebra: small matrices, Gaussian elimination with partial
+// pivoting, determinants. Sized for the tiny systems (d <= ~13) that arise
+// in polytope vertex computation and QP KKT systems.
+#ifndef TOPRR_GEOM_LINALG_H_
+#define TOPRR_GEOM_LINALG_H_
+
+#include <optional>
+#include <vector>
+
+#include "geom/vec.h"
+
+namespace toprr {
+
+/// A dense row-major matrix of runtime shape.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& At(size_t r, size_t c) {
+    DCHECK_LT(r, rows_);
+    DCHECK_LT(c, cols_);
+    return data_[r * cols_ + c];
+  }
+  double At(size_t r, size_t c) const {
+    DCHECK_LT(r, rows_);
+    DCHECK_LT(c, cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// Sets row r from a Vec (dimension must equal cols()).
+  void SetRow(size_t r, const Vec& v);
+
+  /// Returns row r as a Vec.
+  Vec Row(size_t r) const;
+
+  /// Matrix-vector product (dimension of x must equal cols()).
+  Vec Apply(const Vec& x) const;
+
+  /// Identity matrix of size n.
+  static Matrix Identity(size_t n);
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solves A x = b by Gaussian elimination with partial pivoting.
+/// Returns std::nullopt when A is (numerically) singular w.r.t. `pivot_tol`.
+std::optional<Vec> SolveLinearSystem(Matrix a, Vec b,
+                                     double pivot_tol = 1e-12);
+
+/// Determinant via LU decomposition (destroys a copy of A).
+double Determinant(Matrix a);
+
+/// Solves the linear system whose rows are hyperplane equations
+/// normals[i] . x = offsets[i]. Convenience wrapper for vertex computation.
+std::optional<Vec> SolveHyperplanes(const std::vector<Vec>& normals,
+                                    const std::vector<double>& offsets,
+                                    double pivot_tol = 1e-12);
+
+}  // namespace toprr
+
+#endif  // TOPRR_GEOM_LINALG_H_

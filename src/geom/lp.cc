@@ -1,0 +1,324 @@
+#include "geom/lp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "common/logging.h"
+
+namespace toprr {
+namespace {
+
+constexpr double kEps = 1e-9;
+
+// Dense tableau for the standard-form program
+//   maximize  obj . y   s.t.  T y = rhs,  y >= 0
+// produced from the user's free-variable inequality form by the caller.
+class SimplexTableau {
+ public:
+  SimplexTableau(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), cells_((rows + 1) * (cols + 1), 0.0) {}
+
+  // Constraint coefficients are cells (r, c) for r < rows, c < cols.
+  double& At(size_t r, size_t c) { return cells_[r * (cols_ + 1) + c]; }
+  double At(size_t r, size_t c) const { return cells_[r * (cols_ + 1) + c]; }
+
+  double& Rhs(size_t r) { return cells_[r * (cols_ + 1) + cols_]; }
+  double Rhs(size_t r) const { return cells_[r * (cols_ + 1) + cols_]; }
+
+  // Objective row is stored at row index rows_ (reduced costs), with the
+  // negated objective value in its RHS cell.
+  double& Obj(size_t c) { return cells_[rows_ * (cols_ + 1) + c]; }
+  double Obj(size_t c) const { return cells_[rows_ * (cols_ + 1) + c]; }
+  double& ObjValue() { return cells_[rows_ * (cols_ + 1) + cols_]; }
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  // Gauss-Jordan pivot on (pivot_row, pivot_col) covering the objective row.
+  void Pivot(size_t pivot_row, size_t pivot_col) {
+    const double pivot = At(pivot_row, pivot_col);
+    DCHECK_GT(std::fabs(pivot), 0.0);
+    const double inv = 1.0 / pivot;
+    for (size_t c = 0; c <= cols_; ++c) {
+      cells_[pivot_row * (cols_ + 1) + c] *= inv;
+    }
+    for (size_t r = 0; r <= rows_; ++r) {
+      if (r == pivot_row) continue;
+      const double factor = cells_[r * (cols_ + 1) + pivot_col];
+      if (factor == 0.0) continue;
+      for (size_t c = 0; c <= cols_; ++c) {
+        cells_[r * (cols_ + 1) + c] -=
+            factor * cells_[pivot_row * (cols_ + 1) + c];
+      }
+      cells_[r * (cols_ + 1) + pivot_col] = 0.0;  // exact zero for stability
+    }
+  }
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> cells_;
+};
+
+// Runs primal simplex iterations until optimality / unboundedness /
+// iteration cap. `allowed_cols` restricts entering-variable choices (used
+// in phase 1 vs phase 2). Returns the resulting status.
+LpStatus RunSimplex(SimplexTableau& t, std::vector<size_t>& basis,
+                    size_t allowed_cols, int max_iterations) {
+  const size_t m = t.rows();
+  int iteration = 0;
+  const int bland_threshold = max_iterations / 2;
+  while (true) {
+    if (++iteration > max_iterations) return LpStatus::kIterationLimit;
+    const bool use_bland = iteration > bland_threshold;
+
+    // Entering variable: reduced cost > eps (we maximize; objective row
+    // stores negated coefficients after pivoting, so "improving" means
+    // Obj(c) < -eps in the canonical min form). We keep the convention
+    // that Obj holds -(reduced cost), improving columns have Obj < -eps.
+    size_t enter = allowed_cols;
+    double best = -kEps;
+    for (size_t c = 0; c < allowed_cols; ++c) {
+      const double rc = t.Obj(c);
+      if (rc < best) {
+        if (use_bland) {
+          enter = c;
+          break;
+        }
+        best = rc;
+        enter = c;
+      }
+    }
+    if (enter == allowed_cols) return LpStatus::kOptimal;
+
+    // Leaving variable: minimum ratio test.
+    size_t leave = m;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (size_t r = 0; r < m; ++r) {
+      const double coeff = t.At(r, enter);
+      if (coeff > kEps) {
+        const double ratio = t.Rhs(r) / coeff;
+        if (ratio < best_ratio - kEps ||
+            (ratio < best_ratio + kEps &&
+             (leave == m || basis[r] < basis[leave]))) {
+          best_ratio = ratio;
+          leave = r;
+        }
+      }
+    }
+    if (leave == m) return LpStatus::kUnbounded;
+
+    t.Pivot(leave, enter);
+    basis[leave] = enter;
+  }
+}
+
+}  // namespace
+
+LpResult SolveLp(const Vec& c, const std::vector<Halfspace>& constraints,
+                 int max_iterations) {
+  const size_t n = c.dim();
+  const size_t m = constraints.size();
+  LpResult result;
+
+  // Column layout: [x+ (n)] [x- (n)] [slack (m)] [artificial (m, lazily)].
+  // Equalities: sign_i * (A_i x+ - A_i x- + s_i) = sign_i * b_i with
+  // sign chosen so RHS >= 0; artificial added when sign flips the slack.
+  std::vector<int> sign(m, 1);
+  size_t num_artificial = 0;
+  std::vector<size_t> artificial_col(m, static_cast<size_t>(-1));
+  for (size_t i = 0; i < m; ++i) {
+    CHECK_EQ(constraints[i].dim(), n);
+    if (constraints[i].offset < 0.0) {
+      sign[i] = -1;
+      ++num_artificial;
+    }
+  }
+  const size_t slack0 = 2 * n;
+  const size_t art0 = slack0 + m;
+  const size_t total_cols = art0 + num_artificial;
+
+  SimplexTableau t(m, total_cols);
+  std::vector<size_t> basis(m);
+  size_t next_art = art0;
+  for (size_t i = 0; i < m; ++i) {
+    const Halfspace& h = constraints[i];
+    const double s = static_cast<double>(sign[i]);
+    for (size_t j = 0; j < n; ++j) {
+      t.At(i, j) = s * h.normal[j];
+      t.At(i, n + j) = -s * h.normal[j];
+    }
+    t.At(i, slack0 + i) = s;
+    t.Rhs(i) = s * h.offset;
+    if (sign[i] < 0) {
+      artificial_col[i] = next_art;
+      t.At(i, next_art) = 1.0;
+      basis[i] = next_art;
+      ++next_art;
+    } else {
+      basis[i] = slack0 + i;
+    }
+  }
+
+  // ---- Phase 1: minimize sum of artificials (maximize the negation). ----
+  if (num_artificial > 0) {
+    // Objective row: for each artificial column coefficient +1 in the
+    // minimized sum; in our "Obj stores -(reduced cost of maximization)"
+    // convention we maximize -sum(artificials): Obj(art) = +1 initially,
+    // then price out basic artificials.
+    for (size_t c = art0; c < total_cols; ++c) t.Obj(c) = 1.0;
+    for (size_t i = 0; i < m; ++i) {
+      if (basis[i] >= art0) {
+        // Subtract row i from objective row to zero the basic column.
+        for (size_t c = 0; c <= total_cols; ++c) {
+          if (c < total_cols) {
+            t.Obj(c) -= t.At(i, c);
+          }
+        }
+        t.ObjValue() -= t.Rhs(i);
+      }
+    }
+    const LpStatus phase1 =
+        RunSimplex(t, basis, total_cols, max_iterations);
+    if (phase1 == LpStatus::kIterationLimit) {
+      result.status = LpStatus::kIterationLimit;
+      return result;
+    }
+    // Infeasible if artificials cannot all reach zero.
+    const double artificial_sum = -t.ObjValue();
+    if (artificial_sum > 1e-7) {
+      result.status = LpStatus::kInfeasible;
+      return result;
+    }
+    // Drive any artificial still in the basis out (degenerate, RHS ~ 0).
+    for (size_t i = 0; i < m; ++i) {
+      if (basis[i] < art0) continue;
+      size_t enter = art0;
+      for (size_t c = 0; c < art0; ++c) {
+        if (std::fabs(t.At(i, c)) > 1e-7) {
+          enter = c;
+          break;
+        }
+      }
+      if (enter < art0) {
+        t.Pivot(i, enter);
+        basis[i] = enter;
+      }
+      // If the row is all zeros over structural columns it is a redundant
+      // equality; leaving the artificial basic at value 0 is harmless as
+      // long as phase 2 never lets it re-enter (enforced via allowed_cols).
+    }
+  }
+
+  // ---- Phase 2: install the real objective and re-optimize. ----
+  for (size_t c = 0; c <= total_cols; ++c) {
+    if (c < total_cols) t.Obj(c) = 0.0;
+  }
+  t.ObjValue() = 0.0;
+  for (size_t j = 0; j < n; ++j) {
+    t.Obj(j) = -c[j];     // maximize c.x -> reduced-cost row starts at -c
+    t.Obj(n + j) = c[j];  // x- contributes -c
+  }
+  // Price out basic variables.
+  for (size_t i = 0; i < m; ++i) {
+    const double coeff = t.Obj(basis[i]);
+    if (coeff == 0.0) continue;
+    for (size_t col = 0; col <= total_cols; ++col) {
+      if (col < total_cols) {
+        t.Obj(col) -= coeff * t.At(i, col);
+      }
+    }
+    t.ObjValue() -= coeff * t.Rhs(i);
+    t.Obj(basis[i]) = 0.0;
+  }
+
+  const LpStatus phase2 = RunSimplex(t, basis, art0, max_iterations);
+  if (phase2 != LpStatus::kOptimal) {
+    result.status = phase2;
+    return result;
+  }
+
+  Vec x(n);
+  for (size_t i = 0; i < m; ++i) {
+    if (basis[i] < n) {
+      x[basis[i]] += t.Rhs(i);
+    } else if (basis[i] < 2 * n) {
+      x[basis[i] - n] -= t.Rhs(i);
+    }
+  }
+  result.status = LpStatus::kOptimal;
+  result.x = std::move(x);
+  result.objective = Dot(c, result.x);
+  return result;
+}
+
+LpResult ChebyshevCenter(const std::vector<Halfspace>& constraints,
+                         size_t dim, double* radius_out) {
+  // Variables (x, r): maximize r s.t. a_i.x + ||a_i|| r <= b_i, r <= R_cap.
+  // The radius cap keeps the LP bounded for unbounded polytopes.
+  std::vector<Halfspace> lifted;
+  lifted.reserve(constraints.size() + 1);
+  for (const Halfspace& h : constraints) {
+    Vec normal(dim + 1);
+    for (size_t j = 0; j < dim; ++j) normal[j] = h.normal[j];
+    normal[dim] = h.normal.Norm();
+    lifted.emplace_back(std::move(normal), h.offset);
+  }
+  Vec cap(dim + 1);
+  cap[dim] = 1.0;
+  lifted.emplace_back(std::move(cap), 1e6);  // r <= 1e6
+
+  Vec c(dim + 1);
+  c[dim] = 1.0;
+  LpResult lifted_result = SolveLp(c, lifted);
+  LpResult result;
+  result.status = lifted_result.status;
+  if (!lifted_result.ok()) return result;
+
+  const double radius = lifted_result.x[dim];
+  if (radius_out != nullptr) *radius_out = radius;
+  Vec x(dim);
+  for (size_t j = 0; j < dim; ++j) x[j] = lifted_result.x[j];
+  result.x = std::move(x);
+  result.objective = radius;
+  if (radius < -1e-9) result.status = LpStatus::kInfeasible;
+  return result;
+}
+
+bool IsFeasible(const std::vector<Halfspace>& constraints, size_t dim) {
+  double radius = 0.0;
+  const LpResult r = ChebyshevCenter(constraints, dim, &radius);
+  return r.ok() && radius > -1e-9;
+}
+
+std::vector<size_t> IrredundantHalfspaces(
+    const std::vector<Halfspace>& constraints, size_t dim, double tol) {
+  (void)dim;
+  std::vector<size_t> kept;
+  const size_t m = constraints.size();
+  std::vector<bool> removed(m, false);
+  for (size_t i = 0; i < m; ++i) {
+    // Test constraint i against all others not yet removed.
+    std::vector<Halfspace> others;
+    others.reserve(m);
+    for (size_t j = 0; j < m; ++j) {
+      if (j != i && !removed[j]) others.push_back(constraints[j]);
+    }
+    if (others.empty()) continue;  // single constraint: trivially needed
+    // Bound the LP: maximizing a_i.x over an unbounded region would report
+    // kUnbounded, which also proves irredundancy.
+    const LpResult r = SolveLp(constraints[i].normal, others);
+    if (r.status == LpStatus::kOptimal &&
+        r.objective <= constraints[i].offset + tol) {
+      removed[i] = true;  // implied by the others
+    }
+  }
+  for (size_t i = 0; i < m; ++i) {
+    if (!removed[i]) kept.push_back(i);
+  }
+  return kept;
+}
+
+}  // namespace toprr

@@ -1,0 +1,61 @@
+// Dense two-phase simplex solver for small linear programs.
+//
+//   maximize    c . x
+//   subject to  A x <= b        (x free)
+//
+// This is the workhorse behind polytope feasibility tests, Chebyshev
+// centers (interior points for halfspace intersection), and redundant
+// halfspace elimination. Problems in this library are small (tens of
+// variables, at most a few thousand constraints), so a dense tableau with
+// Dantzig pricing and a Bland anti-cycling fallback is simple and adequate.
+#ifndef TOPRR_GEOM_LP_H_
+#define TOPRR_GEOM_LP_H_
+
+#include <vector>
+
+#include "geom/hyperplane.h"
+#include "geom/vec.h"
+
+namespace toprr {
+
+enum class LpStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+};
+
+struct LpResult {
+  LpStatus status = LpStatus::kInfeasible;
+  Vec x;                   // primal solution (valid when kOptimal)
+  double objective = 0.0;  // c . x at the solution
+
+  bool ok() const { return status == LpStatus::kOptimal; }
+};
+
+/// Solves max c.x s.t. constraints[i].normal . x <= constraints[i].offset.
+/// Variables are free (unbounded in sign).
+LpResult SolveLp(const Vec& c, const std::vector<Halfspace>& constraints,
+                 int max_iterations = 20000);
+
+/// Returns a strictly feasible point of the halfspace system, if one
+/// exists: the Chebyshev center (center of the largest inscribed ball).
+/// `radius_out`, if non-null, receives the inscribed-ball radius; a radius
+/// <= 0 means the system is feasible only in a degenerate (empty-interior)
+/// sense.
+LpResult ChebyshevCenter(const std::vector<Halfspace>& constraints,
+                         size_t dim, double* radius_out = nullptr);
+
+/// True if the halfspace system has any feasible point (within tolerance).
+bool IsFeasible(const std::vector<Halfspace>& constraints, size_t dim);
+
+/// Removes halfspaces that are implied by the others. A constraint i is
+/// redundant iff maximizing its normal over the remaining system cannot
+/// exceed offset_i (+tol). Returns the indices of retained (irredundant)
+/// halfspaces in the original ordering.
+std::vector<size_t> IrredundantHalfspaces(
+    const std::vector<Halfspace>& constraints, size_t dim, double tol = 1e-9);
+
+}  // namespace toprr
+
+#endif  // TOPRR_GEOM_LP_H_

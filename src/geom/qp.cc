@@ -1,0 +1,164 @@
+#include "geom/qp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "geom/linalg.h"
+#include "geom/lp.h"
+
+namespace toprr {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+// Solves the equality-constrained step for the active set W at point x:
+//   minimize 0.5 ||x + p - target||^2  s.t.  a_i . p = 0 for i in W.
+// With an identity Hessian: p = g - A^T lambda, A A^T lambda = A g,
+// where g = target - x. Returns false if the active-set Gram matrix is
+// singular (linearly dependent working set).
+bool SolveStep(const std::vector<Halfspace>& constraints,
+               const std::vector<size_t>& working, const Vec& x,
+               const Vec& target, Vec* step, Vec* lambda) {
+  const size_t d = x.dim();
+  const Vec g = target - x;
+  const size_t w = working.size();
+  if (w == 0) {
+    *step = g;
+    *lambda = Vec();
+    return true;
+  }
+  Matrix gram(w, w);
+  Vec rhs(w);
+  for (size_t i = 0; i < w; ++i) {
+    const Vec& ai = constraints[working[i]].normal;
+    for (size_t j = 0; j < w; ++j) {
+      gram.At(i, j) = Dot(ai, constraints[working[j]].normal);
+    }
+    rhs[i] = Dot(ai, g);
+  }
+  auto solved = SolveLinearSystem(std::move(gram), std::move(rhs));
+  if (!solved.has_value()) return false;
+  *lambda = std::move(*solved);
+  Vec p = g;
+  for (size_t i = 0; i < w; ++i) {
+    p -= (*lambda)[i] * constraints[working[i]].normal;
+  }
+  *step = std::move(p);
+  (void)d;
+  return true;
+}
+
+}  // namespace
+
+QpResult ProjectOntoPolytope(const Vec& target,
+                             const std::vector<Halfspace>& constraints,
+                             const Vec* start, int max_iterations) {
+  const size_t d = target.dim();
+  QpResult result;
+
+  Vec x;
+  if (start != nullptr) {
+    x = *start;
+  } else {
+    double radius = 0.0;
+    const LpResult center = ChebyshevCenter(constraints, d, &radius);
+    if (!center.ok() || radius < -kTol) {
+      result.status = QpStatus::kInfeasible;
+      return result;
+    }
+    x = center.x;
+  }
+  for (const Halfspace& h : constraints) {
+    CHECK_EQ(h.dim(), d);
+    if (h.Violation(x) > 1e-6) {
+      result.status = QpStatus::kInfeasible;
+      return result;
+    }
+  }
+
+  // Working set: indices of constraints treated as equalities.
+  std::vector<size_t> working;
+  for (size_t i = 0; i < constraints.size(); ++i) {
+    if (std::fabs(constraints[i].Violation(x)) <= kTol) {
+      // Only add if linearly independent of the current working set (lazy:
+      // SolveStep detects dependence and we drop then).
+      working.push_back(i);
+      if (working.size() >= d) break;
+    }
+  }
+
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    Vec step;
+    Vec lambda;
+    while (!SolveStep(constraints, working, x, target, &step, &lambda)) {
+      // Dependent working set: drop the most recently added constraint.
+      CHECK(!working.empty());
+      working.pop_back();
+    }
+
+    if (step.Norm() <= kTol) {
+      // Stationary on the working set; check multipliers for optimality.
+      if (working.empty()) {
+        result.status = QpStatus::kOptimal;
+        result.x = x;
+        result.objective = 0.5 * SquaredDistance(x, target);
+        return result;
+      }
+      size_t drop = working.size();
+      double most_negative = -kTol;
+      for (size_t i = 0; i < working.size(); ++i) {
+        if (lambda[i] < most_negative) {
+          most_negative = lambda[i];
+          drop = i;
+        }
+      }
+      if (drop == working.size()) {
+        result.status = QpStatus::kOptimal;
+        result.x = x;
+        result.objective = 0.5 * SquaredDistance(x, target);
+        return result;
+      }
+      working.erase(working.begin() + static_cast<long>(drop));
+      continue;
+    }
+
+    // Line search to the nearest blocking constraint.
+    double alpha = 1.0;
+    size_t blocking = constraints.size();
+    for (size_t i = 0; i < constraints.size(); ++i) {
+      if (std::find(working.begin(), working.end(), i) != working.end()) {
+        continue;
+      }
+      const double along = Dot(constraints[i].normal, step);
+      if (along > kTol) {
+        const double room =
+            constraints[i].offset - Dot(constraints[i].normal, x);
+        const double limit = std::max(0.0, room) / along;
+        if (limit < alpha) {
+          alpha = limit;
+          blocking = i;
+        }
+      }
+    }
+    x += alpha * step;
+    if (blocking < constraints.size()) {
+      working.push_back(blocking);
+    }
+  }
+
+  LOG(WARNING) << "QP hit the iteration limit";
+  result.status = QpStatus::kIterationLimit;
+  result.x = x;
+  result.objective = 0.5 * SquaredDistance(x, target);
+  return result;
+}
+
+QpResult MinimumQuadraticCostPoint(const std::vector<Halfspace>& constraints,
+                                   size_t dim) {
+  return ProjectOntoPolytope(Vec(dim, 0.0), constraints);
+}
+
+}  // namespace toprr

@@ -1,0 +1,50 @@
+// Convex quadratic programming for cost-optimal option placement:
+//
+//   minimize   0.5 ||x - target||^2
+//   subject to A x <= b
+//
+// The paper derives the cost-optimal new option / minimum-modification
+// enhanced option by quadratic programming over the (convex polytope) TopRR
+// result region oR [Sec. 1, Sec. 6.2]. With a Euclidean objective this is a
+// projection onto a polytope; we solve it with a primal active-set method
+// (Nocedal & Wright Ch. 16 specialization for identity Hessian).
+#ifndef TOPRR_GEOM_QP_H_
+#define TOPRR_GEOM_QP_H_
+
+#include <vector>
+
+#include "geom/hyperplane.h"
+#include "geom/vec.h"
+
+namespace toprr {
+
+enum class QpStatus {
+  kOptimal,
+  kInfeasible,
+  kIterationLimit,
+};
+
+struct QpResult {
+  QpStatus status = QpStatus::kInfeasible;
+  Vec x;                   // the projection (valid when kOptimal)
+  double objective = 0.0;  // 0.5 * ||x - target||^2
+
+  bool ok() const { return status == QpStatus::kOptimal; }
+};
+
+/// Projects `target` onto the polytope {x : constraints hold}, i.e. finds
+/// the feasible point closest (Euclidean) to `target`. A feasible starting
+/// point is obtained via the Chebyshev center when `start` is null.
+QpResult ProjectOntoPolytope(const Vec& target,
+                             const std::vector<Halfspace>& constraints,
+                             const Vec* start = nullptr,
+                             int max_iterations = 1000);
+
+/// Cost-optimal creation under quadratic manufacturing cost sum_j x_j^2:
+/// equivalent to projecting the origin onto the polytope.
+QpResult MinimumQuadraticCostPoint(const std::vector<Halfspace>& constraints,
+                                   size_t dim);
+
+}  // namespace toprr
+
+#endif  // TOPRR_GEOM_QP_H_

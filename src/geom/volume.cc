@@ -1,0 +1,44 @@
+#include "geom/volume.h"
+
+#include "common/check.h"
+#include "geom/convex_hull.h"
+#include "geom/halfspace_intersection.h"
+
+namespace toprr {
+
+double PolytopeVolume(const std::vector<Halfspace>& halfspaces, size_t dim) {
+  auto enumeration = IntersectHalfspaces(halfspaces, dim);
+  if (!enumeration.has_value() || enumeration->unbounded) return 0.0;
+  if (enumeration->vertices.size() < dim + 1) return 0.0;
+  return ConvexHullVolume(enumeration->vertices);
+}
+
+double EstimatePolytopeVolume(const std::vector<Halfspace>& halfspaces,
+                              const Vec& lo, const Vec& hi, size_t samples,
+                              Rng& rng) {
+  CHECK_EQ(lo.dim(), hi.dim());
+  CHECK_GT(samples, 0u);
+  const size_t d = lo.dim();
+  double box_volume = 1.0;
+  for (size_t j = 0; j < d; ++j) {
+    CHECK_GE(hi[j], lo[j]);
+    box_volume *= hi[j] - lo[j];
+  }
+  size_t inside = 0;
+  Vec x(d);
+  for (size_t s = 0; s < samples; ++s) {
+    for (size_t j = 0; j < d; ++j) x[j] = rng.Uniform(lo[j], hi[j]);
+    bool ok = true;
+    for (const Halfspace& h : halfspaces) {
+      if (!h.Contains(x, 0.0)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) ++inside;
+  }
+  return box_volume * static_cast<double>(inside) /
+         static_cast<double>(samples);
+}
+
+}  // namespace toprr

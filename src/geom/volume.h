@@ -1,0 +1,30 @@
+// Polytope volume utilities: exact volume via vertex enumeration + hull
+// triangulation (low dimension), and Monte-Carlo estimation within a
+// bounding box (any dimension). Used by the market-analysis example and
+// for sensitivity-style region measurements (cf. Zhang et al. [54], who
+// use preference-region volume as a sensitivity measure).
+#ifndef TOPRR_GEOM_VOLUME_H_
+#define TOPRR_GEOM_VOLUME_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "geom/hyperplane.h"
+#include "geom/vec.h"
+
+namespace toprr {
+
+/// Exact volume of the (bounded) intersection of halfspaces, computed by
+/// enumerating vertices and triangulating their hull. Returns 0 when the
+/// intersection is empty, lower-dimensional, or enumeration fails.
+double PolytopeVolume(const std::vector<Halfspace>& halfspaces, size_t dim);
+
+/// Monte-Carlo volume of {x in [lo,hi] : halfspaces hold}: fraction of
+/// `samples` uniform box draws inside, times the box volume.
+double EstimatePolytopeVolume(const std::vector<Halfspace>& halfspaces,
+                              const Vec& lo, const Vec& hi, size_t samples,
+                              Rng& rng);
+
+}  // namespace toprr
+
+#endif  // TOPRR_GEOM_VOLUME_H_

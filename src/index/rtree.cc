@@ -1,0 +1,218 @@
+#include "index/rtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "common/check.h"
+
+namespace toprr {
+namespace {
+
+// Recursive STR tiling: sorts `ids` so that consecutive runs of
+// `leaf_capacity` points form spatially coherent leaves.
+void StrTile(const Dataset& data, std::vector<int32_t>& ids, size_t begin,
+             size_t end, size_t axis, size_t leaf_capacity) {
+  const size_t d = data.dim();
+  const size_t count = end - begin;
+  if (count <= leaf_capacity) return;
+  std::sort(ids.begin() + begin, ids.begin() + end,
+            [&](int32_t a, int32_t b) {
+              return data.At(a, axis) < data.At(b, axis);
+            });
+  if (axis + 1 >= d) return;
+  const double leaves =
+      std::ceil(static_cast<double>(count) / leaf_capacity);
+  const double remaining_dims = static_cast<double>(d - axis);
+  const size_t slabs = std::max<size_t>(
+      1, static_cast<size_t>(std::ceil(std::pow(leaves, 1.0 / remaining_dims))));
+  const size_t slab_size = (count + slabs - 1) / slabs;
+  for (size_t s = begin; s < end; s += slab_size) {
+    StrTile(data, ids, s, std::min(end, s + slab_size), axis + 1,
+            leaf_capacity);
+  }
+}
+
+struct HeapEntry {
+  double priority;
+  int32_t id;       // node id or point id
+  bool is_point;
+
+  bool operator<(const HeapEntry& other) const {
+    if (priority != other.priority) return priority < other.priority;
+    // Deterministic order on ties: points before nodes, then smaller id.
+    if (is_point != other.is_point) return !is_point;
+    return id > other.id;
+  }
+};
+
+// True if option `dominator` dominates `dominated` (componentwise >= with
+// at least one strict >).
+bool Dominates(const double* dominator, const double* dominated, size_t d) {
+  bool strict = false;
+  for (size_t j = 0; j < d; ++j) {
+    if (dominator[j] < dominated[j]) return false;
+    if (dominator[j] > dominated[j]) strict = true;
+  }
+  return strict;
+}
+
+// True if option `p` dominates every point of the box with upper corner
+// `hi` (componentwise p >= hi).
+bool DominatesBox(const double* p, const Vec& hi, size_t d) {
+  for (size_t j = 0; j < d; ++j) {
+    if (p[j] < hi[j]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+RTree RTree::BulkLoad(const Dataset& data, const Options& options) {
+  CHECK_GE(options.leaf_capacity, 2u);
+  CHECK_GE(options.fanout, 2u);
+  RTree tree;
+  tree.num_points_ = data.size();
+  tree.dim_ = data.dim();
+  const size_t n = data.size();
+  const size_t d = data.dim();
+  CHECK_GT(n, 0u);
+
+  std::vector<int32_t> ids(n);
+  for (size_t i = 0; i < n; ++i) ids[i] = static_cast<int32_t>(i);
+  StrTile(data, ids, 0, n, 0, options.leaf_capacity);
+
+  // Build leaves over consecutive runs.
+  std::vector<int32_t> level;
+  for (size_t begin = 0; begin < n; begin += options.leaf_capacity) {
+    const size_t end = std::min(n, begin + options.leaf_capacity);
+    Node leaf;
+    leaf.is_leaf = true;
+    leaf.lo = Vec(d, std::numeric_limits<double>::infinity());
+    leaf.hi = Vec(d, -std::numeric_limits<double>::infinity());
+    for (size_t i = begin; i < end; ++i) {
+      leaf.children.push_back(ids[i]);
+      const double* p = data.Row(ids[i]);
+      for (size_t j = 0; j < d; ++j) {
+        leaf.lo[j] = std::min(leaf.lo[j], p[j]);
+        leaf.hi[j] = std::max(leaf.hi[j], p[j]);
+      }
+    }
+    level.push_back(static_cast<int32_t>(tree.nodes_.size()));
+    tree.nodes_.push_back(std::move(leaf));
+  }
+
+  // Pack upper levels by consecutive grouping (children are already in
+  // STR order, so consecutive groups are spatially coherent).
+  while (level.size() > 1) {
+    std::vector<int32_t> next;
+    for (size_t begin = 0; begin < level.size(); begin += options.fanout) {
+      const size_t end = std::min(level.size(), begin + options.fanout);
+      Node inner;
+      inner.is_leaf = false;
+      inner.lo = Vec(d, std::numeric_limits<double>::infinity());
+      inner.hi = Vec(d, -std::numeric_limits<double>::infinity());
+      for (size_t i = begin; i < end; ++i) {
+        inner.children.push_back(level[i]);
+        const Node& child = tree.nodes_[level[i]];
+        for (size_t j = 0; j < d; ++j) {
+          inner.lo[j] = std::min(inner.lo[j], child.lo[j]);
+          inner.hi[j] = std::max(inner.hi[j], child.hi[j]);
+        }
+      }
+      next.push_back(static_cast<int32_t>(tree.nodes_.size()));
+      tree.nodes_.push_back(std::move(inner));
+    }
+    level = std::move(next);
+  }
+  tree.root_ = level[0];
+  return tree;
+}
+
+std::vector<int> RTreeTopK(const Dataset& data, const RTree& tree,
+                           const Vec& w, int k) {
+  CHECK_EQ(w.dim(), data.dim());
+  CHECK_GT(k, 0);
+  for (size_t j = 0; j < w.dim(); ++j) {
+    DCHECK_GE(w[j], -1e-12) << "branch-and-bound bound needs w >= 0";
+  }
+  std::priority_queue<HeapEntry> heap;
+  const auto node_bound = [&](const RTree::Node& node) {
+    return Dot(w, node.hi);
+  };
+  heap.push({node_bound(tree.node(tree.root())), tree.root(), false});
+  std::vector<int> result;
+  while (!heap.empty() && result.size() < static_cast<size_t>(k)) {
+    const HeapEntry top = heap.top();
+    heap.pop();
+    if (top.is_point) {
+      result.push_back(top.id);
+      continue;
+    }
+    const RTree::Node& node = tree.node(top.id);
+    if (node.is_leaf) {
+      for (int32_t pid : node.children) {
+        heap.push({data.Score(pid, w), pid, true});
+      }
+    } else {
+      for (int32_t cid : node.children) {
+        heap.push({node_bound(tree.node(cid)), cid, false});
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<int> BbsKSkyband(const Dataset& data, const RTree& tree, int k) {
+  CHECK_GT(k, 0);
+  const size_t d = data.dim();
+  std::priority_queue<HeapEntry> heap;
+  const auto corner_sum = [&](const Vec& hi) { return hi.Sum(); };
+  heap.push({corner_sum(tree.node(tree.root()).hi), tree.root(), false});
+  std::vector<int> skyband;
+
+  // Counts how many current skyband members dominate the given target:
+  // a point, or a box upper corner (every-point-in-box dominance).
+  const auto dominated_at_least_k = [&](const double* point,
+                                        const Vec* box_hi) {
+    int count = 0;
+    for (int sid : skyband) {
+      const double* s = data.Row(sid);
+      const bool dominates =
+          box_hi != nullptr ? DominatesBox(s, *box_hi, d)
+                            : Dominates(s, point, d);
+      if (dominates && ++count >= k) return true;
+    }
+    return false;
+  };
+
+  while (!heap.empty()) {
+    const HeapEntry top = heap.top();
+    heap.pop();
+    if (top.is_point) {
+      if (!dominated_at_least_k(data.Row(top.id), nullptr)) {
+        skyband.push_back(top.id);
+      }
+      continue;
+    }
+    const RTree::Node& node = tree.node(top.id);
+    if (dominated_at_least_k(nullptr, &node.hi)) continue;
+    if (node.is_leaf) {
+      for (int32_t pid : node.children) {
+        const double* p = data.Row(pid);
+        double point_sum = 0.0;
+        for (size_t j = 0; j < d; ++j) point_sum += p[j];
+        heap.push({point_sum, pid, true});
+      }
+    } else {
+      for (int32_t cid : node.children) {
+        heap.push({corner_sum(tree.node(cid).hi), cid, false});
+      }
+    }
+  }
+  std::sort(skyband.begin(), skyband.end());
+  return skyband;
+}
+
+}  // namespace toprr

@@ -1,0 +1,68 @@
+// An STR (Sort-Tile-Recursive) bulk-loaded R-tree over option points.
+//
+// This is the spatial access method behind the branch-and-bound algorithms
+// the paper builds on: BBS skyline / k-skyband computation (Papadias et
+// al. [34]) and branch-and-bound ranked (top-k) queries (Tao et al. [42]).
+#ifndef TOPRR_INDEX_RTREE_H_
+#define TOPRR_INDEX_RTREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "geom/vec.h"
+
+namespace toprr {
+
+/// A static, bulk-loaded R-tree over the points of a Dataset.
+class RTree {
+ public:
+  struct Options {
+    size_t leaf_capacity = 64;
+    size_t fanout = 16;
+  };
+
+  struct Node {
+    Vec lo;                        // MBR lower corner
+    Vec hi;                        // MBR upper corner
+    bool is_leaf = false;
+    std::vector<int32_t> children;  // point ids (leaf) or node ids (inner)
+  };
+
+  /// Builds the tree with the STR packing algorithm. The dataset must
+  /// outlive the tree (points are referenced by id, not copied).
+  static RTree BulkLoad(const Dataset& data, const Options& options);
+  static RTree BulkLoad(const Dataset& data) {
+    return BulkLoad(data, Options());
+  }
+
+  int root() const { return root_; }
+  const Node& node(int id) const {
+    DCHECK_GE(id, 0);
+    DCHECK_LT(static_cast<size_t>(id), nodes_.size());
+    return nodes_[id];
+  }
+  size_t num_nodes() const { return nodes_.size(); }
+  size_t size() const { return num_points_; }
+  size_t dim() const { return dim_; }
+
+ private:
+  std::vector<Node> nodes_;
+  int root_ = -1;
+  size_t num_points_ = 0;
+  size_t dim_ = 0;
+};
+
+/// Best-first branch-and-bound top-k under a full weight vector w >= 0
+/// (Tao et al. [42]). Returns the k point ids ordered by score descending,
+/// ties by id ascending.
+std::vector<int> RTreeTopK(const Dataset& data, const RTree& tree,
+                           const Vec& w, int k);
+
+/// BBS k-skyband (Papadias et al. [34]): ids of options dominated by fewer
+/// than k others. k = 1 yields the skyline.
+std::vector<int> BbsKSkyband(const Dataset& data, const RTree& tree, int k);
+
+}  // namespace toprr
+
+#endif  // TOPRR_INDEX_RTREE_H_

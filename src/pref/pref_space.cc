@@ -1,0 +1,202 @@
+#include "pref/pref_space.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/logging.h"
+
+namespace toprr {
+
+Vec FullWeight(const Vec& x) {
+  const size_t m = x.dim();
+  Vec w(m + 1);
+  double sum = 0.0;
+  for (size_t j = 0; j < m; ++j) {
+    w[j] = x[j];
+    sum += x[j];
+  }
+  w[m] = 1.0 - sum;
+  return w;
+}
+
+Vec ReducedWeight(const Vec& w) {
+  const size_t d = w.dim();
+  CHECK_GE(d, 2u);
+  Vec x(d - 1);
+  for (size_t j = 0; j + 1 < d; ++j) x[j] = w[j];
+  return x;
+}
+
+double ReducedScore(const double* p, const Vec& x) {
+  const size_t m = x.dim();
+  double acc = p[m];
+  for (size_t j = 0; j < m; ++j) acc += x[j] * (p[j] - p[m]);
+  return acc;
+}
+
+double ReducedScoreDiff(const double* p, const double* q, const Vec& x) {
+  const size_t m = x.dim();
+  double acc = p[m] - q[m];
+  for (size_t j = 0; j < m; ++j) {
+    acc += x[j] * ((p[j] - p[m]) - (q[j] - q[m]));
+  }
+  return acc;
+}
+
+Hyperplane ScoreEqualityHyperplane(const double* p, const double* q,
+                                   size_t dim) {
+  // S_x(p) - S_x(q) = c + n.x with
+  //   n[j] = (p[j] - p[m]) - (q[j] - q[m]),   c = p[m] - q[m].
+  // wHP(p, q): n.x = -c.
+  const size_t m = dim;
+  Vec n(m);
+  for (size_t j = 0; j < m; ++j) {
+    n[j] = (p[j] - p[m]) - (q[j] - q[m]);
+  }
+  return Hyperplane(std::move(n), q[m] - p[m]);
+}
+
+Halfspace ScorePreferenceHalfspace(const double* p, const double* q,
+                                   size_t dim) {
+  // S_x(p) >= S_x(q)  <=>  n.x >= -c  <=>  (-n).x <= c.
+  const size_t m = dim;
+  Vec neg(m);
+  for (size_t j = 0; j < m; ++j) {
+    neg[j] = -((p[j] - p[m]) - (q[j] - q[m]));
+  }
+  return Halfspace(std::move(neg), p[m] - q[m]);
+}
+
+bool PrefBox::Contains(const Vec& x, double tol) const {
+  DCHECK_EQ(x.dim(), dim());
+  for (size_t j = 0; j < dim(); ++j) {
+    if (x[j] < lo[j] - tol || x[j] > hi[j] + tol) return false;
+  }
+  return true;
+}
+
+std::vector<Vec> PrefBox::Vertices() const {
+  const size_t m = dim();
+  CHECK_LE(m, 24u) << "too many box corners";
+  std::vector<Vec> out;
+  out.reserve(size_t{1} << m);
+  for (uint64_t mask = 0; mask < (uint64_t{1} << m); ++mask) {
+    Vec v(m);
+    for (size_t j = 0; j < m; ++j) {
+      v[j] = ((mask >> j) & 1) ? hi[j] : lo[j];
+    }
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+std::vector<Halfspace> PrefBox::Halfspaces() const {
+  return BoxHalfspaces(lo, hi);
+}
+
+bool PrefBox::InsideSimplex(double tol) const {
+  for (size_t j = 0; j < dim(); ++j) {
+    if (lo[j] < -tol) return false;
+  }
+  return hi.Sum() <= 1.0 + tol;
+}
+
+Vec PrefBox::Center() const {
+  Vec c(dim());
+  for (size_t j = 0; j < dim(); ++j) c[j] = 0.5 * (lo[j] + hi[j]);
+  return c;
+}
+
+double MinScoreDiffOverBox(const double* p, const double* q,
+                           const PrefBox& box) {
+  const size_t m = box.dim();
+  double acc = p[m] - q[m];
+  for (size_t j = 0; j < m; ++j) {
+    const double coeff = (p[j] - p[m]) - (q[j] - q[m]);
+    acc += coeff * (coeff >= 0.0 ? box.lo[j] : box.hi[j]);
+  }
+  return acc;
+}
+
+double MaxScoreDiffOverBox(const double* p, const double* q,
+                           const PrefBox& box) {
+  const size_t m = box.dim();
+  double acc = p[m] - q[m];
+  for (size_t j = 0; j < m; ++j) {
+    const double coeff = (p[j] - p[m]) - (q[j] - q[m]);
+    acc += coeff * (coeff >= 0.0 ? box.hi[j] : box.lo[j]);
+  }
+  return acc;
+}
+
+namespace {
+
+PrefBox MakeBox(const Vec& lo, const Vec& sides) {
+  PrefBox box;
+  const size_t m = lo.dim();
+  box.lo = lo;
+  box.hi = Vec(m);
+  for (size_t j = 0; j < m; ++j) box.hi[j] = lo[j] + sides[j];
+  return box;
+}
+
+PrefBox RandomBoxWithSides(size_t dim, Vec sides, Rng& rng) {
+  const size_t m = dim;
+  double side_sum = sides.Sum();
+  if (side_sum >= 1.0) {
+    // A cube with these sides cannot fit inside the simplex; shrink it.
+    const double shrink = 0.9 / side_sum;
+    LOG(WARNING) << "preference box of total side " << side_sum
+                 << " cannot fit in the simplex; shrinking by " << shrink;
+    sides *= shrink;
+    side_sum = sides.Sum();
+  }
+  for (int attempt = 0; attempt < 4096; ++attempt) {
+    Vec lo(m);
+    double hi_sum = 0.0;
+    bool valid = true;
+    for (size_t j = 0; j < m; ++j) {
+      if (sides[j] >= 1.0) {
+        valid = false;
+        break;
+      }
+      lo[j] = rng.Uniform(0.0, 1.0 - sides[j]);
+      hi_sum += lo[j] + sides[j];
+    }
+    if (valid && hi_sum <= 1.0) return MakeBox(lo, sides);
+  }
+  // Rejection failed (large boxes in high dimension): place the box near
+  // the origin with simplex-respecting random offsets.
+  Vec lo(m);
+  const double slack = 1.0 - side_sum;
+  double remaining = slack * rng.Uniform(0.0, 1.0);
+  for (size_t j = 0; j < m; ++j) {
+    const double take = remaining * rng.Uniform(0.0, 1.0);
+    lo[j] = take;
+    remaining -= take;
+  }
+  return MakeBox(lo, sides);
+}
+
+}  // namespace
+
+PrefBox RandomPrefBox(size_t dim, double sigma, Rng& rng) {
+  CHECK_GT(sigma, 0.0);
+  CHECK_LT(sigma, 1.0);
+  return RandomBoxWithSides(dim, Vec(dim, sigma), rng);
+}
+
+PrefBox RandomElongatedPrefBox(size_t dim, double sigma, double gamma,
+                               Rng& rng) {
+  CHECK_GT(gamma, 0.0);
+  const double md = static_cast<double>(dim);
+  // One side gamma*s, the rest s, equal volume: gamma * s^dim = sigma^dim.
+  const double s = sigma / std::pow(gamma, 1.0 / md);
+  Vec sides(dim, s);
+  const size_t axis = static_cast<size_t>(rng.UniformInt(0, dim - 1));
+  sides[axis] = gamma * s;
+  return RandomBoxWithSides(dim, std::move(sides), rng);
+}
+
+}  // namespace toprr

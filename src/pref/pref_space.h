@@ -1,0 +1,90 @@
+// The continuous preference space W (paper Sec. 3.1).
+//
+// A weight vector w has d non-negative components summing to 1; the last
+// component is implied, so W is the (d-1)-dimensional simplex
+// { x >= 0, sum(x) <= 1 } in "reduced coordinates" x = (w[0..d-2]).
+//
+// Scores in reduced coordinates:
+//   S_x(p) = p[m] + sum_j x[j] * (p[j] - p[m])        with m = d-1,
+// so score comparisons between two options become hyperplanes in W --
+// the wHP(p_i, p_j) objects at the heart of the paper's algorithms.
+#ifndef TOPRR_PREF_PREF_SPACE_H_
+#define TOPRR_PREF_PREF_SPACE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "geom/hyperplane.h"
+#include "geom/vec.h"
+
+namespace toprr {
+
+/// Lifts reduced coordinates x (dim d-1) to the full weight vector (dim d).
+Vec FullWeight(const Vec& x);
+
+/// Drops the last (implied) weight: w (dim d) -> x (dim d-1).
+Vec ReducedWeight(const Vec& w);
+
+/// Score of option p (d contiguous doubles) at reduced weights x (dim d-1).
+double ReducedScore(const double* p, const Vec& x);
+
+/// S_x(p) - S_x(q) for options p, q of dimension x.dim()+1.
+double ReducedScoreDiff(const double* p, const double* q, const Vec& x);
+
+/// The hyperplane wHP(p, q) = { x : S_x(p) = S_x(q) } in reduced
+/// coordinates. Options are given as raw rows of dimension dim+1.
+Hyperplane ScoreEqualityHyperplane(const double* p, const double* q,
+                                   size_t dim);
+
+/// The halfspace wH(p, q) = { x : S_x(p) >= S_x(q) } in a.x <= b form.
+Halfspace ScorePreferenceHalfspace(const double* p, const double* q,
+                                   size_t dim);
+
+/// An axis-aligned preference box [lo, hi] in reduced coordinates -- the
+/// hyper-rectangular wR used throughout the paper's evaluation.
+struct PrefBox {
+  Vec lo;
+  Vec hi;
+
+  size_t dim() const { return lo.dim(); }
+
+  /// True if x is inside (with tolerance).
+  bool Contains(const Vec& x, double tol = 1e-12) const;
+
+  /// All 2^dim corner vertices. CHECK-fails for dim > 24.
+  std::vector<Vec> Vertices() const;
+
+  /// The 2*dim bounding halfspaces.
+  std::vector<Halfspace> Halfspaces() const;
+
+  /// True if every corner is a valid preference (x >= 0, sum(x) <= 1).
+  bool InsideSimplex(double tol = 1e-12) const;
+
+  /// Center point.
+  Vec Center() const;
+};
+
+/// Closed-form minimum of S_x(p) - S_x(q) over a preference box (used by
+/// the r-dominance test of the r-skyband filter; see topk/rskyband.h).
+double MinScoreDiffOverBox(const double* p, const double* q,
+                           const PrefBox& box);
+
+/// Maximum counterpart.
+double MaxScoreDiffOverBox(const double* p, const double* q,
+                           const PrefBox& box);
+
+/// Generates a random hyper-cubic wR with side `sigma` (fraction of the
+/// unit axis, e.g. 0.01 for the paper's 1%), fully inside the preference
+/// simplex. When the cube cannot fit (sigma * (d-1) near 1), the side is
+/// shrunk to fit and a warning is logged.
+PrefBox RandomPrefBox(size_t dim, double sigma, Rng& rng);
+
+/// Table-7 variant: one random side has length gamma * s and the others s,
+/// with s chosen so the box volume equals sigma^dim.
+PrefBox RandomElongatedPrefBox(size_t dim, double sigma, double gamma,
+                               Rng& rng);
+
+}  // namespace toprr
+
+#endif  // TOPRR_PREF_PREF_SPACE_H_

@@ -1,0 +1,75 @@
+// The facet-based convex polytope representation of preference regions
+// (paper Sec. 4.2.2).
+//
+// A region stores its defining vertices explicitly (supporting the vertex
+// tests of Lemma 3 / 5 / 7) and its bounding facets, each a halfspace
+// augmented with the ids of incident vertices (supporting exact splits
+// without convex-hull recomputation, unlike the vertex-based model, and
+// without redundant halfspaces, unlike the halfspace-based model).
+#ifndef TOPRR_PREF_REGION_H_
+#define TOPRR_PREF_REGION_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "geom/hyperplane.h"
+#include "geom/vec.h"
+#include "pref/pref_space.h"
+
+namespace toprr {
+
+/// A bounding facet: the halfspace (region side included) plus incident
+/// vertex ids.
+struct RegionFacet {
+  Halfspace halfspace;
+  std::vector<int> vertex_ids;
+};
+
+struct PrefRegionSplit;
+
+/// A convex polytope in reduced preference coordinates (dimension m >= 1).
+class PrefRegion {
+ public:
+  PrefRegion() = default;
+
+  /// Builds the region for an axis-aligned preference box.
+  static PrefRegion FromBox(const PrefBox& box);
+
+  /// Builds a region from explicit vertices and facets (used in tests).
+  static PrefRegion FromVerticesAndFacets(std::vector<Vec> vertices,
+                                          std::vector<RegionFacet> facets);
+
+  size_t dim() const { return vertices_.empty() ? 0 : vertices_[0].dim(); }
+  const std::vector<Vec>& vertices() const { return vertices_; }
+  const std::vector<RegionFacet>& facets() const { return facets_; }
+  bool empty() const { return vertices_.empty(); }
+
+  /// Mean of the defining vertices (inside the region by convexity).
+  Vec Centroid() const;
+
+  /// True if x satisfies all facet halfspaces within tol.
+  bool Contains(const Vec& x, double tol = 1e-9) const;
+
+  /// Splits the region by `plane` following the paper's three-case facet
+  /// distribution. Vertices within eps of the plane join both children.
+  PrefRegionSplit Split(const Hyperplane& plane, double eps = 1e-10) const;
+
+  std::string DebugString() const;
+
+ private:
+  std::vector<Vec> vertices_;
+  std::vector<RegionFacet> facets_;
+};
+
+/// The outcome of splitting by a hyperplane: the sub-region on the
+/// negative side (normal.x <= offset) and on the positive side. Either
+/// may be absent when the hyperplane does not actually cut the region.
+struct PrefRegionSplit {
+  std::optional<PrefRegion> below;
+  std::optional<PrefRegion> above;
+};
+
+}  // namespace toprr
+
+#endif  // TOPRR_PREF_REGION_H_

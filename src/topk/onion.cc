@@ -1,0 +1,44 @@
+#include "topk/onion.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "geom/convex_hull.h"
+
+namespace toprr {
+
+std::vector<int> OnionLayers(const Dataset& data, int k) {
+  CHECK_GT(k, 0);
+  const size_t d = data.dim();
+  std::vector<int> remaining(data.size());
+  for (size_t i = 0; i < data.size(); ++i) remaining[i] = static_cast<int>(i);
+
+  std::vector<int> result;
+  for (int layer = 0; layer < k && !remaining.empty(); ++layer) {
+    std::vector<Vec> points;
+    points.reserve(remaining.size());
+    for (int id : remaining) points.push_back(data.Option(id));
+    auto hull = ComputeConvexHull(points);
+    if (!hull.has_value()) {
+      // Degenerate residual: everything left forms the last layer.
+      result.insert(result.end(), remaining.begin(), remaining.end());
+      remaining.clear();
+      break;
+    }
+    std::vector<bool> on_hull(remaining.size(), false);
+    for (int local : hull->vertex_indices) on_hull[local] = true;
+    std::vector<int> next;
+    for (size_t i = 0; i < remaining.size(); ++i) {
+      if (on_hull[i]) {
+        result.push_back(remaining[i]);
+      } else {
+        next.push_back(remaining[i]);
+      }
+    }
+    remaining = std::move(next);
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+}  // namespace toprr

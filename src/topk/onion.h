@@ -1,0 +1,24 @@
+// k-onion layers (Chang et al., "The Onion Technique", SIGMOD 2000) --
+// the second fast-filtering alternative of paper Sec. 6.3 / Fig. 8.
+//
+// Layer 1 is the convex hull of D; layer i+1 is the hull of what remains.
+// The union of the first k layers contains the top-k result of every
+// linear scoring function, hence is a valid filter superset.
+#ifndef TOPRR_TOPK_ONION_H_
+#define TOPRR_TOPK_ONION_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace toprr {
+
+/// Returns the ids of options in the first k onion (convex hull) layers,
+/// sorted ascending. When a residual layer turns degenerate (fewer than
+/// d+1 affinely independent points), all remaining points join the final
+/// layer, which keeps the result a valid superset.
+std::vector<int> OnionLayers(const Dataset& data, int k);
+
+}  // namespace toprr
+
+#endif  // TOPRR_TOPK_ONION_H_

@@ -1,0 +1,59 @@
+#include "topk/skyband.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace toprr {
+
+bool Dominates(const Dataset& data, int a, int b) {
+  const size_t d = data.dim();
+  const double* pa = data.Row(a);
+  const double* pb = data.Row(b);
+  bool strict = false;
+  for (size_t j = 0; j < d; ++j) {
+    if (pa[j] < pb[j]) return false;
+    if (pa[j] > pb[j]) strict = true;
+  }
+  return strict;
+}
+
+std::vector<int> SortBasedKSkyband(const Dataset& data, int k) {
+  CHECK_GT(k, 0);
+  const size_t n = data.size();
+  const size_t d = data.dim();
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> sums(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double* p = data.Row(i);
+    double s = 0.0;
+    for (size_t j = 0; j < d; ++j) s += p[j];
+    sums[i] = s;
+  }
+  // Decreasing attribute sum: any dominator of p precedes p (a dominator
+  // has componentwise >= values, hence a >= sum; exact ties with equal sum
+  // imply equal points, which do not dominate).
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    if (sums[a] != sums[b]) return sums[a] > sums[b];
+    return a < b;
+  });
+
+  std::vector<int> skyband;
+  for (int id : order) {
+    int dominators = 0;
+    bool keep = true;
+    for (int s : skyband) {
+      if (Dominates(data, s, id) && ++dominators >= k) {
+        keep = false;
+        break;
+      }
+    }
+    if (keep) skyband.push_back(id);
+  }
+  std::sort(skyband.begin(), skyband.end());
+  return skyband;
+}
+
+}  // namespace toprr

@@ -1,0 +1,29 @@
+// k-skyband computation (Sec. 2.3 / 6.3 of the paper).
+//
+// The k-skyband is the set of options dominated by fewer than k others; it
+// is a superset of the top-k result of every possible weight vector, and
+// the first of the four fast-filtering alternatives compared in Fig. 8.
+//
+// Two implementations are provided: a sort-based scan (fast in practice,
+// no index needed) and index-based BBS (see index/rtree.h). They return
+// identical sets; tests verify this.
+#ifndef TOPRR_TOPK_SKYBAND_H_
+#define TOPRR_TOPK_SKYBAND_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace toprr {
+
+/// True if option a dominates option b (componentwise >=, one strict).
+bool Dominates(const Dataset& data, int a, int b);
+
+/// Sort-based k-skyband: scans options in decreasing attribute-sum order,
+/// counting dominators among already-accepted skyband members (sufficient
+/// by transitivity). Returns ids sorted ascending.
+std::vector<int> SortBasedKSkyband(const Dataset& data, int k);
+
+}  // namespace toprr
+
+#endif  // TOPRR_TOPK_SKYBAND_H_

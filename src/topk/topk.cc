@@ -1,0 +1,74 @@
+#include "topk/topk.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "pref/pref_space.h"
+
+namespace toprr {
+namespace {
+
+// Score-descending, id-ascending comparator.
+bool Better(const ScoredOption& a, const ScoredOption& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.id < b.id;
+}
+
+TopkResult SelectTopK(std::vector<ScoredOption> scored, int k) {
+  const size_t kk = std::min<size_t>(k, scored.size());
+  std::partial_sort(scored.begin(), scored.begin() + kk, scored.end(),
+                    Better);
+  scored.resize(kk);
+  TopkResult result;
+  result.entries = std::move(scored);
+  return result;
+}
+
+}  // namespace
+
+std::vector<int> TopkResult::IdSet() const {
+  std::vector<int> ids;
+  ids.reserve(entries.size());
+  for (const ScoredOption& e : entries) ids.push_back(e.id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+TopkResult ComputeTopK(const Dataset& data, const Vec& w, int k) {
+  CHECK_GT(k, 0);
+  CHECK(!data.empty());
+  std::vector<ScoredOption> scored;
+  scored.reserve(data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    scored.push_back({static_cast<int>(i), data.Score(i, w)});
+  }
+  return SelectTopK(std::move(scored), k);
+}
+
+TopkResult ComputeTopKReduced(const Dataset& data,
+                              const std::vector<int>& ids, const Vec& x,
+                              int k) {
+  CHECK_GT(k, 0);
+  CHECK(!ids.empty());
+  CHECK_EQ(x.dim() + 1, data.dim());
+  std::vector<ScoredOption> scored;
+  scored.reserve(ids.size());
+  for (int id : ids) {
+    scored.push_back({id, ReducedScore(data.Row(id), x)});
+  }
+  return SelectTopK(std::move(scored), k);
+}
+
+int RankOfOption(const Dataset& data, const std::vector<int>& ids,
+                 const Vec& x, int id) {
+  const double target_score = ReducedScore(data.Row(id), x);
+  int rank = 1;
+  for (int other : ids) {
+    if (other == id) continue;
+    const double s = ReducedScore(data.Row(other), x);
+    if (s > target_score || (s == target_score && other < id)) ++rank;
+  }
+  return rank;
+}
+
+}  // namespace toprr

@@ -1,0 +1,152 @@
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/flags.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "common/timer.h"
+
+namespace toprr {
+namespace {
+
+TEST(StringsTest, Split) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(Trim("  hi \t"), "hi");
+  EXPECT_EQ(Trim("hi"), "hi");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(Join({"a", "b"}, ", "), "a, b");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringsTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(3.14159, 3), "3.14");
+  EXPECT_EQ(FormatDouble(1000.0, 4), "1000");
+}
+
+TEST(StringsTest, FormatSeconds) {
+  EXPECT_EQ(FormatSeconds(1.5), "1.50s");
+  EXPECT_EQ(FormatSeconds(0.0123), "12.3ms");
+}
+
+TEST(RngTest, DeterminismAndRanges) {
+  Rng a(5);
+  Rng b(5);
+  for (int i = 0; i < 100; ++i) {
+    const double u = a.Uniform();
+    EXPECT_DOUBLE_EQ(u, b.Uniform());
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+  for (int i = 0; i < 100; ++i) {
+    const int64_t v = a.UniformInt(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+  }
+  const double x = a.Uniform(2.0, 4.0);
+  EXPECT_GE(x, 2.0);
+  EXPECT_LT(x, 4.0);
+}
+
+TEST(TimerTest, MeasuresForwardTime) {
+  Timer t;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  EXPECT_GE(t.Seconds(), 0.0);
+  EXPECT_GE(t.Millis(), t.Seconds());
+  t.Reset();
+  EXPECT_LT(t.Seconds(), 1.0);
+}
+
+TEST(FlagsTest, ParsesTypedFlags) {
+  FlagParser flags;
+  int n = 0;
+  int64_t big = 0;
+  double x = 0.0;
+  bool b = false;
+  std::string s;
+  flags.AddInt("n", &n, "");
+  flags.AddInt("big", &big, "");
+  flags.AddDouble("x", &x, "");
+  flags.AddBool("b", &b, "");
+  flags.AddString("s", &s, "");
+
+  const char* argv_in[] = {"prog", "--n=5",  "--big", "123456789012",
+                           "--x=1.5", "--b",    "--s=hello", "positional"};
+  char* argv[8];
+  std::vector<std::string> storage;
+  for (int i = 0; i < 8; ++i) {
+    storage.emplace_back(argv_in[i]);
+  }
+  for (int i = 0; i < 8; ++i) {
+    argv[i] = storage[i].data();
+  }
+  int argc = 8;
+  ASSERT_TRUE(flags.Parse(&argc, argv));
+  EXPECT_EQ(n, 5);
+  EXPECT_EQ(big, 123456789012LL);
+  EXPECT_DOUBLE_EQ(x, 1.5);
+  EXPECT_TRUE(b);
+  EXPECT_EQ(s, "hello");
+  // Positional arg preserved.
+  EXPECT_EQ(argc, 2);
+  EXPECT_STREQ(argv[1], "positional");
+}
+
+TEST(FlagsTest, UnknownFlagsPassThrough) {
+  FlagParser flags;
+  int n = 0;
+  flags.AddInt("n", &n, "");
+  std::vector<std::string> storage = {"prog", "--benchmark_filter=all",
+                                      "--n=3"};
+  char* argv[3];
+  for (int i = 0; i < 3; ++i) argv[i] = storage[i].data();
+  int argc = 3;
+  ASSERT_TRUE(flags.Parse(&argc, argv));
+  EXPECT_EQ(n, 3);
+  EXPECT_EQ(argc, 2);
+  EXPECT_STREQ(argv[1], "--benchmark_filter=all");
+}
+
+TEST(FlagsTest, BadValueFails) {
+  FlagParser flags;
+  int n = 0;
+  flags.AddInt("n", &n, "");
+  std::vector<std::string> storage = {"prog", "--n=abc"};
+  char* argv[2];
+  for (int i = 0; i < 2; ++i) argv[i] = storage[i].data();
+  int argc = 2;
+  EXPECT_FALSE(flags.Parse(&argc, argv));
+}
+
+TEST(FlagsTest, HelpStringListsFlags) {
+  FlagParser flags;
+  int n = 0;
+  flags.AddInt("n", &n, "dataset size");
+  EXPECT_NE(flags.HelpString().find("dataset size"), std::string::npos);
+}
+
+TEST(LoggingTest, ParseLogLevel) {
+  LogLevel level;
+  EXPECT_TRUE(ParseLogLevel("info", &level));
+  EXPECT_EQ(level, LogLevel::kInfo);
+  EXPECT_TRUE(ParseLogLevel("WARNING", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+  EXPECT_TRUE(ParseLogLevel("off", &level));
+  EXPECT_EQ(level, LogLevel::kOff);
+  EXPECT_FALSE(ParseLogLevel("chatty", &level));
+}
+
+}  // namespace
+}  // namespace toprr

@@ -1,0 +1,88 @@
+#include "data/csv.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+
+namespace toprr {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/toprr_csv_test.csv";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string path_;
+};
+
+TEST_F(CsvTest, RoundTrip) {
+  const Dataset original = GenerateSynthetic(50, 3,
+                                             Distribution::kIndependent, 4);
+  ASSERT_TRUE(WriteCsv(path_, original, {"a", "b", "c"}));
+  const auto loaded = ReadCsv(path_);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), original.size());
+  ASSERT_EQ(loaded->dim(), original.dim());
+  for (size_t i = 0; i < original.size(); ++i) {
+    for (size_t j = 0; j < original.dim(); ++j) {
+      EXPECT_NEAR(loaded->At(i, j), original.At(i, j), 1e-9);
+    }
+  }
+}
+
+TEST_F(CsvTest, HeaderlessAndColumnSelection) {
+  {
+    std::ofstream out(path_);
+    out << "1,2,3\n4,5,6\n";
+  }
+  CsvReadOptions options;
+  options.has_header = false;
+  options.columns = {2, 0};
+  const auto ds = ReadCsv(path_, options);
+  ASSERT_TRUE(ds.has_value());
+  ASSERT_EQ(ds->size(), 2u);
+  ASSERT_EQ(ds->dim(), 2u);
+  EXPECT_DOUBLE_EQ(ds->At(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(ds->At(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(ds->At(1, 0), 6.0);
+}
+
+TEST_F(CsvTest, SkipsBlankLines) {
+  {
+    std::ofstream out(path_);
+    out << "x,y\n1,2\n\n3,4\n";
+  }
+  const auto ds = ReadCsv(path_);
+  ASSERT_TRUE(ds.has_value());
+  EXPECT_EQ(ds->size(), 2u);
+}
+
+TEST_F(CsvTest, BadCellFails) {
+  {
+    std::ofstream out(path_);
+    out << "x,y\n1,oops\n";
+  }
+  EXPECT_FALSE(ReadCsv(path_).has_value());
+}
+
+TEST_F(CsvTest, MissingFileFails) {
+  EXPECT_FALSE(ReadCsv("/nonexistent/file.csv").has_value());
+}
+
+TEST_F(CsvTest, MissingColumnFails) {
+  {
+    std::ofstream out(path_);
+    out << "x\n1\n";
+  }
+  CsvReadOptions options;
+  options.columns = {0, 3};
+  EXPECT_FALSE(ReadCsv(path_, options).has_value());
+}
+
+}  // namespace
+}  // namespace toprr

@@ -1,0 +1,69 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace toprr {
+namespace {
+
+TEST(DatasetTest, ConstructionAndAccess) {
+  Dataset ds(3, 2);
+  EXPECT_EQ(ds.size(), 3u);
+  EXPECT_EQ(ds.dim(), 2u);
+  ds.At(1, 0) = 0.5;
+  EXPECT_DOUBLE_EQ(ds.At(1, 0), 0.5);
+  EXPECT_DOUBLE_EQ(ds.At(0, 0), 0.0);
+}
+
+TEST(DatasetTest, FromRowsAndOption) {
+  const Dataset ds = Dataset::FromRows({Vec{0.1, 0.2}, Vec{0.3, 0.4}});
+  EXPECT_EQ(ds.size(), 2u);
+  EXPECT_TRUE(ApproxEqual(ds.Option(1), Vec{0.3, 0.4}, 1e-15));
+}
+
+TEST(DatasetTest, AppendSetsDimension) {
+  Dataset ds;
+  ds.Append(Vec{1.0, 2.0, 3.0});
+  EXPECT_EQ(ds.dim(), 3u);
+  ds.Append(Vec{4.0, 5.0, 6.0});
+  EXPECT_EQ(ds.size(), 2u);
+  EXPECT_DOUBLE_EQ(ds.At(1, 2), 6.0);
+}
+
+TEST(DatasetTest, RowPointer) {
+  const Dataset ds = Dataset::FromRows({Vec{0.7, 0.9}});
+  const double* row = ds.Row(0);
+  EXPECT_DOUBLE_EQ(row[0], 0.7);
+  EXPECT_DOUBLE_EQ(row[1], 0.9);
+}
+
+TEST(DatasetTest, Score) {
+  const Dataset ds = Dataset::FromRows({Vec{0.9, 0.4}});
+  EXPECT_NEAR(ds.Score(0, Vec{0.8, 0.2}), 0.9 * 0.8 + 0.4 * 0.2, 1e-12);
+}
+
+TEST(DatasetTest, NormalizeUnit) {
+  Dataset ds = Dataset::FromRows({Vec{0.0, 10.0}, Vec{5.0, 20.0},
+                                  Vec{10.0, 30.0}});
+  const auto ranges = ds.NormalizeUnit();
+  EXPECT_DOUBLE_EQ(ranges[0].first, 0.0);
+  EXPECT_DOUBLE_EQ(ranges[0].second, 10.0);
+  EXPECT_DOUBLE_EQ(ds.At(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(ds.At(1, 0), 0.5);
+  EXPECT_DOUBLE_EQ(ds.At(2, 1), 1.0);
+}
+
+TEST(DatasetTest, NormalizeConstantColumn) {
+  Dataset ds = Dataset::FromRows({Vec{3.0, 1.0}, Vec{3.0, 2.0}});
+  ds.NormalizeUnit();
+  EXPECT_DOUBLE_EQ(ds.At(0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(ds.At(1, 0), 0.5);
+}
+
+TEST(DatasetTest, DebugStringTruncates) {
+  Dataset ds(20, 2);
+  const std::string s = ds.DebugString(3);
+  EXPECT_NE(s.find("..."), std::string::npos);
+}
+
+}  // namespace
+}  // namespace toprr

@@ -1,0 +1,94 @@
+#include "core/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/generator.h"
+#include "topk/skyband.h"
+
+namespace toprr {
+namespace {
+
+PrefBox Box(std::initializer_list<double> lo, std::initializer_list<double> hi) {
+  PrefBox box;
+  box.lo = Vec(lo);
+  box.hi = Vec(hi);
+  return box;
+}
+
+TEST(EngineTest, SkybandIsCachedAndCorrect) {
+  const Dataset ds = GenerateSynthetic(2000, 3, Distribution::kIndependent,
+                                       42);
+  ToprrEngine engine(&ds);
+  const std::vector<int>& first = engine.KSkyband(5);
+  EXPECT_EQ(first, SortBasedKSkyband(ds, 5));
+  // Second call returns the same cached object.
+  const std::vector<int>& second = engine.KSkyband(5);
+  EXPECT_EQ(&first, &second);
+  // Different k: different entry.
+  const std::vector<int>& other = engine.KSkyband(2);
+  EXPECT_NE(&first, &other);
+}
+
+TEST(EngineTest, SolveMatchesDirectSolve) {
+  const Dataset ds = GenerateSynthetic(3000, 3, Distribution::kIndependent,
+                                       43);
+  ToprrEngine engine(&ds);
+  Rng rng(44);
+  for (int trial = 0; trial < 4; ++trial) {
+    const PrefBox box = RandomPrefBox(2, 0.03, rng);
+    const int k = 3 + trial * 3;
+    const ToprrResult via_engine = engine.Solve(k, box);
+    const ToprrResult direct = SolveToprr(ds, k, box);
+    ASSERT_FALSE(via_engine.timed_out);
+    // Same candidate pool and same impact constraints.
+    EXPECT_EQ(via_engine.stats.candidates_after_filter,
+              direct.stats.candidates_after_filter);
+    EXPECT_EQ(via_engine.impact_halfspaces.size(),
+              direct.impact_halfspaces.size());
+    // Membership agreement on random probes.
+    for (int probe = 0; probe < 300; ++probe) {
+      const Vec o{rng.Uniform(), rng.Uniform(), rng.Uniform()};
+      EXPECT_EQ(via_engine.Contains(o), direct.Contains(o));
+    }
+  }
+}
+
+TEST(EngineTest, RepeatedQueriesFilterWithinSkyband) {
+  // The per-query r-skyband scan over the cached skyband must produce the
+  // same filter set as the full-dataset scan.
+  const Dataset ds = GenerateSynthetic(5000, 4,
+                                       Distribution::kAnticorrelated, 45);
+  ToprrEngine engine(&ds);
+  Rng rng(46);
+  const PrefBox box = RandomPrefBox(3, 0.02, rng);
+  const ToprrResult a = engine.Solve(10, box);
+  const ToprrResult b = SolveToprr(ds, 10, box);
+  EXPECT_EQ(a.stats.candidates_after_filter,
+            b.stats.candidates_after_filter);
+}
+
+TEST(EngineTest, PolytopeRegionOverload) {
+  const Dataset ds = GenerateSynthetic(1000, 3, Distribution::kIndependent,
+                                       47);
+  ToprrEngine engine(&ds);
+  const PrefBox box = Box({0.2, 0.2}, {0.25, 0.25});
+  const ToprrResult via_box = engine.Solve(5, box);
+  const ToprrResult via_region = engine.Solve(5, PrefRegion::FromBox(box));
+  EXPECT_EQ(via_box.impact_halfspaces.size(),
+            via_region.impact_halfspaces.size());
+}
+
+TEST(EngineTest, InvalidateCacheRecomputes) {
+  const Dataset ds = GenerateSynthetic(500, 3, Distribution::kIndependent,
+                                       48);
+  ToprrEngine engine(&ds);
+  const std::vector<int>* before = &engine.KSkyband(3);
+  const std::vector<int> copy = *before;
+  engine.InvalidateCache();
+  const std::vector<int>& after = engine.KSkyband(3);
+  EXPECT_EQ(copy, after);  // same dataset, same answer
+}
+
+}  // namespace
+}  // namespace toprr

@@ -1,0 +1,144 @@
+#include "data/generator.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace toprr {
+namespace {
+
+// Mean Pearson correlation over all attribute pairs.
+double MeanPairwiseCorrelation(const Dataset& ds) {
+  const size_t n = ds.size();
+  const size_t d = ds.dim();
+  std::vector<double> mean(d, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < d; ++j) mean[j] += ds.At(i, j);
+  }
+  for (double& m : mean) m /= static_cast<double>(n);
+  std::vector<double> var(d, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < d; ++j) {
+      const double c = ds.At(i, j) - mean[j];
+      var[j] += c * c;
+    }
+  }
+  double acc = 0.0;
+  int pairs = 0;
+  for (size_t a = 0; a < d; ++a) {
+    for (size_t b = a + 1; b < d; ++b) {
+      double cov = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        cov += (ds.At(i, a) - mean[a]) * (ds.At(i, b) - mean[b]);
+      }
+      acc += cov / std::sqrt(var[a] * var[b]);
+      ++pairs;
+    }
+  }
+  return acc / pairs;
+}
+
+TEST(GeneratorTest, ShapesAndRanges) {
+  for (Distribution dist : {Distribution::kIndependent,
+                            Distribution::kCorrelated,
+                            Distribution::kAnticorrelated}) {
+    const Dataset ds = GenerateSynthetic(500, 4, dist, 1);
+    EXPECT_EQ(ds.size(), 500u);
+    EXPECT_EQ(ds.dim(), 4u);
+    for (size_t i = 0; i < ds.size(); ++i) {
+      for (size_t j = 0; j < ds.dim(); ++j) {
+        EXPECT_GE(ds.At(i, j), 0.0);
+        EXPECT_LE(ds.At(i, j), 1.0);
+      }
+    }
+  }
+}
+
+TEST(GeneratorTest, Deterministic) {
+  const Dataset a = GenerateSynthetic(100, 3, Distribution::kIndependent, 7);
+  const Dataset b = GenerateSynthetic(100, 3, Distribution::kIndependent, 7);
+  for (size_t i = 0; i < a.size(); ++i) {
+    for (size_t j = 0; j < a.dim(); ++j) {
+      EXPECT_DOUBLE_EQ(a.At(i, j), b.At(i, j));
+    }
+  }
+  const Dataset c = GenerateSynthetic(100, 3, Distribution::kIndependent, 8);
+  bool differs = false;
+  for (size_t i = 0; i < a.size() && !differs; ++i) {
+    for (size_t j = 0; j < a.dim(); ++j) {
+      if (a.At(i, j) != c.At(i, j)) {
+        differs = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(GeneratorTest, CorrelationStructure) {
+  const Dataset ind =
+      GenerateSynthetic(4000, 3, Distribution::kIndependent, 2);
+  const Dataset cor =
+      GenerateSynthetic(4000, 3, Distribution::kCorrelated, 2);
+  const Dataset anti =
+      GenerateSynthetic(4000, 3, Distribution::kAnticorrelated, 2);
+  const double r_ind = MeanPairwiseCorrelation(ind);
+  const double r_cor = MeanPairwiseCorrelation(cor);
+  const double r_anti = MeanPairwiseCorrelation(anti);
+  EXPECT_NEAR(r_ind, 0.0, 0.08);
+  EXPECT_GT(r_cor, 0.6);
+  EXPECT_LT(r_anti, -0.2);
+}
+
+TEST(GeneratorTest, ParseDistribution) {
+  Distribution d;
+  EXPECT_TRUE(ParseDistribution("IND", &d));
+  EXPECT_EQ(d, Distribution::kIndependent);
+  EXPECT_TRUE(ParseDistribution("cor", &d));
+  EXPECT_EQ(d, Distribution::kCorrelated);
+  EXPECT_TRUE(ParseDistribution("Anti", &d));
+  EXPECT_EQ(d, Distribution::kAnticorrelated);
+  EXPECT_FALSE(ParseDistribution("zipf", &d));
+}
+
+TEST(GeneratorTest, DistributionNames) {
+  EXPECT_STREQ(DistributionName(Distribution::kIndependent), "IND");
+  EXPECT_STREQ(DistributionName(Distribution::kCorrelated), "COR");
+  EXPECT_STREQ(DistributionName(Distribution::kAnticorrelated), "ANTI");
+}
+
+TEST(GeneratorTest, RealLikeCardinalities) {
+  const Dataset hotel = GenerateHotelLike(1, 0.01);
+  EXPECT_EQ(hotel.dim(), 4u);
+  EXPECT_NEAR(static_cast<double>(hotel.size()), 4188.0, 8.0);
+  const Dataset house = GenerateHouseLike(1, 0.01);
+  EXPECT_EQ(house.dim(), 6u);
+  const Dataset nba = GenerateNbaLike(1, 0.1);
+  EXPECT_EQ(nba.dim(), 8u);
+  EXPECT_NEAR(static_cast<double>(nba.size()), 2196.0, 4.0);
+}
+
+TEST(GeneratorTest, RealLikeCorrelationSigns) {
+  const Dataset house = GenerateHouseLike(3, 0.02);
+  const Dataset nba = GenerateNbaLike(3, 0.3);
+  EXPECT_LT(MeanPairwiseCorrelation(house), -0.02);
+  EXPECT_GT(MeanPairwiseCorrelation(nba), 0.15);
+}
+
+TEST(GeneratorTest, HotelStarsQuantized) {
+  const Dataset hotel = GenerateHotelLike(5, 0.002);
+  for (size_t i = 0; i < hotel.size(); ++i) {
+    const double quarter = hotel.At(i, 0) * 4.0;
+    EXPECT_NEAR(quarter, std::round(quarter), 1e-9);
+  }
+}
+
+TEST(GeneratorTest, CnetLaptops) {
+  const Dataset laptops = GenerateCnetLaptops(9);
+  EXPECT_EQ(laptops.size(), 149u);
+  EXPECT_EQ(laptops.dim(), 2u);
+  EXPECT_LT(MeanPairwiseCorrelation(laptops), -0.3);  // trade-off shape
+}
+
+}  // namespace
+}  // namespace toprr

@@ -1,0 +1,123 @@
+#include "geom/halfspace_intersection.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "geom/lp.h"
+
+namespace toprr {
+namespace {
+
+bool HasVertexNear(const std::vector<Vec>& vertices, const Vec& target,
+                   double tol = 1e-6) {
+  for (const Vec& v : vertices) {
+    if (ApproxEqual(v, target, tol)) return true;
+  }
+  return false;
+}
+
+TEST(HalfspaceIntersectionTest, UnitSquare) {
+  const auto hs = BoxHalfspaces(Vec{0.0, 0.0}, Vec{1.0, 1.0});
+  auto result = IntersectHalfspaces(hs, Vec{0.5, 0.5});
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->unbounded);
+  EXPECT_EQ(result->vertices.size(), 4u);
+  EXPECT_TRUE(HasVertexNear(result->vertices, Vec{0.0, 0.0}));
+  EXPECT_TRUE(HasVertexNear(result->vertices, Vec{1.0, 1.0}));
+  EXPECT_EQ(result->active_halfspaces.size(), 4u);
+}
+
+TEST(HalfspaceIntersectionTest, RedundantConstraintDropsOut) {
+  auto hs = BoxHalfspaces(Vec{0.0, 0.0}, Vec{1.0, 1.0});
+  hs.emplace_back(Vec{1.0, 0.0}, 7.0);  // x <= 7, redundant
+  auto result = IntersectHalfspaces(hs, Vec{0.5, 0.5});
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->vertices.size(), 4u);
+  EXPECT_EQ(
+      std::count(result->active_halfspaces.begin(),
+                 result->active_halfspaces.end(), hs.size() - 1),
+      0);
+}
+
+TEST(HalfspaceIntersectionTest, TriangleViaChebyshev) {
+  std::vector<Halfspace> hs = {
+      Halfspace(Vec{-1.0, 0.0}, 0.0),
+      Halfspace(Vec{0.0, -1.0}, 0.0),
+      Halfspace(Vec{1.0, 1.0}, 1.0),
+  };
+  auto result = IntersectHalfspaces(hs, 2);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->vertices.size(), 3u);
+  EXPECT_TRUE(HasVertexNear(result->vertices, Vec{0.0, 0.0}));
+  EXPECT_TRUE(HasVertexNear(result->vertices, Vec{1.0, 0.0}));
+  EXPECT_TRUE(HasVertexNear(result->vertices, Vec{0.0, 1.0}));
+}
+
+TEST(HalfspaceIntersectionTest, UnboundedDetected) {
+  // Only x >= 0, y >= 0, x + y >= 0.5 -- open toward +infinity.
+  std::vector<Halfspace> hs = {
+      Halfspace(Vec{-1.0, 0.0}, 0.0),
+      Halfspace(Vec{0.0, -1.0}, 0.0),
+      Halfspace(Vec{-1.0, -1.0}, -0.5),
+  };
+  auto result = IntersectHalfspaces(hs, Vec{2.0, 2.0});
+  // Either the dual hull is degenerate or the result is flagged unbounded.
+  if (result.has_value()) {
+    EXPECT_TRUE(result->unbounded);
+  }
+}
+
+TEST(HalfspaceIntersectionTest, Cube3D) {
+  const auto hs = BoxHalfspaces(Vec(3, 0.0), Vec(3, 1.0));
+  auto result = IntersectHalfspaces(hs, Vec(3, 0.5));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->vertices.size(), 8u);
+  for (const Vec& v : result->vertices) {
+    for (size_t j = 0; j < 3; ++j) {
+      EXPECT_TRUE(std::abs(v[j]) < 1e-7 || std::abs(v[j] - 1.0) < 1e-7);
+    }
+  }
+}
+
+TEST(HalfspaceIntersectionTest, InfeasibleViaChebyshev) {
+  std::vector<Halfspace> hs = {
+      Halfspace(Vec{1.0, 0.0}, 0.0),
+      Halfspace(Vec{-1.0, 0.0}, -1.0),
+      Halfspace(Vec{0.0, 1.0}, 1.0),
+      Halfspace(Vec{0.0, -1.0}, 0.0),
+  };
+  EXPECT_FALSE(IntersectHalfspaces(hs, 2).has_value());
+}
+
+TEST(HalfspaceIntersectionTest, RandomPolytopesVerticesAreFeasibleAndTight) {
+  Rng rng(17);
+  for (int trial = 0; trial < 12; ++trial) {
+    const size_t d = 2 + static_cast<size_t>(trial % 3);  // 2..4
+    std::vector<Halfspace> hs = BoxHalfspaces(Vec(d, 0.0), Vec(d, 1.0));
+    for (int extra = 0; extra < 5; ++extra) {
+      Vec n(d);
+      for (size_t j = 0; j < d; ++j) n[j] = rng.Uniform(-1.0, 1.0);
+      if (n.Norm() < 0.3) continue;
+      // Offset keeps the box center feasible with slack.
+      hs.emplace_back(n, Dot(n, Vec(d, 0.5)) + rng.Uniform(0.1, 0.6));
+    }
+    auto result = IntersectHalfspaces(hs, Vec(d, 0.5));
+    ASSERT_TRUE(result.has_value()) << "trial " << trial;
+    EXPECT_FALSE(result->unbounded);
+    EXPECT_GE(result->vertices.size(), d + 1);
+    for (const Vec& v : result->vertices) {
+      size_t tight = 0;
+      for (const Halfspace& h : hs) {
+        const double viol = h.Violation(v);
+        EXPECT_LE(viol, 1e-6) << "vertex outside polytope, trial " << trial;
+        if (std::abs(viol) <= 1e-6) ++tight;
+      }
+      EXPECT_GE(tight, d) << "vertex not on >= d facets, trial " << trial;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace toprr

@@ -1,0 +1,70 @@
+#include "geom/hyperplane.h"
+
+#include <gtest/gtest.h>
+
+namespace toprr {
+namespace {
+
+TEST(HyperplaneTest, EvalAndClassify) {
+  const Hyperplane h(Vec{1.0, 1.0}, 1.0);  // x + y = 1
+  EXPECT_DOUBLE_EQ(h.Eval(Vec{0.5, 0.5}), 0.0);
+  EXPECT_GT(h.Eval(Vec{1.0, 1.0}), 0.0);
+  EXPECT_LT(h.Eval(Vec{0.0, 0.0}), 0.0);
+  EXPECT_EQ(h.Classify(Vec{0.5, 0.5}, 1e-9), Side::kOn);
+  EXPECT_EQ(h.Classify(Vec{1.0, 1.0}, 1e-9), Side::kAbove);
+  EXPECT_EQ(h.Classify(Vec{0.0, 0.0}, 1e-9), Side::kBelow);
+}
+
+TEST(HyperplaneTest, ClassifyTolerance) {
+  const Hyperplane h(Vec{1.0, 0.0}, 0.0);
+  EXPECT_EQ(h.Classify(Vec{1e-12, 0.0}, 1e-9), Side::kOn);
+  EXPECT_EQ(h.Classify(Vec{1e-6, 0.0}, 1e-9), Side::kAbove);
+}
+
+TEST(HyperplaneTest, Normalize) {
+  Hyperplane h(Vec{3.0, 4.0}, 10.0);
+  h.Normalize();
+  EXPECT_NEAR(h.normal.Norm(), 1.0, 1e-12);
+  EXPECT_NEAR(h.offset, 2.0, 1e-12);
+  // Same locus: (0.4, 2.2)... pick a point on the original plane.
+  EXPECT_NEAR(h.Eval(Vec{2.0, 1.0}), 0.0, 1e-12);
+}
+
+TEST(HalfspaceTest, ContainsAndViolation) {
+  const Halfspace h(Vec{1.0, 0.0}, 2.0);  // x <= 2
+  EXPECT_TRUE(h.Contains(Vec{1.0, 5.0}));
+  EXPECT_TRUE(h.Contains(Vec{2.0, 0.0}));
+  EXPECT_FALSE(h.Contains(Vec{2.5, 0.0}));
+  EXPECT_DOUBLE_EQ(h.Violation(Vec{3.0, 0.0}), 1.0);
+  EXPECT_DOUBLE_EQ(h.Violation(Vec{1.0, 0.0}), -1.0);
+}
+
+TEST(HalfspaceTest, Boundary) {
+  const Halfspace h(Vec{0.0, 1.0}, 3.0);
+  const Hyperplane b = h.Boundary();
+  EXPECT_DOUBLE_EQ(b.Eval(Vec{7.0, 3.0}), 0.0);
+}
+
+TEST(BoxHalfspacesTest, UnitSquare) {
+  const auto hs = BoxHalfspaces(Vec{0.0, 0.0}, Vec{1.0, 1.0});
+  ASSERT_EQ(hs.size(), 4u);
+  const Vec inside{0.5, 0.5};
+  const Vec outside{1.5, 0.5};
+  for (const Halfspace& h : hs) EXPECT_TRUE(h.Contains(inside));
+  int violated = 0;
+  for (const Halfspace& h : hs) {
+    if (!h.Contains(outside)) ++violated;
+  }
+  EXPECT_EQ(violated, 1);
+}
+
+TEST(BoxHalfspacesTest, CornersAreOnBoundaries) {
+  const auto hs = BoxHalfspaces(Vec{-1.0, 2.0}, Vec{0.0, 3.0});
+  const Vec corner{-1.0, 3.0};
+  for (const Halfspace& h : hs) {
+    EXPECT_TRUE(h.Contains(corner, 1e-12));
+  }
+}
+
+}  // namespace
+}  // namespace toprr

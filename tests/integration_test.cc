@@ -1,0 +1,243 @@
+// End-to-end tests across modules: full TopRR solves on synthetic and
+// real-like datasets, verified against independent brute-force sampling,
+// across methods, dimensions and parameters.
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/placement.h"
+#include "core/toprr.h"
+#include "data/generator.h"
+#include "pref/pref_space.h"
+#include "topk/topk.h"
+
+namespace toprr {
+namespace {
+
+// Samples weight vectors in the box (corners + random interior) and checks
+// whether o scores >= the k-th score at each.
+bool SampledTopRanking(const Dataset& ds, int k, const PrefBox& box,
+                       const Vec& o, Rng& rng, int samples = 60) {
+  std::vector<Vec> ws = box.Vertices();
+  for (int s = 0; s < samples; ++s) {
+    Vec x(box.dim());
+    for (size_t j = 0; j < box.dim(); ++j) {
+      x[j] = rng.Uniform(box.lo[j], box.hi[j]);
+    }
+    ws.push_back(std::move(x));
+  }
+  for (const Vec& x : ws) {
+    const Vec w = FullWeight(x);
+    const TopkResult topk = ComputeTopK(ds, w, k);
+    if (Dot(w, o) < topk.KthScore() - 1e-12) return false;
+  }
+  return true;
+}
+
+struct Scenario {
+  size_t n;
+  size_t d;
+  Distribution dist;
+  int k;
+  double sigma;
+  uint64_t seed;
+};
+
+class ToprrIntegrationTest : public ::testing::TestWithParam<Scenario> {};
+
+TEST_P(ToprrIntegrationTest, RegionMatchesSampledGroundTruth) {
+  const Scenario s = GetParam();
+  const Dataset ds = GenerateSynthetic(s.n, s.d, s.dist, s.seed);
+  Rng rng(s.seed + 1);
+  const PrefBox box = RandomPrefBox(s.d - 1, s.sigma, rng);
+  const ToprrResult result = SolveToprr(ds, s.k, box);
+  ASSERT_FALSE(result.timed_out);
+  ASSERT_GT(result.impact_halfspaces.size(), 0u);
+
+  // (1) Soundness: points our region accepts are top-ranking at every
+  // sampled weight vector (including all box corners).
+  // (2) Completeness spot check: points we reject must fail at some Vall
+  // vertex against the full dataset.
+  int accepted = 0;
+  int rejected = 0;
+  for (int trial = 0; trial < 250; ++trial) {
+    Vec o(s.d);
+    for (size_t j = 0; j < s.d; ++j) o[j] = rng.Uniform();
+    // Margin filter to dodge boundary-noise flakiness.
+    double closest = 1e9;
+    for (const Halfspace& h : result.impact_halfspaces) {
+      closest = std::min(closest,
+                         std::abs(h.Violation(o)) / h.normal.Norm());
+    }
+    if (closest < 1e-6) continue;
+    if (result.Contains(o)) {
+      ++accepted;
+      EXPECT_TRUE(SampledTopRanking(ds, s.k, box, o, rng))
+          << "accepted non-top-ranking option " << o.ToString();
+    } else {
+      ++rejected;
+      bool fails_somewhere = false;
+      for (const Vec& v : result.vall) {
+        const Vec w = FullWeight(v);
+        const TopkResult topk = ComputeTopK(ds, w, s.k);
+        if (Dot(w, o) < topk.KthScore() - 1e-12) {
+          fails_somewhere = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(fails_somewhere)
+          << "rejected option has no failing Vall witness " << o.ToString();
+    }
+  }
+  // The unit-cube draw should produce both kinds (top corner region is
+  // small but nonempty; most of the cube is outside).
+  EXPECT_GT(rejected, 0);
+  // Explicit inside probe: the top corner.
+  EXPECT_TRUE(result.Contains(Vec(s.d, 1.0)));
+  (void)accepted;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SyntheticSweep, ToprrIntegrationTest,
+    ::testing::Values(
+        Scenario{200, 2, Distribution::kIndependent, 1, 0.10, 1},
+        Scenario{200, 2, Distribution::kIndependent, 5, 0.10, 2},
+        Scenario{500, 2, Distribution::kAnticorrelated, 3, 0.30, 3},
+        Scenario{300, 3, Distribution::kIndependent, 5, 0.05, 4},
+        Scenario{300, 3, Distribution::kCorrelated, 5, 0.05, 5},
+        Scenario{500, 3, Distribution::kAnticorrelated, 10, 0.04, 6},
+        Scenario{400, 4, Distribution::kIndependent, 5, 0.04, 7},
+        Scenario{400, 4, Distribution::kCorrelated, 10, 0.05, 8},
+        Scenario{300, 5, Distribution::kIndependent, 3, 0.03, 9},
+        Scenario{250, 2, Distribution::kCorrelated, 10, 0.20, 10}));
+
+TEST(IntegrationTest, MethodsAgreeAcrossScenarios) {
+  Rng rng(500);
+  for (uint64_t seed = 0; seed < 3; ++seed) {
+    const size_t d = 2 + seed;
+    const Dataset ds =
+        GenerateSynthetic(150, d, Distribution::kIndependent, 600 + seed);
+    const PrefBox box = RandomPrefBox(d - 1, 0.05, rng);
+    const int k = 4;
+    ToprrOptions pac_opts;
+    pac_opts.method = ToprrMethod::kPac;
+    ToprrOptions tas_opts;
+    tas_opts.method = ToprrMethod::kTas;
+    const ToprrResult star = SolveToprr(ds, k, box);
+    const ToprrResult tas = SolveToprr(ds, k, box, tas_opts);
+    const ToprrResult pac = SolveToprr(ds, k, box, pac_opts);
+    for (int trial = 0; trial < 500; ++trial) {
+      Vec o(d);
+      for (size_t j = 0; j < d; ++j) o[j] = rng.Uniform();
+      double closest = 1e9;
+      for (const Halfspace& h : star.impact_halfspaces) {
+        closest = std::min(closest,
+                           std::abs(h.Violation(o)) / h.normal.Norm());
+      }
+      if (closest < 1e-6) continue;
+      const bool expected = star.Contains(o);
+      EXPECT_EQ(tas.Contains(o), expected);
+      EXPECT_EQ(pac.Contains(o), expected);
+    }
+  }
+}
+
+TEST(IntegrationTest, RealLikeDatasetsEndToEnd) {
+  Rng rng(700);
+  struct RealCase {
+    Dataset ds;
+    const char* name;
+  };
+  std::vector<RealCase> cases;
+  cases.push_back({GenerateHotelLike(1, 0.01), "hotel"});
+  cases.push_back({GenerateHouseLike(1, 0.01), "house"});
+  cases.push_back({GenerateNbaLike(1, 0.2), "nba"});
+  for (const RealCase& c : cases) {
+    const size_t d = c.ds.dim();
+    const PrefBox box = RandomPrefBox(d - 1, 0.02, rng);
+    const ToprrResult result = SolveToprr(c.ds, 10, box);
+    ASSERT_FALSE(result.timed_out) << c.name;
+    EXPECT_GT(result.impact_halfspaces.size(), 0u) << c.name;
+    EXPECT_TRUE(result.Contains(Vec(d, 1.0))) << c.name;
+    // Spot-check soundness at 30 random options.
+    int accepted_checked = 0;
+    for (int trial = 0; trial < 400 && accepted_checked < 30; ++trial) {
+      Vec o(d);
+      for (size_t j = 0; j < d; ++j) o[j] = rng.Uniform(0.8, 1.0);
+      if (!result.Contains(o)) continue;
+      ++accepted_checked;
+      EXPECT_TRUE(SampledTopRanking(c.ds, 10, box, o, rng, 20)) << c.name;
+    }
+  }
+}
+
+TEST(IntegrationTest, EnhancementPipelineOnSynthetic) {
+  // Full pipeline: solve -> enhance an uncompetitive option -> verify the
+  // enhanced version is top-ranking by sampling.
+  const Dataset ds = GenerateSynthetic(300, 3, Distribution::kIndependent,
+                                       800);
+  PrefBox box;
+  box.lo = Vec{0.3, 0.3};
+  box.hi = Vec{0.35, 0.35};
+  const int k = 5;
+  const ToprrResult region = SolveToprr(ds, k, box);
+  ASSERT_FALSE(region.degenerate);
+  const Vec weak(3, 0.3);
+  const PlacementResult enhanced = MinimumModification(region, weak);
+  ASSERT_TRUE(enhanced.ok);
+  Rng rng(801);
+  EXPECT_TRUE(SampledTopRanking(ds, k, box, enhanced.option, rng));
+  // And the placement is on the boundary (cost > 0 for a weak option).
+  EXPECT_GT(enhanced.cost, 0.0);
+}
+
+TEST(IntegrationTest, DegenerateCaseOptionAtTopCorner) {
+  // An existing option at (1,...,1) forces TopK = 1 somewhere for k=1,
+  // making oR degenerate (empty interior) -- must not crash.
+  Dataset ds = GenerateSynthetic(50, 3, Distribution::kIndependent, 900);
+  ds.Append(Vec(3, 1.0));
+  PrefBox box;
+  box.lo = Vec{0.3, 0.3};
+  box.hi = Vec{0.32, 0.32};
+  const ToprrResult result = SolveToprr(ds, 1, box);
+  EXPECT_TRUE(result.degenerate);
+  // The halfspace description still admits the top corner itself.
+  EXPECT_TRUE(result.Contains(Vec(3, 1.0), 1e-9));
+}
+
+TEST(IntegrationTest, K1EqualsTopCornerOfK1Sweep) {
+  // For k=1 the region is the locus beating every current top-1; verify
+  // via direct sampling comparison.
+  const Dataset ds = GenerateSynthetic(150, 2, Distribution::kIndependent,
+                                       901);
+  PrefBox box;
+  box.lo = Vec{0.4};
+  box.hi = Vec{0.6};
+  const ToprrResult result = SolveToprr(ds, 1, box);
+  Rng rng(902);
+  for (int trial = 0; trial < 300; ++trial) {
+    const Vec o{rng.Uniform(0.7, 1.0), rng.Uniform(0.7, 1.0)};
+    double closest = 1e9;
+    for (const Halfspace& h : result.impact_halfspaces) {
+      closest = std::min(closest,
+                         std::abs(h.Violation(o)) / h.normal.Norm());
+    }
+    if (closest < 1e-4) continue;
+    bool beats_all = true;
+    for (int s = 0; s <= 100; ++s) {
+      const double x = 0.4 + 0.2 * s / 100.0;
+      const Vec w{x, 1.0 - x};
+      const TopkResult top1 = ComputeTopK(ds, w, 1);
+      if (Dot(w, o) < top1.KthScore() - 1e-12) {
+        beats_all = false;
+        break;
+      }
+    }
+    EXPECT_EQ(result.Contains(o), beats_all) << o.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace toprr

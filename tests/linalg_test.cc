@@ -1,0 +1,113 @@
+#include "geom/linalg.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace toprr {
+namespace {
+
+TEST(MatrixTest, RowOperations) {
+  Matrix m(2, 3);
+  m.SetRow(0, Vec{1.0, 2.0, 3.0});
+  m.SetRow(1, Vec{4.0, 5.0, 6.0});
+  EXPECT_DOUBLE_EQ(m.At(1, 2), 6.0);
+  const Vec r = m.Row(0);
+  EXPECT_DOUBLE_EQ(r[1], 2.0);
+}
+
+TEST(MatrixTest, Apply) {
+  Matrix m(2, 2);
+  m.SetRow(0, Vec{1.0, 2.0});
+  m.SetRow(1, Vec{3.0, 4.0});
+  const Vec y = m.Apply(Vec{1.0, 1.0});
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+}
+
+TEST(MatrixTest, Identity) {
+  const Matrix eye = Matrix::Identity(3);
+  EXPECT_DOUBLE_EQ(eye.At(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(eye.At(0, 1), 0.0);
+  const Vec x{7.0, -1.0, 2.0};
+  EXPECT_TRUE(ApproxEqual(eye.Apply(x), x, 1e-15));
+}
+
+TEST(SolveTest, TwoByTwo) {
+  Matrix a(2, 2);
+  a.SetRow(0, Vec{2.0, 1.0});
+  a.SetRow(1, Vec{1.0, 3.0});
+  const auto x = SolveLinearSystem(a, Vec{5.0, 10.0});
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR((*x)[0], 1.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 3.0, 1e-12);
+}
+
+TEST(SolveTest, SingularReturnsNullopt) {
+  Matrix a(2, 2);
+  a.SetRow(0, Vec{1.0, 2.0});
+  a.SetRow(1, Vec{2.0, 4.0});
+  EXPECT_FALSE(SolveLinearSystem(a, Vec{1.0, 2.0}).has_value());
+}
+
+TEST(SolveTest, RequiresPivoting) {
+  // Zero in the leading position forces a row swap.
+  Matrix a(2, 2);
+  a.SetRow(0, Vec{0.0, 1.0});
+  a.SetRow(1, Vec{1.0, 0.0});
+  const auto x = SolveLinearSystem(a, Vec{2.0, 3.0});
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR((*x)[0], 3.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 2.0, 1e-12);
+}
+
+TEST(SolveTest, RandomSystemsRoundTrip) {
+  Rng rng(42);
+  for (int trial = 0; trial < 50; ++trial) {
+    const size_t n = 1 + static_cast<size_t>(rng.UniformInt(1, 8));
+    Matrix a(n, n);
+    Vec x_true(n);
+    for (size_t i = 0; i < n; ++i) {
+      x_true[i] = rng.Uniform(-2.0, 2.0);
+      for (size_t j = 0; j < n; ++j) a.At(i, j) = rng.Uniform(-1.0, 1.0);
+      a.At(i, i) += 3.0;  // diagonally dominant => well conditioned
+    }
+    const Vec b = a.Apply(x_true);
+    const auto x = SolveLinearSystem(a, b);
+    ASSERT_TRUE(x.has_value());
+    EXPECT_TRUE(ApproxEqual(*x, x_true, 1e-8)) << "trial " << trial;
+  }
+}
+
+TEST(DeterminantTest, KnownValues) {
+  Matrix a(2, 2);
+  a.SetRow(0, Vec{1.0, 2.0});
+  a.SetRow(1, Vec{3.0, 4.0});
+  EXPECT_NEAR(Determinant(a), -2.0, 1e-12);
+
+  EXPECT_NEAR(Determinant(Matrix::Identity(4)), 1.0, 1e-12);
+
+  Matrix s(2, 2);
+  s.SetRow(0, Vec{1.0, 2.0});
+  s.SetRow(1, Vec{2.0, 4.0});
+  EXPECT_NEAR(Determinant(s), 0.0, 1e-12);
+}
+
+TEST(DeterminantTest, SwapChangesSign) {
+  Matrix a(2, 2);
+  a.SetRow(0, Vec{0.0, 1.0});
+  a.SetRow(1, Vec{1.0, 0.0});
+  EXPECT_NEAR(Determinant(a), -1.0, 1e-12);
+}
+
+TEST(SolveHyperplanesTest, IntersectionOfLines) {
+  // x = 1 and y = 2.
+  const auto p = SolveHyperplanes({Vec{1.0, 0.0}, Vec{0.0, 1.0}},
+                                  {1.0, 2.0});
+  ASSERT_TRUE(p.has_value());
+  EXPECT_NEAR((*p)[0], 1.0, 1e-12);
+  EXPECT_NEAR((*p)[1], 2.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace toprr

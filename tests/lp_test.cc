@@ -1,0 +1,169 @@
+#include "geom/lp.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace toprr {
+namespace {
+
+TEST(LpTest, SimpleBox2D) {
+  // max x + y s.t. 0 <= x,y <= 1 -> (1, 1).
+  const auto constraints = BoxHalfspaces(Vec{0.0, 0.0}, Vec{1.0, 1.0});
+  const LpResult r = SolveLp(Vec{1.0, 1.0}, constraints);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.objective, 2.0, 1e-8);
+  EXPECT_NEAR(r.x[0], 1.0, 1e-8);
+  EXPECT_NEAR(r.x[1], 1.0, 1e-8);
+}
+
+TEST(LpTest, NegativeDirection) {
+  // min x (= max -x) over the box -> x = -3.
+  const auto constraints = BoxHalfspaces(Vec{-3.0, 0.0}, Vec{5.0, 1.0});
+  const LpResult r = SolveLp(Vec{-1.0, 0.0}, constraints);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.x[0], -3.0, 1e-8);
+}
+
+TEST(LpTest, TriangleVertex) {
+  // max x + 2y s.t. x >= 0, y >= 0, x + y <= 1 -> (0, 1).
+  std::vector<Halfspace> hs = {
+      Halfspace(Vec{-1.0, 0.0}, 0.0),
+      Halfspace(Vec{0.0, -1.0}, 0.0),
+      Halfspace(Vec{1.0, 1.0}, 1.0),
+  };
+  const LpResult r = SolveLp(Vec{1.0, 2.0}, hs);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.objective, 2.0, 1e-8);
+  EXPECT_NEAR(r.x[0], 0.0, 1e-8);
+  EXPECT_NEAR(r.x[1], 1.0, 1e-8);
+}
+
+TEST(LpTest, Infeasible) {
+  std::vector<Halfspace> hs = {
+      Halfspace(Vec{1.0}, 0.0),   // x <= 0
+      Halfspace(Vec{-1.0}, -1.0),  // x >= 1
+  };
+  const LpResult r = SolveLp(Vec{1.0}, hs);
+  EXPECT_EQ(r.status, LpStatus::kInfeasible);
+}
+
+TEST(LpTest, Unbounded) {
+  std::vector<Halfspace> hs = {Halfspace(Vec{-1.0, 0.0}, 0.0)};  // x >= 0
+  const LpResult r = SolveLp(Vec{1.0, 0.0}, hs);
+  EXPECT_EQ(r.status, LpStatus::kUnbounded);
+}
+
+TEST(LpTest, NegativeRhsNeedsPhase1) {
+  // x >= 2 (offset -2 after negation), x <= 5; max -x -> x = 2.
+  std::vector<Halfspace> hs = {
+      Halfspace(Vec{-1.0}, -2.0),
+      Halfspace(Vec{1.0}, 5.0),
+  };
+  const LpResult r = SolveLp(Vec{-1.0}, hs);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.x[0], 2.0, 1e-8);
+}
+
+TEST(LpTest, DegenerateEqualityPair) {
+  // x <= 1 and x >= 1 force x = 1.
+  std::vector<Halfspace> hs = {
+      Halfspace(Vec{1.0, 0.0}, 1.0),
+      Halfspace(Vec{-1.0, 0.0}, -1.0),
+      Halfspace(Vec{0.0, 1.0}, 4.0),
+      Halfspace(Vec{0.0, -1.0}, 0.0),
+  };
+  const LpResult r = SolveLp(Vec{1.0, 1.0}, hs);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.x[0], 1.0, 1e-8);
+  EXPECT_NEAR(r.x[1], 4.0, 1e-8);
+}
+
+TEST(ChebyshevTest, UnitSquareCenter) {
+  const auto hs = BoxHalfspaces(Vec{0.0, 0.0}, Vec{1.0, 1.0});
+  double radius = 0.0;
+  const LpResult r = ChebyshevCenter(hs, 2, &radius);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(radius, 0.5, 1e-8);
+  EXPECT_NEAR(r.x[0], 0.5, 1e-6);
+  EXPECT_NEAR(r.x[1], 0.5, 1e-6);
+}
+
+TEST(ChebyshevTest, TriangleInteriorPoint) {
+  std::vector<Halfspace> hs = {
+      Halfspace(Vec{-1.0, 0.0}, 0.0),
+      Halfspace(Vec{0.0, -1.0}, 0.0),
+      Halfspace(Vec{1.0, 1.0}, 1.0),
+  };
+  double radius = 0.0;
+  const LpResult r = ChebyshevCenter(hs, 2, &radius);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(radius, 0.1);
+  for (const Halfspace& h : hs) {
+    EXPECT_LT(h.Violation(r.x), -0.1);  // strictly inside
+  }
+}
+
+TEST(ChebyshevTest, InfeasibleSystem) {
+  std::vector<Halfspace> hs = {
+      Halfspace(Vec{1.0}, 0.0),
+      Halfspace(Vec{-1.0}, -1.0),
+  };
+  const LpResult r = ChebyshevCenter(hs, 1);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(IsFeasibleTest, Basic) {
+  EXPECT_TRUE(IsFeasible(BoxHalfspaces(Vec{0.0}, Vec{1.0}), 1));
+  EXPECT_FALSE(IsFeasible(
+      {Halfspace(Vec{1.0}, -1.0), Halfspace(Vec{-1.0}, -1.0)}, 1));
+}
+
+TEST(IrredundantTest, RemovesLooseBound) {
+  std::vector<Halfspace> hs = {
+      Halfspace(Vec{1.0, 0.0}, 1.0),   // x <= 1 (tight)
+      Halfspace(Vec{1.0, 0.0}, 5.0),   // x <= 5 (redundant)
+      Halfspace(Vec{-1.0, 0.0}, 0.0),  // x >= 0
+      Halfspace(Vec{0.0, 1.0}, 1.0),   // y <= 1
+      Halfspace(Vec{0.0, -1.0}, 0.0),  // y >= 0
+  };
+  const auto kept = IrredundantHalfspaces(hs, 2);
+  ASSERT_EQ(kept.size(), 4u);
+  for (size_t idx : kept) EXPECT_NE(idx, 1u);
+}
+
+TEST(LpTest, RandomizedAgainstVertexEnumeration2D) {
+  // On random bounded 2-D systems, the LP optimum must match the best
+  // box-corner/constraint intersection found by brute force sampling.
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<Halfspace> hs = BoxHalfspaces(Vec{0.0, 0.0}, Vec{1.0, 1.0});
+    for (int extra = 0; extra < 4; ++extra) {
+      Vec n{rng.Uniform(-1.0, 1.0), rng.Uniform(-1.0, 1.0)};
+      if (n.Norm() < 0.1) continue;
+      hs.emplace_back(n, rng.Uniform(0.3, 1.5));
+    }
+    const Vec c{rng.Uniform(-1.0, 1.0), rng.Uniform(-1.0, 1.0)};
+    const LpResult r = SolveLp(c, hs);
+    if (!r.ok()) continue;  // possibly infeasible draw
+    // Dense grid check: no feasible point may beat the LP optimum.
+    double best_grid = -1e9;
+    for (int i = 0; i <= 60; ++i) {
+      for (int j = 0; j <= 60; ++j) {
+        const Vec p{i / 60.0, j / 60.0};
+        bool feasible = true;
+        for (const Halfspace& h : hs) {
+          if (!h.Contains(p, 1e-12)) {
+            feasible = false;
+            break;
+          }
+        }
+        if (feasible) best_grid = std::max(best_grid, Dot(c, p));
+      }
+    }
+    EXPECT_GE(r.objective + 1e-6, best_grid) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace toprr

@@ -1,0 +1,67 @@
+#include "topk/onion.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/generator.h"
+#include "topk/topk.h"
+
+namespace toprr {
+namespace {
+
+TEST(OnionTest, FirstLayerIsHullOfSquare) {
+  const Dataset ds = Dataset::FromRows({
+      Vec{0.0, 0.0}, Vec{1.0, 0.0}, Vec{0.0, 1.0}, Vec{1.0, 1.0},
+      Vec{0.5, 0.5},  // interior
+  });
+  const std::vector<int> layer1 = OnionLayers(ds, 1);
+  EXPECT_EQ(layer1, (std::vector<int>{0, 1, 2, 3}));
+  const std::vector<int> layers2 = OnionLayers(ds, 2);
+  EXPECT_EQ(layers2.size(), 5u);  // second layer degenerates to the rest
+}
+
+TEST(OnionTest, MonotoneInK) {
+  const Dataset ds = GenerateSynthetic(500, 3,
+                                       Distribution::kIndependent, 20);
+  size_t prev = 0;
+  for (int k : {1, 2, 3, 5}) {
+    const std::vector<int> layers = OnionLayers(ds, k);
+    EXPECT_GE(layers.size(), prev);
+    prev = layers.size();
+  }
+}
+
+TEST(OnionTest, ContainsEveryTopKResult) {
+  // The union of k onion layers contains the top-k of every linear query
+  // with non-negative weights.
+  const Dataset ds = GenerateSynthetic(400, 3,
+                                       Distribution::kIndependent, 21);
+  const int k = 3;
+  const std::vector<int> layers = OnionLayers(ds, k);
+  Rng rng(22);
+  for (int trial = 0; trial < 20; ++trial) {
+    Vec w(3);
+    double sum = 0.0;
+    for (size_t j = 0; j < 3; ++j) {
+      w[j] = rng.Uniform() + 1e-3;
+      sum += w[j];
+    }
+    w /= sum;
+    const TopkResult topk = ComputeTopK(ds, w, k);
+    for (const ScoredOption& e : topk.entries) {
+      EXPECT_TRUE(std::binary_search(layers.begin(), layers.end(), e.id));
+    }
+  }
+}
+
+TEST(OnionTest, DegenerateDatasetAllReturned) {
+  // Collinear 2-D points: hull is degenerate, everything lands in layer 1.
+  const Dataset ds = Dataset::FromRows(
+      {Vec{0.1, 0.1}, Vec{0.5, 0.5}, Vec{0.9, 0.9}});
+  EXPECT_EQ(OnionLayers(ds, 1).size(), 3u);
+}
+
+}  // namespace
+}  // namespace toprr

@@ -1,0 +1,146 @@
+#include "core/placement.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/generator.h"
+
+namespace toprr {
+namespace {
+
+Dataset PaperFigure1Dataset() {
+  return Dataset::FromRows({
+      Vec{0.9, 0.4},  // p1
+      Vec{0.7, 0.9},  // p2
+      Vec{0.6, 0.2},  // p3
+      Vec{0.3, 0.8},  // p4
+      Vec{0.2, 0.3},  // p5
+      Vec{0.1, 0.1},  // p6
+  });
+}
+
+PrefBox Interval(double lo, double hi) {
+  PrefBox box;
+  box.lo = Vec{lo};
+  box.hi = Vec{hi};
+  return box;
+}
+
+TEST(PlacementTest, MinimumCostCreationIsInRegion) {
+  const Dataset ds = PaperFigure1Dataset();
+  const ToprrResult region = SolveToprr(ds, 3, Interval(0.2, 0.8));
+  const PlacementResult placement = MinimumCostCreation(region);
+  ASSERT_TRUE(placement.ok);
+  EXPECT_TRUE(region.Contains(placement.option, 1e-6));
+  EXPECT_NEAR(placement.cost, placement.option.SquaredNorm(), 1e-12);
+  // Optimality: no cheaper point on a dense grid inside the region.
+  for (int gx = 0; gx <= 50; ++gx) {
+    for (int gy = 0; gy <= 50; ++gy) {
+      const Vec o{gx / 50.0, gy / 50.0};
+      if (region.Contains(o, -1e-9)) {
+        EXPECT_GE(o.SquaredNorm(), placement.cost - 1e-6);
+      }
+    }
+  }
+}
+
+TEST(PlacementTest, EnhancementMatchesPaperScenario) {
+  // Paper Fig. 1(c): revamping p4 = (0.3, 0.8) moves it to the boundary of
+  // oR at minimum Euclidean distance.
+  const Dataset ds = PaperFigure1Dataset();
+  const ToprrResult region = SolveToprr(ds, 3, Interval(0.2, 0.8));
+  const Vec p4{0.3, 0.8};
+  ASSERT_FALSE(region.Contains(p4));
+  const PlacementResult placement = MinimumModification(region, p4);
+  ASSERT_TRUE(placement.ok);
+  EXPECT_TRUE(region.Contains(placement.option, 1e-6));
+  EXPECT_GT(placement.cost, 0.0);
+  EXPECT_NEAR(placement.cost, Distance(placement.option, p4), 1e-12);
+  // The enhanced p4 must improve (weakly) in both attributes -- moving
+  // toward the region never decreases competitiveness here.
+  EXPECT_GE(placement.option[0], p4[0] - 1e-9);
+}
+
+TEST(PlacementTest, OptionAlreadyInsideCostsNothing) {
+  const Dataset ds = PaperFigure1Dataset();
+  const ToprrResult region = SolveToprr(ds, 3, Interval(0.2, 0.8));
+  const Vec p2{0.7, 0.9};
+  ASSERT_TRUE(region.Contains(p2));
+  const PlacementResult placement = MinimumModification(region, p2);
+  ASSERT_TRUE(placement.ok);
+  EXPECT_NEAR(placement.cost, 0.0, 1e-7);
+  EXPECT_TRUE(ApproxEqual(placement.option, p2, 1e-6));
+}
+
+TEST(PlacementTest, BudgetSearchFindsSmallestK) {
+  const Dataset ds = PaperFigure1Dataset();
+  const Vec p5{0.2, 0.3};
+  // With a generous budget the smallest k should go low; with a tiny
+  // budget the search fails at k_max already or returns a larger k.
+  const auto generous =
+      SmallestKWithinBudget(ds, Interval(0.2, 0.8), p5, 2.0, 4);
+  ASSERT_TRUE(generous.has_value());
+  EXPECT_EQ(generous->k, 1);
+  EXPECT_LE(generous->placement.cost, 2.0);
+
+  const auto tight =
+      SmallestKWithinBudget(ds, Interval(0.2, 0.8), p5, 0.25, 4);
+  if (tight.has_value()) {
+    EXPECT_GE(tight->k, generous->k);
+    EXPECT_LE(tight->placement.cost, 0.25);
+  }
+
+  const auto impossible =
+      SmallestKWithinBudget(ds, Interval(0.2, 0.8), p5, 1e-6, 2);
+  EXPECT_FALSE(impossible.has_value());
+}
+
+TEST(PlacementTest, ConstrainedCreationRespectsExtraHalfspaces) {
+  const Dataset ds = PaperFigure1Dataset();
+  const ToprrResult region = SolveToprr(ds, 3, Interval(0.2, 0.8));
+  // Manufacturing constraint: speed + battery <= 1.3 (paper Sec. 3.1).
+  const std::vector<Halfspace> extra = {Halfspace(Vec{1.0, 1.0}, 1.3)};
+  const PlacementResult constrained =
+      MinimumCostCreationConstrained(region, extra);
+  ASSERT_TRUE(constrained.ok);
+  EXPECT_TRUE(region.Contains(constrained.option, 1e-6));
+  EXPECT_LE(constrained.option.Sum(), 1.3 + 1e-6);
+  // Constraints can only make the design as expensive or more.
+  const PlacementResult unconstrained = MinimumCostCreation(region);
+  EXPECT_GE(constrained.cost, unconstrained.cost - 1e-9);
+}
+
+TEST(PlacementTest, ConstrainedModificationInfeasible) {
+  const Dataset ds = PaperFigure1Dataset();
+  const ToprrResult region = SolveToprr(ds, 3, Interval(0.2, 0.8));
+  // An impossible constraint: both attributes below 0.1 cannot be
+  // top-ranking here.
+  const std::vector<Halfspace> extra = {
+      Halfspace(Vec{1.0, 0.0}, 0.1),
+      Halfspace(Vec{0.0, 1.0}, 0.1),
+  };
+  const PlacementResult r =
+      MinimumModificationConstrained(region, Vec{0.05, 0.05}, extra);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(PlacementTest, BudgetMonotoneCostInK) {
+  // Cost of the optimal enhancement grows as k shrinks (paper Sec. 3.1).
+  const Dataset ds = GenerateSynthetic(200, 3, Distribution::kIndependent,
+                                       300);
+  PrefBox box;
+  box.lo = Vec{0.3, 0.3};
+  box.hi = Vec{0.34, 0.34};
+  const Vec current(3, 0.2);
+  double prev_cost = -1.0;
+  for (int k : {10, 5, 2, 1}) {
+    const ToprrResult region = SolveToprr(ds, k, box);
+    const PlacementResult placement = MinimumModification(region, current);
+    ASSERT_TRUE(placement.ok) << "k=" << k;
+    EXPECT_GE(placement.cost, prev_cost - 1e-7) << "k=" << k;
+    prev_cost = placement.cost;
+  }
+}
+
+}  // namespace
+}  // namespace toprr

@@ -1,0 +1,187 @@
+#include "pref/pref_space.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/generator.h"
+
+namespace toprr {
+namespace {
+
+TEST(PrefSpaceTest, FullAndReducedWeightRoundTrip) {
+  const Vec x{0.2, 0.3};
+  const Vec w = FullWeight(x);
+  ASSERT_EQ(w.dim(), 3u);
+  EXPECT_DOUBLE_EQ(w[0], 0.2);
+  EXPECT_DOUBLE_EQ(w[1], 0.3);
+  EXPECT_DOUBLE_EQ(w[2], 0.5);
+  EXPECT_NEAR(w.Sum(), 1.0, 1e-15);
+  EXPECT_TRUE(ApproxEqual(ReducedWeight(w), x, 1e-15));
+}
+
+TEST(PrefSpaceTest, ReducedScoreMatchesFullDot) {
+  Rng rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    const size_t d = 2 + static_cast<size_t>(trial % 5);
+    Vec p(d);
+    for (size_t j = 0; j < d; ++j) p[j] = rng.Uniform();
+    Vec x(d - 1);
+    double sum = 0.0;
+    for (size_t j = 0; j + 1 < d; ++j) {
+      x[j] = rng.Uniform(0.0, 1.0 / static_cast<double>(d));
+      sum += x[j];
+    }
+    ASSERT_LE(sum, 1.0);
+    EXPECT_NEAR(ReducedScore(p.data(), x), Dot(p, FullWeight(x)), 1e-12);
+  }
+}
+
+TEST(PrefSpaceTest, ScoreDiffConsistency) {
+  const Vec p{0.9, 0.4};
+  const Vec q{0.7, 0.9};
+  const Vec x{0.6};
+  EXPECT_NEAR(ReducedScoreDiff(p.data(), q.data(), x),
+              ReducedScore(p.data(), x) - ReducedScore(q.data(), x), 1e-12);
+}
+
+TEST(PrefSpaceTest, EqualityHyperplaneIsCrossover) {
+  // p1 = (0.9, 0.4), p2 = (0.7, 0.9) cross at w[0] = 5/7 (paper Fig 1d).
+  const Vec p1{0.9, 0.4};
+  const Vec p2{0.7, 0.9};
+  const Hyperplane h = ScoreEqualityHyperplane(p1.data(), p2.data(), 1);
+  // Solve h: n*x = b.
+  ASSERT_NE(h.normal[0], 0.0);
+  EXPECT_NEAR(h.offset / h.normal[0], 5.0 / 7.0, 1e-12);
+  // On-plane score equality:
+  const Vec x{5.0 / 7.0};
+  EXPECT_NEAR(ReducedScoreDiff(p1.data(), p2.data(), x), 0.0, 1e-12);
+}
+
+TEST(PrefSpaceTest, PreferenceHalfspaceOrientation) {
+  const Vec p1{0.9, 0.4};
+  const Vec p2{0.7, 0.9};
+  const Halfspace wh = ScorePreferenceHalfspace(p1.data(), p2.data(), 1);
+  // p1 preferred at x = 0.9 (speed-heavy), not at x = 0.2.
+  EXPECT_TRUE(wh.Contains(Vec{0.9}));
+  EXPECT_FALSE(wh.Contains(Vec{0.2}));
+}
+
+TEST(PrefBoxTest, VerticesAndContains) {
+  PrefBox box;
+  box.lo = Vec{0.2, 0.1};
+  box.hi = Vec{0.3, 0.2};
+  const std::vector<Vec> corners = box.Vertices();
+  ASSERT_EQ(corners.size(), 4u);
+  for (const Vec& c : corners) EXPECT_TRUE(box.Contains(c));
+  EXPECT_TRUE(box.Contains(Vec{0.25, 0.15}));
+  EXPECT_FALSE(box.Contains(Vec{0.35, 0.15}));
+  EXPECT_TRUE(box.InsideSimplex());
+  EXPECT_TRUE(ApproxEqual(box.Center(), Vec{0.25, 0.15}, 1e-15));
+}
+
+TEST(PrefBoxTest, SimplexViolationDetected) {
+  PrefBox box;
+  box.lo = Vec{0.6, 0.3};
+  box.hi = Vec{0.7, 0.5};  // sum hi = 1.2 > 1
+  EXPECT_FALSE(box.InsideSimplex());
+}
+
+TEST(PrefBoxTest, HalfspacesMatchContains) {
+  PrefBox box;
+  box.lo = Vec{0.1, 0.2};
+  box.hi = Vec{0.4, 0.3};
+  const auto hs = box.Halfspaces();
+  Rng rng(2);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Vec x{rng.Uniform(), rng.Uniform()};
+    bool in_hs = true;
+    for (const Halfspace& h : hs) {
+      if (!h.Contains(x, 1e-12)) {
+        in_hs = false;
+        break;
+      }
+    }
+    EXPECT_EQ(in_hs, box.Contains(x, 1e-12));
+  }
+}
+
+TEST(PrefSpaceTest, BoxScoreDiffExtremaMatchSampling) {
+  Rng rng(3);
+  const Dataset ds = GenerateSynthetic(20, 4,
+                                       Distribution::kIndependent, 30);
+  PrefBox box;
+  box.lo = Vec{0.1, 0.15, 0.2};
+  box.hi = Vec{0.2, 0.25, 0.3};
+  for (int trial = 0; trial < 40; ++trial) {
+    const int a = static_cast<int>(rng.UniformInt(0, 19));
+    const int b = static_cast<int>(rng.UniformInt(0, 19));
+    const double lo = MinScoreDiffOverBox(ds.Row(a), ds.Row(b), box);
+    const double hi = MaxScoreDiffOverBox(ds.Row(a), ds.Row(b), box);
+    EXPECT_LE(lo, hi + 1e-12);
+    double sampled_lo = 1e9;
+    double sampled_hi = -1e9;
+    for (int s = 0; s < 300; ++s) {
+      Vec x(3);
+      for (size_t j = 0; j < 3; ++j) {
+        x[j] = rng.Uniform(box.lo[j], box.hi[j]);
+      }
+      const double diff = ReducedScoreDiff(ds.Row(a), ds.Row(b), x);
+      sampled_lo = std::min(sampled_lo, diff);
+      sampled_hi = std::max(sampled_hi, diff);
+    }
+    EXPECT_LE(lo, sampled_lo + 1e-9);
+    EXPECT_GE(hi, sampled_hi - 1e-9);
+    // Corners attain the extrema (linear objective over a box).
+    double corner_lo = 1e9;
+    double corner_hi = -1e9;
+    for (const Vec& c : box.Vertices()) {
+      const double diff = ReducedScoreDiff(ds.Row(a), ds.Row(b), c);
+      corner_lo = std::min(corner_lo, diff);
+      corner_hi = std::max(corner_hi, diff);
+    }
+    EXPECT_NEAR(lo, corner_lo, 1e-12);
+    EXPECT_NEAR(hi, corner_hi, 1e-12);
+  }
+}
+
+TEST(RandomPrefBoxTest, SideLengthAndSimplex) {
+  Rng rng(4);
+  for (size_t dim : {1u, 3u, 5u}) {
+    for (int trial = 0; trial < 20; ++trial) {
+      const PrefBox box = RandomPrefBox(dim, 0.05, rng);
+      EXPECT_TRUE(box.InsideSimplex(1e-9));
+      for (size_t j = 0; j < dim; ++j) {
+        EXPECT_NEAR(box.hi[j] - box.lo[j], 0.05, 1e-12);
+        EXPECT_GE(box.lo[j], -1e-12);
+      }
+    }
+  }
+}
+
+TEST(RandomPrefBoxTest, OversizedBoxIsShrunk) {
+  Rng rng(5);
+  // side 0.2 in 11 dims: total 2.2 > 1, must shrink but stay valid.
+  const PrefBox box = RandomPrefBox(11, 0.2, rng);
+  EXPECT_TRUE(box.InsideSimplex(1e-9));
+}
+
+TEST(RandomElongatedPrefBoxTest, VolumePreserved) {
+  Rng rng(6);
+  const size_t dim = 3;
+  const double sigma = 0.05;
+  for (double gamma : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+    const PrefBox box = RandomElongatedPrefBox(dim, sigma, gamma, rng);
+    double volume = 1.0;
+    int long_sides = 0;
+    for (size_t j = 0; j < dim; ++j) {
+      const double side = box.hi[j] - box.lo[j];
+      volume *= side;
+      if (side > sigma * 1.01 || side < sigma * 0.99) ++long_sides;
+    }
+    EXPECT_NEAR(volume, std::pow(sigma, 3.0), 1e-10) << "gamma " << gamma;
+    if (gamma != 1.0) EXPECT_GE(long_sides, 1);
+  }
+}
+
+}  // namespace
+}  // namespace toprr

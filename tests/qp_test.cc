@@ -1,0 +1,118 @@
+#include "geom/qp.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace toprr {
+namespace {
+
+TEST(QpTest, InteriorTargetIsFixedPoint) {
+  const auto hs = BoxHalfspaces(Vec{0.0, 0.0}, Vec{1.0, 1.0});
+  const Vec target{0.4, 0.6};
+  const QpResult r = ProjectOntoPolytope(target, hs);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(ApproxEqual(r.x, target, 1e-8));
+  EXPECT_NEAR(r.objective, 0.0, 1e-12);
+}
+
+TEST(QpTest, ProjectOntoFace) {
+  const auto hs = BoxHalfspaces(Vec{0.0, 0.0}, Vec{1.0, 1.0});
+  const QpResult r = ProjectOntoPolytope(Vec{2.0, 0.5}, hs);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.x[0], 1.0, 1e-8);
+  EXPECT_NEAR(r.x[1], 0.5, 1e-8);
+}
+
+TEST(QpTest, ProjectOntoCorner) {
+  const auto hs = BoxHalfspaces(Vec{0.0, 0.0}, Vec{1.0, 1.0});
+  const QpResult r = ProjectOntoPolytope(Vec{3.0, -2.0}, hs);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.x[0], 1.0, 1e-8);
+  EXPECT_NEAR(r.x[1], 0.0, 1e-8);
+}
+
+TEST(QpTest, ProjectOntoSlantedPlane) {
+  // Halfplane x + y <= 1; projecting (1,1) lands at (0.5, 0.5).
+  std::vector<Halfspace> hs = {
+      Halfspace(Vec{1.0, 1.0}, 1.0),
+      Halfspace(Vec{-1.0, 0.0}, 1.0),  // x >= -1 keeps Chebyshev bounded
+      Halfspace(Vec{0.0, -1.0}, 1.0),
+  };
+  const QpResult r = ProjectOntoPolytope(Vec{1.0, 1.0}, hs);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.x[0], 0.5, 1e-7);
+  EXPECT_NEAR(r.x[1], 0.5, 1e-7);
+}
+
+TEST(QpTest, Infeasible) {
+  std::vector<Halfspace> hs = {
+      Halfspace(Vec{1.0}, 0.0),
+      Halfspace(Vec{-1.0}, -1.0),
+  };
+  const QpResult r = ProjectOntoPolytope(Vec{0.5}, hs);
+  EXPECT_EQ(r.status, QpStatus::kInfeasible);
+}
+
+TEST(QpTest, MinimumQuadraticCost) {
+  // Feasible region x, y >= 0.3; nearest-to-origin is (0.3, 0.3).
+  std::vector<Halfspace> hs = {
+      Halfspace(Vec{-1.0, 0.0}, -0.3),
+      Halfspace(Vec{0.0, -1.0}, -0.3),
+      Halfspace(Vec{1.0, 0.0}, 1.0),
+      Halfspace(Vec{0.0, 1.0}, 1.0),
+  };
+  const QpResult r = MinimumQuadraticCostPoint(hs, 2);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.x[0], 0.3, 1e-7);
+  EXPECT_NEAR(r.x[1], 0.3, 1e-7);
+}
+
+TEST(QpTest, RandomProjectionsSatisfyOptimalityConditions) {
+  // Projection optimality: for the result x*, the vector (target - x*)
+  // must be a non-negative combination of active constraint normals;
+  // verify the weaker but sufficient variational inequality
+  //   (target - x*) . (y - x*) <= tol for all feasible y (sampled).
+  Rng rng(23);
+  for (int trial = 0; trial < 15; ++trial) {
+    const size_t d = 2 + static_cast<size_t>(trial % 3);
+    std::vector<Halfspace> hs = BoxHalfspaces(Vec(d, 0.0), Vec(d, 1.0));
+    for (int extra = 0; extra < 3; ++extra) {
+      Vec n(d);
+      for (size_t j = 0; j < d; ++j) n[j] = rng.Uniform(-1.0, 1.0);
+      if (n.Norm() < 0.3) continue;
+      hs.emplace_back(n, Dot(n, Vec(d, 0.5)) + rng.Uniform(0.05, 0.5));
+    }
+    Vec target(d);
+    for (size_t j = 0; j < d; ++j) target[j] = rng.Uniform(-1.0, 2.0);
+    const QpResult r = ProjectOntoPolytope(target, hs);
+    ASSERT_TRUE(r.ok()) << "trial " << trial;
+    const Vec g = target - r.x;
+    for (int sample = 0; sample < 200; ++sample) {
+      Vec y(d);
+      for (size_t j = 0; j < d; ++j) y[j] = rng.Uniform();
+      bool feasible = true;
+      for (const Halfspace& h : hs) {
+        if (!h.Contains(y, 1e-12)) {
+          feasible = false;
+          break;
+        }
+      }
+      if (!feasible) continue;
+      EXPECT_LE(Dot(g, y - r.x), 1e-6)
+          << "variational inequality violated, trial " << trial;
+    }
+  }
+}
+
+TEST(QpTest, WarmStartFromGivenPoint) {
+  const auto hs = BoxHalfspaces(Vec{0.0, 0.0}, Vec{1.0, 1.0});
+  const Vec start{0.1, 0.1};
+  const QpResult r = ProjectOntoPolytope(Vec{0.9, 2.0}, hs, &start);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.x[0], 0.9, 1e-7);
+  EXPECT_NEAR(r.x[1], 1.0, 1e-7);
+}
+
+}  // namespace
+}  // namespace toprr

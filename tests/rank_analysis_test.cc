@@ -1,0 +1,110 @@
+#include "core/rank_analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/generator.h"
+#include "topk/topk.h"
+
+namespace toprr {
+namespace {
+
+Dataset PaperFigure1Dataset() {
+  return Dataset::FromRows({
+      Vec{0.9, 0.4}, Vec{0.7, 0.9}, Vec{0.6, 0.2},
+      Vec{0.3, 0.8}, Vec{0.2, 0.3}, Vec{0.1, 0.1},
+  });
+}
+
+PrefBox Interval(double lo, double hi) {
+  PrefBox box;
+  box.lo = Vec{lo};
+  box.hi = Vec{hi};
+  return box;
+}
+
+TEST(RankAnalysisTest, PaperExampleBestRanks) {
+  const Dataset ds = PaperFigure1Dataset();
+  const PrefBox wr = Interval(0.2, 0.8);
+  // p2 tops the ranking for most of [0.2, 0.8] -> best rank 1.
+  EXPECT_EQ(BestAchievableRank(ds, 1, wr, 6), 1);
+  // p1 reaches rank 1 for speed-heavy weights (> 5/7).
+  EXPECT_EQ(BestAchievableRank(ds, 0, wr, 6), 1);
+  // p4 reaches rank 2 (just below p2 for battery-heavy weights).
+  EXPECT_EQ(BestAchievableRank(ds, 3, wr, 6), 2);
+  // p3 peaks at rank 3 (enters top-3 near w = 0.8).
+  EXPECT_EQ(BestAchievableRank(ds, 2, wr, 6), 3);
+  // p6 is always last.
+  EXPECT_EQ(BestAchievableRank(ds, 5, wr, 6), 6);
+  // ... and outside the top-5 everywhere.
+  EXPECT_FALSE(BestAchievableRank(ds, 5, wr, 5).has_value());
+}
+
+TEST(RankAnalysisTest, PaperExampleGuaranteedRanks) {
+  const Dataset ds = PaperFigure1Dataset();
+  const PrefBox wr = Interval(0.2, 0.8);
+  // p2 is top-2 everywhere in [0.2, 0.8] but not top-1 (p1 wins at 0.8).
+  EXPECT_EQ(GuaranteedRank(ds, 1, wr, 6), 2);
+  // p1 is in the top-3 everywhere (3rd place at battery-leaning weights).
+  EXPECT_EQ(GuaranteedRank(ds, 0, wr, 6), 3);
+  // p4 drops out of the top-3 at speed-heavy weights; guaranteed rank 4.
+  EXPECT_EQ(GuaranteedRank(ds, 3, wr, 6), 4);
+  // p6 only when k covers the whole dataset.
+  EXPECT_EQ(GuaranteedRank(ds, 5, wr, 6), 6);
+}
+
+TEST(RankAnalysisTest, GuaranteedAtLeastBest) {
+  const Dataset ds = GenerateSynthetic(150, 3, Distribution::kIndependent,
+                                       600);
+  PrefBox box;
+  box.lo = Vec{0.25, 0.25};
+  box.hi = Vec{0.3, 0.3};
+  Rng rng(601);
+  for (int trial = 0; trial < 8; ++trial) {
+    const int option = static_cast<int>(rng.UniformInt(0, ds.size() - 1));
+    const auto best = BestAchievableRank(ds, option, box, 30);
+    const auto guaranteed = GuaranteedRank(ds, option, box, 30);
+    if (guaranteed.has_value()) {
+      ASSERT_TRUE(best.has_value());
+      EXPECT_LE(*best, *guaranteed);
+    }
+  }
+}
+
+TEST(RankAnalysisTest, MatchesSampledRanks) {
+  const Dataset ds = GenerateSynthetic(200, 3, Distribution::kIndependent,
+                                       602);
+  PrefBox box;
+  box.lo = Vec{0.3, 0.25};
+  box.hi = Vec{0.34, 0.29};
+  std::vector<int> ids(ds.size());
+  for (size_t i = 0; i < ds.size(); ++i) ids[i] = static_cast<int>(i);
+  Rng rng(603);
+  for (int trial = 0; trial < 5; ++trial) {
+    const int option = static_cast<int>(rng.UniformInt(0, ds.size() - 1));
+    // Sampled min/max rank over the box (approximation of best/worst).
+    int sampled_best = static_cast<int>(ds.size());
+    int sampled_worst = 1;
+    for (int s = 0; s < 200; ++s) {
+      Vec x(2);
+      for (size_t j = 0; j < 2; ++j) {
+        x[j] = rng.Uniform(box.lo[j], box.hi[j]);
+      }
+      const int rank = RankOfOption(ds, ids, x, option);
+      sampled_best = std::min(sampled_best, rank);
+      sampled_worst = std::max(sampled_worst, rank);
+    }
+    const auto best = BestAchievableRank(ds, option, box, ds.size());
+    const auto guaranteed = GuaranteedRank(ds, option, box, ds.size());
+    ASSERT_TRUE(best.has_value());
+    ASSERT_TRUE(guaranteed.has_value());
+    // Exact best <= sampled best; exact guaranteed >= sampled worst.
+    EXPECT_LE(*best, sampled_best);
+    EXPECT_GE(*guaranteed, sampled_worst);
+    // And sampling can't be better than exact by much on a tiny box:
+    EXPECT_GE(sampled_best, *best);
+  }
+}
+
+}  // namespace
+}  // namespace toprr

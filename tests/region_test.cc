@@ -1,0 +1,198 @@
+#include "pref/region.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace toprr {
+namespace {
+
+PrefBox MakeBox(std::initializer_list<double> lo,
+                std::initializer_list<double> hi) {
+  PrefBox box;
+  box.lo = Vec(lo);
+  box.hi = Vec(hi);
+  return box;
+}
+
+TEST(RegionTest, FromBox1D) {
+  const PrefRegion region = PrefRegion::FromBox(MakeBox({0.2}, {0.8}));
+  EXPECT_EQ(region.dim(), 1u);
+  EXPECT_EQ(region.vertices().size(), 2u);
+  EXPECT_EQ(region.facets().size(), 2u);
+  EXPECT_TRUE(region.Contains(Vec{0.5}));
+  EXPECT_FALSE(region.Contains(Vec{0.9}));
+}
+
+TEST(RegionTest, FromBox2DStructure) {
+  const PrefRegion region =
+      PrefRegion::FromBox(MakeBox({0.2, 0.1}, {0.3, 0.2}));
+  EXPECT_EQ(region.vertices().size(), 4u);
+  EXPECT_EQ(region.facets().size(), 4u);
+  for (const RegionFacet& f : region.facets()) {
+    EXPECT_EQ(f.vertex_ids.size(), 2u);
+    // Incident vertices lie on the facet boundary.
+    for (int vid : f.vertex_ids) {
+      EXPECT_NEAR(f.halfspace.Violation(region.vertices()[vid]), 0.0, 1e-12);
+    }
+  }
+  EXPECT_TRUE(ApproxEqual(region.Centroid(), Vec{0.25, 0.15}, 1e-12));
+}
+
+TEST(RegionTest, FromBox3DStructure) {
+  const PrefRegion region =
+      PrefRegion::FromBox(MakeBox({0.2, 0.0, 0.0}, {0.3, 0.3, 0.1}));
+  EXPECT_EQ(region.vertices().size(), 8u);
+  EXPECT_EQ(region.facets().size(), 6u);
+  for (const RegionFacet& f : region.facets()) {
+    EXPECT_EQ(f.vertex_ids.size(), 4u);
+  }
+}
+
+TEST(RegionSplitTest, Interval) {
+  const PrefRegion region = PrefRegion::FromBox(MakeBox({0.2}, {0.8}));
+  const Hyperplane plane(Vec{1.0}, 0.5);  // x = 0.5
+  const auto split = region.Split(plane);
+  ASSERT_TRUE(split.below.has_value());
+  ASSERT_TRUE(split.above.has_value());
+  EXPECT_TRUE(split.below->Contains(Vec{0.3}));
+  EXPECT_FALSE(split.below->Contains(Vec{0.7}));
+  EXPECT_TRUE(split.above->Contains(Vec{0.7}));
+  // New vertex at 0.5 on both children.
+  const auto has_half = [](const PrefRegion& r) {
+    return std::any_of(r.vertices().begin(), r.vertices().end(),
+                       [](const Vec& v) {
+                         return std::abs(v[0] - 0.5) < 1e-12;
+                       });
+  };
+  EXPECT_TRUE(has_half(*split.below));
+  EXPECT_TRUE(has_half(*split.above));
+}
+
+TEST(RegionSplitTest, NonCuttingPlaneReturnsOneSide) {
+  const PrefRegion region = PrefRegion::FromBox(MakeBox({0.2}, {0.8}));
+  const auto split = region.Split(Hyperplane(Vec{1.0}, 0.9));
+  EXPECT_TRUE(split.below.has_value());
+  EXPECT_FALSE(split.above.has_value());
+  EXPECT_EQ(split.below->vertices().size(), 2u);
+}
+
+TEST(RegionSplitTest, SquareDiagonal) {
+  // Split the unit square by x = y; each child is a triangle.
+  const PrefRegion region =
+      PrefRegion::FromBox(MakeBox({0.0, 0.0}, {0.4, 0.4}));
+  const Hyperplane diag(Vec{1.0, -1.0}, 0.0);
+  const auto split = region.Split(diag);
+  ASSERT_TRUE(split.below.has_value());
+  ASSERT_TRUE(split.above.has_value());
+  // Each child is a triangle: the two on-plane corners plus one off-plane
+  // corner (the diagonal passes through box corners, so no new vertices).
+  EXPECT_EQ(split.below->vertices().size(), 3u);
+  EXPECT_TRUE(split.below->Contains(Vec{0.1, 0.3}));
+  EXPECT_FALSE(split.below->Contains(Vec{0.3, 0.1}));
+  EXPECT_TRUE(split.above->Contains(Vec{0.3, 0.1}));
+}
+
+TEST(RegionSplitTest, SquareAxisCut) {
+  const PrefRegion region =
+      PrefRegion::FromBox(MakeBox({0.0, 0.0}, {1.0, 1.0}));
+  const auto split = region.Split(Hyperplane(Vec{1.0, 0.0}, 0.25));
+  ASSERT_TRUE(split.below.has_value());
+  ASSERT_TRUE(split.above.has_value());
+  EXPECT_EQ(split.below->vertices().size(), 4u);
+  EXPECT_EQ(split.above->vertices().size(), 4u);
+  EXPECT_EQ(split.below->facets().size(), 4u);
+  EXPECT_EQ(split.above->facets().size(), 4u);
+  // Facet/vertex incidence still consistent.
+  for (const PrefRegion* child : {&*split.below, &*split.above}) {
+    for (const RegionFacet& f : child->facets()) {
+      for (int vid : f.vertex_ids) {
+        EXPECT_NEAR(f.halfspace.Violation(child->vertices()[vid]), 0.0,
+                    1e-9);
+      }
+    }
+  }
+}
+
+TEST(RegionSplitTest, CubeSplitGeneralPlane) {
+  const PrefRegion region =
+      PrefRegion::FromBox(MakeBox({0.0, 0.0, 0.0}, {0.2, 0.2, 0.2}));
+  const Hyperplane plane(Vec{1.0, 1.0, 1.0}, 0.3);
+  const auto split = region.Split(plane);
+  ASSERT_TRUE(split.below.has_value());
+  ASSERT_TRUE(split.above.has_value());
+  // Sample containment agreement with the half-space definition.
+  Rng rng(8);
+  for (int trial = 0; trial < 500; ++trial) {
+    const Vec x{rng.Uniform(0.0, 0.2), rng.Uniform(0.0, 0.2),
+                rng.Uniform(0.0, 0.2)};
+    const double side = plane.Eval(x);
+    if (std::abs(side) < 1e-6) continue;
+    if (side < 0.0) {
+      EXPECT_TRUE(split.below->Contains(x, 1e-9));
+      EXPECT_FALSE(split.above->Contains(x, 1e-9));
+    } else {
+      EXPECT_TRUE(split.above->Contains(x, 1e-9));
+      EXPECT_FALSE(split.below->Contains(x, 1e-9));
+    }
+  }
+}
+
+TEST(RegionSplitTest, RepeatedSplitsPreserveVolumePartition) {
+  // After several random splits, any sample point of the original box
+  // belongs to at least one leaf region (and leaves do not overlap except
+  // at boundaries).
+  Rng rng(9);
+  std::vector<PrefRegion> leaves = {
+      PrefRegion::FromBox(MakeBox({0.1, 0.1}, {0.5, 0.5}))};
+  for (int round = 0; round < 5; ++round) {
+    std::vector<PrefRegion> next;
+    for (const PrefRegion& leaf : leaves) {
+      Vec n{rng.Uniform(-1.0, 1.0), rng.Uniform(-1.0, 1.0)};
+      if (n.Norm() < 0.2) {
+        next.push_back(leaf);
+        continue;
+      }
+      const Vec c = leaf.Centroid();
+      const Hyperplane plane(n, Dot(n, c));  // passes through the centroid
+      const auto split = leaf.Split(plane);
+      if (split.below.has_value()) next.push_back(*split.below);
+      if (split.above.has_value()) next.push_back(*split.above);
+    }
+    leaves = std::move(next);
+  }
+  for (int trial = 0; trial < 300; ++trial) {
+    const Vec x{rng.Uniform(0.1, 0.5), rng.Uniform(0.1, 0.5)};
+    int containing = 0;
+    for (const PrefRegion& leaf : leaves) {
+      if (leaf.Contains(x, 1e-9)) ++containing;
+    }
+    EXPECT_GE(containing, 1) << "point lost by splitting: " << x.ToString();
+  }
+}
+
+TEST(RegionSplitTest, OnPlaneVerticesJoinBothChildren) {
+  // Plane through two opposite corners of the square.
+  const PrefRegion region =
+      PrefRegion::FromBox(MakeBox({0.0, 0.0}, {1.0, 1.0}));
+  const Hyperplane diag(Vec{1.0, -1.0}, 0.0);  // through (0,0) and (1,1)
+  const auto split = region.Split(diag);
+  ASSERT_TRUE(split.below.has_value());
+  ASSERT_TRUE(split.above.has_value());
+  for (const PrefRegion* child : {&*split.below, &*split.above}) {
+    bool has_origin = false;
+    bool has_ones = false;
+    for (const Vec& v : child->vertices()) {
+      if (ApproxEqual(v, Vec{0.0, 0.0}, 1e-12)) has_origin = true;
+      if (ApproxEqual(v, Vec{1.0, 1.0}, 1e-12)) has_ones = true;
+    }
+    EXPECT_TRUE(has_origin);
+    EXPECT_TRUE(has_ones);
+    EXPECT_EQ(child->vertices().size(), 3u);  // a triangle
+  }
+}
+
+}  // namespace
+}  // namespace toprr

@@ -1,0 +1,191 @@
+// Failure-injection and robustness tests: budgets, caps, degenerate and
+// adversarial inputs, determinism, and CHECK death tests.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "core/placement.h"
+#include "core/toprr.h"
+#include "data/generator.h"
+#include "topk/topk.h"
+
+namespace toprr {
+namespace {
+
+PrefBox Box2(double lo0, double lo1, double hi0, double hi1) {
+  PrefBox box;
+  box.lo = Vec{lo0, lo1};
+  box.hi = Vec{hi0, hi1};
+  return box;
+}
+
+TEST(RobustnessTest, TimeBudgetProducesCleanTimeout) {
+  const Dataset ds = GenerateSynthetic(5000, 5,
+                                       Distribution::kAnticorrelated, 500);
+  PrefBox box;
+  box.lo = Vec(4, 0.15);
+  box.hi = Vec(4, 0.22);
+  ToprrOptions options;
+  options.time_budget_seconds = 1e-5;
+  const ToprrResult r = SolveToprr(ds, 20, box, options);
+  EXPECT_TRUE(r.timed_out);
+  EXPECT_TRUE(r.impact_halfspaces.empty());
+}
+
+TEST(RobustnessTest, RegionCapProducesCleanTimeout) {
+  const Dataset ds = GenerateSynthetic(3000, 4,
+                                       Distribution::kAnticorrelated, 501);
+  PrefBox box;
+  box.lo = Vec(3, 0.1);
+  box.hi = Vec(3, 0.25);
+  ToprrOptions options;
+  options.max_regions = 3;
+  const ToprrResult r = SolveToprr(ds, 20, box, options);
+  EXPECT_TRUE(r.timed_out);
+}
+
+TEST(RobustnessTest, SolverIsDeterministic) {
+  const Dataset ds = GenerateSynthetic(800, 3,
+                                       Distribution::kAnticorrelated, 502);
+  const PrefBox box = Box2(0.2, 0.22, 0.27, 0.29);
+  const ToprrResult a = SolveToprr(ds, 7, box);
+  const ToprrResult b = SolveToprr(ds, 7, box);
+  ASSERT_EQ(a.impact_halfspaces.size(), b.impact_halfspaces.size());
+  for (size_t i = 0; i < a.impact_halfspaces.size(); ++i) {
+    EXPECT_TRUE(ApproxEqual(a.impact_halfspaces[i].normal,
+                            b.impact_halfspaces[i].normal, 0.0));
+    EXPECT_DOUBLE_EQ(a.impact_halfspaces[i].offset,
+                     b.impact_halfspaces[i].offset);
+  }
+  ASSERT_EQ(a.vall.size(), b.vall.size());
+}
+
+TEST(RobustnessTest, DuplicateHeavyDataset) {
+  // Many exact duplicates: tie-handling must neither crash nor loop.
+  Dataset ds;
+  Rng rng(503);
+  for (int i = 0; i < 50; ++i) {
+    const Vec p{rng.Uniform(), rng.Uniform(), rng.Uniform()};
+    for (int copies = 0; copies < 4; ++copies) ds.Append(p);
+  }
+  PrefBox box;
+  box.lo = Vec{0.2, 0.3};
+  box.hi = Vec{0.28, 0.38};
+  const ToprrResult r = SolveToprr(ds, 6, box);
+  ASSERT_FALSE(r.timed_out);
+  EXPECT_TRUE(r.Contains(Vec(3, 1.0)));
+  // The duplicated k-th option itself must sit on the region boundary: it
+  // scores exactly TopK at some vertex.
+  EXPECT_GT(r.impact_halfspaces.size(), 0u);
+}
+
+TEST(RobustnessTest, QuantizedAttributeTies) {
+  // All attributes on a coarse grid: massive score ties everywhere.
+  Dataset ds;
+  Rng rng(504);
+  for (int i = 0; i < 300; ++i) {
+    Vec p(3);
+    for (size_t j = 0; j < 3; ++j) {
+      p[j] = std::round(rng.Uniform() * 4.0) / 4.0;
+    }
+    ds.Append(p);
+  }
+  PrefBox box;
+  box.lo = Vec{0.25, 0.25};
+  box.hi = Vec{0.35, 0.35};
+  const ToprrResult r = SolveToprr(ds, 5, box);
+  ASSERT_FALSE(r.timed_out);
+  // Soundness spot-check against sampled ground truth.
+  std::vector<int> ids(ds.size());
+  for (size_t i = 0; i < ds.size(); ++i) ids[i] = static_cast<int>(i);
+  for (int trial = 0; trial < 100; ++trial) {
+    Vec o(3);
+    for (size_t j = 0; j < 3; ++j) o[j] = rng.Uniform(0.8, 1.0);
+    if (!r.Contains(o)) continue;
+    for (int s = 0; s < 30; ++s) {
+      Vec x(2);
+      for (size_t j = 0; j < 2; ++j) {
+        x[j] = rng.Uniform(box.lo[j], box.hi[j]);
+      }
+      const TopkResult topk = ComputeTopKReduced(ds, ids, x, 5);
+      EXPECT_GE(ReducedScore(o.data(), x), topk.KthScore() - 1e-9);
+    }
+  }
+}
+
+TEST(RobustnessTest, SingleCandidatePool) {
+  // k equal to a tiny dataset: the partitioner accepts immediately.
+  const Dataset ds = Dataset::FromRows(
+      {Vec{0.5, 0.5}, Vec{0.6, 0.4}, Vec{0.4, 0.6}});
+  PrefBox box;
+  box.lo = Vec{0.4};
+  box.hi = Vec{0.6};
+  const ToprrResult r = SolveToprr(ds, 3, box);
+  ASSERT_FALSE(r.timed_out);
+  EXPECT_TRUE(r.Contains(Vec{1.0, 1.0}));
+}
+
+TEST(RobustnessTest, TinyPreferenceBox) {
+  // A nearly point-sized wR behaves like a single-vector reverse top-k.
+  const Dataset ds = GenerateSynthetic(500, 3, Distribution::kIndependent,
+                                       505);
+  PrefBox box;
+  box.lo = Vec{0.3, 0.3};
+  box.hi = Vec{0.3 + 1e-9, 0.3 + 1e-9};
+  const ToprrResult r = SolveToprr(ds, 5, box);
+  ASSERT_FALSE(r.timed_out);
+  // With an effectively unique weight vector the region is bounded by a
+  // single distinct impact halfspace (plus the box).
+  EXPECT_LE(r.impact_halfspaces.size(), 4u);
+}
+
+TEST(RobustnessTest, ExtremeWeightsCornerBox) {
+  // wR hugging the simplex corner (w[0] ~ 1).
+  const Dataset ds = GenerateSynthetic(500, 3, Distribution::kIndependent,
+                                       506);
+  PrefBox box;
+  box.lo = Vec{0.93, 0.01};
+  box.hi = Vec{0.97, 0.02};
+  const ToprrResult r = SolveToprr(ds, 3, box);
+  ASSERT_FALSE(r.timed_out);
+  EXPECT_TRUE(r.Contains(Vec(3, 1.0)));
+}
+
+TEST(RobustnessCheckDeathTest, InvalidArgumentsAreRejected) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const Dataset ds = GenerateSynthetic(50, 3, Distribution::kIndependent,
+                                       507);
+  PrefBox box;
+  box.lo = Vec{0.2, 0.2};
+  box.hi = Vec{0.3, 0.3};
+  EXPECT_DEATH(SolveToprr(ds, 0, box), "CHECK failed");
+  EXPECT_DEATH(SolveToprr(ds, 51, box), "CHECK failed");
+  PrefBox wrong_dim;
+  wrong_dim.lo = Vec{0.2};
+  wrong_dim.hi = Vec{0.3};
+  EXPECT_DEATH(SolveToprr(ds, 3, wrong_dim), "CHECK failed");
+}
+
+TEST(RobustnessTest, PlacementOnDegenerateRegion) {
+  // Option pinned at the top corner makes oR degenerate for k=1; the
+  // placement QP must cope (projection onto a lower-dimensional set).
+  Dataset ds = GenerateSynthetic(50, 2, Distribution::kIndependent, 508);
+  ds.Append(Vec{1.0, 1.0});
+  PrefBox box;
+  box.lo = Vec{0.4};
+  box.hi = Vec{0.5};
+  const ToprrResult r = SolveToprr(ds, 1, box);
+  EXPECT_TRUE(r.degenerate);
+  const PlacementResult p = MinimumModification(r, Vec{0.5, 0.5});
+  if (p.ok) {
+    // The only feasible placements score >= 1 everywhere; the top corner
+    // qualifies.
+    EXPECT_NEAR(p.option[0], 1.0, 1e-5);
+    EXPECT_NEAR(p.option[1], 1.0, 1e-5);
+  }
+}
+
+}  // namespace
+}  // namespace toprr

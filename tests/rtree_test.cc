@@ -1,0 +1,104 @@
+#include "index/rtree.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/generator.h"
+#include "topk/skyband.h"
+#include "topk/topk.h"
+
+namespace toprr {
+namespace {
+
+TEST(RTreeTest, BulkLoadCoversAllPoints) {
+  const Dataset ds = GenerateSynthetic(1000, 3,
+                                       Distribution::kIndependent, 1);
+  const RTree tree = RTree::BulkLoad(ds);
+  // Count leaf entries and check MBR containment.
+  size_t total = 0;
+  for (size_t nid = 0; nid < tree.num_nodes(); ++nid) {
+    const RTree::Node& node = tree.node(static_cast<int>(nid));
+    if (!node.is_leaf) continue;
+    total += node.children.size();
+    for (int32_t pid : node.children) {
+      for (size_t j = 0; j < ds.dim(); ++j) {
+        EXPECT_LE(node.lo[j], ds.At(pid, j) + 1e-12);
+        EXPECT_GE(node.hi[j], ds.At(pid, j) - 1e-12);
+      }
+    }
+  }
+  EXPECT_EQ(total, ds.size());
+}
+
+TEST(RTreeTest, InnerNodesContainChildren) {
+  const Dataset ds = GenerateSynthetic(5000, 2,
+                                       Distribution::kIndependent, 2);
+  const RTree tree = RTree::BulkLoad(ds);
+  for (size_t nid = 0; nid < tree.num_nodes(); ++nid) {
+    const RTree::Node& node = tree.node(static_cast<int>(nid));
+    if (node.is_leaf) continue;
+    for (int32_t cid : node.children) {
+      const RTree::Node& child = tree.node(cid);
+      for (size_t j = 0; j < ds.dim(); ++j) {
+        EXPECT_LE(node.lo[j], child.lo[j] + 1e-12);
+        EXPECT_GE(node.hi[j], child.hi[j] - 1e-12);
+      }
+    }
+  }
+}
+
+TEST(RTreeTest, TinyDatasetSingleLeafRoot) {
+  const Dataset ds = GenerateSynthetic(10, 2, Distribution::kIndependent, 3);
+  const RTree tree = RTree::BulkLoad(ds);
+  EXPECT_TRUE(tree.node(tree.root()).is_leaf);
+  EXPECT_EQ(tree.node(tree.root()).children.size(), 10u);
+}
+
+TEST(RTreeTopKTest, MatchesLinearScan) {
+  const Dataset ds = GenerateSynthetic(3000, 4,
+                                       Distribution::kIndependent, 4);
+  const RTree tree = RTree::BulkLoad(ds);
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    Rng rng(seed);
+    Vec w(4);
+    double sum = 0.0;
+    for (size_t j = 0; j < 4; ++j) {
+      w[j] = rng.Uniform();
+      sum += w[j];
+    }
+    w /= sum;
+    const std::vector<int> via_tree = RTreeTopK(ds, tree, w, 10);
+    const TopkResult linear = ComputeTopK(ds, w, 10);
+    ASSERT_EQ(via_tree.size(), 10u);
+    for (size_t i = 0; i < 10; ++i) {
+      EXPECT_NEAR(ds.Score(via_tree[i], w), linear.entries[i].score, 1e-12)
+          << "rank " << i << " seed " << seed;
+    }
+  }
+}
+
+TEST(BbsSkybandTest, MatchesSortBasedSkyband) {
+  for (int k : {1, 3, 8}) {
+    const Dataset ds = GenerateSynthetic(2000, 3,
+                                         Distribution::kAnticorrelated, 5);
+    const RTree tree = RTree::BulkLoad(ds);
+    const std::vector<int> bbs = BbsKSkyband(ds, tree, k);
+    const std::vector<int> sorted = SortBasedKSkyband(ds, k);
+    EXPECT_EQ(bbs, sorted) << "k=" << k;
+  }
+}
+
+TEST(BbsSkybandTest, SkylineOfDominatedChain) {
+  // p0 dominates p1 dominates p2: skyline = {p0}, 2-skyband = {p0, p1}.
+  const Dataset ds = Dataset::FromRows(
+      {Vec{0.9, 0.9}, Vec{0.5, 0.5}, Vec{0.1, 0.1}});
+  const RTree tree = RTree::BulkLoad(ds);
+  EXPECT_EQ(BbsKSkyband(ds, tree, 1), (std::vector<int>{0}));
+  EXPECT_EQ(BbsKSkyband(ds, tree, 2), (std::vector<int>{0, 1}));
+  EXPECT_EQ(BbsKSkyband(ds, tree, 3), (std::vector<int>{0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace toprr

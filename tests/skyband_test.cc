@@ -1,0 +1,105 @@
+#include "topk/skyband.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/generator.h"
+#include "pref/pref_space.h"
+#include "topk/topk.h"
+
+namespace toprr {
+namespace {
+
+// O(n^2) reference k-skyband.
+std::vector<int> BruteForceKSkyband(const Dataset& ds, int k) {
+  std::vector<int> out;
+  for (size_t i = 0; i < ds.size(); ++i) {
+    int dominators = 0;
+    for (size_t j = 0; j < ds.size(); ++j) {
+      if (i != j && Dominates(ds, static_cast<int>(j), static_cast<int>(i))) {
+        ++dominators;
+      }
+    }
+    if (dominators < k) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+TEST(DominatesTest, Basics) {
+  const Dataset ds = Dataset::FromRows(
+      {Vec{0.5, 0.5}, Vec{0.6, 0.5}, Vec{0.5, 0.5}, Vec{0.6, 0.4}});
+  EXPECT_TRUE(Dominates(ds, 1, 0));   // strictly better in x, equal y
+  EXPECT_FALSE(Dominates(ds, 0, 1));
+  EXPECT_FALSE(Dominates(ds, 0, 2));  // equal points do not dominate
+  EXPECT_FALSE(Dominates(ds, 3, 0));  // incomparable
+  EXPECT_FALSE(Dominates(ds, 0, 3));
+}
+
+TEST(SkybandTest, MatchesBruteForce) {
+  for (Distribution dist : {Distribution::kIndependent,
+                            Distribution::kCorrelated,
+                            Distribution::kAnticorrelated}) {
+    const Dataset ds = GenerateSynthetic(400, 3, dist, 10);
+    for (int k : {1, 2, 5}) {
+      EXPECT_EQ(SortBasedKSkyband(ds, k), BruteForceKSkyband(ds, k))
+          << DistributionName(dist) << " k=" << k;
+    }
+  }
+}
+
+TEST(SkybandTest, SkybandGrowsWithK) {
+  const Dataset ds = GenerateSynthetic(1000, 4,
+                                       Distribution::kIndependent, 11);
+  size_t prev = 0;
+  for (int k : {1, 2, 4, 8}) {
+    const size_t size = SortBasedKSkyband(ds, k).size();
+    EXPECT_GE(size, prev);
+    prev = size;
+  }
+}
+
+TEST(SkybandTest, ContainsEveryTopKResult) {
+  // The k-skyband must contain the top-k for any weight vector.
+  const Dataset ds = GenerateSynthetic(800, 3,
+                                       Distribution::kIndependent, 12);
+  const int k = 5;
+  const std::vector<int> skyband = SortBasedKSkyband(ds, k);
+  Rng rng(13);
+  for (int trial = 0; trial < 30; ++trial) {
+    Vec w(3);
+    double sum = 0.0;
+    for (size_t j = 0; j < 3; ++j) {
+      w[j] = rng.Uniform() + 1e-3;
+      sum += w[j];
+    }
+    w /= sum;
+    const TopkResult topk = ComputeTopK(ds, w, k);
+    for (const ScoredOption& e : topk.entries) {
+      EXPECT_TRUE(std::binary_search(skyband.begin(), skyband.end(), e.id))
+          << "top-k member missing from skyband";
+    }
+  }
+}
+
+TEST(SkybandTest, DuplicatePointsStayUpToK) {
+  // Identical maximal points do not dominate each other, so all four stay
+  // in the skyline; the dominated point is excluded.
+  Dataset ds;
+  for (int i = 0; i < 4; ++i) ds.Append(Vec{0.9, 0.9});
+  ds.Append(Vec{0.1, 0.1});
+  const std::vector<int> sb1 = SortBasedKSkyband(ds, 1);
+  EXPECT_EQ(sb1, (std::vector<int>{0, 1, 2, 3}));
+  // With k = 5 the dominated point returns.
+  EXPECT_EQ(SortBasedKSkyband(ds, 5).size(), 5u);
+}
+
+TEST(SkybandTest, AllPointsWhenKIsLarge) {
+  const Dataset ds = GenerateSynthetic(50, 2,
+                                       Distribution::kAnticorrelated, 14);
+  EXPECT_EQ(SortBasedKSkyband(ds, 50).size(), 50u);
+}
+
+}  // namespace
+}  // namespace toprr

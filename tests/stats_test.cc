@@ -1,0 +1,84 @@
+#include "data/stats.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+
+namespace toprr {
+namespace {
+
+TEST(StatsTest, ColumnStatsKnownValues) {
+  const Dataset ds = Dataset::FromRows(
+      {Vec{0.0, 2.0}, Vec{1.0, 2.0}, Vec{2.0, 2.0}});
+  const auto stats = ComputeColumnStats(ds);
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_DOUBLE_EQ(stats[0].min, 0.0);
+  EXPECT_DOUBLE_EQ(stats[0].max, 2.0);
+  EXPECT_DOUBLE_EQ(stats[0].mean, 1.0);
+  EXPECT_NEAR(stats[0].stddev, std::sqrt(2.0 / 3.0), 1e-12);
+  EXPECT_DOUBLE_EQ(stats[1].stddev, 0.0);
+}
+
+TEST(StatsTest, PerfectCorrelation) {
+  Dataset ds;
+  for (int i = 0; i < 20; ++i) {
+    ds.Append(Vec{i * 0.05, i * 0.05});
+  }
+  const Matrix corr = CorrelationMatrix(ds);
+  EXPECT_NEAR(corr.At(0, 1), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(corr.At(0, 0), 1.0);
+  EXPECT_NEAR(MeanPairwiseCorrelation(ds), 1.0, 1e-12);
+}
+
+TEST(StatsTest, PerfectAnticorrelation) {
+  Dataset ds;
+  for (int i = 0; i < 20; ++i) {
+    ds.Append(Vec{i * 0.05, 1.0 - i * 0.05});
+  }
+  EXPECT_NEAR(MeanPairwiseCorrelation(ds), -1.0, 1e-12);
+}
+
+TEST(StatsTest, ConstantColumnYieldsZeroCorrelation) {
+  Dataset ds;
+  for (int i = 0; i < 10; ++i) ds.Append(Vec{i * 0.1, 0.5});
+  const Matrix corr = CorrelationMatrix(ds);
+  EXPECT_DOUBLE_EQ(corr.At(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(corr.At(1, 1), 1.0);
+}
+
+TEST(StatsTest, GeneratorShapesViaLibraryStats) {
+  EXPECT_GT(MeanPairwiseCorrelation(GenerateSynthetic(
+                3000, 3, Distribution::kCorrelated, 1)),
+            0.6);
+  EXPECT_LT(MeanPairwiseCorrelation(GenerateSynthetic(
+                3000, 3, Distribution::kAnticorrelated, 1)),
+            -0.2);
+  EXPECT_NEAR(MeanPairwiseCorrelation(GenerateSynthetic(
+                  3000, 3, Distribution::kIndependent, 1)),
+              0.0, 0.08);
+}
+
+TEST(StatsTest, DescribeDatasetMentionsShape) {
+  const Dataset ds = GenerateSynthetic(100, 2, Distribution::kIndependent,
+                                       2);
+  const std::string text = DescribeDataset(ds);
+  EXPECT_NE(text.find("n=100"), std::string::npos);
+  EXPECT_NE(text.find("col1"), std::string::npos);
+}
+
+TEST(StatsTest, SymmetricMatrix) {
+  const Dataset ds = GenerateSynthetic(500, 4, Distribution::kAnticorrelated,
+                                       3);
+  const Matrix corr = CorrelationMatrix(ds);
+  for (size_t a = 0; a < 4; ++a) {
+    for (size_t b = 0; b < 4; ++b) {
+      EXPECT_DOUBLE_EQ(corr.At(a, b), corr.At(b, a));
+      EXPECT_LE(std::abs(corr.At(a, b)), 1.0 + 1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace toprr

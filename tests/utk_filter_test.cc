@@ -1,0 +1,89 @@
+#include "core/utk_filter.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/generator.h"
+#include "topk/rskyband.h"
+#include "topk/topk.h"
+
+namespace toprr {
+namespace {
+
+Dataset PaperFigure1Dataset() {
+  return Dataset::FromRows({
+      Vec{0.9, 0.4}, Vec{0.7, 0.9}, Vec{0.6, 0.2},
+      Vec{0.3, 0.8}, Vec{0.2, 0.3}, Vec{0.1, 0.1},
+  });
+}
+
+PrefBox Interval(double lo, double hi) {
+  PrefBox box;
+  box.lo = Vec{lo};
+  box.hi = Vec{hi};
+  return box;
+}
+
+TEST(UtkFilterTest, PaperExample) {
+  const Dataset ds = PaperFigure1Dataset();
+  const std::vector<int> utk = ExactTopkUnion(ds, Interval(0.2, 0.8), 3);
+  EXPECT_EQ(utk, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(UtkFilterTest, SubsetOfRSkybandAndCoversSamples) {
+  const Dataset ds = GenerateSynthetic(400, 3, Distribution::kIndependent,
+                                       50);
+  PrefBox box;
+  box.lo = Vec{0.2, 0.25};
+  box.hi = Vec{0.26, 0.31};
+  const int k = 6;
+  const std::vector<int> utk = ExactTopkUnion(ds, box, k);
+  const std::vector<int> rsky = RSkyband(ds, box, k);
+  // UTK is the tightest filter: a subset of the r-skyband.
+  for (int id : utk) {
+    EXPECT_TRUE(std::binary_search(rsky.begin(), rsky.end(), id));
+  }
+  EXPECT_LE(utk.size(), rsky.size());
+  // Every sampled top-k member must be in the UTK set (exactness, lower
+  // bound direction).
+  Rng rng(51);
+  for (int trial = 0; trial < 200; ++trial) {
+    Vec x(2);
+    for (size_t j = 0; j < 2; ++j) {
+      x[j] = rng.Uniform(box.lo[j], box.hi[j]);
+    }
+    const TopkResult topk = ComputeTopK(ds, FullWeight(x), k);
+    for (const ScoredOption& e : topk.entries) {
+      EXPECT_TRUE(std::binary_search(utk.begin(), utk.end(), e.id))
+          << "top-k member " << e.id << " missing from UTK set";
+    }
+  }
+}
+
+TEST(UtkFilterTest, EveryUtkMemberHasAWitness) {
+  // Exactness, upper bound direction: each reported option must actually
+  // appear in some top-k within the box. We verify via fine sampling in a
+  // 1-D preference space where sampling is conclusive enough.
+  const Dataset ds = PaperFigure1Dataset();
+  const int k = 2;
+  const std::vector<int> utk = ExactTopkUnion(ds, Interval(0.2, 0.8), k);
+  for (int id : utk) {
+    bool witnessed = false;
+    for (int s = 0; s <= 2000 && !witnessed; ++s) {
+      const double x = 0.2 + 0.6 * s / 2000.0;
+      const TopkResult topk = ComputeTopK(ds, Vec{x, 1.0 - x}, k);
+      for (const ScoredOption& e : topk.entries) {
+        if (e.id == id) {
+          witnessed = true;
+          break;
+        }
+      }
+    }
+    EXPECT_TRUE(witnessed) << "option " << id << " reported but never seen";
+  }
+}
+
+}  // namespace
+}  // namespace toprr

@@ -1,0 +1,78 @@
+#include "geom/volume.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace toprr {
+namespace {
+
+TEST(PolytopeVolumeTest, UnitSquare) {
+  const auto hs = BoxHalfspaces(Vec{0.0, 0.0}, Vec{1.0, 1.0});
+  EXPECT_NEAR(PolytopeVolume(hs, 2), 1.0, 1e-9);
+}
+
+TEST(PolytopeVolumeTest, Box3D) {
+  const auto hs = BoxHalfspaces(Vec{0.0, 0.5, 0.2}, Vec{0.5, 1.0, 0.4});
+  EXPECT_NEAR(PolytopeVolume(hs, 3), 0.5 * 0.5 * 0.2, 1e-9);
+}
+
+TEST(PolytopeVolumeTest, Simplex2D) {
+  std::vector<Halfspace> hs = {
+      Halfspace(Vec{-1.0, 0.0}, 0.0),
+      Halfspace(Vec{0.0, -1.0}, 0.0),
+      Halfspace(Vec{1.0, 1.0}, 1.0),
+  };
+  EXPECT_NEAR(PolytopeVolume(hs, 2), 0.5, 1e-9);
+}
+
+TEST(PolytopeVolumeTest, EmptyIntersection) {
+  std::vector<Halfspace> hs = {
+      Halfspace(Vec{1.0, 0.0}, 0.0),
+      Halfspace(Vec{-1.0, 0.0}, -1.0),
+      Halfspace(Vec{0.0, 1.0}, 1.0),
+      Halfspace(Vec{0.0, -1.0}, 0.0),
+  };
+  EXPECT_DOUBLE_EQ(PolytopeVolume(hs, 2), 0.0);
+}
+
+TEST(PolytopeVolumeTest, ClippedBoxMatchesMonteCarlo) {
+  Rng rng(7);
+  for (int trial = 0; trial < 6; ++trial) {
+    const size_t d = 2 + static_cast<size_t>(trial % 3);
+    std::vector<Halfspace> hs = BoxHalfspaces(Vec(d, 0.0), Vec(d, 1.0));
+    for (int extra = 0; extra < 3; ++extra) {
+      Vec n(d);
+      for (size_t j = 0; j < d; ++j) n[j] = rng.Uniform(-1.0, 1.0);
+      if (n.Norm() < 0.3) continue;
+      hs.emplace_back(n, Dot(n, Vec(d, 0.5)) + rng.Uniform(0.1, 0.4));
+    }
+    const double exact = PolytopeVolume(hs, d);
+    const double mc =
+        EstimatePolytopeVolume(hs, Vec(d, 0.0), Vec(d, 1.0), 200000, rng);
+    EXPECT_NEAR(mc, exact, 0.02) << "trial " << trial;
+    EXPECT_GT(exact, 0.0);
+  }
+}
+
+TEST(MonteCarloVolumeTest, BoxFractionExact) {
+  Rng rng(8);
+  // Halfspace x <= 0.25 within the unit square: volume 0.25.
+  std::vector<Halfspace> hs = {Halfspace(Vec{1.0, 0.0}, 0.25)};
+  const double mc =
+      EstimatePolytopeVolume(hs, Vec{0.0, 0.0}, Vec{1.0, 1.0}, 100000, rng);
+  EXPECT_NEAR(mc, 0.25, 0.01);
+}
+
+TEST(MonteCarloVolumeTest, ScalesWithBoundingBox) {
+  Rng rng(9);
+  std::vector<Halfspace> hs;  // no constraints: volume = box volume
+  const double mc =
+      EstimatePolytopeVolume(hs, Vec{0.0, 0.0}, Vec{2.0, 3.0}, 1000, rng);
+  EXPECT_DOUBLE_EQ(mc, 6.0);
+}
+
+}  // namespace
+}  // namespace toprr
