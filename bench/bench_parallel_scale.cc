@@ -1,0 +1,130 @@
+// Parallel scaling of the partition scheduler and the batch query engine.
+//
+// Part (a) -- region-level parallelism: solve time of the Fig. 9 default
+// workload (IND, default n/d/k/sigma) as ToprrOptions.num_threads sweeps
+// 1/2/4/8. The speedup_vs_1t counter is the headline number (the 1-thread
+// point registers first and seeds the baseline).
+//
+// Part (b) -- query-level parallelism: ToprrEngine::SolveBatch throughput
+// (queries/sec) for batch sizes 1/4/16/64 across 1/2/4/8 pool workers.
+//
+// Emit the JSON trajectory with the stock google-benchmark flags:
+//   bench_parallel_scale --benchmark_format=json
+//                        --benchmark_out=parallel_scale.json
+#include <string>
+
+#include "bench/bench_common.h"
+#include "core/engine.h"
+
+namespace toprr {
+namespace bench {
+namespace {
+
+// 1-thread baseline seconds for the speedup counter, seeded by the
+// threads:1 benchmark (registered and therefore run first).
+double& BaselineSeconds() {
+  static double baseline = 0.0;
+  return baseline;
+}
+
+void RunSchedulerPoint(::benchmark::State& state, int threads) {
+  const BenchConfig& config = GlobalConfig();
+  const Dataset& data =
+      CachedSynthetic(config.default_n(), config.default_d(),
+                      Distribution::kIndependent, config.seed);
+  ToprrOptions options;
+  options.num_threads = threads;
+  for (auto _ : state) {
+    const SweepPoint point = RunSweepPoint(data, config.default_k(),
+                                           config.default_sigma(), options);
+    ReportSweepPoint(state, point);
+    state.counters["threads"] = threads;
+    if (threads == 1 && point.avg_seconds > 0.0) {
+      BaselineSeconds() = point.avg_seconds;
+    }
+    if (BaselineSeconds() > 0.0 && point.avg_seconds > 0.0) {
+      state.counters["speedup_vs_1t"] = BaselineSeconds() / point.avg_seconds;
+    }
+  }
+}
+
+void RunBatchPoint(::benchmark::State& state, size_t batch_size,
+                   int pool_threads) {
+  const BenchConfig& config = GlobalConfig();
+  const Dataset& data =
+      CachedSynthetic(config.default_n(), config.default_d(),
+                      Distribution::kIndependent, config.seed);
+  ToprrEngine engine(&data);
+  engine.KSkyband(config.default_k());  // warm: timing the query path
+
+  Rng rng(config.seed * 31 + batch_size * 7 +
+          static_cast<uint64_t>(pool_threads));
+  std::vector<ToprrQuery> queries;
+  queries.reserve(batch_size);
+  for (size_t i = 0; i < batch_size; ++i) {
+    ToprrOptions options;
+    options.time_budget_seconds = config.budget_seconds;
+    options.build_geometry = false;
+    queries.push_back(ToprrQuery::FromBox(
+        config.default_k(),
+        RandomPrefBox(data.dim() - 1, config.default_sigma(), rng),
+        options));
+  }
+
+  for (auto _ : state) {
+    Timer timer;
+    const std::vector<ToprrResult> results =
+        engine.SolveBatch(queries, pool_threads);
+    const double seconds = timer.Seconds();
+    int dnf = 0;
+    for (const ToprrResult& r : results) dnf += r.timed_out ? 1 : 0;
+    state.counters["batch"] = static_cast<double>(batch_size);
+    state.counters["threads"] = pool_threads;
+    state.counters["qps"] =
+        seconds > 0.0 ? static_cast<double>(batch_size) / seconds : 0.0;
+    state.counters["sec_per_query"] =
+        static_cast<double>(seconds) / static_cast<double>(batch_size);
+    state.counters["dnf"] = dnf;
+    state.SetIterationTime(seconds);
+  }
+}
+
+void RegisterAll() {
+  for (int threads : {1, 2, 4, 8}) {
+    const std::string name =
+        "parallel_scale/scheduler/threads:" + std::to_string(threads);
+    ::benchmark::RegisterBenchmark(
+        name.c_str(),
+        [threads](::benchmark::State& state) {
+          RunSchedulerPoint(state, threads);
+        })
+        ->Iterations(1)
+        ->UseManualTime();
+  }
+  for (size_t batch : {size_t{1}, size_t{4}, size_t{16}, size_t{64}}) {
+    for (int threads : {1, 2, 4, 8}) {
+      const std::string name = "parallel_scale/batch:" +
+                               std::to_string(batch) +
+                               "/threads:" + std::to_string(threads);
+      ::benchmark::RegisterBenchmark(
+          name.c_str(),
+          [batch, threads](::benchmark::State& state) {
+            RunBatchPoint(state, batch, threads);
+          })
+          ->Iterations(1)
+          ->UseManualTime();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace toprr
+
+int main(int argc, char** argv) {
+  if (!toprr::bench::ParseBenchFlags(&argc, argv)) return 1;
+  toprr::bench::RegisterAll();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

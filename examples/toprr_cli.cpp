@@ -7,14 +7,18 @@
 //   toprr_cli --csv products.csv --k 5 --wr 0.2,0.3x0.25,0.35
 //   toprr_cli --n 100000 --d 4 --dist ANTI --k 10 --sigma 0.05
 //   toprr_cli --csv products.csv --k 3 --wr 0.7x0.8 --enhance 17
+//   toprr_cli --n 200000 --k 10 --threads 4 --batch 32   # serving mode
 #include <cstdio>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/flags.h"
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/strings.h"
+#include "common/timer.h"
+#include "core/engine.h"
 #include "core/placement.h"
 #include "core/toprr.h"
 #include "data/csv.h"
@@ -62,6 +66,8 @@ int main(int argc, char** argv) {
   double sigma = 0.01;
   int64_t seed = 2019;
   int enhance = -1;
+  int threads = 1;
+  int batch = 0;
   bool normalize = true;
   bool help = false;
   flags.AddString("csv", &csv_path, "load options from this CSV file");
@@ -77,6 +83,11 @@ int main(int argc, char** argv) {
   flags.AddInt("seed", &seed, "random seed");
   flags.AddInt("enhance", &enhance,
                "also compute the min-cost enhancement of this option id");
+  flags.AddInt("threads", &threads,
+               "scheduler worker threads (1 = sequential, 0 = all cores)");
+  flags.AddInt("batch", &batch,
+               "serving mode: solve this many random clientele boxes "
+               "through the batch engine and report throughput");
   flags.AddBool("normalize", &normalize, "min-max normalize CSV columns");
   flags.AddBool("help", &help, "print usage");
   if (!flags.Parse(&argc, argv)) return 1;
@@ -114,7 +125,8 @@ int main(int argc, char** argv) {
 
   // ---- Clientele region. ----
   PrefBox box;
-  if (!wr_text.empty()) {
+  const bool have_wr = !wr_text.empty();
+  if (have_wr) {
     auto parsed = ParseBox(wr_text);
     if (!parsed.has_value() || parsed->dim() != data.dim() - 1) {
       std::fprintf(stderr,
@@ -124,15 +136,54 @@ int main(int argc, char** argv) {
       return 1;
     }
     box = std::move(*parsed);
-  } else {
+  } else if (batch <= 0) {
+    // Batch mode draws its own per-query boxes; only the single-query
+    // path needs one here.
     Rng rng(static_cast<uint64_t>(seed) + 1);
     box = RandomPrefBox(data.dim() - 1, sigma, rng);
     std::printf("random clientele box: lo=%s hi=%s\n",
                 box.lo.ToString(4).c_str(), box.hi.ToString(4).c_str());
   }
 
+  // ---- Serving mode: a batch of random clientele boxes through the
+  // engine (shared per-k skyband cache, pool-dispatched queries). ----
+  if (batch > 0) {
+    ToprrEngine engine(&data);
+    Rng rng(static_cast<uint64_t>(seed) + 2);
+    std::vector<ToprrQuery> queries;
+    queries.reserve(static_cast<size_t>(batch));
+    for (int q = 0; q < batch; ++q) {
+      ToprrOptions options;
+      options.build_geometry = false;
+      // --wr pins every query to the given clientele (repeated-query
+      // serving); otherwise each query draws a fresh random box.
+      queries.push_back(ToprrQuery::FromBox(
+          k, have_wr ? box : RandomPrefBox(data.dim() - 1, sigma, rng),
+          options));
+    }
+    Timer timer;
+    // --threads drives the batch dispatch (1 = sequential, 0 = all
+    // cores); per-query solves stay sequential to avoid oversubscription.
+    const std::vector<ToprrResult> results =
+        engine.SolveBatch(queries, threads);
+    const double seconds = timer.Seconds();
+    size_t vall_total = 0;
+    int failed = 0;
+    for (const ToprrResult& r : results) {
+      vall_total += r.stats.vall_unique;
+      failed += r.timed_out ? 1 : 0;
+    }
+    std::printf("batch of %d TopRR(k=%d) queries in %.3fs (%.1f q/s, "
+                "avg |Vall| %.1f, %d failed)\n",
+                batch, k, seconds, batch / seconds,
+                static_cast<double>(vall_total) / batch, failed);
+    return failed == 0 ? 0 : 1;
+  }
+
   // ---- Solve. ----
-  const ToprrResult region = SolveToprr(data, k, box);
+  ToprrOptions solve_options;
+  solve_options.num_threads = threads;
+  const ToprrResult region = SolveToprr(data, k, box, solve_options);
   if (region.timed_out) {
     std::fprintf(stderr, "solver exceeded its budget\n");
     return 1;

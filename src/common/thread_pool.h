@@ -1,0 +1,71 @@
+// A reusable fixed-size thread pool.
+//
+// Workers block on a shared FIFO task queue; Submit enqueues a callable
+// and returns immediately. The pool is intentionally minimal -- no
+// futures, no priorities -- because both users (the parallel partition
+// scheduler and the batch query engine) manage their own completion
+// tracking and never block inside pool threads waiting on other pool
+// tasks, which keeps the design deadlock-free even when the two levels
+// share one pool.
+//
+// A process-wide shared pool sized to the hardware is available through
+// SharedThreadPool(); per-call thread counts are throttled by the caller,
+// not the pool.
+#ifndef TOPRR_COMMON_THREAD_POOL_H_
+#define TOPRR_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace toprr {
+
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains outstanding tasks, then joins the workers.
+  ~ThreadPool();
+
+  /// Enqueues `task` for execution on some worker. Never blocks (beyond
+  /// the queue lock). Must not be called after destruction has begun.
+  void Submit(std::function<void()> task);
+
+  /// Blocks the calling thread until every task submitted so far has
+  /// finished executing (not merely been dequeued).
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;  // dequeued but not yet finished
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// A lazily constructed process-lifetime pool with one worker per
+/// hardware thread (minimum 1). Shared by the parallel partition
+/// executor and ToprrEngine::SolveBatch.
+ThreadPool& SharedThreadPool();
+
+/// Resolves a user-facing thread-count knob: 0 means "all hardware
+/// threads", anything else is clamped to at least 1.
+size_t ResolveThreadCount(int num_threads);
+
+}  // namespace toprr
+
+#endif  // TOPRR_COMMON_THREAD_POOL_H_

@@ -1,21 +1,69 @@
 #include "core/engine.h"
 
+#include <algorithm>
+#include <condition_variable>
+#include <memory>
+#include <utility>
+
+#include "common/check.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "topk/rskyband.h"
 #include "topk/skyband.h"
 
 namespace toprr {
 
+ToprrEngine::ToprrEngine(const Dataset* data) : data_(data) {
+  CHECK(data != nullptr);
+#ifndef NDEBUG
+  fingerprint_ = Fingerprint(*data);  // only the debug DCHECK reads it
+#endif
+}
+
+double ToprrEngine::Fingerprint(const Dataset& data) {
+  // Position-weighted sum: cheap, order-sensitive, and a single pass. Not
+  // cryptographic -- it only needs to catch accidental in-place mutation.
+  double digest = static_cast<double>(data.size()) * 1e9 +
+                  static_cast<double>(data.dim()) * 1e6;
+  for (size_t i = 0; i < data.size(); ++i) {
+    const double* row = data.Row(i);
+    for (size_t j = 0; j < data.dim(); ++j) {
+      digest += row[j] * static_cast<double>((i * 31 + j) % 8191 + 1);
+    }
+  }
+  return digest;
+}
+
+void ToprrEngine::CheckDatasetUnchanged() const {
+#ifndef NDEBUG
+  DCHECK_EQ(fingerprint_, Fingerprint(*data_))
+      << "dataset mutated while a ToprrEngine was using it; call "
+         "InvalidateCache() between mutation and the next query";
+#endif
+}
+
 const std::vector<int>& ToprrEngine::KSkyband(int k) {
+  std::unique_lock<std::mutex> lock(cache_mu_);
   auto it = skyband_cache_.find(k);
   if (it == skyband_cache_.end()) {
     it = skyband_cache_.emplace(k, SortBasedKSkyband(*data_, k)).first;
   }
+  // std::map nodes are stable: the reference outlives later insertions,
+  // and the contract forbids InvalidateCache while queries hold it.
   return it->second;
+}
+
+void ToprrEngine::InvalidateCache() {
+  std::unique_lock<std::mutex> lock(cache_mu_);
+  skyband_cache_.clear();
+#ifndef NDEBUG
+  fingerprint_ = Fingerprint(*data_);
+#endif
 }
 
 ToprrResult ToprrEngine::Solve(int k, const PrefBox& region,
                                const ToprrOptions& options) {
+  CheckDatasetUnchanged();
   const std::vector<int>& skyband = KSkyband(k);
   Timer filter_timer;
   const std::vector<int> candidates =
@@ -29,6 +77,7 @@ ToprrResult ToprrEngine::Solve(int k, const PrefBox& region,
 
 ToprrResult ToprrEngine::Solve(int k, const PrefRegion& region,
                                const ToprrOptions& options) {
+  CheckDatasetUnchanged();
   const std::vector<int>& skyband = KSkyband(k);
   Timer filter_timer;
   const std::vector<int> candidates =
@@ -39,6 +88,66 @@ ToprrResult ToprrEngine::Solve(int k, const PrefRegion& region,
       SolveToprrWithCandidates(*data_, k, region, candidates, options);
   result.stats.filter_seconds = filter_timer.Seconds();
   return result;
+}
+
+ToprrResult ToprrEngine::Solve(const ToprrQuery& query) {
+  return Solve(query.k, query.region, query.options);
+}
+
+std::vector<ToprrResult> ToprrEngine::SolveBatch(
+    const std::vector<ToprrQuery>& queries, int num_threads) {
+  std::vector<ToprrResult> results(queries.size());
+  if (queries.empty()) return results;
+  const size_t workers =
+      std::min(ResolveThreadCount(num_threads), queries.size());
+  if (workers <= 1) {
+    for (size_t i = 0; i < queries.size(); ++i) {
+      results[i] = Solve(queries[i]);
+    }
+    return results;
+  }
+
+  // Warm the skyband cache for every distinct k up front: concurrent
+  // first-touch computations would serialize behind cache_mu_ anyway.
+  for (const ToprrQuery& query : queries) KSkyband(query.k);
+
+  // Work-stealing over query indices. The shared_ptr keeps the claim
+  // state alive for helper tasks that the pool only schedules after the
+  // batch is done; such stragglers claim nothing and never touch the
+  // engine, queries, or results.
+  struct BatchState {
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t next = 0;
+    size_t done = 0;
+  };
+  auto state = std::make_shared<BatchState>();
+  const size_t count = queries.size();
+  const ToprrQuery* query_ptr = queries.data();
+  ToprrResult* result_ptr = results.data();
+  auto drain = [this, state, query_ptr, result_ptr, count] {
+    for (;;) {
+      size_t index;
+      {
+        std::unique_lock<std::mutex> lock(state->mu);
+        if (state->next >= count) return;
+        index = state->next++;
+      }
+      result_ptr[index] = Solve(query_ptr[index]);
+      {
+        std::unique_lock<std::mutex> lock(state->mu);
+        ++state->done;
+        if (state->done == count) state->cv.notify_all();
+      }
+    }
+  };
+
+  ThreadPool& pool = SharedThreadPool();
+  for (size_t i = 0; i + 1 < workers; ++i) pool.Submit(drain);
+  drain();
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&state, count] { return state->done == count; });
+  return results;
 }
 
 }  // namespace toprr

@@ -1,15 +1,34 @@
-// ToprrEngine: precomputation for repeated TopRR queries over the same
-// dataset (the paper's Sec. 7 names pre-computation as future work; this
-// realizes the obvious instance of it).
+// ToprrEngine: precomputation and batch serving for repeated TopRR
+// queries over one dataset (the paper's Sec. 7 names pre-computation as
+// future work; this realizes the obvious instance of it and grows it into
+// a traffic-serving front-end).
 //
 // The k-skyband is independent of wR and is a superset of every r-skyband,
 // so the engine computes it once per k and restricts the per-query
 // r-skyband scan to it. For large n this removes the dominant filtering
-// cost from the per-query path (see bench_engine_precompute).
+// cost from the per-query path (see bench_engine_precompute). SolveBatch
+// additionally dispatches independent queries across the shared thread
+// pool, all sharing the same guarded skyband cache.
+//
+// Thread-safety contract:
+//  * Solve / SolveBatch / KSkyband may be called concurrently from any
+//    number of threads; the skyband cache is mutex-guarded, and cached
+//    entries live in a node-based map so references stay valid while
+//    further k values are added.
+//  * InvalidateCache requires exclusive access: it must not overlap any
+//    in-flight query (those hold references into the cache).
+//  * The dataset must outlive the engine and must be treated as immutable
+//    for the engine's whole lifetime: cached skybands, and any in-flight
+//    solve, are only meaningful against the rows they were computed from.
+//    Debug builds DCHECK a dataset fingerprint on every query to catch
+//    mutation; if the dataset legitimately changed in place, call
+//    InvalidateCache() (with no queries in flight) to drop the stale
+//    skybands and re-arm the fingerprint.
 #ifndef TOPRR_CORE_ENGINE_H_
 #define TOPRR_CORE_ENGINE_H_
 
 #include <map>
+#include <mutex>
 #include <vector>
 
 #include "core/toprr.h"
@@ -19,18 +38,30 @@
 
 namespace toprr {
 
-/// Caches per-k candidate supersets for one dataset. The dataset must
-/// outlive the engine and must not change while it is in use.
+/// One query of a batch: TopRR(D, k, region) under `options`.
+struct ToprrQuery {
+  int k = 0;
+  PrefRegion region;
+  ToprrOptions options;
+
+  static ToprrQuery FromBox(int k, const PrefBox& box,
+                            const ToprrOptions& options = {}) {
+    return ToprrQuery{k, PrefRegion::FromBox(box), options};
+  }
+};
+
+/// Caches per-k candidate supersets for one dataset and serves queries
+/// one at a time or in parallel batches. See the thread-safety contract
+/// in the file comment.
 class ToprrEngine {
  public:
-  explicit ToprrEngine(const Dataset* data) : data_(data) {
-    DCHECK(data != nullptr);
-  }
+  explicit ToprrEngine(const Dataset* data);
 
   ToprrEngine(const ToprrEngine&) = delete;
   ToprrEngine& operator=(const ToprrEngine&) = delete;
 
-  /// The cached k-skyband (computed on first use for each k).
+  /// The cached k-skyband (computed on first use for each k). The
+  /// returned reference stays valid until InvalidateCache().
   const std::vector<int>& KSkyband(int k);
 
   /// Solves TopRR(D, k, wR) reusing the cached k-skyband: the per-query
@@ -42,14 +73,40 @@ class ToprrEngine {
   ToprrResult Solve(int k, const PrefRegion& region,
                     const ToprrOptions& options = {});
 
-  /// Drops all cached state (e.g. after the dataset changed).
-  void InvalidateCache() { skyband_cache_.clear(); }
+  /// Query-object form (the unit of SolveBatch).
+  ToprrResult Solve(const ToprrQuery& query);
+
+  /// Solves every query, dispatching them across the shared thread pool
+  /// (num_threads workers; 0 = one per hardware thread; the calling
+  /// thread always participates). Results are positionally aligned with
+  /// `queries`. Queries whose options request region-level parallelism
+  /// (options.num_threads != 1) compose safely with the batch dispatch --
+  /// both levels borrow from the same pool and degrade gracefully when it
+  /// is saturated.
+  std::vector<ToprrResult> SolveBatch(const std::vector<ToprrQuery>& queries,
+                                      int num_threads = 0);
+
+  /// Drops all cached state and re-arms the dataset fingerprint (e.g.
+  /// after the dataset legitimately changed in place). Requires that no
+  /// query is in flight.
+  void InvalidateCache();
 
   const Dataset& data() const { return *data_; }
 
  private:
+  /// Cheap order-sensitive digest of the dataset contents, used to DCHECK
+  /// immutability on every query (debug builds only).
+  static double Fingerprint(const Dataset& data);
+
+  /// DCHECKs that the dataset still matches the fingerprint taken at
+  /// construction / last InvalidateCache.
+  void CheckDatasetUnchanged() const;
+
   const Dataset* data_;
-  std::map<int, std::vector<int>> skyband_cache_;
+  double fingerprint_ = 0.0;  // computed in debug builds only
+
+  std::mutex cache_mu_;
+  std::map<int, std::vector<int>> skyband_cache_;  // guarded by cache_mu_
 };
 
 }  // namespace toprr

@@ -2,34 +2,21 @@
 
 #include <algorithm>
 #include <cmath>
-#include <deque>
 #include <set>
 #include <utility>
 
 #include "common/check.h"
 #include "common/logging.h"
-#include "common/timer.h"
+#include "core/scheduler.h"
 #include "pref/pref_space.h"
 #include "topk/topk.h"
 
 namespace toprr {
 namespace {
 
-constexpr size_t kDefaultMaxRegions = size_t{16} << 20;
-
-// One pending unit of work: a sub-region with its (possibly Lemma-5
-// reduced) candidate pool and k value, plus the options pruned so far on
-// this branch (needed only for the exact top-k union filter).
-struct Work {
-  PrefRegion region;
-  std::vector<int> candidates;
-  int k = 0;
-  std::vector<int> pruned;
-};
-
 // Per-vertex top-k profiles for a region.
 std::vector<TopkResult> ComputeProfiles(const Dataset& data,
-                                        const Work& work) {
+                                        const RegionTask& work) {
   std::vector<TopkResult> profiles;
   profiles.reserve(work.region.vertices().size());
   for (const Vec& v : work.region.vertices()) {
@@ -61,7 +48,7 @@ bool SamePrefixSet(const std::vector<TopkResult>& profiles, size_t count) {
 // updated in place by dropping their first lambda entries (the remaining
 // entries are exactly the top-(k-lambda) of the reduced pool).
 // Returns lambda (0 when nothing was pruned).
-int ApplyLemma5(std::vector<TopkResult>& profiles, Work& work) {
+int ApplyLemma5(std::vector<TopkResult>& profiles, RegionTask& work) {
   const int k = work.k;
   if (k <= 1) return 0;
   int lambda = 0;
@@ -265,7 +252,137 @@ std::vector<SplitPair> ExhaustiveFlipPairs(
   return pairs;
 }
 
+// Fills the acceptance payload of `out` from an accepted task.
+void FillAcceptPayload(const Dataset& data, const PartitionConfig& config,
+                       RegionTask& work,
+                       const std::vector<TopkResult>& profiles,
+                       RegionOutcome& out) {
+  out.accepted = true;
+  out.vall.assign(work.region.vertices().begin(),
+                  work.region.vertices().end());
+  if (config.collect_topk_union) {
+    std::set<int> ids(work.pruned.begin(), work.pruned.end());
+    for (const TopkResult& profile : profiles) {
+      for (const ScoredOption& e : profile.entries) ids.insert(e.id);
+    }
+    out.topk_ids.assign(ids.begin(), ids.end());
+  }
+  if (config.collect_regions) {
+    // Evaluate the set at the centroid: ties are confined to cell
+    // boundaries, so the interior point reports the cell's true top-k
+    // set even when vertex evaluations are tie-ambiguous.
+    const TopkResult center_topk = ComputeTopKReduced(
+        data, work.candidates, work.region.Centroid(), work.k);
+    std::set<int> ids(work.pruned.begin(), work.pruned.end());
+    for (const ScoredOption& e : center_topk.entries) ids.insert(e.id);
+    out.cell = AcceptedRegion{std::move(work.region),
+                              std::vector<int>(ids.begin(), ids.end())};
+  }
+}
+
 }  // namespace
+
+RegionOutcome TestAndSplitRegion(const Dataset& data,
+                                 const PartitionConfig& config,
+                                 RegionTask work) {
+  RegionOutcome out;
+  if (GlobalLogLevel() == LogLevel::kDebug) {
+    LOG(DEBUG) << "region " << work.id << ": |V|="
+               << work.region.vertices().size() << " |F|="
+               << work.region.facets().size() << " |D'|="
+               << work.candidates.size() << " k=" << work.k;
+  }
+
+  std::vector<TopkResult> profiles = ComputeProfiles(data, work);
+  if (config.use_lemma5 && ApplyLemma5(profiles, work) > 0) {
+    out.lemma5_pruned = true;
+  }
+
+  // Acceptance test.
+  bool accepted = false;
+  if (config.ordered_invariance) {
+    accepted = true;
+    for (size_t p = 1; p < profiles.size() && accepted; ++p) {
+      for (size_t r = 0; r < profiles[0].entries.size(); ++r) {
+        if (profiles[p].entries[r].id != profiles[0].entries[r].id) {
+          accepted = false;
+          break;
+        }
+      }
+    }
+    if (accepted) out.kipr_accept = true;
+  } else {
+    // Plain kIPR test (Lemma 3): same top-k set, same top-k-th option.
+    const bool same_set = SamePrefixSet(profiles, profiles[0].entries.size());
+    bool same_kth = true;
+    for (size_t p = 1; p < profiles.size(); ++p) {
+      if (profiles[p].KthId() != profiles[0].KthId()) {
+        same_kth = false;
+        break;
+      }
+    }
+    if (same_set && same_kth) {
+      accepted = true;
+      out.kipr_accept = true;
+    } else if (config.use_lemma7) {
+      // Optimized test (Lemma 7, via Lemma 6): if every vertex shares
+      // the same top-(k-1) set, the impact halfspaces at the vertices
+      // already define the region's TopRR solution. k == 1 is Lemma 6
+      // directly: no invariance needed at all.
+      if (work.k == 1 ||
+          SamePrefixSet(profiles, static_cast<size_t>(work.k - 1))) {
+        accepted = true;
+        out.lemma7_accept = true;
+      }
+    }
+  }
+  if (accepted) {
+    FillAcceptPayload(data, config, work, profiles, out);
+    return out;
+  }
+
+  // Split. Try the method's preferred pair first; fall back to any
+  // violating pair whose hyperplane actually cuts the region (Lemma 4
+  // guarantees one exists up to numeric ties). The pseudo-random pair
+  // rotation is salted with the task's tree id, which is independent of
+  // execution order (see core/scheduler.h).
+  std::vector<SplitPair> pairs =
+      ChooseSplitPairs(data, work.region, profiles, config, work.id);
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    for (const SplitPair& pair : pairs) {
+      const Hyperplane plane = ScoreEqualityHyperplane(
+          data.Row(pair.first), data.Row(pair.second), work.region.dim());
+      if (plane.normal.MaxAbs() <= config.eps) continue;  // identical
+      PrefRegionSplit split = work.region.Split(plane, config.eps);
+      if (split.below.has_value() && split.above.has_value()) {
+        // Child ids must not wrap: a wrapped id would silently break the
+        // executors' bit-identical-merge contract (duplicate sort keys).
+        // Depth > 62 means eps-scale slivers split dozens of times; fail
+        // loudly rather than return a nondeterministically-ordered result.
+        CHECK_LT(work.id, uint64_t{1} << 62)
+            << "partition tree deeper than 62 levels; deterministic "
+               "task ids exhausted (pathological input or eps too small)";
+        out.below = RegionTask{2 * work.id, std::move(*split.below),
+                               work.candidates, work.k, work.pruned};
+        out.above =
+            RegionTask{2 * work.id + 1, std::move(*split.above),
+                       std::move(work.candidates), work.k,
+                       std::move(work.pruned)};
+        return out;
+      }
+    }
+    if (attempt == 0) {
+      pairs = ExhaustiveFlipPairs(data, work.region, profiles, config.eps);
+    }
+  }
+
+  // Every violating pair is an epsilon-tie across this region; accept
+  // within tolerance (see DESIGN.md, numeric robustness).
+  LOG(DEBUG) << "no cutting hyperplane found for a non-invariant "
+             << "region; accepting within tolerance";
+  FillAcceptPayload(data, config, work, profiles, out);
+  return out;
+}
 
 PartitionOutput PartitionPreferenceRegion(const Dataset& data,
                                           const std::vector<int>& candidates,
@@ -274,153 +391,8 @@ PartitionOutput PartitionPreferenceRegion(const Dataset& data,
   CHECK_GT(k, 0);
   CHECK_GE(candidates.size(), static_cast<size_t>(k))
       << "candidate pool smaller than k";
-  PartitionOutput out;
-  std::set<int> topk_union;
-  const size_t max_regions =
-      config.max_regions > 0 ? config.max_regions : kDefaultMaxRegions;
-  Timer timer;
-
-  std::deque<Work> queue;
-  queue.push_back(Work{root, candidates, k, {}});
-
-  const auto accept = [&](Work& work,
-                          const std::vector<TopkResult>& profiles) {
-    ++out.regions_accepted;
-    for (const Vec& v : work.region.vertices()) out.vall.push_back(v);
-    if (config.collect_topk_union) {
-      topk_union.insert(work.pruned.begin(), work.pruned.end());
-      for (const TopkResult& profile : profiles) {
-        for (const ScoredOption& e : profile.entries) {
-          topk_union.insert(e.id);
-        }
-      }
-    }
-    if (config.collect_regions) {
-      // Evaluate the set at the centroid: ties are confined to cell
-      // boundaries, so the interior point reports the cell's true top-k
-      // set even when vertex evaluations are tie-ambiguous.
-      const TopkResult center_topk = ComputeTopKReduced(
-          data, work.candidates, work.region.Centroid(), work.k);
-      std::set<int> ids(work.pruned.begin(), work.pruned.end());
-      for (const ScoredOption& e : center_topk.entries) ids.insert(e.id);
-      out.regions.push_back(AcceptedRegion{
-          std::move(work.region), std::vector<int>(ids.begin(), ids.end())});
-    }
-  };
-
-  while (!queue.empty()) {
-    if (config.time_budget_seconds > 0.0 &&
-        timer.Seconds() > config.time_budget_seconds) {
-      out.timed_out = true;
-      break;
-    }
-    if (out.regions_tested >= max_regions) {
-      LOG(WARNING) << "partitioning hit the region cap (" << max_regions
-                   << "); aborting";
-      out.timed_out = true;
-      break;
-    }
-    Work work = std::move(queue.front());
-    queue.pop_front();
-    ++out.regions_tested;
-    if (GlobalLogLevel() == LogLevel::kDebug) {
-      LOG(DEBUG) << "region " << out.regions_tested << ": |V|="
-                 << work.region.vertices().size() << " |F|="
-                 << work.region.facets().size() << " |D'|="
-                 << work.candidates.size() << " k=" << work.k << " queue="
-                 << queue.size();
-    }
-
-    std::vector<TopkResult> profiles = ComputeProfiles(data, work);
-    if (config.use_lemma5 && ApplyLemma5(profiles, work) > 0) {
-      ++out.lemma5_prunes;
-    }
-
-    // Acceptance test.
-    bool accepted = false;
-    if (config.ordered_invariance) {
-      accepted = true;
-      for (size_t p = 1; p < profiles.size() && accepted; ++p) {
-        for (size_t r = 0; r < profiles[0].entries.size(); ++r) {
-          if (profiles[p].entries[r].id != profiles[0].entries[r].id) {
-            accepted = false;
-            break;
-          }
-        }
-      }
-      if (accepted) ++out.kipr_accepts;
-    } else {
-      // Plain kIPR test (Lemma 3): same top-k set, same top-k-th option.
-      const bool same_set =
-          SamePrefixSet(profiles, profiles[0].entries.size());
-      bool same_kth = true;
-      for (size_t p = 1; p < profiles.size(); ++p) {
-        if (profiles[p].KthId() != profiles[0].KthId()) {
-          same_kth = false;
-          break;
-        }
-      }
-      if (same_set && same_kth) {
-        accepted = true;
-        ++out.kipr_accepts;
-      } else if (config.use_lemma7) {
-        // Optimized test (Lemma 7, via Lemma 6): if every vertex shares
-        // the same top-(k-1) set, the impact halfspaces at the vertices
-        // already define the region's TopRR solution. k == 1 is Lemma 6
-        // directly: no invariance needed at all.
-        if (work.k == 1 ||
-            SamePrefixSet(profiles,
-                          static_cast<size_t>(work.k - 1))) {
-          accepted = true;
-          ++out.lemma7_accepts;
-        }
-      }
-    }
-    if (accepted) {
-      accept(work, profiles);
-      continue;
-    }
-
-    // Split. Try the method's preferred pair first; fall back to any
-    // violating pair whose hyperplane actually cuts the region (Lemma 4
-    // guarantees one exists up to numeric ties).
-    std::vector<SplitPair> pairs = ChooseSplitPairs(
-        data, work.region, profiles, config, out.regions_tested);
-    bool split_done = false;
-    for (int attempt = 0; attempt < 2 && !split_done; ++attempt) {
-      for (const SplitPair& pair : pairs) {
-        const Hyperplane plane = ScoreEqualityHyperplane(
-            data.Row(pair.first), data.Row(pair.second), work.region.dim());
-        if (plane.normal.MaxAbs() <= config.eps) continue;  // identical
-        PrefRegionSplit split = work.region.Split(plane, config.eps);
-        if (split.below.has_value() && split.above.has_value()) {
-          ++out.regions_split;
-          queue.push_back(
-              Work{std::move(*split.below), work.candidates, work.k,
-                   work.pruned});
-          queue.push_back(
-              Work{std::move(*split.above), std::move(work.candidates),
-                   work.k, std::move(work.pruned)});
-          split_done = true;
-          break;
-        }
-      }
-      if (!split_done && attempt == 0) {
-        pairs = ExhaustiveFlipPairs(data, work.region, profiles,
-                                    config.eps);
-      }
-    }
-    if (!split_done) {
-      // Every violating pair is an epsilon-tie across this region; accept
-      // within tolerance (see DESIGN.md, numeric robustness).
-      LOG(DEBUG) << "no cutting hyperplane found for a non-invariant "
-                 << "region; accepting within tolerance";
-      accept(work, profiles);
-    }
-  }
-
-  out.topk_union.assign(topk_union.begin(), topk_union.end());
-  return out;
+  PartitionScheduler scheduler(data, config);
+  return scheduler.Run(RegionTask{1, root, candidates, k, {}});
 }
 
 }  // namespace toprr

@@ -31,6 +31,10 @@ struct PartitionConfig {
   double eps = 1e-10;
   double time_budget_seconds = 0.0;  // <= 0: unlimited
   size_t max_regions = 0;            // 0: default (16M)
+  /// Worker threads for the partition scheduler: 1 = sequential executor,
+  /// 0 = one worker per hardware thread, n > 1 = n workers. Both
+  /// executors produce bit-identical output (see core/scheduler.h).
+  int num_threads = 1;
   /// Also accumulate the union of top-k option ids over all accepted
   /// regions (the exact UTK option filter, Sec. 6.3 choice (iv)).
   bool collect_topk_union = false;

@@ -1,0 +1,243 @@
+#include "core/scheduler.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <utility>
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+
+namespace toprr {
+namespace {
+
+constexpr size_t kDefaultMaxRegions = size_t{16} << 20;
+
+// An accepted node awaiting the deterministic id-ordered merge.
+struct AcceptedNode {
+  uint64_t id = 0;
+  RegionOutcome outcome;
+};
+
+// Scheduler-side tallies (everything in PartitionOutput except the
+// accepted payloads, which are merged separately).
+struct Tally {
+  size_t regions_tested = 0;
+  size_t regions_accepted = 0;
+  size_t regions_split = 0;
+  size_t kipr_accepts = 0;
+  size_t lemma7_accepts = 0;
+  size_t lemma5_prunes = 0;
+  bool timed_out = false;
+};
+
+void TallyOutcome(const RegionOutcome& outcome, Tally& tally) {
+  if (outcome.lemma5_pruned) ++tally.lemma5_prunes;
+  if (outcome.accepted) {
+    ++tally.regions_accepted;
+    if (outcome.kipr_accept) ++tally.kipr_accepts;
+    if (outcome.lemma7_accept) ++tally.lemma7_accepts;
+  } else {
+    ++tally.regions_split;
+  }
+}
+
+// Builds the PartitionOutput from the tally and the accepted nodes. The
+// nodes are sorted by tree id, so the output is identical no matter which
+// worker accepted which node in which order. (For the sequential executor
+// the sort is a no-op: FIFO processing of heap-path ids pops them in
+// increasing order.)
+PartitionOutput AssembleOutput(const PartitionConfig& config, Tally tally,
+                               std::vector<AcceptedNode> accepted) {
+  std::sort(accepted.begin(), accepted.end(),
+            [](const AcceptedNode& a, const AcceptedNode& b) {
+              return a.id < b.id;
+            });
+  PartitionOutput out;
+  out.regions_tested = tally.regions_tested;
+  out.regions_accepted = tally.regions_accepted;
+  out.regions_split = tally.regions_split;
+  out.kipr_accepts = tally.kipr_accepts;
+  out.lemma7_accepts = tally.lemma7_accepts;
+  out.lemma5_prunes = tally.lemma5_prunes;
+  out.timed_out = tally.timed_out;
+  std::set<int> topk_union;
+  for (AcceptedNode& node : accepted) {
+    for (Vec& v : node.outcome.vall) out.vall.push_back(std::move(v));
+    if (config.collect_topk_union) {
+      topk_union.insert(node.outcome.topk_ids.begin(),
+                        node.outcome.topk_ids.end());
+    }
+    if (config.collect_regions && node.outcome.cell.has_value()) {
+      out.regions.push_back(std::move(*node.outcome.cell));
+    }
+  }
+  out.topk_union.assign(topk_union.begin(), topk_union.end());
+  return out;
+}
+
+// State shared between the calling thread and the pool helpers of the
+// multi-threaded executor. Held by shared_ptr so that helper tasks still
+// queued on the pool after the solve completes stay memory-safe: they
+// lock, observe the done condition, and return without touching the
+// dataset.
+struct SchedulerState {
+  explicit SchedulerState(const PartitionConfig& config)
+      : max_regions(config.max_regions > 0 ? config.max_regions
+                                           : kDefaultMaxRegions),
+        time_budget_seconds(config.time_budget_seconds) {}
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<RegionTask> queue;
+  size_t in_process = 0;  // tasks popped but not yet applied
+  bool stop = false;      // budget exhausted; drop remaining work
+  bool cap_warned = false;
+  Tally tally;
+  std::vector<AcceptedNode> accepted;
+
+  const size_t max_regions;
+  const double time_budget_seconds;
+  Timer timer;
+};
+
+// Drains the shared queue until the tree is complete or the budget stops
+// the run. Runs identically on the calling thread and on pool helpers.
+void DrainQueue(const Dataset& data, const PartitionConfig& config,
+                SchedulerState& state) {
+  std::unique_lock<std::mutex> lock(state.mu);
+  for (;;) {
+    state.cv.wait(lock, [&state] {
+      return state.stop || !state.queue.empty() || state.in_process == 0;
+    });
+    if (state.stop || (state.queue.empty() && state.in_process == 0)) {
+      return;
+    }
+    if (state.queue.empty()) continue;  // spurious wake; work in flight
+
+    // Thread-safe budget check, mirroring the sequential executor: the
+    // budget is charged per popped region, under the lock.
+    if (state.time_budget_seconds > 0.0 &&
+        state.timer.Seconds() > state.time_budget_seconds) {
+      state.stop = true;
+      state.tally.timed_out = true;
+      state.cv.notify_all();
+      return;
+    }
+    if (state.tally.regions_tested >= state.max_regions) {
+      if (!state.cap_warned) {
+        state.cap_warned = true;
+        LOG(WARNING) << "partitioning hit the region cap ("
+                     << state.max_regions << "); aborting";
+      }
+      state.stop = true;
+      state.tally.timed_out = true;
+      state.cv.notify_all();
+      return;
+    }
+
+    RegionTask task = std::move(state.queue.front());
+    state.queue.pop_front();
+    ++state.tally.regions_tested;
+    ++state.in_process;
+    const uint64_t id = task.id;
+    lock.unlock();
+
+    RegionOutcome outcome = TestAndSplitRegion(data, config, std::move(task));
+
+    lock.lock();
+    --state.in_process;
+    TallyOutcome(outcome, state.tally);
+    if (outcome.accepted) {
+      state.accepted.push_back(AcceptedNode{id, std::move(outcome)});
+    } else {
+      state.queue.push_back(std::move(*outcome.below));
+      state.queue.push_back(std::move(*outcome.above));
+    }
+    // Unconditional: peers wait on new work OR tree completion, and the
+    // caller's final wait needs in_process == 0 even on the stop path
+    // (where the abandoned queue stays non-empty). Guarding this on
+    // queue.empty() deadlocked budget-stopped runs.
+    state.cv.notify_all();
+  }
+}
+
+}  // namespace
+
+PartitionOutput PartitionScheduler::Run(RegionTask root) const {
+  const size_t workers = ResolveThreadCount(config_.num_threads);
+  if (workers <= 1) return RunSequential(std::move(root));
+  return RunParallel(std::move(root), workers);
+}
+
+PartitionOutput PartitionScheduler::RunSequential(RegionTask root) const {
+  const size_t max_regions = config_.max_regions > 0 ? config_.max_regions
+                                                     : kDefaultMaxRegions;
+  Timer timer;
+  Tally tally;
+  std::vector<AcceptedNode> accepted;
+  std::deque<RegionTask> queue;
+  queue.push_back(std::move(root));
+
+  while (!queue.empty()) {
+    if (config_.time_budget_seconds > 0.0 &&
+        timer.Seconds() > config_.time_budget_seconds) {
+      tally.timed_out = true;
+      break;
+    }
+    if (tally.regions_tested >= max_regions) {
+      LOG(WARNING) << "partitioning hit the region cap (" << max_regions
+                   << "); aborting";
+      tally.timed_out = true;
+      break;
+    }
+    RegionTask task = std::move(queue.front());
+    queue.pop_front();
+    ++tally.regions_tested;
+    const uint64_t id = task.id;
+
+    RegionOutcome outcome =
+        TestAndSplitRegion(data_, config_, std::move(task));
+    TallyOutcome(outcome, tally);
+    if (outcome.accepted) {
+      accepted.push_back(AcceptedNode{id, std::move(outcome)});
+    } else {
+      queue.push_back(std::move(*outcome.below));
+      queue.push_back(std::move(*outcome.above));
+    }
+  }
+  return AssembleOutput(config_, std::move(tally), std::move(accepted));
+}
+
+PartitionOutput PartitionScheduler::RunParallel(RegionTask root,
+                                                size_t num_workers) const {
+  auto state = std::make_shared<SchedulerState>(config_);
+  state->queue.push_back(std::move(root));
+
+  // Borrow up to num_workers-1 helpers from the shared pool. The calling
+  // thread drains too, so helpers the pool cannot schedule (it may be
+  // saturated by batch queries) only cost parallelism, never progress.
+  ThreadPool& pool = SharedThreadPool();
+  const size_t helpers = num_workers - 1;
+  const Dataset* data = &data_;
+  const PartitionConfig config = config_;
+  for (size_t i = 0; i < helpers; ++i) {
+    pool.Submit([data, config, state] { DrainQueue(*data, config, *state); });
+  }
+  DrainQueue(data_, config_, *state);
+
+  // Helpers mid-task still hold references into the shared state (and the
+  // dataset); wait for them before assembling. Helpers still queued on
+  // the pool need no wait: they observe the done condition and return.
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&state] { return state->in_process == 0; });
+  return AssembleOutput(config_, std::move(state->tally),
+                        std::move(state->accepted));
+}
+
+}  // namespace toprr

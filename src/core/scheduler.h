@@ -1,0 +1,110 @@
+// PartitionScheduler: explicit work-queue execution of the test-and-split
+// partitioning (paper Sec. 4-5).
+//
+// The recursion of TAS/TAS*/PAC is a region tree: every node is either
+// accepted (its vertices join Vall) or split into two children. Testing a
+// node is a pure function of (dataset, config, node) -- see
+// TestAndSplitRegion -- so the tree itself is deterministic and the nodes
+// can be processed in any order by any number of workers. The scheduler
+// exploits exactly that:
+//
+//  * tasks carry a heap-path id (root 1, split children 2*id and 2*id+1)
+//    which seeds the pseudo-random split-pair rotation, replacing the seed
+//    implementation's queue-position salt so that the tree does not depend
+//    on execution order;
+//  * accepted nodes are buffered per worker and merged in ascending
+//    task-id order at the end, which for the sequential executor coincides
+//    with the old BFS emission order;
+//  * counters, the region budget, and the wall-clock deadline live behind
+//    one lock so both executors share identical budget semantics.
+//
+// Consequently the sequential executor and the multi-threaded executor
+// produce bit-identical PartitionOutputs (and hence ToprrResults) on every
+// run that completes within budget.
+//
+// This header is internal to toprr_core; public entry points are
+// SolveToprr / ToprrEngine.
+#ifndef TOPRR_CORE_SCHEDULER_H_
+#define TOPRR_CORE_SCHEDULER_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/partition.h"
+#include "data/dataset.h"
+#include "geom/vec.h"
+#include "pref/region.h"
+
+namespace toprr {
+
+/// One pending unit of work: a sub-region with its (possibly Lemma-5
+/// reduced) candidate pool and k value, the options pruned so far on this
+/// branch, and the deterministic tree id.
+struct RegionTask {
+  uint64_t id = 1;  // heap path: root 1, split children 2*id and 2*id+1
+  PrefRegion region;
+  std::vector<int> candidates;
+  int k = 0;
+  std::vector<int> pruned;
+};
+
+/// The outcome of testing one region: either an acceptance payload or the
+/// two child tasks of a split (plus the counters the node contributed).
+struct RegionOutcome {
+  bool accepted = false;
+  bool kipr_accept = false;
+  bool lemma7_accept = false;
+  bool lemma5_pruned = false;
+
+  // Acceptance payload (merged into PartitionOutput in task-id order).
+  std::vector<Vec> vall;           // the accepted region's vertices
+  std::vector<int> topk_ids;       // when config.collect_topk_union
+  std::optional<AcceptedRegion> cell;  // when config.collect_regions
+
+  // Split payload.
+  std::optional<RegionTask> below;
+  std::optional<RegionTask> above;
+};
+
+/// Tests one region: Lemma-5 pruning, the method's acceptance test, and --
+/// on rejection -- selection of a cutting hyperplane and construction of
+/// the two children. Pure: depends only on the arguments, making it safe
+/// to call concurrently for distinct tasks. Implemented in partition.cc
+/// next to the algorithmic helpers it uses.
+RegionOutcome TestAndSplitRegion(const Dataset& data,
+                                 const PartitionConfig& config,
+                                 RegionTask task);
+
+/// Drives TestAndSplitRegion over the region tree rooted at a task.
+/// config.num_threads selects the executor: 1 runs the sequential
+/// executor in the calling thread; any other value runs the
+/// multi-threaded executor, which drains a shared queue from the calling
+/// thread plus up to num_threads-1 helpers borrowed from
+/// SharedThreadPool() (0 = one per hardware thread). Helpers that cannot
+/// be scheduled (e.g. the pool is saturated by batch queries) cost
+/// nothing: the calling thread always completes the tree alone, so
+/// nesting region-level parallelism under query-level parallelism cannot
+/// deadlock.
+class PartitionScheduler {
+ public:
+  PartitionScheduler(const Dataset& data, const PartitionConfig& config)
+      : data_(data), config_(config) {}
+
+  PartitionScheduler(const PartitionScheduler&) = delete;
+  PartitionScheduler& operator=(const PartitionScheduler&) = delete;
+
+  /// Processes the whole tree under `root` and assembles the output.
+  PartitionOutput Run(RegionTask root) const;
+
+ private:
+  PartitionOutput RunSequential(RegionTask root) const;
+  PartitionOutput RunParallel(RegionTask root, size_t num_workers) const;
+
+  const Dataset& data_;
+  const PartitionConfig config_;
+};
+
+}  // namespace toprr
+
+#endif  // TOPRR_CORE_SCHEDULER_H_

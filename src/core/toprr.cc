@@ -76,6 +76,7 @@ ToprrResult SolveImpl(const Dataset& data, int k, const PrefRegion& region,
   config.eps = options.eps;
   config.time_budget_seconds = options.time_budget_seconds;
   config.max_regions = options.max_regions;
+  config.num_threads = options.num_threads;
   switch (options.method) {
     case ToprrMethod::kPac:
       config.ordered_invariance = true;

@@ -71,6 +71,12 @@ struct ToprrOptions {
 
   /// Safety bound on the number of processed regions (0 = default bound).
   size_t max_regions = 0;
+
+  /// Worker threads for the partition scheduler: 1 = sequential executor,
+  /// 0 = one worker per hardware thread, n > 1 = n workers. The parallel
+  /// executor produces bit-identical results to the sequential one (see
+  /// core/scheduler.h).
+  int num_threads = 1;
 };
 
 /// Counters and timings describing one solve.

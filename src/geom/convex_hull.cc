@@ -371,7 +371,11 @@ std::optional<ConvexHullResult> ComputeConvexHull(
       // Fix the outer facet's back-pointer.
       Facet& outer = facets[h.outside_facet];
       for (size_t i = 0; i < outer.vertices.size(); ++i) {
-        if (outer.neighbors[i] >= 0 && is_visible[outer.neighbors[i]]) {
+        // Neighbors rewired to cone facets created earlier in this round
+        // have ids past is_visible's range; they are never visible.
+        if (outer.neighbors[i] >= 0 &&
+            static_cast<size_t>(outer.neighbors[i]) < is_visible.size() &&
+            is_visible[outer.neighbors[i]]) {
           // Verify this slot's ridge equals h.ridge before rewiring.
           std::vector<int> outer_ridge;
           for (size_t j = 0; j < outer.vertices.size(); ++j) {

@@ -9,7 +9,6 @@ namespace toprr {
 
 std::vector<int> OnionLayers(const Dataset& data, int k) {
   CHECK_GT(k, 0);
-  const size_t d = data.dim();
   std::vector<int> remaining(data.size());
   for (size_t i = 0; i < data.size(); ++i) remaining[i] = static_cast<int>(i);
 

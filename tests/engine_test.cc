@@ -79,6 +79,113 @@ TEST(EngineTest, PolytopeRegionOverload) {
             via_region.impact_halfspaces.size());
 }
 
+void ExpectSameRegion(const ToprrResult& a, const ToprrResult& b) {
+  ASSERT_EQ(a.timed_out, b.timed_out);
+  ASSERT_EQ(a.impact_halfspaces.size(), b.impact_halfspaces.size());
+  for (size_t i = 0; i < a.impact_halfspaces.size(); ++i) {
+    EXPECT_EQ(a.impact_halfspaces[i].offset, b.impact_halfspaces[i].offset);
+    for (size_t j = 0; j < a.impact_halfspaces[i].normal.dim(); ++j) {
+      EXPECT_EQ(a.impact_halfspaces[i].normal[j],
+                b.impact_halfspaces[i].normal[j]);
+    }
+  }
+  ASSERT_EQ(a.vall.size(), b.vall.size());
+  for (size_t i = 0; i < a.vall.size(); ++i) {
+    for (size_t j = 0; j < a.vall[i].dim(); ++j) {
+      EXPECT_EQ(a.vall[i][j], b.vall[i][j]);
+    }
+  }
+}
+
+TEST(EngineTest, SolveBatchMatchesIndividualSolves) {
+  const Dataset ds = GenerateSynthetic(1500, 3, Distribution::kIndependent,
+                                       49);
+  ToprrEngine engine(&ds);
+  Rng rng(50);
+  std::vector<ToprrQuery> queries;
+  for (int i = 0; i < 12; ++i) {
+    ToprrOptions options;
+    if (i % 3 == 0) options.method = ToprrMethod::kTas;
+    queries.push_back(
+        ToprrQuery::FromBox(2 + i % 5, RandomPrefBox(2, 0.03, rng), options));
+  }
+  const std::vector<ToprrResult> batch = engine.SolveBatch(queries, 4);
+  ASSERT_EQ(batch.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const ToprrResult single = engine.Solve(queries[i]);
+    SCOPED_TRACE(i);
+    ExpectSameRegion(batch[i], single);
+  }
+}
+
+TEST(EngineTest, SolveBatchSequentialAndParallelAgree) {
+  const Dataset ds = GenerateSynthetic(1000, 4, Distribution::kCorrelated,
+                                       51);
+  ToprrEngine engine(&ds);
+  Rng rng(52);
+  std::vector<ToprrQuery> queries;
+  for (int i = 0; i < 8; ++i) {
+    queries.push_back(
+        ToprrQuery::FromBox(5, RandomPrefBox(3, 0.02, rng)));
+  }
+  const std::vector<ToprrResult> serial = engine.SolveBatch(queries, 1);
+  const std::vector<ToprrResult> parallel = engine.SolveBatch(queries, 4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    SCOPED_TRACE(i);
+    ExpectSameRegion(serial[i], parallel[i]);
+  }
+}
+
+TEST(EngineTest, SolveBatchWithRegionLevelParallelismComposes) {
+  // Query-level and region-level parallelism share one pool; both levels
+  // active at once must stay correct (the pool saturates gracefully).
+  const Dataset ds = GenerateSynthetic(800, 3, Distribution::kIndependent,
+                                       53);
+  ToprrEngine engine(&ds);
+  Rng rng(54);
+  std::vector<ToprrQuery> queries;
+  for (int i = 0; i < 6; ++i) {
+    ToprrOptions options;
+    options.num_threads = 2;  // region-level parallelism inside each query
+    queries.push_back(
+        ToprrQuery::FromBox(4, RandomPrefBox(2, 0.03, rng), options));
+  }
+  const std::vector<ToprrResult> batch = engine.SolveBatch(queries, 3);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ToprrQuery plain = queries[i];
+    plain.options.num_threads = 1;
+    const ToprrResult single = engine.Solve(plain);
+    SCOPED_TRACE(i);
+    ExpectSameRegion(batch[i], single);
+  }
+}
+
+TEST(EngineTest, SolveBatchEmpty) {
+  const Dataset ds = GenerateSynthetic(100, 3, Distribution::kIndependent,
+                                       55);
+  ToprrEngine engine(&ds);
+  EXPECT_TRUE(engine.SolveBatch({}, 4).empty());
+}
+
+TEST(EngineTest, ConcurrentSolvesShareTheCache) {
+  const Dataset ds = GenerateSynthetic(1200, 3, Distribution::kIndependent,
+                                       56);
+  ToprrEngine engine(&ds);
+  Rng rng(57);
+  // Same k across all queries: every worker hits the same cache entry.
+  std::vector<ToprrQuery> queries;
+  for (int i = 0; i < 10; ++i) {
+    queries.push_back(ToprrQuery::FromBox(6, RandomPrefBox(2, 0.02, rng)));
+  }
+  const std::vector<ToprrResult> batch = engine.SolveBatch(queries, 4);
+  for (const ToprrResult& r : batch) {
+    EXPECT_FALSE(r.timed_out);
+    EXPECT_GT(r.stats.candidates_after_filter, 0u);
+  }
+  EXPECT_EQ(engine.KSkyband(6), SortBasedKSkyband(ds, 6));
+}
+
 TEST(EngineTest, InvalidateCacheRecomputes) {
   const Dataset ds = GenerateSynthetic(500, 3, Distribution::kIndependent,
                                        48);

@@ -179,7 +179,9 @@ TEST(RandomElongatedPrefBoxTest, VolumePreserved) {
       if (side > sigma * 1.01 || side < sigma * 0.99) ++long_sides;
     }
     EXPECT_NEAR(volume, std::pow(sigma, 3.0), 1e-10) << "gamma " << gamma;
-    if (gamma != 1.0) EXPECT_GE(long_sides, 1);
+    if (gamma != 1.0) {
+      EXPECT_GE(long_sides, 1);
+    }
   }
 }
 

@@ -1,0 +1,221 @@
+// Determinism contract of the partition scheduler (core/scheduler.h): the
+// multi-threaded executor must produce bit-identical ToprrResults to the
+// sequential executor for every method, across seeds, dimensions, and k.
+#include "core/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/toprr.h"
+#include "data/generator.h"
+#include "pref/pref_space.h"
+#include "topk/rskyband.h"
+
+namespace toprr {
+namespace {
+
+// Exact (bitwise) equality of two vectors of Vecs.
+void ExpectSameVecs(const std::vector<Vec>& a, const std::vector<Vec>& b,
+                    const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].dim(), b[i].dim()) << what << "[" << i << "]";
+    for (size_t j = 0; j < a[i].dim(); ++j) {
+      EXPECT_EQ(a[i][j], b[i][j]) << what << "[" << i << "][" << j << "]";
+    }
+  }
+}
+
+void ExpectSameHalfspaces(const std::vector<Halfspace>& a,
+                          const std::vector<Halfspace>& b,
+                          const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].offset, b[i].offset) << what << "[" << i << "]";
+    ASSERT_EQ(a[i].normal.dim(), b[i].normal.dim()) << what;
+    for (size_t j = 0; j < a[i].normal.dim(); ++j) {
+      EXPECT_EQ(a[i].normal[j], b[i].normal[j])
+          << what << "[" << i << "][" << j << "]";
+    }
+  }
+}
+
+// Bit-identical results, modulo wall-clock timing fields.
+void ExpectIdenticalResults(const ToprrResult& seq, const ToprrResult& par) {
+  ASSERT_EQ(seq.timed_out, par.timed_out);
+  EXPECT_EQ(seq.degenerate, par.degenerate);
+  EXPECT_EQ(seq.geometry_skipped, par.geometry_skipped);
+  ExpectSameHalfspaces(seq.impact_halfspaces, par.impact_halfspaces,
+                       "impact_halfspaces");
+  ExpectSameHalfspaces(seq.box_halfspaces, par.box_halfspaces,
+                       "box_halfspaces");
+  ExpectSameVecs(seq.vall, par.vall, "vall");
+  ExpectSameVecs(seq.vertices, par.vertices, "vertices");
+  EXPECT_EQ(seq.supporting_halfspaces, par.supporting_halfspaces);
+  EXPECT_EQ(seq.stats.candidates_after_filter,
+            par.stats.candidates_after_filter);
+  EXPECT_EQ(seq.stats.regions_tested, par.stats.regions_tested);
+  EXPECT_EQ(seq.stats.regions_accepted, par.stats.regions_accepted);
+  EXPECT_EQ(seq.stats.regions_split, par.stats.regions_split);
+  EXPECT_EQ(seq.stats.kipr_accepts, par.stats.kipr_accepts);
+  EXPECT_EQ(seq.stats.lemma7_accepts, par.stats.lemma7_accepts);
+  EXPECT_EQ(seq.stats.lemma5_prunes, par.stats.lemma5_prunes);
+  EXPECT_EQ(seq.stats.vall_raw, par.stats.vall_raw);
+  EXPECT_EQ(seq.stats.vall_unique, par.stats.vall_unique);
+}
+
+TEST(SchedulerTest, ParallelMatchesSequentialAcrossMethodsDimsAndK) {
+  const ToprrMethod methods[] = {ToprrMethod::kPac, ToprrMethod::kTas,
+                                 ToprrMethod::kTasStar};
+  Rng rng(7001);
+  for (uint64_t seed : {11u, 12u}) {
+    for (size_t d : {2u, 3u, 4u}) {
+      const Dataset ds =
+          GenerateSynthetic(300, d, Distribution::kIndependent, seed);
+      const PrefBox box = RandomPrefBox(d - 1, 0.04, rng);
+      for (int k : {1, 5}) {
+        for (ToprrMethod method : methods) {
+          ToprrOptions seq_options;
+          seq_options.method = method;
+          seq_options.num_threads = 1;
+          ToprrOptions par_options = seq_options;
+          par_options.num_threads = 4;
+          const ToprrResult seq = SolveToprr(ds, k, box, seq_options);
+          const ToprrResult par = SolveToprr(ds, k, box, par_options);
+          ASSERT_FALSE(seq.timed_out)
+              << ToprrMethodName(method) << " d=" << d << " k=" << k;
+          SCOPED_TRACE(std::string(ToprrMethodName(method)) + " d=" +
+                       std::to_string(d) + " k=" + std::to_string(k) +
+                       " seed=" + std::to_string(seed));
+          ExpectIdenticalResults(seq, par);
+        }
+      }
+    }
+  }
+}
+
+TEST(SchedulerTest, ParallelMatchesSequentialOnLargerInstance) {
+  const Dataset ds =
+      GenerateSynthetic(2000, 3, Distribution::kAnticorrelated, 77);
+  PrefBox box;
+  box.lo = Vec{0.28, 0.30};
+  box.hi = Vec{0.34, 0.36};
+  ToprrOptions seq_options;
+  seq_options.num_threads = 1;
+  ToprrOptions par_options;
+  par_options.num_threads = 8;
+  const ToprrResult seq = SolveToprr(ds, 10, box, seq_options);
+  const ToprrResult par = SolveToprr(ds, 10, box, par_options);
+  ASSERT_FALSE(seq.timed_out);
+  ExpectIdenticalResults(seq, par);
+  EXPECT_GT(seq.stats.regions_tested, 10u);  // nontrivial tree
+}
+
+TEST(SchedulerTest, ParallelRunsAreReproducible) {
+  // Two parallel runs agree with each other (not only with sequential):
+  // thread scheduling must not leak into the result.
+  const Dataset ds = GenerateSynthetic(500, 4, Distribution::kCorrelated, 55);
+  Rng rng(7002);
+  const PrefBox box = RandomPrefBox(3, 0.03, rng);
+  ToprrOptions options;
+  options.num_threads = 4;
+  const ToprrResult first = SolveToprr(ds, 7, box, options);
+  const ToprrResult second = SolveToprr(ds, 7, box, options);
+  ASSERT_FALSE(first.timed_out);
+  ExpectIdenticalResults(first, second);
+}
+
+TEST(SchedulerTest, NumThreadsZeroMeansHardware) {
+  const Dataset ds = GenerateSynthetic(200, 3, Distribution::kIndependent, 9);
+  PrefBox box;
+  box.lo = Vec{0.3, 0.3};
+  box.hi = Vec{0.33, 0.33};
+  ToprrOptions seq_options;  // num_threads = 1
+  ToprrOptions auto_options;
+  auto_options.num_threads = 0;
+  const ToprrResult seq = SolveToprr(ds, 5, box, seq_options);
+  const ToprrResult par = SolveToprr(ds, 5, box, auto_options);
+  ASSERT_FALSE(seq.timed_out);
+  ExpectIdenticalResults(seq, par);
+}
+
+TEST(SchedulerTest, PartitionOutputIdenticalWithCollectors) {
+  // The auxiliary collectors (top-k union, accepted cells) must merge
+  // deterministically too -- they feed the UTK filter and impact APIs.
+  const Dataset ds = GenerateSynthetic(400, 3, Distribution::kIndependent, 21);
+  Rng rng(7003);
+  const PrefBox box = RandomPrefBox(2, 0.05, rng);
+  const int k = 6;
+  const std::vector<int> candidates = RSkyband(ds, box, k);
+  PartitionConfig config;
+  config.use_lemma5 = true;
+  config.use_kswitch = true;
+  config.collect_topk_union = true;
+  config.collect_regions = true;
+
+  PartitionConfig par_config = config;
+  par_config.num_threads = 4;
+  const PartitionOutput seq = PartitionPreferenceRegion(
+      ds, candidates, k, PrefRegion::FromBox(box), config);
+  const PartitionOutput par = PartitionPreferenceRegion(
+      ds, candidates, k, PrefRegion::FromBox(box), par_config);
+
+  ASSERT_FALSE(seq.timed_out);
+  ASSERT_FALSE(par.timed_out);
+  EXPECT_EQ(seq.topk_union, par.topk_union);
+  ExpectSameVecs(seq.vall, par.vall, "vall");
+  ASSERT_EQ(seq.regions.size(), par.regions.size());
+  for (size_t i = 0; i < seq.regions.size(); ++i) {
+    EXPECT_EQ(seq.regions[i].topk_ids, par.regions[i].topk_ids) << i;
+    ExpectSameVecs(seq.regions[i].region.vertices(),
+                   par.regions[i].region.vertices(), "region vertices");
+  }
+}
+
+TEST(SchedulerTest, TimeBudgetStopsParallelRun) {
+  const Dataset ds =
+      GenerateSynthetic(5000, 4, Distribution::kAnticorrelated, 31);
+  PrefBox box;
+  box.lo = Vec{0.2, 0.2, 0.2};
+  box.hi = Vec{0.4, 0.4, 0.4};
+  ToprrOptions options;
+  options.num_threads = 4;
+  options.time_budget_seconds = 1e-5;  // unreachable: must abort cleanly
+  const ToprrResult r = SolveToprr(ds, 20, box, options);
+  EXPECT_TRUE(r.timed_out);
+}
+
+TEST(SchedulerTest, RepeatedBudgetStopsDoNotDeadlock) {
+  // Regression: a worker finishing its in-flight region after another
+  // worker flipped the stop flag must still wake the caller even though
+  // the abandoned queue is non-empty. The race needs many attempts to
+  // hit; without the fix this looped test hung within ~50 iterations.
+  const Dataset ds =
+      GenerateSynthetic(4000, 4, Distribution::kAnticorrelated, 33);
+  PrefBox box;
+  box.lo = Vec{0.2, 0.2, 0.2};
+  box.hi = Vec{0.4, 0.4, 0.4};
+  ToprrOptions options;
+  options.num_threads = 8;
+  options.time_budget_seconds = 2e-4;
+  for (int i = 0; i < 60; ++i) {
+    const ToprrResult r = SolveToprr(ds, 15, box, options);
+    EXPECT_TRUE(r.timed_out) << i;
+  }
+}
+
+TEST(SchedulerTest, RegionCapStopsParallelRun) {
+  const Dataset ds =
+      GenerateSynthetic(3000, 4, Distribution::kAnticorrelated, 32);
+  PrefBox box;
+  box.lo = Vec{0.2, 0.2, 0.2};
+  box.hi = Vec{0.4, 0.4, 0.4};
+  ToprrOptions options;
+  options.num_threads = 4;
+  options.max_regions = 3;
+  const ToprrResult r = SolveToprr(ds, 15, box, options);
+  EXPECT_TRUE(r.timed_out);
+}
+
+}  // namespace
+}  // namespace toprr
