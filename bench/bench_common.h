@@ -98,6 +98,12 @@ struct SweepPoint {
   double avg_vall = 0.0;
   double avg_candidates = 0.0;
   double avg_halfspaces = 0.0;
+  // Scheduler telemetry averages (work-stealing executor; zero when the
+  // solves ran sequentially). Consumed by bench_parallel_scale so the
+  // JSON trajectory records steal rates alongside speedups.
+  double avg_tasks_executed = 0.0;
+  double avg_tasks_stolen = 0.0;
+  double avg_steal_failures = 0.0;
   int dnf = 0;  // queries that exceeded the budget
 };
 
@@ -130,12 +136,21 @@ inline SweepPoint RunSweepPoint(const Dataset& data, int k, double sigma,
         static_cast<double>(result.stats.candidates_after_filter);
     point.avg_halfspaces +=
         static_cast<double>(result.impact_halfspaces.size());
+    point.avg_tasks_executed +=
+        static_cast<double>(result.stats.scheduler.TotalExecuted());
+    point.avg_tasks_stolen +=
+        static_cast<double>(result.stats.scheduler.TotalStolen());
+    point.avg_steal_failures +=
+        static_cast<double>(result.stats.scheduler.TotalStealFailures());
   }
   if (completed > 0) {
     point.avg_seconds /= completed;
     point.avg_vall /= completed;
     point.avg_candidates /= completed;
     point.avg_halfspaces /= completed;
+    point.avg_tasks_executed /= completed;
+    point.avg_tasks_stolen /= completed;
+    point.avg_steal_failures /= completed;
   }
   return point;
 }

@@ -3,7 +3,13 @@
 // Part (a) -- region-level parallelism: solve time of the Fig. 9 default
 // workload (IND, default n/d/k/sigma) as ToprrOptions.num_threads sweeps
 // 1/2/4/8. The speedup_vs_1t counter is the headline number (the 1-thread
-// point registers first and seeds the baseline).
+// point registers first and seeds the baseline). Each point also records
+// the work-stealing telemetry (tasks, steals, steal_failures,
+// steal_rate).
+//
+// Part (a2) -- the same sweep on a deliberately deep anticorrelated
+// tree (thousands of tasks): the series CI's bench-smoke job gates on
+// (ci/check_bench_smoke.py).
 //
 // Part (b) -- query-level parallelism: ToprrEngine::SolveBatch throughput
 // (queries/sec) for batch sizes 1/4/16/64 across 1/2/4/8 pool workers.
@@ -20,11 +26,44 @@ namespace toprr {
 namespace bench {
 namespace {
 
-// 1-thread baseline seconds for the speedup counter, seeded by the
-// threads:1 benchmark (registered and therefore run first).
+// 1-thread baseline seconds for the speedup counters, one per scheduler
+// series, seeded by that series' threads:1 benchmark (registered and
+// therefore run first).
 double& BaselineSeconds() {
   static double baseline = 0.0;
   return baseline;
+}
+
+double& DeepBaselineSeconds() {
+  static double baseline = 0.0;
+  return baseline;
+}
+
+void RunSchedulerPointImpl(::benchmark::State& state, const Dataset& data,
+                           int k, double sigma, int threads,
+                           double& baseline) {
+  ToprrOptions options;
+  options.num_threads = threads;
+  for (auto _ : state) {
+    const SweepPoint point = RunSweepPoint(data, k, sigma, options);
+    ReportSweepPoint(state, point);
+    state.counters["threads"] = threads;
+    // Work-stealing telemetry: steals per executed task is the executor's
+    // load-balancing rate; failures per steal measure victim-probe churn.
+    state.counters["tasks"] = point.avg_tasks_executed;
+    state.counters["steals"] = point.avg_tasks_stolen;
+    state.counters["steal_failures"] = point.avg_steal_failures;
+    state.counters["steal_rate"] =
+        point.avg_tasks_executed > 0.0
+            ? point.avg_tasks_stolen / point.avg_tasks_executed
+            : 0.0;
+    if (threads == 1 && point.avg_seconds > 0.0) {
+      baseline = point.avg_seconds;
+    }
+    if (baseline > 0.0 && point.avg_seconds > 0.0) {
+      state.counters["speedup_vs_1t"] = baseline / point.avg_seconds;
+    }
+  }
 }
 
 void RunSchedulerPoint(::benchmark::State& state, int threads) {
@@ -32,20 +71,22 @@ void RunSchedulerPoint(::benchmark::State& state, int threads) {
   const Dataset& data =
       CachedSynthetic(config.default_n(), config.default_d(),
                       Distribution::kIndependent, config.seed);
-  ToprrOptions options;
-  options.num_threads = threads;
-  for (auto _ : state) {
-    const SweepPoint point = RunSweepPoint(data, config.default_k(),
-                                           config.default_sigma(), options);
-    ReportSweepPoint(state, point);
-    state.counters["threads"] = threads;
-    if (threads == 1 && point.avg_seconds > 0.0) {
-      BaselineSeconds() = point.avg_seconds;
-    }
-    if (BaselineSeconds() > 0.0 && point.avg_seconds > 0.0) {
-      state.counters["speedup_vs_1t"] = BaselineSeconds() / point.avg_seconds;
-    }
-  }
+  RunSchedulerPointImpl(state, data, config.default_k(),
+                        config.default_sigma(), threads, BaselineSeconds());
+}
+
+// Part (a2) -- the deep-tree point the CI bench-smoke gate reads. The
+// default Fig. 9 workload (IND, sigma 1%) accepts after a few dozen
+// regions: too shallow to exercise stealing or show stable speedups. An
+// anticorrelated catalog with a wide clientele box drives the partition
+// tree to thousands of tasks (deep enough to steal, ~0.1s sequential)
+// while staying well under a second per point.
+void RunSchedulerDeepPoint(::benchmark::State& state, int threads) {
+  const BenchConfig& config = GlobalConfig();
+  const Dataset& data = CachedSynthetic(
+      40000, 3, Distribution::kAnticorrelated, config.seed);
+  RunSchedulerPointImpl(state, data, /*k=*/15, /*sigma=*/0.15, threads,
+                        DeepBaselineSeconds());
 }
 
 void RunBatchPoint(::benchmark::State& state, size_t batch_size,
@@ -97,6 +138,17 @@ void RegisterAll() {
         name.c_str(),
         [threads](::benchmark::State& state) {
           RunSchedulerPoint(state, threads);
+        })
+        ->Iterations(1)
+        ->UseManualTime();
+  }
+  for (int threads : {1, 2, 4, 8}) {
+    const std::string name =
+        "parallel_scale/scheduler_deep/threads:" + std::to_string(threads);
+    ::benchmark::RegisterBenchmark(
+        name.c_str(),
+        [threads](::benchmark::State& state) {
+          RunSchedulerDeepPoint(state, threads);
         })
         ->Iterations(1)
         ->UseManualTime();

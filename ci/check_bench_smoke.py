@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Perf gate over the bench_parallel_scale JSON trajectory.
+
+Reads a google-benchmark JSON file containing the deep-tree scheduler
+series `parallel_scale/scheduler_deep/threads:N` (google-benchmark
+appends `/iterations:.../manual_time` to the names) and fails (exit 1)
+when:
+
+  * the 1- or 4-thread point is missing,
+  * the 4-thread speedup over the 1-thread baseline is below the floor
+    (BENCH_SMOKE_FLOOR env var, default 1.5), or
+  * the work-stealing executor reports zero steals at 4 threads
+    (meaning load never balanced / the parallel path didn't run).
+
+Usage: check_bench_smoke.py bench_smoke.json
+"""
+
+import json
+import os
+import re
+import sys
+
+SERIES = re.compile(r"^parallel_scale/scheduler_deep/threads:(\d+)(/|$)")
+
+
+def fail(message: str) -> None:
+    print(f"bench-smoke: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    if len(sys.argv) != 2:
+        fail(f"usage: {sys.argv[0]} <benchmark_out.json>")
+    floor = float(os.environ.get("BENCH_SMOKE_FLOOR", "1.5"))
+
+    with open(sys.argv[1], "r", encoding="utf-8") as handle:
+        report = json.load(handle)
+
+    points = {}
+    for bench in report.get("benchmarks", []):
+        match = SERIES.match(bench.get("name", ""))
+        if match:
+            points[int(match.group(1))] = bench
+
+    if 1 not in points or 4 not in points:
+        fail(
+            "scheduler_deep series incomplete: got threads "
+            f"{sorted(points)} (need 1 and 4)"
+        )
+
+    four = points[4]
+    speedup = four.get("speedup_vs_1t")
+    if speedup is None:
+        fail("threads:4 point has no speedup_vs_1t counter")
+    steals = four.get("steals", 0.0)
+    tasks = four.get("tasks", 0.0)
+
+    print(
+        f"bench-smoke: 4-thread speedup {speedup:.2f}x (floor {floor}x), "
+        f"avg {tasks:.0f} tasks/query of which {steals:.0f} stolen"
+    )
+    if speedup < floor:
+        fail(f"4-thread speedup {speedup:.2f}x below the {floor}x floor")
+    if steals <= 0:
+        fail(
+            "zero steals at 4 threads: the work-stealing executor did not "
+            "balance load (or the parallel path did not run)"
+        )
+    print("bench-smoke: PASS")
+
+
+if __name__ == "__main__":
+    main()

@@ -69,6 +69,7 @@ int main(int argc, char** argv) {
   int threads = 1;
   int batch = 0;
   bool normalize = true;
+  bool stats = false;
   bool help = false;
   flags.AddString("csv", &csv_path, "load options from this CSV file");
   flags.AddString("wr", &wr_text,
@@ -89,6 +90,8 @@ int main(int argc, char** argv) {
                "serving mode: solve this many random clientele boxes "
                "through the batch engine and report throughput");
   flags.AddBool("normalize", &normalize, "min-max normalize CSV columns");
+  flags.AddBool("stats", &stats,
+                "print scheduler telemetry (per-worker tasks/steals)");
   flags.AddBool("help", &help, "print usage");
   if (!flags.Parse(&argc, argv)) return 1;
   if (help) {
@@ -177,6 +180,21 @@ int main(int argc, char** argv) {
                 "avg |Vall| %.1f, %d failed)\n",
                 batch, k, seconds, batch / seconds,
                 static_cast<double>(vall_total) / batch, failed);
+    if (stats) {
+      uint64_t executed = 0;
+      uint64_t stolen = 0;
+      uint64_t steal_failures = 0;
+      for (const ToprrResult& r : results) {
+        executed += r.stats.scheduler.TotalExecuted();
+        stolen += r.stats.scheduler.TotalStolen();
+        steal_failures += r.stats.scheduler.TotalStealFailures();
+      }
+      std::printf("scheduler totals over the batch: executed=%llu "
+                  "stolen=%llu steal_failures=%llu\n",
+                  static_cast<unsigned long long>(executed),
+                  static_cast<unsigned long long>(stolen),
+                  static_cast<unsigned long long>(steal_failures));
+    }
     return failed == 0 ? 0 : 1;
   }
 
@@ -189,6 +207,10 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("\nTopRR(k=%d): %s\n", k, region.stats.DebugString().c_str());
+  if (stats) {
+    std::printf("scheduler: %s\n",
+                region.stats.scheduler.DebugString().c_str());
+  }
   std::printf("oR: %zu impact halfspaces (+ unit box)%s%s\n",
               region.impact_halfspaces.size(),
               region.degenerate ? " [degenerate]" : "",

@@ -1,0 +1,51 @@
+#include "common/scheduler_stats.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace toprr {
+
+uint64_t SchedulerStats::TotalExecuted() const {
+  uint64_t total = 0;
+  for (const SchedulerWorkerStats& w : workers) total += w.tasks_executed;
+  return total;
+}
+
+uint64_t SchedulerStats::TotalStolen() const {
+  uint64_t total = 0;
+  for (const SchedulerWorkerStats& w : workers) total += w.tasks_stolen;
+  return total;
+}
+
+uint64_t SchedulerStats::TotalStealFailures() const {
+  uint64_t total = 0;
+  for (const SchedulerWorkerStats& w : workers) total += w.steal_failures;
+  return total;
+}
+
+uint64_t SchedulerStats::MaxDequeHighWater() const {
+  uint64_t high = 0;
+  for (const SchedulerWorkerStats& w : workers) {
+    high = std::max(high, w.deque_high_water);
+  }
+  return high;
+}
+
+std::string SchedulerStats::DebugString() const {
+  std::ostringstream out;
+  out << "workers=" << workers.size() << " executed=" << TotalExecuted()
+      << " stolen=" << TotalStolen()
+      << " steal_failures=" << TotalStealFailures()
+      << " deque_high_water=" << MaxDequeHighWater() << " wall="
+      << wall_seconds << "s";
+  for (size_t i = 0; i < workers.size(); ++i) {
+    const SchedulerWorkerStats& w = workers[i];
+    out << "\n  worker " << i << ": executed=" << w.tasks_executed
+        << " stolen=" << w.tasks_stolen
+        << " steal_failures=" << w.steal_failures
+        << " deque_high_water=" << w.deque_high_water;
+  }
+  return out.str();
+}
+
+}  // namespace toprr

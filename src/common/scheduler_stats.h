@@ -1,0 +1,40 @@
+// Telemetry of the work-stealing partition executor, kept in its own
+// small header so the public solver surface (core/partition.h,
+// core/toprr.h) can carry the stats without pulling in the thread pool
+// and deque internals from common/thread_pool.h.
+#ifndef TOPRR_COMMON_SCHEDULER_STATS_H_
+#define TOPRR_COMMON_SCHEDULER_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace toprr {
+
+/// Telemetry of one worker of the stealing executor.
+struct SchedulerWorkerStats {
+  uint64_t tasks_executed = 0;   // tasks this worker tested
+  uint64_t tasks_stolen = 0;     // of those, taken from a victim's deque
+  uint64_t steal_failures = 0;   // failed Steal() attempts
+  uint64_t deque_high_water = 0; // own-deque depth high-water mark
+};
+
+/// Aggregate telemetry of one partition-scheduler run, surfaced through
+/// PartitionOutput and ToprrResult::stats and printed by
+/// `toprr_cli --stats`. Collected from per-worker locals at merge time;
+/// the hot path never touches shared counters for it.
+struct SchedulerStats {
+  std::vector<SchedulerWorkerStats> workers;  // one entry per worker slot
+  double wall_seconds = 0.0;  // partition-phase wall time
+
+  uint64_t TotalExecuted() const;
+  uint64_t TotalStolen() const;
+  uint64_t TotalStealFailures() const;
+  uint64_t MaxDequeHighWater() const;
+
+  std::string DebugString() const;
+};
+
+}  // namespace toprr
+
+#endif  // TOPRR_COMMON_SCHEDULER_STATS_H_

@@ -75,4 +75,35 @@ size_t ResolveThreadCount(int num_threads) {
   return static_cast<size_t>(num_threads);
 }
 
+namespace {
+
+// splitmix64 (Steele/Lea/Flood): cheap, well-scrambled, and already the
+// idiom used to salt split-pair rotation in the partitioner.
+uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::vector<size_t> StealVictimOrder(size_t worker, size_t num_workers,
+                                     uint64_t seed) {
+  std::vector<size_t> order;
+  if (num_workers <= 1) return order;
+  order.reserve(num_workers - 1);
+  for (size_t v = 0; v < num_workers; ++v) {
+    if (v != worker) order.push_back(v);
+  }
+  // Fisher-Yates driven by splitmix64 over (seed, worker): deterministic
+  // per slot, decorrelated across slots.
+  uint64_t state = seed ^ (0x51ed2701a3c7b97bULL * (worker + 1));
+  for (size_t i = order.size(); i > 1; --i) {
+    const size_t j = static_cast<size_t>(SplitMix64(state) % i);
+    std::swap(order[i - 1], order[j]);
+  }
+  return order;
+}
+
 }  // namespace toprr

@@ -1,4 +1,5 @@
-// A reusable fixed-size thread pool.
+// A reusable fixed-size thread pool and the work-stealing primitives
+// built on top of it.
 //
 // Workers block on a shared FIFO task queue; Submit enqueues a callable
 // and returns immediately. The pool is intentionally minimal -- no
@@ -11,13 +12,24 @@
 // A process-wide shared pool sized to the hardware is available through
 // SharedThreadPool(); per-call thread counts are throttled by the caller,
 // not the pool.
+//
+// WorkStealingDeque is the per-worker scheduling primitive of the
+// partition executor: the owning worker pushes and pops at the bottom
+// (LIFO, cache-hot children first) while any other thread steals from the
+// top (FIFO, the oldest -- and for a region tree typically the largest --
+// subtree). StealVictimOrder gives each worker a seeded pseudo-random
+// victim permutation; the executor telemetry these feed lives in
+// common/scheduler_stats.h so public headers need not include this one.
 #ifndef TOPRR_COMMON_THREAD_POOL_H_
 #define TOPRR_COMMON_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -65,6 +77,146 @@ ThreadPool& SharedThreadPool();
 /// Resolves a user-facing thread-count knob: 0 means "all hardware
 /// threads", anything else is clamped to at least 1.
 size_t ResolveThreadCount(int num_threads);
+
+// ---------------------------------------------------------------------------
+// Work stealing.
+// ---------------------------------------------------------------------------
+
+/// A Chase-Lev-style work-stealing deque of raw pointers (Chase & Lev,
+/// SPAA'05). Exactly one thread -- the owner -- may call Push and Pop;
+/// any thread may call Steal. The owner works LIFO at the bottom (the
+/// most recently split child is cache-hot); thieves take FIFO from the
+/// top, which for a region tree is the oldest and therefore typically
+/// the largest pending subtree.
+///
+/// All cross-thread accesses go through std::atomic. The orderings are
+/// the conservative seq_cst variant of the published algorithm (no
+/// standalone fences: ThreadSanitizer does not model
+/// atomic_thread_fence, and the deque must stay TSan-clean). The hot
+/// owner path still touches only its own cache lines when no thief is
+/// active.
+///
+/// The deque never owns the pointed-to objects; whoever drains it last
+/// is responsible for deleting leftovers (the partition scheduler does
+/// this for budget-abandoned tasks). Buffers retired by growth are kept
+/// alive until destruction so a racing thief can never read freed
+/// memory.
+template <typename T>
+class WorkStealingDeque {
+ public:
+  explicit WorkStealingDeque(size_t capacity = 64) {
+    size_t cap = 8;
+    while (cap < capacity) cap <<= 1;
+    buffer_.store(new Buffer(cap), std::memory_order_relaxed);
+  }
+
+  WorkStealingDeque(const WorkStealingDeque&) = delete;
+  WorkStealingDeque& operator=(const WorkStealingDeque&) = delete;
+
+  ~WorkStealingDeque() {
+    delete buffer_.load(std::memory_order_relaxed);
+    for (Buffer* old : retired_) delete old;
+  }
+
+  /// Owner only: pushes `item` at the bottom. Grows (power-of-two
+  /// doubling) when full; growth preserves indices, so concurrent
+  /// thieves holding the old buffer still read correct entries.
+  void Push(T* item) {
+    const int64_t b = bottom_.load(std::memory_order_relaxed);
+    const int64_t t = top_.load(std::memory_order_acquire);
+    Buffer* buf = buffer_.load(std::memory_order_relaxed);
+    if (b - t >= static_cast<int64_t>(buf->capacity)) buf = Grow(buf, t, b);
+    buf->slots[static_cast<size_t>(b) & buf->mask].store(
+        item, std::memory_order_relaxed);
+    bottom_.store(b + 1, std::memory_order_release);
+  }
+
+  /// Owner only: pops the most recently pushed item, or nullptr when the
+  /// deque is empty (including when a thief won the race for the last
+  /// item).
+  T* Pop() {
+    const int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Buffer* buf = buffer_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_seq_cst);
+    int64_t t = top_.load(std::memory_order_seq_cst);
+    if (t > b) {  // already empty
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    T* item =
+        buf->slots[static_cast<size_t>(b) & buf->mask].load(
+            std::memory_order_relaxed);
+    if (t == b) {
+      // Last item: race thieves for it via the shared top counter.
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        item = nullptr;  // a thief got it
+      }
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return item;
+  }
+
+  /// Any thread: steals the oldest item, or nullptr when the deque is
+  /// empty or another claimant (owner or thief) won the race.
+  T* Steal() {
+    int64_t t = top_.load(std::memory_order_seq_cst);
+    const int64_t b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b) return nullptr;
+    Buffer* buf = buffer_.load(std::memory_order_acquire);
+    T* item = buf->slots[static_cast<size_t>(t) & buf->mask].load(
+        std::memory_order_relaxed);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return nullptr;  // lost the race; caller may retry elsewhere
+    }
+    return item;
+  }
+
+  /// Racy size estimate (exact when called by an idle owner). Used for
+  /// telemetry and final drains, never for correctness decisions.
+  size_t SizeApprox() const {
+    const int64_t b = bottom_.load(std::memory_order_seq_cst);
+    const int64_t t = top_.load(std::memory_order_seq_cst);
+    return b > t ? static_cast<size_t>(b - t) : 0;
+  }
+
+ private:
+  struct Buffer {
+    explicit Buffer(size_t cap)
+        : capacity(cap), mask(cap - 1), slots(new std::atomic<T*>[cap]) {}
+    const size_t capacity;
+    const size_t mask;
+    std::unique_ptr<std::atomic<T*>[]> slots;
+  };
+
+  Buffer* Grow(Buffer* old, int64_t t, int64_t b) {
+    Buffer* bigger = new Buffer(old->capacity * 2);
+    for (int64_t i = t; i < b; ++i) {
+      bigger->slots[static_cast<size_t>(i) & bigger->mask].store(
+          old->slots[static_cast<size_t>(i) & old->mask].load(
+              std::memory_order_relaxed),
+          std::memory_order_relaxed);
+    }
+    buffer_.store(bigger, std::memory_order_release);
+    retired_.push_back(old);  // thieves may still hold it; free at dtor
+    return bigger;
+  }
+
+  std::atomic<int64_t> top_{0};
+  std::atomic<int64_t> bottom_{0};
+  std::atomic<Buffer*> buffer_{nullptr};
+  std::vector<Buffer*> retired_;  // owner-only
+};
+
+/// The seeded pseudo-random order in which worker `worker` tries to
+/// steal from its peers: a permutation of {0..num_workers-1} \ {worker},
+/// deterministic in (worker, num_workers, seed) so executor behavior is
+/// reproducible in tests while different workers hammer different
+/// victims first (a shared fixed order would reintroduce contention on
+/// worker 0's deque).
+std::vector<size_t> StealVictimOrder(size_t worker, size_t num_workers,
+                                     uint64_t seed);
 
 }  // namespace toprr
 

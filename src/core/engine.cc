@@ -1,6 +1,7 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <atomic>
 #include <condition_variable>
 #include <memory>
 #include <utility>
@@ -111,15 +112,18 @@ std::vector<ToprrResult> ToprrEngine::SolveBatch(
   // first-touch computations would serialize behind cache_mu_ anyway.
   for (const ToprrQuery& query : queries) KSkyband(query.k);
 
-  // Work-stealing over query indices. The shared_ptr keeps the claim
-  // state alive for helper tasks that the pool only schedules after the
-  // batch is done; such stragglers claim nothing and never touch the
-  // engine, queries, or results.
+  // Claim queries through an atomic ticket instead of a mutex: the
+  // per-query shared-state traffic is one fetch_add to claim and one to
+  // retire, so the dispatch never serializes workers (the mutex is only
+  // taken around the final wakeup). The shared_ptr keeps the claim state
+  // alive for helper tasks that the pool only schedules after the batch
+  // is done; such stragglers claim an out-of-range ticket and never
+  // touch the engine, queries, or results.
   struct BatchState {
     std::mutex mu;
     std::condition_variable cv;
-    size_t next = 0;
-    size_t done = 0;
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
   };
   auto state = std::make_shared<BatchState>();
   const size_t count = queries.size();
@@ -127,17 +131,16 @@ std::vector<ToprrResult> ToprrEngine::SolveBatch(
   ToprrResult* result_ptr = results.data();
   auto drain = [this, state, query_ptr, result_ptr, count] {
     for (;;) {
-      size_t index;
-      {
-        std::unique_lock<std::mutex> lock(state->mu);
-        if (state->next >= count) return;
-        index = state->next++;
-      }
+      const size_t index =
+          state->next.fetch_add(1, std::memory_order_relaxed);
+      if (index >= count) return;
       result_ptr[index] = Solve(query_ptr[index]);
-      {
-        std::unique_lock<std::mutex> lock(state->mu);
-        ++state->done;
-        if (state->done == count) state->cv.notify_all();
+      // acq_rel + the waiter's acquire read makes every result write
+      // visible to the caller; locking mu around the notify pairs with
+      // the waiter's predicate check so the last wakeup cannot be lost.
+      if (state->done.fetch_add(1, std::memory_order_acq_rel) + 1 == count) {
+        std::lock_guard<std::mutex> lock(state->mu);
+        state->cv.notify_all();
       }
     }
   };
@@ -146,7 +149,9 @@ std::vector<ToprrResult> ToprrEngine::SolveBatch(
   for (size_t i = 0; i + 1 < workers; ++i) pool.Submit(drain);
   drain();
   std::unique_lock<std::mutex> lock(state->mu);
-  state->cv.wait(lock, [&state, count] { return state->done == count; });
+  state->cv.wait(lock, [&state, count] {
+    return state->done.load(std::memory_order_acquire) == count;
+  });
   return results;
 }
 

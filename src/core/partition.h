@@ -16,6 +16,7 @@
 
 #include <vector>
 
+#include "common/scheduler_stats.h"
 #include "data/dataset.h"
 #include "geom/vec.h"
 #include "pref/region.h"
@@ -42,6 +43,11 @@ struct PartitionConfig {
   /// pruned by Lemma 5 on that branch are included). Used by the
   /// reverse-top-k style impact-region API.
   bool collect_regions = false;
+  /// Fill PartitionOutput::scheduler with per-worker executor telemetry
+  /// (tasks executed/stolen, steal failures, deque high-water). The
+  /// counters are kept worker-local either way; this only controls
+  /// whether they are copied out, so leaving it on costs nothing.
+  bool collect_scheduler_stats = true;
 };
 
 /// An accepted region together with its (order-insensitive) top-k set.
@@ -54,6 +60,11 @@ struct PartitionOutput {
   std::vector<Vec> vall;        // accumulated defining vertices (raw)
   std::vector<int> topk_union;  // sorted ids (when collect_topk_union)
   std::vector<AcceptedRegion> regions;  // when collect_regions
+  /// Executor telemetry (when collect_scheduler_stats). Unlike every
+  /// other field, its per-worker breakdown depends on thread timing and
+  /// is NOT covered by the bit-identical-output guarantee; the total
+  /// tasks-executed count is (it equals regions_tested).
+  SchedulerStats scheduler;
   bool timed_out = false;
 
   size_t regions_tested = 0;

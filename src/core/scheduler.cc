@@ -1,11 +1,15 @@
 #include "core/scheduler.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <iterator>
 #include <memory>
 #include <mutex>
 #include <set>
+#include <thread>
 #include <utility>
 
 #include "common/check.h"
@@ -81,90 +85,176 @@ PartitionOutput AssembleOutput(const PartitionConfig& config, Tally tally,
   return out;
 }
 
-// State shared between the calling thread and the pool helpers of the
-// multi-threaded executor. Held by shared_ptr so that helper tasks still
-// queued on the pool after the solve completes stay memory-safe: they
-// lock, observe the done condition, and return without touching the
-// dataset.
-struct SchedulerState {
-  explicit SchedulerState(const PartitionConfig& config)
-      : max_regions(config.max_regions > 0 ? config.max_regions
-                                           : kDefaultMaxRegions),
-        time_budget_seconds(config.time_budget_seconds) {}
+// Fixed base for the victim-order seeding. Any constant works -- the
+// output is order-independent by construction -- but a fixed one makes
+// executor behavior (and the telemetry) reproducible run-to-run.
+constexpr uint64_t kVictimSeed = 0x746f707272ULL;  // "toprr"
 
-  std::mutex mu;
-  std::condition_variable cv;
-  std::deque<RegionTask> queue;
-  size_t in_process = 0;  // tasks popped but not yet applied
-  bool stop = false;      // budget exhausted; drop remaining work
-  bool cap_warned = false;
+// One worker slot of the stealing executor. Everything here is owned by
+// a single worker for the duration of the run: tasks, counters, and
+// accepted nodes stay worker-local (the satellite fix for the old
+// executor's per-task re-locking) and are folded into the output once,
+// at merge time, after the final handshake. The deque is the only
+// cross-thread surface, and only through its atomic Steal path.
+struct WorkerSlot {
+  WorkStealingDeque<RegionTask> deque;
+  std::vector<size_t> victims;  // seeded steal order over peer slots
   Tally tally;
   std::vector<AcceptedNode> accepted;
+  SchedulerWorkerStats stats;
+};
+
+// State shared between the calling thread and the pool helpers of the
+// stealing executor. Held by shared_ptr so that helper tasks still
+// queued on the pool after the solve completes stay memory-safe: they
+// lock, observe the done flag, and return without touching the deques
+// or the dataset.
+struct StealState {
+  StealState(const PartitionConfig& config, size_t num_workers)
+      : max_regions(config.max_regions > 0 ? config.max_regions
+                                           : kDefaultMaxRegions),
+        time_budget_seconds(config.time_budget_seconds) {
+    slots.reserve(num_workers);
+    for (size_t w = 0; w < num_workers; ++w) {
+      slots.push_back(std::make_unique<WorkerSlot>());
+      slots.back()->victims = StealVictimOrder(w, num_workers, kVictimSeed);
+    }
+  }
+
+  // Budget-stopped runs abandon tasks in the deques; the last owner of
+  // the state (possibly a late pool helper) frees them. Single-threaded
+  // by then, so the owner-only Pop is safe from any thread.
+  ~StealState() {
+    for (std::unique_ptr<WorkerSlot>& slot : slots) {
+      while (RegionTask* task = slot->deque.Pop()) delete task;
+    }
+  }
+
+  std::vector<std::unique_ptr<WorkerSlot>> slots;
+
+  // Lock-free hot-path state.
+  std::atomic<int64_t> in_flight{0};  // tasks created but not yet retired
+  std::atomic<bool> stop{false};      // budget exhausted; drop the rest
+  std::atomic<bool> timed_out{false};
+  std::atomic<bool> cap_warned{false};
+  std::atomic<size_t> popped{0};  // budget tickets (mirrors the region cap)
+
+  // Cold-path handshake: slot claiming on entry, completion on exit.
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t next_slot = 1;  // slot 0 belongs to the calling thread
+  size_t active = 0;     // workers currently inside DrainStealing
+  bool done = false;     // merge finished; late helpers must not touch deques
 
   const size_t max_regions;
   const double time_budget_seconds;
   Timer timer;
 };
 
-// Drains the shared queue until the tree is complete or the budget stops
-// the run. Runs identically on the calling thread and on pool helpers.
-void DrainQueue(const Dataset& data, const PartitionConfig& config,
-                SchedulerState& state) {
-  std::unique_lock<std::mutex> lock(state.mu);
+// The per-worker drain loop: pop own deque LIFO; when empty, steal FIFO
+// from the victims in this slot's seeded order; when the whole tree is
+// in nobody's deque (in_flight == 0) or the budget stopped the run,
+// return. Tallies, accepted nodes, and telemetry all stay in the slot.
+void DrainStealing(const Dataset& data, const PartitionConfig& config,
+                   StealState& state, size_t slot_index) {
+  WorkerSlot& self = *state.slots[slot_index];
+  int idle_rounds = 0;
   for (;;) {
-    state.cv.wait(lock, [&state] {
-      return state.stop || !state.queue.empty() || state.in_process == 0;
-    });
-    if (state.stop || (state.queue.empty() && state.in_process == 0)) {
-      return;
-    }
-    if (state.queue.empty()) continue;  // spurious wake; work in flight
+    if (state.stop.load(std::memory_order_relaxed)) return;
 
-    // Thread-safe budget check, mirroring the sequential executor: the
-    // budget is charged per popped region, under the lock.
+    RegionTask* task = self.deque.Pop();
+    if (task == nullptr) {
+      for (size_t victim : self.victims) {
+        task = state.slots[victim]->deque.Steal();
+        if (task != nullptr) {
+          ++self.stats.tasks_stolen;
+          break;
+        }
+        ++self.stats.steal_failures;
+      }
+    }
+    if (task == nullptr) {
+      if (state.in_flight.load(std::memory_order_acquire) == 0) return;
+      // Work exists but is claimed or hiding behind a racing thief.
+      // Yield first (cheap, keeps latency low), then back off to short
+      // sleeps so idle workers don't starve the busy ones on small
+      // machines.
+      if (++idle_rounds < 64) {
+        std::this_thread::yield();
+      } else {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+      }
+      continue;
+    }
+    idle_rounds = 0;
+
+    // Budget checks, charged per claimed region exactly like the
+    // sequential executor. The popped ticket makes the region cap a
+    // hard bound even though no lock is held.
     if (state.time_budget_seconds > 0.0 &&
         state.timer.Seconds() > state.time_budget_seconds) {
-      state.stop = true;
-      state.tally.timed_out = true;
-      state.cv.notify_all();
+      state.timed_out.store(true, std::memory_order_relaxed);
+      state.stop.store(true, std::memory_order_relaxed);
+      delete task;
+      state.in_flight.fetch_sub(1, std::memory_order_acq_rel);
       return;
     }
-    if (state.tally.regions_tested >= state.max_regions) {
-      if (!state.cap_warned) {
-        state.cap_warned = true;
+    if (state.popped.fetch_add(1, std::memory_order_relaxed) >=
+        state.max_regions) {
+      if (!state.cap_warned.exchange(true, std::memory_order_relaxed)) {
         LOG(WARNING) << "partitioning hit the region cap ("
                      << state.max_regions << "); aborting";
       }
-      state.stop = true;
-      state.tally.timed_out = true;
-      state.cv.notify_all();
+      state.timed_out.store(true, std::memory_order_relaxed);
+      state.stop.store(true, std::memory_order_relaxed);
+      delete task;
+      state.in_flight.fetch_sub(1, std::memory_order_acq_rel);
       return;
     }
 
-    RegionTask task = std::move(state.queue.front());
-    state.queue.pop_front();
-    ++state.tally.regions_tested;
-    ++state.in_process;
-    const uint64_t id = task.id;
-    lock.unlock();
+    const uint64_t id = task->id;
+    RegionOutcome outcome =
+        TestAndSplitRegion(data, config, std::move(*task));
+    delete task;
 
-    RegionOutcome outcome = TestAndSplitRegion(data, config, std::move(task));
-
-    lock.lock();
-    --state.in_process;
-    TallyOutcome(outcome, state.tally);
+    ++self.tally.regions_tested;
+    ++self.stats.tasks_executed;
+    TallyOutcome(outcome, self.tally);
     if (outcome.accepted) {
-      state.accepted.push_back(AcceptedNode{id, std::move(outcome)});
+      self.accepted.push_back(AcceptedNode{id, std::move(outcome)});
     } else {
-      state.queue.push_back(std::move(*outcome.below));
-      state.queue.push_back(std::move(*outcome.above));
+      // Children become visible to thieves via the deque's release
+      // publication; the in-flight increment precedes it so no worker
+      // can observe "empty tree" between push and count.
+      state.in_flight.fetch_add(2, std::memory_order_relaxed);
+      self.deque.Push(new RegionTask(std::move(*outcome.below)));
+      self.deque.Push(new RegionTask(std::move(*outcome.above)));
+      const uint64_t depth = self.deque.SizeApprox();
+      if (depth > self.stats.deque_high_water) {
+        self.stats.deque_high_water = depth;
+      }
     }
-    // Unconditional: peers wait on new work OR tree completion, and the
-    // caller's final wait needs in_process == 0 even on the stop path
-    // (where the abandoned queue stays non-empty). Guarding this on
-    // queue.empty() deadlocked budget-stopped runs.
-    state.cv.notify_all();
+    state.in_flight.fetch_sub(1, std::memory_order_acq_rel);
   }
+}
+
+// Pool-helper entry: claim a slot under the lock (late helpers observe
+// `done` and leave without touching anything), drain, sign out.
+void StealWorkerEntry(const Dataset& data, const PartitionConfig& config,
+                      StealState& state) {
+  size_t slot_index;
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    if (state.done || state.next_slot >= state.slots.size()) return;
+    slot_index = state.next_slot++;
+    ++state.active;
+  }
+  DrainStealing(data, config, state, slot_index);
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    --state.active;
+  }
+  state.cv.notify_all();
 }
 
 }  // namespace
@@ -180,9 +270,11 @@ PartitionOutput PartitionScheduler::RunSequential(RegionTask root) const {
                                                      : kDefaultMaxRegions;
   Timer timer;
   Tally tally;
+  SchedulerWorkerStats worker_stats;
   std::vector<AcceptedNode> accepted;
   std::deque<RegionTask> queue;
   queue.push_back(std::move(root));
+  worker_stats.deque_high_water = 1;
 
   while (!queue.empty()) {
     if (config_.time_budget_seconds > 0.0 &&
@@ -199,6 +291,7 @@ PartitionOutput PartitionScheduler::RunSequential(RegionTask root) const {
     RegionTask task = std::move(queue.front());
     queue.pop_front();
     ++tally.regions_tested;
+    ++worker_stats.tasks_executed;
     const uint64_t id = task.id;
 
     RegionOutcome outcome =
@@ -209,35 +302,77 @@ PartitionOutput PartitionScheduler::RunSequential(RegionTask root) const {
     } else {
       queue.push_back(std::move(*outcome.below));
       queue.push_back(std::move(*outcome.above));
+      if (queue.size() > worker_stats.deque_high_water) {
+        worker_stats.deque_high_water = queue.size();
+      }
     }
   }
-  return AssembleOutput(config_, std::move(tally), std::move(accepted));
+  PartitionOutput out =
+      AssembleOutput(config_, std::move(tally), std::move(accepted));
+  if (config_.collect_scheduler_stats) {
+    out.scheduler.workers.push_back(worker_stats);
+  }
+  out.scheduler.wall_seconds = timer.Seconds();
+  return out;
 }
 
 PartitionOutput PartitionScheduler::RunParallel(RegionTask root,
                                                 size_t num_workers) const {
-  auto state = std::make_shared<SchedulerState>(config_);
-  state->queue.push_back(std::move(root));
+  auto state = std::make_shared<StealState>(config_, num_workers);
+  state->in_flight.store(1, std::memory_order_relaxed);
+  state->slots[0]->deque.Push(new RegionTask(std::move(root)));
+  state->slots[0]->stats.deque_high_water = 1;
 
   // Borrow up to num_workers-1 helpers from the shared pool. The calling
-  // thread drains too, so helpers the pool cannot schedule (it may be
-  // saturated by batch queries) only cost parallelism, never progress.
+  // thread drains too (slot 0), so helpers the pool cannot schedule (it
+  // may be saturated by batch queries) only cost parallelism, never
+  // progress.
   ThreadPool& pool = SharedThreadPool();
-  const size_t helpers = num_workers - 1;
   const Dataset* data = &data_;
   const PartitionConfig config = config_;
-  for (size_t i = 0; i < helpers; ++i) {
-    pool.Submit([data, config, state] { DrainQueue(*data, config, *state); });
+  for (size_t i = 1; i < num_workers; ++i) {
+    pool.Submit(
+        [data, config, state] { StealWorkerEntry(*data, config, *state); });
   }
-  DrainQueue(data_, config_, *state);
+  DrainStealing(data_, config_, *state, 0);
 
-  // Helpers mid-task still hold references into the shared state (and the
-  // dataset); wait for them before assembling. Helpers still queued on
-  // the pool need no wait: they observe the done condition and return.
-  std::unique_lock<std::mutex> lock(state->mu);
-  state->cv.wait(lock, [&state] { return state->in_process == 0; });
-  return AssembleOutput(config_, std::move(state->tally),
-                        std::move(state->accepted));
+  // Helpers mid-task still hold references into the worker slots (and
+  // the dataset); wait for them before merging. Setting `done` under the
+  // same lock closes the gate: a helper the pool schedules after this
+  // point returns without touching the deques, so the merge below -- and
+  // the caller's stack -- are safe.
+  {
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->cv.wait(lock, [&state] { return state->active == 0; });
+    state->done = true;
+  }
+
+  // Fold the worker-local tallies and accepted buffers (batched counter
+  // deltas: the only per-task shared-state traffic the executor has is
+  // the in-flight counter and the budget ticket).
+  Tally tally;
+  std::vector<AcceptedNode> accepted;
+  SchedulerStats scheduler;
+  for (std::unique_ptr<WorkerSlot>& slot : state->slots) {
+    tally.regions_tested += slot->tally.regions_tested;
+    tally.regions_accepted += slot->tally.regions_accepted;
+    tally.regions_split += slot->tally.regions_split;
+    tally.kipr_accepts += slot->tally.kipr_accepts;
+    tally.lemma7_accepts += slot->tally.lemma7_accepts;
+    tally.lemma5_prunes += slot->tally.lemma5_prunes;
+    std::move(slot->accepted.begin(), slot->accepted.end(),
+              std::back_inserter(accepted));
+    slot->accepted.clear();
+    if (config_.collect_scheduler_stats) {
+      scheduler.workers.push_back(slot->stats);
+    }
+  }
+  tally.timed_out = state->timed_out.load(std::memory_order_relaxed);
+  PartitionOutput out =
+      AssembleOutput(config_, std::move(tally), std::move(accepted));
+  out.scheduler = std::move(scheduler);
+  out.scheduler.wall_seconds = state->timer.Seconds();
+  return out;
 }
 
 }  // namespace toprr

@@ -15,12 +15,22 @@
 //  * accepted nodes are buffered per worker and merged in ascending
 //    task-id order at the end, which for the sequential executor coincides
 //    with the old BFS emission order;
-//  * counters, the region budget, and the wall-clock deadline live behind
-//    one lock so both executors share identical budget semantics.
+//  * the multi-threaded executor is a work-stealing one: every worker
+//    owns a Chase-Lev-style deque (common/thread_pool.h), pushes split
+//    children bottom/LIFO for cache locality, and steals top/FIFO from
+//    peers in a seeded pseudo-random victim order when its own deque is
+//    empty. Termination is a shared in-flight task counter; the time /
+//    region budget is charged per claimed task through an atomic ticket,
+//    mirroring the sequential executor's per-pop charge. Tallies,
+//    accepted buffers, and the SchedulerStats telemetry stay worker-local
+//    and fold into the output at merge time, so the hot path shares only
+//    the deques and two counters.
 //
 // Consequently the sequential executor and the multi-threaded executor
 // produce bit-identical PartitionOutputs (and hence ToprrResults) on every
-// run that completes within budget.
+// run that completes within budget: determinism flows from the heap-path
+// task ids and the id-ordered merge, not from execution order, so it
+// survives arbitrary steal interleavings.
 //
 // This header is internal to toprr_core; public entry points are
 // SolveToprr / ToprrEngine.
@@ -79,13 +89,14 @@ RegionOutcome TestAndSplitRegion(const Dataset& data,
 /// Drives TestAndSplitRegion over the region tree rooted at a task.
 /// config.num_threads selects the executor: 1 runs the sequential
 /// executor in the calling thread; any other value runs the
-/// multi-threaded executor, which drains a shared queue from the calling
-/// thread plus up to num_threads-1 helpers borrowed from
-/// SharedThreadPool() (0 = one per hardware thread). Helpers that cannot
-/// be scheduled (e.g. the pool is saturated by batch queries) cost
-/// nothing: the calling thread always completes the tree alone, so
-/// nesting region-level parallelism under query-level parallelism cannot
-/// deadlock.
+/// work-stealing executor with one deque-owning worker slot per thread
+/// -- the calling thread takes slot 0, and up to num_threads-1 helpers
+/// borrowed from SharedThreadPool() (0 = one per hardware thread) claim
+/// the rest. Helpers that cannot be scheduled (e.g. the pool is
+/// saturated by batch queries) cost nothing: the calling thread always
+/// completes the tree alone (unclaimed slots simply never hold tasks),
+/// so nesting region-level parallelism under query-level parallelism
+/// cannot deadlock.
 class PartitionScheduler {
  public:
   PartitionScheduler(const Dataset& data, const PartitionConfig& config)

@@ -77,6 +77,7 @@ ToprrResult SolveImpl(const Dataset& data, int k, const PrefRegion& region,
   config.time_budget_seconds = options.time_budget_seconds;
   config.max_regions = options.max_regions;
   config.num_threads = options.num_threads;
+  config.collect_scheduler_stats = options.collect_scheduler_stats;
   switch (options.method) {
     case ToprrMethod::kPac:
       config.ordered_invariance = true;
@@ -99,6 +100,7 @@ ToprrResult SolveImpl(const Dataset& data, int k, const PrefRegion& region,
   result.stats.lemma7_accepts = partition.lemma7_accepts;
   result.stats.lemma5_prunes = partition.lemma5_prunes;
   result.stats.vall_raw = partition.vall.size();
+  result.stats.scheduler = partition.scheduler;
   if (partition.timed_out) {
     result.timed_out = true;
     result.stats.total_seconds = total.Seconds();

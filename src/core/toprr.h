@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "common/scheduler_stats.h"
 #include "data/dataset.h"
 #include "geom/hyperplane.h"
 #include "geom/vec.h"
@@ -73,10 +74,15 @@ struct ToprrOptions {
   size_t max_regions = 0;
 
   /// Worker threads for the partition scheduler: 1 = sequential executor,
-  /// 0 = one worker per hardware thread, n > 1 = n workers. The parallel
-  /// executor produces bit-identical results to the sequential one (see
-  /// core/scheduler.h).
+  /// 0 = one worker per hardware thread, n > 1 = n workers on the
+  /// work-stealing executor, which produces bit-identical results to the
+  /// sequential one (see core/scheduler.h).
   int num_threads = 1;
+
+  /// Collect per-worker executor telemetry into
+  /// ToprrResult::stats.scheduler (tasks executed/stolen, steal
+  /// failures, deque high-water; printed by `toprr_cli --stats`).
+  bool collect_scheduler_stats = true;
 };
 
 /// Counters and timings describing one solve.
@@ -94,6 +100,13 @@ struct ToprrStats {
   double partition_seconds = 0.0;
   double assemble_seconds = 0.0;
   double total_seconds = 0.0;
+
+  /// Partition-executor telemetry (when
+  /// ToprrOptions::collect_scheduler_stats): per-worker tasks
+  /// executed/stolen, steal failures, deque high-water, and the
+  /// partition-phase wall time. The per-worker breakdown depends on
+  /// thread timing and is excluded from the determinism guarantee.
+  SchedulerStats scheduler;
 
   std::string DebugString() const;
 };

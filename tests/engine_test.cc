@@ -161,6 +161,32 @@ TEST(EngineTest, SolveBatchWithRegionLevelParallelismComposes) {
   }
 }
 
+TEST(EngineTest, SolveBatchSurfacesSchedulerTelemetry) {
+  // Each query of a batch carries its own executor telemetry; with
+  // region-level parallelism requested the per-query stats must show the
+  // requested worker-slot count and account every tested region, even
+  // when the batch dispatch saturates the pool.
+  const Dataset ds = GenerateSynthetic(900, 3, Distribution::kIndependent,
+                                       58);
+  ToprrEngine engine(&ds);
+  Rng rng(59);
+  std::vector<ToprrQuery> queries;
+  for (int i = 0; i < 5; ++i) {
+    ToprrOptions options;
+    options.num_threads = 2;
+    queries.push_back(
+        ToprrQuery::FromBox(4, RandomPrefBox(2, 0.03, rng), options));
+  }
+  const std::vector<ToprrResult> batch = engine.SolveBatch(queries, 2);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    SCOPED_TRACE(i);
+    ASSERT_FALSE(batch[i].timed_out);
+    ASSERT_EQ(batch[i].stats.scheduler.workers.size(), 2u);
+    EXPECT_EQ(batch[i].stats.scheduler.TotalExecuted(),
+              batch[i].stats.regions_tested);
+  }
+}
+
 TEST(EngineTest, SolveBatchEmpty) {
   const Dataset ds = GenerateSynthetic(100, 3, Distribution::kIndependent,
                                        55);

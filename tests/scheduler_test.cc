@@ -217,5 +217,106 @@ TEST(SchedulerTest, RegionCapStopsParallelRun) {
   EXPECT_TRUE(r.timed_out);
 }
 
+TEST(SchedulerTest, RepeatedRegionCapStopsTerminate) {
+  // Termination under budget-stop for the stealing executor: a worker
+  // claiming the over-cap ticket flips the stop flag while peers hold
+  // stolen tasks and non-empty deques; every worker must still exit (the
+  // ctest timeout converts a missed termination into a failure).
+  const Dataset ds =
+      GenerateSynthetic(2500, 4, Distribution::kAnticorrelated, 34);
+  PrefBox box;
+  box.lo = Vec{0.2, 0.2, 0.2};
+  box.hi = Vec{0.4, 0.4, 0.4};
+  for (int i = 0; i < 40; ++i) {
+    ToprrOptions options;
+    options.num_threads = 2 + i % 7;  // sweep 2..8 workers
+    options.max_regions = 1 + static_cast<size_t>(i) % 5;
+    const ToprrResult r = SolveToprr(ds, 15, box, options);
+    EXPECT_TRUE(r.timed_out) << i;
+  }
+}
+
+TEST(SchedulerTest, StealingExecutorStressByteIdenticalAcrossSeeds) {
+  // The satellite stress test: 2-8 workers on budget-capped deep trees
+  // (generous caps that must not fire) against the sequential executor,
+  // across 5 seeds, comparing the full PartitionOutput byte for byte --
+  // collectors included.
+  for (uint64_t seed : {101u, 102u, 103u, 104u, 105u}) {
+    const Dataset ds =
+        GenerateSynthetic(1200, 3, Distribution::kAnticorrelated, seed);
+    Rng rng(9000 + seed);
+    const PrefBox box = RandomPrefBox(2, 0.12, rng);
+    const int k = 10;
+    const std::vector<int> candidates = RSkyband(ds, box, k);
+    PartitionConfig config;
+    config.use_lemma5 = true;
+    config.use_lemma7 = true;
+    config.use_kswitch = true;
+    config.collect_topk_union = true;
+    config.collect_regions = true;
+    config.max_regions = 200000;        // budget-capped, cap not reached
+    config.time_budget_seconds = 120.0; // ditto
+    const PartitionOutput seq = PartitionPreferenceRegion(
+        ds, candidates, k, PrefRegion::FromBox(box), config);
+    ASSERT_FALSE(seq.timed_out) << seed;
+    ASSERT_GT(seq.regions_tested, 20u) << seed << ": tree too shallow";
+
+    for (int workers : {2, 3, 5, 8}) {
+      PartitionConfig par_config = config;
+      par_config.num_threads = workers;
+      const PartitionOutput par = PartitionPreferenceRegion(
+          ds, candidates, k, PrefRegion::FromBox(box), par_config);
+      SCOPED_TRACE("seed=" + std::to_string(seed) +
+                   " workers=" + std::to_string(workers));
+      ASSERT_FALSE(par.timed_out);
+      EXPECT_EQ(seq.regions_tested, par.regions_tested);
+      EXPECT_EQ(seq.regions_accepted, par.regions_accepted);
+      EXPECT_EQ(seq.regions_split, par.regions_split);
+      EXPECT_EQ(seq.kipr_accepts, par.kipr_accepts);
+      EXPECT_EQ(seq.lemma7_accepts, par.lemma7_accepts);
+      EXPECT_EQ(seq.lemma5_prunes, par.lemma5_prunes);
+      EXPECT_EQ(seq.topk_union, par.topk_union);
+      ExpectSameVecs(seq.vall, par.vall, "vall");
+      ASSERT_EQ(seq.regions.size(), par.regions.size());
+      for (size_t i = 0; i < seq.regions.size(); ++i) {
+        EXPECT_EQ(seq.regions[i].topk_ids, par.regions[i].topk_ids) << i;
+        ExpectSameVecs(seq.regions[i].region.vertices(),
+                       par.regions[i].region.vertices(), "region vertices");
+      }
+      // Telemetry invariant: the per-worker executed counts partition the
+      // tree exactly (worker attribution itself is timing-dependent).
+      ASSERT_EQ(par.scheduler.workers.size(), static_cast<size_t>(workers));
+      EXPECT_EQ(par.scheduler.TotalExecuted(), par.regions_tested);
+      EXPECT_GE(par.scheduler.MaxDequeHighWater(), 1u);
+    }
+  }
+}
+
+TEST(SchedulerTest, SchedulerStatsAccountAllTasksAndCanBeDisabled) {
+  const Dataset ds = GenerateSynthetic(600, 3, Distribution::kIndependent, 61);
+  Rng rng(7004);
+  const PrefBox box = RandomPrefBox(2, 0.05, rng);
+
+  ToprrOptions options;
+  options.num_threads = 1;
+  const ToprrResult seq = SolveToprr(ds, 5, box, options);
+  ASSERT_FALSE(seq.timed_out);
+  ASSERT_EQ(seq.stats.scheduler.workers.size(), 1u);
+  EXPECT_EQ(seq.stats.scheduler.TotalExecuted(), seq.stats.regions_tested);
+  EXPECT_EQ(seq.stats.scheduler.TotalStolen(), 0u);
+  EXPECT_GT(seq.stats.scheduler.wall_seconds, 0.0);
+
+  options.num_threads = 4;
+  const ToprrResult par = SolveToprr(ds, 5, box, options);
+  ASSERT_FALSE(par.timed_out);
+  ASSERT_EQ(par.stats.scheduler.workers.size(), 4u);
+  EXPECT_EQ(par.stats.scheduler.TotalExecuted(), par.stats.regions_tested);
+
+  options.collect_scheduler_stats = false;
+  const ToprrResult quiet = SolveToprr(ds, 5, box, options);
+  ASSERT_FALSE(quiet.timed_out);
+  EXPECT_TRUE(quiet.stats.scheduler.workers.empty());
+}
+
 }  // namespace
 }  // namespace toprr

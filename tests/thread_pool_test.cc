@@ -102,5 +102,131 @@ TEST(ThreadPoolTest, ResolveThreadCount) {
   EXPECT_GE(ResolveThreadCount(-3), 1u);
 }
 
+TEST(WorkStealingDequeTest, OwnerPopsLifoThievesStealFifo) {
+  WorkStealingDeque<int> deque;
+  int items[] = {10, 20, 30, 40, 50};
+  for (int& item : items) deque.Push(&item);
+  EXPECT_EQ(deque.SizeApprox(), 5u);
+  // Owner end: most recent first (cache-hot child).
+  EXPECT_EQ(deque.Pop(), &items[4]);
+  // Thief end: oldest first (largest pending subtree).
+  EXPECT_EQ(deque.Steal(), &items[0]);
+  EXPECT_EQ(deque.Steal(), &items[1]);
+  EXPECT_EQ(deque.Pop(), &items[3]);
+  EXPECT_EQ(deque.Pop(), &items[2]);
+  EXPECT_EQ(deque.Pop(), nullptr);
+  EXPECT_EQ(deque.Steal(), nullptr);
+  EXPECT_EQ(deque.SizeApprox(), 0u);
+}
+
+TEST(WorkStealingDequeTest, GrowthPreservesEveryItem) {
+  WorkStealingDeque<int> deque(8);  // force several doublings
+  std::vector<int> items(1000);
+  for (int i = 0; i < 1000; ++i) {
+    items[static_cast<size_t>(i)] = i;
+    deque.Push(&items[static_cast<size_t>(i)]);
+  }
+  std::set<int> seen;
+  while (int* item = deque.Pop()) seen.insert(*item);
+  EXPECT_EQ(seen.size(), 1000u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 999);
+}
+
+TEST(WorkStealingDequeTest, ConcurrentOwnerAndThievesClaimEachItemOnce) {
+  // The only safety property the executor needs: under concurrent Pop /
+  // Steal (including buffer growth mid-race), every pushed item is
+  // claimed by exactly one thread and none vanish.
+  constexpr int kItems = 20000;
+  constexpr int kThieves = 3;
+  WorkStealingDeque<int> deque(8);
+  std::vector<int> items(kItems);
+  std::atomic<int> claimed{0};
+  std::atomic<long long> sum{0};
+  std::atomic<bool> owner_done{false};
+
+  std::vector<std::thread> thieves;
+  thieves.reserve(kThieves);
+  for (int t = 0; t < kThieves; ++t) {
+    thieves.emplace_back([&deque, &claimed, &sum, &owner_done] {
+      while (claimed.load() < kItems) {
+        if (int* item = deque.Steal()) {
+          sum.fetch_add(*item);
+          claimed.fetch_add(1);
+        } else if (owner_done.load()) {
+          // Owner stopped pushing; only races with other thieves remain.
+          if (deque.SizeApprox() == 0 && claimed.load() >= kItems) break;
+          std::this_thread::yield();
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+
+  // Owner: push everything, popping a bit along the way to interleave
+  // both ends, then drain.
+  for (int i = 0; i < kItems; ++i) {
+    items[static_cast<size_t>(i)] = i;
+    deque.Push(&items[static_cast<size_t>(i)]);
+    if (i % 7 == 0) {
+      if (int* item = deque.Pop()) {
+        sum.fetch_add(*item);
+        claimed.fetch_add(1);
+      }
+    }
+  }
+  owner_done.store(true);
+  while (claimed.load() < kItems) {
+    if (int* item = deque.Pop()) {
+      sum.fetch_add(*item);
+      claimed.fetch_add(1);
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  for (std::thread& thief : thieves) thief.join();
+
+  EXPECT_EQ(claimed.load(), kItems);
+  // Sum of 0..kItems-1: catches double-claims that a pure count misses.
+  EXPECT_EQ(sum.load(),
+            static_cast<long long>(kItems) * (kItems - 1) / 2);
+  EXPECT_EQ(deque.Pop(), nullptr);
+}
+
+TEST(StealVictimOrderTest, IsASeededPermutationOfPeers) {
+  for (size_t workers : {2u, 3u, 8u}) {
+    for (size_t self = 0; self < workers; ++self) {
+      const std::vector<size_t> order = StealVictimOrder(self, workers, 42);
+      EXPECT_EQ(order.size(), workers - 1);
+      std::set<size_t> seen(order.begin(), order.end());
+      EXPECT_EQ(seen.size(), order.size()) << "duplicate victims";
+      EXPECT_EQ(seen.count(self), 0u) << "worker must not steal from itself";
+      for (size_t victim : order) EXPECT_LT(victim, workers);
+      // Deterministic: the same (worker, count, seed) gives the same
+      // order, so executor behavior is reproducible.
+      EXPECT_EQ(order, StealVictimOrder(self, workers, 42));
+    }
+  }
+}
+
+TEST(StealVictimOrderTest, DecorrelatedAcrossWorkersAndSeeds) {
+  // Different workers must not share one victim order (that would send
+  // every idle worker to the same deque); different seeds reshuffle.
+  const std::vector<size_t> w0 = StealVictimOrder(0, 8, 42);
+  const std::vector<size_t> w1 = StealVictimOrder(1, 8, 42);
+  std::vector<size_t> w0_without_1;
+  for (size_t v : w0) {
+    if (v != 1) w0_without_1.push_back(v);
+  }
+  std::vector<size_t> w1_without_0;
+  for (size_t v : w1) {
+    if (v != 0) w1_without_0.push_back(v);
+  }
+  EXPECT_NE(w0_without_1, w1_without_0);
+  EXPECT_NE(StealVictimOrder(0, 8, 42), StealVictimOrder(0, 8, 43));
+  EXPECT_TRUE(StealVictimOrder(0, 1, 42).empty());
+}
+
 }  // namespace
 }  // namespace toprr
