@@ -3,9 +3,11 @@
 
 Reads a google-benchmark JSON file containing the deep-tree scheduler
 series `parallel_scale/scheduler_deep/threads:N` (google-benchmark
-appends `/iterations:.../manual_time` to the names) and fails (exit 1)
-when:
+appends `/iterations:.../manual_time` to the names) and fails (exit 1,
+one-line message -- never a traceback) when:
 
+  * the file is missing, unreadable, or not benchmark-shaped JSON,
+  * the expected series is missing or empty,
   * the 1- or 4-thread point is missing,
   * the 4-thread speedup over the 1-thread baseline is below the floor
     (BENCH_SMOKE_FLOOR env var, default 1.5), or
@@ -13,6 +15,7 @@ when:
     (meaning load never balanced / the parallel path didn't run).
 
 Usage: check_bench_smoke.py bench_smoke.json
+Self-test: check_bench_smoke.py --self-test
 """
 
 import json
@@ -23,27 +26,33 @@ import sys
 SERIES = re.compile(r"^parallel_scale/scheduler_deep/threads:(\d+)(/|$)")
 
 
-def fail(message: str) -> None:
-    print(f"bench-smoke: FAIL: {message}", file=sys.stderr)
-    sys.exit(1)
-
-
-def main() -> None:
-    if len(sys.argv) != 2:
-        fail(f"usage: {sys.argv[0]} <benchmark_out.json>")
-    floor = float(os.environ.get("BENCH_SMOKE_FLOOR", "1.5"))
-
-    with open(sys.argv[1], "r", encoding="utf-8") as handle:
-        report = json.load(handle)
+def evaluate(report, floor):
+    """Returns (ok, one_line_message) for a parsed benchmark report."""
+    if not isinstance(report, dict):
+        return False, "report is not a JSON object"
+    benchmarks = report.get("benchmarks")
+    if not isinstance(benchmarks, list) or not benchmarks:
+        return False, (
+            "no benchmark series in the report (did bench_parallel_scale "
+            "run with --benchmark_out and the scheduler_deep filter?)"
+        )
 
     points = {}
-    for bench in report.get("benchmarks", []):
+    for bench in benchmarks:
+        if not isinstance(bench, dict):
+            continue
         match = SERIES.match(bench.get("name", ""))
         if match:
             points[int(match.group(1))] = bench
 
+    if not points:
+        return False, (
+            "scheduler_deep series empty: the report has "
+            f"{len(benchmarks)} benchmarks but none match "
+            "parallel_scale/scheduler_deep/threads:N"
+        )
     if 1 not in points or 4 not in points:
-        fail(
+        return False, (
             "scheduler_deep series incomplete: got threads "
             f"{sorted(points)} (need 1 and 4)"
         )
@@ -51,22 +60,97 @@ def main() -> None:
     four = points[4]
     speedup = four.get("speedup_vs_1t")
     if speedup is None:
-        fail("threads:4 point has no speedup_vs_1t counter")
+        return False, "threads:4 point has no speedup_vs_1t counter"
     steals = four.get("steals", 0.0)
     tasks = four.get("tasks", 0.0)
 
-    print(
-        f"bench-smoke: 4-thread speedup {speedup:.2f}x (floor {floor}x), "
+    summary = (
+        f"4-thread speedup {speedup:.2f}x (floor {floor}x), "
         f"avg {tasks:.0f} tasks/query of which {steals:.0f} stolen"
     )
     if speedup < floor:
-        fail(f"4-thread speedup {speedup:.2f}x below the {floor}x floor")
+        return False, f"4-thread speedup {speedup:.2f}x below the {floor}x floor"
     if steals <= 0:
-        fail(
+        return False, (
             "zero steals at 4 threads: the work-stealing executor did not "
             "balance load (or the parallel path did not run)"
         )
-    print("bench-smoke: PASS")
+    return True, summary
+
+
+def self_test():
+    def series(entries):
+        return {
+            "benchmarks": [
+                {
+                    "name": f"parallel_scale/scheduler_deep/threads:{t}"
+                            "/iterations:3/manual_time",
+                    **counters,
+                }
+                for t, counters in entries.items()
+            ]
+        }
+
+    good = series({
+        1: {},
+        4: {"speedup_vs_1t": 2.0, "steals": 10.0, "tasks": 100.0},
+    })
+    ok, _ = evaluate(good, 1.5)
+    assert ok, "healthy series must pass"
+
+    ok, message = evaluate({}, 1.5)
+    assert not ok and "no benchmark series" in message
+
+    ok, message = evaluate({"benchmarks": []}, 1.5)
+    assert not ok and "no benchmark series" in message
+
+    ok, message = evaluate(
+        {"benchmarks": [{"name": "some_other_bench/threads:4"}]}, 1.5)
+    assert not ok and "series empty" in message
+
+    ok, message = evaluate(series({4: {"speedup_vs_1t": 2.0}}), 1.5)
+    assert not ok and "incomplete" in message
+
+    slow = series({1: {}, 4: {"speedup_vs_1t": 1.1, "steals": 10.0}})
+    ok, message = evaluate(slow, 1.5)
+    assert not ok and "below" in message
+
+    stuck = series({1: {}, 4: {"speedup_vs_1t": 2.0, "steals": 0.0}})
+    ok, message = evaluate(stuck, 1.5)
+    assert not ok and "zero steals" in message
+
+    ok, message = evaluate([1, 2], 1.5)
+    assert not ok, "non-object JSON must fail, not crash"
+    print("bench-smoke: self-test PASS")
+
+
+def main():
+    if len(sys.argv) == 2 and sys.argv[1] == "--self-test":
+        self_test()
+        return
+    if len(sys.argv) != 2:
+        print(
+            f"bench-smoke: FAIL: usage: {sys.argv[0]} <benchmark_out.json>",
+            file=sys.stderr,
+        )
+        sys.exit(1)
+    floor = float(os.environ.get("BENCH_SMOKE_FLOOR", "1.5"))
+
+    try:
+        with open(sys.argv[1], "r", encoding="utf-8") as handle:
+            report = json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        print(
+            f"bench-smoke: FAIL: cannot read {sys.argv[1]}: {err}",
+            file=sys.stderr,
+        )
+        sys.exit(1)
+
+    ok, message = evaluate(report, floor)
+    if not ok:
+        print(f"bench-smoke: FAIL: {message}", file=sys.stderr)
+        sys.exit(1)
+    print(f"bench-smoke: PASS: {message}")
 
 
 if __name__ == "__main__":

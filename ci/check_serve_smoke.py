@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Gate over the toprr_loadgen JSON report (the serve-smoke CI job).
+
+Reads the single JSON object toprr_loadgen writes and fails (exit 1,
+one-line message) when:
+
+  * the report is missing, unreadable, or not the expected shape,
+  * zero queries completed (the serving path never worked end to end),
+  * any protocol error occurred (framing/decoding must be airtight on
+    loopback), or
+  * the p99 RPC latency exceeds the bound (SERVE_SMOKE_P99_MS env var,
+    default 10000 ms -- generous on purpose: this is a smoke test on a
+    shared CI core, not a performance gate).
+
+Rejected-by-admission-control queries are reported but do not fail the
+gate: backpressure under a saturating loadgen is correct behavior.
+
+Usage: check_serve_smoke.py loadgen.json
+Self-test: check_serve_smoke.py --self-test
+"""
+
+import json
+import os
+import sys
+
+
+def evaluate(report, p99_bound_ms):
+    """Returns (ok, one_line_message) for a parsed loadgen report."""
+    if not isinstance(report, dict):
+        return False, "report is not a JSON object"
+    completed = report.get("completed_queries")
+    protocol_errors = report.get("protocol_errors")
+    latency = report.get("latency_ms")
+    if completed is None or protocol_errors is None or not isinstance(
+            latency, dict):
+        return False, (
+            "report missing completed_queries/protocol_errors/latency_ms "
+            "(did toprr_loadgen finish?)"
+        )
+    p99 = latency.get("p99", 0.0)
+    summary = (
+        f"{completed} completed, {report.get('rejected_queries', 0)} "
+        f"rejected, {protocol_errors} protocol errors, "
+        f"p99 {p99:.1f}ms (bound {p99_bound_ms:.0f}ms)"
+    )
+    if completed <= 0:
+        return False, f"no queries completed -- {summary}"
+    if protocol_errors != 0:
+        first = report.get("first_error", "")
+        return False, f"protocol errors -- {summary}" + (
+            f" (first: {first})" if first else ""
+        )
+    if p99 > p99_bound_ms:
+        return False, f"p99 over bound -- {summary}"
+    return True, summary
+
+
+def self_test():
+    good = {
+        "completed_queries": 100,
+        "rejected_queries": 5,
+        "protocol_errors": 0,
+        "latency_ms": {"p50": 1.0, "p90": 2.0, "p99": 3.0, "max": 4.0},
+    }
+    ok, _ = evaluate(good, 1000.0)
+    assert ok, "well-formed passing report must pass"
+
+    ok, message = evaluate({}, 1000.0)
+    assert not ok and "missing" in message, "empty report must fail clearly"
+
+    ok, message = evaluate(dict(good, completed_queries=0), 1000.0)
+    assert not ok and "no queries completed" in message
+
+    ok, message = evaluate(dict(good, protocol_errors=3), 1000.0)
+    assert not ok and "protocol errors" in message
+
+    slow = dict(good, latency_ms={"p99": 5000.0})
+    ok, message = evaluate(slow, 1000.0)
+    assert not ok and "p99 over bound" in message
+
+    ok, message = evaluate([1, 2, 3], 1000.0)
+    assert not ok, "non-object JSON must fail, not crash"
+
+    # Rejections alone do not fail the gate.
+    ok, _ = evaluate(dict(good, rejected_queries=10**6), 1000.0)
+    assert ok
+    print("serve-smoke: self-test PASS")
+
+
+def main():
+    if len(sys.argv) == 2 and sys.argv[1] == "--self-test":
+        self_test()
+        return
+    if len(sys.argv) != 2:
+        print(
+            f"serve-smoke: FAIL: usage: {sys.argv[0]} <loadgen.json>",
+            file=sys.stderr,
+        )
+        sys.exit(1)
+    p99_bound_ms = float(os.environ.get("SERVE_SMOKE_P99_MS", "10000"))
+    try:
+        with open(sys.argv[1], "r", encoding="utf-8") as handle:
+            report = json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        print(
+            f"serve-smoke: FAIL: cannot read {sys.argv[1]}: {err}",
+            file=sys.stderr,
+        )
+        sys.exit(1)
+    ok, message = evaluate(report, p99_bound_ms)
+    if not ok:
+        print(f"serve-smoke: FAIL: {message}", file=sys.stderr)
+        sys.exit(1)
+    print(f"serve-smoke: PASS: {message}")
+
+
+if __name__ == "__main__":
+    main()

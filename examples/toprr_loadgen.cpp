@@ -1,0 +1,234 @@
+// toprr_loadgen: closed-loop load generator for toprr_serve.
+//
+// Drives N concurrent connections, each issuing random query batches
+// back-to-back for a fixed duration, and reports throughput and latency
+// percentiles as a single JSON object (consumed by ci/check_serve_smoke.py;
+// flag and reporting conventions follow bench/bench_common.h).
+//
+//   toprr_loadgen --port 7077 --connections 4 --duration 10 --batch 8
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "core/engine.h"
+#include "pref/pref_space.h"
+#include "serve/client.h"
+
+namespace {
+
+using namespace toprr;
+
+// Outcome of one connection's run (merged after the join).
+struct WorkerReport {
+  std::vector<double> rpc_millis;  // per-round-trip latency
+  uint64_t completed = 0;          // queries answered kOk
+  uint64_t rejected = 0;           // kRejectedOverload
+  uint64_t budget_exceeded = 0;
+  uint64_t other_statuses = 0;     // kShutdown etc.
+  uint64_t protocol_errors = 0;    // transport/decode failures
+  std::string first_error;
+};
+
+double Percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+void RunConnection(const std::string& host, int port, size_t dim, int k,
+                   double sigma, int batch, double budget_seconds,
+                   double duration_seconds, uint64_t seed,
+                   WorkerReport* report) {
+  serve::ToprrClient client;
+  if (!client.Connect(host, port)) {
+    ++report->protocol_errors;
+    report->first_error = client.last_error();
+    return;
+  }
+  Rng rng(seed);
+  Timer clock;
+  while (clock.Seconds() < duration_seconds) {
+    std::vector<ToprrQuery> queries;
+    queries.reserve(static_cast<size_t>(batch));
+    for (int q = 0; q < batch; ++q) {
+      ToprrOptions options;
+      options.build_geometry = false;  // serving latency, not geometry
+      options.time_budget_seconds = budget_seconds;
+      queries.push_back(
+          ToprrQuery::FromBox(k, RandomPrefBox(dim, sigma, rng), options));
+    }
+    Timer rpc;
+    auto responses = client.SolveBatch(queries);
+    if (!responses.has_value()) {
+      ++report->protocol_errors;
+      if (report->first_error.empty()) {
+        report->first_error = client.last_error();
+      }
+      // The client closed the broken connection; reconnect and go on so
+      // one hiccup does not silence a whole worker.
+      if (!client.Connect(host, port)) return;
+      continue;
+    }
+    report->rpc_millis.push_back(rpc.Millis());
+    for (const serve::ServeResponse& response : *responses) {
+      switch (response.status) {
+        case serve::ServeStatus::kOk:
+          ++report->completed;
+          break;
+        case serve::ServeStatus::kRejectedOverload:
+          ++report->rejected;
+          break;
+        case serve::ServeStatus::kBudgetExceeded:
+          ++report->budget_exceeded;
+          break;
+        default:
+          ++report->other_statuses;
+          break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  std::string host = "127.0.0.1";
+  std::string out_path;
+  int port = 7077;
+  int connections = 4;
+  double duration = 10.0;
+  int batch = 8;
+  int k = 10;
+  int d = 4;
+  double sigma = 0.01;
+  double budget = 0.0;
+  int64_t seed = 2019;
+  bool help = false;
+  flags.AddString("host", &host, "server address");
+  flags.AddString("out", &out_path, "write the JSON report here (default: stdout)");
+  flags.AddInt("port", &port, "server port");
+  flags.AddInt("connections", &connections, "concurrent connections");
+  flags.AddDouble("duration", &duration, "run time in seconds");
+  flags.AddInt("batch", &batch, "queries per request frame");
+  flags.AddInt("k", &k, "rank requirement of the generated queries");
+  flags.AddInt("d", &d, "dataset dimensionality the server was started with");
+  flags.AddDouble("sigma", &sigma, "random wR side length");
+  flags.AddDouble("budget", &budget,
+                  "per-query budget request in seconds (0 = server default)");
+  flags.AddInt("seed", &seed, "rng seed");
+  flags.AddBool("help", &help, "print usage");
+  if (!flags.Parse(&argc, argv)) return 1;
+  if (help) {
+    std::fputs(flags.HelpString().c_str(), stdout);
+    return 0;
+  }
+  if (connections < 1 || batch < 1 || d < 2) {
+    std::fprintf(stderr, "need --connections >= 1, --batch >= 1, --d >= 2\n");
+    return 1;
+  }
+
+  std::vector<WorkerReport> reports(static_cast<size_t>(connections));
+  std::vector<std::thread> workers;
+  workers.reserve(reports.size());
+  Timer wall;
+  for (size_t c = 0; c < reports.size(); ++c) {
+    workers.emplace_back(RunConnection, host, port,
+                         static_cast<size_t>(d - 1), k, sigma, batch, budget,
+                         duration, static_cast<uint64_t>(seed) + 31 * c,
+                         &reports[c]);
+  }
+  for (std::thread& worker : workers) worker.join();
+  const double elapsed = wall.Seconds();
+
+  WorkerReport total;
+  for (const WorkerReport& report : reports) {
+    total.completed += report.completed;
+    total.rejected += report.rejected;
+    total.budget_exceeded += report.budget_exceeded;
+    total.other_statuses += report.other_statuses;
+    total.protocol_errors += report.protocol_errors;
+    total.rpc_millis.insert(total.rpc_millis.end(),
+                            report.rpc_millis.begin(),
+                            report.rpc_millis.end());
+    if (total.first_error.empty()) total.first_error = report.first_error;
+  }
+  std::sort(total.rpc_millis.begin(), total.rpc_millis.end());
+  const double qps =
+      elapsed > 0.0 ? static_cast<double>(total.completed) / elapsed : 0.0;
+
+  std::string json;
+  char line[256];
+  std::snprintf(line, sizeof(line), "{\n  \"duration_seconds\": %.3f,\n",
+                elapsed);
+  json += line;
+  std::snprintf(line, sizeof(line),
+                "  \"connections\": %d,\n  \"batch\": %d,\n", connections,
+                batch);
+  json += line;
+  std::snprintf(line, sizeof(line),
+                "  \"completed_queries\": %llu,\n  \"rejected_queries\": "
+                "%llu,\n",
+                static_cast<unsigned long long>(total.completed),
+                static_cast<unsigned long long>(total.rejected));
+  json += line;
+  std::snprintf(line, sizeof(line),
+                "  \"budget_exceeded_queries\": %llu,\n  "
+                "\"other_status_queries\": %llu,\n",
+                static_cast<unsigned long long>(total.budget_exceeded),
+                static_cast<unsigned long long>(total.other_statuses));
+  json += line;
+  std::snprintf(line, sizeof(line),
+                "  \"protocol_errors\": %llu,\n  \"rpcs\": %zu,\n",
+                static_cast<unsigned long long>(total.protocol_errors),
+                total.rpc_millis.size());
+  json += line;
+  std::snprintf(line, sizeof(line), "  \"queries_per_second\": %.2f,\n",
+                qps);
+  json += line;
+  std::snprintf(line, sizeof(line),
+                "  \"latency_ms\": {\"p50\": %.3f, \"p90\": %.3f, \"p99\": "
+                "%.3f, \"max\": %.3f},\n",
+                Percentile(total.rpc_millis, 0.50),
+                Percentile(total.rpc_millis, 0.90),
+                Percentile(total.rpc_millis, 0.99),
+                total.rpc_millis.empty() ? 0.0 : total.rpc_millis.back());
+  json += line;
+  std::string safe_error = total.first_error.substr(0, 120);
+  for (char& c : safe_error) {
+    if (c == '"' || c == '\\') c = '\'';
+  }
+  std::snprintf(line, sizeof(line), "  \"first_error\": \"%s\"\n}\n",
+                safe_error.c_str());
+  json += line;
+
+  if (out_path.empty()) {
+    std::fputs(json.c_str(), stdout);
+  } else {
+    std::FILE* out = std::fopen(out_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    std::fputs(json.c_str(), out);
+    std::fclose(out);
+    std::printf("toprr_loadgen: %llu queries ok (%.1f q/s), %llu rejected, "
+                "%llu over budget, %llu protocol errors -> %s\n",
+                static_cast<unsigned long long>(total.completed), qps,
+                static_cast<unsigned long long>(total.rejected),
+                static_cast<unsigned long long>(total.budget_exceeded),
+                static_cast<unsigned long long>(total.protocol_errors),
+                out_path.c_str());
+  }
+  return total.protocol_errors == 0 ? 0 : 1;
+}

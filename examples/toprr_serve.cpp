@@ -1,0 +1,123 @@
+// toprr_serve: the long-lived serving front-end.
+//
+// Generates (or loads) a catalog, starts a ToprrServer on it, and serves
+// query batches until SIGINT/SIGTERM. Pair with examples/toprr_loadgen.cpp
+// or any client speaking the serve/ protocol.
+//
+//   toprr_serve --port 7077 --n 50000 --d 4 --dist IND
+//   toprr_serve --csv products.csv --max_inflight 128 --max_budget 2.0
+#include <csignal>
+#include <cstdio>
+#include <string>
+
+#include <unistd.h>
+
+#include "common/flags.h"
+#include "common/logging.h"
+#include "data/csv.h"
+#include "data/generator.h"
+#include "serve/server.h"
+
+namespace {
+
+// Signal handlers may only touch lock-free state; the main loop polls.
+volatile std::sig_atomic_t g_shutdown = 0;
+
+void HandleSignal(int) { g_shutdown = 1; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace toprr;
+  FlagParser flags;
+  std::string csv_path;
+  std::string dist_text = "IND";
+  std::string host = "127.0.0.1";
+  std::string log_level = "warning";
+  int port = 7077;
+  int64_t n = 50000;
+  int d = 4;
+  int64_t seed = 2019;
+  int max_inflight = 64;
+  double max_budget = 10.0;
+  int batch_threads = 1;
+  int warm_k = 10;
+  bool normalize = true;
+  bool help = false;
+  flags.AddString("csv", &csv_path, "serve this CSV catalog");
+  flags.AddString("dist", &dist_text, "synthetic distribution IND/COR/ANTI");
+  flags.AddString("host", &host, "listen address");
+  flags.AddString("log", &log_level, "log level (debug/info/warning/error)");
+  flags.AddInt("port", &port, "TCP port (0 = ephemeral)");
+  flags.AddInt("n", &n, "synthetic dataset size");
+  flags.AddInt("d", &d, "synthetic dimensionality");
+  flags.AddInt("seed", &seed, "random seed");
+  flags.AddInt("max_inflight", &max_inflight,
+               "admission control: max queries in flight across connections");
+  flags.AddDouble("max_budget", &max_budget,
+                  "per-query time budget ceiling in seconds (<= 0: no cap)");
+  flags.AddInt("batch_threads", &batch_threads,
+               "SolveBatch dispatch threads per request (0 = all cores)");
+  flags.AddInt("warm_k", &warm_k,
+               "pre-compute the k-skyband for this k at startup (0 = skip)");
+  flags.AddBool("normalize", &normalize, "min-max normalize CSV columns");
+  flags.AddBool("help", &help, "print usage");
+  if (!flags.Parse(&argc, argv)) return 1;
+  if (help) {
+    std::fputs(flags.HelpString().c_str(), stdout);
+    return 0;
+  }
+  LogLevel level;
+  if (ParseLogLevel(log_level, &level)) GlobalLogLevel() = level;
+
+  Dataset data;
+  if (!csv_path.empty()) {
+    auto loaded = ReadCsv(csv_path);
+    if (!loaded.has_value()) return 1;
+    data = std::move(*loaded);
+    if (normalize) data.NormalizeUnit();
+  } else {
+    Distribution dist;
+    if (!ParseDistribution(dist_text, &dist)) {
+      std::fprintf(stderr, "unknown distribution '%s'\n", dist_text.c_str());
+      return 1;
+    }
+    data = GenerateSynthetic(static_cast<size_t>(n), static_cast<size_t>(d),
+                             dist, static_cast<uint64_t>(seed));
+  }
+  if (data.dim() < 2) {
+    std::fprintf(stderr, "need at least 2 attributes\n");
+    return 1;
+  }
+
+  serve::ServerConfig config;
+  config.host = host;
+  config.port = port;
+  config.max_inflight_queries = static_cast<size_t>(max_inflight);
+  config.max_query_budget_seconds = max_budget;
+  config.batch_threads = batch_threads;
+  serve::ToprrServer server(&data, config);
+  std::string error;
+  if (!server.Start(&error)) {
+    std::fprintf(stderr, "toprr_serve: start failed: %s\n", error.c_str());
+    return 1;
+  }
+  if (warm_k > 0 && static_cast<size_t>(warm_k) <= data.size()) {
+    server.WarmSkyband(warm_k);
+  }
+  // The loadgen and the serve-smoke CI job wait for this exact line.
+  std::printf("toprr_serve: listening on %s:%d (n=%zu d=%zu)\n",
+              host.c_str(), server.port(), data.size(), data.dim());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (g_shutdown == 0) {
+    ::usleep(100 * 1000);
+  }
+
+  server.Stop();
+  const ServerStatsSnapshot stats = server.stats().Snapshot();
+  std::printf("toprr_serve: shut down; %s\n", stats.DebugString().c_str());
+  return 0;
+}

@@ -1,0 +1,38 @@
+#include "common/server_stats.h"
+
+#include <sstream>
+
+namespace toprr {
+
+std::string ServerStatsSnapshot::DebugString() const {
+  std::ostringstream out;
+  out << "connections=" << connections_accepted
+      << " frames=" << frames_received << " queries=" << queries_received
+      << " completed=" << queries_completed
+      << " rejected=" << queries_rejected_overload
+      << " budget_exceeded=" << queries_budget_exceeded
+      << " cancelled=" << queries_cancelled
+      << " protocol_errors=" << protocol_errors << " rx=" << bytes_received
+      << "B tx=" << bytes_sent << "B";
+  return out.str();
+}
+
+ServerStatsSnapshot ServerStats::Snapshot() const {
+  ServerStatsSnapshot snap;
+  snap.connections_accepted =
+      connections_accepted_.load(std::memory_order_relaxed);
+  snap.frames_received = frames_received_.load(std::memory_order_relaxed);
+  snap.queries_received = queries_received_.load(std::memory_order_relaxed);
+  snap.queries_completed = queries_completed_.load(std::memory_order_relaxed);
+  snap.queries_rejected_overload =
+      queries_rejected_overload_.load(std::memory_order_relaxed);
+  snap.queries_budget_exceeded =
+      queries_budget_exceeded_.load(std::memory_order_relaxed);
+  snap.queries_cancelled = queries_cancelled_.load(std::memory_order_relaxed);
+  snap.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  snap.bytes_received = bytes_received_.load(std::memory_order_relaxed);
+  snap.bytes_sent = bytes_sent_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+}  // namespace toprr

@@ -1,0 +1,83 @@
+// Serving-side counters, kept next to the scheduler telemetry in
+// src/common/ so stats types stay independent of the socket code in
+// src/serve/ (benches and tests can consume snapshots without linking
+// the server).
+//
+// ServerStats is the live, thread-safe counter block the server mutates
+// from its connection threads; Snapshot() copies it into the plain
+// ServerStatsSnapshot for printing or assertions. Counters are
+// monotonic; relaxed atomics suffice (they are telemetry, never control
+// flow).
+#ifndef TOPRR_COMMON_SERVER_STATS_H_
+#define TOPRR_COMMON_SERVER_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace toprr {
+
+/// A point-in-time copy of the serving counters.
+struct ServerStatsSnapshot {
+  uint64_t connections_accepted = 0;
+  uint64_t frames_received = 0;
+  uint64_t queries_received = 0;
+  uint64_t queries_completed = 0;       // solved and answered kOk
+  uint64_t queries_rejected_overload = 0;  // admission control said no
+  uint64_t queries_budget_exceeded = 0;
+  uint64_t queries_cancelled = 0;  // cut loose by shutdown
+  uint64_t protocol_errors = 0;    // frames that failed to decode/frame
+  uint64_t bytes_received = 0;
+  uint64_t bytes_sent = 0;
+
+  std::string DebugString() const;
+};
+
+/// Thread-safe monotonic counters of one server instance.
+class ServerStats {
+ public:
+  ServerStats() = default;
+  ServerStats(const ServerStats&) = delete;
+  ServerStats& operator=(const ServerStats&) = delete;
+
+  void OnConnectionAccepted() { Bump(connections_accepted_); }
+  void OnFrameReceived(uint64_t bytes) {
+    Bump(frames_received_);
+    bytes_received_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void OnQueriesReceived(uint64_t count) {
+    queries_received_.fetch_add(count, std::memory_order_relaxed);
+  }
+  void OnQueryCompleted() { Bump(queries_completed_); }
+  void OnQueriesRejectedOverload(uint64_t count) {
+    queries_rejected_overload_.fetch_add(count, std::memory_order_relaxed);
+  }
+  void OnQueryBudgetExceeded() { Bump(queries_budget_exceeded_); }
+  void OnQueryCancelled() { Bump(queries_cancelled_); }
+  void OnProtocolError() { Bump(protocol_errors_); }
+  void OnBytesSent(uint64_t bytes) {
+    bytes_sent_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+
+  ServerStatsSnapshot Snapshot() const;
+
+ private:
+  static void Bump(std::atomic<uint64_t>& counter) {
+    counter.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> frames_received_{0};
+  std::atomic<uint64_t> queries_received_{0};
+  std::atomic<uint64_t> queries_completed_{0};
+  std::atomic<uint64_t> queries_rejected_overload_{0};
+  std::atomic<uint64_t> queries_budget_exceeded_{0};
+  std::atomic<uint64_t> queries_cancelled_{0};
+  std::atomic<uint64_t> protocol_errors_{0};
+  std::atomic<uint64_t> bytes_received_{0};
+  std::atomic<uint64_t> bytes_sent_{0};
+};
+
+}  // namespace toprr
+
+#endif  // TOPRR_COMMON_SERVER_STATS_H_

@@ -95,22 +95,48 @@ ToprrResult ToprrEngine::Solve(const ToprrQuery& query) {
   return Solve(query.k, query.region, query.options);
 }
 
+namespace {
+
+// One query of a batch under a batch-level cancel flag: unclaimed work
+// after cancellation resolves to an explicit cancelled result, claimed
+// work inherits the flag so the scheduler aborts it at the next poll.
+ToprrResult SolveOrCancel(ToprrEngine& engine, const ToprrQuery& query,
+                          const std::atomic<bool>* cancel) {
+  if (cancel == nullptr) return engine.Solve(query);
+  if (cancel->load(std::memory_order_relaxed)) {
+    ToprrResult result;
+    result.timed_out = true;
+    result.cancelled = true;
+    return result;
+  }
+  if (query.options.cancel != nullptr) return engine.Solve(query);
+  ToprrQuery cancellable = query;
+  cancellable.options.cancel = cancel;
+  return engine.Solve(cancellable);
+}
+
+}  // namespace
+
 std::vector<ToprrResult> ToprrEngine::SolveBatch(
-    const std::vector<ToprrQuery>& queries, int num_threads) {
+    const std::vector<ToprrQuery>& queries, int num_threads,
+    const std::atomic<bool>* cancel) {
   std::vector<ToprrResult> results(queries.size());
   if (queries.empty()) return results;
   const size_t workers =
       std::min(ResolveThreadCount(num_threads), queries.size());
   if (workers <= 1) {
     for (size_t i = 0; i < queries.size(); ++i) {
-      results[i] = Solve(queries[i]);
+      results[i] = SolveOrCancel(*this, queries[i], cancel);
     }
     return results;
   }
 
   // Warm the skyband cache for every distinct k up front: concurrent
   // first-touch computations would serialize behind cache_mu_ anyway.
-  for (const ToprrQuery& query : queries) KSkyband(query.k);
+  // (Skipped once cancelled -- shutdown must not compute new skybands.)
+  if (cancel == nullptr || !cancel->load(std::memory_order_relaxed)) {
+    for (const ToprrQuery& query : queries) KSkyband(query.k);
+  }
 
   // Claim queries through an atomic ticket instead of a mutex: the
   // per-query shared-state traffic is one fetch_add to claim and one to
@@ -129,12 +155,12 @@ std::vector<ToprrResult> ToprrEngine::SolveBatch(
   const size_t count = queries.size();
   const ToprrQuery* query_ptr = queries.data();
   ToprrResult* result_ptr = results.data();
-  auto drain = [this, state, query_ptr, result_ptr, count] {
+  auto drain = [this, state, query_ptr, result_ptr, count, cancel] {
     for (;;) {
       const size_t index =
           state->next.fetch_add(1, std::memory_order_relaxed);
       if (index >= count) return;
-      result_ptr[index] = Solve(query_ptr[index]);
+      result_ptr[index] = SolveOrCancel(*this, query_ptr[index], cancel);
       // acq_rel + the waiter's acquire read makes every result write
       // visible to the caller; locking mu around the notify pairs with
       // the waiter's predicate check so the last wakeup cannot be lost.

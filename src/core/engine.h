@@ -27,6 +27,7 @@
 #ifndef TOPRR_CORE_ENGINE_H_
 #define TOPRR_CORE_ENGINE_H_
 
+#include <atomic>
 #include <map>
 #include <mutex>
 #include <vector>
@@ -83,8 +84,17 @@ class ToprrEngine {
   /// (options.num_threads != 1) compose safely with the batch dispatch --
   /// both levels borrow from the same pool and degrade gracefully when it
   /// is saturated.
-  std::vector<ToprrResult> SolveBatch(const std::vector<ToprrQuery>& queries,
-                                      int num_threads = 0);
+  ///
+  /// `cancel`, when non-null, aborts the whole batch cooperatively: it
+  /// is injected as ToprrOptions::cancel into every query that does not
+  /// carry its own flag (so in-flight solves stop at their next
+  /// per-region poll), and queries not yet claimed when it flips return
+  /// immediately with timed_out and cancelled set. The pointee must
+  /// outlive the call. The serving front-end passes its shutdown flag
+  /// here so Stop() never waits for a long solve.
+  std::vector<ToprrResult> SolveBatch(
+      const std::vector<ToprrQuery>& queries, int num_threads = 0,
+      const std::atomic<bool>* cancel = nullptr);
 
   /// Drops all cached state and re-arms the dataset fingerprint (e.g.
   /// after the dataset legitimately changed in place). Requires that no

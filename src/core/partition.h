@@ -14,6 +14,7 @@
 #ifndef TOPRR_CORE_PARTITION_H_
 #define TOPRR_CORE_PARTITION_H_
 
+#include <atomic>
 #include <vector>
 
 #include "common/scheduler_stats.h"
@@ -32,6 +33,9 @@ struct PartitionConfig {
   double eps = 1e-10;
   double time_budget_seconds = 0.0;  // <= 0: unlimited
   size_t max_regions = 0;            // 0: default (16M)
+  /// Cooperative cancellation flag, polled per claimed region by both
+  /// executors (same cadence as the time budget). Null = never cancel.
+  const std::atomic<bool>* cancel = nullptr;
   /// Worker threads for the partition scheduler: 1 = sequential executor,
   /// 0 = one worker per hardware thread, n > 1 = n workers. Both
   /// executors produce bit-identical output (see core/scheduler.h).
@@ -66,6 +70,7 @@ struct PartitionOutput {
   /// tasks-executed count is (it equals regions_tested).
   SchedulerStats scheduler;
   bool timed_out = false;
+  bool cancelled = false;  // aborted via PartitionConfig::cancel
 
   size_t regions_tested = 0;
   size_t regions_accepted = 0;

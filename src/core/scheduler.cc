@@ -38,6 +38,7 @@ struct Tally {
   size_t lemma7_accepts = 0;
   size_t lemma5_prunes = 0;
   bool timed_out = false;
+  bool cancelled = false;
 };
 
 void TallyOutcome(const RegionOutcome& outcome, Tally& tally) {
@@ -70,6 +71,7 @@ PartitionOutput AssembleOutput(const PartitionConfig& config, Tally tally,
   out.lemma7_accepts = tally.lemma7_accepts;
   out.lemma5_prunes = tally.lemma5_prunes;
   out.timed_out = tally.timed_out;
+  out.cancelled = tally.cancelled;
   std::set<int> topk_union;
   for (AcceptedNode& node : accepted) {
     for (Vec& v : node.outcome.vall) out.vall.push_back(std::move(v));
@@ -113,7 +115,8 @@ struct StealState {
   StealState(const PartitionConfig& config, size_t num_workers)
       : max_regions(config.max_regions > 0 ? config.max_regions
                                            : kDefaultMaxRegions),
-        time_budget_seconds(config.time_budget_seconds) {
+        time_budget_seconds(config.time_budget_seconds),
+        cancel(config.cancel) {
     slots.reserve(num_workers);
     for (size_t w = 0; w < num_workers; ++w) {
       slots.push_back(std::make_unique<WorkerSlot>());
@@ -136,6 +139,7 @@ struct StealState {
   std::atomic<int64_t> in_flight{0};  // tasks created but not yet retired
   std::atomic<bool> stop{false};      // budget exhausted; drop the rest
   std::atomic<bool> timed_out{false};
+  std::atomic<bool> cancelled{false};
   std::atomic<bool> cap_warned{false};
   std::atomic<size_t> popped{0};  // budget tickets (mirrors the region cap)
 
@@ -148,6 +152,7 @@ struct StealState {
 
   const size_t max_regions;
   const double time_budget_seconds;
+  const std::atomic<bool>* cancel;
   Timer timer;
 };
 
@@ -188,9 +193,18 @@ void DrainStealing(const Dataset& data, const PartitionConfig& config,
     }
     idle_rounds = 0;
 
-    // Budget checks, charged per claimed region exactly like the
-    // sequential executor. The popped ticket makes the region cap a
-    // hard bound even though no lock is held.
+    // Budget and cancellation checks, charged per claimed region exactly
+    // like the sequential executor. The popped ticket makes the region
+    // cap a hard bound even though no lock is held.
+    if (state.cancel != nullptr &&
+        state.cancel->load(std::memory_order_relaxed)) {
+      state.cancelled.store(true, std::memory_order_relaxed);
+      state.timed_out.store(true, std::memory_order_relaxed);
+      state.stop.store(true, std::memory_order_relaxed);
+      delete task;
+      state.in_flight.fetch_sub(1, std::memory_order_acq_rel);
+      return;
+    }
     if (state.time_budget_seconds > 0.0 &&
         state.timer.Seconds() > state.time_budget_seconds) {
       state.timed_out.store(true, std::memory_order_relaxed);
@@ -277,6 +291,12 @@ PartitionOutput PartitionScheduler::RunSequential(RegionTask root) const {
   worker_stats.deque_high_water = 1;
 
   while (!queue.empty()) {
+    if (config_.cancel != nullptr &&
+        config_.cancel->load(std::memory_order_relaxed)) {
+      tally.timed_out = true;
+      tally.cancelled = true;
+      break;
+    }
     if (config_.time_budget_seconds > 0.0 &&
         timer.Seconds() > config_.time_budget_seconds) {
       tally.timed_out = true;
@@ -368,6 +388,7 @@ PartitionOutput PartitionScheduler::RunParallel(RegionTask root,
     }
   }
   tally.timed_out = state->timed_out.load(std::memory_order_relaxed);
+  tally.cancelled = state->cancelled.load(std::memory_order_relaxed);
   PartitionOutput out =
       AssembleOutput(config_, std::move(tally), std::move(accepted));
   out.scheduler = std::move(scheduler);

@@ -75,6 +75,7 @@ ToprrResult SolveImpl(const Dataset& data, int k, const PrefRegion& region,
   PartitionConfig config;
   config.eps = options.eps;
   config.time_budget_seconds = options.time_budget_seconds;
+  config.cancel = options.cancel;
   config.max_regions = options.max_regions;
   config.num_threads = options.num_threads;
   config.collect_scheduler_stats = options.collect_scheduler_stats;
@@ -103,6 +104,7 @@ ToprrResult SolveImpl(const Dataset& data, int k, const PrefRegion& region,
   result.stats.scheduler = partition.scheduler;
   if (partition.timed_out) {
     result.timed_out = true;
+    result.cancelled = partition.cancelled;
     result.stats.total_seconds = total.Seconds();
     return result;
   }

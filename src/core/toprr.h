@@ -16,6 +16,7 @@
 #ifndef TOPRR_CORE_TOPRR_H_
 #define TOPRR_CORE_TOPRR_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -69,6 +70,13 @@ struct ToprrOptions {
   /// Wall-clock budget; the solver aborts (result.timed_out = true) when
   /// exceeded. <= 0 means unlimited.
   double time_budget_seconds = 0.0;
+
+  /// Cooperative cancellation: when non-null, the scheduler polls this
+  /// flag at the same per-region cadence as the time budget and aborts
+  /// the solve (result.timed_out and result.cancelled both set) once it
+  /// reads true. The pointee must outlive the solve; the serving
+  /// front-end uses it to cut in-flight queries loose on shutdown.
+  const std::atomic<bool>* cancel = nullptr;
 
   /// Safety bound on the number of processed regions (0 = default bound).
   size_t max_regions = 0;
@@ -137,6 +145,10 @@ struct ToprrResult {
   /// True when the time/region budget was exhausted; the result is then
   /// incomplete and must not be used.
   bool timed_out = false;
+  /// True when the solve was aborted through ToprrOptions::cancel (also
+  /// sets timed_out: the result is equally unusable). Lets callers tell
+  /// shutdown apart from a genuine budget expiry.
+  bool cancelled = false;
 
   ToprrStats stats;
 

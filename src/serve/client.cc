@@ -1,0 +1,107 @@
+#include "serve/client.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "serve/framing.h"
+
+namespace toprr {
+namespace serve {
+
+ToprrClient::~ToprrClient() { Close(); }
+
+bool ToprrClient::Connect(const std::string& host, int port) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    last_error_ = std::strerror(errno);
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    last_error_ = "bad host " + host;
+    Close();
+    return false;
+  }
+  int rc;
+  do {
+    rc = ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    last_error_ = "connect " + host + ":" + std::to_string(port) + ": " +
+                  std::strerror(errno);
+    Close();
+    return false;
+  }
+  // Frames go out as prefix + payload writes; Nagle + delayed ACK would
+  // add ~40 ms to every RPC (the server side sets this too).
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  last_error_.clear();
+  return true;
+}
+
+std::optional<std::vector<ServeResponse>> ToprrClient::SolveBatch(
+    const std::vector<ToprrQuery>& queries) {
+  if (fd_ < 0) {
+    last_error_ = "not connected";
+    return std::nullopt;
+  }
+  FdStream stream(fd_);
+  const std::string request = EncodeQueryBatch(queries);
+  if (!WriteFrame(stream, request)) {
+    last_error_ =
+        std::string("request write failed: ") + std::strerror(errno);
+    Close();
+    return std::nullopt;
+  }
+  std::string payload;
+  const FrameReadStatus read_status = ReadFrame(stream, &payload);
+  if (read_status != FrameReadStatus::kOk) {
+    last_error_ = std::string("response frame ") +
+                  FrameReadStatusName(read_status) +
+                  (read_status == FrameReadStatus::kIoError
+                       ? std::string(": ") + std::strerror(errno)
+                       : std::string());
+    Close();
+    return std::nullopt;
+  }
+  std::vector<ServeResponse> responses;
+  std::string decode_error;
+  if (!DecodeResponseBatch(payload, &responses, &decode_error)) {
+    last_error_ = "undecodable response: " + decode_error;
+    Close();
+    return std::nullopt;
+  }
+  // A lone kMalformed marker is the server's "could not decode your
+  // request" answer and legitimately mismatches the query count; any
+  // other count mismatch means the stream lost alignment.
+  const bool malformed_marker =
+      responses.size() == 1 && queries.size() != 1 &&
+      responses[0].status == ServeStatus::kMalformed;
+  if (responses.size() != queries.size() && !malformed_marker) {
+    last_error_ = "response count mismatch";
+    Close();
+    return std::nullopt;
+  }
+  last_error_.clear();
+  return responses;
+}
+
+void ToprrClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace serve
+}  // namespace toprr

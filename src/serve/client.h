@@ -1,0 +1,53 @@
+// ToprrClient: blocking TCP client for the serving protocol.
+//
+// One client owns one connection and issues SolveBatch round-trips
+// (request frame out, response frame in) sequentially; drive parallel
+// load with one client per thread (see examples/toprr_loadgen.cpp). All
+// failures -- connect errors, a server-closed connection, short frames,
+// undecodable replies -- surface as a false/empty return plus a one-line
+// last_error(); the framing layer retries EINTR and partial transfers
+// internally, so an error here is a real one.
+#ifndef TOPRR_SERVE_CLIENT_H_
+#define TOPRR_SERVE_CLIENT_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.h"
+
+namespace toprr {
+namespace serve {
+
+class ToprrClient {
+ public:
+  ToprrClient() = default;
+  ToprrClient(const ToprrClient&) = delete;
+  ToprrClient& operator=(const ToprrClient&) = delete;
+  ~ToprrClient();
+
+  /// Connects to host:port. Returns false (see last_error()) on failure.
+  bool Connect(const std::string& host, int port);
+
+  bool connected() const { return fd_ >= 0; }
+
+  /// Sends one query batch and blocks for the response batch. Returns
+  /// std::nullopt on any transport or protocol failure (the connection
+  /// is closed: request/response alignment cannot be trusted after an
+  /// error). A successful return is positionally aligned with `queries`.
+  std::optional<std::vector<ServeResponse>> SolveBatch(
+      const std::vector<ToprrQuery>& queries);
+
+  void Close();
+
+  const std::string& last_error() const { return last_error_; }
+
+ private:
+  int fd_ = -1;
+  std::string last_error_;
+};
+
+}  // namespace serve
+}  // namespace toprr
+
+#endif  // TOPRR_SERVE_CLIENT_H_

@@ -1,0 +1,134 @@
+#include "serve/framing.h"
+
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace toprr {
+namespace serve {
+namespace {
+
+// Outcome of draining an exact byte count from a stream.
+enum class FillStatus { kOk, kEof, kError };
+
+// Reads exactly `length` bytes, looping over short reads; EINTR restarts
+// the read. kEof means the stream ended before `length` bytes arrived
+// (*filled tells the caller whether any arrived at all).
+FillStatus ReadFull(ByteStream& stream, void* buffer, size_t length,
+                    size_t* filled) {
+  *filled = 0;
+  char* out = static_cast<char*>(buffer);
+  while (*filled < length) {
+    const ssize_t n = stream.ReadSome(out + *filled, length - *filled);
+    if (n > 0) {
+      *filled += static_cast<size_t>(n);
+    } else if (n == 0) {
+      return FillStatus::kEof;
+    } else if (errno != EINTR) {
+      return FillStatus::kError;
+    }
+  }
+  return FillStatus::kOk;
+}
+
+// Writes exactly `length` bytes, looping over short writes and EINTR.
+bool WriteFull(ByteStream& stream, const void* buffer, size_t length) {
+  const char* in = static_cast<const char*>(buffer);
+  size_t sent = 0;
+  while (sent < length) {
+    const ssize_t n = stream.WriteSome(in + sent, length - sent);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+    } else if (n < 0 && errno != EINTR) {
+      return false;
+    }
+    // n == 0 from a blocking stream is odd but not an error; retry.
+  }
+  return true;
+}
+
+}  // namespace
+
+ssize_t FdStream::ReadSome(void* buffer, size_t length) {
+  return ::read(fd_, buffer, length);
+}
+
+ssize_t FdStream::WriteSome(const void* buffer, size_t length) {
+  const ssize_t n = ::send(fd_, buffer, length, MSG_NOSIGNAL);
+  if (n < 0 && errno == ENOTSOCK) return ::write(fd_, buffer, length);
+  return n;
+}
+
+const char* FrameReadStatusName(FrameReadStatus status) {
+  switch (status) {
+    case FrameReadStatus::kOk:
+      return "ok";
+    case FrameReadStatus::kEof:
+      return "eof";
+    case FrameReadStatus::kTruncated:
+      return "truncated";
+    case FrameReadStatus::kOversized:
+      return "oversized";
+    case FrameReadStatus::kIoError:
+      return "io-error";
+  }
+  return "unknown";
+}
+
+FrameReadStatus ReadFrame(ByteStream& stream, std::string* payload,
+                          size_t max_payload) {
+  payload->clear();
+  unsigned char prefix[4];
+  size_t filled = 0;
+  switch (ReadFull(stream, prefix, sizeof(prefix), &filled)) {
+    case FillStatus::kOk:
+      break;
+    case FillStatus::kEof:
+      // Nothing of a new frame yet: the peer simply closed.
+      return filled == 0 ? FrameReadStatus::kEof : FrameReadStatus::kTruncated;
+    case FillStatus::kError:
+      return FrameReadStatus::kIoError;
+  }
+  const uint32_t length = static_cast<uint32_t>(prefix[0]) |
+                          static_cast<uint32_t>(prefix[1]) << 8 |
+                          static_cast<uint32_t>(prefix[2]) << 16 |
+                          static_cast<uint32_t>(prefix[3]) << 24;
+  if (length > max_payload) return FrameReadStatus::kOversized;
+  payload->resize(length);
+  if (length == 0) return FrameReadStatus::kOk;
+  switch (ReadFull(stream, &(*payload)[0], length, &filled)) {
+    case FillStatus::kOk:
+      return FrameReadStatus::kOk;
+    case FillStatus::kEof:
+      payload->clear();
+      return FrameReadStatus::kTruncated;
+    case FillStatus::kError:
+      payload->clear();
+      return FrameReadStatus::kIoError;
+  }
+  return FrameReadStatus::kIoError;
+}
+
+bool WriteFrame(ByteStream& stream, const std::string& payload) {
+  // The length prefix is a u32; a bigger payload would silently
+  // truncate the prefix and desynchronize the stream.
+  if (payload.size() > UINT32_MAX) {
+    errno = EMSGSIZE;
+    return false;
+  }
+  const uint32_t length = static_cast<uint32_t>(payload.size());
+  const unsigned char prefix[4] = {
+      static_cast<unsigned char>(length & 0xff),
+      static_cast<unsigned char>((length >> 8) & 0xff),
+      static_cast<unsigned char>((length >> 16) & 0xff),
+      static_cast<unsigned char>((length >> 24) & 0xff),
+  };
+  if (!WriteFull(stream, prefix, sizeof(prefix))) return false;
+  return WriteFull(stream, payload.data(), payload.size());
+}
+
+}  // namespace serve
+}  // namespace toprr

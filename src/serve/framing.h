@@ -1,0 +1,82 @@
+// Transport framing for the serving protocol: length-prefixed payloads
+// over a byte stream.
+//
+// On the wire a frame is a little-endian u32 payload length followed by
+// exactly that many payload bytes. The framing layer treats payloads as
+// opaque (protocol validation lives in serve/protocol.h) but enforces
+// the oversized-frame ceiling BEFORE buffering: a hostile or corrupt
+// length prefix is rejected without allocating.
+//
+// ReadFrame/WriteFrame are robust against the realities of stream
+// sockets: short reads and writes are looped until the frame is
+// complete, EINTR restarts the call, and a peer close mid-frame is
+// reported as kTruncated (a close between frames is a clean kEof). The
+// loops run against the abstract ByteStream so the serve-labeled framing
+// test can drive them through a deliberately fragmenting mock stream;
+// production code wraps a socket fd in FdStream.
+#ifndef TOPRR_SERVE_FRAMING_H_
+#define TOPRR_SERVE_FRAMING_H_
+
+#include <sys/types.h>
+
+#include <cstddef>
+#include <string>
+
+#include "serve/protocol.h"
+
+namespace toprr {
+namespace serve {
+
+/// Minimal byte-stream interface with POSIX read/write semantics:
+/// returns the number of bytes transferred (possibly fewer than asked),
+/// 0 for end-of-stream on reads, or -1 with errno set on failure.
+class ByteStream {
+ public:
+  virtual ~ByteStream() = default;
+
+  virtual ssize_t ReadSome(void* buffer, size_t length) = 0;
+  virtual ssize_t WriteSome(const void* buffer, size_t length) = 0;
+};
+
+/// ByteStream over a file descriptor (not owned). Writes use
+/// MSG_NOSIGNAL on sockets so a peer close surfaces as EPIPE instead of
+/// killing the process with SIGPIPE; non-socket fds (pipes in tests)
+/// fall back to write(2).
+class FdStream : public ByteStream {
+ public:
+  explicit FdStream(int fd) : fd_(fd) {}
+
+  ssize_t ReadSome(void* buffer, size_t length) override;
+  ssize_t WriteSome(const void* buffer, size_t length) override;
+
+ private:
+  int fd_;
+};
+
+enum class FrameReadStatus {
+  kOk,
+  /// Clean end-of-stream before any byte of a new frame.
+  kEof,
+  /// The peer closed mid-frame (inside the prefix or the payload).
+  kTruncated,
+  /// The length prefix exceeds `max_payload`; nothing was buffered.
+  kOversized,
+  /// read(2) failed (errno-level error other than EINTR).
+  kIoError,
+};
+
+const char* FrameReadStatusName(FrameReadStatus status);
+
+/// Reads one complete frame, looping over short reads and EINTR.
+FrameReadStatus ReadFrame(ByteStream& stream, std::string* payload,
+                          size_t max_payload = kMaxFramePayloadBytes);
+
+/// Writes one complete frame (prefix + payload), looping over short
+/// writes and EINTR. Returns false on a write error (e.g. EPIPE when the
+/// peer already closed).
+bool WriteFrame(ByteStream& stream, const std::string& payload);
+
+}  // namespace serve
+}  // namespace toprr
+
+#endif  // TOPRR_SERVE_FRAMING_H_

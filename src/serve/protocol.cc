@@ -1,0 +1,346 @@
+#include "serve/protocol.h"
+
+#include <utility>
+
+#include "pref/region.h"
+#include "serve/wire.h"
+
+namespace toprr {
+namespace serve {
+namespace {
+
+// ToprrOptions booleans packed into one byte.
+constexpr uint8_t kFlagLemma5 = 1u << 0;
+constexpr uint8_t kFlagLemma7 = 1u << 1;
+constexpr uint8_t kFlagKswitch = 1u << 2;
+constexpr uint8_t kFlagRskybandFilter = 1u << 3;
+constexpr uint8_t kFlagBuildGeometry = 1u << 4;
+constexpr uint8_t kFlagSchedulerStats = 1u << 5;
+
+// ServeResponse booleans.
+constexpr uint8_t kFlagDegenerate = 1u << 0;
+constexpr uint8_t kFlagGeometrySkipped = 1u << 1;
+
+// Minimum encoded sizes, used to validate decoded element counts before
+// resize() allocates count * sizeof(in-memory struct): the bound must
+// reflect what the wire actually requires per element, or a small frame
+// claiming a huge count could force a multi-GB allocation.
+// Query: k + method + flags + eps + budget + max_regions + dim_limit +
+// halfspace_limit + num_threads + empty region (two u32 counts).
+constexpr size_t kMinQueryBytes =
+    4 + 1 + 1 + 8 + 8 + 8 + 8 + 8 + 4 + 4 + 4;
+// Response: status + flags + stats block + two u32 counts.
+constexpr size_t kMinResponseBytes = 1 + 1 + 8 + 6 * 8 + 4 + 4;
+
+void WriteHeader(WireWriter& writer, MessageType type) {
+  writer.U32(kProtocolMagic);
+  writer.U8(kProtocolVersion);
+  writer.U8(static_cast<uint8_t>(type));
+}
+
+bool FailDecode(std::string* error, const std::string& reason) {
+  if (error != nullptr) *error = reason;
+  return false;
+}
+
+// Validates magic/version and that the payload is of the wanted type.
+bool ReadHeader(WireReader& reader, MessageType wanted, std::string* error) {
+  uint32_t magic;
+  uint8_t version;
+  uint8_t type;
+  if (!reader.U32(&magic) || !reader.U8(&version) || !reader.U8(&type)) {
+    return FailDecode(error, "payload shorter than the protocol header");
+  }
+  if (magic != kProtocolMagic) {
+    return FailDecode(error, "bad magic (not a toprr frame)");
+  }
+  if (version != kProtocolVersion) {
+    return FailDecode(error, "unsupported protocol version " +
+                                 std::to_string(version));
+  }
+  if (type != static_cast<uint8_t>(wanted)) {
+    return FailDecode(error,
+                      "unexpected message type " + std::to_string(type));
+  }
+  return true;
+}
+
+void WriteRegion(WireWriter& writer, const PrefRegion& region) {
+  writer.U32(static_cast<uint32_t>(region.vertices().size()));
+  for (const Vec& v : region.vertices()) writer.VecField(v);
+  writer.U32(static_cast<uint32_t>(region.facets().size()));
+  for (const RegionFacet& facet : region.facets()) {
+    writer.VecField(facet.halfspace.normal);
+    writer.F64(facet.halfspace.offset);
+    writer.U32(static_cast<uint32_t>(facet.vertex_ids.size()));
+    for (int id : facet.vertex_ids) writer.I32(id);
+  }
+}
+
+bool ReadRegion(WireReader& reader, PrefRegion* region) {
+  uint32_t vertex_count;
+  if (!reader.U32(&vertex_count)) return false;
+  // Count bounds use the smallest *meaningful* element (dimension >= 1):
+  // a vertex is a dim prefix + one coordinate, a facet a 1-d normal +
+  // offset + id count. Zero-dimensional elements are semantically
+  // invalid anyway, and the tighter bound keeps resize(count) within a
+  // small constant of the frame size.
+  if (!reader.CheckCount(vertex_count, sizeof(uint32_t) + sizeof(double))) {
+    return false;
+  }
+  std::vector<Vec> vertices(vertex_count);
+  for (Vec& v : vertices) {
+    if (!reader.VecField(&v)) return false;
+  }
+  uint32_t facet_count;
+  if (!reader.U32(&facet_count)) return false;
+  if (!reader.CheckCount(facet_count, 2 * sizeof(uint32_t) +
+                                          2 * sizeof(double))) {
+    return false;
+  }
+  std::vector<RegionFacet> facets(facet_count);
+  for (RegionFacet& facet : facets) {
+    if (!reader.VecField(&facet.halfspace.normal)) return false;
+    if (!reader.F64(&facet.halfspace.offset)) return false;
+    uint32_t id_count;
+    if (!reader.U32(&id_count)) return false;
+    if (!reader.CheckCount(id_count, sizeof(int32_t))) return false;
+    facet.vertex_ids.resize(id_count);
+    for (uint32_t i = 0; i < id_count; ++i) {
+      int32_t id;
+      if (!reader.I32(&id)) return false;
+      facet.vertex_ids[i] = id;
+    }
+  }
+  *region =
+      PrefRegion::FromVerticesAndFacets(std::move(vertices), std::move(facets));
+  return true;
+}
+
+void WriteQuery(WireWriter& writer, const ToprrQuery& query) {
+  const ToprrOptions& options = query.options;
+  writer.I32(query.k);
+  writer.U8(static_cast<uint8_t>(options.method));
+  uint8_t flags = 0;
+  if (options.use_lemma5) flags |= kFlagLemma5;
+  if (options.use_lemma7) flags |= kFlagLemma7;
+  if (options.use_kswitch) flags |= kFlagKswitch;
+  if (options.use_rskyband_filter) flags |= kFlagRskybandFilter;
+  if (options.build_geometry) flags |= kFlagBuildGeometry;
+  if (options.collect_scheduler_stats) flags |= kFlagSchedulerStats;
+  writer.U8(flags);
+  writer.F64(options.eps);
+  writer.F64(options.time_budget_seconds);
+  writer.U64(options.max_regions);
+  writer.U64(options.geometry_dim_limit);
+  writer.U64(options.geometry_halfspace_limit);
+  writer.I32(options.num_threads);
+  WriteRegion(writer, query.region);
+}
+
+bool ReadQuery(WireReader& reader, ToprrQuery* query) {
+  uint8_t method;
+  uint8_t flags;
+  uint64_t max_regions;
+  uint64_t dim_limit;
+  uint64_t halfspace_limit;
+  if (!reader.I32(&query->k) || !reader.U8(&method) || !reader.U8(&flags) ||
+      !reader.F64(&query->options.eps) ||
+      !reader.F64(&query->options.time_budget_seconds) ||
+      !reader.U64(&max_regions) || !reader.U64(&dim_limit) ||
+      !reader.U64(&halfspace_limit) ||
+      !reader.I32(&query->options.num_threads)) {
+    return false;
+  }
+  if (method > static_cast<uint8_t>(ToprrMethod::kTasStar)) return false;
+  query->options.method = static_cast<ToprrMethod>(method);
+  query->options.use_lemma5 = (flags & kFlagLemma5) != 0;
+  query->options.use_lemma7 = (flags & kFlagLemma7) != 0;
+  query->options.use_kswitch = (flags & kFlagKswitch) != 0;
+  query->options.use_rskyband_filter = (flags & kFlagRskybandFilter) != 0;
+  query->options.build_geometry = (flags & kFlagBuildGeometry) != 0;
+  query->options.collect_scheduler_stats = (flags & kFlagSchedulerStats) != 0;
+  query->options.max_regions = static_cast<size_t>(max_regions);
+  query->options.geometry_dim_limit = static_cast<size_t>(dim_limit);
+  query->options.geometry_halfspace_limit =
+      static_cast<size_t>(halfspace_limit);
+  return ReadRegion(reader, &query->region);
+}
+
+void WriteResponse(WireWriter& writer, const ServeResponse& response) {
+  writer.U8(static_cast<uint8_t>(response.status));
+  uint8_t flags = 0;
+  if (response.degenerate) flags |= kFlagDegenerate;
+  if (response.geometry_skipped) flags |= kFlagGeometrySkipped;
+  writer.U8(flags);
+  writer.F64(response.stats.total_seconds);
+  writer.U64(response.stats.candidates_after_filter);
+  writer.U64(response.stats.regions_tested);
+  writer.U64(response.stats.vall_unique);
+  writer.U64(response.stats.tasks_executed);
+  writer.U64(response.stats.tasks_stolen);
+  writer.U64(response.stats.steal_failures);
+  writer.U32(static_cast<uint32_t>(response.impact_halfspaces.size()));
+  for (const Halfspace& hs : response.impact_halfspaces) {
+    writer.VecField(hs.normal);
+    writer.F64(hs.offset);
+  }
+  writer.U32(static_cast<uint32_t>(response.vertices.size()));
+  for (const Vec& v : response.vertices) writer.VecField(v);
+}
+
+bool ReadResponse(WireReader& reader, ServeResponse* response) {
+  uint8_t status;
+  uint8_t flags;
+  if (!reader.U8(&status) || !reader.U8(&flags) ||
+      !reader.F64(&response->stats.total_seconds) ||
+      !reader.U64(&response->stats.candidates_after_filter) ||
+      !reader.U64(&response->stats.regions_tested) ||
+      !reader.U64(&response->stats.vall_unique) ||
+      !reader.U64(&response->stats.tasks_executed) ||
+      !reader.U64(&response->stats.tasks_stolen) ||
+      !reader.U64(&response->stats.steal_failures)) {
+    return false;
+  }
+  if (status > static_cast<uint8_t>(ServeStatus::kInternalError)) return false;
+  response->status = static_cast<ServeStatus>(status);
+  response->degenerate = (flags & kFlagDegenerate) != 0;
+  response->geometry_skipped = (flags & kFlagGeometrySkipped) != 0;
+  uint32_t halfspace_count;
+  if (!reader.U32(&halfspace_count)) return false;
+  // Smallest meaningful halfspace: 1-d normal + offset.
+  if (!reader.CheckCount(halfspace_count,
+                         sizeof(uint32_t) + 2 * sizeof(double))) {
+    return false;
+  }
+  response->impact_halfspaces.resize(halfspace_count);
+  for (Halfspace& hs : response->impact_halfspaces) {
+    if (!reader.VecField(&hs.normal) || !reader.F64(&hs.offset)) return false;
+  }
+  uint32_t vertex_count;
+  if (!reader.U32(&vertex_count)) return false;
+  if (!reader.CheckCount(vertex_count, sizeof(uint32_t) + sizeof(double))) {
+    return false;
+  }
+  response->vertices.resize(vertex_count);
+  for (Vec& v : response->vertices) {
+    if (!reader.VecField(&v)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* ServeStatusName(ServeStatus status) {
+  switch (status) {
+    case ServeStatus::kOk:
+      return "OK";
+    case ServeStatus::kRejectedOverload:
+      return "REJECTED_OVERLOAD";
+    case ServeStatus::kBudgetExceeded:
+      return "BUDGET_EXCEEDED";
+    case ServeStatus::kMalformed:
+      return "MALFORMED";
+    case ServeStatus::kShutdown:
+      return "SHUTDOWN";
+    case ServeStatus::kInternalError:
+      return "INTERNAL_ERROR";
+  }
+  return "UNKNOWN";
+}
+
+ServeResponse ResponseFromResult(const ToprrResult& result) {
+  ServeResponse response;
+  if (result.cancelled) {
+    response.status = ServeStatus::kShutdown;
+  } else if (result.timed_out) {
+    response.status = ServeStatus::kBudgetExceeded;
+  } else {
+    response.status = ServeStatus::kOk;
+    response.degenerate = result.degenerate;
+    response.geometry_skipped = result.geometry_skipped;
+    response.impact_halfspaces = result.impact_halfspaces;
+    response.vertices = result.vertices;
+  }
+  response.stats.total_seconds = result.stats.total_seconds;
+  response.stats.candidates_after_filter =
+      result.stats.candidates_after_filter;
+  response.stats.regions_tested = result.stats.regions_tested;
+  response.stats.vall_unique = result.stats.vall_unique;
+  response.stats.tasks_executed = result.stats.scheduler.TotalExecuted();
+  response.stats.tasks_stolen = result.stats.scheduler.TotalStolen();
+  response.stats.steal_failures = result.stats.scheduler.TotalStealFailures();
+  return response;
+}
+
+std::string EncodeQueryBatch(const std::vector<ToprrQuery>& queries) {
+  std::string payload;
+  WireWriter writer(&payload);
+  WriteHeader(writer, MessageType::kQueryBatch);
+  writer.U32(static_cast<uint32_t>(queries.size()));
+  for (const ToprrQuery& query : queries) WriteQuery(writer, query);
+  return payload;
+}
+
+bool DecodeQueryBatch(const std::string& payload,
+                      std::vector<ToprrQuery>* queries, std::string* error) {
+  queries->clear();
+  WireReader reader(payload);
+  if (!ReadHeader(reader, MessageType::kQueryBatch, error)) return false;
+  uint32_t count;
+  if (!reader.U32(&count) || !reader.CheckCount(count, kMinQueryBytes)) {
+    return FailDecode(error, "bad query count");
+  }
+  queries->resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    if (!ReadQuery(reader, &(*queries)[i])) {
+      queries->clear();
+      return FailDecode(error,
+                        "truncated or malformed query " + std::to_string(i));
+    }
+  }
+  if (reader.remaining() != 0) {
+    queries->clear();
+    return FailDecode(error, "trailing bytes after the last query");
+  }
+  return true;
+}
+
+std::string EncodeResponseBatch(const std::vector<ServeResponse>& responses) {
+  std::string payload;
+  WireWriter writer(&payload);
+  WriteHeader(writer, MessageType::kResponseBatch);
+  writer.U32(static_cast<uint32_t>(responses.size()));
+  for (const ServeResponse& response : responses) {
+    WriteResponse(writer, response);
+  }
+  return payload;
+}
+
+bool DecodeResponseBatch(const std::string& payload,
+                         std::vector<ServeResponse>* responses,
+                         std::string* error) {
+  responses->clear();
+  WireReader reader(payload);
+  if (!ReadHeader(reader, MessageType::kResponseBatch, error)) return false;
+  uint32_t count;
+  if (!reader.U32(&count) || !reader.CheckCount(count, kMinResponseBytes)) {
+    return FailDecode(error, "bad response count");
+  }
+  responses->resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    if (!ReadResponse(reader, &(*responses)[i])) {
+      responses->clear();
+      return FailDecode(
+          error, "truncated or malformed response " + std::to_string(i));
+    }
+  }
+  if (reader.remaining() != 0) {
+    responses->clear();
+    return FailDecode(error, "trailing bytes after the last response");
+  }
+  return true;
+}
+
+}  // namespace serve
+}  // namespace toprr

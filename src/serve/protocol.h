@@ -1,0 +1,110 @@
+// Message layer of the serving protocol: binary serialization of
+// ToprrQuery batches and their responses.
+//
+// Every frame payload starts with a fixed header (magic, protocol
+// version, message type); the framing layer (serve/framing.h) only moves
+// opaque payloads, so all protocol validation lives here. Scalars are
+// little-endian via serve/wire.h and doubles round-trip bit-exactly,
+// which the serve-labeled protocol tests verify field by field.
+//
+// A query carries the full ToprrQuery: k, the convex preference region
+// (vertices + facets, so general polytopes survive the wire, not just
+// boxes), and the solver options. A response carries a per-query status
+// -- admission control and budget expiry are explicit statuses, never
+// silence -- plus, for accepted queries, the region constraints and a
+// compact stats block including the scheduler telemetry totals.
+#ifndef TOPRR_SERVE_PROTOCOL_H_
+#define TOPRR_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/toprr.h"
+#include "geom/hyperplane.h"
+#include "geom/vec.h"
+
+namespace toprr {
+namespace serve {
+
+/// First bytes of every payload: "TPRR" read as a little-endian u32.
+constexpr uint32_t kProtocolMagic = 0x52525054;
+constexpr uint8_t kProtocolVersion = 1;
+
+/// Hard ceiling on a frame payload; ReadFrame rejects bigger length
+/// prefixes before buffering anything (oversized-frame protection).
+constexpr size_t kMaxFramePayloadBytes = size_t{64} << 20;
+
+enum class MessageType : uint8_t {
+  kQueryBatch = 1,
+  kResponseBatch = 2,
+};
+
+/// Per-query outcome carried in every response. Values are wire-stable;
+/// append only.
+enum class ServeStatus : uint8_t {
+  kOk = 0,
+  /// Admission control: the server's in-flight budget could not fit the
+  /// batch. Explicit backpressure -- the client should retry later.
+  kRejectedOverload = 1,
+  /// The per-query time budget (client-requested, server-clamped)
+  /// expired before the solve finished.
+  kBudgetExceeded = 2,
+  /// The request failed to decode.
+  kMalformed = 3,
+  /// The server is shutting down; in-flight work was cancelled.
+  kShutdown = 4,
+  kInternalError = 5,
+};
+
+const char* ServeStatusName(ServeStatus status);
+
+/// Compact per-query solve statistics (a stable subset of ToprrStats
+/// plus the scheduler telemetry totals).
+struct ServeQueryStats {
+  double total_seconds = 0.0;
+  uint64_t candidates_after_filter = 0;
+  uint64_t regions_tested = 0;
+  uint64_t vall_unique = 0;
+  uint64_t tasks_executed = 0;
+  uint64_t tasks_stolen = 0;
+  uint64_t steal_failures = 0;
+};
+
+/// One query's response. Only kOk responses carry region payloads; every
+/// response carries the stats block (zeroed when nothing ran).
+struct ServeResponse {
+  ServeStatus status = ServeStatus::kInternalError;
+  bool degenerate = false;
+  bool geometry_skipped = false;
+  std::vector<Halfspace> impact_halfspaces;
+  std::vector<Vec> vertices;  // when the query asked for geometry
+  ServeQueryStats stats;
+};
+
+/// Builds a response from a finished solve (status chosen from the
+/// result's timed_out/cancelled flags).
+ServeResponse ResponseFromResult(const ToprrResult& result);
+
+/// Serializes a query batch into a frame payload (header included).
+std::string EncodeQueryBatch(const std::vector<ToprrQuery>& queries);
+
+/// Parses a query-batch payload. On failure returns false and leaves a
+/// one-line reason in `error`; `queries` is cleared.
+bool DecodeQueryBatch(const std::string& payload,
+                      std::vector<ToprrQuery>* queries, std::string* error);
+
+/// Serializes a response batch into a frame payload (header included).
+std::string EncodeResponseBatch(const std::vector<ServeResponse>& responses);
+
+/// Parses a response-batch payload (same error contract as
+/// DecodeQueryBatch).
+bool DecodeResponseBatch(const std::string& payload,
+                         std::vector<ServeResponse>* responses,
+                         std::string* error);
+
+}  // namespace serve
+}  // namespace toprr
+
+#endif  // TOPRR_SERVE_PROTOCOL_H_

@@ -1,0 +1,337 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/logging.h"
+#include "serve/framing.h"
+
+namespace toprr {
+namespace serve {
+namespace {
+
+// A query the server refuses to hand to the engine: the engine
+// CHECK-fails on out-of-range k or mismatched dimensions, and a hostile
+// frame must never be able to abort the process.
+bool QueryIsSolvable(const Dataset& data, const ToprrQuery& query) {
+  if (query.k <= 0 || static_cast<size_t>(query.k) > data.size()) {
+    return false;
+  }
+  if (query.region.empty()) return false;
+  return query.region.dim() + 1 == data.dim();
+}
+
+}  // namespace
+
+ToprrServer::ToprrServer(const Dataset* data, ServerConfig config)
+    : config_(std::move(config)), engine_(data) {}
+
+ToprrServer::~ToprrServer() { Stop(); }
+
+bool ToprrServer::Start(std::string* error) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    if (error != nullptr) *error = std::strerror(errno);
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(config_.port));
+  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+    if (error != nullptr) *error = "bad listen host " + config_.host;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    if (error != nullptr) {
+      *error = "bind " + config_.host + ":" +
+               std::to_string(config_.port) + ": " + std::strerror(errno);
+    }
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::listen(listen_fd_, config_.listen_backlog) < 0) {
+    if (error != nullptr) *error = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  socklen_t addr_len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+  port_ = ntohs(addr.sin_port);
+
+  stopping_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  LOG(INFO) << "toprr server listening on " << config_.host << ":" << port_;
+  return true;
+}
+
+void ToprrServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stopping_.store(true, std::memory_order_release);
+
+  // Unblock accept(2), then the per-connection reads. shutdown() rather
+  // than close() so each thread keeps a valid fd until it exits and
+  // closes it itself -- no fd reuse race.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  {
+    std::lock_guard<std::mutex> lock(connections_mu_);
+    for (const std::unique_ptr<Connection>& conn : connections_) {
+      if (!conn->finished && conn->fd >= 0) {
+        ::shutdown(conn->fd, SHUT_RDWR);
+      }
+    }
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // After the accept thread exits no new connections appear, so the
+  // vector is stable from here on.
+  for (const std::unique_ptr<Connection>& conn : connections_) {
+    if (conn->thread.joinable()) conn->thread.join();
+  }
+  connections_.clear();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void ToprrServer::AcceptLoop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load(std::memory_order_acquire)) return;
+      if (errno == EINTR) continue;
+      // A client that reset before we accepted, or transient fd
+      // exhaustion under a connection burst, must not brick the server:
+      // log, breathe (so EMFILE does not spin), and keep accepting.
+      if (errno == ECONNABORTED || errno == EMFILE || errno == ENFILE ||
+          errno == EAGAIN || errno == ENOBUFS || errno == ENOMEM) {
+        LOG(WARNING) << "accept failed (transient): "
+                     << std::strerror(errno);
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        continue;
+      }
+      // Anything else (EBADF/EINVAL from Stop's shutdown, or a real
+      // listener failure) ends the loop.
+      LOG(WARNING) << "accept failed: " << std::strerror(errno);
+      return;
+    }
+    // Request/response framing sends the 4-byte prefix and the payload
+    // in separate write(2)s; without TCP_NODELAY, Nagle + delayed ACK
+    // turns every RPC into a ~40 ms round trip.
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    std::lock_guard<std::mutex> lock(connections_mu_);
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      return;
+    }
+    stats_.OnConnectionAccepted();
+    // Reap connections that already finished so a long-lived server
+    // does not accumulate one zombie thread per past client.
+    for (std::unique_ptr<Connection>& conn : connections_) {
+      if (conn->finished && conn->thread.joinable()) conn->thread.join();
+    }
+    connections_.erase(
+        std::remove_if(connections_.begin(), connections_.end(),
+                       [](const std::unique_ptr<Connection>& conn) {
+                         return conn->finished && !conn->thread.joinable();
+                       }),
+        connections_.end());
+    auto conn = std::make_unique<Connection>();
+    Connection* raw = conn.get();
+    raw->fd = fd;
+    connections_.push_back(std::move(conn));
+    raw->thread = std::thread([this, raw] {
+      ServeConnection(raw->fd);
+      std::lock_guard<std::mutex> exit_lock(connections_mu_);
+      ::close(raw->fd);
+      raw->fd = -1;
+      raw->finished = true;
+    });
+  }
+}
+
+bool ToprrServer::TryAdmitQueries(size_t count) {
+  size_t current = inflight_queries_.load(std::memory_order_relaxed);
+  for (;;) {
+    if (current + count > config_.max_inflight_queries) return false;
+    if (inflight_queries_.compare_exchange_weak(current, current + count,
+                                                std::memory_order_acq_rel,
+                                                std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+}
+
+void ToprrServer::ReleaseQueries(size_t count) {
+  inflight_queries_.fetch_sub(count, std::memory_order_acq_rel);
+}
+
+std::vector<ServeResponse> ToprrServer::SolveAdmitted(
+    std::vector<ToprrQuery> queries) {
+  for (ToprrQuery& query : queries) {
+    // Clamp the budget: unlimited (<= 0), over-the-cap, and NaN requests
+    // all drop to the server's ceiling, enforced by the scheduler budget
+    // hooks. The negated comparison is deliberate: `!(budget > 0)` is
+    // true for NaN where `budget <= 0` would not be, and a NaN that
+    // slipped through would read as "unlimited" in the scheduler too.
+    double budget = query.options.time_budget_seconds;
+    if (config_.max_query_budget_seconds > 0.0 &&
+        (!(budget > 0.0) || budget > config_.max_query_budget_seconds)) {
+      budget = config_.max_query_budget_seconds;
+    }
+    query.options.time_budget_seconds = budget;
+    // A client must not be able to grab every core via num_threads=0
+    // (the "all hardware threads" knob); region-level parallelism stays
+    // an explicit positive request.
+    if (query.options.num_threads < 1) query.options.num_threads = 1;
+  }
+  const std::vector<ToprrResult> results =
+      engine_.SolveBatch(queries, config_.batch_threads, &stopping_);
+  std::vector<ServeResponse> responses;
+  responses.reserve(results.size());
+  for (const ToprrResult& result : results) {
+    responses.push_back(ResponseFromResult(result));
+    switch (responses.back().status) {
+      case ServeStatus::kOk:
+        stats_.OnQueryCompleted();
+        break;
+      case ServeStatus::kBudgetExceeded:
+        stats_.OnQueryBudgetExceeded();
+        break;
+      case ServeStatus::kShutdown:
+        stats_.OnQueryCancelled();
+        break;
+      default:
+        break;
+    }
+  }
+  return responses;
+}
+
+void ToprrServer::ServeConnection(int fd) {
+  FdStream stream(fd);
+  std::string payload;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const FrameReadStatus read_status =
+        ReadFrame(stream, &payload, config_.max_frame_payload_bytes);
+    if (read_status == FrameReadStatus::kEof) return;  // clean close
+    if (read_status != FrameReadStatus::kOk) {
+      // Oversized/truncated/io-error: the stream is out of sync (or
+      // gone); count it and drop the connection. A response cannot be
+      // trusted to line up with a request anymore.
+      if (!stopping_.load(std::memory_order_acquire)) {
+        stats_.OnProtocolError();
+        LOG(WARNING) << "connection dropped: frame "
+                     << FrameReadStatusName(read_status);
+      }
+      return;
+    }
+    stats_.OnFrameReceived(payload.size() + 4);
+
+    std::vector<ToprrQuery> queries;
+    std::string decode_error;
+    if (!DecodeQueryBatch(payload, &queries, &decode_error)) {
+      // Framing was intact, so the stream is still in sync: answer with
+      // an explicit malformed-marker and keep the connection.
+      stats_.OnProtocolError();
+      LOG(WARNING) << "malformed query batch: " << decode_error;
+      ServeResponse malformed;
+      malformed.status = ServeStatus::kMalformed;
+      const std::string reply = EncodeResponseBatch({malformed});
+      if (!WriteFrame(stream, reply)) return;
+      stats_.OnBytesSent(reply.size() + 4);
+      continue;
+    }
+    stats_.OnQueriesReceived(queries.size());
+
+    // Per-query validation, then all-or-nothing admission of the
+    // solvable remainder.
+    std::vector<ServeResponse> responses(queries.size());
+    std::vector<size_t> solvable;
+    solvable.reserve(queries.size());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      if (QueryIsSolvable(engine_.data(), queries[i])) {
+        solvable.push_back(i);
+      } else {
+        responses[i].status = ServeStatus::kMalformed;
+      }
+    }
+    if (!solvable.empty()) {
+      if (stopping_.load(std::memory_order_acquire)) {
+        for (size_t i : solvable) {
+          responses[i].status = ServeStatus::kShutdown;
+          stats_.OnQueryCancelled();
+        }
+      } else if (!TryAdmitQueries(solvable.size())) {
+        for (size_t i : solvable) {
+          responses[i].status = ServeStatus::kRejectedOverload;
+        }
+        stats_.OnQueriesRejectedOverload(solvable.size());
+      } else {
+        std::vector<ToprrQuery> admitted;
+        admitted.reserve(solvable.size());
+        for (size_t i : solvable) admitted.push_back(queries[i]);
+        std::vector<ServeResponse> solved =
+            SolveAdmitted(std::move(admitted));
+        ReleaseQueries(solvable.size());
+        for (size_t j = 0; j < solvable.size(); ++j) {
+          responses[solvable[j]] = std::move(solved[j]);
+        }
+      }
+    }
+
+    std::string reply = EncodeResponseBatch(responses);
+    if (reply.size() > config_.max_frame_payload_bytes) {
+      // The client's ReadFrame would reject this as oversized and tear
+      // the connection down, discarding solved work. Degrade instead:
+      // drop the vertex geometry first (the halfspace description stays
+      // exact), then the payloads entirely (stats survive).
+      for (ServeResponse& response : responses) {
+        if (!response.vertices.empty()) {
+          response.vertices.clear();
+          response.geometry_skipped = true;
+        }
+      }
+      reply = EncodeResponseBatch(responses);
+      if (reply.size() > config_.max_frame_payload_bytes) {
+        for (ServeResponse& response : responses) {
+          response.impact_halfspaces.clear();
+          if (response.status == ServeStatus::kOk) {
+            response.status = ServeStatus::kInternalError;
+          }
+        }
+        reply = EncodeResponseBatch(responses);
+      }
+    }
+    if (!WriteFrame(stream, reply)) {
+      if (!stopping_.load(std::memory_order_acquire)) {
+        stats_.OnProtocolError();
+        LOG(WARNING) << "reply write failed: " << std::strerror(errno);
+      }
+      return;
+    }
+    stats_.OnBytesSent(reply.size() + 4);
+  }
+}
+
+}  // namespace serve
+}  // namespace toprr

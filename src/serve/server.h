@@ -1,0 +1,138 @@
+// ToprrServer: a long-lived TCP front-end over ToprrEngine::SolveBatch.
+//
+// One server owns one engine over one immutable dataset. Clients connect
+// over TCP and exchange length-prefixed frames (serve/framing.h): each
+// request frame carries a ToprrQuery batch, each reply frame the
+// positionally aligned responses. A connection serves any number of
+// request frames sequentially; concurrency comes from concurrent
+// connections, which all feed the one engine and its shared skyband
+// cache.
+//
+// Admission control: the server maintains a bounded in-flight query
+// count (ServerConfig::max_inflight_queries). A batch is admitted
+// all-or-nothing; when it does not fit, every query in it is answered
+// immediately with an explicit kRejectedOverload response -- requests
+// are never parked in a hidden queue, so a saturated server stays
+// responsive and the client owns the retry policy (backpressure).
+//
+// Per-query budgets: each admitted query's time budget is clamped to
+// ServerConfig::max_query_budget_seconds and enforced by the scheduler's
+// existing budget hooks; expiry returns kBudgetExceeded for that query
+// only. Shutdown flips a cancel flag that SolveBatch plumbs into every
+// in-flight solve, so Stop() returns promptly even mid-solve (those
+// queries answer kShutdown when the connection is still writable).
+#ifndef TOPRR_SERVE_SERVER_H_
+#define TOPRR_SERVE_SERVER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/server_stats.h"
+#include "core/engine.h"
+#include "data/dataset.h"
+#include "serve/protocol.h"
+
+namespace toprr {
+namespace serve {
+
+struct ServerConfig {
+  /// Listen address. The default binds loopback only; serving real
+  /// traffic across hosts is the multi-node sharding item's business.
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 picks an ephemeral port (read it back via port()).
+  int port = 0;
+  int listen_backlog = 64;
+
+  /// Admission control: maximum queries admitted concurrently across all
+  /// connections. Batches that would exceed it are rejected whole with
+  /// kRejectedOverload.
+  size_t max_inflight_queries = 64;
+
+  /// Upper bound on any single query's time budget (seconds). Requests
+  /// asking for more (or for unlimited, i.e. <= 0) are clamped down to
+  /// this; <= 0 disables the clamp (trusted clients only).
+  double max_query_budget_seconds = 10.0;
+
+  /// Worker threads for each batch's dispatch through SolveBatch
+  /// (0 = one per hardware thread, 1 = solve in the connection thread).
+  int batch_threads = 1;
+
+  /// Frames with a longer length prefix are rejected before buffering.
+  size_t max_frame_payload_bytes = kMaxFramePayloadBytes;
+};
+
+class ToprrServer {
+ public:
+  /// The dataset must outlive the server and stay immutable (the usual
+  /// engine contract).
+  ToprrServer(const Dataset* data, ServerConfig config);
+
+  ToprrServer(const ToprrServer&) = delete;
+  ToprrServer& operator=(const ToprrServer&) = delete;
+
+  /// Stops the server if still running.
+  ~ToprrServer();
+
+  /// Binds, listens, and starts the accept thread. Returns false with a
+  /// one-line reason on failure (port in use, bad host, ...).
+  bool Start(std::string* error);
+
+  /// The bound TCP port (useful with config.port = 0).
+  int port() const { return port_; }
+
+  /// Graceful-but-prompt shutdown: stops accepting, flips the cancel
+  /// flag through every in-flight SolveBatch, shuts client sockets down,
+  /// and joins all threads. Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  const ServerStats& stats() const { return stats_; }
+  ToprrEngine& engine() { return engine_; }
+
+  /// Pre-computes the k-skyband for `k` so the first query does not pay
+  /// the warm-up cost.
+  void WarmSkyband(int k) { engine_.KSkyband(k); }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  /// All-or-nothing admission of `count` queries against the in-flight
+  /// bound. Returns true when admitted; the caller must ReleaseQueries.
+  bool TryAdmitQueries(size_t count);
+  void ReleaseQueries(size_t count);
+
+  /// Solves one admitted batch with budgets clamped and the shutdown
+  /// cancel flag plumbed through.
+  std::vector<ServeResponse> SolveAdmitted(std::vector<ToprrQuery> queries);
+
+  const ServerConfig config_;
+  ToprrEngine engine_;
+  ServerStats stats_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<size_t> inflight_queries_{0};
+
+  std::thread accept_thread_;
+  std::mutex connections_mu_;
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+    bool finished = false;
+  };
+  std::vector<std::unique_ptr<Connection>> connections_;
+};
+
+}  // namespace serve
+}  // namespace toprr
+
+#endif  // TOPRR_SERVE_SERVER_H_

@@ -1,0 +1,157 @@
+// Byte-level wire encoding for the serving protocol (src/serve/).
+//
+// Fixed little-endian scalars written/read through memcpy: the encoding
+// is independent of host endianness and alignment, and doubles round-trip
+// bit-exactly (the protocol tests rely on that). WireReader is
+// bounds-checked: every accessor reports failure instead of reading past
+// the payload, so truncated or hostile frames decode to an error, never
+// to undefined behavior.
+#ifndef TOPRR_SERVE_WIRE_H_
+#define TOPRR_SERVE_WIRE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "geom/vec.h"
+
+namespace toprr {
+namespace serve {
+
+/// Appends fixed-width little-endian fields to a growing byte string.
+class WireWriter {
+ public:
+  explicit WireWriter(std::string* out) : out_(out) {}
+
+  void U8(uint8_t v) { out_->push_back(static_cast<char>(v)); }
+
+  void U32(uint32_t v) { AppendLittleEndian(&v, sizeof(v)); }
+
+  void U64(uint64_t v) { AppendLittleEndian(&v, sizeof(v)); }
+
+  void I32(int32_t v) { U32(static_cast<uint32_t>(v)); }
+
+  void F64(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    U64(bits);
+  }
+
+  void VecField(const Vec& v) {
+    U32(static_cast<uint32_t>(v.dim()));
+    for (size_t i = 0; i < v.dim(); ++i) F64(v[i]);
+  }
+
+ private:
+  void AppendLittleEndian(const void* value, size_t size) {
+    unsigned char bytes[8];
+    std::memcpy(bytes, value, size);
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+    for (size_t i = 0; i < size / 2; ++i) {
+      std::swap(bytes[i], bytes[size - 1 - i]);
+    }
+#endif
+    out_->append(reinterpret_cast<const char*>(bytes), size);
+  }
+
+  std::string* out_;
+};
+
+/// Reads fixed-width little-endian fields with bounds checking. After any
+/// failed read, ok() is false and every further read fails; decode
+/// routines can therefore check ok() once per message instead of per
+/// field.
+class WireReader {
+ public:
+  WireReader(const char* data, size_t size) : data_(data), size_(size) {}
+  explicit WireReader(const std::string& payload)
+      : WireReader(payload.data(), payload.size()) {}
+
+  bool ok() const { return ok_; }
+  size_t remaining() const { return size_ - pos_; }
+
+  bool U8(uint8_t* v) {
+    if (!Ensure(1)) return false;
+    *v = static_cast<uint8_t>(data_[pos_++]);
+    return true;
+  }
+
+  bool U32(uint32_t* v) { return ReadLittleEndian(v, sizeof(*v)); }
+
+  bool U64(uint64_t* v) { return ReadLittleEndian(v, sizeof(*v)); }
+
+  bool I32(int32_t* v) {
+    uint32_t bits;
+    if (!U32(&bits)) return false;
+    *v = static_cast<int32_t>(bits);
+    return true;
+  }
+
+  bool F64(double* v) {
+    uint64_t bits;
+    if (!U64(&bits)) return false;
+    std::memcpy(v, &bits, sizeof(*v));
+    return true;
+  }
+
+  /// Reads a count-prefixed Vec. The dimension is validated against the
+  /// remaining bytes before allocating, so a hostile count cannot force a
+  /// huge allocation from a tiny frame.
+  bool VecField(Vec* v) {
+    uint32_t dim;
+    if (!U32(&dim)) return false;
+    if (remaining() < static_cast<size_t>(dim) * sizeof(double)) {
+      return Fail();
+    }
+    Vec out(dim);
+    for (uint32_t i = 0; i < dim; ++i) {
+      if (!F64(&out[i])) return false;
+    }
+    *v = std::move(out);
+    return true;
+  }
+
+  /// Validates that a decoded element count is plausible for the bytes
+  /// left: each element needs at least `min_bytes_each`. Rejecting here
+  /// keeps reserve()/resize() calls on decoded counts allocation-safe.
+  bool CheckCount(uint64_t count, size_t min_bytes_each) {
+    if (min_bytes_each == 0) min_bytes_each = 1;
+    if (count > remaining() / min_bytes_each) return Fail();
+    return true;
+  }
+
+ private:
+  bool Ensure(size_t bytes) {
+    if (!ok_ || size_ - pos_ < bytes) return Fail();
+    return true;
+  }
+
+  bool Fail() {
+    ok_ = false;
+    return false;
+  }
+
+  bool ReadLittleEndian(void* value, size_t size) {
+    if (!Ensure(size)) return false;
+    unsigned char bytes[8];
+    std::memcpy(bytes, data_ + pos_, size);
+    pos_ += size;
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+    for (size_t i = 0; i < size / 2; ++i) {
+      std::swap(bytes[i], bytes[size - 1 - i]);
+    }
+#endif
+    std::memcpy(value, bytes, size);
+    return true;
+  }
+
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace serve
+}  // namespace toprr
+
+#endif  // TOPRR_SERVE_WIRE_H_

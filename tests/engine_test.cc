@@ -212,6 +212,62 @@ TEST(EngineTest, ConcurrentSolvesShareTheCache) {
   EXPECT_EQ(engine.KSkyband(6), SortBasedKSkyband(ds, 6));
 }
 
+TEST(EngineTest, CancelFlagAbortsBothExecutors) {
+  // A pre-set cancel flag must abort the solve at the scheduler's first
+  // per-region poll, on the sequential and the work-stealing executor
+  // alike, with both timed_out and cancelled set.
+  const Dataset ds = GenerateSynthetic(2000, 3, Distribution::kIndependent,
+                                       60);
+  Rng rng(61);
+  const PrefBox box = RandomPrefBox(2, 0.05, rng);
+  std::atomic<bool> cancel{true};
+  for (int threads : {1, 4}) {
+    SCOPED_TRACE(threads);
+    ToprrOptions options;
+    options.num_threads = threads;
+    options.cancel = &cancel;
+    const ToprrResult result = SolveToprr(ds, 10, box, options);
+    EXPECT_TRUE(result.timed_out);
+    EXPECT_TRUE(result.cancelled);
+  }
+  // Budget expiry without cancellation keeps the two flags distinct.
+  ToprrOptions budget_only;
+  budget_only.time_budget_seconds = 1e-9;
+  const ToprrResult budget = SolveToprr(ds, 10, box, budget_only);
+  EXPECT_TRUE(budget.timed_out);
+  EXPECT_FALSE(budget.cancelled);
+}
+
+TEST(EngineTest, SolveBatchCancelResolvesEveryQuery) {
+  // With the batch-level cancel flag already set, SolveBatch must still
+  // return one explicit cancelled result per query -- never hang and
+  // never leave slots untouched.
+  const Dataset ds = GenerateSynthetic(800, 3, Distribution::kIndependent,
+                                       62);
+  ToprrEngine engine(&ds);
+  Rng rng(63);
+  std::vector<ToprrQuery> queries;
+  for (int i = 0; i < 8; ++i) {
+    queries.push_back(ToprrQuery::FromBox(4, RandomPrefBox(2, 0.03, rng)));
+  }
+  std::atomic<bool> cancel{true};
+  const std::vector<ToprrResult> results =
+      engine.SolveBatch(queries, 3, &cancel);
+  ASSERT_EQ(results.size(), queries.size());
+  for (const ToprrResult& result : results) {
+    EXPECT_TRUE(result.timed_out);
+    EXPECT_TRUE(result.cancelled);
+  }
+  // The same batch solves normally once the flag is clear.
+  cancel.store(false);
+  const std::vector<ToprrResult> solved =
+      engine.SolveBatch(queries, 3, &cancel);
+  for (const ToprrResult& result : solved) {
+    EXPECT_FALSE(result.timed_out);
+    EXPECT_FALSE(result.cancelled);
+  }
+}
+
 TEST(EngineTest, InvalidateCacheRecomputes) {
   const Dataset ds = GenerateSynthetic(500, 3, Distribution::kIndependent,
                                        48);

@@ -1,0 +1,191 @@
+// Framing-layer robustness tests (serve/framing.h): short reads, short
+// writes, EINTR injection, clean vs mid-frame EOF, and oversized-prefix
+// rejection, all driven through a deliberately fragmenting mock stream.
+// Labeled `serve` through the CMake test glob.
+#include "serve/framing.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#include <unistd.h>
+
+namespace toprr {
+namespace serve {
+namespace {
+
+// A ByteStream over an in-memory buffer that fragments every transfer
+// and periodically fails with EINTR: reads hand out at most
+// `max_chunk` bytes, and every `eintr_period`-th call (when set) fails
+// with errno = EINTR instead of transferring. This is exactly the
+// worst-case behavior a stream socket is allowed to exhibit, so the
+// framing loops must reassemble frames through it byte by byte.
+class FragmentingStream : public ByteStream {
+ public:
+  FragmentingStream(std::string input, size_t max_chunk,
+                    int eintr_period = 0)
+      : input_(std::move(input)),
+        max_chunk_(max_chunk),
+        eintr_period_(eintr_period) {}
+
+  ssize_t ReadSome(void* buffer, size_t length) override {
+    if (MaybeInterrupt()) return -1;
+    if (read_pos_ >= input_.size()) return 0;  // EOF
+    const size_t n =
+        std::min({length, max_chunk_, input_.size() - read_pos_});
+    std::memcpy(buffer, input_.data() + read_pos_, n);
+    read_pos_ += n;
+    return static_cast<ssize_t>(n);
+  }
+
+  ssize_t WriteSome(const void* buffer, size_t length) override {
+    if (MaybeInterrupt()) return -1;
+    const size_t n = std::min(length, max_chunk_);
+    output_.append(static_cast<const char*>(buffer), n);
+    return static_cast<ssize_t>(n);
+  }
+
+  const std::string& output() const { return output_; }
+  int calls() const { return calls_; }
+
+ private:
+  bool MaybeInterrupt() {
+    ++calls_;
+    if (eintr_period_ > 0 && calls_ % eintr_period_ == 0) {
+      errno = EINTR;
+      return true;
+    }
+    return false;
+  }
+
+  std::string input_;
+  std::string output_;
+  size_t read_pos_ = 0;
+  size_t max_chunk_;
+  int eintr_period_;
+  int calls_ = 0;
+};
+
+// Length-prefixes `payload` the way WriteFrame does.
+std::string Framed(const std::string& payload) {
+  std::string framed;
+  const uint32_t length = static_cast<uint32_t>(payload.size());
+  for (int shift = 0; shift < 32; shift += 8) {
+    framed.push_back(static_cast<char>((length >> shift) & 0xff));
+  }
+  return framed + payload;
+}
+
+TEST(ServeFramingTest, WriteThenReadThroughOneBytePipes) {
+  const std::string payload = "the quick brown fox";
+  FragmentingStream writer("", /*max_chunk=*/1);
+  ASSERT_TRUE(WriteFrame(writer, payload));
+  EXPECT_EQ(writer.output(), Framed(payload));
+
+  FragmentingStream reader(writer.output(), /*max_chunk=*/1);
+  std::string decoded;
+  EXPECT_EQ(ReadFrame(reader, &decoded), FrameReadStatus::kOk);
+  EXPECT_EQ(decoded, payload);
+  // One byte per call: the loops really did iterate per byte.
+  EXPECT_GE(reader.calls(), static_cast<int>(payload.size() + 4));
+}
+
+TEST(ServeFramingTest, SurvivesEintrStorms) {
+  const std::string payload(1000, 'x');
+  // Every 3rd call fails with EINTR, on both sides.
+  FragmentingStream writer("", /*max_chunk=*/7, /*eintr_period=*/3);
+  ASSERT_TRUE(WriteFrame(writer, payload));
+  FragmentingStream reader(writer.output(), /*max_chunk=*/5,
+                           /*eintr_period=*/3);
+  std::string decoded;
+  EXPECT_EQ(ReadFrame(reader, &decoded), FrameReadStatus::kOk);
+  EXPECT_EQ(decoded, payload);
+}
+
+TEST(ServeFramingTest, CleanCloseBetweenFramesIsEof) {
+  FragmentingStream reader("", 16);
+  std::string decoded;
+  EXPECT_EQ(ReadFrame(reader, &decoded), FrameReadStatus::kEof);
+}
+
+TEST(ServeFramingTest, CloseInsidePrefixIsTruncated) {
+  FragmentingStream reader(std::string("\x08\x00", 2), 16);
+  std::string decoded;
+  EXPECT_EQ(ReadFrame(reader, &decoded), FrameReadStatus::kTruncated);
+}
+
+TEST(ServeFramingTest, CloseInsidePayloadIsTruncated) {
+  const std::string frame = Framed("abcdefgh");
+  FragmentingStream reader(frame.substr(0, frame.size() - 3), 2);
+  std::string decoded;
+  EXPECT_EQ(ReadFrame(reader, &decoded), FrameReadStatus::kTruncated);
+  EXPECT_TRUE(decoded.empty());
+}
+
+TEST(ServeFramingTest, OversizedPrefixRejectedBeforeBuffering) {
+  // Prefix claims ~4 GiB; the frame must be rejected without the reader
+  // attempting to consume (or allocate) the payload.
+  const std::string frame = Framed("only a little payload");
+  std::string huge_prefix = frame;
+  huge_prefix[3] = static_cast<char>(0xff);
+  FragmentingStream reader(huge_prefix, 64);
+  std::string decoded;
+  EXPECT_EQ(ReadFrame(reader, &decoded, /*max_payload=*/1 << 20),
+            FrameReadStatus::kOversized);
+  EXPECT_TRUE(decoded.empty());
+}
+
+TEST(ServeFramingTest, MaxPayloadBoundaryIsExact) {
+  const std::string payload(64, 'p');
+  const std::string frame = Framed(payload);
+  {
+    FragmentingStream reader(frame, 64);
+    std::string decoded;
+    EXPECT_EQ(ReadFrame(reader, &decoded, /*max_payload=*/64),
+              FrameReadStatus::kOk);
+  }
+  {
+    FragmentingStream reader(frame, 64);
+    std::string decoded;
+    EXPECT_EQ(ReadFrame(reader, &decoded, /*max_payload=*/63),
+              FrameReadStatus::kOversized);
+  }
+}
+
+TEST(ServeFramingTest, BackToBackFramesStaySynced) {
+  FragmentingStream writer("", 3);
+  ASSERT_TRUE(WriteFrame(writer, "first"));
+  ASSERT_TRUE(WriteFrame(writer, ""));
+  ASSERT_TRUE(WriteFrame(writer, "third"));
+  FragmentingStream reader(writer.output(), 2, /*eintr_period=*/4);
+  std::string decoded;
+  ASSERT_EQ(ReadFrame(reader, &decoded), FrameReadStatus::kOk);
+  EXPECT_EQ(decoded, "first");
+  ASSERT_EQ(ReadFrame(reader, &decoded), FrameReadStatus::kOk);
+  EXPECT_EQ(decoded, "");
+  ASSERT_EQ(ReadFrame(reader, &decoded), FrameReadStatus::kOk);
+  EXPECT_EQ(decoded, "third");
+  EXPECT_EQ(ReadFrame(reader, &decoded), FrameReadStatus::kEof);
+}
+
+TEST(ServeFramingTest, FdStreamRoundTripsOverAPipe) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  FdStream writer(fds[1]);
+  FdStream reader(fds[0]);
+  const std::string payload = "pipe payload";
+  ASSERT_TRUE(WriteFrame(writer, payload));
+  ::close(fds[1]);
+  std::string decoded;
+  EXPECT_EQ(ReadFrame(reader, &decoded), FrameReadStatus::kOk);
+  EXPECT_EQ(decoded, payload);
+  EXPECT_EQ(ReadFrame(reader, &decoded), FrameReadStatus::kEof);
+  ::close(fds[0]);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace toprr

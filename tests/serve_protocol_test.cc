@@ -1,0 +1,240 @@
+// Round-trip and rejection tests of the serving wire protocol
+// (serve/protocol.h). Labeled `serve` through the CMake test glob.
+#include "serve/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "pref/pref_space.h"
+#include "pref/region.h"
+
+namespace toprr {
+namespace serve {
+namespace {
+
+PrefBox Box(std::initializer_list<double> lo,
+            std::initializer_list<double> hi) {
+  PrefBox box;
+  box.lo = Vec(lo);
+  box.hi = Vec(hi);
+  return box;
+}
+
+void ExpectSameVec(const Vec& a, const Vec& b) {
+  ASSERT_EQ(a.dim(), b.dim());
+  for (size_t i = 0; i < a.dim(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+void ExpectSameRegion(const PrefRegion& a, const PrefRegion& b) {
+  ASSERT_EQ(a.vertices().size(), b.vertices().size());
+  for (size_t i = 0; i < a.vertices().size(); ++i) {
+    ExpectSameVec(a.vertices()[i], b.vertices()[i]);
+  }
+  ASSERT_EQ(a.facets().size(), b.facets().size());
+  for (size_t i = 0; i < a.facets().size(); ++i) {
+    ExpectSameVec(a.facets()[i].halfspace.normal,
+                  b.facets()[i].halfspace.normal);
+    EXPECT_EQ(a.facets()[i].halfspace.offset, b.facets()[i].halfspace.offset);
+    EXPECT_EQ(a.facets()[i].vertex_ids, b.facets()[i].vertex_ids);
+  }
+}
+
+void ExpectSameQuery(const ToprrQuery& a, const ToprrQuery& b) {
+  EXPECT_EQ(a.k, b.k);
+  EXPECT_EQ(a.options.method, b.options.method);
+  EXPECT_EQ(a.options.use_lemma5, b.options.use_lemma5);
+  EXPECT_EQ(a.options.use_lemma7, b.options.use_lemma7);
+  EXPECT_EQ(a.options.use_kswitch, b.options.use_kswitch);
+  EXPECT_EQ(a.options.use_rskyband_filter, b.options.use_rskyband_filter);
+  EXPECT_EQ(a.options.build_geometry, b.options.build_geometry);
+  EXPECT_EQ(a.options.collect_scheduler_stats,
+            b.options.collect_scheduler_stats);
+  EXPECT_EQ(a.options.eps, b.options.eps);
+  EXPECT_EQ(a.options.time_budget_seconds, b.options.time_budget_seconds);
+  EXPECT_EQ(a.options.max_regions, b.options.max_regions);
+  EXPECT_EQ(a.options.geometry_dim_limit, b.options.geometry_dim_limit);
+  EXPECT_EQ(a.options.geometry_halfspace_limit,
+            b.options.geometry_halfspace_limit);
+  EXPECT_EQ(a.options.num_threads, b.options.num_threads);
+  ExpectSameRegion(a.region, b.region);
+}
+
+TEST(ServeProtocolTest, QueryBatchRoundTrip) {
+  std::vector<ToprrQuery> queries;
+  {
+    ToprrOptions options;
+    options.method = ToprrMethod::kTas;
+    options.use_lemma5 = false;
+    options.eps = 3.25e-11;  // exactly representable, must survive
+    options.time_budget_seconds = 1.5;
+    options.max_regions = 123456789;
+    options.num_threads = 4;
+    queries.push_back(
+        ToprrQuery::FromBox(7, Box({0.1, 0.2}, {0.15, 0.3}), options));
+  }
+  {
+    ToprrOptions options;
+    options.build_geometry = false;
+    options.collect_scheduler_stats = false;
+    queries.push_back(
+        ToprrQuery::FromBox(1, Box({0.3, 0.05, 0.1}, {0.35, 0.1, 0.2}),
+                            options));
+  }
+
+  const std::string payload = EncodeQueryBatch(queries);
+  std::vector<ToprrQuery> decoded;
+  std::string error;
+  ASSERT_TRUE(DecodeQueryBatch(payload, &decoded, &error)) << error;
+  ASSERT_EQ(decoded.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    SCOPED_TRACE(i);
+    ExpectSameQuery(queries[i], decoded[i]);
+  }
+}
+
+TEST(ServeProtocolTest, RandomQueriesSurviveManyRoundTrips) {
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    ToprrOptions options;
+    options.eps = rng.Uniform() * 1e-9;
+    options.time_budget_seconds = rng.Uniform() * 10;
+    std::vector<ToprrQuery> queries{ToprrQuery::FromBox(
+        1 + static_cast<int>(rng.Uniform() * 40),
+        RandomPrefBox(2 + trial % 3, 0.02, rng), options)};
+    std::string error;
+    std::vector<ToprrQuery> decoded;
+    ASSERT_TRUE(DecodeQueryBatch(EncodeQueryBatch(queries), &decoded, &error))
+        << error;
+    ASSERT_EQ(decoded.size(), 1u);
+    SCOPED_TRACE(trial);
+    ExpectSameQuery(queries[0], decoded[0]);
+  }
+}
+
+TEST(ServeProtocolTest, ResponseBatchRoundTrip) {
+  std::vector<ServeResponse> responses(3);
+  responses[0].status = ServeStatus::kOk;
+  responses[0].degenerate = true;
+  responses[0].impact_halfspaces.push_back(
+      Halfspace(Vec{0.5, -0.25, 0.125}, -0.75));
+  responses[0].vertices.push_back(Vec{0.1, 0.9, 0.3});
+  responses[0].stats.total_seconds = 0.125;
+  responses[0].stats.candidates_after_filter = 42;
+  responses[0].stats.regions_tested = 99;
+  responses[0].stats.vall_unique = 17;
+  responses[0].stats.tasks_executed = 99;
+  responses[0].stats.tasks_stolen = 12;
+  responses[0].stats.steal_failures = 3;
+  responses[1].status = ServeStatus::kRejectedOverload;
+  responses[2].status = ServeStatus::kBudgetExceeded;
+  responses[2].stats.regions_tested = 1000;
+
+  const std::string payload = EncodeResponseBatch(responses);
+  std::vector<ServeResponse> decoded;
+  std::string error;
+  ASSERT_TRUE(DecodeResponseBatch(payload, &decoded, &error)) << error;
+  ASSERT_EQ(decoded.size(), responses.size());
+  for (size_t i = 0; i < responses.size(); ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_EQ(decoded[i].status, responses[i].status);
+    EXPECT_EQ(decoded[i].degenerate, responses[i].degenerate);
+    EXPECT_EQ(decoded[i].geometry_skipped, responses[i].geometry_skipped);
+    ASSERT_EQ(decoded[i].impact_halfspaces.size(),
+              responses[i].impact_halfspaces.size());
+    for (size_t h = 0; h < responses[i].impact_halfspaces.size(); ++h) {
+      ExpectSameVec(decoded[i].impact_halfspaces[h].normal,
+                    responses[i].impact_halfspaces[h].normal);
+      EXPECT_EQ(decoded[i].impact_halfspaces[h].offset,
+                responses[i].impact_halfspaces[h].offset);
+    }
+    ASSERT_EQ(decoded[i].vertices.size(), responses[i].vertices.size());
+    EXPECT_EQ(decoded[i].stats.total_seconds,
+              responses[i].stats.total_seconds);
+    EXPECT_EQ(decoded[i].stats.candidates_after_filter,
+              responses[i].stats.candidates_after_filter);
+    EXPECT_EQ(decoded[i].stats.regions_tested,
+              responses[i].stats.regions_tested);
+    EXPECT_EQ(decoded[i].stats.vall_unique, responses[i].stats.vall_unique);
+    EXPECT_EQ(decoded[i].stats.tasks_executed,
+              responses[i].stats.tasks_executed);
+    EXPECT_EQ(decoded[i].stats.tasks_stolen, responses[i].stats.tasks_stolen);
+    EXPECT_EQ(decoded[i].stats.steal_failures,
+              responses[i].stats.steal_failures);
+  }
+}
+
+TEST(ServeProtocolTest, RejectsTruncatedPayloads) {
+  const std::vector<ToprrQuery> queries{
+      ToprrQuery::FromBox(3, Box({0.1, 0.1}, {0.2, 0.2}))};
+  const std::string payload = EncodeQueryBatch(queries);
+  // Every proper prefix must decode to an error, never crash or succeed.
+  std::vector<ToprrQuery> decoded;
+  std::string error;
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    EXPECT_FALSE(
+        DecodeQueryBatch(payload.substr(0, cut), &decoded, &error))
+        << "prefix of " << cut << " bytes decoded";
+    EXPECT_TRUE(decoded.empty());
+  }
+}
+
+TEST(ServeProtocolTest, RejectsBadMagicVersionAndType) {
+  const std::vector<ToprrQuery> queries{
+      ToprrQuery::FromBox(3, Box({0.1, 0.1}, {0.2, 0.2}))};
+  std::string payload = EncodeQueryBatch(queries);
+  std::vector<ToprrQuery> decoded;
+  std::string error;
+
+  std::string bad_magic = payload;
+  bad_magic[0] = 'X';
+  EXPECT_FALSE(DecodeQueryBatch(bad_magic, &decoded, &error));
+  EXPECT_NE(error.find("magic"), std::string::npos);
+
+  std::string bad_version = payload;
+  bad_version[4] = 99;
+  EXPECT_FALSE(DecodeQueryBatch(bad_version, &decoded, &error));
+  EXPECT_NE(error.find("version"), std::string::npos);
+
+  // A response payload fed to the query decoder (and vice versa).
+  const std::string response_payload = EncodeResponseBatch({});
+  EXPECT_FALSE(DecodeQueryBatch(response_payload, &decoded, &error));
+  std::vector<ServeResponse> responses;
+  EXPECT_FALSE(DecodeResponseBatch(payload, &responses, &error));
+}
+
+TEST(ServeProtocolTest, RejectsAbsurdElementCounts) {
+  // Header + a count far beyond what the remaining bytes could hold:
+  // the decoder must reject before allocating.
+  std::string payload = EncodeQueryBatch({});
+  // Patch the count field (last 4 bytes of the empty-batch payload).
+  payload[payload.size() - 1] = static_cast<char>(0x7f);
+  payload[payload.size() - 2] = static_cast<char>(0xff);
+  payload[payload.size() - 3] = static_cast<char>(0xff);
+  payload[payload.size() - 4] = static_cast<char>(0xff);
+  std::vector<ToprrQuery> decoded;
+  std::string error;
+  EXPECT_FALSE(DecodeQueryBatch(payload, &decoded, &error));
+}
+
+TEST(ServeProtocolTest, RejectsTrailingGarbage) {
+  const std::vector<ToprrQuery> queries{
+      ToprrQuery::FromBox(3, Box({0.1, 0.1}, {0.2, 0.2}))};
+  std::string payload = EncodeQueryBatch(queries);
+  payload += "extra";
+  std::vector<ToprrQuery> decoded;
+  std::string error;
+  EXPECT_FALSE(DecodeQueryBatch(payload, &decoded, &error));
+  EXPECT_NE(error.find("trailing"), std::string::npos);
+}
+
+TEST(ServeProtocolTest, StatusNamesAreStable) {
+  EXPECT_STREQ(ServeStatusName(ServeStatus::kOk), "OK");
+  EXPECT_STREQ(ServeStatusName(ServeStatus::kRejectedOverload),
+               "REJECTED_OVERLOAD");
+  EXPECT_STREQ(ServeStatusName(ServeStatus::kBudgetExceeded),
+               "BUDGET_EXCEEDED");
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace toprr

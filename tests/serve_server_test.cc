@@ -1,0 +1,305 @@
+// End-to-end tests of the serving front-end (serve/server.h +
+// serve/client.h) over real loopback sockets: correctness against the
+// engine, explicit admission-control rejections, per-query budget
+// expiry, malformed-request handling, and prompt cancellation on
+// shutdown. Labeled `serve` through the CMake test glob.
+#include "serve/server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/rng.h"
+#include "data/generator.h"
+#include "serve/client.h"
+#include "serve/framing.h"
+
+namespace toprr {
+namespace serve {
+namespace {
+
+PrefBox Box(std::initializer_list<double> lo,
+            std::initializer_list<double> hi) {
+  PrefBox box;
+  box.lo = Vec(lo);
+  box.hi = Vec(hi);
+  return box;
+}
+
+// Starts a server on an ephemeral loopback port; fails the test on error.
+std::unique_ptr<ToprrServer> StartServer(const Dataset& data,
+                                         ServerConfig config) {
+  config.host = "127.0.0.1";
+  config.port = 0;
+  auto server = std::make_unique<ToprrServer>(&data, config);
+  std::string error;
+  EXPECT_TRUE(server->Start(&error)) << error;
+  return server;
+}
+
+TEST(ServeServerTest, ServedResultsMatchTheEngine) {
+  const Dataset data =
+      GenerateSynthetic(2000, 3, Distribution::kIndependent, 42);
+  auto server = StartServer(data, ServerConfig{});
+
+  Rng rng(43);
+  std::vector<ToprrQuery> queries;
+  for (int i = 0; i < 5; ++i) {
+    queries.push_back(
+        ToprrQuery::FromBox(2 + i, RandomPrefBox(2, 0.03, rng)));
+  }
+  ToprrClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server->port()))
+      << client.last_error();
+  auto responses = client.SolveBatch(queries);
+  ASSERT_TRUE(responses.has_value()) << client.last_error();
+  ASSERT_EQ(responses->size(), queries.size());
+
+  ToprrEngine reference(&data);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    SCOPED_TRACE(i);
+    const ServeResponse& response = (*responses)[i];
+    ASSERT_EQ(response.status, ServeStatus::kOk);
+    const ToprrResult expected = reference.Solve(queries[i]);
+    ASSERT_EQ(response.impact_halfspaces.size(),
+              expected.impact_halfspaces.size());
+    for (size_t h = 0; h < expected.impact_halfspaces.size(); ++h) {
+      EXPECT_EQ(response.impact_halfspaces[h].offset,
+                expected.impact_halfspaces[h].offset);
+    }
+    EXPECT_EQ(response.stats.vall_unique, expected.stats.vall_unique);
+    EXPECT_EQ(response.stats.regions_tested, expected.stats.regions_tested);
+    // Scheduler telemetry flows back over the wire.
+    EXPECT_EQ(response.stats.tasks_executed,
+              expected.stats.scheduler.TotalExecuted());
+  }
+  const ServerStatsSnapshot stats = server->stats().Snapshot();
+  EXPECT_EQ(stats.queries_completed, queries.size());
+  EXPECT_EQ(stats.protocol_errors, 0u);
+}
+
+TEST(ServeServerTest, OverloadedBatchGetsExplicitRejection) {
+  const Dataset data =
+      GenerateSynthetic(500, 3, Distribution::kIndependent, 44);
+  ServerConfig config;
+  config.max_inflight_queries = 2;
+  auto server = StartServer(data, config);
+
+  // 5 queries against an in-flight bound of 2: the batch must be
+  // rejected as a whole, immediately and explicitly -- not parked.
+  Rng rng(45);
+  std::vector<ToprrQuery> queries;
+  for (int i = 0; i < 5; ++i) {
+    queries.push_back(ToprrQuery::FromBox(3, RandomPrefBox(2, 0.02, rng)));
+  }
+  ToprrClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server->port()));
+  auto responses = client.SolveBatch(queries);
+  ASSERT_TRUE(responses.has_value()) << client.last_error();
+  ASSERT_EQ(responses->size(), queries.size());
+  for (const ServeResponse& response : *responses) {
+    EXPECT_EQ(response.status, ServeStatus::kRejectedOverload);
+  }
+  EXPECT_EQ(server->stats().Snapshot().queries_rejected_overload, 5u);
+
+  // A batch that fits is admitted on the same connection afterwards.
+  auto small = client.SolveBatch(
+      {ToprrQuery::FromBox(3, RandomPrefBox(2, 0.02, rng))});
+  ASSERT_TRUE(small.has_value()) << client.last_error();
+  EXPECT_EQ((*small)[0].status, ServeStatus::kOk);
+}
+
+TEST(ServeServerTest, BudgetExpiryReturnsBudgetExceeded) {
+  // An effectively-zero budget expires at the scheduler's first
+  // per-region check, so the response must be kBudgetExceeded no matter
+  // how fast the machine is.
+  const Dataset data =
+      GenerateSynthetic(3000, 4, Distribution::kAnticorrelated, 46);
+  auto server = StartServer(data, ServerConfig{});
+
+  ToprrOptions options;
+  options.time_budget_seconds = 1e-9;
+  ToprrQuery query = ToprrQuery::FromBox(
+      10, Box({0.1, 0.1, 0.1}, {0.2, 0.2, 0.2}), options);
+  ToprrClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server->port()));
+  auto responses = client.SolveBatch({query});
+  ASSERT_TRUE(responses.has_value()) << client.last_error();
+  ASSERT_EQ(responses->size(), 1u);
+  EXPECT_EQ((*responses)[0].status, ServeStatus::kBudgetExceeded);
+  EXPECT_TRUE((*responses)[0].impact_halfspaces.empty());
+  EXPECT_EQ(server->stats().Snapshot().queries_budget_exceeded, 1u);
+}
+
+TEST(ServeServerTest, ServerClampsRunawayBudgets) {
+  const Dataset data =
+      GenerateSynthetic(400, 3, Distribution::kIndependent, 47);
+  ServerConfig config;
+  config.max_query_budget_seconds = 1e-9;  // everything expires
+  auto server = StartServer(data, config);
+
+  // The query asks for an unlimited budget; the server must clamp it.
+  ToprrQuery query = ToprrQuery::FromBox(3, Box({0.2, 0.2}, {0.3, 0.3}));
+  ASSERT_EQ(query.options.time_budget_seconds, 0.0);
+  ToprrClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server->port()));
+  auto responses = client.SolveBatch({query});
+  ASSERT_TRUE(responses.has_value()) << client.last_error();
+  EXPECT_EQ((*responses)[0].status, ServeStatus::kBudgetExceeded);
+}
+
+TEST(ServeServerTest, UnsolvableQueriesAnswerMalformed) {
+  const Dataset data =
+      GenerateSynthetic(300, 3, Distribution::kIndependent, 48);
+  auto server = StartServer(data, ServerConfig{});
+  ToprrClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server->port()));
+
+  // k beyond the dataset, k = 0, and a dimension mismatch: each must be
+  // answered (kMalformed), while the valid query in the same batch is
+  // solved -- a poisoned batch does not take the good queries down.
+  std::vector<ToprrQuery> queries;
+  queries.push_back(ToprrQuery::FromBox(1000000, Box({0.1, 0.1},
+                                                     {0.2, 0.2})));
+  queries.push_back(ToprrQuery::FromBox(0, Box({0.1, 0.1}, {0.2, 0.2})));
+  queries.push_back(
+      ToprrQuery::FromBox(3, Box({0.1, 0.1, 0.1}, {0.2, 0.2, 0.2})));
+  queries.push_back(ToprrQuery::FromBox(3, Box({0.1, 0.1}, {0.2, 0.2})));
+  auto responses = client.SolveBatch(queries);
+  ASSERT_TRUE(responses.has_value()) << client.last_error();
+  ASSERT_EQ(responses->size(), 4u);
+  EXPECT_EQ((*responses)[0].status, ServeStatus::kMalformed);
+  EXPECT_EQ((*responses)[1].status, ServeStatus::kMalformed);
+  EXPECT_EQ((*responses)[2].status, ServeStatus::kMalformed);
+  EXPECT_EQ((*responses)[3].status, ServeStatus::kOk);
+}
+
+TEST(ServeServerTest, UndecodableFrameGetsMalformedMarkerAndSyncHolds) {
+  const Dataset data =
+      GenerateSynthetic(300, 3, Distribution::kIndependent, 49);
+  auto server = StartServer(data, ServerConfig{});
+
+  ToprrClient good;
+  ASSERT_TRUE(good.Connect("127.0.0.1", server->port()));
+
+  // The library client cannot send garbage, so drive the framing
+  // primitives over a hand-made socket: a syntactically valid frame
+  // whose payload is protocol garbage must get an explicit
+  // kMalformed-marker reply, and the connection must stay in sync.
+  {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(server->port()));
+    ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                        sizeof(addr)),
+              0);
+    FdStream stream(fd);
+    ASSERT_TRUE(WriteFrame(stream, "this is not a toprr payload"));
+    std::string reply;
+    ASSERT_EQ(ReadFrame(stream, &reply), FrameReadStatus::kOk);
+    std::vector<ServeResponse> responses;
+    std::string error;
+    ASSERT_TRUE(DecodeResponseBatch(reply, &responses, &error)) << error;
+    ASSERT_EQ(responses.size(), 1u);
+    EXPECT_EQ(responses[0].status, ServeStatus::kMalformed);
+    ::close(fd);
+  }
+  EXPECT_GE(server->stats().Snapshot().protocol_errors, 1u);
+
+  // The server keeps serving well-formed clients.
+  auto ok = good.SolveBatch(
+      {ToprrQuery::FromBox(3, Box({0.1, 0.1}, {0.2, 0.2}))});
+  ASSERT_TRUE(ok.has_value()) << good.last_error();
+  EXPECT_EQ((*ok)[0].status, ServeStatus::kOk);
+}
+
+TEST(ServeServerTest, StopCancelsInFlightWork) {
+  // A huge anticorrelated instance with an unlimited budget would run
+  // for a very long time; Stop() must cut it loose via the cancel
+  // plumbing and return promptly.
+  const Dataset data =
+      GenerateSynthetic(20000, 4, Distribution::kAnticorrelated, 50);
+  ServerConfig config;
+  config.max_query_budget_seconds = 0.0;  // no clamp: rely on cancel
+  auto server = StartServer(data, config);
+
+  ToprrClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server->port()));
+  std::thread rpc([&client] {
+    // The reply may be a kShutdown response or a dropped connection,
+    // depending on timing; both are acceptable shutdown behavior.
+    client.SolveBatch({ToprrQuery::FromBox(
+        10, Box({0.05, 0.05, 0.05}, {0.45, 0.45, 0.45}))});
+  });
+  // Give the query time to reach the solver.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  server->Stop();
+  rpc.join();
+  SUCCEED();  // reaching here promptly IS the assertion (test timeout)
+}
+
+TEST(ServeServerTest, ClientSurvivesServerGoingAway) {
+  const Dataset data =
+      GenerateSynthetic(300, 3, Distribution::kIndependent, 51);
+  auto server = StartServer(data, ServerConfig{});
+  ToprrClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server->port()));
+  auto first = client.SolveBatch(
+      {ToprrQuery::FromBox(3, Box({0.1, 0.1}, {0.2, 0.2}))});
+  ASSERT_TRUE(first.has_value());
+  server->Stop();
+  // The next RPC must fail cleanly (error string, no hang, no crash).
+  auto second = client.SolveBatch(
+      {ToprrQuery::FromBox(3, Box({0.1, 0.1}, {0.2, 0.2}))});
+  EXPECT_FALSE(second.has_value());
+  EXPECT_FALSE(client.last_error().empty());
+}
+
+TEST(ServeServerTest, ConcurrentConnectionsAllComplete) {
+  const Dataset data =
+      GenerateSynthetic(1500, 3, Distribution::kIndependent, 52);
+  ServerConfig config;
+  config.max_inflight_queries = 256;
+  auto server = StartServer(data, config);
+
+  constexpr int kClients = 4;
+  constexpr int kRpcsPerClient = 3;
+  std::atomic<int> completed{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      ToprrClient client;
+      if (!client.Connect("127.0.0.1", server->port())) return;
+      Rng rng(100 + c);
+      for (int r = 0; r < kRpcsPerClient; ++r) {
+        auto responses = client.SolveBatch(
+            {ToprrQuery::FromBox(4, RandomPrefBox(2, 0.02, rng))});
+        if (responses.has_value() &&
+            (*responses)[0].status == ServeStatus::kOk) {
+          completed.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(completed.load(), kClients * kRpcsPerClient);
+  EXPECT_EQ(server->stats().Snapshot().connections_accepted,
+            static_cast<uint64_t>(kClients));
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace toprr
