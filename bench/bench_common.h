@@ -104,6 +104,10 @@ struct SweepPoint {
   double avg_tasks_executed = 0.0;
   double avg_tasks_stolen = 0.0;
   double avg_steal_failures = 0.0;
+  // Scoring-kernel telemetry averages (topk/score_kernel.h).
+  double avg_candidates_scored = 0.0;
+  double avg_gather_bytes = 0.0;
+  double avg_reuse_hits = 0.0;
   int dnf = 0;  // queries that exceeded the budget
 };
 
@@ -142,6 +146,12 @@ inline SweepPoint RunSweepPoint(const Dataset& data, int k, double sigma,
         static_cast<double>(result.stats.scheduler.TotalStolen());
     point.avg_steal_failures +=
         static_cast<double>(result.stats.scheduler.TotalStealFailures());
+    point.avg_candidates_scored +=
+        static_cast<double>(result.stats.scheduler.TotalCandidatesScored());
+    point.avg_gather_bytes +=
+        static_cast<double>(result.stats.scheduler.TotalGatherBytes());
+    point.avg_reuse_hits +=
+        static_cast<double>(result.stats.scheduler.TotalReuseHits());
   }
   if (completed > 0) {
     point.avg_seconds /= completed;
@@ -151,6 +161,9 @@ inline SweepPoint RunSweepPoint(const Dataset& data, int k, double sigma,
     point.avg_tasks_executed /= completed;
     point.avg_tasks_stolen /= completed;
     point.avg_steal_failures /= completed;
+    point.avg_candidates_scored /= completed;
+    point.avg_gather_bytes /= completed;
+    point.avg_reuse_hits /= completed;
   }
   return point;
 }

@@ -57,6 +57,12 @@ void RunSchedulerPointImpl(::benchmark::State& state, const Dataset& data,
         point.avg_tasks_executed > 0.0
             ? point.avg_tasks_stolen / point.avg_tasks_executed
             : 0.0;
+    // Scoring-kernel telemetry (topk/score_kernel.h): candidate dot
+    // products evaluated, SoA gather traffic, and vertex scans the
+    // parent-to-child memoization turned into row copies.
+    state.counters["cands_scored"] = point.avg_candidates_scored;
+    state.counters["gather_bytes"] = point.avg_gather_bytes;
+    state.counters["reuse_hits"] = point.avg_reuse_hits;
     if (threads == 1 && point.avg_seconds > 0.0) {
       baseline = point.avg_seconds;
     }
@@ -79,13 +85,16 @@ void RunSchedulerPoint(::benchmark::State& state, int threads) {
 // default Fig. 9 workload (IND, sigma 1%) accepts after a few dozen
 // regions: too shallow to exercise stealing or show stable speedups. An
 // anticorrelated catalog with a wide clientele box drives the partition
-// tree to thousands of tasks (deep enough to steal, ~0.1s sequential)
-// while staying well under a second per point.
+// tree to thousands of tasks (deep enough to steal, ~0.15s sequential)
+// while staying well under a second per point. k/sigma were bumped from
+// 15/0.15 when the SoA scoring kernel landed: it roughly halved the
+// per-task cost, and the gate needs tasks heavy enough that stealing
+// overhead stays negligible on the 4-core CI runner.
 void RunSchedulerDeepPoint(::benchmark::State& state, int threads) {
   const BenchConfig& config = GlobalConfig();
   const Dataset& data = CachedSynthetic(
       40000, 3, Distribution::kAnticorrelated, config.seed);
-  RunSchedulerPointImpl(state, data, /*k=*/15, /*sigma=*/0.15, threads,
+  RunSchedulerPointImpl(state, data, /*k=*/20, /*sigma=*/0.22, threads,
                         DeepBaselineSeconds());
 }
 

@@ -1,0 +1,171 @@
+// Scored-candidates/sec of the SoA scoring kernel vs the naive per-vertex
+// scan, swept over candidates x vertices x dim.
+//
+// Each iteration models one region test: the naive series calls
+// ComputeTopKReduced once per vertex (indirect row gathers, a fresh
+// scored vector per vertex); the soa series gathers the pool into the
+// arena block once and sweeps every vertex against it (LoadBlock +
+// ScoreVertices + TopKInto), exactly as the partition phase does via
+// TestAndSplitRegion.
+//
+// The soa points carry a `speedup_vs_naive` counter against the matching
+// naive point (registered and therefore run first). CI's bench-smoke job
+// gates `score_kernel/soa/c:4096/v:16/d:4` at >= 1.3x
+// (ci/check_bench_smoke.py --kernel).
+//
+// Emit the JSON trajectory with the stock google-benchmark flags:
+//   bench_score_kernel --benchmark_format=json
+//                      --benchmark_out=score_kernel.json
+#include <map>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "topk/score_kernel.h"
+#include "topk/topk.h"
+
+namespace toprr {
+namespace bench {
+namespace {
+
+constexpr int kTopK = 10;
+
+struct KernelConfig {
+  size_t candidates;
+  size_t vertices;
+  size_t dim;
+
+  std::string Label() const {
+    return "c:" + std::to_string(candidates) + "/v:" +
+           std::to_string(vertices) + "/d:" + std::to_string(dim);
+  }
+};
+
+// The sweep; the last entry is the CI-gated large configuration.
+const KernelConfig kConfigs[] = {
+    {256, 4, 3}, {1024, 8, 3},  {1024, 8, 4},
+    {4096, 8, 4}, {4096, 16, 6}, {4096, 16, 4},
+};
+
+// Naive per-iteration seconds per config, seeded by the naive series
+// (registered first) and read by the matching soa point.
+std::map<std::string, double>& NaiveSeconds() {
+  static auto& seconds = *new std::map<std::string, double>();
+  return seconds;
+}
+
+// Deterministic region-vertex stand-ins spread over the simplex.
+std::vector<Vec> MakeVertices(size_t m, size_t count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Vec> vertices;
+  vertices.reserve(count);
+  for (size_t v = 0; v < count; ++v) {
+    Vec x(m);
+    double sum = 0.0;
+    for (size_t j = 0; j < m; ++j) {
+      x[j] = rng.Uniform();
+      sum += x[j];
+    }
+    // Scale into the simplex interior so the weights are valid.
+    const double scale = 0.9 * rng.Uniform() / (sum > 0.0 ? sum : 1.0);
+    for (size_t j = 0; j < m; ++j) x[j] *= scale;
+    vertices.push_back(std::move(x));
+  }
+  return vertices;
+}
+
+void RunPoint(::benchmark::State& state, const KernelConfig& config,
+              bool use_kernel) {
+  const BenchConfig& global = GlobalConfig();
+  // Candidate pools in the partition phase are scattered subsets of the
+  // catalog (skyband survivors), not contiguous prefixes; model that with
+  // a strided selection from a 5x larger dataset.
+  const Dataset& data =
+      CachedSynthetic(config.candidates * 5, config.dim,
+                      Distribution::kAnticorrelated, global.seed);
+  std::vector<int> ids;
+  ids.reserve(config.candidates);
+  for (size_t i = 0; i < config.candidates; ++i) {
+    ids.push_back(static_cast<int>(i * 5));
+  }
+  const std::vector<Vec> vertices =
+      MakeVertices(config.dim - 1, config.vertices, global.seed * 13 + 7);
+
+  ScoreArena arena;
+  double total_seconds = 0.0;
+  int64_t iterations = 0;
+  // A checksum consumed below keeps the optimizer honest.
+  double checksum = 0.0;
+  for (auto _ : state) {
+    Timer timer;
+    if (use_kernel) {
+      ScoreKernel kernel(arena);
+      kernel.LoadBlock(data, ids);
+      kernel.ScoreVertices(vertices, nullptr);
+      std::vector<TopkResult>& profiles = arena.Profiles(vertices.size());
+      for (size_t v = 0; v < vertices.size(); ++v) {
+        kernel.TopKInto(v, kTopK, profiles[v]);
+        checksum += profiles[v].KthScore();
+      }
+    } else {
+      for (const Vec& x : vertices) {
+        const TopkResult topk = ComputeTopKReduced(data, ids, x, kTopK);
+        checksum += topk.KthScore();
+      }
+    }
+    const double seconds = timer.Seconds();
+    total_seconds += seconds;
+    ++iterations;
+    state.SetIterationTime(seconds);
+  }
+  ::benchmark::DoNotOptimize(checksum);
+
+  const double per_iter =
+      iterations > 0 ? total_seconds / static_cast<double>(iterations) : 0.0;
+  const double scored =
+      static_cast<double>(config.candidates * config.vertices);
+  state.counters["scored_per_sec"] =
+      per_iter > 0.0 ? scored / per_iter : 0.0;
+  state.counters["candidates"] = static_cast<double>(config.candidates);
+  state.counters["vertices"] = static_cast<double>(config.vertices);
+  state.counters["dim"] = static_cast<double>(config.dim);
+  if (!use_kernel) {
+    NaiveSeconds()[config.Label()] = per_iter;
+  } else {
+    const auto it = NaiveSeconds().find(config.Label());
+    if (it != NaiveSeconds().end() && it->second > 0.0 && per_iter > 0.0) {
+      state.counters["speedup_vs_naive"] = it->second / per_iter;
+    }
+  }
+}
+
+void RegisterAll() {
+  // The naive series registers (and runs) first so every soa point finds
+  // its baseline.
+  for (const bool use_kernel : {false, true}) {
+    for (const KernelConfig& config : kConfigs) {
+      const std::string name = std::string("score_kernel/") +
+                               (use_kernel ? "soa/" : "naive/") +
+                               config.Label();
+      ::benchmark::RegisterBenchmark(
+          name.c_str(),
+          [config, use_kernel](::benchmark::State& state) {
+            RunPoint(state, config, use_kernel);
+          })
+          ->UseManualTime();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace toprr
+
+int main(int argc, char** argv) {
+  if (!toprr::bench::ParseBenchFlags(&argc, argv)) return 1;
+  toprr::bench::RegisterAll();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,10 +1,10 @@
 #!/usr/bin/env python3
-"""Perf gate over the bench_parallel_scale JSON trajectory.
+"""Perf gates over the bench JSON trajectories.
 
-Reads a google-benchmark JSON file containing the deep-tree scheduler
-series `parallel_scale/scheduler_deep/threads:N` (google-benchmark
-appends `/iterations:.../manual_time` to the names) and fails (exit 1,
-one-line message -- never a traceback) when:
+Default mode reads a bench_parallel_scale JSON file containing the
+deep-tree scheduler series `parallel_scale/scheduler_deep/threads:N`
+(google-benchmark appends `/iterations:.../manual_time` to the names)
+and fails (exit 1, one-line message -- never a traceback) when:
 
   * the file is missing, unreadable, or not benchmark-shaped JSON,
   * the expected series is missing or empty,
@@ -14,7 +14,14 @@ one-line message -- never a traceback) when:
   * the work-stealing executor reports zero steals at 4 threads
     (meaning load never balanced / the parallel path didn't run).
 
+--kernel mode reads a bench_score_kernel JSON file and fails when the
+large configuration `score_kernel/soa/c:4096/v:16/d:4` is missing or its
+`speedup_vs_naive` counter is below the floor (BENCH_KERNEL_FLOOR env
+var, default 1.3) -- the SoA scoring kernel must beat the naive
+per-vertex scan on scored-candidates/sec.
+
 Usage: check_bench_smoke.py bench_smoke.json
+       check_bench_smoke.py --kernel score_kernel.json
 Self-test: check_bench_smoke.py --self-test
 """
 
@@ -24,6 +31,7 @@ import re
 import sys
 
 SERIES = re.compile(r"^parallel_scale/scheduler_deep/threads:(\d+)(/|$)")
+KERNEL_LARGE = re.compile(r"^score_kernel/soa/c:4096/v:16/d:4(/|$)")
 
 
 def evaluate(report, floor):
@@ -78,6 +86,46 @@ def evaluate(report, floor):
     return True, summary
 
 
+def evaluate_kernel(report, floor):
+    """Returns (ok, one_line_message) for a bench_score_kernel report."""
+    if not isinstance(report, dict):
+        return False, "report is not a JSON object"
+    benchmarks = report.get("benchmarks")
+    if not isinstance(benchmarks, list) or not benchmarks:
+        return False, (
+            "no benchmark series in the report (did bench_score_kernel "
+            "run with --benchmark_out?)"
+        )
+    large = None
+    for bench in benchmarks:
+        if isinstance(bench, dict) and KERNEL_LARGE.match(
+                bench.get("name", "")):
+            large = bench
+            break
+    if large is None:
+        return False, (
+            "large kernel config missing: the report has "
+            f"{len(benchmarks)} benchmarks but none match "
+            "score_kernel/soa/c:4096/v:16/d:4"
+        )
+    speedup = large.get("speedup_vs_naive")
+    if speedup is None:
+        return False, (
+            "large kernel config has no speedup_vs_naive counter (did "
+            "the naive series run first?)"
+        )
+    scored = large.get("scored_per_sec", 0.0)
+    summary = (
+        f"SoA kernel speedup {speedup:.2f}x over naive on the large "
+        f"config (floor {floor}x), {scored / 1e6:.0f}M scored/s"
+    )
+    if speedup < floor:
+        return False, (
+            f"SoA kernel speedup {speedup:.2f}x below the {floor}x floor"
+        )
+    return True, summary
+
+
 def self_test():
     def series(entries):
         return {
@@ -121,6 +169,40 @@ def self_test():
 
     ok, message = evaluate([1, 2], 1.5)
     assert not ok, "non-object JSON must fail, not crash"
+
+    def kernel_report(name, counters):
+        return {
+            "benchmarks": [
+                {"name": "score_kernel/naive/c:4096/v:16/d:4/manual_time"},
+                {"name": name + "/manual_time", **counters},
+            ]
+        }
+
+    good_kernel = kernel_report(
+        "score_kernel/soa/c:4096/v:16/d:4",
+        {"speedup_vs_naive": 2.0, "scored_per_sec": 3.0e8})
+    ok, _ = evaluate_kernel(good_kernel, 1.3)
+    assert ok, "healthy kernel report must pass"
+
+    ok, message = evaluate_kernel({}, 1.3)
+    assert not ok and "no benchmark series" in message
+
+    ok, message = evaluate_kernel(
+        kernel_report("score_kernel/soa/c:256/v:4/d:3",
+                      {"speedup_vs_naive": 2.0}), 1.3)
+    assert not ok and "large kernel config missing" in message
+
+    ok, message = evaluate_kernel(
+        kernel_report("score_kernel/soa/c:4096/v:16/d:4", {}), 1.3)
+    assert not ok and "no speedup_vs_naive" in message
+
+    ok, message = evaluate_kernel(
+        kernel_report("score_kernel/soa/c:4096/v:16/d:4",
+                      {"speedup_vs_naive": 1.1}), 1.3)
+    assert not ok and "below" in message
+
+    ok, message = evaluate_kernel([1, 2], 1.3)
+    assert not ok, "non-object kernel JSON must fail, not crash"
     print("bench-smoke: self-test PASS")
 
 
@@ -128,25 +210,32 @@ def main():
     if len(sys.argv) == 2 and sys.argv[1] == "--self-test":
         self_test()
         return
-    if len(sys.argv) != 2:
+    kernel_mode = len(sys.argv) == 3 and sys.argv[1] == "--kernel"
+    if not kernel_mode and len(sys.argv) != 2:
         print(
-            f"bench-smoke: FAIL: usage: {sys.argv[0]} <benchmark_out.json>",
+            f"bench-smoke: FAIL: usage: {sys.argv[0]} "
+            "[--kernel] <benchmark_out.json>",
             file=sys.stderr,
         )
         sys.exit(1)
-    floor = float(os.environ.get("BENCH_SMOKE_FLOOR", "1.5"))
+    path = sys.argv[2] if kernel_mode else sys.argv[1]
 
     try:
-        with open(sys.argv[1], "r", encoding="utf-8") as handle:
+        with open(path, "r", encoding="utf-8") as handle:
             report = json.load(handle)
     except (OSError, json.JSONDecodeError) as err:
         print(
-            f"bench-smoke: FAIL: cannot read {sys.argv[1]}: {err}",
+            f"bench-smoke: FAIL: cannot read {path}: {err}",
             file=sys.stderr,
         )
         sys.exit(1)
 
-    ok, message = evaluate(report, floor)
+    if kernel_mode:
+        floor = float(os.environ.get("BENCH_KERNEL_FLOOR", "1.3"))
+        ok, message = evaluate_kernel(report, floor)
+    else:
+        floor = float(os.environ.get("BENCH_SMOKE_FLOOR", "1.5"))
+        ok, message = evaluate(report, floor)
     if not ok:
         print(f"bench-smoke: FAIL: {message}", file=sys.stderr)
         sys.exit(1)

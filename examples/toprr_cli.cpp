@@ -184,16 +184,27 @@ int main(int argc, char** argv) {
       uint64_t executed = 0;
       uint64_t stolen = 0;
       uint64_t steal_failures = 0;
+      uint64_t cands_scored = 0;
+      uint64_t gather_bytes = 0;
+      uint64_t reuse_hits = 0;
       for (const ToprrResult& r : results) {
         executed += r.stats.scheduler.TotalExecuted();
         stolen += r.stats.scheduler.TotalStolen();
         steal_failures += r.stats.scheduler.TotalStealFailures();
+        cands_scored += r.stats.scheduler.TotalCandidatesScored();
+        gather_bytes += r.stats.scheduler.TotalGatherBytes();
+        reuse_hits += r.stats.scheduler.TotalReuseHits();
       }
       std::printf("scheduler totals over the batch: executed=%llu "
                   "stolen=%llu steal_failures=%llu\n",
                   static_cast<unsigned long long>(executed),
                   static_cast<unsigned long long>(stolen),
                   static_cast<unsigned long long>(steal_failures));
+      std::printf("scoring-kernel totals over the batch: "
+                  "cands_scored=%llu gather_bytes=%llu reuse_hits=%llu\n",
+                  static_cast<unsigned long long>(cands_scored),
+                  static_cast<unsigned long long>(gather_bytes),
+                  static_cast<unsigned long long>(reuse_hits));
     }
     return failed == 0 ? 0 : 1;
   }

@@ -31,19 +31,49 @@ uint64_t SchedulerStats::MaxDequeHighWater() const {
   return high;
 }
 
+uint64_t SchedulerStats::TotalCandidatesScored() const {
+  uint64_t total = 0;
+  for (const SchedulerWorkerStats& w : workers) total += w.candidates_scored;
+  return total;
+}
+
+uint64_t SchedulerStats::TotalGatherBytes() const {
+  uint64_t total = 0;
+  for (const SchedulerWorkerStats& w : workers) total += w.block_gather_bytes;
+  return total;
+}
+
+uint64_t SchedulerStats::TotalReuseHits() const {
+  uint64_t total = 0;
+  for (const SchedulerWorkerStats& w : workers) total += w.reuse_hits;
+  return total;
+}
+
+uint64_t SchedulerStats::TotalArenaAllocations() const {
+  uint64_t total = 0;
+  for (const SchedulerWorkerStats& w : workers) total += w.arena_allocations;
+  return total;
+}
+
 std::string SchedulerStats::DebugString() const {
   std::ostringstream out;
   out << "workers=" << workers.size() << " executed=" << TotalExecuted()
       << " stolen=" << TotalStolen()
       << " steal_failures=" << TotalStealFailures()
-      << " deque_high_water=" << MaxDequeHighWater() << " wall="
+      << " deque_high_water=" << MaxDequeHighWater()
+      << " cands_scored=" << TotalCandidatesScored()
+      << " gather_bytes=" << TotalGatherBytes()
+      << " reuse_hits=" << TotalReuseHits()
+      << " arena_allocs=" << TotalArenaAllocations() << " wall="
       << wall_seconds << "s";
   for (size_t i = 0; i < workers.size(); ++i) {
     const SchedulerWorkerStats& w = workers[i];
     out << "\n  worker " << i << ": executed=" << w.tasks_executed
         << " stolen=" << w.tasks_stolen
         << " steal_failures=" << w.steal_failures
-        << " deque_high_water=" << w.deque_high_water;
+        << " deque_high_water=" << w.deque_high_water
+        << " cands_scored=" << w.candidates_scored
+        << " reuse_hits=" << w.reuse_hits;
   }
   return out.str();
 }

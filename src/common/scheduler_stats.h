@@ -17,6 +17,16 @@ struct SchedulerWorkerStats {
   uint64_t tasks_stolen = 0;     // of those, taken from a victim's deque
   uint64_t steal_failures = 0;   // failed Steal() attempts
   uint64_t deque_high_water = 0; // own-deque depth high-water mark
+
+  // Scoring-kernel telemetry (topk/score_kernel.h), copied from the
+  // worker's ScoreArena at merge time. The totals across workers are
+  // deterministic (pure functions of the region tree), so the
+  // bit-identical sequential == parallel guarantee covers them; the
+  // per-worker breakdown, like the fields above, depends on timing.
+  uint64_t candidates_scored = 0;   // candidate dot products evaluated
+  uint64_t block_gather_bytes = 0;  // bytes gathered into SoA blocks
+  uint64_t reuse_hits = 0;          // vertex rows reused from parent caches
+  uint64_t arena_allocations = 0;   // arena growth events (0 once warm)
 };
 
 /// Aggregate telemetry of one partition-scheduler run, surfaced through
@@ -31,6 +41,10 @@ struct SchedulerStats {
   uint64_t TotalStolen() const;
   uint64_t TotalStealFailures() const;
   uint64_t MaxDequeHighWater() const;
+  uint64_t TotalCandidatesScored() const;
+  uint64_t TotalGatherBytes() const;
+  uint64_t TotalReuseHits() const;
+  uint64_t TotalArenaAllocations() const;
 
   std::string DebugString() const;
 };

@@ -2,32 +2,56 @@
 
 #include <algorithm>
 #include <cmath>
-#include <set>
+#include <optional>
 #include <utility>
 
 #include "common/check.h"
 #include "common/logging.h"
 #include "core/scheduler.h"
 #include "pref/pref_space.h"
+#include "topk/score_kernel.h"
 #include "topk/topk.h"
 
 namespace toprr {
 namespace {
 
-// Per-vertex top-k profiles for a region.
-std::vector<TopkResult> ComputeProfiles(const Dataset& data,
-                                        const RegionTask& work) {
-  std::vector<TopkResult> profiles;
-  profiles.reserve(work.region.vertices().size());
-  for (const Vec& v : work.region.vertices()) {
-    profiles.push_back(
-        ComputeTopKReduced(data, work.candidates, v, work.k));
+// A view over the first `size` pooled profiles of a ScoreArena (or a
+// plain local vector on the naive path). The arena's profile pool never
+// shrinks, so the region's vertex count is carried here instead of in
+// the container's size.
+struct ProfileSpan {
+  TopkResult* data = nullptr;
+  size_t count = 0;
+
+  TopkResult& operator[](size_t i) const { return data[i]; }
+  size_t size() const { return count; }
+  TopkResult* begin() const { return data; }
+  TopkResult* end() const { return data + count; }
+};
+
+// Per-vertex top-k profiles for a region: the kernel path gathers the
+// candidate pool into the arena's SoA block once and sweeps all vertices
+// (reusing rows memoized by the parent split, if any); the naive path is
+// the reference per-vertex scan it must match bit for bit.
+void ComputeProfiles(const Dataset& data, const RegionTask& work,
+                     ScoreKernel* kernel, const ProfileSpan& profiles) {
+  const std::vector<Vec>& vertices = work.region.vertices();
+  if (kernel != nullptr) {
+    kernel->LoadBlock(data, work.candidates);
+    kernel->ScoreVertices(vertices, work.parent_scores.get());
+    for (size_t v = 0; v < vertices.size(); ++v) {
+      kernel->TopKInto(v, work.k, profiles[v]);
+    }
+  } else {
+    for (size_t v = 0; v < vertices.size(); ++v) {
+      profiles[v] =
+          ComputeTopKReduced(data, work.candidates, vertices[v], work.k);
+    }
   }
-  return profiles;
 }
 
 // True if the first `count` entries of every profile form the same id set.
-bool SamePrefixSet(const std::vector<TopkResult>& profiles, size_t count) {
+bool SamePrefixSet(const ProfileSpan& profiles, size_t count) {
   std::vector<int> reference;
   for (size_t p = 0; p < profiles.size(); ++p) {
     std::vector<int> ids;
@@ -48,7 +72,7 @@ bool SamePrefixSet(const std::vector<TopkResult>& profiles, size_t count) {
 // updated in place by dropping their first lambda entries (the remaining
 // entries are exactly the top-(k-lambda) of the reduced pool).
 // Returns lambda (0 when nothing was pruned).
-int ApplyLemma5(std::vector<TopkResult>& profiles, RegionTask& work) {
+int ApplyLemma5(const ProfileSpan& profiles, RegionTask& work) {
   const int k = work.k;
   if (k <= 1) return 0;
   int lambda = 0;
@@ -88,22 +112,30 @@ using SplitPair = std::pair<int, int>;
 
 // k-switch hyperplane selection (Definition 4) for a Case-1 violation
 // between vertices va and vb. Returns (-1, -1) when LC is empty for both
-// orientations.
+// orientations. With a live kernel the vertex scores are read from its
+// scored buffer (bit-identical to rescoring, see topk/score_kernel.h);
+// without one they are recomputed as before.
 SplitPair KSwitchPair(const Dataset& data, const PrefRegion& region,
-                      const std::vector<TopkResult>& profiles, size_t va,
-                      size_t vb) {
+                      const ProfileSpan& profiles, const ScoreKernel* kernel,
+                      size_t va, size_t vb) {
   const auto attempt = [&](size_t a, size_t b) -> SplitPair {
     const Vec& xa = region.vertices()[a];
-    const Vec& xb = region.vertices()[b];
     const int pz1 = profiles[a].KthId();
-    const double pz1_at_a = ReducedScore(data.Row(pz1), xa);
-    const double pz1_at_b = ReducedScore(data.Row(pz1), xb);
+    const double pz1_at_a = kernel != nullptr
+                                ? kernel->ScoreOf(a, pz1)
+                                : ReducedScore(data.Row(pz1), xa);
+    const double pz1_at_b =
+        kernel != nullptr
+            ? kernel->ScoreOf(b, pz1)
+            : ReducedScore(data.Row(pz1), region.vertices()[b]);
     int best = -1;
     double best_gap = 0.0;
     for (const ScoredOption& entry : profiles[b].entries) {
       const int p = entry.id;
       if (p == pz1) continue;
-      const double p_at_a = ReducedScore(data.Row(p), xa);
+      const double p_at_a = kernel != nullptr
+                                ? kernel->ScoreOf(a, p)
+                                : ReducedScore(data.Row(p), xa);
       const double p_at_b = entry.score;
       if (p_at_a < pz1_at_a && p_at_b > pz1_at_b) {
         const double gap = pz1_at_a - p_at_a;
@@ -129,8 +161,8 @@ SplitPair KSwitchPair(const Dataset& data, const PrefRegion& region,
 // random; we use a deterministic per-region hash for reproducibility).
 std::vector<SplitPair> ChooseSplitPairs(
     const Dataset& data, const PrefRegion& region,
-    const std::vector<TopkResult>& profiles, const PartitionConfig& config,
-    uint64_t salt) {
+    const ProfileSpan& profiles, const ScoreKernel* kernel,
+    const PartitionConfig& config, uint64_t salt) {
   std::vector<SplitPair> pairs;
   const size_t nv = profiles.size();
   const auto push_unique = [&pairs](int a, int b) {
@@ -161,13 +193,16 @@ std::vector<SplitPair> ChooseSplitPairs(
     return pairs;
   }
 
-  // Locate a Case-1 violation (different top-k sets).
-  const std::vector<int> set0 = profiles[0].IdSet();
+  // Locate a Case-1 violation (different top-k sets). Each vertex's
+  // sorted id set is materialized once; the old code re-sorted inside
+  // every pairwise comparison.
+  std::vector<std::vector<int>> id_sets(nv);
+  for (size_t v = 0; v < nv; ++v) id_sets[v] = profiles[v].IdSet();
   size_t va = nv;
   size_t vb = nv;
   for (size_t a = 0; a < nv && va == nv; ++a) {
     for (size_t b = a + 1; b < nv; ++b) {
-      if (profiles[a].IdSet() != profiles[b].IdSet()) {
+      if (id_sets[a] != id_sets[b]) {
         va = a;
         vb = b;
         break;
@@ -177,14 +212,15 @@ std::vector<SplitPair> ChooseSplitPairs(
 
   if (va < nv) {
     if (config.use_kswitch) {
-      const SplitPair ks = KSwitchPair(data, region, profiles, va, vb);
+      const SplitPair ks =
+          KSwitchPair(data, region, profiles, kernel, va, vb);
       if (ks.second >= 0) push_unique(ks.first, ks.second);
     }
     // Plain Case-1 pairs: options in one set but not the other, tried in
     // a pseudo-random rotation (the paper's TAS chooses among them at
     // random).
-    const std::vector<int> sa = profiles[va].IdSet();
-    const std::vector<int> sb = profiles[vb].IdSet();
+    const std::vector<int>& sa = id_sets[va];
+    const std::vector<int>& sb = id_sets[vb];
     std::vector<int> only_a;
     std::vector<int> only_b;
     std::set_difference(sa.begin(), sa.end(), sb.begin(), sb.end(),
@@ -218,6 +254,22 @@ std::vector<SplitPair> ChooseSplitPairs(
   return pairs;
 }
 
+// Sorted deduplicated union of the profiles' entry ids (ascending), the
+// sorted-vector replacement for the old throwaway std::set unions.
+std::vector<int> SortedEntryUnion(const ProfileSpan& profiles,
+                                  std::vector<int> seed) {
+  std::vector<int> ids = std::move(seed);
+  size_t total = ids.size();
+  for (const TopkResult& profile : profiles) total += profile.entries.size();
+  ids.reserve(total);
+  for (const TopkResult& profile : profiles) {
+    for (const ScoredOption& e : profile.entries) ids.push_back(e.id);
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
+
 // Exhaustive fallback when every preferred pair's hyperplane fails to cut
 // (possible under exact score ties at region vertices, where Lemma 4's
 // strictness argument degenerates): any pair of options from the union of
@@ -227,12 +279,8 @@ std::vector<SplitPair> ChooseSplitPairs(
 // the region is a tie and accepting the region is correct.
 std::vector<SplitPair> ExhaustiveFlipPairs(
     const Dataset& data, const PrefRegion& region,
-    const std::vector<TopkResult>& profiles, double eps) {
-  std::set<int> union_set;
-  for (const TopkResult& profile : profiles) {
-    for (const ScoredOption& e : profile.entries) union_set.insert(e.id);
-  }
-  const std::vector<int> options(union_set.begin(), union_set.end());
+    const ProfileSpan& profiles, double eps) {
+  const std::vector<int> options = SortedEntryUnion(profiles, {});
   const std::vector<Vec>& vertices = region.vertices();
   std::vector<SplitPair> pairs;
   for (size_t i = 0; i < options.size(); ++i) {
@@ -254,18 +302,13 @@ std::vector<SplitPair> ExhaustiveFlipPairs(
 
 // Fills the acceptance payload of `out` from an accepted task.
 void FillAcceptPayload(const Dataset& data, const PartitionConfig& config,
-                       RegionTask& work,
-                       const std::vector<TopkResult>& profiles,
+                       RegionTask& work, const ProfileSpan& profiles,
                        RegionOutcome& out) {
   out.accepted = true;
   out.vall.assign(work.region.vertices().begin(),
                   work.region.vertices().end());
   if (config.collect_topk_union) {
-    std::set<int> ids(work.pruned.begin(), work.pruned.end());
-    for (const TopkResult& profile : profiles) {
-      for (const ScoredOption& e : profile.entries) ids.insert(e.id);
-    }
-    out.topk_ids.assign(ids.begin(), ids.end());
+    out.topk_ids = SortedEntryUnion(profiles, work.pruned);
   }
   if (config.collect_regions) {
     // Evaluate the set at the centroid: ties are confined to cell
@@ -273,10 +316,12 @@ void FillAcceptPayload(const Dataset& data, const PartitionConfig& config,
     // set even when vertex evaluations are tie-ambiguous.
     const TopkResult center_topk = ComputeTopKReduced(
         data, work.candidates, work.region.Centroid(), work.k);
-    std::set<int> ids(work.pruned.begin(), work.pruned.end());
-    for (const ScoredOption& e : center_topk.entries) ids.insert(e.id);
-    out.cell = AcceptedRegion{std::move(work.region),
-                              std::vector<int>(ids.begin(), ids.end())};
+    std::vector<int> ids = work.pruned;
+    ids.reserve(ids.size() + center_topk.entries.size());
+    for (const ScoredOption& e : center_topk.entries) ids.push_back(e.id);
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+    out.cell = AcceptedRegion{std::move(work.region), std::move(ids)};
   }
 }
 
@@ -284,7 +329,7 @@ void FillAcceptPayload(const Dataset& data, const PartitionConfig& config,
 
 RegionOutcome TestAndSplitRegion(const Dataset& data,
                                  const PartitionConfig& config,
-                                 RegionTask work) {
+                                 RegionTask work, ScoreArena* arena) {
   RegionOutcome out;
   if (GlobalLogLevel() == LogLevel::kDebug) {
     LOG(DEBUG) << "region " << work.id << ": |V|="
@@ -293,7 +338,26 @@ RegionOutcome TestAndSplitRegion(const Dataset& data,
                << work.candidates.size() << " k=" << work.k;
   }
 
-  std::vector<TopkResult> profiles = ComputeProfiles(data, work);
+  // Scratch for the scoring kernel: the scheduler passes its worker's
+  // arena; direct callers fall back to a call-local one (correct, just
+  // without cross-region buffer reuse).
+  ScoreArena local_arena;
+  ScoreArena& scratch = arena != nullptr ? *arena : local_arena;
+  std::optional<ScoreKernel> kernel;
+  std::vector<TopkResult> naive_profiles;
+  ProfileSpan profiles;
+  const size_t num_vertices = work.region.vertices().size();
+  if (config.use_score_kernel) {
+    kernel.emplace(scratch);
+    profiles = ProfileSpan{scratch.Profiles(num_vertices).data(),
+                           num_vertices};
+  } else {
+    naive_profiles.resize(num_vertices);
+    profiles = ProfileSpan{naive_profiles.data(), num_vertices};
+  }
+  ScoreKernel* kernel_ptr = kernel.has_value() ? &*kernel : nullptr;
+
+  ComputeProfiles(data, work, kernel_ptr, profiles);
   if (config.use_lemma5 && ApplyLemma5(profiles, work) > 0) {
     out.lemma5_pruned = true;
   }
@@ -346,8 +410,8 @@ RegionOutcome TestAndSplitRegion(const Dataset& data,
   // guarantees one exists up to numeric ties). The pseudo-random pair
   // rotation is salted with the task's tree id, which is independent of
   // execution order (see core/scheduler.h).
-  std::vector<SplitPair> pairs =
-      ChooseSplitPairs(data, work.region, profiles, config, work.id);
+  std::vector<SplitPair> pairs = ChooseSplitPairs(
+      data, work.region, profiles, kernel_ptr, config, work.id);
   for (int attempt = 0; attempt < 2; ++attempt) {
     for (const SplitPair& pair : pairs) {
       const Hyperplane plane = ScoreEqualityHyperplane(
@@ -362,12 +426,21 @@ RegionOutcome TestAndSplitRegion(const Dataset& data,
         CHECK_LT(work.id, uint64_t{1} << 62)
             << "partition tree deeper than 62 levels; deterministic "
                "task ids exhausted (pathological input or eps too small)";
+        // Hand the surviving candidates' vertex scores to both children:
+        // their pool at profile time is exactly work.candidates, so a
+        // child vertex inherited from this region costs a row copy
+        // instead of a rescore.
+        std::shared_ptr<const VertexScoreCache> cache;
+        if (kernel.has_value()) {
+          cache =
+              kernel->MakeCache(work.region.vertices(), work.candidates);
+        }
         out.below = RegionTask{2 * work.id, std::move(*split.below),
-                               work.candidates, work.k, work.pruned};
+                               work.candidates, work.k, work.pruned, cache};
         out.above =
             RegionTask{2 * work.id + 1, std::move(*split.above),
                        std::move(work.candidates), work.k,
-                       std::move(work.pruned)};
+                       std::move(work.pruned), std::move(cache)};
         return out;
       }
     }
@@ -392,7 +465,7 @@ PartitionOutput PartitionPreferenceRegion(const Dataset& data,
   CHECK_GE(candidates.size(), static_cast<size_t>(k))
       << "candidate pool smaller than k";
   PartitionScheduler scheduler(data, config);
-  return scheduler.Run(RegionTask{1, root, candidates, k, {}});
+  return scheduler.Run(RegionTask{1, root, candidates, k, {}, nullptr});
 }
 
 }  // namespace toprr

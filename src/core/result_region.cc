@@ -8,6 +8,7 @@
 #include "common/logging.h"
 #include "geom/halfspace_intersection.h"
 #include "pref/pref_space.h"
+#include "topk/score_kernel.h"
 #include "topk/topk.h"
 
 namespace toprr {
@@ -42,12 +43,42 @@ void AssembleResultRegion(const Dataset& data,
   CHECK(!vall_unique.empty());
 
   // Impact halfspace per vertex: S_w(o) >= TopK(w)  <=>  (-w).o <= -TopK.
+  // Vall can hold thousands of vertices over one shared candidate pool,
+  // so the top-k-th scores come from the SoA scoring kernel in chunked
+  // sweeps (bit-identical to the naive scan; chunking keeps the score
+  // matrix small) unless the naive path was requested.
+  constexpr size_t kChunk = 64;
+  ScoreArena arena;
+  ScoreKernel kernel(arena);
+  std::vector<Vec> chunk_vertices;
+  TopkResult chunk_topk;
+  std::vector<double> kth_scores;
+  kth_scores.reserve(vall_unique.size());
+  if (options.use_score_kernel) {
+    kernel.LoadBlock(data, candidates);
+    for (size_t begin = 0; begin < vall_unique.size(); begin += kChunk) {
+      const size_t end = std::min(begin + kChunk, vall_unique.size());
+      chunk_vertices.assign(vall_unique.begin() + begin,
+                            vall_unique.begin() + end);
+      kernel.ScoreVertices(chunk_vertices, nullptr);
+      for (size_t v = 0; v < chunk_vertices.size(); ++v) {
+        kernel.TopKInto(v, k, chunk_topk);
+        kth_scores.push_back(chunk_topk.KthScore());
+      }
+    }
+  } else {
+    for (const Vec& x : vall_unique) {
+      kth_scores.push_back(
+          ComputeTopKReduced(data, candidates, x, k).KthScore());
+    }
+  }
+
   double min_margin = 1.0;  // min over v of (score of top corner - TopK(v))
   std::map<std::vector<int64_t>, bool> seen_halfspace;
-  for (const Vec& x : vall_unique) {
+  for (size_t i = 0; i < vall_unique.size(); ++i) {
+    const Vec& x = vall_unique[i];
     const Vec w = FullWeight(x);
-    const TopkResult topk = ComputeTopKReduced(data, candidates, x, k);
-    const double kth = topk.KthScore();
+    const double kth = kth_scores[i];
     Vec normal(d);
     for (size_t j = 0; j < d; ++j) normal[j] = -w[j];
     Halfspace h(std::move(normal), -kth);

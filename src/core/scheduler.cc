@@ -54,9 +54,8 @@ void TallyOutcome(const RegionOutcome& outcome, Tally& tally) {
 
 // Builds the PartitionOutput from the tally and the accepted nodes. The
 // nodes are sorted by tree id, so the output is identical no matter which
-// worker accepted which node in which order. (For the sequential executor
-// the sort is a no-op: FIFO processing of heap-path ids pops them in
-// increasing order.)
+// worker accepted which node in which order -- both executors process
+// the tree depth-first (LIFO), so acceptance order is not id order.
 PartitionOutput AssembleOutput(const PartitionConfig& config, Tally tally,
                                std::vector<AcceptedNode> accepted) {
   std::sort(accepted.begin(), accepted.end(),
@@ -104,7 +103,21 @@ struct WorkerSlot {
   Tally tally;
   std::vector<AcceptedNode> accepted;
   SchedulerWorkerStats stats;
+  // Scoring-kernel scratch (SoA block, score matrix, selection buffers),
+  // reused across every region this worker tests; its counters fold into
+  // `stats` at merge time.
+  ScoreArena arena;
 };
+
+// Copies a worker arena's kernel counters into its telemetry slot.
+void FoldArenaCounters(const ScoreArena& arena,
+                       SchedulerWorkerStats& stats) {
+  const ScoreKernelCounters& counters = arena.counters();
+  stats.candidates_scored = counters.candidates_scored;
+  stats.block_gather_bytes = counters.block_gather_bytes;
+  stats.reuse_hits = counters.reuse_hits;
+  stats.arena_allocations = counters.arena_allocations;
+}
 
 // State shared between the calling thread and the pool helpers of the
 // stealing executor. Held by shared_ptr so that helper tasks still
@@ -228,7 +241,7 @@ void DrainStealing(const Dataset& data, const PartitionConfig& config,
 
     const uint64_t id = task->id;
     RegionOutcome outcome =
-        TestAndSplitRegion(data, config, std::move(*task));
+        TestAndSplitRegion(data, config, std::move(*task), &self.arena);
     delete task;
 
     ++self.tally.regions_tested;
@@ -285,6 +298,7 @@ PartitionOutput PartitionScheduler::RunSequential(RegionTask root) const {
   Timer timer;
   Tally tally;
   SchedulerWorkerStats worker_stats;
+  ScoreArena arena;
   std::vector<AcceptedNode> accepted;
   std::deque<RegionTask> queue;
   queue.push_back(std::move(root));
@@ -308,14 +322,19 @@ PartitionOutput PartitionScheduler::RunSequential(RegionTask root) const {
       tally.timed_out = true;
       break;
     }
-    RegionTask task = std::move(queue.front());
-    queue.pop_front();
+    // LIFO (depth-first), matching the stealing executor's own-deque
+    // order: the pending frontier stays O(tree depth), which bounds how
+    // many parent_scores caches are alive at once -- BFS would keep a
+    // V x |pool| score matrix pinned for every pending sibling pair.
+    // Output is unaffected: accepted nodes merge in task-id order.
+    RegionTask task = std::move(queue.back());
+    queue.pop_back();
     ++tally.regions_tested;
     ++worker_stats.tasks_executed;
     const uint64_t id = task.id;
 
     RegionOutcome outcome =
-        TestAndSplitRegion(data_, config_, std::move(task));
+        TestAndSplitRegion(data_, config_, std::move(task), &arena);
     TallyOutcome(outcome, tally);
     if (outcome.accepted) {
       accepted.push_back(AcceptedNode{id, std::move(outcome)});
@@ -330,6 +349,7 @@ PartitionOutput PartitionScheduler::RunSequential(RegionTask root) const {
   PartitionOutput out =
       AssembleOutput(config_, std::move(tally), std::move(accepted));
   if (config_.collect_scheduler_stats) {
+    FoldArenaCounters(arena, worker_stats);
     out.scheduler.workers.push_back(worker_stats);
   }
   out.scheduler.wall_seconds = timer.Seconds();
@@ -384,6 +404,7 @@ PartitionOutput PartitionScheduler::RunParallel(RegionTask root,
               std::back_inserter(accepted));
     slot->accepted.clear();
     if (config_.collect_scheduler_stats) {
+      FoldArenaCounters(slot->arena, slot->stats);
       scheduler.workers.push_back(slot->stats);
     }
   }

@@ -13,8 +13,10 @@
 //    implementation's queue-position salt so that the tree does not depend
 //    on execution order;
 //  * accepted nodes are buffered per worker and merged in ascending
-//    task-id order at the end, which for the sequential executor coincides
-//    with the old BFS emission order;
+//    task-id order at the end, so processing order never shows in the
+//    output; both executors process LIFO (depth-first), keeping the
+//    pending frontier -- and the parent_scores caches it pins -- bounded
+//    by the tree depth rather than its width;
 //  * the multi-threaded executor is a work-stealing one: every worker
 //    owns a Chase-Lev-style deque (common/thread_pool.h), pushes split
 //    children bottom/LIFO for cache locality, and steals top/FIFO from
@@ -38,6 +40,7 @@
 #define TOPRR_CORE_SCHEDULER_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -45,6 +48,7 @@
 #include "data/dataset.h"
 #include "geom/vec.h"
 #include "pref/region.h"
+#include "topk/score_kernel.h"
 
 namespace toprr {
 
@@ -57,6 +61,12 @@ struct RegionTask {
   std::vector<int> candidates;
   int k = 0;
   std::vector<int> pruned;
+  /// Parent-to-child score memoization (topk/score_kernel.h): the split
+  /// parent's vertex-score rows over exactly this task's candidate pool,
+  /// shared read-only by both children. Null at the root and on the
+  /// naive (use_score_kernel = false) path; purely a performance carrier,
+  /// never observable in the output.
+  std::shared_ptr<const VertexScoreCache> parent_scores;
 };
 
 /// The outcome of testing one region: either an acceptance payload or the
@@ -79,12 +89,16 @@ struct RegionOutcome {
 
 /// Tests one region: Lemma-5 pruning, the method's acceptance test, and --
 /// on rejection -- selection of a cutting hyperplane and construction of
-/// the two children. Pure: depends only on the arguments, making it safe
-/// to call concurrently for distinct tasks. Implemented in partition.cc
+/// the two children. Pure in its output: the result depends only on
+/// (data, config, task), making it safe to call concurrently for
+/// distinct tasks with distinct arenas. `arena` is the calling worker's
+/// scratch state for the scoring kernel (counters accumulate there); a
+/// null arena falls back to a call-local one. Implemented in partition.cc
 /// next to the algorithmic helpers it uses.
 RegionOutcome TestAndSplitRegion(const Dataset& data,
                                  const PartitionConfig& config,
-                                 RegionTask task);
+                                 RegionTask task,
+                                 ScoreArena* arena = nullptr);
 
 /// Drives TestAndSplitRegion over the region tree rooted at a task.
 /// config.num_threads selects the executor: 1 runs the sequential

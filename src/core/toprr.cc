@@ -79,6 +79,7 @@ ToprrResult SolveImpl(const Dataset& data, int k, const PrefRegion& region,
   config.max_regions = options.max_regions;
   config.num_threads = options.num_threads;
   config.collect_scheduler_stats = options.collect_scheduler_stats;
+  config.use_score_kernel = options.use_score_kernel;
   switch (options.method) {
     case ToprrMethod::kPac:
       config.ordered_invariance = true;

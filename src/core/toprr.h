@@ -89,8 +89,17 @@ struct ToprrOptions {
 
   /// Collect per-worker executor telemetry into
   /// ToprrResult::stats.scheduler (tasks executed/stolen, steal
-  /// failures, deque high-water; printed by `toprr_cli --stats`).
+  /// failures, deque high-water, kernel counters; printed by
+  /// `toprr_cli --stats`).
   bool collect_scheduler_stats = true;
+
+  /// Score the partition phase through the SoA scoring kernel
+  /// (topk/score_kernel.h): blocked candidate sweeps from 64-byte-aligned
+  /// dim-major blocks, per-worker scratch arenas, parent-to-child
+  /// vertex-score reuse. Bit-identical to the naive per-vertex scan
+  /// (asserted by score_kernel_test); off only for that regression test
+  /// and the naive baselines of bench_score_kernel.
+  bool use_score_kernel = true;
 };
 
 /// Counters and timings describing one solve.

@@ -44,6 +44,11 @@ class Dataset {
     return values_.data() + row * d_;
   }
 
+  /// Raw pointer to the whole row-major table (n * d doubles). Bulk
+  /// consumers (the SoA gather of topk/score_kernel.cc) read through this
+  /// to avoid a per-row bounds check in debug builds.
+  const double* RawValues() const { return values_.data(); }
+
   /// Copies row `row` into a Vec.
   Vec Option(size_t row) const;
 

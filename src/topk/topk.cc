@@ -8,16 +8,10 @@
 namespace toprr {
 namespace {
 
-// Score-descending, id-ascending comparator.
-bool Better(const ScoredOption& a, const ScoredOption& b) {
-  if (a.score != b.score) return a.score > b.score;
-  return a.id < b.id;
-}
-
 TopkResult SelectTopK(std::vector<ScoredOption> scored, int k) {
   const size_t kk = std::min<size_t>(k, scored.size());
   std::partial_sort(scored.begin(), scored.begin() + kk, scored.end(),
-                    Better);
+                    ScoredBetter);
   scored.resize(kk);
   TopkResult result;
   result.entries = std::move(scored);
@@ -66,6 +60,28 @@ int RankOfOption(const Dataset& data, const std::vector<int>& ids,
   for (int other : ids) {
     if (other == id) continue;
     const double s = ReducedScore(data.Row(other), x);
+    if (s > target_score || (s == target_score && other < id)) ++rank;
+  }
+  return rank;
+}
+
+int RankFromScores(const std::vector<int>& ids, const double* scores,
+                   int id) {
+  double target_score = 0.0;
+  bool found = false;
+  for (size_t c = 0; c < ids.size(); ++c) {
+    if (ids[c] == id) {
+      target_score = scores[c];
+      found = true;
+      break;
+    }
+  }
+  CHECK(found) << "option " << id << " not in the scored id list";
+  int rank = 1;
+  for (size_t c = 0; c < ids.size(); ++c) {
+    const int other = ids[c];
+    if (other == id) continue;
+    const double s = scores[c];
     if (s > target_score || (s == target_score && other < id)) ++rank;
   }
   return rank;

@@ -20,6 +20,15 @@ struct ScoredOption {
   double score = 0.0;
 };
 
+/// The library-wide ranking order: score descending, ties id ascending
+/// (Definition 3's deterministic tie-break). Shared by the naive path and
+/// the SoA scoring kernel (topk/score_kernel.h) so both select identical
+/// top-k sequences.
+inline bool ScoredBetter(const ScoredOption& a, const ScoredOption& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.id < b.id;
+}
+
 /// The top-k result at one weight vector: ids sorted by score descending
 /// (ties id ascending). `kth` duplicates the last entry for convenience.
 struct TopkResult {
@@ -44,6 +53,12 @@ TopkResult ComputeTopKReduced(const Dataset& data,
 /// options scoring strictly higher, or equal with smaller id, rank above).
 int RankOfOption(const Dataset& data, const std::vector<int>& ids,
                  const Vec& x, int id);
+
+/// RankOfOption from a precomputed score row aligned with `ids` (e.g. a
+/// live ScoreKernel buffer): same rank, no rescoring. `id` must be in
+/// `ids`.
+int RankFromScores(const std::vector<int>& ids, const double* scores,
+                   int id);
 
 }  // namespace toprr
 

@@ -1,0 +1,315 @@
+// Bit-identical contract of the SoA scoring kernel (topk/score_kernel.h):
+// kernel output must equal the naive per-vertex scan exactly -- at the
+// kernel level (TopKInto vs ComputeTopKReduced), at the solver level
+// (use_score_kernel on vs off across TAS/TAS*/PAC, dims, and k), and
+// under parent-to-child score reuse -- plus the arena's steady-state
+// zero-allocation guarantee.
+#include "topk/score_kernel.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/toprr.h"
+#include "data/generator.h"
+#include "pref/pref_space.h"
+#include "topk/rskyband.h"
+#include "topk/topk.h"
+
+namespace toprr {
+namespace {
+
+std::vector<int> AllIds(const Dataset& ds) {
+  std::vector<int> ids(ds.size());
+  std::iota(ids.begin(), ids.end(), 0);
+  return ids;
+}
+
+// Region-vertex stand-ins: the corners of a random preference box.
+std::vector<Vec> RandomVertices(size_t m, double sigma, Rng& rng) {
+  return RandomPrefBox(m, sigma, rng).Vertices();
+}
+
+// Exact equality of a kernel profile and the naive reference.
+void ExpectSameTopk(const TopkResult& kernel, const TopkResult& naive) {
+  ASSERT_EQ(kernel.entries.size(), naive.entries.size());
+  for (size_t i = 0; i < kernel.entries.size(); ++i) {
+    EXPECT_EQ(kernel.entries[i].id, naive.entries[i].id) << i;
+    EXPECT_EQ(kernel.entries[i].score, naive.entries[i].score) << i;
+  }
+}
+
+// Runs the kernel over (data, ids, vertices, k) and checks every vertex's
+// top-k against ComputeTopKReduced, bit for bit.
+void CheckKernelAgainstNaive(const Dataset& data,
+                             const std::vector<int>& ids,
+                             const std::vector<Vec>& vertices, int k,
+                             const VertexScoreCache* reuse = nullptr) {
+  ScoreArena arena;
+  ScoreKernel kernel(arena);
+  kernel.LoadBlock(data, ids);
+  kernel.ScoreVertices(vertices, reuse);
+  std::vector<TopkResult>& profiles = arena.Profiles(vertices.size());
+  for (size_t v = 0; v < vertices.size(); ++v) {
+    kernel.TopKInto(v, k, profiles[v]);
+    const TopkResult naive = ComputeTopKReduced(data, ids, vertices[v], k);
+    SCOPED_TRACE("vertex " + std::to_string(v));
+    ExpectSameTopk(profiles[v], naive);
+  }
+}
+
+TEST(ScoreKernelTest, MatchesNaiveAcrossDimsAndK) {
+  Rng rng(4001);
+  for (size_t d : {2u, 3u, 4u, 5u}) {
+    const Dataset ds =
+        GenerateSynthetic(300, d, Distribution::kAnticorrelated, 900 + d);
+    const std::vector<int> ids = AllIds(ds);
+    const std::vector<Vec> vertices = RandomVertices(d - 1, 0.05, rng);
+    for (int k : {1, 5, 10}) {
+      SCOPED_TRACE("d=" + std::to_string(d) + " k=" + std::to_string(k));
+      CheckKernelAgainstNaive(ds, ids, vertices, k);
+    }
+  }
+}
+
+TEST(ScoreKernelTest, MatchesNaiveOnSparsePools) {
+  // Non-contiguous ascending pools exercise the gather indirection.
+  const Dataset ds =
+      GenerateSynthetic(500, 4, Distribution::kIndependent, 911);
+  Rng rng(4002);
+  std::vector<int> ids;
+  for (int i = 3; i < 500; i += 7) ids.push_back(i);
+  const std::vector<Vec> vertices = RandomVertices(3, 0.04, rng);
+  for (int k : {1, 5, 10}) {
+    CheckKernelAgainstNaive(ds, ids, vertices, k);
+  }
+}
+
+TEST(ScoreKernelTest, EdgeCases) {
+  const Dataset ds = GenerateSynthetic(40, 3, Distribution::kCorrelated, 77);
+  Rng rng(4003);
+  const std::vector<Vec> vertices = RandomVertices(2, 0.06, rng);
+
+  // A single candidate.
+  CheckKernelAgainstNaive(ds, {17}, vertices, 1);
+  // Fewer candidates than k: the profile holds the whole pool.
+  CheckKernelAgainstNaive(ds, {2, 9, 31}, vertices, 10);
+  // Pool size exactly k.
+  CheckKernelAgainstNaive(ds, {1, 4, 8, 22, 39}, vertices, 5);
+  // An empty reuse mask (cache whose vertices match nothing) must be a
+  // silent no-op.
+  VertexScoreCache unrelated;
+  unrelated.vertices.push_back(Vec{0.9, 0.9});
+  unrelated.candidates = {2, 9, 31};
+  unrelated.rows.push_back({1.0, 2.0, 3.0});
+  CheckKernelAgainstNaive(ds, {2, 9, 31}, vertices, 2, &unrelated);
+}
+
+TEST(ScoreKernelTest, ParentToChildReuseIsExact) {
+  const Dataset ds =
+      GenerateSynthetic(200, 4, Distribution::kAnticorrelated, 78);
+  Rng rng(4004);
+  const std::vector<int> ids = AllIds(ds);
+  const std::vector<Vec> parents = RandomVertices(3, 0.05, rng);
+
+  // Parent pass over the full pool; memoize a Lemma-5-style survivor
+  // subset (every third candidate).
+  ScoreArena parent_arena;
+  ScoreKernel parent(parent_arena);
+  parent.LoadBlock(ds, ids);
+  parent.ScoreVertices(parents, nullptr);
+  std::vector<int> surviving;
+  for (size_t i = 0; i < ids.size(); i += 3) surviving.push_back(ids[i]);
+  const std::shared_ptr<const VertexScoreCache> cache =
+      parent.MakeCache(parents, surviving);
+
+  // Child: half inherited vertices (bitwise equal), half new ones.
+  std::vector<Vec> child_vertices(parents.begin(),
+                                  parents.begin() + parents.size() / 2);
+  const std::vector<Vec> fresh = RandomVertices(3, 0.03, rng);
+  child_vertices.insert(child_vertices.end(), fresh.begin(), fresh.end());
+
+  ScoreArena child_arena;
+  ScoreKernel child(child_arena);
+  child.LoadBlock(ds, surviving);
+  child.ScoreVertices(child_vertices, cache.get());
+  EXPECT_EQ(child_arena.counters().reuse_hits, parents.size() / 2);
+
+  std::vector<TopkResult>& profiles =
+      child_arena.Profiles(child_vertices.size());
+  for (size_t v = 0; v < child_vertices.size(); ++v) {
+    child.TopKInto(v, 8, profiles[v]);
+    const TopkResult naive =
+        ComputeTopKReduced(ds, surviving, child_vertices[v], 8);
+    SCOPED_TRACE("child vertex " + std::to_string(v));
+    ExpectSameTopk(profiles[v], naive);
+  }
+}
+
+TEST(ScoreKernelTest, SteadyStateMakesNoAllocations) {
+  // The acceptance criterion of the arena design: once buffers are warm,
+  // scoring a same-shaped region performs zero heap allocations (growth
+  // events are counted by the arena).
+  const Dataset ds =
+      GenerateSynthetic(600, 4, Distribution::kIndependent, 79);
+  Rng rng(4005);
+  const std::vector<int> ids = AllIds(ds);
+  const std::vector<Vec> vertices = RandomVertices(3, 0.05, rng);
+
+  ScoreArena arena;
+  const auto run = [&]() {
+    ScoreKernel kernel(arena);
+    kernel.LoadBlock(ds, ids);
+    kernel.ScoreVertices(vertices, nullptr);
+    std::vector<TopkResult>& profiles = arena.Profiles(vertices.size());
+    for (size_t v = 0; v < vertices.size(); ++v) {
+      kernel.TopKInto(v, 10, profiles[v]);
+    }
+  };
+  run();
+  const uint64_t warm = arena.counters().arena_allocations;
+  EXPECT_GT(warm, 0u);  // the first pass did grow the buffers
+  for (int repeat = 0; repeat < 5; ++repeat) run();
+  EXPECT_EQ(arena.counters().arena_allocations, warm)
+      << "steady-state region scoring must not allocate";
+  // Smaller pools and vertex sets must ride the warmed buffers too.
+  ScoreKernel kernel(arena);
+  const std::vector<int> subset(ids.begin(), ids.begin() + 50);
+  kernel.LoadBlock(ds, subset);
+  kernel.ScoreVertices(vertices, nullptr);
+  std::vector<TopkResult>& profiles = arena.Profiles(2);
+  kernel.TopKInto(0, 5, profiles[0]);
+  kernel.TopKInto(1, 5, profiles[1]);
+  EXPECT_EQ(arena.counters().arena_allocations, warm);
+}
+
+TEST(ScoreKernelTest, RankOfMatchesRankOfOption) {
+  const Dataset ds =
+      GenerateSynthetic(150, 3, Distribution::kIndependent, 81);
+  Rng rng(4006);
+  const std::vector<int> ids = AllIds(ds);
+  const std::vector<Vec> vertices = RandomVertices(2, 0.08, rng);
+
+  ScoreArena arena;
+  ScoreKernel kernel(arena);
+  kernel.LoadBlock(ds, ids);
+  kernel.ScoreVertices(vertices, nullptr);
+  for (size_t v = 0; v < vertices.size(); ++v) {
+    for (int id : {0, 7, 42, 149}) {
+      EXPECT_EQ(kernel.RankOf(v, id),
+                RankOfOption(ds, ids, vertices[v], id))
+          << "v=" << v << " id=" << id;
+      EXPECT_EQ(RankFromScores(ids, kernel.Scores(v), id),
+                RankOfOption(ds, ids, vertices[v], id));
+    }
+  }
+}
+
+// ---- Solver-level regression matrix: kernel vs naive scoring path. ----
+
+void ExpectSameVecs(const std::vector<Vec>& a, const std::vector<Vec>& b,
+                    const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].dim(), b[i].dim()) << what << "[" << i << "]";
+    for (size_t j = 0; j < a[i].dim(); ++j) {
+      EXPECT_EQ(a[i][j], b[i][j]) << what << "[" << i << "][" << j << "]";
+    }
+  }
+}
+
+void ExpectSameHalfspaces(const std::vector<Halfspace>& a,
+                          const std::vector<Halfspace>& b,
+                          const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].offset, b[i].offset) << what << "[" << i << "]";
+    ASSERT_EQ(a[i].normal.dim(), b[i].normal.dim()) << what;
+    for (size_t j = 0; j < a[i].normal.dim(); ++j) {
+      EXPECT_EQ(a[i].normal[j], b[i].normal[j])
+          << what << "[" << i << "][" << j << "]";
+    }
+  }
+}
+
+void ExpectIdenticalResults(const ToprrResult& kernel,
+                            const ToprrResult& naive) {
+  ASSERT_EQ(kernel.timed_out, naive.timed_out);
+  EXPECT_EQ(kernel.degenerate, naive.degenerate);
+  ExpectSameHalfspaces(kernel.impact_halfspaces, naive.impact_halfspaces,
+                       "impact_halfspaces");
+  ExpectSameVecs(kernel.vall, naive.vall, "vall");
+  ExpectSameVecs(kernel.vertices, naive.vertices, "vertices");
+  EXPECT_EQ(kernel.stats.regions_tested, naive.stats.regions_tested);
+  EXPECT_EQ(kernel.stats.regions_accepted, naive.stats.regions_accepted);
+  EXPECT_EQ(kernel.stats.regions_split, naive.stats.regions_split);
+  EXPECT_EQ(kernel.stats.kipr_accepts, naive.stats.kipr_accepts);
+  EXPECT_EQ(kernel.stats.lemma7_accepts, naive.stats.lemma7_accepts);
+  EXPECT_EQ(kernel.stats.lemma5_prunes, naive.stats.lemma5_prunes);
+  EXPECT_EQ(kernel.stats.vall_raw, naive.stats.vall_raw);
+  EXPECT_EQ(kernel.stats.vall_unique, naive.stats.vall_unique);
+}
+
+TEST(ScoreKernelTest, SolverMatrixKernelVsNaiveAcrossMethodsDimsAndK) {
+  const ToprrMethod methods[] = {ToprrMethod::kTas, ToprrMethod::kTasStar,
+                                 ToprrMethod::kPac};
+  Rng rng(4007);
+  for (size_t d : {2u, 3u, 4u, 5u}) {
+    const size_t n = d == 5 ? 120 : 250;
+    const Dataset ds =
+        GenerateSynthetic(n, d, Distribution::kIndependent, 500 + d);
+    const PrefBox box = RandomPrefBox(d - 1, 0.04, rng);
+    for (int k : {1, 5, 10}) {
+      for (ToprrMethod method : methods) {
+        ToprrOptions with_kernel;
+        with_kernel.method = method;
+        ToprrOptions naive = with_kernel;
+        naive.use_score_kernel = false;
+        const ToprrResult a = SolveToprr(ds, k, box, with_kernel);
+        const ToprrResult b = SolveToprr(ds, k, box, naive);
+        ASSERT_FALSE(b.timed_out)
+            << ToprrMethodName(method) << " d=" << d << " k=" << k;
+        SCOPED_TRACE(std::string(ToprrMethodName(method)) + " d=" +
+                     std::to_string(d) + " k=" + std::to_string(k));
+        ExpectIdenticalResults(a, b);
+        // The naive path reports no kernel activity; the kernel path
+        // accounts one gather per tested region.
+        EXPECT_EQ(b.stats.scheduler.TotalCandidatesScored(), 0u);
+        EXPECT_GT(a.stats.scheduler.TotalCandidatesScored(), 0u);
+      }
+    }
+  }
+}
+
+TEST(ScoreKernelTest, KernelCountersDeterministicAcrossExecutors) {
+  // The kernel counter totals are pure functions of the region tree, so
+  // sequential and parallel runs must report identical totals (the
+  // per-worker breakdown is timing-dependent, the sums are not).
+  const Dataset ds =
+      GenerateSynthetic(1500, 3, Distribution::kAnticorrelated, 83);
+  PrefBox box;
+  box.lo = Vec{0.28, 0.30};
+  box.hi = Vec{0.36, 0.38};
+  ToprrOptions seq_options;
+  seq_options.num_threads = 1;
+  ToprrOptions par_options;
+  par_options.num_threads = 4;
+  const ToprrResult seq = SolveToprr(ds, 10, box, seq_options);
+  const ToprrResult par = SolveToprr(ds, 10, box, par_options);
+  ASSERT_FALSE(seq.timed_out);
+  ASSERT_GT(seq.stats.regions_split, 0u);  // reuse needs actual splits
+  EXPECT_EQ(seq.stats.scheduler.TotalCandidatesScored(),
+            par.stats.scheduler.TotalCandidatesScored());
+  EXPECT_EQ(seq.stats.scheduler.TotalGatherBytes(),
+            par.stats.scheduler.TotalGatherBytes());
+  EXPECT_EQ(seq.stats.scheduler.TotalReuseHits(),
+            par.stats.scheduler.TotalReuseHits());
+  // Splitting shares every surviving vertex with a child, so a tree with
+  // splits must see memoization hits.
+  EXPECT_GT(seq.stats.scheduler.TotalReuseHits(), 0u);
+}
+
+}  // namespace
+}  // namespace toprr
