@@ -108,6 +108,9 @@ struct SweepPoint {
   double avg_candidates_scored = 0.0;
   double avg_gather_bytes = 0.0;
   double avg_reuse_hits = 0.0;
+  // Flat-geometry telemetry averages (pref/flat_region.h).
+  double avg_split_vertices = 0.0;
+  double avg_geom_allocations = 0.0;
   int dnf = 0;  // queries that exceeded the budget
 };
 
@@ -152,6 +155,10 @@ inline SweepPoint RunSweepPoint(const Dataset& data, int k, double sigma,
         static_cast<double>(result.stats.scheduler.TotalGatherBytes());
     point.avg_reuse_hits +=
         static_cast<double>(result.stats.scheduler.TotalReuseHits());
+    point.avg_split_vertices += static_cast<double>(
+        result.stats.scheduler.TotalSplitVerticesClassified());
+    point.avg_geom_allocations += static_cast<double>(
+        result.stats.scheduler.TotalGeomArenaAllocations());
   }
   if (completed > 0) {
     point.avg_seconds /= completed;
@@ -164,6 +171,8 @@ inline SweepPoint RunSweepPoint(const Dataset& data, int k, double sigma,
     point.avg_candidates_scored /= completed;
     point.avg_gather_bytes /= completed;
     point.avg_reuse_hits /= completed;
+    point.avg_split_vertices /= completed;
+    point.avg_geom_allocations /= completed;
   }
   return point;
 }

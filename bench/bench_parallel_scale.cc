@@ -63,6 +63,11 @@ void RunSchedulerPointImpl(::benchmark::State& state, const Dataset& data,
     state.counters["cands_scored"] = point.avg_candidates_scored;
     state.counters["gather_bytes"] = point.avg_gather_bytes;
     state.counters["reuse_hits"] = point.avg_reuse_hits;
+    // Flat-geometry telemetry (pref/flat_region.h): vertices classified
+    // by the fused split sweeps, and geometry-scratch growth events
+    // (near zero once the per-worker GeomArenas are warm).
+    state.counters["split_verts"] = point.avg_split_vertices;
+    state.counters["geom_allocs"] = point.avg_geom_allocations;
     if (threads == 1 && point.avg_seconds > 0.0) {
       baseline = point.avg_seconds;
     }
@@ -87,14 +92,15 @@ void RunSchedulerPoint(::benchmark::State& state, int threads) {
 // anticorrelated catalog with a wide clientele box drives the partition
 // tree to thousands of tasks (deep enough to steal, ~0.15s sequential)
 // while staying well under a second per point. k/sigma were bumped from
-// 15/0.15 when the SoA scoring kernel landed: it roughly halved the
-// per-task cost, and the gate needs tasks heavy enough that stealing
-// overhead stays negligible on the 4-core CI runner.
+// 15/0.15 when the SoA scoring kernel landed (it roughly halved the
+// per-task cost) and sigma again from 0.22 when the flat-geometry split
+// landed (another ~14% off): the gate needs tasks heavy enough that
+// stealing overhead stays negligible on the 4-core CI runner.
 void RunSchedulerDeepPoint(::benchmark::State& state, int threads) {
   const BenchConfig& config = GlobalConfig();
   const Dataset& data = CachedSynthetic(
       40000, 3, Distribution::kAnticorrelated, config.seed);
-  RunSchedulerPointImpl(state, data, /*k=*/20, /*sigma=*/0.22, threads,
+  RunSchedulerPointImpl(state, data, /*k=*/20, /*sigma=*/0.25, threads,
                         DeepBaselineSeconds());
 }
 

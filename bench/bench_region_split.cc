@@ -1,0 +1,214 @@
+// Split/classify throughput of the flat-geometry region engine
+// (pref/flat_region.h) vs the legacy PrefRegion::Split, swept over
+// region dimension x polytope complexity.
+//
+// Each instance models one partition-phase split: a preference box is
+// pre-split r times by random centroid planes (always descending into
+// the larger child, so vertex counts grow with r), and the measured
+// operation splits the resulting polytope by one more centroid plane.
+// The legacy series runs PrefRegion::Split (per-vertex Vec allocations,
+// per-facet id vectors, std::map quantize dedup); the flat series runs
+// FlatRegion::Split out of a warmed GeomArena (fused EvalClassifyBatch
+// sweep, packed-key dedup, zero steady-state scratch growth), exactly as
+// TestAndSplitRegion does. Both produce bit-identical children
+// (flat_geometry_test).
+//
+// The flat points carry a `speedup_vs_legacy` counter against the
+// matching legacy point (registered and therefore run first). CI's
+// bench-smoke job gates `region_split/flat/d:4/r:8` at >= 1.2x
+// (ci/check_bench_smoke.py --geometry).
+//
+// Emit the JSON trajectory with the stock google-benchmark flags:
+//   bench_region_split --benchmark_format=json
+//                      --benchmark_out=region_split.json
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "pref/flat_region.h"
+#include "pref/region.h"
+
+namespace toprr {
+namespace bench {
+namespace {
+
+constexpr size_t kInstances = 32;  // (polytope, plane) pairs per config
+
+struct SplitConfig {
+  size_t dim;     // region dimension m
+  size_t rounds;  // pre-split rounds (polytope complexity)
+
+  std::string Label() const {
+    return "d:" + std::to_string(dim) + "/r:" + std::to_string(rounds);
+  }
+};
+
+// The sweep; `d:4/r:8` is the CI-gated large configuration.
+const SplitConfig kConfigs[] = {
+    {2, 4}, {3, 4}, {4, 4}, {5, 4}, {3, 8}, {4, 8}, {5, 8},
+};
+
+// Legacy per-iteration seconds per config, seeded by the legacy series
+// (registered first) and read by the matching flat point.
+std::map<std::string, double>& LegacySeconds() {
+  static auto& seconds = *new std::map<std::string, double>();
+  return seconds;
+}
+
+struct SplitInstance {
+  FlatRegion region;
+  Hyperplane plane;
+};
+
+Hyperplane RandomCentroidPlane(const FlatRegion& region, Rng& rng) {
+  const size_t m = region.dim();
+  Vec normal(m);
+  for (size_t j = 0; j < m; ++j) normal[j] = rng.Uniform(-1.0, 1.0);
+  if (normal.MaxAbs() < 0.2) normal[0] = 1.0;
+  const double offset = Dot(normal, region.Centroid());
+  return Hyperplane(std::move(normal), offset);
+}
+
+// Deterministic instances: pre-split a random box `rounds` times, always
+// descending into the child with more vertices.
+std::vector<SplitInstance> MakeInstances(const SplitConfig& config,
+                                         uint64_t seed) {
+  Rng rng(seed * 9176 + config.dim * 131 + config.rounds);
+  GeomArena arena;
+  std::vector<SplitInstance> instances;
+  instances.reserve(kInstances);
+  // Side shrinks with dimension so the box always fits the simplex
+  // without the generator's shrink warning.
+  const double sigma =
+      std::min(0.25, 0.8 / static_cast<double>(config.dim));
+  while (instances.size() < kInstances) {
+    FlatRegion region =
+        FlatRegion::FromBox(RandomPrefBox(config.dim, sigma, rng));
+    for (size_t round = 0; round < config.rounds; ++round) {
+      std::optional<FlatRegion> below;
+      std::optional<FlatRegion> above;
+      region.Split(RandomCentroidPlane(region, rng), 1e-10, arena, &below,
+                   &above);
+      if (!below.has_value() || !above.has_value()) continue;
+      region = below->num_vertices() >= above->num_vertices()
+                   ? std::move(*below)
+                   : std::move(*above);
+    }
+    instances.push_back({std::move(region), Hyperplane()});
+    instances.back().plane = RandomCentroidPlane(instances.back().region, rng);
+  }
+  return instances;
+}
+
+void RunPoint(::benchmark::State& state, const SplitConfig& config,
+              bool use_flat) {
+  const BenchConfig& global = GlobalConfig();
+  const std::vector<SplitInstance> instances =
+      MakeInstances(config, global.seed);
+  size_t total_vertices = 0;
+  for (const SplitInstance& inst : instances) {
+    total_vertices += inst.region.num_vertices();
+  }
+  // Legacy inputs converted up front (exact), so the measured loop times
+  // only the split itself on both series.
+  std::vector<PrefRegion> legacy_regions;
+  if (!use_flat) {
+    legacy_regions.reserve(instances.size());
+    for (const SplitInstance& inst : instances) {
+      legacy_regions.push_back(inst.region.ToRegion());
+    }
+  }
+
+  GeomArena arena;
+  std::optional<FlatRegion> below;
+  std::optional<FlatRegion> above;
+  if (use_flat) {
+    // Warm the arena so the measured loop is the steady state the
+    // partition phase runs in.
+    for (const SplitInstance& inst : instances) {
+      inst.region.Split(inst.plane, 1e-10, arena, &below, &above);
+    }
+  }
+
+  double total_seconds = 0.0;
+  int64_t iterations = 0;
+  size_t checksum = 0;  // child vertex total; keeps the optimizer honest
+  for (auto _ : state) {
+    Timer timer;
+    if (use_flat) {
+      for (const SplitInstance& inst : instances) {
+        inst.region.Split(inst.plane, 1e-10, arena, &below, &above);
+        if (below.has_value()) checksum += below->num_vertices();
+        if (above.has_value()) checksum += above->num_vertices();
+      }
+    } else {
+      for (size_t i = 0; i < instances.size(); ++i) {
+        const PrefRegionSplit split =
+            legacy_regions[i].Split(instances[i].plane, 1e-10);
+        if (split.below.has_value()) {
+          checksum += split.below->vertices().size();
+        }
+        if (split.above.has_value()) {
+          checksum += split.above->vertices().size();
+        }
+      }
+    }
+    const double seconds = timer.Seconds();
+    total_seconds += seconds;
+    ++iterations;
+    state.SetIterationTime(seconds);
+  }
+  ::benchmark::DoNotOptimize(checksum);
+
+  const double per_iter =
+      iterations > 0 ? total_seconds / static_cast<double>(iterations) : 0.0;
+  state.counters["splits_per_sec"] =
+      per_iter > 0.0 ? static_cast<double>(instances.size()) / per_iter : 0.0;
+  state.counters["verts_classified_per_sec"] =
+      per_iter > 0.0 ? static_cast<double>(total_vertices) / per_iter : 0.0;
+  state.counters["avg_vertices"] =
+      static_cast<double>(total_vertices) /
+      static_cast<double>(instances.size());
+  state.counters["dim"] = static_cast<double>(config.dim);
+  if (!use_flat) {
+    LegacySeconds()[config.Label()] = per_iter;
+  } else {
+    const auto it = LegacySeconds().find(config.Label());
+    if (it != LegacySeconds().end() && it->second > 0.0 && per_iter > 0.0) {
+      state.counters["speedup_vs_legacy"] = it->second / per_iter;
+    }
+  }
+}
+
+void RegisterAll() {
+  // The legacy series registers (and runs) first so every flat point
+  // finds its baseline.
+  for (const bool use_flat : {false, true}) {
+    for (const SplitConfig& config : kConfigs) {
+      const std::string name = std::string("region_split/") +
+                               (use_flat ? "flat/" : "legacy/") +
+                               config.Label();
+      ::benchmark::RegisterBenchmark(
+          name.c_str(),
+          [config, use_flat](::benchmark::State& state) {
+            RunPoint(state, config, use_flat);
+          })
+          ->UseManualTime();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace toprr
+
+int main(int argc, char** argv) {
+  if (!toprr::bench::ParseBenchFlags(&argc, argv)) return 1;
+  toprr::bench::RegisterAll();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

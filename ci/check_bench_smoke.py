@@ -20,8 +20,15 @@ large configuration `score_kernel/soa/c:4096/v:16/d:4` is missing or its
 var, default 1.3) -- the SoA scoring kernel must beat the naive
 per-vertex scan on scored-candidates/sec.
 
+--geometry mode reads a bench_region_split JSON file and fails when the
+large configuration `region_split/flat/d:4/r:8` is missing or its
+`speedup_vs_legacy` counter is below the floor (BENCH_GEOM_FLOOR env
+var, default 1.2) -- the flat-geometry split must beat the legacy
+PrefRegion::Split on split/classify throughput.
+
 Usage: check_bench_smoke.py bench_smoke.json
        check_bench_smoke.py --kernel score_kernel.json
+       check_bench_smoke.py --geometry region_split.json
 Self-test: check_bench_smoke.py --self-test
 """
 
@@ -32,6 +39,7 @@ import sys
 
 SERIES = re.compile(r"^parallel_scale/scheduler_deep/threads:(\d+)(/|$)")
 KERNEL_LARGE = re.compile(r"^score_kernel/soa/c:4096/v:16/d:4(/|$)")
+GEOM_LARGE = re.compile(r"^region_split/flat/d:4/r:8(/|$)")
 
 
 def evaluate(report, floor):
@@ -126,6 +134,46 @@ def evaluate_kernel(report, floor):
     return True, summary
 
 
+def evaluate_geometry(report, floor):
+    """Returns (ok, one_line_message) for a bench_region_split report."""
+    if not isinstance(report, dict):
+        return False, "report is not a JSON object"
+    benchmarks = report.get("benchmarks")
+    if not isinstance(benchmarks, list) or not benchmarks:
+        return False, (
+            "no benchmark series in the report (did bench_region_split "
+            "run with --benchmark_out?)"
+        )
+    large = None
+    for bench in benchmarks:
+        if isinstance(bench, dict) and GEOM_LARGE.match(
+                bench.get("name", "")):
+            large = bench
+            break
+    if large is None:
+        return False, (
+            "large geometry config missing: the report has "
+            f"{len(benchmarks)} benchmarks but none match "
+            "region_split/flat/d:4/r:8"
+        )
+    speedup = large.get("speedup_vs_legacy")
+    if speedup is None:
+        return False, (
+            "large geometry config has no speedup_vs_legacy counter (did "
+            "the legacy series run first?)"
+        )
+    splits = large.get("splits_per_sec", 0.0)
+    summary = (
+        f"flat split speedup {speedup:.2f}x over legacy on the large "
+        f"config (floor {floor}x), {splits / 1e3:.0f}k splits/s"
+    )
+    if speedup < floor:
+        return False, (
+            f"flat split speedup {speedup:.2f}x below the {floor}x floor"
+        )
+    return True, summary
+
+
 def self_test():
     def series(entries):
         return {
@@ -203,6 +251,40 @@ def self_test():
 
     ok, message = evaluate_kernel([1, 2], 1.3)
     assert not ok, "non-object kernel JSON must fail, not crash"
+
+    def geom_report(name, counters):
+        return {
+            "benchmarks": [
+                {"name": "region_split/legacy/d:4/r:8/manual_time"},
+                {"name": name + "/manual_time", **counters},
+            ]
+        }
+
+    good_geom = geom_report(
+        "region_split/flat/d:4/r:8",
+        {"speedup_vs_legacy": 2.0, "splits_per_sec": 1.0e5})
+    ok, _ = evaluate_geometry(good_geom, 1.2)
+    assert ok, "healthy geometry report must pass"
+
+    ok, message = evaluate_geometry({}, 1.2)
+    assert not ok and "no benchmark series" in message
+
+    ok, message = evaluate_geometry(
+        geom_report("region_split/flat/d:2/r:4",
+                    {"speedup_vs_legacy": 2.0}), 1.2)
+    assert not ok and "large geometry config missing" in message
+
+    ok, message = evaluate_geometry(
+        geom_report("region_split/flat/d:4/r:8", {}), 1.2)
+    assert not ok and "no speedup_vs_legacy" in message
+
+    ok, message = evaluate_geometry(
+        geom_report("region_split/flat/d:4/r:8",
+                    {"speedup_vs_legacy": 1.05}), 1.2)
+    assert not ok and "below" in message
+
+    ok, message = evaluate_geometry([1, 2], 1.2)
+    assert not ok, "non-object geometry JSON must fail, not crash"
     print("bench-smoke: self-test PASS")
 
 
@@ -211,14 +293,15 @@ def main():
         self_test()
         return
     kernel_mode = len(sys.argv) == 3 and sys.argv[1] == "--kernel"
-    if not kernel_mode and len(sys.argv) != 2:
+    geometry_mode = len(sys.argv) == 3 and sys.argv[1] == "--geometry"
+    if not kernel_mode and not geometry_mode and len(sys.argv) != 2:
         print(
             f"bench-smoke: FAIL: usage: {sys.argv[0]} "
-            "[--kernel] <benchmark_out.json>",
+            "[--kernel|--geometry] <benchmark_out.json>",
             file=sys.stderr,
         )
         sys.exit(1)
-    path = sys.argv[2] if kernel_mode else sys.argv[1]
+    path = sys.argv[2] if (kernel_mode or geometry_mode) else sys.argv[1]
 
     try:
         with open(path, "r", encoding="utf-8") as handle:
@@ -233,6 +316,9 @@ def main():
     if kernel_mode:
         floor = float(os.environ.get("BENCH_KERNEL_FLOOR", "1.3"))
         ok, message = evaluate_kernel(report, floor)
+    elif geometry_mode:
+        floor = float(os.environ.get("BENCH_GEOM_FLOOR", "1.2"))
+        ok, message = evaluate_geometry(report, floor)
     else:
         floor = float(os.environ.get("BENCH_SMOKE_FLOOR", "1.5"))
         ok, message = evaluate(report, floor)

@@ -187,6 +187,8 @@ int main(int argc, char** argv) {
       uint64_t cands_scored = 0;
       uint64_t gather_bytes = 0;
       uint64_t reuse_hits = 0;
+      uint64_t split_verts = 0;
+      uint64_t geom_allocs = 0;
       for (const ToprrResult& r : results) {
         executed += r.stats.scheduler.TotalExecuted();
         stolen += r.stats.scheduler.TotalStolen();
@@ -194,6 +196,8 @@ int main(int argc, char** argv) {
         cands_scored += r.stats.scheduler.TotalCandidatesScored();
         gather_bytes += r.stats.scheduler.TotalGatherBytes();
         reuse_hits += r.stats.scheduler.TotalReuseHits();
+        split_verts += r.stats.scheduler.TotalSplitVerticesClassified();
+        geom_allocs += r.stats.scheduler.TotalGeomArenaAllocations();
       }
       std::printf("scheduler totals over the batch: executed=%llu "
                   "stolen=%llu steal_failures=%llu\n",
@@ -205,6 +209,10 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(cands_scored),
                   static_cast<unsigned long long>(gather_bytes),
                   static_cast<unsigned long long>(reuse_hits));
+      std::printf("flat-geometry totals over the batch: "
+                  "split_verts=%llu geom_arena_allocs=%llu\n",
+                  static_cast<unsigned long long>(split_verts),
+                  static_cast<unsigned long long>(geom_allocs));
     }
     return failed == 0 ? 0 : 1;
   }

@@ -55,6 +55,22 @@ uint64_t SchedulerStats::TotalArenaAllocations() const {
   return total;
 }
 
+uint64_t SchedulerStats::TotalSplitVerticesClassified() const {
+  uint64_t total = 0;
+  for (const SchedulerWorkerStats& w : workers) {
+    total += w.split_vertices_classified;
+  }
+  return total;
+}
+
+uint64_t SchedulerStats::TotalGeomArenaAllocations() const {
+  uint64_t total = 0;
+  for (const SchedulerWorkerStats& w : workers) {
+    total += w.geom_arena_allocations;
+  }
+  return total;
+}
+
 std::string SchedulerStats::DebugString() const {
   std::ostringstream out;
   out << "workers=" << workers.size() << " executed=" << TotalExecuted()
@@ -64,7 +80,9 @@ std::string SchedulerStats::DebugString() const {
       << " cands_scored=" << TotalCandidatesScored()
       << " gather_bytes=" << TotalGatherBytes()
       << " reuse_hits=" << TotalReuseHits()
-      << " arena_allocs=" << TotalArenaAllocations() << " wall="
+      << " arena_allocs=" << TotalArenaAllocations()
+      << " split_verts=" << TotalSplitVerticesClassified()
+      << " geom_allocs=" << TotalGeomArenaAllocations() << " wall="
       << wall_seconds << "s";
   for (size_t i = 0; i < workers.size(); ++i) {
     const SchedulerWorkerStats& w = workers[i];

@@ -27,6 +27,14 @@ struct SchedulerWorkerStats {
   uint64_t block_gather_bytes = 0;  // bytes gathered into SoA blocks
   uint64_t reuse_hits = 0;          // vertex rows reused from parent caches
   uint64_t arena_allocations = 0;   // arena growth events (0 once warm)
+
+  // Flat-geometry telemetry (pref/flat_region.h), copied from the
+  // worker's GeomArena at merge time with the same determinism contract:
+  // totals are pure functions of the region tree, the per-worker
+  // breakdown is timing-dependent. Both stay zero on the legacy
+  // (use_flat_geometry = false) path.
+  uint64_t split_vertices_classified = 0;  // vertices swept by flat splits
+  uint64_t geom_arena_allocations = 0;     // geometry scratch growth events
 };
 
 /// Aggregate telemetry of one partition-scheduler run, surfaced through
@@ -45,6 +53,8 @@ struct SchedulerStats {
   uint64_t TotalGatherBytes() const;
   uint64_t TotalReuseHits() const;
   uint64_t TotalArenaAllocations() const;
+  uint64_t TotalSplitVerticesClassified() const;
+  uint64_t TotalGeomArenaAllocations() const;
 
   std::string DebugString() const;
 };

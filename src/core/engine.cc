@@ -44,14 +44,22 @@ void ToprrEngine::CheckDatasetUnchanged() const {
 }
 
 const std::vector<int>& ToprrEngine::KSkyband(int k) {
-  std::unique_lock<std::mutex> lock(cache_mu_);
-  auto it = skyband_cache_.find(k);
-  if (it == skyband_cache_.end()) {
-    it = skyband_cache_.emplace(k, SortBasedKSkyband(*data_, k)).first;
+  SkybandSlot* slot;
+  {
+    // std::map nodes are stable: the slot pointer outlives later
+    // insertions, and the contract forbids InvalidateCache while
+    // queries hold references into it.
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    slot = &skyband_cache_[k];
   }
-  // std::map nodes are stable: the reference outlives later insertions,
-  // and the contract forbids InvalidateCache while queries hold it.
-  return it->second;
+  // The skyband build runs outside cache_mu_: concurrent queries with
+  // distinct k compute their skybands in parallel, and callers of an
+  // already-built k never contend with an in-flight build. call_once
+  // makes duplicate first-touchers of the same k block only on each
+  // other.
+  std::call_once(slot->once,
+                 [this, slot, k] { slot->ids = SortBasedKSkyband(*data_, k); });
+  return slot->ids;
 }
 
 void ToprrEngine::InvalidateCache() {
@@ -131,12 +139,10 @@ std::vector<ToprrResult> ToprrEngine::SolveBatch(
     return results;
   }
 
-  // Warm the skyband cache for every distinct k up front: concurrent
-  // first-touch computations would serialize behind cache_mu_ anyway.
-  // (Skipped once cancelled -- shutdown must not compute new skybands.)
-  if (cancel == nullptr || !cancel->load(std::memory_order_relaxed)) {
-    for (const ToprrQuery& query : queries) KSkyband(query.k);
-  }
+  // No skyband warm-up pass here: the per-k once slots let each worker
+  // build its own query's skyband outside the cache lock, so a batch
+  // mixing k values computes them concurrently instead of serially in
+  // the dispatching thread.
 
   // Claim queries through an atomic ticket instead of a mutex: the
   // per-query shared-state traffic is one fetch_add to claim and one to

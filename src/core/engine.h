@@ -12,9 +12,12 @@
 //
 // Thread-safety contract:
 //  * Solve / SolveBatch / KSkyband may be called concurrently from any
-//    number of threads; the skyband cache is mutex-guarded, and cached
-//    entries live in a node-based map so references stay valid while
-//    further k values are added.
+//    number of threads; the skyband cache holds one once-initialized
+//    slot per k in a node-based map, so the mutex only guards the map
+//    lookup -- the skyband computation itself runs outside the lock,
+//    and a batch mixing k values builds its skybands concurrently
+//    instead of serializing behind the first query's build. References
+//    stay valid while further k values are added.
 //  * InvalidateCache requires exclusive access: it must not overlap any
 //    in-flight query (those hold references into the cache).
 //  * The dataset must outlive the engine and must be treated as immutable
@@ -112,11 +115,19 @@ class ToprrEngine {
   /// construction / last InvalidateCache.
   void CheckDatasetUnchanged() const;
 
+  /// One per-k cache slot: the once flag gates the (lock-free) skyband
+  /// computation, so cache_mu_ is held only for the map lookup and never
+  /// across SortBasedKSkyband.
+  struct SkybandSlot {
+    std::once_flag once;
+    std::vector<int> ids;
+  };
+
   const Dataset* data_;
   double fingerprint_ = 0.0;  // computed in debug builds only
 
   std::mutex cache_mu_;
-  std::map<int, std::vector<int>> skyband_cache_;  // guarded by cache_mu_
+  std::map<int, SkybandSlot> skyband_cache_;  // map guarded by cache_mu_
 };
 
 }  // namespace toprr

@@ -8,6 +8,7 @@
 #include "common/check.h"
 #include "common/logging.h"
 #include "core/scheduler.h"
+#include "pref/flat_region.h"
 #include "pref/pref_space.h"
 #include "topk/score_kernel.h"
 #include "topk/topk.h"
@@ -30,22 +31,25 @@ struct ProfileSpan {
 };
 
 // Per-vertex top-k profiles for a region: the kernel path gathers the
-// candidate pool into the arena's SoA block once and sweeps all vertices
-// (reusing rows memoized by the parent split, if any); the naive path is
-// the reference per-vertex scan it must match bit for bit.
+// candidate pool into the arena's SoA block once and sweeps the task's
+// flat vertex buffer in place (reusing rows memoized by the parent
+// split, if any); the naive path is the reference per-vertex scan it
+// must match bit for bit.
 void ComputeProfiles(const Dataset& data, const RegionTask& work,
                      ScoreKernel* kernel, const ProfileSpan& profiles) {
-  const std::vector<Vec>& vertices = work.region.vertices();
+  const FlatRegion& region = work.region;
+  const size_t num_vertices = region.num_vertices();
   if (kernel != nullptr) {
     kernel->LoadBlock(data, work.candidates);
-    kernel->ScoreVertices(vertices, work.parent_scores.get());
-    for (size_t v = 0; v < vertices.size(); ++v) {
+    kernel->ScoreVertices(region.coords().data(), num_vertices,
+                          work.parent_scores.get());
+    for (size_t v = 0; v < num_vertices; ++v) {
       kernel->TopKInto(v, work.k, profiles[v]);
     }
   } else {
-    for (size_t v = 0; v < vertices.size(); ++v) {
-      profiles[v] =
-          ComputeTopKReduced(data, work.candidates, vertices[v], work.k);
+    for (size_t v = 0; v < num_vertices; ++v) {
+      profiles[v] = ComputeTopKReduced(data, work.candidates,
+                                       region.VertexVec(v), work.k);
     }
   }
 }
@@ -114,20 +118,21 @@ using SplitPair = std::pair<int, int>;
 // between vertices va and vb. Returns (-1, -1) when LC is empty for both
 // orientations. With a live kernel the vertex scores are read from its
 // scored buffer (bit-identical to rescoring, see topk/score_kernel.h);
-// without one they are recomputed as before.
-SplitPair KSwitchPair(const Dataset& data, const PrefRegion& region,
+// without one they are recomputed from the flat vertex buffer.
+SplitPair KSwitchPair(const Dataset& data, const FlatRegion& region,
                       const ProfileSpan& profiles, const ScoreKernel* kernel,
                       size_t va, size_t vb) {
+  const size_t m = region.dim();
   const auto attempt = [&](size_t a, size_t b) -> SplitPair {
-    const Vec& xa = region.vertices()[a];
+    const double* xa = region.vertex(a);
     const int pz1 = profiles[a].KthId();
     const double pz1_at_a = kernel != nullptr
                                 ? kernel->ScoreOf(a, pz1)
-                                : ReducedScore(data.Row(pz1), xa);
+                                : ReducedScore(data.Row(pz1), xa, m);
     const double pz1_at_b =
         kernel != nullptr
             ? kernel->ScoreOf(b, pz1)
-            : ReducedScore(data.Row(pz1), region.vertices()[b]);
+            : ReducedScore(data.Row(pz1), region.vertex(b), m);
     int best = -1;
     double best_gap = 0.0;
     for (const ScoredOption& entry : profiles[b].entries) {
@@ -135,7 +140,7 @@ SplitPair KSwitchPair(const Dataset& data, const PrefRegion& region,
       if (p == pz1) continue;
       const double p_at_a = kernel != nullptr
                                 ? kernel->ScoreOf(a, p)
-                                : ReducedScore(data.Row(p), xa);
+                                : ReducedScore(data.Row(p), xa, m);
       const double p_at_b = entry.score;
       if (p_at_a < pz1_at_a && p_at_b > pz1_at_b) {
         const double gap = pz1_at_a - p_at_a;
@@ -160,7 +165,7 @@ SplitPair KSwitchPair(const Dataset& data, const PrefRegion& region,
 // non-k-switch strategy (the paper's TAS picks a violating pair at
 // random; we use a deterministic per-region hash for reproducibility).
 std::vector<SplitPair> ChooseSplitPairs(
-    const Dataset& data, const PrefRegion& region,
+    const Dataset& data, const FlatRegion& region,
     const ProfileSpan& profiles, const ScoreKernel* kernel,
     const PartitionConfig& config, uint64_t salt) {
   std::vector<SplitPair> pairs;
@@ -278,18 +283,20 @@ std::vector<int> SortedEntryUnion(const ProfileSpan& profiles,
 // cut the region. If no such pair exists, every ranking difference across
 // the region is a tie and accepting the region is correct.
 std::vector<SplitPair> ExhaustiveFlipPairs(
-    const Dataset& data, const PrefRegion& region,
+    const Dataset& data, const FlatRegion& region,
     const ProfileSpan& profiles, double eps) {
   const std::vector<int> options = SortedEntryUnion(profiles, {});
-  const std::vector<Vec>& vertices = region.vertices();
+  const size_t num_vertices = region.num_vertices();
+  const size_t m = region.dim();
   std::vector<SplitPair> pairs;
   for (size_t i = 0; i < options.size(); ++i) {
     for (size_t j = i + 1; j < options.size(); ++j) {
       bool positive = false;
       bool negative = false;
-      for (const Vec& v : vertices) {
-        const double diff = ReducedScoreDiff(data.Row(options[i]),
-                                             data.Row(options[j]), v);
+      for (size_t v = 0; v < num_vertices; ++v) {
+        const double diff =
+            ReducedScoreDiff(data.Row(options[i]), data.Row(options[j]),
+                             region.vertex(v), m);
         if (diff > eps) positive = true;
         if (diff < -eps) negative = true;
         if (positive && negative) break;
@@ -305,8 +312,11 @@ void FillAcceptPayload(const Dataset& data, const PartitionConfig& config,
                        RegionTask& work, const ProfileSpan& profiles,
                        RegionOutcome& out) {
   out.accepted = true;
-  out.vall.assign(work.region.vertices().begin(),
-                  work.region.vertices().end());
+  const size_t num_vertices = work.region.num_vertices();
+  out.vall.reserve(num_vertices);
+  for (size_t v = 0; v < num_vertices; ++v) {
+    out.vall.push_back(work.region.VertexVec(v));
+  }
   if (config.collect_topk_union) {
     out.topk_ids = SortedEntryUnion(profiles, work.pruned);
   }
@@ -321,7 +331,7 @@ void FillAcceptPayload(const Dataset& data, const PartitionConfig& config,
     for (const ScoredOption& e : center_topk.entries) ids.push_back(e.id);
     std::sort(ids.begin(), ids.end());
     ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
-    out.cell = AcceptedRegion{std::move(work.region), std::move(ids)};
+    out.cell = AcceptedRegion{work.region.ToRegion(), std::move(ids)};
   }
 }
 
@@ -329,24 +339,28 @@ void FillAcceptPayload(const Dataset& data, const PartitionConfig& config,
 
 RegionOutcome TestAndSplitRegion(const Dataset& data,
                                  const PartitionConfig& config,
-                                 RegionTask work, ScoreArena* arena) {
+                                 RegionTask work, ScoreArena* arena,
+                                 GeomArena* geom_arena) {
   RegionOutcome out;
   if (GlobalLogLevel() == LogLevel::kDebug) {
     LOG(DEBUG) << "region " << work.id << ": |V|="
-               << work.region.vertices().size() << " |F|="
-               << work.region.facets().size() << " |D'|="
+               << work.region.num_vertices() << " |F|="
+               << work.region.num_facets() << " |D'|="
                << work.candidates.size() << " k=" << work.k;
   }
 
-  // Scratch for the scoring kernel: the scheduler passes its worker's
-  // arena; direct callers fall back to a call-local one (correct, just
-  // without cross-region buffer reuse).
+  // Scratch arenas: the scheduler passes its worker's; direct callers
+  // fall back to call-local ones (correct, just without cross-region
+  // buffer reuse).
   ScoreArena local_arena;
   ScoreArena& scratch = arena != nullptr ? *arena : local_arena;
+  GeomArena local_geom_arena;
+  GeomArena& geom_scratch =
+      geom_arena != nullptr ? *geom_arena : local_geom_arena;
   std::optional<ScoreKernel> kernel;
   std::vector<TopkResult> naive_profiles;
   ProfileSpan profiles;
-  const size_t num_vertices = work.region.vertices().size();
+  const size_t num_vertices = work.region.num_vertices();
   if (config.use_score_kernel) {
     kernel.emplace(scratch);
     profiles = ProfileSpan{scratch.Profiles(num_vertices).data(),
@@ -412,13 +426,36 @@ RegionOutcome TestAndSplitRegion(const Dataset& data,
   // execution order (see core/scheduler.h).
   std::vector<SplitPair> pairs = ChooseSplitPairs(
       data, work.region, profiles, kernel_ptr, config, work.id);
+  // Splitting runs through the flat-geometry engine (fused classify
+  // sweep, arena scratch) unless the legacy baseline was requested, in
+  // which case the region round-trips through PrefRegion::Split -- the
+  // conversions are exact, so the toggle changes performance only
+  // (asserted by flat_geometry_test).
+  std::optional<FlatRegion> below;
+  std::optional<FlatRegion> above;
+  const auto try_split = [&](const Hyperplane& plane) {
+    if (config.use_flat_geometry) {
+      work.region.Split(plane, config.eps, geom_scratch, &below, &above);
+    } else {
+      below.reset();
+      above.reset();
+      PrefRegionSplit split =
+          work.region.ToRegion().Split(plane, config.eps);
+      if (split.below.has_value()) {
+        below = FlatRegion::FromRegion(*split.below);
+      }
+      if (split.above.has_value()) {
+        above = FlatRegion::FromRegion(*split.above);
+      }
+    }
+    return below.has_value() && above.has_value();
+  };
   for (int attempt = 0; attempt < 2; ++attempt) {
     for (const SplitPair& pair : pairs) {
       const Hyperplane plane = ScoreEqualityHyperplane(
           data.Row(pair.first), data.Row(pair.second), work.region.dim());
       if (plane.normal.MaxAbs() <= config.eps) continue;  // identical
-      PrefRegionSplit split = work.region.Split(plane, config.eps);
-      if (split.below.has_value() && split.above.has_value()) {
+      if (try_split(plane)) {
         // Child ids must not wrap: a wrapped id would silently break the
         // executors' bit-identical-merge contract (duplicate sort keys).
         // Depth > 62 means eps-scale slivers split dozens of times; fail
@@ -432,13 +469,13 @@ RegionOutcome TestAndSplitRegion(const Dataset& data,
         // instead of a rescore.
         std::shared_ptr<const VertexScoreCache> cache;
         if (kernel.has_value()) {
-          cache =
-              kernel->MakeCache(work.region.vertices(), work.candidates);
+          cache = kernel->MakeCache(work.region.coords().data(),
+                                    num_vertices, work.candidates);
         }
-        out.below = RegionTask{2 * work.id, std::move(*split.below),
+        out.below = RegionTask{2 * work.id, std::move(*below),
                                work.candidates, work.k, work.pruned, cache};
         out.above =
-            RegionTask{2 * work.id + 1, std::move(*split.above),
+            RegionTask{2 * work.id + 1, std::move(*above),
                        std::move(work.candidates), work.k,
                        std::move(work.pruned), std::move(cache)};
         return out;
@@ -465,7 +502,8 @@ PartitionOutput PartitionPreferenceRegion(const Dataset& data,
   CHECK_GE(candidates.size(), static_cast<size_t>(k))
       << "candidate pool smaller than k";
   PartitionScheduler scheduler(data, config);
-  return scheduler.Run(RegionTask{1, root, candidates, k, {}, nullptr});
+  return scheduler.Run(RegionTask{1, FlatRegion::FromRegion(root),
+                                  candidates, k, {}, nullptr});
 }
 
 }  // namespace toprr

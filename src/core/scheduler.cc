@@ -107,16 +107,23 @@ struct WorkerSlot {
   // reused across every region this worker tests; its counters fold into
   // `stats` at merge time.
   ScoreArena arena;
+  // Flat-geometry split scratch (pref/flat_region.h), reused the same
+  // way: classification rows, incidence bitsets, packed dedup keys.
+  GeomArena geom_arena;
 };
 
-// Copies a worker arena's kernel counters into its telemetry slot.
-void FoldArenaCounters(const ScoreArena& arena,
+// Copies a worker's arena counters (scoring kernel + flat geometry) into
+// its telemetry slot.
+void FoldArenaCounters(const ScoreArena& arena, const GeomArena& geom_arena,
                        SchedulerWorkerStats& stats) {
   const ScoreKernelCounters& counters = arena.counters();
   stats.candidates_scored = counters.candidates_scored;
   stats.block_gather_bytes = counters.block_gather_bytes;
   stats.reuse_hits = counters.reuse_hits;
   stats.arena_allocations = counters.arena_allocations;
+  const GeomCounters& geom = geom_arena.counters();
+  stats.split_vertices_classified = geom.split_vertices_classified;
+  stats.geom_arena_allocations = geom.geom_arena_allocations;
 }
 
 // State shared between the calling thread and the pool helpers of the
@@ -240,8 +247,8 @@ void DrainStealing(const Dataset& data, const PartitionConfig& config,
     }
 
     const uint64_t id = task->id;
-    RegionOutcome outcome =
-        TestAndSplitRegion(data, config, std::move(*task), &self.arena);
+    RegionOutcome outcome = TestAndSplitRegion(
+        data, config, std::move(*task), &self.arena, &self.geom_arena);
     delete task;
 
     ++self.tally.regions_tested;
@@ -299,6 +306,7 @@ PartitionOutput PartitionScheduler::RunSequential(RegionTask root) const {
   Tally tally;
   SchedulerWorkerStats worker_stats;
   ScoreArena arena;
+  GeomArena geom_arena;
   std::vector<AcceptedNode> accepted;
   std::deque<RegionTask> queue;
   queue.push_back(std::move(root));
@@ -333,8 +341,9 @@ PartitionOutput PartitionScheduler::RunSequential(RegionTask root) const {
     ++worker_stats.tasks_executed;
     const uint64_t id = task.id;
 
-    RegionOutcome outcome =
-        TestAndSplitRegion(data_, config_, std::move(task), &arena);
+    RegionOutcome outcome = TestAndSplitRegion(data_, config_,
+                                               std::move(task), &arena,
+                                               &geom_arena);
     TallyOutcome(outcome, tally);
     if (outcome.accepted) {
       accepted.push_back(AcceptedNode{id, std::move(outcome)});
@@ -349,7 +358,7 @@ PartitionOutput PartitionScheduler::RunSequential(RegionTask root) const {
   PartitionOutput out =
       AssembleOutput(config_, std::move(tally), std::move(accepted));
   if (config_.collect_scheduler_stats) {
-    FoldArenaCounters(arena, worker_stats);
+    FoldArenaCounters(arena, geom_arena, worker_stats);
     out.scheduler.workers.push_back(worker_stats);
   }
   out.scheduler.wall_seconds = timer.Seconds();
@@ -404,7 +413,7 @@ PartitionOutput PartitionScheduler::RunParallel(RegionTask root,
               std::back_inserter(accepted));
     slot->accepted.clear();
     if (config_.collect_scheduler_stats) {
-      FoldArenaCounters(slot->arena, slot->stats);
+      FoldArenaCounters(slot->arena, slot->geom_arena, slot->stats);
       scheduler.workers.push_back(slot->stats);
     }
   }

@@ -47,6 +47,7 @@
 #include "core/partition.h"
 #include "data/dataset.h"
 #include "geom/vec.h"
+#include "pref/flat_region.h"
 #include "pref/region.h"
 #include "topk/score_kernel.h"
 
@@ -54,10 +55,13 @@ namespace toprr {
 
 /// One pending unit of work: a sub-region with its (possibly Lemma-5
 /// reduced) candidate pool and k value, the options pruned so far on this
-/// branch, and the deterministic tree id.
+/// branch, and the deterministic tree id. The geometry travels as a
+/// FlatRegion (pref/flat_region.h): splits move the children's contiguous
+/// buffers into their tasks instead of copying per-vertex Vecs, and the
+/// scoring kernel sweeps the task's vertex buffer in place.
 struct RegionTask {
   uint64_t id = 1;  // heap path: root 1, split children 2*id and 2*id+1
-  PrefRegion region;
+  FlatRegion region;
   std::vector<int> candidates;
   int k = 0;
   std::vector<int> pruned;
@@ -92,13 +96,15 @@ struct RegionOutcome {
 /// the two children. Pure in its output: the result depends only on
 /// (data, config, task), making it safe to call concurrently for
 /// distinct tasks with distinct arenas. `arena` is the calling worker's
-/// scratch state for the scoring kernel (counters accumulate there); a
-/// null arena falls back to a call-local one. Implemented in partition.cc
-/// next to the algorithmic helpers it uses.
+/// scratch state for the scoring kernel and `geom_arena` its flat-split
+/// scratch (counters accumulate in both); a null arena falls back to a
+/// call-local one. Implemented in partition.cc next to the algorithmic
+/// helpers it uses.
 RegionOutcome TestAndSplitRegion(const Dataset& data,
                                  const PartitionConfig& config,
                                  RegionTask task,
-                                 ScoreArena* arena = nullptr);
+                                 ScoreArena* arena = nullptr,
+                                 GeomArena* geom_arena = nullptr);
 
 /// Drives TestAndSplitRegion over the region tree rooted at a task.
 /// config.num_threads selects the executor: 1 runs the sequential

@@ -80,6 +80,7 @@ ToprrResult SolveImpl(const Dataset& data, int k, const PrefRegion& region,
   config.num_threads = options.num_threads;
   config.collect_scheduler_stats = options.collect_scheduler_stats;
   config.use_score_kernel = options.use_score_kernel;
+  config.use_flat_geometry = options.use_flat_geometry;
   switch (options.method) {
     case ToprrMethod::kPac:
       config.ordered_invariance = true;

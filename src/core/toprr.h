@@ -100,6 +100,14 @@ struct ToprrOptions {
   /// (asserted by score_kernel_test); off only for that regression test
   /// and the naive baselines of bench_score_kernel.
   bool use_score_kernel = true;
+
+  /// Split regions through the flat-geometry engine (pref/flat_region.h):
+  /// SoA polytope storage, fused classification sweeps, packed-key vertex
+  /// dedup, per-worker GeomArena scratch. Bit-identical to the legacy
+  /// PrefRegion::Split path (asserted by flat_geometry_test); off only
+  /// for that regression test and the legacy baselines of
+  /// bench_region_split.
+  bool use_flat_geometry = true;
 };
 
 /// Counters and timings describing one solve.

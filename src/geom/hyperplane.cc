@@ -31,6 +31,31 @@ std::string Halfspace::ToString() const {
   return out.str();
 }
 
+void EvalClassifyBatch(const Hyperplane& plane, const double* coords,
+                       size_t count, double tol, double* sval, Side* side,
+                       size_t* num_below, size_t* num_above) {
+  const size_t m = plane.dim();
+  const double* normal = plane.normal.data();
+  const double offset = plane.offset;
+  size_t below = 0;
+  size_t above = 0;
+  for (size_t i = 0; i < count; ++i) {
+    const double v = DotSpan(normal, coords + i * m, m) - offset;
+    sval[i] = v;
+    if (v > tol) {
+      side[i] = Side::kAbove;
+      ++above;
+    } else if (v < -tol) {
+      side[i] = Side::kBelow;
+      ++below;
+    } else {
+      side[i] = Side::kOn;
+    }
+  }
+  *num_below = below;
+  *num_above = above;
+}
+
 std::vector<Halfspace> BoxHalfspaces(const Vec& lo, const Vec& hi) {
   CHECK_EQ(lo.dim(), hi.dim());
   const size_t d = lo.dim();

@@ -75,6 +75,17 @@ struct Halfspace {
   std::string ToString() const;
 };
 
+/// Batched evaluation + classification of `count` points stored row-major
+/// in `coords` (point i at coords + i*dim) against one hyperplane: one
+/// fused sweep writes sval[i] = Eval(point i) and side[i] =
+/// Classify(point i, tol), and tallies the strict sides. Accumulation per
+/// point routes through DotSpan exactly like Eval, so the svals are
+/// bit-identical to per-point calls. The flat-geometry split
+/// (pref/flat_region.h) is the hot caller.
+void EvalClassifyBatch(const Hyperplane& plane, const double* coords,
+                       size_t count, double tol, double* sval, Side* side,
+                       size_t* num_below, size_t* num_above);
+
 /// Axis-aligned box constraints lo <= x <= hi as a list of 2*dim halfspaces.
 std::vector<Halfspace> BoxHalfspaces(const Vec& lo, const Vec& hi);
 

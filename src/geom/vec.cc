@@ -62,9 +62,7 @@ std::string Vec::ToString(int digits) const {
 
 double Dot(const Vec& a, const Vec& b) {
   DCHECK_EQ(a.dim(), b.dim());
-  double acc = 0.0;
-  for (size_t i = 0; i < a.dim(); ++i) acc += a[i] * b[i];
-  return acc;
+  return DotSpan(a.data(), b.data(), a.dim());
 }
 
 double SquaredDistance(const Vec& a, const Vec& b) {

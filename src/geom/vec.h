@@ -75,6 +75,16 @@ class Vec {
   std::vector<double> data_;
 };
 
+/// Inner product over raw buffers, accumulated in index order. The one
+/// dot-product kernel of the library: Dot(Vec, Vec), Hyperplane::Eval,
+/// and the batched flat-geometry sweeps all route through it, so every
+/// caller sees bit-identical accumulation.
+inline double DotSpan(const double* a, const double* b, size_t n) {
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
 /// Inner product; dimensions must match.
 double Dot(const Vec& a, const Vec& b);
 

@@ -28,20 +28,27 @@ Vec ReducedWeight(const Vec& w) {
   return x;
 }
 
-double ReducedScore(const double* p, const Vec& x) {
-  const size_t m = x.dim();
+double ReducedScore(const double* p, const double* x, size_t m) {
   double acc = p[m];
   for (size_t j = 0; j < m; ++j) acc += x[j] * (p[j] - p[m]);
   return acc;
 }
 
-double ReducedScoreDiff(const double* p, const double* q, const Vec& x) {
-  const size_t m = x.dim();
+double ReducedScore(const double* p, const Vec& x) {
+  return ReducedScore(p, x.data(), x.dim());
+}
+
+double ReducedScoreDiff(const double* p, const double* q, const double* x,
+                        size_t m) {
   double acc = p[m] - q[m];
   for (size_t j = 0; j < m; ++j) {
     acc += x[j] * ((p[j] - p[m]) - (q[j] - q[m]));
   }
   return acc;
+}
+
+double ReducedScoreDiff(const double* p, const double* q, const Vec& x) {
+  return ReducedScoreDiff(p, q, x.data(), x.dim());
 }
 
 Hyperplane ScoreEqualityHyperplane(const double* p, const double* q,

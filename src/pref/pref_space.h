@@ -29,8 +29,17 @@ Vec ReducedWeight(const Vec& w);
 /// Score of option p (d contiguous doubles) at reduced weights x (dim d-1).
 double ReducedScore(const double* p, const Vec& x);
 
+/// Raw-buffer variant for flat vertex storage (pref/flat_region.h): x is
+/// m contiguous doubles. Same accumulation order as the Vec overload, so
+/// results are bit-identical.
+double ReducedScore(const double* p, const double* x, size_t m);
+
 /// S_x(p) - S_x(q) for options p, q of dimension x.dim()+1.
 double ReducedScoreDiff(const double* p, const double* q, const Vec& x);
+
+/// Raw-buffer variant, bit-identical to the Vec overload.
+double ReducedScoreDiff(const double* p, const double* q, const double* x,
+                        size_t m);
 
 /// The hyperplane wHP(p, q) = { x : S_x(p) = S_x(q) } in reduced
 /// coordinates. Options are given as raw rows of dimension dim+1.

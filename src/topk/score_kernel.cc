@@ -60,9 +60,21 @@ void Sweep(const double* block, size_t stride, const double* x,
 
 }  // namespace
 
-const std::vector<double>* VertexScoreCache::RowFor(const Vec& vertex) const {
-  for (size_t v = 0; v < vertices.size(); ++v) {
-    if (vertices[v] == vertex) return &rows[v];
+const double* VertexScoreCache::RowFor(const double* vertex,
+                                       size_t vdim) const {
+  if (vdim != dim || dim == 0) return nullptr;
+  const size_t nv = num_vertices();
+  const size_t stride = candidates.size();
+  for (size_t v = 0; v < nv; ++v) {
+    const double* cached = coords.data() + v * dim;
+    bool match = true;
+    for (size_t j = 0; j < dim; ++j) {
+      if (cached[j] != vertex[j]) {
+        match = false;
+        break;
+      }
+    }
+    if (match) return rows.data() + v * stride;
   }
   return nullptr;
 }
@@ -129,29 +141,45 @@ void ScoreKernel::LoadBlock(const Dataset& data,
       static_cast<uint64_t>((m + 1) * count * sizeof(double));
 }
 
-void ScoreKernel::ScoreVertices(const std::vector<Vec>& vertices,
-                                const VertexScoreCache* reuse) {
-  CHECK(pool_ != nullptr) << "LoadBlock first";
+void ScoreKernel::ScoreVertexRow(const double* x, size_t vertex,
+                                 const VertexScoreCache* reuse) {
   const size_t count = pool_->size();
   const size_t m = dim_;
-  if (arena_.scores_.Reserve(vertices.size() * stride_)) {
-    ++arena_.counters_.arena_allocations;
+  double* row = arena_.scores_.data() + vertex * stride_;
+  if (reuse != nullptr) {
+    const double* cached = reuse->RowFor(x, m);
+    if (cached != nullptr) {
+      DCHECK_EQ(reuse->candidates.size(), count);
+      std::memcpy(row, cached, count * sizeof(double));
+      ++arena_.counters_.reuse_hits;
+      return;
+    }
   }
   const double* block = arena_.block_.data();
   const double* base = block + m * stride_;
+  Sweep(block, stride_, x, base, m, count, row);
+  arena_.counters_.candidates_scored += count;
+}
+
+void ScoreKernel::ScoreVertices(const std::vector<Vec>& vertices,
+                                const VertexScoreCache* reuse) {
+  CHECK(pool_ != nullptr) << "LoadBlock first";
+  if (arena_.scores_.Reserve(vertices.size() * stride_)) {
+    ++arena_.counters_.arena_allocations;
+  }
   for (size_t v = 0; v < vertices.size(); ++v) {
-    double* row = arena_.scores_.data() + v * stride_;
-    if (reuse != nullptr) {
-      const std::vector<double>* cached = reuse->RowFor(vertices[v]);
-      if (cached != nullptr) {
-        DCHECK_EQ(cached->size(), count);
-        std::memcpy(row, cached->data(), count * sizeof(double));
-        ++arena_.counters_.reuse_hits;
-        continue;
-      }
-    }
-    Sweep(block, stride_, vertices[v].data(), base, m, count, row);
-    arena_.counters_.candidates_scored += count;
+    ScoreVertexRow(vertices[v].data(), v, reuse);
+  }
+}
+
+void ScoreKernel::ScoreVertices(const double* coords, size_t count,
+                                const VertexScoreCache* reuse) {
+  CHECK(pool_ != nullptr) << "LoadBlock first";
+  if (arena_.scores_.Reserve(count * stride_)) {
+    ++arena_.counters_.arena_allocations;
+  }
+  for (size_t v = 0; v < count; ++v) {
+    ScoreVertexRow(coords + v * dim_, v, reuse);
   }
 }
 
@@ -205,28 +233,38 @@ int ScoreKernel::RankOf(size_t vertex, int id) const {
 }
 
 std::shared_ptr<const VertexScoreCache> ScoreKernel::MakeCache(
-    const std::vector<Vec>& vertices,
+    const double* coords, size_t count,
     const std::vector<int>& surviving) const {
   auto cache = std::make_shared<VertexScoreCache>();
-  cache->vertices = vertices;
+  cache->dim = dim_;
+  cache->coords.assign(coords, coords + count * dim_);
   cache->candidates = surviving;
-  cache->rows.resize(vertices.size());
+  cache->rows.reserve(count * surviving.size());
   const std::vector<int>& ids = *pool_;
-  for (size_t v = 0; v < vertices.size(); ++v) {
+  for (size_t v = 0; v < count; ++v) {
     const double* row = Scores(v);
-    std::vector<double>& masked = cache->rows[v];
-    masked.reserve(surviving.size());
     // `surviving` is a subsequence of the loaded pool; a two-pointer walk
     // picks out its columns.
     size_t c = 0;
     for (const int id : surviving) {
       while (c < ids.size() && ids[c] != id) ++c;
       DCHECK_LT(c, ids.size()) << "surviving pool not a subsequence";
-      masked.push_back(row[c]);
+      cache->rows.push_back(row[c]);
       ++c;
     }
   }
   return cache;
+}
+
+std::shared_ptr<const VertexScoreCache> ScoreKernel::MakeCache(
+    const std::vector<Vec>& vertices,
+    const std::vector<int>& surviving) const {
+  std::vector<double> coords;
+  coords.reserve(vertices.size() * dim_);
+  for (const Vec& v : vertices) {
+    coords.insert(coords.end(), v.begin(), v.end());
+  }
+  return MakeCache(coords.data(), vertices.size(), surviving);
 }
 
 }  // namespace toprr

@@ -55,13 +55,20 @@ struct ScoreKernelCounters {
 /// Shared (read-only) by both children; a child vertex whose coordinates
 /// bitwise-match a cached vertex reuses the row verbatim, which is exact
 /// because a score depends only on the vertex value and the candidate row.
+/// Stored flat (row-major coordinate and score buffers) so building and
+/// probing it never allocates per vertex; the flat-geometry region buffers
+/// (pref/flat_region.h) feed it directly.
 struct VertexScoreCache {
-  std::vector<Vec> vertices;              // the parent region's vertices
-  std::vector<int> candidates;            // pool the rows are aligned with
-  std::vector<std::vector<double>> rows;  // rows[v][c], pool order
+  size_t dim = 0;               // vertex dimension m
+  std::vector<double> coords;   // parent vertices, row-major nv x dim
+  std::vector<int> candidates;  // pool the rows are aligned with
+  std::vector<double> rows;     // nv x candidates.size(), pool order
 
-  /// The cached row for a bitwise-equal vertex, or nullptr.
-  const std::vector<double>* RowFor(const Vec& vertex) const;
+  size_t num_vertices() const { return dim == 0 ? 0 : coords.size() / dim; }
+
+  /// The cached score row (candidates.size() doubles) for a
+  /// bitwise-equal vertex of `vdim` doubles, or nullptr.
+  const double* RowFor(const double* vertex, size_t vdim) const;
 };
 
 /// 64-byte-aligned growable double buffer (geometric growth, never
@@ -136,6 +143,12 @@ class ScoreKernel {
   void ScoreVertices(const std::vector<Vec>& vertices,
                      const VertexScoreCache* reuse);
 
+  /// Flat-buffer variant: `count` vertices of dim() doubles each, stored
+  /// row-major (e.g. FlatRegion::coords()). No Vec bridging: the sweep
+  /// reads the buffer in place. Bit-identical to the Vec overload.
+  void ScoreVertices(const double* coords, size_t count,
+                     const VertexScoreCache* reuse);
+
   size_t pool_size() const { return pool_ == nullptr ? 0 : pool_->size(); }
   const std::vector<int>& pool() const { return *pool_; }
 
@@ -163,7 +176,16 @@ class ScoreKernel {
       const std::vector<Vec>& vertices,
       const std::vector<int>& surviving) const;
 
+  /// Flat-buffer variant over `count` row-major vertices.
+  std::shared_ptr<const VertexScoreCache> MakeCache(
+      const double* coords, size_t count,
+      const std::vector<int>& surviving) const;
+
  private:
+  /// Scores (or reuse-copies) one vertex row; `x` is dim() doubles.
+  void ScoreVertexRow(const double* x, size_t vertex,
+                      const VertexScoreCache* reuse);
+
   ScoreArena& arena_;
   const std::vector<int>* pool_ = nullptr;
   size_t dim_ = 0;     // reduced dimension m

@@ -101,9 +101,10 @@ TEST(ScoreKernelTest, EdgeCases) {
   // An empty reuse mask (cache whose vertices match nothing) must be a
   // silent no-op.
   VertexScoreCache unrelated;
-  unrelated.vertices.push_back(Vec{0.9, 0.9});
+  unrelated.dim = 2;
+  unrelated.coords = {0.9, 0.9};
   unrelated.candidates = {2, 9, 31};
-  unrelated.rows.push_back({1.0, 2.0, 3.0});
+  unrelated.rows = {1.0, 2.0, 3.0};
   CheckKernelAgainstNaive(ds, {2, 9, 31}, vertices, 2, &unrelated);
 }
 
