@@ -14,6 +14,7 @@
 #ifndef TOPRR_BENCH_BENCH_COMMON_H_
 #define TOPRR_BENCH_BENCH_COMMON_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <map>
@@ -90,6 +91,44 @@ inline const Dataset& CachedSynthetic(size_t n, size_t d,
     it = cache.emplace(key, GenerateSynthetic(n, d, dist, seed)).first;
   }
   return it->second;
+}
+
+/// Min / median / mean over the measured rounds of one payload.
+struct RoundTiming {
+  double min_seconds = 0.0;
+  double median_seconds = 0.0;
+  double mean_seconds = 0.0;
+  int rounds = 0;
+};
+
+/// Runs `payload` for `warmup` untimed rounds (caches fill, frequencies
+/// settle) then `rounds` timed ones, reporting min / median-of-N / mean.
+/// Shared by the bench binaries so single-shot numbers stop swinging with
+/// scheduler noise (first step toward the csbench-grade harness on the
+/// ROADMAP). Median is the robust headline; min bounds the noise floor.
+template <typename Payload>
+inline RoundTiming RunTimedRounds(int warmup, int rounds, Payload&& payload) {
+  for (int i = 0; i < warmup; ++i) payload();
+  std::vector<double> seconds;
+  const int measured = rounds > 0 ? rounds : 1;
+  seconds.reserve(static_cast<size_t>(measured));
+  for (int i = 0; i < measured; ++i) {
+    Timer timer;
+    payload();
+    seconds.push_back(timer.Seconds());
+  }
+  std::sort(seconds.begin(), seconds.end());
+  RoundTiming timing;
+  timing.rounds = measured;
+  timing.min_seconds = seconds.front();
+  const size_t mid = seconds.size() / 2;
+  timing.median_seconds =
+      seconds.size() % 2 == 1 ? seconds[mid]
+                              : 0.5 * (seconds[mid - 1] + seconds[mid]);
+  double total = 0.0;
+  for (const double s : seconds) total += s;
+  timing.mean_seconds = total / static_cast<double>(seconds.size());
+  return timing;
 }
 
 /// Aggregated outcome of `queries` TopRR solves at one parameter point.

@@ -1,0 +1,229 @@
+// Cross-query region-cache replay: queries/sec of a zipf-skewed clientele
+// mix through the engine with the cache off (cold) vs on and populated
+// (warm).
+//
+// The mix mirrors examples/toprr_loadgen.cpp --zipf: a fixed set of
+// profile boxes whose corners sit at grid-cell centers, sampled by
+// Zipf(s) rank weight, each draw shifted by under half a canonicalization
+// cell per axis -- so every jittered copy of a profile snaps to the same
+// cached region and repeat queries hit. Both series replay the identical
+// query sequence; the cold series merely bypasses the cache, so the gap
+// is the cache's doing (the per-k skyband is warm for both).
+//
+// Each benchmark iteration times the replay with the shared
+// RunTimedRounds helper (1 warmup round, median of 3) and the warm points
+// carry `speedup_vs_cold`, `hit_rate`, and `tasks_saved` counters against
+// the matching cold point (registered and therefore run first). CI's
+// bench-smoke job gates `query_cache/warm/d:4/k:10` at >= 2x
+// (ci/check_bench_smoke.py --cache).
+//
+// Emit the committed JSON trajectory with the stock flags:
+//   bench_query_cache --benchmark_format=json
+//                     --benchmark_out=BENCH_query_cache.json
+#include <cmath>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/engine.h"
+
+namespace toprr {
+namespace bench {
+namespace {
+
+constexpr double kQuantum = 1.0 / 256.0;  // region-cache default grid
+constexpr double kZipfS = 1.2;
+constexpr int kWarmupRounds = 1;
+constexpr int kMeasuredRounds = 3;
+
+struct ReplayConfig {
+  size_t n;
+  size_t d;
+  int k;
+  int profiles;  // distinct clientele boxes in the mix
+  int queries;   // replayed per round
+
+  std::string Label() const {
+    return "d:" + std::to_string(d) + "/k:" + std::to_string(k);
+  }
+};
+
+// The sweep; the last entry is the CI-gated configuration.
+const ReplayConfig kConfigs[] = {
+    {20000, 3, 5, 16, 48},
+    {20000, 4, 10, 16, 48},
+};
+
+// Cold per-round median seconds per config, seeded by the cold series
+// (registered first) and read by the matching warm point.
+std::map<std::string, double>& ColdSeconds() {
+  static auto& seconds = *new std::map<std::string, double>();
+  return seconds;
+}
+
+// Profile boxes with corners at grid-cell centers ((m + 0.5) * quantum),
+// rejection-sampled until the snapped-out canonical box fits in the
+// simplex -- the same construction as the loadgen's BuildZipfMix, so this
+// replay and the CI serve-smoke replay exercise the same cache behavior.
+std::vector<PrefBox> BuildProfiles(size_t dim, double sigma, int count,
+                                   uint64_t seed) {
+  const double cells = 1.0 / kQuantum;
+  const int64_t width =
+      std::max<int64_t>(1, static_cast<int64_t>(std::lround(sigma * cells)));
+  Rng rng(seed);
+  std::vector<PrefBox> profiles;
+  while (profiles.size() < static_cast<size_t>(count)) {
+    PrefBox box;
+    box.lo = Vec(dim);
+    box.hi = Vec(dim);
+    PrefBox canonical;
+    canonical.lo = Vec(dim);
+    canonical.hi = Vec(dim);
+    for (size_t j = 0; j < dim; ++j) {
+      const int64_t cell =
+          rng.UniformInt(1, static_cast<int64_t>(cells) - width - 1);
+      box.lo[j] = (static_cast<double>(cell) + 0.5) * kQuantum;
+      box.hi[j] = (static_cast<double>(cell + width) + 0.5) * kQuantum;
+      canonical.lo[j] = static_cast<double>(cell) * kQuantum;
+      canonical.hi[j] = static_cast<double>(cell + width + 1) * kQuantum;
+    }
+    if (canonical.InsideSimplex()) profiles.push_back(std::move(box));
+  }
+  return profiles;
+}
+
+// The deterministic replay sequence: Zipf(s)-ranked profile picks, each
+// shifted whole-box by |delta| <= 0.4 cells per axis (jitter-invariant
+// canonical keys).
+std::vector<ToprrQuery> BuildReplay(const ReplayConfig& config,
+                                    bool use_cache, uint64_t seed) {
+  const std::vector<PrefBox> profiles =
+      BuildProfiles(config.d - 1, GlobalConfig().default_sigma(),
+                    config.profiles, seed);
+  std::vector<double> cdf(profiles.size());
+  double total = 0.0;
+  for (size_t i = 0; i < cdf.size(); ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), kZipfS);
+    cdf[i] = total;
+  }
+  for (double& c : cdf) c /= total;
+
+  Rng rng(seed * 17 + 3);
+  std::vector<ToprrQuery> queries;
+  queries.reserve(static_cast<size_t>(config.queries));
+  for (int q = 0; q < config.queries; ++q) {
+    const double u = rng.Uniform();
+    const size_t pick =
+        std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin();
+    PrefBox box = profiles[std::min(pick, profiles.size() - 1)];
+    for (size_t j = 0; j < box.dim(); ++j) {
+      const double delta = (rng.Uniform() - 0.5) * 0.8 * kQuantum;
+      box.lo[j] += delta;
+      box.hi[j] += delta;
+    }
+    ToprrOptions options;
+    options.build_geometry = false;
+    options.use_region_cache = use_cache;
+    queries.push_back(ToprrQuery::FromBox(config.k, std::move(box), options));
+  }
+  return queries;
+}
+
+void RunPoint(::benchmark::State& state, const ReplayConfig& config,
+              bool warm) {
+  const BenchConfig& global = GlobalConfig();
+  const Dataset& data = CachedSynthetic(config.n, config.d,
+                                        Distribution::kIndependent,
+                                        global.seed);
+  const std::vector<ToprrQuery> queries =
+      BuildReplay(config, warm, global.seed * 101 + config.d);
+
+  ToprrEngine engine(&data);
+  if (warm) engine.EnableRegionCache({});
+
+  uint64_t hits = 0;
+  uint64_t partial = 0;
+  uint64_t misses = 0;
+  uint64_t tasks_saved = 0;
+  double checksum = 0.0;
+  const auto replay = [&]() {
+    const std::vector<ToprrResult> results = engine.SolveBatch(queries, 1);
+    for (const ToprrResult& r : results) {
+      hits += r.stats.scheduler.cache_hits;
+      partial += r.stats.scheduler.cache_partial_hits;
+      misses += r.stats.scheduler.cache_misses;
+      tasks_saved += r.stats.scheduler.cache_tasks_saved;
+      checksum += static_cast<double>(r.stats.vall_unique);
+    }
+  };
+
+  uint64_t classified_queries = 0;
+  RoundTiming timing;
+  for (auto _ : state) {
+    // The warmup round fills the per-k skyband for both series and the
+    // region cache for the warm one; hit_rate below still counts its
+    // mandatory cold misses.
+    timing = RunTimedRounds(kWarmupRounds, kMeasuredRounds, replay);
+    classified_queries += static_cast<uint64_t>(config.queries) *
+                          (kWarmupRounds + kMeasuredRounds);
+    state.SetIterationTime(timing.median_seconds);
+  }
+  ::benchmark::DoNotOptimize(checksum);
+
+  state.counters["qps"] =
+      timing.median_seconds > 0.0
+          ? static_cast<double>(config.queries) / timing.median_seconds
+          : 0.0;
+  state.counters["round_min_ms"] = timing.min_seconds * 1e3;
+  state.counters["round_median_ms"] = timing.median_seconds * 1e3;
+  if (!warm) {
+    ColdSeconds()[config.Label()] = timing.median_seconds;
+    return;
+  }
+  const uint64_t classified = hits + partial + misses;
+  state.counters["hit_rate"] =
+      classified > 0
+          ? static_cast<double>(hits + partial) /
+                static_cast<double>(classified)
+          : 0.0;
+  state.counters["tasks_saved"] = static_cast<double>(tasks_saved);
+  // Guard against a bypassing replay masquerading as a fast one: a warm
+  // series that never classified a query gets no speedup counter, which
+  // fails the CI gate loudly.
+  if (classified_queries == 0 || classified != classified_queries) return;
+  const auto it = ColdSeconds().find(config.Label());
+  if (it != ColdSeconds().end() && it->second > 0.0 &&
+      timing.median_seconds > 0.0) {
+    state.counters["speedup_vs_cold"] = it->second / timing.median_seconds;
+  }
+}
+
+void RegisterAll() {
+  // The cold series registers (and runs) first so every warm point finds
+  // its baseline.
+  for (const bool warm : {false, true}) {
+    for (const ReplayConfig& config : kConfigs) {
+      const std::string name = std::string("query_cache/") +
+                               (warm ? "warm/" : "cold/") + config.Label();
+      ::benchmark::RegisterBenchmark(
+          name.c_str(),
+          [config, warm](::benchmark::State& state) {
+            RunPoint(state, config, warm);
+          })
+          ->UseManualTime();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace toprr
+
+int main(int argc, char** argv) {
+  if (!toprr::bench::ParseBenchFlags(&argc, argv)) return 1;
+  toprr::bench::RegisterAll();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

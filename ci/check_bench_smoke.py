@@ -26,9 +26,17 @@ large configuration `region_split/flat/d:4/r:8` is missing or its
 var, default 1.2) -- the flat-geometry split must beat the legacy
 PrefRegion::Split on split/classify throughput.
 
+--cache mode reads a bench_query_cache JSON file and fails when the
+gated configuration `query_cache/warm/d:4/k:10` is missing, its
+`speedup_vs_cold` counter is below the floor (BENCH_CACHE_FLOOR env var,
+default 2.0), its zipf-replay `hit_rate` is below 0.5, or it saved zero
+partition tasks -- the warm cross-query region cache must beat the
+cache-off replay of the identical query sequence.
+
 Usage: check_bench_smoke.py bench_smoke.json
        check_bench_smoke.py --kernel score_kernel.json
        check_bench_smoke.py --geometry region_split.json
+       check_bench_smoke.py --cache BENCH_query_cache.json
 Self-test: check_bench_smoke.py --self-test
 """
 
@@ -40,6 +48,7 @@ import sys
 SERIES = re.compile(r"^parallel_scale/scheduler_deep/threads:(\d+)(/|$)")
 KERNEL_LARGE = re.compile(r"^score_kernel/soa/c:4096/v:16/d:4(/|$)")
 GEOM_LARGE = re.compile(r"^region_split/flat/d:4/r:8(/|$)")
+CACHE_GATED = re.compile(r"^query_cache/warm/d:4/k:10(/|$)")
 
 
 def evaluate(report, floor):
@@ -174,6 +183,59 @@ def evaluate_geometry(report, floor):
     return True, summary
 
 
+def evaluate_cache(report, floor):
+    """Returns (ok, one_line_message) for a bench_query_cache report."""
+    if not isinstance(report, dict):
+        return False, "report is not a JSON object"
+    benchmarks = report.get("benchmarks")
+    if not isinstance(benchmarks, list) or not benchmarks:
+        return False, (
+            "no benchmark series in the report (did bench_query_cache "
+            "run with --benchmark_out?)"
+        )
+    gated = None
+    for bench in benchmarks:
+        if isinstance(bench, dict) and CACHE_GATED.match(
+                bench.get("name", "")):
+            gated = bench
+            break
+    if gated is None:
+        return False, (
+            "gated cache config missing: the report has "
+            f"{len(benchmarks)} benchmarks but none match "
+            "query_cache/warm/d:4/k:10"
+        )
+    speedup = gated.get("speedup_vs_cold")
+    if speedup is None:
+        return False, (
+            "gated cache config has no speedup_vs_cold counter (did the "
+            "cold series run first, and did every query get classified?)"
+        )
+    hit_rate = gated.get("hit_rate", 0.0)
+    tasks_saved = gated.get("tasks_saved", 0.0)
+    summary = (
+        f"warm region-cache replay {speedup:.2f}x over cold (floor "
+        f"{floor}x), hit rate {hit_rate:.3f}, "
+        f"{tasks_saved:.0f} partition tasks saved"
+    )
+    if speedup < floor:
+        return False, (
+            f"warm cache replay speedup {speedup:.2f}x below the "
+            f"{floor}x floor"
+        )
+    if hit_rate < 0.5:
+        return False, (
+            f"zipf replay hit rate {hit_rate:.3f} below 0.5: the cache "
+            "is not absorbing the repeated profiles"
+        )
+    if tasks_saved <= 0:
+        return False, (
+            "zero partition tasks saved: hits never clipped a stored "
+            "region (cache plumbing broken?)"
+        )
+    return True, summary
+
+
 def self_test():
     def series(entries):
         return {
@@ -285,6 +347,54 @@ def self_test():
 
     ok, message = evaluate_geometry([1, 2], 1.2)
     assert not ok, "non-object geometry JSON must fail, not crash"
+
+    def cache_report(name, counters):
+        return {
+            "benchmarks": [
+                {"name": "query_cache/cold/d:4/k:10/manual_time"},
+                {"name": name + "/manual_time", **counters},
+            ]
+        }
+
+    good_cache = cache_report(
+        "query_cache/warm/d:4/k:10",
+        {"speedup_vs_cold": 3.0, "hit_rate": 0.99, "tasks_saved": 4.0e5})
+    ok, _ = evaluate_cache(good_cache, 2.0)
+    assert ok, "healthy cache report must pass"
+
+    ok, message = evaluate_cache({}, 2.0)
+    assert not ok and "no benchmark series" in message
+
+    ok, message = evaluate_cache(
+        cache_report("query_cache/warm/d:3/k:5",
+                     {"speedup_vs_cold": 3.0}), 2.0)
+    assert not ok and "gated cache config missing" in message
+
+    ok, message = evaluate_cache(
+        cache_report("query_cache/warm/d:4/k:10",
+                     {"hit_rate": 0.99, "tasks_saved": 1.0}), 2.0)
+    assert not ok and "no speedup_vs_cold" in message
+
+    ok, message = evaluate_cache(
+        cache_report("query_cache/warm/d:4/k:10",
+                     {"speedup_vs_cold": 1.4, "hit_rate": 0.99,
+                      "tasks_saved": 1.0}), 2.0)
+    assert not ok and "below" in message
+
+    ok, message = evaluate_cache(
+        cache_report("query_cache/warm/d:4/k:10",
+                     {"speedup_vs_cold": 3.0, "hit_rate": 0.2,
+                      "tasks_saved": 1.0}), 2.0)
+    assert not ok and "hit rate" in message
+
+    ok, message = evaluate_cache(
+        cache_report("query_cache/warm/d:4/k:10",
+                     {"speedup_vs_cold": 3.0, "hit_rate": 0.99,
+                      "tasks_saved": 0.0}), 2.0)
+    assert not ok and "zero partition tasks saved" in message
+
+    ok, message = evaluate_cache([1, 2], 2.0)
+    assert not ok, "non-object cache JSON must fail, not crash"
     print("bench-smoke: self-test PASS")
 
 
@@ -294,14 +404,16 @@ def main():
         return
     kernel_mode = len(sys.argv) == 3 and sys.argv[1] == "--kernel"
     geometry_mode = len(sys.argv) == 3 and sys.argv[1] == "--geometry"
-    if not kernel_mode and not geometry_mode and len(sys.argv) != 2:
+    cache_mode = len(sys.argv) == 3 and sys.argv[1] == "--cache"
+    flagged = kernel_mode or geometry_mode or cache_mode
+    if not flagged and len(sys.argv) != 2:
         print(
             f"bench-smoke: FAIL: usage: {sys.argv[0]} "
-            "[--kernel|--geometry] <benchmark_out.json>",
+            "[--kernel|--geometry|--cache] <benchmark_out.json>",
             file=sys.stderr,
         )
         sys.exit(1)
-    path = sys.argv[2] if (kernel_mode or geometry_mode) else sys.argv[1]
+    path = sys.argv[2] if flagged else sys.argv[1]
 
     try:
         with open(path, "r", encoding="utf-8") as handle:
@@ -319,6 +431,9 @@ def main():
     elif geometry_mode:
         floor = float(os.environ.get("BENCH_GEOM_FLOOR", "1.2"))
         ok, message = evaluate_geometry(report, floor)
+    elif cache_mode:
+        floor = float(os.environ.get("BENCH_CACHE_FLOOR", "2.0"))
+        ok, message = evaluate_cache(report, floor)
     else:
         floor = float(os.environ.get("BENCH_SMOKE_FLOOR", "1.5"))
         ok, message = evaluate(report, floor)

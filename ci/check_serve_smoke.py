@@ -15,7 +15,19 @@ one-line message) when:
 Rejected-by-admission-control queries are reported but do not fail the
 gate: backpressure under a saturating loadgen is correct behavior.
 
+--cache mode applies every check above to a `toprr_loadgen --zipf`
+report taken against a `toprr_serve --cache` server, then additionally
+fails when:
+
+  * the report has no `cache` block (old loadgen, or --zipf not passed),
+  * any query was classified bypass (the server ran without --cache, so
+    the replay never exercised the region cache),
+  * the zipf-replay hit rate is below the floor (SERVE_SMOKE_HIT_RATE
+    env var, default 0.5), or
+  * the hits saved zero partition tasks (cache plumbing broken).
+
 Usage: check_serve_smoke.py loadgen.json
+       check_serve_smoke.py --cache loadgen_cache.json
 Self-test: check_serve_smoke.py --self-test
 """
 
@@ -55,6 +67,47 @@ def evaluate(report, p99_bound_ms):
     return True, summary
 
 
+def evaluate_cache(report, p99_bound_ms, hit_rate_floor):
+    """Returns (ok, one_line_message) for a zipf replay against a
+    cache-enabled server: the base gate plus cache-health checks."""
+    ok, base = evaluate(report, p99_bound_ms)
+    if not ok:
+        return False, base
+    cache = report.get("cache")
+    if not isinstance(cache, dict):
+        return False, (
+            "report has no cache block (did toprr_loadgen run with "
+            "--zipf against this server?)"
+        )
+    hit_rate = cache.get("hit_rate", 0.0)
+    tasks_saved = cache.get("tasks_saved", 0)
+    bypass = cache.get("bypass", 0)
+    summary = (
+        f"{base}; cache hit rate {hit_rate:.3f} "
+        f"(floor {hit_rate_floor:.2f}), {cache.get('hits', 0)} hits / "
+        f"{cache.get('partial_hits', 0)} partial / "
+        f"{cache.get('misses', 0)} misses, "
+        f"{tasks_saved} partition tasks saved"
+    )
+    if bypass != 0:
+        return False, (
+            f"{bypass} queries classified bypass -- the server is not "
+            "running with --cache, so the replay never exercised the "
+            "region cache"
+        )
+    if hit_rate < hit_rate_floor:
+        return False, (
+            f"zipf replay hit rate {hit_rate:.3f} below the "
+            f"{hit_rate_floor:.2f} floor -- {summary}"
+        )
+    if tasks_saved <= 0:
+        return False, (
+            "zero partition tasks saved: hits never clipped a stored "
+            f"region -- {summary}"
+        )
+    return True, summary
+
+
 def self_test():
     good = {
         "completed_queries": 100,
@@ -84,6 +137,35 @@ def self_test():
     # Rejections alone do not fail the gate.
     ok, _ = evaluate(dict(good, rejected_queries=10**6), 1000.0)
     assert ok
+
+    good_cache = dict(good, cache={
+        "hits": 90, "partial_hits": 5, "misses": 5, "bypass": 0,
+        "hit_rate": 0.95, "tasks_saved": 12345,
+    })
+    ok, _ = evaluate_cache(good_cache, 1000.0, 0.5)
+    assert ok, "healthy cache replay must pass"
+
+    # The base gate still applies in --cache mode.
+    ok, message = evaluate_cache(
+        dict(good_cache, protocol_errors=1), 1000.0, 0.5)
+    assert not ok and "protocol errors" in message
+
+    ok, message = evaluate_cache(good, 1000.0, 0.5)
+    assert not ok and "no cache block" in message
+
+    ok, message = evaluate_cache(
+        dict(good, cache=dict(good_cache["cache"], bypass=7)), 1000.0, 0.5)
+    assert not ok and "bypass" in message
+
+    ok, message = evaluate_cache(
+        dict(good, cache=dict(good_cache["cache"], hit_rate=0.2)),
+        1000.0, 0.5)
+    assert not ok and "hit rate" in message
+
+    ok, message = evaluate_cache(
+        dict(good, cache=dict(good_cache["cache"], tasks_saved=0)),
+        1000.0, 0.5)
+    assert not ok and "zero partition tasks saved" in message
     print("serve-smoke: self-test PASS")
 
 
@@ -91,23 +173,31 @@ def main():
     if len(sys.argv) == 2 and sys.argv[1] == "--self-test":
         self_test()
         return
-    if len(sys.argv) != 2:
+    cache_mode = len(sys.argv) == 3 and sys.argv[1] == "--cache"
+    if not cache_mode and len(sys.argv) != 2:
         print(
-            f"serve-smoke: FAIL: usage: {sys.argv[0]} <loadgen.json>",
+            f"serve-smoke: FAIL: usage: {sys.argv[0]} "
+            "[--cache] <loadgen.json>",
             file=sys.stderr,
         )
         sys.exit(1)
+    path = sys.argv[2] if cache_mode else sys.argv[1]
     p99_bound_ms = float(os.environ.get("SERVE_SMOKE_P99_MS", "10000"))
     try:
-        with open(sys.argv[1], "r", encoding="utf-8") as handle:
+        with open(path, "r", encoding="utf-8") as handle:
             report = json.load(handle)
     except (OSError, json.JSONDecodeError) as err:
         print(
-            f"serve-smoke: FAIL: cannot read {sys.argv[1]}: {err}",
+            f"serve-smoke: FAIL: cannot read {path}: {err}",
             file=sys.stderr,
         )
         sys.exit(1)
-    ok, message = evaluate(report, p99_bound_ms)
+    if cache_mode:
+        hit_rate_floor = float(
+            os.environ.get("SERVE_SMOKE_HIT_RATE", "0.5"))
+        ok, message = evaluate_cache(report, p99_bound_ms, hit_rate_floor)
+    else:
+        ok, message = evaluate(report, p99_bound_ms)
     if not ok:
         print(f"serve-smoke: FAIL: {message}", file=sys.stderr)
         sys.exit(1)

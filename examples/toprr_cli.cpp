@@ -70,6 +70,7 @@ int main(int argc, char** argv) {
   int batch = 0;
   bool normalize = true;
   bool stats = false;
+  bool cache = false;
   bool help = false;
   flags.AddString("csv", &csv_path, "load options from this CSV file");
   flags.AddString("wr", &wr_text,
@@ -92,6 +93,9 @@ int main(int argc, char** argv) {
   flags.AddBool("normalize", &normalize, "min-max normalize CSV columns");
   flags.AddBool("stats", &stats,
                 "print scheduler telemetry (per-worker tasks/steals)");
+  flags.AddBool("cache", &cache,
+                "batch mode: serve queries through the cross-query region "
+                "cache (repeated --wr boxes hit after the first solve)");
   flags.AddBool("help", &help, "print usage");
   if (!flags.Parse(&argc, argv)) return 1;
   if (help) {
@@ -152,12 +156,14 @@ int main(int argc, char** argv) {
   // engine (shared per-k skyband cache, pool-dispatched queries). ----
   if (batch > 0) {
     ToprrEngine engine(&data);
+    if (cache) engine.EnableRegionCache({});
     Rng rng(static_cast<uint64_t>(seed) + 2);
     std::vector<ToprrQuery> queries;
     queries.reserve(static_cast<size_t>(batch));
     for (int q = 0; q < batch; ++q) {
       ToprrOptions options;
       options.build_geometry = false;
+      options.use_region_cache = cache;
       // --wr pins every query to the given clientele (repeated-query
       // serving); otherwise each query draws a fresh random box.
       queries.push_back(ToprrQuery::FromBox(
@@ -189,6 +195,10 @@ int main(int argc, char** argv) {
       uint64_t reuse_hits = 0;
       uint64_t split_verts = 0;
       uint64_t geom_allocs = 0;
+      uint64_t cache_hits = 0;
+      uint64_t cache_partial = 0;
+      uint64_t cache_misses = 0;
+      uint64_t cache_tasks_saved = 0;
       for (const ToprrResult& r : results) {
         executed += r.stats.scheduler.TotalExecuted();
         stolen += r.stats.scheduler.TotalStolen();
@@ -198,6 +208,10 @@ int main(int argc, char** argv) {
         reuse_hits += r.stats.scheduler.TotalReuseHits();
         split_verts += r.stats.scheduler.TotalSplitVerticesClassified();
         geom_allocs += r.stats.scheduler.TotalGeomArenaAllocations();
+        cache_hits += r.stats.scheduler.cache_hits;
+        cache_partial += r.stats.scheduler.cache_partial_hits;
+        cache_misses += r.stats.scheduler.cache_misses;
+        cache_tasks_saved += r.stats.scheduler.cache_tasks_saved;
       }
       std::printf("scheduler totals over the batch: executed=%llu "
                   "stolen=%llu steal_failures=%llu\n",
@@ -213,6 +227,14 @@ int main(int argc, char** argv) {
                   "split_verts=%llu geom_arena_allocs=%llu\n",
                   static_cast<unsigned long long>(split_verts),
                   static_cast<unsigned long long>(geom_allocs));
+      if (cache) {
+        std::printf("region-cache totals over the batch: hits=%llu "
+                    "partial=%llu misses=%llu tasks_saved=%llu\n",
+                    static_cast<unsigned long long>(cache_hits),
+                    static_cast<unsigned long long>(cache_partial),
+                    static_cast<unsigned long long>(cache_misses),
+                    static_cast<unsigned long long>(cache_tasks_saved));
+      }
     }
     return failed == 0 ? 0 : 1;
   }

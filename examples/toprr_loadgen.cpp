@@ -6,6 +6,15 @@
 // flag and reporting conventions follow bench/bench_common.h).
 //
 //   toprr_loadgen --port 7077 --connections 4 --duration 10 --batch 8
+//
+// --zipf switches from i.i.d. random boxes to a skewed repeated-query
+// mix: a fixed set of --profiles clientele boxes is drawn once from the
+// shared seed (identical across connections and runs), and every query
+// samples a profile Zipf(s)-distributed, then jitters it by less than
+// half a cache grid cell. Popular clienteles repeat, so a cache-enabled
+// server converges to hits; the JSON report gains a "cache" block with
+// per-class solve-time percentiles (consumed by
+// ci/check_serve_smoke.py --cache).
 #include <algorithm>
 #include <atomic>
 #include <cmath>
@@ -34,7 +43,92 @@ struct WorkerReport {
   uint64_t other_statuses = 0;     // kShutdown etc.
   uint64_t protocol_errors = 0;    // transport/decode failures
   std::string first_error;
+
+  // Region-cache outcomes reported back by the server (ServeQueryStats),
+  // plus per-class server-side solve times for the percentile lines.
+  uint64_t cache_hits = 0;
+  uint64_t cache_partial_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_bypass = 0;
+  uint64_t cache_tasks_saved = 0;
+  std::vector<double> hit_solve_millis;
+  std::vector<double> miss_solve_millis;
 };
+
+// The zipf query mix: profile boxes plus the sampling distribution.
+struct ZipfMix {
+  std::vector<PrefBox> profiles;
+  std::vector<double> cdf;  // cumulative Zipf(s) weights, cdf.back() == 1
+  double quantum = 1.0 / 256.0;
+};
+
+// Draws the shared profile set: boxes whose corners sit at grid-cell
+// CENTERS ((m + 0.5) * quantum), so the later +-0.4-cell jitter never
+// crosses a cell boundary and every jittered copy canonicalizes to the
+// same cached box. Deterministic in `seed` alone -- every connection
+// (and every run) sees the same profiles.
+ZipfMix BuildZipfMix(size_t dim, double sigma, double s, int profiles,
+                     double quantum, uint64_t seed) {
+  ZipfMix mix;
+  mix.quantum = quantum;
+  const double cells = 1.0 / quantum;
+  // Box side in whole cells (at least one).
+  const int64_t width =
+      std::max<int64_t>(1, static_cast<int64_t>(std::lround(sigma * cells)));
+  Rng rng(seed);
+  while (mix.profiles.size() < static_cast<size_t>(profiles)) {
+    PrefBox box;
+    box.lo = Vec(dim);
+    box.hi = Vec(dim);
+    PrefBox canonical;  // what the cache will snap the box out to
+    canonical.lo = Vec(dim);
+    canonical.hi = Vec(dim);
+    bool in_range = true;
+    for (size_t j = 0; j < dim; ++j) {
+      const int64_t max_lo_cell =
+          static_cast<int64_t>(cells) - width - 1;
+      if (max_lo_cell < 1) {
+        in_range = false;
+        break;
+      }
+      const int64_t cell = rng.UniformInt(1, max_lo_cell);
+      box.lo[j] = (static_cast<double>(cell) + 0.5) * quantum;
+      box.hi[j] = (static_cast<double>(cell + width) + 0.5) * quantum;
+      canonical.lo[j] = static_cast<double>(cell) * quantum;
+      canonical.hi[j] = static_cast<double>(cell + width + 1) * quantum;
+    }
+    // The snapped-out canonical box is what must fit in the simplex;
+    // rejection-sample until it does (cheap for the paper's sigma <= 5%).
+    if (in_range && canonical.InsideSimplex()) {
+      mix.profiles.push_back(std::move(box));
+    }
+  }
+  // Zipf(s) over profile ranks: weight 1/(i+1)^s, as a sampling CDF.
+  mix.cdf.resize(mix.profiles.size());
+  double total = 0.0;
+  for (size_t i = 0; i < mix.cdf.size(); ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    mix.cdf[i] = total;
+  }
+  for (double& c : mix.cdf) c /= total;
+  return mix;
+}
+
+// One zipf query: sample a profile, shift the whole box by under half a
+// grid cell per axis. The shift keeps every corner inside its original
+// cell, so the canonical (cache) box is jitter-invariant.
+PrefBox SampleZipfBox(const ZipfMix& mix, Rng& rng) {
+  const double u = rng.Uniform();
+  const size_t pick =
+      std::lower_bound(mix.cdf.begin(), mix.cdf.end(), u) - mix.cdf.begin();
+  PrefBox box = mix.profiles[std::min(pick, mix.profiles.size() - 1)];
+  for (size_t j = 0; j < box.dim(); ++j) {
+    const double delta = (rng.Uniform() - 0.5) * 0.8 * mix.quantum;
+    box.lo[j] += delta;
+    box.hi[j] += delta;
+  }
+  return box;
+}
 
 double Percentile(std::vector<double>& sorted, double p) {
   if (sorted.empty()) return 0.0;
@@ -48,7 +142,7 @@ double Percentile(std::vector<double>& sorted, double p) {
 void RunConnection(const std::string& host, int port, size_t dim, int k,
                    double sigma, int batch, double budget_seconds,
                    double duration_seconds, uint64_t seed,
-                   WorkerReport* report) {
+                   const ZipfMix* mix, WorkerReport* report) {
   serve::ToprrClient client;
   if (!client.Connect(host, port)) {
     ++report->protocol_errors;
@@ -64,8 +158,11 @@ void RunConnection(const std::string& host, int port, size_t dim, int k,
       ToprrOptions options;
       options.build_geometry = false;  // serving latency, not geometry
       options.time_budget_seconds = budget_seconds;
-      queries.push_back(
-          ToprrQuery::FromBox(k, RandomPrefBox(dim, sigma, rng), options));
+      queries.push_back(ToprrQuery::FromBox(
+          k,
+          mix != nullptr ? SampleZipfBox(*mix, rng)
+                         : RandomPrefBox(dim, sigma, rng),
+          options));
     }
     Timer rpc;
     auto responses = client.SolveBatch(queries);
@@ -95,6 +192,25 @@ void RunConnection(const std::string& host, int port, size_t dim, int k,
           ++report->other_statuses;
           break;
       }
+      const double solve_millis = response.stats.total_seconds * 1000.0;
+      switch (static_cast<serve::CacheLookup>(response.stats.cache_lookup)) {
+        case serve::CacheLookup::kHit:
+          ++report->cache_hits;
+          report->hit_solve_millis.push_back(solve_millis);
+          break;
+        case serve::CacheLookup::kPartial:
+          ++report->cache_partial_hits;
+          report->hit_solve_millis.push_back(solve_millis);
+          break;
+        case serve::CacheLookup::kMiss:
+          ++report->cache_misses;
+          report->miss_solve_millis.push_back(solve_millis);
+          break;
+        case serve::CacheLookup::kBypass:
+          ++report->cache_bypass;
+          break;
+      }
+      report->cache_tasks_saved += response.stats.cache_tasks_saved;
     }
   }
 }
@@ -114,6 +230,10 @@ int main(int argc, char** argv) {
   double sigma = 0.01;
   double budget = 0.0;
   int64_t seed = 2019;
+  bool zipf = false;
+  double zipf_s = 1.2;
+  int profiles = 32;
+  double quantum = 1.0 / 256.0;
   bool help = false;
   flags.AddString("host", &host, "server address");
   flags.AddString("out", &out_path, "write the JSON report here (default: stdout)");
@@ -127,6 +247,14 @@ int main(int argc, char** argv) {
   flags.AddDouble("budget", &budget,
                   "per-query budget request in seconds (0 = server default)");
   flags.AddInt("seed", &seed, "rng seed");
+  flags.AddBool("zipf", &zipf,
+                "skewed repeated-query mix over a fixed profile set "
+                "(exercises the server's region cache)");
+  flags.AddDouble("zipf_s", &zipf_s, "zipf skew exponent");
+  flags.AddInt("profiles", &profiles, "distinct clientele boxes in the mix");
+  flags.AddDouble("quantum", &quantum,
+                  "cache grid the profiles align to (must match the "
+                  "server's --cache_quantum)");
   flags.AddBool("help", &help, "print usage");
   if (!flags.Parse(&argc, argv)) return 1;
   if (help) {
@@ -137,6 +265,22 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "need --connections >= 1, --batch >= 1, --d >= 2\n");
     return 1;
   }
+  if (zipf && (profiles < 1 || zipf_s <= 0.0 || quantum <= 0.0 ||
+               quantum >= 1.0)) {
+    std::fprintf(stderr,
+                 "need --profiles >= 1, --zipf_s > 0, 0 < --quantum < 1\n");
+    return 1;
+  }
+
+  // The profile set is shared: the zipf skew is over ONE set of boxes,
+  // so different connections hammer the same popular clienteles
+  // (cross-connection reuse is the whole point). Per-connection rngs
+  // only drive the sampling and jitter.
+  ZipfMix mix;
+  if (zipf) {
+    mix = BuildZipfMix(static_cast<size_t>(d - 1), sigma, zipf_s, profiles,
+                       quantum, static_cast<uint64_t>(seed));
+  }
 
   std::vector<WorkerReport> reports(static_cast<size_t>(connections));
   std::vector<std::thread> workers;
@@ -146,7 +290,7 @@ int main(int argc, char** argv) {
     workers.emplace_back(RunConnection, host, port,
                          static_cast<size_t>(d - 1), k, sigma, batch, budget,
                          duration, static_cast<uint64_t>(seed) + 31 * c,
-                         &reports[c]);
+                         zipf ? &mix : nullptr, &reports[c]);
   }
   for (std::thread& worker : workers) worker.join();
   const double elapsed = wall.Seconds();
@@ -161,9 +305,22 @@ int main(int argc, char** argv) {
     total.rpc_millis.insert(total.rpc_millis.end(),
                             report.rpc_millis.begin(),
                             report.rpc_millis.end());
+    total.cache_hits += report.cache_hits;
+    total.cache_partial_hits += report.cache_partial_hits;
+    total.cache_misses += report.cache_misses;
+    total.cache_bypass += report.cache_bypass;
+    total.cache_tasks_saved += report.cache_tasks_saved;
+    total.hit_solve_millis.insert(total.hit_solve_millis.end(),
+                                  report.hit_solve_millis.begin(),
+                                  report.hit_solve_millis.end());
+    total.miss_solve_millis.insert(total.miss_solve_millis.end(),
+                                   report.miss_solve_millis.begin(),
+                                   report.miss_solve_millis.end());
     if (total.first_error.empty()) total.first_error = report.first_error;
   }
   std::sort(total.rpc_millis.begin(), total.rpc_millis.end());
+  std::sort(total.hit_solve_millis.begin(), total.hit_solve_millis.end());
+  std::sort(total.miss_solve_millis.begin(), total.miss_solve_millis.end());
   const double qps =
       elapsed > 0.0 ? static_cast<double>(total.completed) / elapsed : 0.0;
 
@@ -203,6 +360,39 @@ int main(int argc, char** argv) {
                 Percentile(total.rpc_millis, 0.90),
                 Percentile(total.rpc_millis, 0.99),
                 total.rpc_millis.empty() ? 0.0 : total.rpc_millis.back());
+  json += line;
+  const uint64_t classified =
+      total.cache_hits + total.cache_partial_hits + total.cache_misses;
+  const double hit_rate =
+      classified > 0
+          ? static_cast<double>(total.cache_hits + total.cache_partial_hits) /
+                static_cast<double>(classified)
+          : 0.0;
+  std::snprintf(line, sizeof(line),
+                "  \"zipf\": %s,\n  \"profiles\": %d,\n",
+                zipf ? "true" : "false", zipf ? profiles : 0);
+  json += line;
+  std::snprintf(line, sizeof(line),
+                "  \"cache\": {\"hits\": %llu, \"partial_hits\": %llu, "
+                "\"misses\": %llu, \"bypass\": %llu,\n",
+                static_cast<unsigned long long>(total.cache_hits),
+                static_cast<unsigned long long>(total.cache_partial_hits),
+                static_cast<unsigned long long>(total.cache_misses),
+                static_cast<unsigned long long>(total.cache_bypass));
+  json += line;
+  std::snprintf(line, sizeof(line),
+                "    \"hit_rate\": %.4f, \"tasks_saved\": %llu,\n", hit_rate,
+                static_cast<unsigned long long>(total.cache_tasks_saved));
+  json += line;
+  std::snprintf(line, sizeof(line),
+                "    \"hit_solve_ms\": {\"p50\": %.3f, \"p99\": %.3f},\n",
+                Percentile(total.hit_solve_millis, 0.50),
+                Percentile(total.hit_solve_millis, 0.99));
+  json += line;
+  std::snprintf(line, sizeof(line),
+                "    \"miss_solve_ms\": {\"p50\": %.3f, \"p99\": %.3f}},\n",
+                Percentile(total.miss_solve_millis, 0.50),
+                Percentile(total.miss_solve_millis, 0.99));
   json += line;
   std::string safe_error = total.first_error.substr(0, 120);
   for (char& c : safe_error) {

@@ -43,6 +43,9 @@ int main(int argc, char** argv) {
   int batch_threads = 1;
   int warm_k = 10;
   bool normalize = true;
+  bool cache = false;
+  double cache_budget_mb = 64.0;
+  double cache_quantum = 1.0 / 256.0;
   bool help = false;
   flags.AddString("csv", &csv_path, "serve this CSV catalog");
   flags.AddString("dist", &dist_text, "synthetic distribution IND/COR/ANTI");
@@ -61,6 +64,13 @@ int main(int argc, char** argv) {
   flags.AddInt("warm_k", &warm_k,
                "pre-compute the k-skyband for this k at startup (0 = skip)");
   flags.AddBool("normalize", &normalize, "min-max normalize CSV columns");
+  flags.AddBool("cache", &cache,
+                "enable the cross-query region cache for admitted queries");
+  flags.AddDouble("cache_budget_mb", &cache_budget_mb,
+                  "region cache byte budget in MiB (LRU-evicted)");
+  flags.AddDouble("cache_quantum", &cache_quantum,
+                  "region cache canonicalization grid (power-of-two "
+                  "reciprocals stay exact)");
   flags.AddBool("help", &help, "print usage");
   if (!flags.Parse(&argc, argv)) return 1;
   if (help) {
@@ -96,6 +106,14 @@ int main(int argc, char** argv) {
   config.max_inflight_queries = static_cast<size_t>(max_inflight);
   config.max_query_budget_seconds = max_budget;
   config.batch_threads = batch_threads;
+  config.use_region_cache = cache;
+  if (cache_budget_mb > 0.0) {
+    config.region_cache_budget_bytes =
+        static_cast<size_t>(cache_budget_mb * 1024.0 * 1024.0);
+  }
+  if (cache_quantum > 0.0 && cache_quantum < 1.0) {
+    config.region_cache_quantum = cache_quantum;
+  }
   serve::ToprrServer server(&data, config);
   std::string error;
   if (!server.Start(&error)) {

@@ -84,6 +84,13 @@ std::string SchedulerStats::DebugString() const {
       << " split_verts=" << TotalSplitVerticesClassified()
       << " geom_allocs=" << TotalGeomArenaAllocations() << " wall="
       << wall_seconds << "s";
+  if (cache_hits + cache_partial_hits + cache_misses > 0) {
+    const char* kind = cache_hits > 0
+                           ? "hit"
+                           : (cache_partial_hits > 0 ? "partial" : "miss");
+    out << " cache=" << kind << " cache_tasks_saved=" << cache_tasks_saved
+        << " cache_evicted_bytes=" << cache_evicted_bytes;
+  }
   for (size_t i = 0; i < workers.size(); ++i) {
     const SchedulerWorkerStats& w = workers[i];
     out << "\n  worker " << i << ": executed=" << w.tasks_executed

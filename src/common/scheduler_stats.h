@@ -45,6 +45,17 @@ struct SchedulerStats {
   std::vector<SchedulerWorkerStats> workers;  // one entry per worker slot
   double wall_seconds = 0.0;  // partition-phase wall time
 
+  // Cross-query region-cache telemetry (core/region_cache.h), stamped by
+  // the engine per solve: the lookup class this query fell into (0/1
+  // flags), the partition tasks it did not have to run because cached
+  // cells were reused, and the bytes the accompanying insert evicted.
+  // All zero when the cache is disabled or bypassed.
+  uint64_t cache_hits = 0;          // solved by clipping a cached superset
+  uint64_t cache_partial_hits = 0;  // resumed from an overlap's frontier
+  uint64_t cache_misses = 0;        // solved cold (and inserted)
+  uint64_t cache_tasks_saved = 0;   // partition tasks avoided via reuse
+  uint64_t cache_evicted_bytes = 0; // LRU bytes evicted by this insert
+
   uint64_t TotalExecuted() const;
   uint64_t TotalStolen() const;
   uint64_t TotalStealFailures() const;

@@ -30,6 +30,13 @@ struct ServerStatsSnapshot {
   uint64_t bytes_received = 0;
   uint64_t bytes_sent = 0;
 
+  // Cross-query region cache outcomes (zero unless the server enabled
+  // the cache; bypassed queries bump none of them).
+  uint64_t cache_hits = 0;
+  uint64_t cache_partial_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_tasks_saved = 0;  // partition tasks avoided via reuse
+
   std::string DebugString() const;
 };
 
@@ -58,6 +65,12 @@ class ServerStats {
   void OnBytesSent(uint64_t bytes) {
     bytes_sent_.fetch_add(bytes, std::memory_order_relaxed);
   }
+  void OnCacheHit() { Bump(cache_hits_); }
+  void OnCachePartialHit() { Bump(cache_partial_hits_); }
+  void OnCacheMiss() { Bump(cache_misses_); }
+  void OnCacheTasksSaved(uint64_t count) {
+    cache_tasks_saved_.fetch_add(count, std::memory_order_relaxed);
+  }
 
   ServerStatsSnapshot Snapshot() const;
 
@@ -76,6 +89,10 @@ class ServerStats {
   std::atomic<uint64_t> protocol_errors_{0};
   std::atomic<uint64_t> bytes_received_{0};
   std::atomic<uint64_t> bytes_sent_{0};
+  std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> cache_partial_hits_{0};
+  std::atomic<uint64_t> cache_misses_{0};
+  std::atomic<uint64_t> cache_tasks_saved_{0};
 };
 
 }  // namespace toprr

@@ -4,11 +4,16 @@
 #include <atomic>
 #include <condition_variable>
 #include <memory>
+#include <optional>
 #include <utility>
 
 #include "common/check.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "core/result_region.h"
+#include "core/scheduler.h"
+#include "geom/hyperplane.h"
+#include "pref/flat_region.h"
 #include "topk/rskyband.h"
 #include "topk/skyband.h"
 
@@ -65,14 +70,38 @@ const std::vector<int>& ToprrEngine::KSkyband(int k) {
 void ToprrEngine::InvalidateCache() {
   std::unique_lock<std::mutex> lock(cache_mu_);
   skyband_cache_.clear();
+  if (region_cache_ != nullptr) region_cache_->Clear();
 #ifndef NDEBUG
   fingerprint_ = Fingerprint(*data_);
 #endif
 }
 
+void ToprrEngine::EnableRegionCache(const RegionCacheConfig& config) {
+  region_cache_ = std::make_unique<RegionCache>(config);
+}
+
+namespace {
+
+// Cacheable geometry: positive width everywhere (degenerate boxes cannot
+// be partitioned) and inside the preference simplex (outside it the
+// k-skyband is not a valid candidate superset, so such queries solve
+// cold).
+bool BoxIsCacheable(const PrefBox& box) {
+  for (size_t j = 0; j < box.dim(); ++j) {
+    if (!(box.lo[j] < box.hi[j])) return false;
+  }
+  return box.InsideSimplex();
+}
+
+}  // namespace
+
 ToprrResult ToprrEngine::Solve(int k, const PrefBox& region,
                                const ToprrOptions& options) {
   CheckDatasetUnchanged();
+  if (options.use_region_cache && region_cache_ != nullptr &&
+      BoxIsCacheable(region)) {
+    return SolveCachedBox(k, region, options);
+  }
   const std::vector<int>& skyband = KSkyband(k);
   Timer filter_timer;
   const std::vector<int> candidates =
@@ -87,6 +116,14 @@ ToprrResult ToprrEngine::Solve(int k, const PrefBox& region,
 ToprrResult ToprrEngine::Solve(int k, const PrefRegion& region,
                                const ToprrOptions& options) {
   CheckDatasetUnchanged();
+  if (options.use_region_cache && region_cache_ != nullptr) {
+    // Wire queries arrive as general PrefRegions; recover the box when
+    // the region is exactly one so serving traffic reaches the cache.
+    const std::optional<PrefBox> box = BoxFromRegion(region);
+    if (box.has_value() && BoxIsCacheable(*box)) {
+      return SolveCachedBox(k, *box, options);
+    }
+  }
   const std::vector<int>& skyband = KSkyband(k);
   Timer filter_timer;
   const std::vector<int> candidates =
@@ -96,6 +133,212 @@ ToprrResult ToprrEngine::Solve(int k, const PrefRegion& region,
   ToprrResult result =
       SolveToprrWithCandidates(*data_, k, region, candidates, options);
   result.stats.filter_seconds = filter_timer.Seconds();
+  return result;
+}
+
+ToprrResult ToprrEngine::SolveCachedBox(int k, const PrefBox& box,
+                                        const ToprrOptions& options) {
+  RegionCache& cache = *region_cache_;
+  const std::string signature = CacheSignature(options);
+  Timer total;
+  if (std::shared_ptr<const RegionCacheEntry> entry =
+          cache.FindContaining(k, signature, box)) {
+    ToprrResult result =
+        AssembleFromCells(entry->cells, entry->candidates, k, box, options);
+    result.stats.scheduler.cache_hits = 1;
+    result.stats.scheduler.cache_tasks_saved = entry->regions_tested;
+    result.stats.total_seconds = total.Seconds();
+    return result;
+  }
+  if (cache.config().enable_partial) {
+    if (std::shared_ptr<const RegionCacheEntry> entry =
+            cache.FindOverlap(k, signature, box)) {
+      ToprrResult result =
+          SolvePartialOverlap(k, box, options, std::move(entry));
+      result.stats.total_seconds = total.Seconds();
+      return result;
+    }
+  }
+  cache.RecordMiss();
+  ToprrResult result = SolveColdAndInsert(k, box, options, signature);
+  result.stats.total_seconds = total.Seconds();
+  return result;
+}
+
+ToprrResult ToprrEngine::AssembleFromCells(const std::vector<FlatCell>& cells,
+                                           const std::vector<int>& candidates,
+                                           int k, const PrefBox& box,
+                                           const ToprrOptions& options) {
+  ToprrResult result;
+  result.stats.candidates_after_filter = candidates.size();
+  GeomArena arena;
+  std::vector<Vec> vall;
+  AppendCellsClippedToBox(cells, box, options.eps, &arena, &vall);
+  Timer phase;
+  result.stats.vall_raw = vall.size();
+  result.vall = DedupVertices(vall);
+  result.stats.vall_unique = result.vall.size();
+  AssembleResultRegion(*data_, candidates, k, result.vall, options, &result);
+  result.stats.assemble_seconds = phase.Seconds();
+  return result;
+}
+
+ToprrResult ToprrEngine::SolvePartialOverlap(
+    int k, const PrefBox& box, const ToprrOptions& options,
+    std::shared_ptr<const RegionCacheEntry> entry) {
+  const std::optional<PrefBox> core = IntersectBoxes(box, entry->box);
+  CHECK(core.has_value());  // FindOverlap guarantees positive widths
+  const std::vector<PrefBox> remainder = GuillotineRemainder(box, *core);
+
+  // Fresh candidates for the whole query box: a valid superset for the
+  // frontier sub-boxes and for the reused core alike.
+  const std::vector<int>& skyband = KSkyband(k);
+  Timer filter_timer;
+  std::vector<int> candidates = options.use_rskyband_filter
+                                    ? RSkyband(*data_, box, k, &skyband)
+                                    : skyband;
+  const double filter_seconds = filter_timer.Seconds();
+
+  // Resume the uncovered remainder as a scheduler frontier. Root ids sit
+  // in one power-of-two band (base .. base + n - 1, base = smallest
+  // power of two >= n), so every root's heap-path subtree is disjoint
+  // and the id-ordered merge stays deterministic.
+  Timer phase;
+  uint64_t base = 1;
+  while (base < remainder.size()) base <<= 1;
+  std::vector<RegionTask> roots;
+  roots.reserve(remainder.size());
+  for (size_t i = 0; i < remainder.size(); ++i) {
+    RegionTask task;
+    task.id = base + i;
+    task.region = FlatRegion::FromBox(remainder[i]);
+    task.candidates = candidates;
+    task.k = k;
+    roots.push_back(std::move(task));
+  }
+  const PartitionConfig config = PartitionConfigFromOptions(options);
+  PartitionScheduler scheduler(*data_, config);
+  PartitionOutput frontier = scheduler.RunFrontier(std::move(roots));
+
+  ToprrResult result;
+  result.stats.candidates_after_filter = candidates.size();
+  result.stats.filter_seconds = filter_seconds;
+  result.stats.partition_seconds = phase.Seconds();
+  result.stats.regions_tested = frontier.regions_tested;
+  result.stats.regions_accepted = frontier.regions_accepted;
+  result.stats.regions_split = frontier.regions_split;
+  result.stats.kipr_accepts = frontier.kipr_accepts;
+  result.stats.lemma7_accepts = frontier.lemma7_accepts;
+  result.stats.lemma5_prunes = frontier.lemma5_prunes;
+  result.stats.scheduler = std::move(frontier.scheduler);
+  result.stats.scheduler.cache_partial_hits = 1;
+  if (frontier.timed_out) {
+    result.timed_out = true;
+    result.cancelled = frontier.cancelled;
+    return result;
+  }
+
+  // Merge: reused core cells (stored id order) first, then the frontier
+  // vall -- deterministic for a given cache state.
+  GeomArena arena;
+  std::vector<Vec> vall;
+  const size_t reused =
+      AppendCellsClippedToBox(entry->cells, *core, options.eps, &arena,
+                              &vall);
+  result.stats.scheduler.cache_tasks_saved = reused;
+  for (Vec& v : frontier.vall) vall.push_back(std::move(v));
+  Timer assemble;
+  result.stats.vall_raw = vall.size();
+  result.vall = DedupVertices(vall);
+  result.stats.vall_unique = result.vall.size();
+  AssembleResultRegion(*data_, candidates, k, result.vall, options, &result);
+  result.stats.assemble_seconds = assemble.Seconds();
+  return result;
+}
+
+ToprrResult ToprrEngine::SolveColdAndInsert(int k, const PrefBox& box,
+                                            const ToprrOptions& options,
+                                            const std::string& signature) {
+  RegionCache& cache = *region_cache_;
+  const PrefBox canon = cache.Canonicalize(box);
+
+  // The canonical root, clipped against the preference simplex when the
+  // outward snap poked past it (the clipped region still contains every
+  // in-simplex query box that canonicalizes here).
+  const std::vector<int>& skyband = KSkyband(k);
+  Timer filter_timer;
+  PrefRegion root;
+  std::vector<int> candidates;
+  bool root_ok = true;
+  if (canon.InsideSimplex()) {
+    root = PrefRegion::FromBox(canon);
+    candidates = options.use_rskyband_filter
+                     ? RSkyband(*data_, canon, k, &skyband)
+                     : skyband;
+  } else {
+    const Hyperplane simplex(Vec(canon.dim(), 1.0), 1.0);
+    PrefRegionSplit split =
+        PrefRegion::FromBox(canon).Split(simplex, options.eps);
+    if (split.below.has_value() && !split.below->empty()) {
+      root = std::move(*split.below);
+      candidates = options.use_rskyband_filter
+                       ? RSkybandVertices(*data_, root.vertices(), k,
+                                          &skyband)
+                       : skyband;
+    } else {
+      root_ok = false;
+    }
+  }
+  if (!root_ok) {
+    // Clipping degenerated (a sliver box hugging the simplex facet):
+    // solve the query cold, uncached.
+    ToprrOptions cold = options;
+    cold.use_region_cache = false;
+    ToprrResult result = Solve(k, box, cold);
+    result.stats.scheduler.cache_misses = 1;
+    return result;
+  }
+  const double filter_seconds = filter_timer.Seconds();
+
+  std::vector<FlatCell> cells;
+  ToprrResult canon_result = SolveToprrWithCandidates(
+      *data_, k, root, candidates, options, &cells);
+  if (canon_result.timed_out) {
+    // Incomplete partitions are never cached, and a timed-out result is
+    // unusable by contract, so hand it back as-is.
+    canon_result.stats.filter_seconds = filter_seconds;
+    canon_result.stats.scheduler.cache_misses = 1;
+    return canon_result;
+  }
+
+  auto entry = std::make_shared<RegionCacheEntry>();
+  entry->box = canon;
+  entry->k = k;
+  entry->signature = signature;
+  entry->candidates = std::move(candidates);
+  entry->cells = std::move(cells);
+  entry->regions_tested = canon_result.stats.regions_tested;
+
+  // Assemble the query's own result from the entry cells -- the same
+  // tail as a cache hit, which is what makes hits bit-identical to the
+  // miss that populated them.
+  ToprrResult result =
+      AssembleFromCells(entry->cells, entry->candidates, k, box, options);
+  const size_t evicted = cache.Insert(entry);
+
+  // Graft the canonical solve's partition telemetry onto the clipped
+  // result.
+  result.stats.regions_tested = canon_result.stats.regions_tested;
+  result.stats.regions_accepted = canon_result.stats.regions_accepted;
+  result.stats.regions_split = canon_result.stats.regions_split;
+  result.stats.kipr_accepts = canon_result.stats.kipr_accepts;
+  result.stats.lemma7_accepts = canon_result.stats.lemma7_accepts;
+  result.stats.lemma5_prunes = canon_result.stats.lemma5_prunes;
+  result.stats.scheduler = std::move(canon_result.stats.scheduler);
+  result.stats.scheduler.cache_misses = 1;
+  result.stats.scheduler.cache_evicted_bytes = evicted;
+  result.stats.filter_seconds = filter_seconds;
+  result.stats.partition_seconds = canon_result.stats.partition_seconds;
   return result;
 }
 

@@ -32,9 +32,12 @@
 
 #include <atomic>
 #include <map>
+#include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
+#include "core/region_cache.h"
 #include "core/toprr.h"
 #include "data/dataset.h"
 #include "pref/pref_space.h"
@@ -99,10 +102,24 @@ class ToprrEngine {
       const std::vector<ToprrQuery>& queries, int num_threads = 0,
       const std::atomic<bool>* cancel = nullptr);
 
-  /// Drops all cached state and re-arms the dataset fingerprint (e.g.
-  /// after the dataset legitimately changed in place). Requires that no
-  /// query is in flight.
+  /// Drops all cached state -- per-k skybands and every region-cache
+  /// entry -- and re-arms the dataset fingerprint (e.g. after the
+  /// dataset legitimately changed in place). Requires that no query is
+  /// in flight; region-cache snapshots already pinned by a racing solve
+  /// would describe the old rows.
   void InvalidateCache();
+
+  /// Enables the cross-query region cache (core/region_cache.h).
+  /// Queries opt in per-solve via ToprrOptions::use_region_cache; box
+  /// queries (including PrefRegion queries that are exact boxes) inside
+  /// the preference simplex are then served by cached-cell clipping or
+  /// frontier resumption. Call before the first query; replacing an
+  /// active cache mid-traffic is not supported.
+  void EnableRegionCache(const RegionCacheConfig& config = {});
+
+  /// The enabled region cache, or null. Entries pin their payloads via
+  /// shared_ptr, so counters/inspection race safely with serving.
+  RegionCache* region_cache() { return region_cache_.get(); }
 
   const Dataset& data() const { return *data_; }
 
@@ -114,6 +131,30 @@ class ToprrEngine {
   /// DCHECKs that the dataset still matches the fingerprint taken at
   /// construction / last InvalidateCache.
   void CheckDatasetUnchanged() const;
+
+  /// The cached-box solve pipeline: containment hit (clip stored cells),
+  /// partial overlap (clip the core, resume the remainder as a scheduler
+  /// frontier), or miss (solve the canonical box, insert, clip). The box
+  /// must be non-degenerate and inside the preference simplex.
+  ToprrResult SolveCachedBox(int k, const PrefBox& box,
+                             const ToprrOptions& options);
+
+  /// Clips `cells` to `box` and runs dedup + assembly under `candidates`
+  /// -- the shared tail of the hit and miss paths (hit == miss
+  /// bit-identity holds because both end here).
+  ToprrResult AssembleFromCells(const std::vector<FlatCell>& cells,
+                                const std::vector<int>& candidates, int k,
+                                const PrefBox& box,
+                                const ToprrOptions& options);
+
+  ToprrResult SolvePartialOverlap(int k, const PrefBox& box,
+                                  const ToprrOptions& options,
+                                  std::shared_ptr<const RegionCacheEntry>
+                                      entry);
+
+  ToprrResult SolveColdAndInsert(int k, const PrefBox& box,
+                                 const ToprrOptions& options,
+                                 const std::string& signature);
 
   /// One per-k cache slot: the once flag gates the (lock-free) skyband
   /// computation, so cache_mu_ is held only for the map lookup and never
@@ -128,6 +169,10 @@ class ToprrEngine {
 
   std::mutex cache_mu_;
   std::map<int, SkybandSlot> skyband_cache_;  // map guarded by cache_mu_
+
+  // Set once by EnableRegionCache before serving; the cache itself is
+  // internally synchronized (sharded mutexes + shared_ptr payloads).
+  std::unique_ptr<RegionCache> region_cache_;
 };
 
 }  // namespace toprr

@@ -333,6 +333,11 @@ void FillAcceptPayload(const Dataset& data, const PartitionConfig& config,
     ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
     out.cell = AcceptedRegion{work.region.ToRegion(), std::move(ids)};
   }
+  if (config.collect_flat_cells) {
+    // Copy (not move): `vall` above already snapshotted the vertices, and
+    // the region itself must survive for the cache entry.
+    out.flat_cell = work.region;
+  }
 }
 
 }  // namespace

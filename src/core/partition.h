@@ -15,14 +15,18 @@
 #define TOPRR_CORE_PARTITION_H_
 
 #include <atomic>
+#include <cstdint>
 #include <vector>
 
 #include "common/scheduler_stats.h"
 #include "data/dataset.h"
 #include "geom/vec.h"
+#include "pref/flat_region.h"
 #include "pref/region.h"
 
 namespace toprr {
+
+struct ToprrOptions;
 
 struct PartitionConfig {
   /// PAC mode: accept only when the full score-ordered top-k lists agree.
@@ -66,12 +70,27 @@ struct PartitionConfig {
   /// counters are kept worker-local either way; this only controls
   /// whether they are copied out, so leaving it on costs nothing.
   bool collect_scheduler_stats = true;
+  /// Also keep every accepted cell's flat geometry with its heap-path id
+  /// (ascending id order, same order their vertices enter `vall`). Feeds
+  /// the cross-query region cache (core/region_cache.h), which replays
+  /// the cells by clipping instead of re-partitioning.
+  bool collect_flat_cells = false;
 };
 
 /// An accepted region together with its (order-insensitive) top-k set.
 struct AcceptedRegion {
   PrefRegion region;
   std::vector<int> topk_ids;  // sorted; union over vertices + Lemma-5 set
+};
+
+/// One accepted cell of the partition, addressable by its deterministic
+/// heap-path task id (root 1, split children 2*id and 2*id+1). The id
+/// makes cached subtrees mergeable: cells from different solves of the
+/// same tree share ids, and id order reproduces the merge order of the
+/// scheduler's id-ordered assembly.
+struct FlatCell {
+  uint64_t id = 0;
+  FlatRegion region;
 };
 
 struct PartitionOutput {
@@ -83,6 +102,7 @@ struct PartitionOutput {
   /// is NOT covered by the bit-identical-output guarantee; the total
   /// tasks-executed count is (it equals regions_tested).
   SchedulerStats scheduler;
+  std::vector<FlatCell> flat_cells;  // when collect_flat_cells; id order
   bool timed_out = false;
   bool cancelled = false;  // aborted via PartitionConfig::cancel
 
@@ -100,6 +120,13 @@ PartitionOutput PartitionPreferenceRegion(const Dataset& data,
                                           const std::vector<int>& candidates,
                                           int k, const PrefRegion& root,
                                           const PartitionConfig& config);
+
+/// The PartitionConfig implied by a ToprrOptions (method -> acceptance
+/// test and lemma toggles, plus the shared knobs). Single source of truth
+/// for both SolveToprr and the region cache, whose signature must agree
+/// with the partition semantics. Implemented in toprr.cc where both
+/// definitions are visible.
+PartitionConfig PartitionConfigFromOptions(const ToprrOptions& options);
 
 }  // namespace toprr
 

@@ -81,6 +81,10 @@ PartitionOutput AssembleOutput(const PartitionConfig& config, Tally tally,
     if (config.collect_regions && node.outcome.cell.has_value()) {
       out.regions.push_back(std::move(*node.outcome.cell));
     }
+    if (config.collect_flat_cells && node.outcome.flat_cell.has_value()) {
+      out.flat_cells.push_back(
+          FlatCell{node.id, std::move(*node.outcome.flat_cell)});
+    }
   }
   out.topk_union.assign(topk_union.begin(), topk_union.end());
   return out;
@@ -294,12 +298,20 @@ void StealWorkerEntry(const Dataset& data, const PartitionConfig& config,
 }  // namespace
 
 PartitionOutput PartitionScheduler::Run(RegionTask root) const {
-  const size_t workers = ResolveThreadCount(config_.num_threads);
-  if (workers <= 1) return RunSequential(std::move(root));
-  return RunParallel(std::move(root), workers);
+  std::vector<RegionTask> roots;
+  roots.push_back(std::move(root));
+  return RunFrontier(std::move(roots));
 }
 
-PartitionOutput PartitionScheduler::RunSequential(RegionTask root) const {
+PartitionOutput PartitionScheduler::RunFrontier(
+    std::vector<RegionTask> roots) const {
+  const size_t workers = ResolveThreadCount(config_.num_threads);
+  if (workers <= 1) return RunSequential(std::move(roots));
+  return RunParallel(std::move(roots), workers);
+}
+
+PartitionOutput PartitionScheduler::RunSequential(
+    std::vector<RegionTask> roots) const {
   const size_t max_regions = config_.max_regions > 0 ? config_.max_regions
                                                      : kDefaultMaxRegions;
   Timer timer;
@@ -308,9 +320,14 @@ PartitionOutput PartitionScheduler::RunSequential(RegionTask root) const {
   ScoreArena arena;
   GeomArena geom_arena;
   std::vector<AcceptedNode> accepted;
+  // LIFO pop order: pushing the frontier in reverse keeps the first root
+  // the first task claimed (matters only for telemetry, never output).
   std::deque<RegionTask> queue;
-  queue.push_back(std::move(root));
-  worker_stats.deque_high_water = 1;
+  for (auto it = roots.rbegin(); it != roots.rend(); ++it) {
+    queue.push_back(std::move(*it));
+  }
+  roots.clear();
+  worker_stats.deque_high_water = queue.size();
 
   while (!queue.empty()) {
     if (config_.cancel != nullptr &&
@@ -365,12 +382,18 @@ PartitionOutput PartitionScheduler::RunSequential(RegionTask root) const {
   return out;
 }
 
-PartitionOutput PartitionScheduler::RunParallel(RegionTask root,
+PartitionOutput PartitionScheduler::RunParallel(std::vector<RegionTask> roots,
                                                 size_t num_workers) const {
   auto state = std::make_shared<StealState>(config_, num_workers);
-  state->in_flight.store(1, std::memory_order_relaxed);
-  state->slots[0]->deque.Push(new RegionTask(std::move(root)));
-  state->slots[0]->stats.deque_high_water = 1;
+  state->in_flight.store(static_cast<int64_t>(roots.size()),
+                         std::memory_order_relaxed);
+  // All roots start in slot 0 (reverse order so the calling thread's LIFO
+  // pops claim the first root first); thieves redistribute them FIFO.
+  for (auto it = roots.rbegin(); it != roots.rend(); ++it) {
+    state->slots[0]->deque.Push(new RegionTask(std::move(*it)));
+  }
+  state->slots[0]->stats.deque_high_water = roots.size();
+  roots.clear();
 
   // Borrow up to num_workers-1 helpers from the shared pool. The calling
   // thread drains too (slot 0), so helpers the pool cannot schedule (it

@@ -85,6 +85,7 @@ struct RegionOutcome {
   std::vector<Vec> vall;           // the accepted region's vertices
   std::vector<int> topk_ids;       // when config.collect_topk_union
   std::optional<AcceptedRegion> cell;  // when config.collect_regions
+  std::optional<FlatRegion> flat_cell;  // when config.collect_flat_cells
 
   // Split payload.
   std::optional<RegionTask> below;
@@ -128,9 +129,19 @@ class PartitionScheduler {
   /// Processes the whole tree under `root` and assembles the output.
   PartitionOutput Run(RegionTask root) const;
 
+  /// Multi-root variant: processes the forest under `roots` and merges
+  /// the accepted nodes of all subtrees in ascending task-id order. Used
+  /// by the cross-query region cache to resume a partially cached solve
+  /// from a frontier of unsolved sub-boxes; callers must hand in ids
+  /// whose subtrees are disjoint (e.g. same-bit-length heap paths) or
+  /// the merge order is ambiguous. An empty forest yields an empty
+  /// output.
+  PartitionOutput RunFrontier(std::vector<RegionTask> roots) const;
+
  private:
-  PartitionOutput RunSequential(RegionTask root) const;
-  PartitionOutput RunParallel(RegionTask root, size_t num_workers) const;
+  PartitionOutput RunSequential(std::vector<RegionTask> roots) const;
+  PartitionOutput RunParallel(std::vector<RegionTask> roots,
+                              size_t num_workers) const;
 
   const Dataset& data_;
   const PartitionConfig config_;

@@ -57,21 +57,7 @@ std::vector<Halfspace> ToprrResult::AllHalfspaces() const {
   return all;
 }
 
-namespace {
-
-// Shared filter + partition + assembly pipeline. `filter_seconds` covers
-// the caller's candidate computation when candidates were precomputed.
-ToprrResult SolveImpl(const Dataset& data, int k, const PrefRegion& region,
-                      std::vector<int> candidates, double filter_seconds,
-                      const ToprrOptions& options) {
-  ToprrResult result;
-  Timer total;
-
-  result.stats.candidates_after_filter = candidates.size();
-  result.stats.filter_seconds = filter_seconds;
-
-  // ---- Partitioning into accepted regions, accumulating Vall. ----
-  Timer phase;
+PartitionConfig PartitionConfigFromOptions(const ToprrOptions& options) {
   PartitionConfig config;
   config.eps = options.eps;
   config.time_budget_seconds = options.time_budget_seconds;
@@ -93,7 +79,30 @@ ToprrResult SolveImpl(const Dataset& data, int k, const PrefRegion& region,
       config.use_kswitch = options.use_kswitch;
       break;
   }
-  const PartitionOutput partition =
+  return config;
+}
+
+namespace {
+
+// Shared filter + partition + assembly pipeline. `filter_seconds` covers
+// the caller's candidate computation when candidates were precomputed.
+// A non-null `flat_cells` receives the accepted cells (id order) for the
+// region cache.
+ToprrResult SolveImpl(const Dataset& data, int k, const PrefRegion& region,
+                      std::vector<int> candidates, double filter_seconds,
+                      const ToprrOptions& options,
+                      std::vector<FlatCell>* flat_cells = nullptr) {
+  ToprrResult result;
+  Timer total;
+
+  result.stats.candidates_after_filter = candidates.size();
+  result.stats.filter_seconds = filter_seconds;
+
+  // ---- Partitioning into accepted regions, accumulating Vall. ----
+  Timer phase;
+  PartitionConfig config = PartitionConfigFromOptions(options);
+  config.collect_flat_cells = flat_cells != nullptr;
+  PartitionOutput partition =
       PartitionPreferenceRegion(data, candidates, k, region, config);
   result.stats.partition_seconds = phase.Seconds();
   result.stats.regions_tested = partition.regions_tested;
@@ -110,6 +119,7 @@ ToprrResult SolveImpl(const Dataset& data, int k, const PrefRegion& region,
     result.stats.total_seconds = total.Seconds();
     return result;
   }
+  if (flat_cells != nullptr) *flat_cells = std::move(partition.flat_cells);
 
   // ---- Assembly (Theorem 1). ----
   phase.Reset();
@@ -168,9 +178,10 @@ ToprrResult SolveToprrRegion(const Dataset& data, int k,
 ToprrResult SolveToprrWithCandidates(const Dataset& data, int k,
                                      const PrefRegion& region,
                                      const std::vector<int>& candidates,
-                                     const ToprrOptions& options) {
+                                     const ToprrOptions& options,
+                                     std::vector<FlatCell>* flat_cells) {
   CheckInputs(data, k, region.dim());
-  return SolveImpl(data, k, region, candidates, 0.0, options);
+  return SolveImpl(data, k, region, candidates, 0.0, options, flat_cells);
 }
 
 ToprrResult SolveToprrPieces(const Dataset& data, int k,

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/scheduler_stats.h"
+#include "core/partition.h"
 #include "data/dataset.h"
 #include "geom/hyperplane.h"
 #include "geom/vec.h"
@@ -108,6 +109,15 @@ struct ToprrOptions {
   /// for that regression test and the legacy baselines of
   /// bench_region_split.
   bool use_flat_geometry = true;
+
+  /// Serve box queries through the engine's cross-query region cache
+  /// (core/region_cache.h) when one is enabled via
+  /// ToprrEngine::EnableRegionCache: solved canonical boxes are reused by
+  /// clipping, overlapping ones by frontier resumption. Only meaningful
+  /// on ToprrEngine solves; the free SolveToprr functions ignore it.
+  /// Cache-hit results are bit-identical to what the same engine returns
+  /// with the flag off (see region_cache_test).
+  bool use_region_cache = false;
 };
 
 /// Counters and timings describing one solve.
@@ -190,11 +200,16 @@ ToprrResult SolveToprrRegion(const Dataset& data, int k,
 
 /// Advanced: solve with a caller-supplied candidate superset (must contain
 /// the top-k of every w in the region, e.g. a cached k-skyband or the
-/// r-skyband). Skips the built-in filter; used by ToprrEngine.
+/// r-skyband). Skips the built-in filter; used by ToprrEngine. When
+/// `flat_cells` is non-null the accepted partition cells are moved into
+/// it in heap-path-id order (the region cache's entry payload); the solve
+/// itself is unaffected.
 ToprrResult SolveToprrWithCandidates(const Dataset& data, int k,
                                      const PrefRegion& region,
                                      const std::vector<int>& candidates,
-                                     const ToprrOptions& options = {});
+                                     const ToprrOptions& options = {},
+                                     std::vector<FlatCell>* flat_cells =
+                                         nullptr);
 
 /// Non-convex wR support (paper Sec. 3.1): the target region is the union
 /// of convex pieces; a top-ranking option must be top-k on every piece, so

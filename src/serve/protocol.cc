@@ -29,8 +29,9 @@ constexpr uint8_t kFlagGeometrySkipped = 1u << 1;
 // halfspace_limit + num_threads + empty region (two u32 counts).
 constexpr size_t kMinQueryBytes =
     4 + 1 + 1 + 8 + 8 + 8 + 8 + 8 + 4 + 4 + 4;
-// Response: status + flags + stats block + two u32 counts.
-constexpr size_t kMinResponseBytes = 1 + 1 + 8 + 6 * 8 + 4 + 4;
+// Response: status + flags + stats block (f64 + 6 u64 counters + cache
+// lookup byte + cache u64) + two u32 counts.
+constexpr size_t kMinResponseBytes = 1 + 1 + 8 + 6 * 8 + 1 + 8 + 4 + 4;
 
 void WriteHeader(WireWriter& writer, MessageType type) {
   writer.U32(kProtocolMagic);
@@ -180,6 +181,8 @@ void WriteResponse(WireWriter& writer, const ServeResponse& response) {
   writer.U64(response.stats.tasks_executed);
   writer.U64(response.stats.tasks_stolen);
   writer.U64(response.stats.steal_failures);
+  writer.U8(response.stats.cache_lookup);
+  writer.U64(response.stats.cache_tasks_saved);
   writer.U32(static_cast<uint32_t>(response.impact_halfspaces.size()));
   for (const Halfspace& hs : response.impact_halfspaces) {
     writer.VecField(hs.normal);
@@ -199,10 +202,16 @@ bool ReadResponse(WireReader& reader, ServeResponse* response) {
       !reader.U64(&response->stats.vall_unique) ||
       !reader.U64(&response->stats.tasks_executed) ||
       !reader.U64(&response->stats.tasks_stolen) ||
-      !reader.U64(&response->stats.steal_failures)) {
+      !reader.U64(&response->stats.steal_failures) ||
+      !reader.U8(&response->stats.cache_lookup) ||
+      !reader.U64(&response->stats.cache_tasks_saved)) {
     return false;
   }
   if (status > static_cast<uint8_t>(ServeStatus::kInternalError)) return false;
+  if (response->stats.cache_lookup >
+      static_cast<uint8_t>(CacheLookup::kPartial)) {
+    return false;
+  }
   response->status = static_cast<ServeStatus>(status);
   response->degenerate = (flags & kFlagDegenerate) != 0;
   response->geometry_skipped = (flags & kFlagGeometrySkipped) != 0;
@@ -270,6 +279,17 @@ ServeResponse ResponseFromResult(const ToprrResult& result) {
   response.stats.tasks_executed = result.stats.scheduler.TotalExecuted();
   response.stats.tasks_stolen = result.stats.scheduler.TotalStolen();
   response.stats.steal_failures = result.stats.scheduler.TotalStealFailures();
+  const SchedulerStats& sched = result.stats.scheduler;
+  CacheLookup lookup = CacheLookup::kBypass;
+  if (sched.cache_hits > 0) {
+    lookup = CacheLookup::kHit;
+  } else if (sched.cache_partial_hits > 0) {
+    lookup = CacheLookup::kPartial;
+  } else if (sched.cache_misses > 0) {
+    lookup = CacheLookup::kMiss;
+  }
+  response.stats.cache_lookup = static_cast<uint8_t>(lookup);
+  response.stats.cache_tasks_saved = sched.cache_tasks_saved;
   return response;
 }
 

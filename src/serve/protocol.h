@@ -30,7 +30,11 @@ namespace serve {
 
 /// First bytes of every payload: "TPRR" read as a little-endian u32.
 constexpr uint32_t kProtocolMagic = 0x52525054;
-constexpr uint8_t kProtocolVersion = 1;
+/// v2 appended the cache_lookup / cache_tasks_saved stats fields to every
+/// response (the cross-query region cache). The format is not
+/// self-describing, so the bump is breaking by design: a v1 client would
+/// misparse the longer stats block.
+constexpr uint8_t kProtocolVersion = 2;
 
 /// Hard ceiling on a frame payload; ReadFrame rejects bigger length
 /// prefixes before buffering anything (oversized-frame protection).
@@ -60,6 +64,15 @@ enum class ServeStatus : uint8_t {
 
 const char* ServeStatusName(ServeStatus status);
 
+/// How the cross-query region cache classified a query. Values are
+/// wire-stable; append only.
+enum class CacheLookup : uint8_t {
+  kBypass = 0,   // cache disabled, or the query shape is not cacheable
+  kMiss = 1,     // solved cold (and inserted)
+  kHit = 2,      // served by clipping a cached superset
+  kPartial = 3,  // resumed from a cached overlap's frontier
+};
+
 /// Compact per-query solve statistics (a stable subset of ToprrStats
 /// plus the scheduler telemetry totals).
 struct ServeQueryStats {
@@ -70,6 +83,8 @@ struct ServeQueryStats {
   uint64_t tasks_executed = 0;
   uint64_t tasks_stolen = 0;
   uint64_t steal_failures = 0;
+  uint8_t cache_lookup = 0;  // a CacheLookup value
+  uint64_t cache_tasks_saved = 0;
 };
 
 /// One query's response. Only kOk responses carry region payloads; every

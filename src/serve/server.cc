@@ -34,7 +34,14 @@ bool QueryIsSolvable(const Dataset& data, const ToprrQuery& query) {
 }  // namespace
 
 ToprrServer::ToprrServer(const Dataset* data, ServerConfig config)
-    : config_(std::move(config)), engine_(data) {}
+    : config_(std::move(config)), engine_(data) {
+  if (config_.use_region_cache) {
+    RegionCacheConfig cache_config;
+    cache_config.byte_budget = config_.region_cache_budget_bytes;
+    cache_config.quantum = config_.region_cache_quantum;
+    engine_.EnableRegionCache(cache_config);
+  }
+}
 
 ToprrServer::~ToprrServer() { Stop(); }
 
@@ -203,6 +210,9 @@ std::vector<ServeResponse> ToprrServer::SolveAdmitted(
     // (the "all hardware threads" knob); region-level parallelism stays
     // an explicit positive request.
     if (query.options.num_threads < 1) query.options.num_threads = 1;
+    // Caching is server-side policy: the wire has no cache bit, the
+    // server opts admitted queries in (or not) uniformly.
+    query.options.use_region_cache = config_.use_region_cache;
   }
   const std::vector<ToprrResult> results =
       engine_.SolveBatch(queries, config_.batch_threads, &stopping_);
@@ -210,6 +220,22 @@ std::vector<ServeResponse> ToprrServer::SolveAdmitted(
   responses.reserve(results.size());
   for (const ToprrResult& result : results) {
     responses.push_back(ResponseFromResult(result));
+    switch (static_cast<CacheLookup>(responses.back().stats.cache_lookup)) {
+      case CacheLookup::kHit:
+        stats_.OnCacheHit();
+        break;
+      case CacheLookup::kPartial:
+        stats_.OnCachePartialHit();
+        break;
+      case CacheLookup::kMiss:
+        stats_.OnCacheMiss();
+        break;
+      case CacheLookup::kBypass:
+        break;
+    }
+    if (responses.back().stats.cache_tasks_saved > 0) {
+      stats_.OnCacheTasksSaved(responses.back().stats.cache_tasks_saved);
+    }
     switch (responses.back().status) {
       case ServeStatus::kOk:
         stats_.OnQueryCompleted();

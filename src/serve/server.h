@@ -64,6 +64,18 @@ struct ServerConfig {
 
   /// Frames with a longer length prefix are rejected before buffering.
   size_t max_frame_payload_bytes = kMaxFramePayloadBytes;
+
+  /// Enables the engine's cross-query region cache
+  /// (core/region_cache.h) and opts every admitted query into it.
+  /// Server-side policy only -- nothing on the wire selects caching, so
+  /// clients cannot toggle it. Per-query outcomes travel back in
+  /// ServeQueryStats::cache_lookup.
+  bool use_region_cache = false;
+  /// Region-cache byte budget (LRU-evicted per shard).
+  size_t region_cache_budget_bytes = size_t{64} << 20;
+  /// Canonicalization grid; power-of-two reciprocals keep snapped
+  /// coordinates exact in floating point.
+  double region_cache_quantum = 1.0 / 256.0;
 };
 
 class ToprrServer {

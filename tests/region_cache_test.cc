@@ -1,0 +1,428 @@
+// Cross-query region cache (core/region_cache.h): bit-identity of
+// clipped hits against cold solves across methods, dimensions, and k;
+// partial-overlap frontier resumption; LRU byte budgeting;
+// invalidation; entry pinning across Clear(); and a concurrent
+// SolveBatch stress. Labeled `concurrency` through the CMake glob so CI
+// repeats it under TSan.
+#include "core/region_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/engine.h"
+#include "core/toprr.h"
+#include "data/generator.h"
+#include "pref/pref_space.h"
+#include "pref/region.h"
+
+namespace toprr {
+namespace {
+
+PrefBox Box(std::initializer_list<double> lo,
+            std::initializer_list<double> hi) {
+  PrefBox box;
+  box.lo = Vec(lo);
+  box.hi = Vec(hi);
+  return box;
+}
+
+// A quantum-grid-aligned box inside the preference simplex, or a box
+// jittered strictly within its grid cells -- the loadgen's query shapes.
+PrefBox GridBox(size_t dim, double quantum, uint64_t cells_lo,
+                uint64_t cells_wide) {
+  PrefBox box;
+  box.lo = Vec(dim);
+  box.hi = Vec(dim);
+  for (size_t j = 0; j < dim; ++j) {
+    box.lo[j] = static_cast<double>(cells_lo + j) * quantum;
+    box.hi[j] = static_cast<double>(cells_lo + j + cells_wide) * quantum;
+  }
+  return box;
+}
+
+void ExpectBitIdentical(const ToprrResult& a, const ToprrResult& b) {
+  ASSERT_EQ(a.vall.size(), b.vall.size());
+  for (size_t i = 0; i < a.vall.size(); ++i) {
+    ASSERT_EQ(a.vall[i].dim(), b.vall[i].dim());
+    for (size_t j = 0; j < a.vall[i].dim(); ++j) {
+      EXPECT_EQ(a.vall[i][j], b.vall[i][j]) << "vall[" << i << "][" << j
+                                            << "]";
+    }
+  }
+  ASSERT_EQ(a.impact_halfspaces.size(), b.impact_halfspaces.size());
+  for (size_t h = 0; h < a.impact_halfspaces.size(); ++h) {
+    for (size_t j = 0; j < a.impact_halfspaces[h].dim(); ++j) {
+      EXPECT_EQ(a.impact_halfspaces[h].normal[j],
+                b.impact_halfspaces[h].normal[j]);
+    }
+    EXPECT_EQ(a.impact_halfspaces[h].offset, b.impact_halfspaces[h].offset);
+  }
+  ASSERT_EQ(a.vertices.size(), b.vertices.size());
+  for (size_t i = 0; i < a.vertices.size(); ++i) {
+    for (size_t j = 0; j < a.vertices[i].dim(); ++j) {
+      EXPECT_EQ(a.vertices[i][j], b.vertices[i][j]);
+    }
+  }
+  EXPECT_EQ(a.degenerate, b.degenerate);
+  EXPECT_EQ(a.geometry_skipped, b.geometry_skipped);
+}
+
+// Semantic equality: both regions classify a sample of option-space
+// points identically.
+void ExpectSameRegionSemantics(const Dataset& data, const ToprrResult& a,
+                               const ToprrResult& b, uint64_t seed) {
+  EXPECT_EQ(a.degenerate, b.degenerate);
+  Rng rng(seed);
+  for (int trial = 0; trial < 500; ++trial) {
+    Vec o(data.dim());
+    for (size_t j = 0; j < data.dim(); ++j) o[j] = rng.Uniform();
+    EXPECT_EQ(a.Contains(o), b.Contains(o)) << "option " << o.ToString(6);
+  }
+}
+
+TEST(RegionCacheTest, CanonicalizeSnapsOutwardAndFixesGridBoxes) {
+  RegionCacheConfig config;
+  config.quantum = 1.0 / 256.0;
+  RegionCache cache(config);
+  const PrefBox grid = GridBox(2, config.quantum, 10, 4);
+  const PrefBox canon = cache.Canonicalize(grid);
+  for (size_t j = 0; j < 2; ++j) {
+    EXPECT_EQ(canon.lo[j], grid.lo[j]);
+    EXPECT_EQ(canon.hi[j], grid.hi[j]);
+  }
+  // A jittered box snaps outward to a containing grid box.
+  PrefBox jittered = grid;
+  jittered.lo[0] += 0.4 * config.quantum;
+  jittered.hi[1] -= 0.4 * config.quantum;
+  const PrefBox canon2 = cache.Canonicalize(jittered);
+  for (size_t j = 0; j < 2; ++j) {
+    EXPECT_LE(canon2.lo[j], jittered.lo[j]);
+    EXPECT_GE(canon2.hi[j], jittered.hi[j]);
+    EXPECT_EQ(std::fmod(canon2.lo[j], config.quantum), 0.0);
+  }
+  EXPECT_EQ(canon2.lo[0], grid.lo[0]);
+  EXPECT_EQ(canon2.hi[1], grid.hi[1]);
+}
+
+TEST(RegionCacheTest, BoxFromRegionRoundTripsAndRejectsNonBoxes) {
+  const PrefBox box = Box({0.1, 0.2, 0.15}, {0.2, 0.3, 0.25});
+  const std::optional<PrefBox> recovered =
+      BoxFromRegion(PrefRegion::FromBox(box));
+  ASSERT_TRUE(recovered.has_value());
+  for (size_t j = 0; j < 3; ++j) {
+    EXPECT_EQ(recovered->lo[j], box.lo[j]);
+    EXPECT_EQ(recovered->hi[j], box.hi[j]);
+  }
+  // Clipping a corner off makes it a pentagon -- not a box.
+  const PrefRegion clipped =
+      *PrefRegion::FromBox(Box({0.1, 0.1}, {0.3, 0.3}))
+           .Split(Hyperplane(Vec{1.0, 1.0}, 0.55), 1e-10)
+           .below;
+  EXPECT_FALSE(BoxFromRegion(clipped).has_value());
+  // Degenerate boxes are rejected too.
+  EXPECT_FALSE(
+      BoxFromRegion(PrefRegion::FromBox(Box({0.1, 0.2}, {0.1, 0.3})))
+          .has_value());
+}
+
+TEST(RegionCacheTest, GuillotineRemainderTilesTheOuterBox) {
+  const PrefBox outer = Box({0.0, 0.0, 0.0}, {1.0, 1.0, 1.0});
+  const PrefBox core = Box({0.2, 0.3, 0.0}, {0.6, 1.0, 0.5});
+  const std::vector<PrefBox> slabs = GuillotineRemainder(outer, core);
+  ASSERT_LE(slabs.size(), 6u);
+  // Volumes must sum to outer - core, and a point sample must land in
+  // exactly one piece (core or slab).
+  double volume = 0.0;
+  for (const PrefBox& slab : slabs) {
+    double v = 1.0;
+    for (size_t j = 0; j < 3; ++j) v *= slab.hi[j] - slab.lo[j];
+    volume += v;
+  }
+  EXPECT_NEAR(volume, 1.0 - 0.4 * 0.7 * 0.5, 1e-12);
+  Rng rng(11);
+  for (int trial = 0; trial < 2000; ++trial) {
+    Vec p{rng.Uniform(), rng.Uniform(), rng.Uniform()};
+    int owners = core.Contains(p, 0.0) ? 1 : 0;
+    for (const PrefBox& slab : slabs) {
+      if (slab.Contains(p, 0.0)) ++owners;
+    }
+    // Interior points have exactly one owner (boundaries may double-count
+    // under tolerance 0 only when the sample hits a face exactly --
+    // probability zero for Uniform()).
+    EXPECT_EQ(owners, 1) << p.ToString(6);
+  }
+}
+
+// The headline contract: with grid-aligned zipf-style traffic, the miss
+// that populates an entry and every hit that reuses it are bit-identical
+// to what the same engine produces with the cache disabled -- across
+// methods, dimensions, and k.
+TEST(RegionCacheTest, HitsBitIdenticalToColdSolves) {
+  const double quantum = 1.0 / 256.0;
+  for (const ToprrMethod method :
+       {ToprrMethod::kTas, ToprrMethod::kTasStar, ToprrMethod::kPac}) {
+    for (size_t d = 2; d <= 5; ++d) {
+      Dataset data = GenerateSynthetic(400, d, Distribution::kIndependent,
+                                       7000 + d);
+      for (const int k : {1, 5, 10}) {
+        // PAC on higher dims is slow; trim the grid accordingly.
+        const uint64_t width = d <= 3 ? 6 : 3;
+        const PrefBox aligned = GridBox(d - 1, quantum, 8, width);
+        if (!aligned.InsideSimplex()) continue;
+
+        ToprrEngine cold_engine(&data);
+        ToprrEngine warm_engine(&data);
+        warm_engine.EnableRegionCache({});
+
+        ToprrOptions options;
+        options.method = method;
+        ToprrOptions cached = options;
+        cached.use_region_cache = true;
+
+        const ToprrResult cold = cold_engine.Solve(k, aligned, options);
+        const ToprrResult miss = warm_engine.Solve(k, aligned, cached);
+        const ToprrResult hit = warm_engine.Solve(k, aligned, cached);
+        SCOPED_TRACE(testing::Message()
+                     << ToprrMethodName(method) << " d=" << d << " k=" << k);
+        EXPECT_EQ(miss.stats.scheduler.cache_misses, 1u);
+        EXPECT_EQ(hit.stats.scheduler.cache_hits, 1u);
+        EXPECT_GT(hit.stats.scheduler.cache_tasks_saved, 0u);
+        ExpectBitIdentical(cold, miss);
+        ExpectBitIdentical(cold, hit);
+
+        // A jittered sub-box must hit too. Its result is bit-identical
+        // to what a cache-enabled MISS of the same sub-box produces
+        // (both snap to the same canonical box and clip), and
+        // semantically equal to the cache-off cold solve -- the clip of
+        // a refinement yields a different but equivalent Vall than a
+        // fresh partition rooted at the sub-box.
+        PrefBox sub = aligned;
+        for (size_t j = 0; j + 1 < d; ++j) {
+          sub.lo[j] += 0.3 * quantum;
+          sub.hi[j] -= 0.4 * quantum;
+        }
+        ToprrEngine fresh_engine(&data);
+        fresh_engine.EnableRegionCache({});
+        const ToprrResult sub_miss = fresh_engine.Solve(k, sub, cached);
+        const ToprrResult sub_hit = warm_engine.Solve(k, sub, cached);
+        EXPECT_EQ(sub_miss.stats.scheduler.cache_misses, 1u);
+        EXPECT_EQ(sub_hit.stats.scheduler.cache_hits, 1u);
+        ExpectBitIdentical(sub_miss, sub_hit);
+        const ToprrResult sub_cold = cold_engine.Solve(k, sub, options);
+        ExpectSameRegionSemantics(data, sub_cold, sub_hit,
+                                  10000 + 100 * d + k);
+      }
+    }
+  }
+}
+
+// Region-form queries (the wire shape) reach the cache when they are
+// exact boxes.
+TEST(RegionCacheTest, RegionQueriesRecoverTheBoxAndHit) {
+  Dataset data = GenerateSynthetic(500, 3, Distribution::kIndependent, 21);
+  ToprrEngine engine(&data);
+  engine.EnableRegionCache({});
+  ToprrOptions cached;
+  cached.use_region_cache = true;
+  const PrefBox box = GridBox(2, 1.0 / 256.0, 12, 5);
+  ASSERT_TRUE(box.InsideSimplex());
+  const ToprrQuery query = ToprrQuery::FromBox(5, box, cached);
+  const ToprrResult miss = engine.Solve(query);
+  const ToprrResult hit = engine.Solve(query);
+  EXPECT_EQ(miss.stats.scheduler.cache_misses, 1u);
+  EXPECT_EQ(hit.stats.scheduler.cache_hits, 1u);
+  ExpectBitIdentical(miss, hit);
+}
+
+// Partial overlap: the resumed frontier + clipped core must agree with a
+// cold solve of the same query box.
+TEST(RegionCacheTest, PartialOverlapMatchesColdSolve) {
+  const double quantum = 1.0 / 256.0;
+  Dataset data = GenerateSynthetic(600, 3, Distribution::kAnticorrelated,
+                                   1234);
+  ToprrEngine cold_engine(&data);
+  ToprrEngine warm_engine(&data);
+  warm_engine.EnableRegionCache({});
+  ToprrOptions options;
+  ToprrOptions cached = options;
+  cached.use_region_cache = true;
+
+  const PrefBox first = GridBox(2, quantum, 10, 6);
+  ASSERT_TRUE(first.InsideSimplex());
+  ASSERT_EQ(warm_engine.Solve(5, first, cached).stats.scheduler.cache_misses,
+            1u);
+
+  // Shifted box: overlaps `first` but pokes past it on both axes, and is
+  // NOT grid-aligned, so the exact-key and containment lookups miss.
+  PrefBox shifted = first;
+  for (size_t j = 0; j < 2; ++j) {
+    shifted.lo[j] += 2.5 * quantum;
+    shifted.hi[j] += 2.5 * quantum;
+  }
+  ASSERT_TRUE(shifted.InsideSimplex());
+  const ToprrResult partial = warm_engine.Solve(5, shifted, cached);
+  EXPECT_EQ(partial.stats.scheduler.cache_partial_hits, 1u);
+  EXPECT_GT(partial.stats.scheduler.cache_tasks_saved, 0u);
+  const ToprrResult cold = cold_engine.Solve(5, shifted, options);
+  ExpectSameRegionSemantics(data, cold, partial, 99);
+  // Vall sets must agree as sets (order/duplicates may differ across the
+  // merge, so compare sorted quantized sets).
+  EXPECT_EQ(cold.stats.vall_unique > 0, partial.stats.vall_unique > 0);
+}
+
+TEST(RegionCacheTest, LruEvictionRespectsByteBudget) {
+  RegionCacheConfig config;
+  config.byte_budget = 64 << 10;  // tiny: force eviction
+  config.num_shards = 1;          // single shard = strict global LRU
+  RegionCache cache(config);
+  const std::string signature = "sig";
+  size_t inserted_bytes = 0;
+  for (int i = 0; i < 200; ++i) {
+    auto entry = std::make_shared<RegionCacheEntry>();
+    // Step by a full quantum so every box maps to a distinct cache key.
+    const double shift = i * config.quantum;
+    entry->box = Box({0.1 + shift, 0.1}, {0.2 + shift, 0.2});
+    entry->k = 5;
+    entry->signature = signature;
+    entry->candidates.assign(64, i);
+    FlatCell cell;
+    cell.id = 1;
+    cell.region = FlatRegion::FromBox(entry->box);
+    entry->cells.push_back(std::move(cell));
+    cache.Insert(entry);
+    inserted_bytes += entry->bytes;
+    EXPECT_LE(cache.TotalBytes(), config.byte_budget);
+  }
+  const RegionCacheCounters counters = cache.Counters();
+  EXPECT_EQ(counters.insertions, 200u);
+  EXPECT_GT(counters.evictions, 0u);
+  EXPECT_GT(counters.evicted_bytes, 0u);
+  EXPECT_LT(cache.NumEntries(), 200u);
+  EXPECT_GT(inserted_bytes, config.byte_budget);  // budget actually bound
+}
+
+TEST(RegionCacheTest, InsertIsFirstWinsAndIdempotent) {
+  RegionCache cache{RegionCacheConfig{}};
+  auto make = [] {
+    auto entry = std::make_shared<RegionCacheEntry>();
+    entry->box = Box({0.1, 0.1}, {0.2, 0.2});
+    entry->k = 3;
+    entry->signature = "s";
+    return entry;
+  };
+  cache.Insert(make());
+  cache.Insert(make());
+  EXPECT_EQ(cache.NumEntries(), 1u);
+  EXPECT_EQ(cache.Counters().insertions, 1u);
+}
+
+TEST(RegionCacheTest, InvalidateCacheEmptiesTheRegionCache) {
+  Dataset data = GenerateSynthetic(300, 3, Distribution::kIndependent, 5);
+  ToprrEngine engine(&data);
+  engine.EnableRegionCache({});
+  ToprrOptions cached;
+  cached.use_region_cache = true;
+  const PrefBox box = GridBox(2, 1.0 / 256.0, 10, 4);
+  engine.Solve(5, box, cached);
+  ASSERT_EQ(engine.region_cache()->NumEntries(), 1u);
+  engine.InvalidateCache();
+  EXPECT_EQ(engine.region_cache()->NumEntries(), 0u);
+  // The next identical query misses again (and repopulates).
+  const ToprrResult after = engine.Solve(5, box, cached);
+  EXPECT_EQ(after.stats.scheduler.cache_misses, 1u);
+  EXPECT_EQ(engine.region_cache()->NumEntries(), 1u);
+}
+
+// shared_ptr payloads: an entry snapshot taken before Clear() stays
+// fully usable afterwards -- the teardown-safety property the serving
+// front-end's Stop() relies on.
+TEST(RegionCacheTest, PinnedEntrySurvivesClear) {
+  RegionCache cache{RegionCacheConfig{}};
+  auto entry = std::make_shared<RegionCacheEntry>();
+  entry->box = Box({0.1, 0.1}, {0.3, 0.3});
+  entry->k = 2;
+  entry->signature = "s";
+  FlatCell cell;
+  cell.id = 1;
+  cell.region = FlatRegion::FromBox(entry->box);
+  entry->cells.push_back(std::move(cell));
+  cache.Insert(entry);
+  const std::shared_ptr<const RegionCacheEntry> pinned =
+      cache.FindContaining(2, "s", Box({0.15, 0.15}, {0.25, 0.25}));
+  ASSERT_TRUE(pinned != nullptr);
+  cache.Clear();
+  EXPECT_EQ(cache.NumEntries(), 0u);
+  // The snapshot's geometry is still intact.
+  EXPECT_EQ(pinned->cells.size(), 1u);
+  EXPECT_EQ(pinned->cells[0].region.num_vertices(), 4u);
+  GeomArena arena;
+  std::vector<Vec> vall;
+  EXPECT_EQ(AppendCellsClippedToBox(pinned->cells,
+                                    Box({0.15, 0.15}, {0.25, 0.25}), 1e-10,
+                                    &arena, &vall),
+            1u);
+  EXPECT_EQ(vall.size(), 4u);
+}
+
+// Concurrent SolveBatch over a zipf-like mix: hits, misses, and partial
+// hits race inserts and each other. Run under TSan/ASan in CI; here the
+// assertion is completion plus per-query agreement with a cold engine.
+TEST(RegionCacheTest, ConcurrentSolveBatchMixesHitsAndMisses) {
+  const double quantum = 1.0 / 256.0;
+  Dataset data = GenerateSynthetic(400, 3, Distribution::kIndependent, 77);
+  ToprrEngine warm(&data);
+  warm.EnableRegionCache({});
+  ToprrEngine cold(&data);
+  Rng rng(40);
+  std::vector<ToprrQuery> queries;
+  for (int i = 0; i < 64; ++i) {
+    ToprrOptions options;
+    options.build_geometry = false;
+    options.use_region_cache = true;
+    const uint64_t cell = 8 + static_cast<uint64_t>(rng.UniformInt(0, 2));
+    PrefBox box = GridBox(2, quantum, cell, 4);
+    // Half the queries jitter within the grid cell (containment hits
+    // after the first), half shift off-grid (partial overlaps).
+    if (i % 2 == 0) {
+      const double delta = (rng.Uniform() - 0.5) * 0.8 * quantum;
+      for (size_t j = 0; j < 2; ++j) {
+        box.lo[j] += delta;
+        box.hi[j] += delta;
+      }
+    } else {
+      const double delta = (1.5 + rng.Uniform()) * quantum;
+      for (size_t j = 0; j < 2; ++j) {
+        box.lo[j] += delta;
+        box.hi[j] += delta;
+      }
+    }
+    if (!box.InsideSimplex()) continue;
+    queries.push_back(ToprrQuery::FromBox(1 + (i % 3), box, options));
+  }
+  const std::vector<ToprrResult> results = warm.SolveBatch(queries, 8);
+  ASSERT_EQ(results.size(), queries.size());
+  uint64_t lookups = 0;
+  for (size_t i = 0; i < results.size(); ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_FALSE(results[i].timed_out);
+    const SchedulerStats& s = results[i].stats.scheduler;
+    lookups += s.cache_hits + s.cache_partial_hits + s.cache_misses;
+    ToprrQuery plain = queries[i];
+    plain.options.use_region_cache = false;
+    const ToprrResult reference = cold.Solve(plain);
+    ExpectSameRegionSemantics(data, reference, results[i], 1000 + i);
+  }
+  EXPECT_EQ(lookups, results.size());  // every query classified exactly once
+  const RegionCacheCounters counters = warm.region_cache()->Counters();
+  EXPECT_GT(counters.hits + counters.partial_hits, 0u);
+  EXPECT_GT(counters.misses, 0u);
+}
+
+}  // namespace
+}  // namespace toprr

@@ -125,9 +125,13 @@ TEST(ServeProtocolTest, ResponseBatchRoundTrip) {
   responses[0].stats.tasks_executed = 99;
   responses[0].stats.tasks_stolen = 12;
   responses[0].stats.steal_failures = 3;
+  responses[0].stats.cache_lookup = static_cast<uint8_t>(CacheLookup::kHit);
+  responses[0].stats.cache_tasks_saved = 57;
   responses[1].status = ServeStatus::kRejectedOverload;
   responses[2].status = ServeStatus::kBudgetExceeded;
   responses[2].stats.regions_tested = 1000;
+  responses[2].stats.cache_lookup =
+      static_cast<uint8_t>(CacheLookup::kPartial);
 
   const std::string payload = EncodeResponseBatch(responses);
   std::vector<ServeResponse> decoded;
@@ -160,7 +164,20 @@ TEST(ServeProtocolTest, ResponseBatchRoundTrip) {
     EXPECT_EQ(decoded[i].stats.tasks_stolen, responses[i].stats.tasks_stolen);
     EXPECT_EQ(decoded[i].stats.steal_failures,
               responses[i].stats.steal_failures);
+    EXPECT_EQ(decoded[i].stats.cache_lookup, responses[i].stats.cache_lookup);
+    EXPECT_EQ(decoded[i].stats.cache_tasks_saved,
+              responses[i].stats.cache_tasks_saved);
   }
+}
+
+TEST(ServeProtocolTest, RejectsOutOfRangeCacheLookup) {
+  std::vector<ServeResponse> responses(1);
+  responses[0].status = ServeStatus::kOk;
+  responses[0].stats.cache_lookup = 200;  // not a CacheLookup value
+  const std::string payload = EncodeResponseBatch(responses);
+  std::vector<ServeResponse> decoded;
+  std::string error;
+  EXPECT_FALSE(DecodeResponseBatch(payload, &decoded, &error));
 }
 
 TEST(ServeProtocolTest, RejectsTruncatedPayloads) {
