@@ -51,7 +51,7 @@ std::vector<ToprrQuery> MakeBatch(int batch) {
     options.build_geometry = false;
     queries.push_back(ToprrQuery::FromBox(
         config.default_k(),
-        RandomPrefBox(LoopbackServer().engine().data().dim() - 1,
+        RandomPrefBox(LoopbackServer().engine().dataset_dim() - 1,
                       config.default_sigma(), rng),
         options));
   }

@@ -33,10 +33,18 @@ default 2.0), its zipf-replay `hit_rate` is below 0.5, or it saved zero
 partition tasks -- the warm cross-query region cache must beat the
 cache-off replay of the identical query sequence.
 
+--snapshot mode reads a bench_snapshot_update JSON file and fails when
+the gated configuration `snapshot_update/incremental/d:4/k:10/delta:1pct`
+is missing, its `speedup_vs_rebuild` counter is below the floor
+(BENCH_SNAPSHOT_FLOOR env var, default 5.0), or its `equal` counter is
+not 1 -- incremental skyband maintenance across a <=1% publish delta
+must beat a from-scratch rebuild while staying bit-identical to it.
+
 Usage: check_bench_smoke.py bench_smoke.json
        check_bench_smoke.py --kernel score_kernel.json
        check_bench_smoke.py --geometry region_split.json
        check_bench_smoke.py --cache BENCH_query_cache.json
+       check_bench_smoke.py --snapshot BENCH_snapshot_update.json
 Self-test: check_bench_smoke.py --self-test
 """
 
@@ -49,6 +57,8 @@ SERIES = re.compile(r"^parallel_scale/scheduler_deep/threads:(\d+)(/|$)")
 KERNEL_LARGE = re.compile(r"^score_kernel/soa/c:4096/v:16/d:4(/|$)")
 GEOM_LARGE = re.compile(r"^region_split/flat/d:4/r:8(/|$)")
 CACHE_GATED = re.compile(r"^query_cache/warm/d:4/k:10(/|$)")
+SNAPSHOT_GATED = re.compile(
+    r"^snapshot_update/incremental/d:4/k:10/delta:1pct(/|$)")
 
 
 def evaluate(report, floor):
@@ -236,6 +246,54 @@ def evaluate_cache(report, floor):
     return True, summary
 
 
+def evaluate_snapshot(report, floor):
+    """Returns (ok, one_line_message) for a bench_snapshot_update report."""
+    if not isinstance(report, dict):
+        return False, "report is not a JSON object"
+    benchmarks = report.get("benchmarks")
+    if not isinstance(benchmarks, list) or not benchmarks:
+        return False, (
+            "no benchmark series in the report (did bench_snapshot_update "
+            "run with --benchmark_out?)"
+        )
+    gated = None
+    for bench in benchmarks:
+        if isinstance(bench, dict) and SNAPSHOT_GATED.match(
+                bench.get("name", "")):
+            gated = bench
+            break
+    if gated is None:
+        return False, (
+            "gated snapshot config missing: the report has "
+            f"{len(benchmarks)} benchmarks but none match "
+            "snapshot_update/incremental/d:4/k:10/delta:1pct"
+        )
+    speedup = gated.get("speedup_vs_rebuild")
+    if speedup is None:
+        return False, (
+            "gated snapshot config has no speedup_vs_rebuild counter (did "
+            "the rebuild series run first?)"
+        )
+    equal = gated.get("equal")
+    if equal != 1:
+        return False, (
+            "incremental skyband state is NOT bit-identical to the "
+            f"rebuild (equal={equal}): maintenance correctness is broken"
+        )
+    publish_ms = gated.get("publish_ms", 0.0)
+    summary = (
+        f"incremental skyband maintenance {speedup:.2f}x over rebuild on "
+        f"the gated 1% delta (floor {floor}x), bit-identical, publish "
+        f"{publish_ms:.2f}ms"
+    )
+    if speedup < floor:
+        return False, (
+            f"incremental maintenance speedup {speedup:.2f}x below the "
+            f"{floor}x floor"
+        )
+    return True, summary
+
+
 def self_test():
     def series(entries):
         return {
@@ -395,6 +453,47 @@ def self_test():
 
     ok, message = evaluate_cache([1, 2], 2.0)
     assert not ok, "non-object cache JSON must fail, not crash"
+
+    def snapshot_report(name, counters):
+        return {
+            "benchmarks": [
+                {"name": "snapshot_update/rebuild/d:4/k:10/delta:1pct"
+                         "/manual_time"},
+                {"name": name + "/manual_time", **counters},
+            ]
+        }
+
+    good_snapshot = snapshot_report(
+        "snapshot_update/incremental/d:4/k:10/delta:1pct",
+        {"speedup_vs_rebuild": 40.0, "equal": 1.0, "publish_ms": 0.3})
+    ok, _ = evaluate_snapshot(good_snapshot, 5.0)
+    assert ok, "healthy snapshot report must pass"
+
+    ok, message = evaluate_snapshot({}, 5.0)
+    assert not ok and "no benchmark series" in message
+
+    ok, message = evaluate_snapshot(
+        snapshot_report("snapshot_update/incremental/d:3/k:5/delta:1pct",
+                        {"speedup_vs_rebuild": 40.0, "equal": 1.0}), 5.0)
+    assert not ok and "gated snapshot config missing" in message
+
+    ok, message = evaluate_snapshot(
+        snapshot_report("snapshot_update/incremental/d:4/k:10/delta:1pct",
+                        {"equal": 1.0}), 5.0)
+    assert not ok and "no speedup_vs_rebuild" in message
+
+    ok, message = evaluate_snapshot(
+        snapshot_report("snapshot_update/incremental/d:4/k:10/delta:1pct",
+                        {"speedup_vs_rebuild": 40.0, "equal": 0.0}), 5.0)
+    assert not ok and "NOT bit-identical" in message
+
+    ok, message = evaluate_snapshot(
+        snapshot_report("snapshot_update/incremental/d:4/k:10/delta:1pct",
+                        {"speedup_vs_rebuild": 3.0, "equal": 1.0}), 5.0)
+    assert not ok and "below" in message
+
+    ok, message = evaluate_snapshot([1, 2], 5.0)
+    assert not ok, "non-object snapshot JSON must fail, not crash"
     print("bench-smoke: self-test PASS")
 
 
@@ -405,11 +504,12 @@ def main():
     kernel_mode = len(sys.argv) == 3 and sys.argv[1] == "--kernel"
     geometry_mode = len(sys.argv) == 3 and sys.argv[1] == "--geometry"
     cache_mode = len(sys.argv) == 3 and sys.argv[1] == "--cache"
-    flagged = kernel_mode or geometry_mode or cache_mode
+    snapshot_mode = len(sys.argv) == 3 and sys.argv[1] == "--snapshot"
+    flagged = kernel_mode or geometry_mode or cache_mode or snapshot_mode
     if not flagged and len(sys.argv) != 2:
         print(
             f"bench-smoke: FAIL: usage: {sys.argv[0]} "
-            "[--kernel|--geometry|--cache] <benchmark_out.json>",
+            "[--kernel|--geometry|--cache|--snapshot] <benchmark_out.json>",
             file=sys.stderr,
         )
         sys.exit(1)
@@ -434,6 +534,9 @@ def main():
     elif cache_mode:
         floor = float(os.environ.get("BENCH_CACHE_FLOOR", "2.0"))
         ok, message = evaluate_cache(report, floor)
+    elif snapshot_mode:
+        floor = float(os.environ.get("BENCH_SNAPSHOT_FLOOR", "5.0"))
+        ok, message = evaluate_snapshot(report, floor)
     else:
         floor = float(os.environ.get("BENCH_SMOKE_FLOOR", "1.5"))
         ok, message = evaluate(report, floor)

@@ -19,61 +19,193 @@
 
 namespace toprr {
 
-ToprrEngine::ToprrEngine(const Dataset* data) : data_(data) {
-  CHECK(data != nullptr);
-#ifndef NDEBUG
-  fingerprint_ = Fingerprint(*data);  // only the debug DCHECK reads it
-#endif
+ToprrEngine::ToprrEngine(SnapshotPtr snapshot)
+    : snapshot_(std::move(snapshot)) {
+  CHECK(snapshot_ != nullptr);
 }
 
-double ToprrEngine::Fingerprint(const Dataset& data) {
-  // Position-weighted sum: cheap, order-sensitive, and a single pass. Not
-  // cryptographic -- it only needs to catch accidental in-place mutation.
-  double digest = static_cast<double>(data.size()) * 1e9 +
-                  static_cast<double>(data.dim()) * 1e6;
-  for (size_t i = 0; i < data.size(); ++i) {
-    const double* row = data.Row(i);
-    for (size_t j = 0; j < data.dim(); ++j) {
-      digest += row[j] * static_cast<double>((i * 31 + j) % 8191 + 1);
-    }
-  }
-  return digest;
+ToprrEngine::ToprrEngine(const Dataset* data) : data_(data) {
+  CHECK(data != nullptr);
+  snapshot_ = DatasetSnapshot::FromDataset(*data);
+  // A root snapshot's id IS DatasetContentHash of its source table, so
+  // the debug mutation check gets its reference hash for free.
+  legacy_hash_ = snapshot_->id();
 }
 
 void ToprrEngine::CheckDatasetUnchanged() const {
 #ifndef NDEBUG
-  DCHECK_EQ(fingerprint_, Fingerprint(*data_))
-      << "dataset mutated while a ToprrEngine was using it; call "
-         "InvalidateCache() between mutation and the next query";
+  if (data_ == nullptr) return;  // snapshot-constructed: nothing borrowed
+  DCHECK_EQ(legacy_hash_, DatasetContentHash(*data_))
+      << "the Dataset borrowed by the legacy ToprrEngine constructor was "
+         "mutated in place; call InvalidateCache() between mutation and "
+         "the next query (or better, move to MutableCatalog + "
+         "SetSnapshot)";
 #endif
+}
+
+SnapshotPtr ToprrEngine::PinSnapshot() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  return snapshot_;
+}
+
+SnapshotPtr ToprrEngine::snapshot() const { return PinSnapshot(); }
+
+uint64_t ToprrEngine::snapshot_id() const { return PinSnapshot()->id(); }
+
+size_t ToprrEngine::dataset_rows() const {
+  return PinSnapshot()->live_rows();
+}
+
+size_t ToprrEngine::dataset_dim() const { return PinSnapshot()->dim(); }
+
+const Dataset& ToprrEngine::data() const {
+  CHECK(data_ != nullptr)
+      << "ToprrEngine::data() is only available on engines built with the "
+         "legacy Dataset* constructor; use snapshot() instead";
+  return *data_;
+}
+
+ToprrEngine::UpdateCounters ToprrEngine::update_counters() const {
+  UpdateCounters counters;
+  counters.publishes_seen = publishes_seen_.load(std::memory_order_relaxed);
+  counters.skyband_incremental =
+      skyband_incremental_.load(std::memory_order_relaxed);
+  counters.skyband_rebuilds =
+      skyband_rebuilds_.load(std::memory_order_relaxed);
+  return counters;
+}
+
+void ToprrEngine::BuildSkybandEntry(const SnapshotPtr& snap, int k,
+                                    SkybandEntry* entry) {
+  // Consume the parent-version base staged at entry creation; dropping it
+  // here (not at GC time) keeps snapshot chains from accumulating.
+  const SkybandEntryPtr base = std::move(entry->prev);
+  const SnapshotDelta& delta = snap->delta();
+  const DatasetView view = snap->View();
+  if (base != nullptr && base->built.load(std::memory_order_acquire) &&
+      !KSkybandDeleteHitsMember(delta.deleted, base->ids)) {
+    // Incremental carry-forward: non-member deletions are free, inserts
+    // are dominance-checked against the cached members (exact; see the
+    // correctness argument in topk/skyband.h).
+    KSkybandState state{base->ids, base->counts};
+    KSkybandApplyInserts(view, k, delta.inserted, &state);
+    entry->ids = std::move(state.ids);
+    entry->counts = std::move(state.counts);
+    entry->incremental = true;
+    skyband_incremental_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    KSkybandState state = SortBasedKSkybandPool(view, snap->live_ids(), k);
+    entry->ids = std::move(state.ids);
+    entry->counts = std::move(state.counts);
+    skyband_rebuilds_.fetch_add(1, std::memory_order_relaxed);
+  }
+  entry->built.store(true, std::memory_order_release);
+}
+
+ToprrEngine::SkybandEntryPtr ToprrEngine::GetSkyband(const SnapshotPtr& snap,
+                                                     int k) {
+  CHECK_GT(k, 0);
+  // Bound by *physical* rows, which never shrink across publishes: a
+  // server that validated k against live_rows() can then never abort on
+  // a delete-publish racing the solve (the answer degrades to the
+  // defined k-of-fewer-live-options case instead).
+  CHECK_LE(static_cast<size_t>(k), snap->rows())
+      << "k exceeds the snapshot's row count";
+  SkybandEntryPtr entry;
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    const auto key = std::make_pair(k, snap->id());
+    auto it = skyband_cache_.find(key);
+    if (it != skyband_cache_.end()) {
+      entry = it->second;
+    } else {
+      entry = std::make_shared<SkybandEntry>();
+      if (snap->parent_id() != 0) {
+        auto parent =
+            skyband_cache_.find(std::make_pair(k, snap->parent_id()));
+        if (parent != skyband_cache_.end()) entry->prev = parent->second;
+      }
+      skyband_cache_.emplace(key, entry);
+    }
+  }
+  // The build runs outside cache_mu_: concurrent queries with distinct
+  // (k, version) compute their skybands in parallel, and callers of an
+  // already-built entry never contend with an in-flight build. call_once
+  // makes duplicate first-touchers block only on each other.
+  SkybandEntry* raw = entry.get();
+  std::call_once(raw->once,
+                 [this, &snap, k, raw] { BuildSkybandEntry(snap, k, raw); });
+  return entry;
 }
 
 const std::vector<int>& ToprrEngine::KSkyband(int k) {
-  SkybandSlot* slot;
+  const SnapshotPtr snap = PinSnapshot();
+  const SkybandEntryPtr entry = GetSkyband(snap, k);
+  // The map keeps the entry alive until the next SetSnapshot garbage
+  // collection, which is exactly the documented lifetime of this
+  // reference.
+  return entry->ids;
+}
+
+void ToprrEngine::SetSnapshot(SnapshotPtr snapshot) {
+  CHECK(snapshot != nullptr);
+  // (k, entry) pairs to build eagerly after the lock is released.
+  std::vector<std::pair<int, SkybandEntryPtr>> to_build;
+  SnapshotPtr pinned = snapshot;  // keep alive across the unlocked builds
   {
-    // std::map nodes are stable: the slot pointer outlives later
-    // insertions, and the contract forbids InvalidateCache while
-    // queries hold references into it.
     std::lock_guard<std::mutex> lock(cache_mu_);
-    slot = &skyband_cache_[k];
+    const uint64_t old_id = snapshot_->id();
+    const uint64_t new_id = snapshot->id();
+    snapshot_ = std::move(snapshot);
+    if (old_id == new_id) return;  // same content: every cache stays valid
+    publishes_seen_.fetch_add(1, std::memory_order_relaxed);
+
+    // Stage eager maintenance: one fresh entry per k cached at the old
+    // current version, chained to it as the incremental base. Doing this
+    // under the lock (building outside it) means a query racing with the
+    // publish either finds the staged entry or creates an equivalent one.
+    for (const auto& [key, entry] : skyband_cache_) {
+      if (key.second != old_id) continue;
+      const auto new_key = std::make_pair(key.first, new_id);
+      if (skyband_cache_.count(new_key) != 0) continue;
+      auto fresh = std::make_shared<SkybandEntry>();
+      fresh->prev = entry;
+      skyband_cache_.emplace(new_key, fresh);
+      to_build.emplace_back(key.first, fresh);
+    }
+    // Garbage-collect entries of older versions. In-flight solves pinned
+    // to an old snapshot are unaffected: they hold their entry by
+    // shared_ptr (a late GetSkyband on a collected version simply
+    // rebuilds a transient entry).
+    for (auto it = skyband_cache_.begin(); it != skyband_cache_.end();) {
+      if (it->first.second != new_id) {
+        it = skyband_cache_.erase(it);
+      } else {
+        ++it;
+      }
+    }
   }
-  // The skyband build runs outside cache_mu_: concurrent queries with
-  // distinct k compute their skybands in parallel, and callers of an
-  // already-built k never contend with an in-flight build. call_once
-  // makes duplicate first-touchers of the same k block only on each
-  // other.
-  std::call_once(slot->once,
-                 [this, slot, k] { slot->ids = SortBasedKSkyband(*data_, k); });
-  return slot->ids;
+  for (const auto& [k, entry] : to_build) {
+    SkybandEntry* raw = entry.get();
+    std::call_once(raw->once, [this, &pinned, k, raw] {
+      BuildSkybandEntry(pinned, k, raw);
+    });
+  }
 }
 
 void ToprrEngine::InvalidateCache() {
-  std::unique_lock<std::mutex> lock(cache_mu_);
-  skyband_cache_.clear();
+  if (data_ != nullptr) {
+    // Legacy contract: the caller mutated the borrowed Dataset in place.
+    // Re-read it into a fresh root snapshot; queries already in flight
+    // finish on their pinned (pre-mutation) copy, which is the best the
+    // old API can promise.
+    SnapshotPtr fresh = DatasetSnapshot::FromDataset(*data_);
+    legacy_hash_ = fresh->id();
+    SetSnapshot(std::move(fresh));
+  }
+  // Region-cache entries are version-keyed and would age out on their
+  // own, but the legacy contract says "drop everything now".
   if (region_cache_ != nullptr) region_cache_->Clear();
-#ifndef NDEBUG
-  fingerprint_ = Fingerprint(*data_);
-#endif
 }
 
 void ToprrEngine::EnableRegionCache(const RegionCacheConfig& config) {
@@ -93,58 +225,91 @@ bool BoxIsCacheable(const PrefBox& box) {
   return box.InsideSimplex();
 }
 
+// The region-cache signature: the option fingerprint plus the snapshot's
+// content id. Folding the version into the signature is what lets stale
+// entries age out of the LRU instead of requiring a mass drop on publish.
+std::string SignatureFor(const ToprrOptions& options,
+                         const DatasetSnapshot& snap) {
+  std::string signature = CacheSignature(options);
+  const uint64_t id = snap.id();
+  signature.append(reinterpret_cast<const char*>(&id), sizeof(id));
+  return signature;
+}
+
 }  // namespace
 
 ToprrResult ToprrEngine::Solve(int k, const PrefBox& region,
                                const ToprrOptions& options) {
   CheckDatasetUnchanged();
-  if (options.use_region_cache && region_cache_ != nullptr &&
-      BoxIsCacheable(region)) {
-    return SolveCachedBox(k, region, options);
-  }
-  const std::vector<int>& skyband = KSkyband(k);
-  Timer filter_timer;
-  const std::vector<int> candidates =
-      options.use_rskyband_filter ? RSkyband(*data_, region, k, &skyband)
-                                  : skyband;
-  ToprrResult result = SolveToprrWithCandidates(
-      *data_, k, PrefRegion::FromBox(region), candidates, options);
-  result.stats.filter_seconds = filter_timer.Seconds();
+  const SnapshotPtr snap = PinSnapshot();
+  ToprrResult result = SolveBox(snap, k, region, options);
+  result.snapshot_id = snap->id();
   return result;
 }
 
 ToprrResult ToprrEngine::Solve(int k, const PrefRegion& region,
                                const ToprrOptions& options) {
   CheckDatasetUnchanged();
+  const SnapshotPtr snap = PinSnapshot();
+  ToprrResult result = SolveRegion(snap, k, region, options);
+  result.snapshot_id = snap->id();
+  return result;
+}
+
+ToprrResult ToprrEngine::SolveBox(const SnapshotPtr& snap, int k,
+                                  const PrefBox& box,
+                                  const ToprrOptions& options) {
+  if (options.use_region_cache && region_cache_ != nullptr &&
+      BoxIsCacheable(box)) {
+    return SolveCachedBox(snap, k, box, options);
+  }
+  const SkybandEntryPtr skyband = GetSkyband(snap, k);
+  const DatasetView view = snap->View();
+  Timer filter_timer;
+  const std::vector<int> candidates =
+      options.use_rskyband_filter ? RSkyband(view, box, k, &skyband->ids)
+                                  : skyband->ids;
+  ToprrResult result = SolveToprrWithCandidates(
+      view, k, PrefRegion::FromBox(box), candidates, options);
+  result.stats.filter_seconds = filter_timer.Seconds();
+  return result;
+}
+
+ToprrResult ToprrEngine::SolveRegion(const SnapshotPtr& snap, int k,
+                                     const PrefRegion& region,
+                                     const ToprrOptions& options) {
   if (options.use_region_cache && region_cache_ != nullptr) {
     // Wire queries arrive as general PrefRegions; recover the box when
     // the region is exactly one so serving traffic reaches the cache.
     const std::optional<PrefBox> box = BoxFromRegion(region);
     if (box.has_value() && BoxIsCacheable(*box)) {
-      return SolveCachedBox(k, *box, options);
+      return SolveCachedBox(snap, k, *box, options);
     }
   }
-  const std::vector<int>& skyband = KSkyband(k);
+  const SkybandEntryPtr skyband = GetSkyband(snap, k);
+  const DatasetView view = snap->View();
   Timer filter_timer;
   const std::vector<int> candidates =
       options.use_rskyband_filter
-          ? RSkybandVertices(*data_, region.vertices(), k, &skyband)
-          : skyband;
+          ? RSkybandVertices(view, region.vertices(), k, &skyband->ids)
+          : skyband->ids;
   ToprrResult result =
-      SolveToprrWithCandidates(*data_, k, region, candidates, options);
+      SolveToprrWithCandidates(view, k, region, candidates, options);
   result.stats.filter_seconds = filter_timer.Seconds();
   return result;
 }
 
-ToprrResult ToprrEngine::SolveCachedBox(int k, const PrefBox& box,
+ToprrResult ToprrEngine::SolveCachedBox(const SnapshotPtr& snap, int k,
+                                        const PrefBox& box,
                                         const ToprrOptions& options) {
   RegionCache& cache = *region_cache_;
-  const std::string signature = CacheSignature(options);
+  const std::string signature = SignatureFor(options, *snap);
   Timer total;
   if (std::shared_ptr<const RegionCacheEntry> entry =
           cache.FindContaining(k, signature, box)) {
-    ToprrResult result =
-        AssembleFromCells(entry->cells, entry->candidates, k, box, options);
+    ToprrResult result = AssembleFromCells(snap, entry->cells,
+                                           entry->candidates, k, box,
+                                           options);
     result.stats.scheduler.cache_hits = 1;
     result.stats.scheduler.cache_tasks_saved = entry->regions_tested;
     result.stats.total_seconds = total.Seconds();
@@ -154,21 +319,21 @@ ToprrResult ToprrEngine::SolveCachedBox(int k, const PrefBox& box,
     if (std::shared_ptr<const RegionCacheEntry> entry =
             cache.FindOverlap(k, signature, box)) {
       ToprrResult result =
-          SolvePartialOverlap(k, box, options, std::move(entry));
+          SolvePartialOverlap(snap, k, box, options, std::move(entry));
       result.stats.total_seconds = total.Seconds();
       return result;
     }
   }
   cache.RecordMiss();
-  ToprrResult result = SolveColdAndInsert(k, box, options, signature);
+  ToprrResult result = SolveColdAndInsert(snap, k, box, options, signature);
   result.stats.total_seconds = total.Seconds();
   return result;
 }
 
-ToprrResult ToprrEngine::AssembleFromCells(const std::vector<FlatCell>& cells,
-                                           const std::vector<int>& candidates,
-                                           int k, const PrefBox& box,
-                                           const ToprrOptions& options) {
+ToprrResult ToprrEngine::AssembleFromCells(
+    const SnapshotPtr& snap, const std::vector<FlatCell>& cells,
+    const std::vector<int>& candidates, int k, const PrefBox& box,
+    const ToprrOptions& options) {
   ToprrResult result;
   result.stats.candidates_after_filter = candidates.size();
   GeomArena arena;
@@ -178,25 +343,28 @@ ToprrResult ToprrEngine::AssembleFromCells(const std::vector<FlatCell>& cells,
   result.stats.vall_raw = vall.size();
   result.vall = DedupVertices(vall);
   result.stats.vall_unique = result.vall.size();
-  AssembleResultRegion(*data_, candidates, k, result.vall, options, &result);
+  AssembleResultRegion(snap->View(), candidates, k, result.vall, options,
+                       &result);
   result.stats.assemble_seconds = phase.Seconds();
   return result;
 }
 
 ToprrResult ToprrEngine::SolvePartialOverlap(
-    int k, const PrefBox& box, const ToprrOptions& options,
+    const SnapshotPtr& snap, int k, const PrefBox& box,
+    const ToprrOptions& options,
     std::shared_ptr<const RegionCacheEntry> entry) {
   const std::optional<PrefBox> core = IntersectBoxes(box, entry->box);
   CHECK(core.has_value());  // FindOverlap guarantees positive widths
   const std::vector<PrefBox> remainder = GuillotineRemainder(box, *core);
+  const DatasetView view = snap->View();
 
   // Fresh candidates for the whole query box: a valid superset for the
   // frontier sub-boxes and for the reused core alike.
-  const std::vector<int>& skyband = KSkyband(k);
+  const SkybandEntryPtr skyband = GetSkyband(snap, k);
   Timer filter_timer;
-  std::vector<int> candidates = options.use_rskyband_filter
-                                    ? RSkyband(*data_, box, k, &skyband)
-                                    : skyband;
+  std::vector<int> candidates =
+      options.use_rskyband_filter ? RSkyband(view, box, k, &skyband->ids)
+                                  : skyband->ids;
   const double filter_seconds = filter_timer.Seconds();
 
   // Resume the uncovered remainder as a scheduler frontier. Root ids sit
@@ -217,7 +385,7 @@ ToprrResult ToprrEngine::SolvePartialOverlap(
     roots.push_back(std::move(task));
   }
   const PartitionConfig config = PartitionConfigFromOptions(options);
-  PartitionScheduler scheduler(*data_, config);
+  PartitionScheduler scheduler(view, config);
   PartitionOutput frontier = scheduler.RunFrontier(std::move(roots));
 
   ToprrResult result;
@@ -251,21 +419,23 @@ ToprrResult ToprrEngine::SolvePartialOverlap(
   result.stats.vall_raw = vall.size();
   result.vall = DedupVertices(vall);
   result.stats.vall_unique = result.vall.size();
-  AssembleResultRegion(*data_, candidates, k, result.vall, options, &result);
+  AssembleResultRegion(view, candidates, k, result.vall, options, &result);
   result.stats.assemble_seconds = assemble.Seconds();
   return result;
 }
 
-ToprrResult ToprrEngine::SolveColdAndInsert(int k, const PrefBox& box,
+ToprrResult ToprrEngine::SolveColdAndInsert(const SnapshotPtr& snap, int k,
+                                            const PrefBox& box,
                                             const ToprrOptions& options,
                                             const std::string& signature) {
   RegionCache& cache = *region_cache_;
   const PrefBox canon = cache.Canonicalize(box);
+  const DatasetView view = snap->View();
 
   // The canonical root, clipped against the preference simplex when the
   // outward snap poked past it (the clipped region still contains every
   // in-simplex query box that canonicalizes here).
-  const std::vector<int>& skyband = KSkyband(k);
+  const SkybandEntryPtr skyband = GetSkyband(snap, k);
   Timer filter_timer;
   PrefRegion root;
   std::vector<int> candidates;
@@ -273,8 +443,8 @@ ToprrResult ToprrEngine::SolveColdAndInsert(int k, const PrefBox& box,
   if (canon.InsideSimplex()) {
     root = PrefRegion::FromBox(canon);
     candidates = options.use_rskyband_filter
-                     ? RSkyband(*data_, canon, k, &skyband)
-                     : skyband;
+                     ? RSkyband(view, canon, k, &skyband->ids)
+                     : skyband->ids;
   } else {
     const Hyperplane simplex(Vec(canon.dim(), 1.0), 1.0);
     PrefRegionSplit split =
@@ -282,19 +452,19 @@ ToprrResult ToprrEngine::SolveColdAndInsert(int k, const PrefBox& box,
     if (split.below.has_value() && !split.below->empty()) {
       root = std::move(*split.below);
       candidates = options.use_rskyband_filter
-                       ? RSkybandVertices(*data_, root.vertices(), k,
-                                          &skyband)
-                       : skyband;
+                       ? RSkybandVertices(view, root.vertices(), k,
+                                          &skyband->ids)
+                       : skyband->ids;
     } else {
       root_ok = false;
     }
   }
   if (!root_ok) {
     // Clipping degenerated (a sliver box hugging the simplex facet):
-    // solve the query cold, uncached.
+    // solve the query cold, uncached, on the same pinned snapshot.
     ToprrOptions cold = options;
     cold.use_region_cache = false;
-    ToprrResult result = Solve(k, box, cold);
+    ToprrResult result = SolveBox(snap, k, box, cold);
     result.stats.scheduler.cache_misses = 1;
     return result;
   }
@@ -302,7 +472,7 @@ ToprrResult ToprrEngine::SolveColdAndInsert(int k, const PrefBox& box,
 
   std::vector<FlatCell> cells;
   ToprrResult canon_result = SolveToprrWithCandidates(
-      *data_, k, root, candidates, options, &cells);
+      view, k, root, candidates, options, &cells);
   if (canon_result.timed_out) {
     // Incomplete partitions are never cached, and a timed-out result is
     // unusable by contract, so hand it back as-is.
@@ -318,12 +488,14 @@ ToprrResult ToprrEngine::SolveColdAndInsert(int k, const PrefBox& box,
   entry->candidates = std::move(candidates);
   entry->cells = std::move(cells);
   entry->regions_tested = canon_result.stats.regions_tested;
+  entry->snapshot = snap;  // keeps the candidate ids valid entry-long
 
   // Assemble the query's own result from the entry cells -- the same
   // tail as a cache hit, which is what makes hits bit-identical to the
   // miss that populated them.
-  ToprrResult result =
-      AssembleFromCells(entry->cells, entry->candidates, k, box, options);
+  ToprrResult result = AssembleFromCells(snap, entry->cells,
+                                         entry->candidates, k, box,
+                                         options);
   const size_t evicted = cache.Insert(entry);
 
   // Graft the canonical solve's partition telemetry onto the clipped
@@ -382,10 +554,10 @@ std::vector<ToprrResult> ToprrEngine::SolveBatch(
     return results;
   }
 
-  // No skyband warm-up pass here: the per-k once slots let each worker
-  // build its own query's skyband outside the cache lock, so a batch
-  // mixing k values computes them concurrently instead of serially in
-  // the dispatching thread.
+  // No skyband warm-up pass here: the per-(k, version) once entries let
+  // each worker build its own query's skyband outside the cache lock, so
+  // a batch mixing k values computes them concurrently instead of
+  // serially in the dispatching thread.
 
   // Claim queries through an atomic ticket instead of a mutex: the
   // per-query shared-state traffic is one fetch_add to claim and one to

@@ -1,32 +1,48 @@
 // ToprrEngine: precomputation and batch serving for repeated TopRR
-// queries over one dataset (the paper's Sec. 7 names pre-computation as
-// future work; this realizes the obvious instance of it and grows it into
-// a traffic-serving front-end).
+// queries over a snapshot-versioned dataset (the paper's Sec. 7 names
+// pre-computation as future work; this realizes the obvious instance of
+// it and grows it into a traffic-serving front-end).
 //
-// The k-skyband is independent of wR and is a superset of every r-skyband,
-// so the engine computes it once per k and restricts the per-query
-// r-skyband scan to it. For large n this removes the dominant filtering
-// cost from the per-query path (see bench_engine_precompute). SolveBatch
-// additionally dispatches independent queries across the shared thread
-// pool, all sharing the same guarded skyband cache.
+// The k-skyband is independent of wR and is a superset of every
+// r-skyband, so the engine computes it once per (k, snapshot version)
+// and restricts the per-query r-skyband scan to it. For large n this
+// removes the dominant filtering cost from the per-query path (see
+// bench_engine_precompute). SolveBatch additionally dispatches
+// independent queries across the shared thread pool, all sharing the
+// same guarded skyband cache.
+//
+// Ownership and mutation model (data/snapshot.h):
+//  * The engine always serves from an immutable DatasetSnapshot. Every
+//    Solve pins the current snapshot for its whole duration (and stamps
+//    ToprrResult::snapshot_id), so a writer publishing mid-query can
+//    never be observed by that query -- readers and the writer share
+//    nothing mutable.
+//  * SetSnapshot moves the engine to a newer version (typically
+//    MutableCatalog::Publish output). Per-k skybands are maintained
+//    *incrementally* across the snapshot delta -- inserted rows are
+//    dominance-checked against the cached skyband (O(delta * skyband)),
+//    deletions of non-members are free, and only a member deletion
+//    forces a SortBasedKSkyband rebuild over the live rows.
+//  * Region-cache entries fold the snapshot id into their signature:
+//    entries from old versions stop matching and age out through the
+//    LRU instead of being mass-dropped, and each entry pins the snapshot
+//    it was solved from.
 //
 // Thread-safety contract:
-//  * Solve / SolveBatch / KSkyband may be called concurrently from any
-//    number of threads; the skyband cache holds one once-initialized
-//    slot per k in a node-based map, so the mutex only guards the map
-//    lookup -- the skyband computation itself runs outside the lock,
-//    and a batch mixing k values builds its skybands concurrently
-//    instead of serializing behind the first query's build. References
-//    stay valid while further k values are added.
-//  * InvalidateCache requires exclusive access: it must not overlap any
-//    in-flight query (those hold references into the cache).
-//  * The dataset must outlive the engine and must be treated as immutable
-//    for the engine's whole lifetime: cached skybands, and any in-flight
-//    solve, are only meaningful against the rows they were computed from.
-//    Debug builds DCHECK a dataset fingerprint on every query to catch
-//    mutation; if the dataset legitimately changed in place, call
-//    InvalidateCache() (with no queries in flight) to drop the stale
-//    skybands and re-arm the fingerprint.
+//  * Solve / SolveBatch / KSkyband / SetSnapshot may be called
+//    concurrently from any number of threads. The skyband cache holds
+//    one once-initialized entry per (k, version) behind shared_ptr, so
+//    the mutex only guards map lookups -- skyband builds run outside the
+//    lock, and a batch mixing k values builds its skybands concurrently.
+//  * KSkyband's returned reference stays valid until the next
+//    SetSnapshot / InvalidateCache (older-version entries are garbage
+//    collected then; in-flight solves are safe because they hold the
+//    entry by shared_ptr, not by reference).
+//  * The legacy raw-pointer constructor copies the dataset into a root
+//    snapshot, so even that path has no exclusive-access requirement
+//    anymore; debug builds still DCHECK a content hash each query to
+//    flag callers mutating the borrowed Dataset without telling the
+//    engine.
 #ifndef TOPRR_CORE_ENGINE_H_
 #define TOPRR_CORE_ENGINE_H_
 
@@ -35,11 +51,13 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/region_cache.h"
 #include "core/toprr.h"
 #include "data/dataset.h"
+#include "data/snapshot.h"
 #include "pref/pref_space.h"
 #include "pref/region.h"
 
@@ -57,22 +75,35 @@ struct ToprrQuery {
   }
 };
 
-/// Caches per-k candidate supersets for one dataset and serves queries
-/// one at a time or in parallel batches. See the thread-safety contract
-/// in the file comment.
+/// Caches per-(k, version) candidate supersets over a snapshot chain and
+/// serves queries one at a time or in parallel batches. See the
+/// ownership and thread-safety contracts in the file comment.
 class ToprrEngine {
  public:
+  /// Serves from `snapshot` (and any successors handed to SetSnapshot).
+  /// The canonical constructor for live catalogs:
+  ///   MutableCatalog catalog(...);
+  ///   ToprrEngine engine(catalog.Current());
+  explicit ToprrEngine(SnapshotPtr snapshot);
+
+  /// Legacy shim: copies `data` into a root snapshot (one O(n*d) pass,
+  /// comparable to the old debug fingerprint). `data` is only retained
+  /// for the debug mutation DCHECK and for InvalidateCache's re-read;
+  /// the engine itself serves from the copy. Prefer the snapshot
+  /// constructor.
   explicit ToprrEngine(const Dataset* data);
 
   ToprrEngine(const ToprrEngine&) = delete;
   ToprrEngine& operator=(const ToprrEngine&) = delete;
 
-  /// The cached k-skyband (computed on first use for each k). The
-  /// returned reference stays valid until InvalidateCache().
+  /// The cached k-skyband of the current snapshot (computed on first use
+  /// for each (k, version)). The returned reference stays valid until
+  /// the next SetSnapshot / InvalidateCache.
   const std::vector<int>& KSkyband(int k);
 
   /// Solves TopRR(D, k, wR) reusing the cached k-skyband: the per-query
   /// r-skyband is computed within it instead of over the whole dataset.
+  /// Pins the current snapshot for the solve's duration.
   ToprrResult Solve(int k, const PrefBox& region,
                     const ToprrOptions& options = {});
 
@@ -89,7 +120,9 @@ class ToprrEngine {
   /// `queries`. Queries whose options request region-level parallelism
   /// (options.num_threads != 1) compose safely with the batch dispatch --
   /// both levels borrow from the same pool and degrade gracefully when it
-  /// is saturated.
+  /// is saturated. Each query pins the snapshot current at its own start,
+  /// so a concurrent SetSnapshot splits the batch at a clean version
+  /// boundary (check ToprrResult::snapshot_id).
   ///
   /// `cancel`, when non-null, aborts the whole batch cooperatively: it
   /// is injected as ToprrOptions::cancel into every query that does not
@@ -102,11 +135,31 @@ class ToprrEngine {
       const std::vector<ToprrQuery>& queries, int num_threads = 0,
       const std::atomic<bool>* cancel = nullptr);
 
-  /// Drops all cached state -- per-k skybands and every region-cache
-  /// entry -- and re-arms the dataset fingerprint (e.g. after the
-  /// dataset legitimately changed in place). Requires that no query is
-  /// in flight; region-cache snapshots already pinned by a racing solve
-  /// would describe the old rows.
+  /// Moves the engine to a newer snapshot (typically
+  /// MutableCatalog::Publish output). Safe with queries in flight: they
+  /// finish on their pinned version. Skybands cached for the previous
+  /// version are carried forward incrementally along the snapshot delta
+  /// when possible (see the file comment); entries for older versions
+  /// are garbage collected.
+  void SetSnapshot(SnapshotPtr snapshot);
+
+  /// The currently served snapshot (pin it to keep a version alive).
+  SnapshotPtr snapshot() const;
+  /// The current snapshot's 64-bit content id.
+  uint64_t snapshot_id() const;
+  /// Live rows / dimension of the current snapshot -- what a query
+  /// observes as the dataset size.
+  size_t dataset_rows() const;
+  size_t dataset_dim() const;
+
+  /// DEPRECATED: use SetSnapshot (or a MutableCatalog) instead. Shim for
+  /// the pre-snapshot API: re-reads the legacy constructor's borrowed
+  /// Dataset into a fresh snapshot (so in-place mutations become
+  /// visible), moves the engine onto it, and clears the region cache.
+  /// Unlike the old contract this is safe with queries in flight -- they
+  /// complete on their pinned snapshot. On a snapshot-constructed engine
+  /// it only clears the region cache (there is no borrowed Dataset to
+  /// re-read; the current snapshot is already authoritative).
   void InvalidateCache();
 
   /// Enables the cross-query region cache (core/region_cache.h).
@@ -121,54 +174,96 @@ class ToprrEngine {
   /// shared_ptr, so counters/inspection race safely with serving.
   RegionCache* region_cache() { return region_cache_.get(); }
 
-  const Dataset& data() const { return *data_; }
+  /// Legacy accessor for the borrowed Dataset of the raw-pointer
+  /// constructor; CHECK-fails on snapshot-constructed engines (use
+  /// snapshot() there).
+  const Dataset& data() const;
+
+  /// Monotone telemetry of the snapshot-update path.
+  struct UpdateCounters {
+    uint64_t publishes_seen = 0;       // SetSnapshot calls that changed id
+    uint64_t skyband_incremental = 0;  // skybands carried across a delta
+    uint64_t skyband_rebuilds = 0;     // full SortBasedKSkyband builds
+  };
+  UpdateCounters update_counters() const;
 
  private:
-  /// Cheap order-sensitive digest of the dataset contents, used to DCHECK
-  /// immutability on every query (debug builds only).
-  static double Fingerprint(const Dataset& data);
+  /// One (k, version) cache entry. `once` gates the (lock-free) build so
+  /// cache_mu_ is never held across skyband computation; `built` lets a
+  /// successor version test whether this entry is usable as an
+  /// incremental base without blocking on the once flag.
+  struct SkybandEntry {
+    std::once_flag once;
+    std::atomic<bool> built{false};
+    std::vector<int> ids;     // ascending
+    std::vector<int> counts;  // per-member dominator counts (< k)
+    bool incremental = false;  // how the build ran (telemetry/tests)
+    /// The same-k entry of the parent snapshot version, staged at entry
+    /// creation under cache_mu_ and consumed (dropped) by the build.
+    std::shared_ptr<SkybandEntry> prev;
+  };
+  using SkybandEntryPtr = std::shared_ptr<SkybandEntry>;
 
-  /// DCHECKs that the dataset still matches the fingerprint taken at
-  /// construction / last InvalidateCache.
+  /// The current snapshot under cache_mu_ (shared_ptr copy = pin).
+  SnapshotPtr PinSnapshot() const;
+
+  /// The built skyband entry for (k, snap's version), creating/building
+  /// it if needed (incrementally when the parent version's entry is
+  /// available and no skyband member was deleted).
+  SkybandEntryPtr GetSkyband(const SnapshotPtr& snap, int k);
+  void BuildSkybandEntry(const SnapshotPtr& snap, int k,
+                         SkybandEntry* entry);
+
+  /// DCHECKs that the legacy-constructor Dataset still matches the
+  /// content hash taken at construction / last InvalidateCache.
   void CheckDatasetUnchanged() const;
+
+  /// Snapshot-pinned solve bodies behind the public Solve overloads.
+  ToprrResult SolveBox(const SnapshotPtr& snap, int k, const PrefBox& box,
+                       const ToprrOptions& options);
+  ToprrResult SolveRegion(const SnapshotPtr& snap, int k,
+                          const PrefRegion& region,
+                          const ToprrOptions& options);
 
   /// The cached-box solve pipeline: containment hit (clip stored cells),
   /// partial overlap (clip the core, resume the remainder as a scheduler
   /// frontier), or miss (solve the canonical box, insert, clip). The box
   /// must be non-degenerate and inside the preference simplex.
-  ToprrResult SolveCachedBox(int k, const PrefBox& box,
+  ToprrResult SolveCachedBox(const SnapshotPtr& snap, int k,
+                             const PrefBox& box,
                              const ToprrOptions& options);
 
   /// Clips `cells` to `box` and runs dedup + assembly under `candidates`
   /// -- the shared tail of the hit and miss paths (hit == miss
   /// bit-identity holds because both end here).
-  ToprrResult AssembleFromCells(const std::vector<FlatCell>& cells,
+  ToprrResult AssembleFromCells(const SnapshotPtr& snap,
+                                const std::vector<FlatCell>& cells,
                                 const std::vector<int>& candidates, int k,
                                 const PrefBox& box,
                                 const ToprrOptions& options);
 
-  ToprrResult SolvePartialOverlap(int k, const PrefBox& box,
+  ToprrResult SolvePartialOverlap(const SnapshotPtr& snap, int k,
+                                  const PrefBox& box,
                                   const ToprrOptions& options,
                                   std::shared_ptr<const RegionCacheEntry>
                                       entry);
 
-  ToprrResult SolveColdAndInsert(int k, const PrefBox& box,
+  ToprrResult SolveColdAndInsert(const SnapshotPtr& snap, int k,
+                                 const PrefBox& box,
                                  const ToprrOptions& options,
                                  const std::string& signature);
 
-  /// One per-k cache slot: the once flag gates the (lock-free) skyband
-  /// computation, so cache_mu_ is held only for the map lookup and never
-  /// across SortBasedKSkyband.
-  struct SkybandSlot {
-    std::once_flag once;
-    std::vector<int> ids;
-  };
+  const Dataset* data_ = nullptr;  // legacy ctor only (debug check)
+  uint64_t legacy_hash_ = 0;       // DatasetContentHash at ctor/invalidate
 
-  const Dataset* data_;
-  double fingerprint_ = 0.0;  // computed in debug builds only
+  mutable std::mutex cache_mu_;
+  SnapshotPtr snapshot_;  // current version; guarded by cache_mu_
+  // (k, snapshot id) -> entry; guarded by cache_mu_ (builds run outside).
+  std::map<std::pair<int, uint64_t>, SkybandEntryPtr> skyband_cache_;
 
-  std::mutex cache_mu_;
-  std::map<int, SkybandSlot> skyband_cache_;  // map guarded by cache_mu_
+  std::atomic<uint64_t> publishes_seen_{0};
+  std::atomic<uint64_t> skyband_incremental_{0};
+  std::atomic<uint64_t> skyband_rebuilds_{0};
 
   // Set once by EnableRegionCache before serving; the cache itself is
   // internally synchronized (sharded mutexes + shared_ptr payloads).

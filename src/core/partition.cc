@@ -35,7 +35,7 @@ struct ProfileSpan {
 // flat vertex buffer in place (reusing rows memoized by the parent
 // split, if any); the naive path is the reference per-vertex scan it
 // must match bit for bit.
-void ComputeProfiles(const Dataset& data, const RegionTask& work,
+void ComputeProfiles(const DatasetView& data, const RegionTask& work,
                      ScoreKernel* kernel, const ProfileSpan& profiles) {
   const FlatRegion& region = work.region;
   const size_t num_vertices = region.num_vertices();
@@ -119,7 +119,7 @@ using SplitPair = std::pair<int, int>;
 // orientations. With a live kernel the vertex scores are read from its
 // scored buffer (bit-identical to rescoring, see topk/score_kernel.h);
 // without one they are recomputed from the flat vertex buffer.
-SplitPair KSwitchPair(const Dataset& data, const FlatRegion& region,
+SplitPair KSwitchPair(const DatasetView& data, const FlatRegion& region,
                       const ProfileSpan& profiles, const ScoreKernel* kernel,
                       size_t va, size_t vb) {
   const size_t m = region.dim();
@@ -165,7 +165,7 @@ SplitPair KSwitchPair(const Dataset& data, const FlatRegion& region,
 // non-k-switch strategy (the paper's TAS picks a violating pair at
 // random; we use a deterministic per-region hash for reproducibility).
 std::vector<SplitPair> ChooseSplitPairs(
-    const Dataset& data, const FlatRegion& region,
+    const DatasetView& data, const FlatRegion& region,
     const ProfileSpan& profiles, const ScoreKernel* kernel,
     const PartitionConfig& config, uint64_t salt) {
   std::vector<SplitPair> pairs;
@@ -283,7 +283,7 @@ std::vector<int> SortedEntryUnion(const ProfileSpan& profiles,
 // cut the region. If no such pair exists, every ranking difference across
 // the region is a tie and accepting the region is correct.
 std::vector<SplitPair> ExhaustiveFlipPairs(
-    const Dataset& data, const FlatRegion& region,
+    const DatasetView& data, const FlatRegion& region,
     const ProfileSpan& profiles, double eps) {
   const std::vector<int> options = SortedEntryUnion(profiles, {});
   const size_t num_vertices = region.num_vertices();
@@ -308,7 +308,7 @@ std::vector<SplitPair> ExhaustiveFlipPairs(
 }
 
 // Fills the acceptance payload of `out` from an accepted task.
-void FillAcceptPayload(const Dataset& data, const PartitionConfig& config,
+void FillAcceptPayload(const DatasetView& data, const PartitionConfig& config,
                        RegionTask& work, const ProfileSpan& profiles,
                        RegionOutcome& out) {
   out.accepted = true;
@@ -342,7 +342,7 @@ void FillAcceptPayload(const Dataset& data, const PartitionConfig& config,
 
 }  // namespace
 
-RegionOutcome TestAndSplitRegion(const Dataset& data,
+RegionOutcome TestAndSplitRegion(const DatasetView& data,
                                  const PartitionConfig& config,
                                  RegionTask work, ScoreArena* arena,
                                  GeomArena* geom_arena) {
@@ -499,7 +499,7 @@ RegionOutcome TestAndSplitRegion(const Dataset& data,
   return out;
 }
 
-PartitionOutput PartitionPreferenceRegion(const Dataset& data,
+PartitionOutput PartitionPreferenceRegion(const DatasetView& data,
                                           const std::vector<int>& candidates,
                                           int k, const PrefRegion& root,
                                           const PartitionConfig& config) {

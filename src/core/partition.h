@@ -116,7 +116,7 @@ struct PartitionOutput {
 
 /// Partitions `root` over the candidate option ids (a guaranteed superset
 /// of every top-k in the region, e.g. the r-skyband) for parameter k.
-PartitionOutput PartitionPreferenceRegion(const Dataset& data,
+PartitionOutput PartitionPreferenceRegion(const DatasetView& data,
                                           const std::vector<int>& candidates,
                                           int k, const PrefRegion& root,
                                           const PartitionConfig& config);

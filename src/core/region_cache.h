@@ -21,14 +21,18 @@
 //    frontier of fresh roots with same-bit-length heap-path ids, so the
 //    resumed subtrees stay disjoint and merge deterministically.
 //
-// Entries are held by shared_ptr<const ...>: lookups pin a snapshot, so
+// Entries are held by shared_ptr<const ...>: lookups pin a payload, so
 // eviction, Clear(), and engine teardown never invalidate an in-flight
 // solve (the serve Stop() contract). The cache itself is a sharded-mutex
 // LRU with a per-shard slice of the byte budget; keys fold in k and a
 // signature of every option that changes partition semantics, so entries
-// are never reused across incompatible solves. The dataset is not part
-// of the key -- a cache belongs to one ToprrEngine and is dropped by
-// InvalidateCache().
+// are never reused across incompatible solves. The dataset version IS
+// part of the key: the engine folds the 64-bit DatasetSnapshot id into
+// the signature, so entries computed against an old snapshot can never
+// be served to queries on a newer one -- they simply stop matching and
+// age out of the LRU, no mass drop needed. Each entry additionally pins
+// the snapshot it was solved from, keeping its candidate ids valid for
+// as long as the entry lives.
 #ifndef TOPRR_CORE_REGION_CACHE_H_
 #define TOPRR_CORE_REGION_CACHE_H_
 
@@ -83,6 +87,11 @@ struct RegionCacheEntry {
   std::vector<FlatCell> cells;
   size_t regions_tested = 0;  // partition tasks a full hit saves
   size_t bytes = 0;           // footprint charged against the budget
+  /// The dataset version this entry was solved from (data/snapshot.h).
+  /// Pinning it keeps `candidates` meaningful for the entry's whole
+  /// lifetime even after the engine moves to a newer snapshot. Null for
+  /// entries built outside the snapshot path (tests).
+  std::shared_ptr<const class DatasetSnapshot> snapshot;
 };
 
 /// Cumulative cache counters (monotone; snapshot via Counters()).

@@ -35,7 +35,7 @@ std::vector<Vec> DedupVertices(const std::vector<Vec>& vall, double tol) {
   return unique;
 }
 
-void AssembleResultRegion(const Dataset& data,
+void AssembleResultRegion(const DatasetView& data,
                           const std::vector<int>& candidates, int k,
                           const std::vector<Vec>& vall_unique,
                           const ToprrOptions& options, ToprrResult* result) {

@@ -26,7 +26,7 @@ std::vector<Vec> DedupVertices(const std::vector<Vec>& vall,
 /// when `build_geometry` -- the explicit vertices and the set of
 /// supporting (irredundant) impact halfspaces. `candidates` is the filter
 /// superset used for exact TopK evaluation, `k` the original parameter.
-void AssembleResultRegion(const Dataset& data,
+void AssembleResultRegion(const DatasetView& data,
                           const std::vector<int>& candidates, int k,
                           const std::vector<Vec>& vall_unique,
                           const ToprrOptions& options, ToprrResult* result);

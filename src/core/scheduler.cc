@@ -184,7 +184,7 @@ struct StealState {
 // from the victims in this slot's seeded order; when the whole tree is
 // in nobody's deque (in_flight == 0) or the budget stopped the run,
 // return. Tallies, accepted nodes, and telemetry all stay in the slot.
-void DrainStealing(const Dataset& data, const PartitionConfig& config,
+void DrainStealing(const DatasetView& data, const PartitionConfig& config,
                    StealState& state, size_t slot_index) {
   WorkerSlot& self = *state.slots[slot_index];
   int idle_rounds = 0;
@@ -278,7 +278,7 @@ void DrainStealing(const Dataset& data, const PartitionConfig& config,
 
 // Pool-helper entry: claim a slot under the lock (late helpers observe
 // `done` and leave without touching anything), drain, sign out.
-void StealWorkerEntry(const Dataset& data, const PartitionConfig& config,
+void StealWorkerEntry(const DatasetView& data, const PartitionConfig& config,
                       StealState& state) {
   size_t slot_index;
   {
@@ -400,11 +400,11 @@ PartitionOutput PartitionScheduler::RunParallel(std::vector<RegionTask> roots,
   // may be saturated by batch queries) only cost parallelism, never
   // progress.
   ThreadPool& pool = SharedThreadPool();
-  const Dataset* data = &data_;
+  const DatasetView data = data_;  // views are values; helpers copy it
   const PartitionConfig config = config_;
   for (size_t i = 1; i < num_workers; ++i) {
     pool.Submit(
-        [data, config, state] { StealWorkerEntry(*data, config, *state); });
+        [data, config, state] { StealWorkerEntry(data, config, *state); });
   }
   DrainStealing(data_, config_, *state, 0);
 

@@ -101,7 +101,7 @@ struct RegionOutcome {
 /// scratch (counters accumulate in both); a null arena falls back to a
 /// call-local one. Implemented in partition.cc next to the algorithmic
 /// helpers it uses.
-RegionOutcome TestAndSplitRegion(const Dataset& data,
+RegionOutcome TestAndSplitRegion(const DatasetView& data,
                                  const PartitionConfig& config,
                                  RegionTask task,
                                  ScoreArena* arena = nullptr,
@@ -120,7 +120,7 @@ RegionOutcome TestAndSplitRegion(const Dataset& data,
 /// cannot deadlock.
 class PartitionScheduler {
  public:
-  PartitionScheduler(const Dataset& data, const PartitionConfig& config)
+  PartitionScheduler(const DatasetView& data, const PartitionConfig& config)
       : data_(data), config_(config) {}
 
   PartitionScheduler(const PartitionScheduler&) = delete;
@@ -143,7 +143,9 @@ class PartitionScheduler {
   PartitionOutput RunParallel(std::vector<RegionTask> roots,
                               size_t num_workers) const;
 
-  const Dataset& data_;
+  // By value: views are trivially copyable, and holding a copy lets the
+  // engine hand in a snapshot view without keeping a view object alive.
+  const DatasetView data_;
   const PartitionConfig config_;
 };
 

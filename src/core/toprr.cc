@@ -28,6 +28,20 @@ const char* ToprrMethodName(ToprrMethod method) {
   return "?";
 }
 
+ToprrOptions EngineConfig::Production() {
+  ToprrOptions options;  // the defaults are the production fast paths
+  options.use_region_cache = true;
+  return options;
+}
+
+ToprrOptions EngineConfig::LegacyReference() {
+  ToprrOptions options;
+  options.use_score_kernel = false;
+  options.use_flat_geometry = false;
+  options.use_region_cache = false;
+  return options;
+}
+
 std::string ToprrStats::DebugString() const {
   std::ostringstream out;
   out << "|D'|=" << candidates_after_filter
@@ -88,7 +102,7 @@ namespace {
 // the caller's candidate computation when candidates were precomputed.
 // A non-null `flat_cells` receives the accepted cells (id order) for the
 // region cache.
-ToprrResult SolveImpl(const Dataset& data, int k, const PrefRegion& region,
+ToprrResult SolveImpl(const DatasetView& data, int k, const PrefRegion& region,
                       std::vector<int> candidates, double filter_seconds,
                       const ToprrOptions& options,
                       std::vector<FlatCell>* flat_cells = nullptr) {
@@ -133,7 +147,7 @@ ToprrResult SolveImpl(const Dataset& data, int k, const PrefRegion& region,
   return result;
 }
 
-void CheckInputs(const Dataset& data, int k, size_t region_dim) {
+void CheckInputs(const DatasetView& data, int k, size_t region_dim) {
   CHECK(!data.empty());
   CHECK_GT(k, 0);
   CHECK_LE(static_cast<size_t>(k), data.size());
@@ -141,7 +155,7 @@ void CheckInputs(const Dataset& data, int k, size_t region_dim) {
       << "preference region must have dimension d-1";
 }
 
-std::vector<int> AllOptionIds(const Dataset& data) {
+std::vector<int> AllOptionIds(const DatasetView& data) {
   std::vector<int> ids(data.size());
   for (size_t i = 0; i < data.size(); ++i) ids[i] = static_cast<int>(i);
   return ids;
@@ -149,7 +163,7 @@ std::vector<int> AllOptionIds(const Dataset& data) {
 
 }  // namespace
 
-ToprrResult SolveToprr(const Dataset& data, int k, const PrefBox& region,
+ToprrResult SolveToprr(const DatasetView& data, int k, const PrefBox& region,
                        const ToprrOptions& options) {
   CheckInputs(data, k, region.dim());
   Timer filter_timer;
@@ -161,7 +175,7 @@ ToprrResult SolveToprr(const Dataset& data, int k, const PrefBox& region,
                    std::move(candidates), filter_seconds, options);
 }
 
-ToprrResult SolveToprrRegion(const Dataset& data, int k,
+ToprrResult SolveToprrRegion(const DatasetView& data, int k,
                              const PrefRegion& region,
                              const ToprrOptions& options) {
   CheckInputs(data, k, region.dim());
@@ -175,7 +189,7 @@ ToprrResult SolveToprrRegion(const Dataset& data, int k,
                    options);
 }
 
-ToprrResult SolveToprrWithCandidates(const Dataset& data, int k,
+ToprrResult SolveToprrWithCandidates(const DatasetView& data, int k,
                                      const PrefRegion& region,
                                      const std::vector<int>& candidates,
                                      const ToprrOptions& options,
@@ -184,7 +198,7 @@ ToprrResult SolveToprrWithCandidates(const Dataset& data, int k,
   return SolveImpl(data, k, region, candidates, 0.0, options, flat_cells);
 }
 
-ToprrResult SolveToprrPieces(const Dataset& data, int k,
+ToprrResult SolveToprrPieces(const DatasetView& data, int k,
                              const std::vector<PrefRegion>& pieces,
                              const ToprrOptions& options) {
   CHECK(!pieces.empty());

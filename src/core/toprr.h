@@ -94,6 +94,15 @@ struct ToprrOptions {
   /// `toprr_cli --stats`).
   bool collect_scheduler_stats = true;
 
+  // -------------------------------------------------------------------
+  // Engine-path toggles. DEPRECATED as individually assembled knobs: new
+  // call sites should start from EngineConfig::Production() or
+  // EngineConfig::LegacyReference() (below) instead of hand-picking
+  // combinations -- only those two combinations are continuously tested
+  // end to end. The raw fields keep working for one release and then
+  // become internal.
+  // -------------------------------------------------------------------
+
   /// Score the partition phase through the SoA scoring kernel
   /// (topk/score_kernel.h): blocked candidate sweeps from 64-byte-aligned
   /// dim-major blocks, per-worker scratch arenas, parent-to-child
@@ -118,6 +127,24 @@ struct ToprrOptions {
   /// Cache-hit results are bit-identical to what the same engine returns
   /// with the flag off (see region_cache_test).
   bool use_region_cache = false;
+};
+
+/// Named option presets -- the two toggle combinations that are tested
+/// end to end. Prefer these over hand-assembling the deprecated
+/// ToprrOptions engine toggles above.
+struct EngineConfig {
+  /// Production serving defaults: TAS* with every optimization lemma,
+  /// the SoA scoring kernel, flat-geometry splits, and region-cache
+  /// opt-in (a solve still only uses the cache when the engine has one
+  /// enabled). What toprr_serve runs.
+  static ToprrOptions Production();
+
+  /// The naive reference paths: per-vertex scoring, legacy
+  /// PrefRegion::Split geometry, no caching. Slower but independently
+  /// simple -- the baseline the bit-identical regression suites
+  /// (score_kernel_test, flat_geometry_test, region_cache_test) diff
+  /// production against.
+  static ToprrOptions LegacyReference();
 };
 
 /// Counters and timings describing one solve.
@@ -177,6 +204,12 @@ struct ToprrResult {
   /// shutdown apart from a genuine budget expiry.
   bool cancelled = false;
 
+  /// The 64-bit content id of the DatasetSnapshot this result was solved
+  /// against (ToprrEngine solves only; 0 from the free SolveToprr
+  /// functions). A writer publishing mid-batch changes ids for later
+  /// solves but never this one: each solve pins its snapshot.
+  uint64_t snapshot_id = 0;
+
   ToprrStats stats;
 
   /// True if placing a new option at `o` makes it a top-ranking option.
@@ -188,13 +221,13 @@ struct ToprrResult {
 
 /// Solves TopRR(D, k, wR). The preference box must have dimension
 /// data.dim() - 1 and lie inside the preference simplex.
-ToprrResult SolveToprr(const Dataset& data, int k, const PrefBox& region,
+ToprrResult SolveToprr(const DatasetView& data, int k, const PrefBox& region,
                        const ToprrOptions& options = {});
 
 /// General form: wR is an arbitrary convex polytope in reduced preference
 /// coordinates (paper Sec. 3.1 requires only convexity). The r-skyband
 /// filter generalizes via vertex-based r-dominance (Lemma 1).
-ToprrResult SolveToprrRegion(const Dataset& data, int k,
+ToprrResult SolveToprrRegion(const DatasetView& data, int k,
                              const PrefRegion& region,
                              const ToprrOptions& options = {});
 
@@ -204,7 +237,7 @@ ToprrResult SolveToprrRegion(const Dataset& data, int k,
 /// `flat_cells` is non-null the accepted partition cells are moved into
 /// it in heap-path-id order (the region cache's entry payload); the solve
 /// itself is unaffected.
-ToprrResult SolveToprrWithCandidates(const Dataset& data, int k,
+ToprrResult SolveToprrWithCandidates(const DatasetView& data, int k,
                                      const PrefRegion& region,
                                      const std::vector<int>& candidates,
                                      const ToprrOptions& options = {},
@@ -215,7 +248,7 @@ ToprrResult SolveToprrWithCandidates(const Dataset& data, int k,
 /// of convex pieces; a top-ranking option must be top-k on every piece, so
 /// the result is the intersection of the per-piece regions. Returns the
 /// merged result (deduplicated impact halfspaces; geometry rebuilt).
-ToprrResult SolveToprrPieces(const Dataset& data, int k,
+ToprrResult SolveToprrPieces(const DatasetView& data, int k,
                              const std::vector<PrefRegion>& pieces,
                              const ToprrOptions& options = {});
 

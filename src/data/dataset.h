@@ -70,6 +70,78 @@ class Dataset {
   std::vector<double> values_;
 };
 
+/// A non-owning, trivially copyable read view of a row-major option table.
+///
+/// The solver stack (skyband / r-skyband filters, the partition engine,
+/// result assembly) reads rows through this view instead of a concrete
+/// Dataset, so the same code serves both the contiguous Dataset storage
+/// and the chunked copy-on-write storage of DatasetSnapshot
+/// (data/snapshot.h). A `const Dataset&` converts implicitly, so existing
+/// call sites keep compiling unchanged.
+///
+/// Row ids address physical rows: a chunked snapshot may carry tombstoned
+/// (deleted) rows that are still physically present -- callers restrict
+/// themselves to live ids (DatasetSnapshot::live_ids()); the view itself
+/// does not filter.
+///
+/// The viewed storage (Dataset, or snapshot chunk table) must outlive the
+/// view. Views are values: copy them freely, never point at them.
+class DatasetView {
+ public:
+  DatasetView() = default;
+
+  // Implicit by design: the whole-table view of a contiguous Dataset.
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  DatasetView(const Dataset& data)
+      : n_(data.size()), d_(data.dim()), contig_(data.RawValues()) {}
+
+  /// Chunked table: bases[c] is the first row of chunk c; every chunk
+  /// holds (1 << chunk_shift) rows of d doubles (the last may be
+  /// partial). `bases` must outlive the view.
+  DatasetView(size_t n, size_t d, const double* const* bases,
+              unsigned chunk_shift)
+      : n_(n),
+        d_(d),
+        bases_(bases),
+        shift_(chunk_shift),
+        mask_((size_t{1} << chunk_shift) - 1) {}
+
+  size_t size() const { return n_; }
+  size_t dim() const { return d_; }
+  bool empty() const { return n_ == 0; }
+
+  /// Raw pointer to the row (d contiguous doubles). The chunk branch is
+  /// perfectly predicted within one solve (a view is one or the other),
+  /// so the hot scans cost the same as the direct Dataset accessors.
+  const double* Row(size_t row) const {
+    DCHECK_LT(row, n_);
+    if (contig_ != nullptr) return contig_ + row * d_;
+    return bases_[row >> shift_] + (row & mask_) * d_;
+  }
+
+  double At(size_t row, size_t col) const {
+    DCHECK_LT(col, d_);
+    return Row(row)[col];
+  }
+
+  /// The score w . option for a full d-dimensional weight vector.
+  double Score(size_t row, const Vec& w) const {
+    DCHECK_EQ(w.dim(), d_);
+    const double* p = Row(row);
+    double s = 0.0;
+    for (size_t j = 0; j < d_; ++j) s += p[j] * w[j];
+    return s;
+  }
+
+ private:
+  size_t n_ = 0;
+  size_t d_ = 0;
+  const double* contig_ = nullptr;         // contiguous table, or null
+  const double* const* bases_ = nullptr;   // per-chunk row-0 pointers
+  unsigned shift_ = 0;
+  size_t mask_ = 0;
+};
+
 }  // namespace toprr
 
 #endif  // TOPRR_DATA_DATASET_H_

@@ -22,13 +22,15 @@ namespace {
 
 // A query the server refuses to hand to the engine: the engine
 // CHECK-fails on out-of-range k or mismatched dimensions, and a hostile
-// frame must never be able to abort the process.
-bool QueryIsSolvable(const Dataset& data, const ToprrQuery& query) {
-  if (query.k <= 0 || static_cast<size_t>(query.k) > data.size()) {
+// frame must never be able to abort the process. Bounds come from the
+// engine's current snapshot (live rows, not physical rows).
+bool QueryIsSolvable(size_t live_rows, size_t dim,
+                     const ToprrQuery& query) {
+  if (query.k <= 0 || static_cast<size_t>(query.k) > live_rows) {
     return false;
   }
   if (query.region.empty()) return false;
-  return query.region.dim() + 1 == data.dim();
+  return query.region.dim() + 1 == dim;
 }
 
 }  // namespace
@@ -41,6 +43,24 @@ ToprrServer::ToprrServer(const Dataset* data, ServerConfig config)
     cache_config.quantum = config_.region_cache_quantum;
     engine_.EnableRegionCache(cache_config);
   }
+}
+
+ToprrServer::ToprrServer(std::shared_ptr<MutableCatalog> catalog,
+                         ServerConfig config)
+    : config_(std::move(config)),
+      catalog_(std::move(catalog)),
+      engine_(catalog_->Current()) {
+  if (config_.use_region_cache) {
+    RegionCacheConfig cache_config;
+    cache_config.byte_budget = config_.region_cache_budget_bytes;
+    cache_config.quantum = config_.region_cache_quantum;
+    engine_.EnableRegionCache(cache_config);
+  }
+}
+
+uint64_t ToprrServer::SyncCatalog() {
+  if (catalog_ != nullptr) engine_.SetSnapshot(catalog_->Current());
+  return engine_.snapshot_id();
 }
 
 ToprrServer::~ToprrServer() { Stop(); }
@@ -290,12 +310,17 @@ void ToprrServer::ServeConnection(int fd) {
     stats_.OnQueriesReceived(queries.size());
 
     // Per-query validation, then all-or-nothing admission of the
-    // solvable remainder.
+    // solvable remainder. The bounds are sampled once per frame; a
+    // SyncCatalog racing with admission is harmless -- physical rows
+    // never shrink, so a query validated here cannot trip the engine's
+    // hard bound even if a delete publishes before its solve pins.
+    const size_t live_rows = engine_.dataset_rows();
+    const size_t data_dim = engine_.dataset_dim();
     std::vector<ServeResponse> responses(queries.size());
     std::vector<size_t> solvable;
     solvable.reserve(queries.size());
     for (size_t i = 0; i < queries.size(); ++i) {
-      if (QueryIsSolvable(engine_.data(), queries[i])) {
+      if (QueryIsSolvable(live_rows, data_dim, queries[i])) {
         solvable.push_back(i);
       } else {
         responses[i].status = ServeStatus::kMalformed;

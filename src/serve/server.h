@@ -1,9 +1,13 @@
 // ToprrServer: a long-lived TCP front-end over ToprrEngine::SolveBatch.
 //
-// One server owns one engine over one immutable dataset. Clients connect
-// over TCP and exchange length-prefixed frames (serve/framing.h): each
-// request frame carries a ToprrQuery batch, each reply frame the
-// positionally aligned responses. A connection serves any number of
+// One server owns one engine over a snapshot-versioned dataset
+// (data/snapshot.h): construct it from a MutableCatalog to serve a live
+// catalog (publish + SyncCatalog moves traffic to the new version with
+// queries in flight -- each pins its snapshot), or from a raw Dataset*
+// for the legacy fixed-table deployment. Clients connect over TCP and
+// exchange length-prefixed frames (serve/framing.h): each request frame
+// carries a ToprrQuery batch, each reply frame the positionally aligned
+// responses. A connection serves any number of
 // request frames sequentially; concurrency comes from concurrent
 // connections, which all feed the one engine and its shared skyband
 // cache.
@@ -35,6 +39,7 @@
 #include "common/server_stats.h"
 #include "core/engine.h"
 #include "data/dataset.h"
+#include "data/snapshot.h"
 #include "serve/protocol.h"
 
 namespace toprr {
@@ -80,9 +85,15 @@ struct ServerConfig {
 
 class ToprrServer {
  public:
-  /// The dataset must outlive the server and stay immutable (the usual
-  /// engine contract).
+  /// Legacy fixed-table form: the dataset must outlive the server and
+  /// stay immutable (the engine copies it into a root snapshot).
   ToprrServer(const Dataset* data, ServerConfig config);
+
+  /// Live-catalog form: serves catalog->Current() and follows later
+  /// publishes via SyncCatalog(). The writer stages/publishes on the
+  /// catalog from any thread; queries in flight when SyncCatalog lands
+  /// finish on their pinned snapshot.
+  ToprrServer(std::shared_ptr<MutableCatalog> catalog, ServerConfig config);
 
   ToprrServer(const ToprrServer&) = delete;
   ToprrServer& operator=(const ToprrServer&) = delete;
@@ -111,6 +122,13 @@ class ToprrServer {
   /// the warm-up cost.
   void WarmSkyband(int k) { engine_.KSkyband(k); }
 
+  /// Moves the engine onto the catalog's current snapshot (no-op when
+  /// already there, or on Dataset-constructed servers). Call after
+  /// MutableCatalog::Publish to make the new version visible to queries.
+  /// Returns the snapshot id now being served. Safe at any time: this is
+  /// the serve-side half of the snapshot contract, no quiescing needed.
+  uint64_t SyncCatalog();
+
  private:
   void AcceptLoop();
   void ServeConnection(int fd);
@@ -125,6 +143,9 @@ class ToprrServer {
   std::vector<ServeResponse> SolveAdmitted(std::vector<ToprrQuery> queries);
 
   const ServerConfig config_;
+  // Declared before engine_: the engine is seeded from
+  // catalog_->Current() in the member-init list.
+  std::shared_ptr<MutableCatalog> catalog_;  // null on Dataset-built servers
   ToprrEngine engine_;
   ServerStats stats_;
 

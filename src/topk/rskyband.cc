@@ -9,7 +9,7 @@
 
 namespace toprr {
 
-bool RDominates(const Dataset& data, int a, int b, const PrefBox& region) {
+bool RDominates(const DatasetView& data, int a, int b, const PrefBox& region) {
   if (a == b) return false;
   const double* pa = data.Row(a);
   const double* pb = data.Row(b);
@@ -28,7 +28,7 @@ namespace {
 // counts dominators among accepted members only (valid by transitivity of
 // r-dominance, same argument as the classic k-skyband scan).
 template <typename DominatesFn>
-std::vector<int> RSkybandScan(const Dataset& data, std::vector<int> pool,
+std::vector<int> RSkybandScan(const DatasetView& data, std::vector<int> pool,
                               const Vec& interior, int k,
                               const DominatesFn& dominates) {
   std::vector<double> interior_score(pool.size());
@@ -61,7 +61,7 @@ std::vector<int> RSkybandScan(const Dataset& data, std::vector<int> pool,
   return result;
 }
 
-std::vector<int> FullPool(const Dataset& data,
+std::vector<int> FullPool(const DatasetView& data,
                           const std::vector<int>* candidates) {
   if (candidates != nullptr) return *candidates;
   std::vector<int> pool(data.size());
@@ -71,7 +71,7 @@ std::vector<int> FullPool(const Dataset& data,
 
 }  // namespace
 
-std::vector<int> RSkyband(const Dataset& data, const PrefBox& region, int k,
+std::vector<int> RSkyband(const DatasetView& data, const PrefBox& region, int k,
                           const std::vector<int>* candidates) {
   CHECK_GT(k, 0);
   CHECK_EQ(region.dim() + 1, data.dim());
@@ -84,7 +84,7 @@ std::vector<int> RSkyband(const Dataset& data, const PrefBox& region, int k,
                       });
 }
 
-bool RDominatesVertices(const Dataset& data, int a, int b,
+bool RDominatesVertices(const DatasetView& data, int a, int b,
                         const std::vector<Vec>& vertices) {
   if (a == b) return false;
   const double* pa = data.Row(a);
@@ -100,7 +100,7 @@ bool RDominatesVertices(const Dataset& data, int a, int b,
   return strict || a < b;
 }
 
-std::vector<int> RSkybandVertices(const Dataset& data,
+std::vector<int> RSkybandVertices(const DatasetView& data,
                                   const std::vector<Vec>& vertices, int k,
                                   const std::vector<int>* candidates) {
   CHECK_GT(k, 0);

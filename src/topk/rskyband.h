@@ -23,23 +23,23 @@ namespace toprr {
 /// minimum of S_x(a) - S_x(b) over the box is >= 0 and the maximum > 0.
 /// Exact duplicates (identical rows) are ordered by id so that duplicate
 /// blocks cannot inflate the r-skyband.
-bool RDominates(const Dataset& data, int a, int b, const PrefBox& region);
+bool RDominates(const DatasetView& data, int a, int b, const PrefBox& region);
 
 /// The r-skyband of the dataset: ids of options r-dominated by fewer than
 /// k others, sorted ascending. `candidates` optionally restricts the
 /// computation to a known superset (e.g. the k-skyband) -- by transitivity
 /// the result is unchanged.
-std::vector<int> RSkyband(const Dataset& data, const PrefBox& region, int k,
+std::vector<int> RSkyband(const DatasetView& data, const PrefBox& region, int k,
                           const std::vector<int>* candidates = nullptr);
 
 /// General-polytope variant: r-dominance over an arbitrary convex wR given
 /// by its vertex set (Lemma 1: a linear score difference is minimized at a
 /// vertex). Used for the paper's general convex-polytope preference
 /// regions (Sec. 3.1).
-bool RDominatesVertices(const Dataset& data, int a, int b,
+bool RDominatesVertices(const DatasetView& data, int a, int b,
                         const std::vector<Vec>& vertices);
 
-std::vector<int> RSkybandVertices(const Dataset& data,
+std::vector<int> RSkybandVertices(const DatasetView& data,
                                   const std::vector<Vec>& vertices, int k,
                                   const std::vector<int>* candidates =
                                       nullptr);

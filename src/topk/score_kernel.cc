@@ -105,7 +105,7 @@ std::vector<TopkResult>& ScoreArena::Profiles(size_t count) {
   return profiles_;
 }
 
-void ScoreKernel::LoadBlock(const Dataset& data,
+void ScoreKernel::LoadBlock(const DatasetView& data,
                             const std::vector<int>& ids) {
   CHECK(!ids.empty());
   const size_t m = data.dim() - 1;
@@ -125,12 +125,12 @@ void ScoreKernel::LoadBlock(const Dataset& data,
     ++arena_.counters_.arena_allocations;
   }
   double* block = arena_.block_.data();
-  const double* values = data.RawValues();
-  const size_t d = data.dim();
   // Candidate-outer gather: one contiguous source row read per candidate,
-  // strided writes into the dim-major columns.
+  // strided writes into the dim-major columns. Row addressing goes
+  // through the view so chunked snapshot storage gathers identically to
+  // a contiguous Dataset (the read is per-row either way).
   for (size_t c = 0; c < count; ++c) {
-    const double* row = values + static_cast<size_t>(ids[c]) * d;
+    const double* row = data.Row(static_cast<size_t>(ids[c]));
     const double base = row[m];
     for (size_t j = 0; j < m; ++j) {
       block[j * stride_ + c] = row[j] - base;

@@ -135,7 +135,7 @@ class ScoreKernel {
   /// The pool is copied into the arena, so later mutation of `ids` (e.g.
   /// a Lemma-5 reduction of the task's candidate vector) cannot skew the
   /// block's column alignment.
-  void LoadBlock(const Dataset& data, const std::vector<int>& ids);
+  void LoadBlock(const DatasetView& data, const std::vector<int>& ids);
 
   /// Scores every vertex against the loaded block into the arena's score
   /// matrix. A vertex bitwise-matching an entry of `reuse` (when non-null)

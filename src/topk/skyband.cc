@@ -7,7 +7,7 @@
 
 namespace toprr {
 
-bool Dominates(const Dataset& data, int a, int b) {
+bool Dominates(const DatasetView& data, int a, int b) {
   const size_t d = data.dim();
   const double* pa = data.Row(a);
   const double* pb = data.Row(b);
@@ -19,41 +19,198 @@ bool Dominates(const Dataset& data, int a, int b) {
   return strict;
 }
 
-std::vector<int> SortBasedKSkyband(const Dataset& data, int k) {
+std::vector<int> SortBasedKSkyband(const DatasetView& data, int k) {
+  std::vector<int> pool(data.size());
+  std::iota(pool.begin(), pool.end(), 0);
+  return SortBasedKSkybandPool(data, pool, k).ids;
+}
+
+KSkybandState SortBasedKSkybandPool(const DatasetView& data,
+                                    const std::vector<int>& pool, int k) {
   CHECK_GT(k, 0);
-  const size_t n = data.size();
   const size_t d = data.dim();
-  std::vector<int> order(n);
-  std::iota(order.begin(), order.end(), 0);
-  std::vector<double> sums(n);
-  for (size_t i = 0; i < n; ++i) {
-    const double* p = data.Row(i);
+  std::vector<int> order(pool);
+  std::vector<double> sums(pool.size());
+  for (size_t i = 0; i < pool.size(); ++i) {
+    const double* p = data.Row(pool[i]);
     double s = 0.0;
     for (size_t j = 0; j < d; ++j) s += p[j];
     sums[i] = s;
   }
+  std::vector<size_t> perm(pool.size());
+  std::iota(perm.begin(), perm.end(), 0);
   // Decreasing attribute sum: any dominator of p precedes p (a dominator
   // has componentwise >= values, hence a >= sum; exact ties with equal sum
-  // imply equal points, which do not dominate).
-  std::sort(order.begin(), order.end(), [&](int a, int b) {
+  // imply equal points, which do not dominate). Ties break id ascending.
+  std::sort(perm.begin(), perm.end(), [&](size_t a, size_t b) {
     if (sums[a] != sums[b]) return sums[a] > sums[b];
-    return a < b;
+    return pool[a] < pool[b];
   });
 
-  std::vector<int> skyband;
-  for (int id : order) {
+  KSkybandState state;
+  for (const size_t pi : perm) {
+    const int id = pool[pi];
     int dominators = 0;
     bool keep = true;
-    for (int s : skyband) {
+    for (const int s : state.ids) {
       if (Dominates(data, s, id) && ++dominators >= k) {
         keep = false;
         break;
       }
     }
-    if (keep) skyband.push_back(id);
+    if (keep) {
+      // The scan ran over every accepted member, and every dominator of
+      // `id` in the pool precedes it in sum order and was accepted (by
+      // transitivity a rejected dominator implies >= k accepted ones),
+      // so `dominators` is id's exact pool-wide dominator count.
+      state.ids.push_back(id);
+      state.counts.push_back(dominators);
+    }
   }
-  std::sort(skyband.begin(), skyband.end());
-  return skyband;
+  // Ascending id order, counts kept aligned.
+  std::vector<size_t> by_id(state.ids.size());
+  std::iota(by_id.begin(), by_id.end(), 0);
+  std::sort(by_id.begin(), by_id.end(), [&](size_t a, size_t b) {
+    return state.ids[a] < state.ids[b];
+  });
+  KSkybandState sorted;
+  sorted.ids.reserve(state.ids.size());
+  sorted.counts.reserve(state.ids.size());
+  for (const size_t i : by_id) {
+    sorted.ids.push_back(state.ids[i]);
+    sorted.counts.push_back(state.counts[i]);
+  }
+  return sorted;
+}
+
+bool KSkybandDeleteHitsMember(const std::vector<int>& deleted,
+                              const std::vector<int>& ids) {
+  for (const int id : deleted) {
+    if (std::binary_search(ids.begin(), ids.end(), id)) return true;
+  }
+  return false;
+}
+
+void KSkybandApplyInserts(const DatasetView& data, int k,
+                          const std::vector<int>& inserted,
+                          KSkybandState* state) {
+  CHECK_GT(k, 0);
+  if (inserted.empty()) return;
+  const size_t d = data.dim();
+  const auto row_sum = [&](int id) {
+    const double* p = data.Row(id);
+    double s = 0.0;
+    for (size_t j = 0; j < d; ++j) s += p[j];
+    return s;
+  };
+
+  // Work in decreasing-attribute-sum order (ties id-ascending), the same
+  // order the rebuild scan uses. Dominance is componentwise >=, and
+  // left-to-right floating-point summation is monotone in each addend, so
+  // every dominator of a row has sum >= the row's sum and every row it
+  // dominates has sum <= it. Each insert therefore only has to scan the
+  // higher-sum prefix for dominators -- stopping as soon as k are found,
+  // since the exact count only matters for rows that join -- and the
+  // lower-sum suffix for dominatees. Equal-sum members (where rounding
+  // may have absorbed a strict difference) get the two-way check.
+  const size_t n0 = state->ids.size();
+  std::vector<int> ids;
+  std::vector<int> counts;
+  std::vector<double> sums;
+  ids.reserve(n0 + inserted.size());
+  counts.reserve(n0 + inserted.size());
+  sums.reserve(n0 + inserted.size());
+  {
+    std::vector<double> s0(n0);
+    for (size_t i = 0; i < n0; ++i) s0[i] = row_sum(state->ids[i]);
+    std::vector<size_t> perm(n0);
+    std::iota(perm.begin(), perm.end(), 0);
+    std::sort(perm.begin(), perm.end(), [&](size_t a, size_t b) {
+      if (s0[a] != s0[b]) return s0[a] > s0[b];
+      return state->ids[a] < state->ids[b];
+    });
+    for (const size_t i : perm) {
+      ids.push_back(state->ids[i]);
+      counts.push_back(state->counts[i]);
+      sums.push_back(s0[i]);
+    }
+  }
+
+  const auto sum_greater = [](double a, double b) { return a > b; };
+  for (const int r : inserted) {
+    const double s = row_sum(r);
+    // Prefix [0, lo): sum > s, the only members that can dominate r.
+    // Band [lo, hi): sum == s, either direction possible under rounding.
+    // Suffix [hi, n): sum < s, the only members r can dominate.
+    const size_t lo = static_cast<size_t>(
+        std::lower_bound(sums.begin(), sums.end(), s, sum_greater) -
+        sums.begin());
+    const size_t hi = static_cast<size_t>(
+        std::upper_bound(sums.begin(), sums.end(), s, sum_greater) -
+        sums.begin());
+    int dominators = 0;
+    for (size_t i = 0; i < lo && dominators < k; ++i) {
+      if (Dominates(data, ids[i], r)) ++dominators;
+    }
+    bool bumped = false;
+    for (size_t i = lo; i < hi; ++i) {
+      if (dominators < k && Dominates(data, ids[i], r)) {
+        ++dominators;
+      } else if (Dominates(data, r, ids[i])) {
+        ++counts[i];
+        bumped = true;
+      }
+    }
+    for (size_t i = hi; i < ids.size(); ++i) {
+      if (Dominates(data, r, ids[i])) {
+        ++counts[i];
+        bumped = true;
+      }
+    }
+    if (bumped) {
+      // Evict members whose dominator count reached k. They remain live
+      // rows of the dataset, so surviving members' counts (which may
+      // include them) are untouched.
+      size_t w = 0;
+      for (size_t i = 0; i < ids.size(); ++i) {
+        if (counts[i] < k) {
+          ids[w] = ids[i];
+          counts[w] = counts[i];
+          sums[w] = sums[i];
+          ++w;
+        }
+      }
+      ids.resize(w);
+      counts.resize(w);
+      sums.resize(w);
+    }
+    if (dominators < k) {
+      // The prefix and band scans covered every member with sum >= s, so
+      // `dominators` is r's exact member-dominator count (and, while
+      // < k, its exact pool-wide count by the transitivity argument in
+      // the header). Insert at r's sorted position.
+      size_t pos = static_cast<size_t>(
+          std::lower_bound(sums.begin(), sums.end(), s, sum_greater) -
+          sums.begin());
+      while (pos < sums.size() && sums[pos] == s && ids[pos] < r) ++pos;
+      const auto at = static_cast<ptrdiff_t>(pos);
+      ids.insert(ids.begin() + at, r);
+      counts.insert(counts.begin() + at, dominators);
+      sums.insert(sums.begin() + at, s);
+    }
+  }
+
+  // Back to the state's ascending-id representation.
+  std::vector<size_t> by_id(ids.size());
+  std::iota(by_id.begin(), by_id.end(), 0);
+  std::sort(by_id.begin(), by_id.end(),
+            [&](size_t a, size_t b) { return ids[a] < ids[b]; });
+  state->ids.clear();
+  state->counts.clear();
+  for (const size_t i : by_id) {
+    state->ids.push_back(ids[i]);
+    state->counts.push_back(counts[i]);
+  }
 }
 
 }  // namespace toprr

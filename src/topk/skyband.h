@@ -7,6 +7,22 @@
 // Two implementations are provided: a sort-based scan (fast in practice,
 // no index needed) and index-based BBS (see index/rtree.h). They return
 // identical sets; tests verify this.
+//
+// For a live catalog (data/snapshot.h) the skyband is additionally
+// maintainable *incrementally* across snapshot deltas: KSkybandState
+// keeps, next to the member ids, each member's exact dominator count
+// (necessarily < k), which is all the state needed to fold an inserted
+// row in at O(|skyband| * d) -- count the member dominators of the new
+// row, bump the counts of members it dominates, evict any that reach k --
+// and to recognize that deleting a non-member is free. Only deleting a
+// member invalidates the counts of what it dominated, forcing a rebuild
+// over the live rows. Correctness rests on the same transitivity argument
+// as the sort-based scan: while an option's dominator count is < k, its
+// member-dominator count equals its total dominator count (any non-member
+// dominator is itself dominated by >= k members, all of which dominate the
+// option too). engine_test/skyband_test assert bit-identical equality
+// between the incremental path and a full rebuild across insert / delete /
+// mixed delta matrices.
 #ifndef TOPRR_TOPK_SKYBAND_H_
 #define TOPRR_TOPK_SKYBAND_H_
 
@@ -17,12 +33,46 @@
 namespace toprr {
 
 /// True if option a dominates option b (componentwise >=, one strict).
-bool Dominates(const Dataset& data, int a, int b);
+bool Dominates(const DatasetView& data, int a, int b);
 
 /// Sort-based k-skyband: scans options in decreasing attribute-sum order,
 /// counting dominators among already-accepted skyband members (sufficient
 /// by transitivity). Returns ids sorted ascending.
-std::vector<int> SortBasedKSkyband(const Dataset& data, int k);
+std::vector<int> SortBasedKSkyband(const DatasetView& data, int k);
+
+/// The k-skyband plus per-member dominator counts -- the carry state of
+/// incremental maintenance. Invariants: `ids` ascending; `counts[i]` is
+/// the exact number of dominators of ids[i] in the pool it was built
+/// over, and counts[i] < k.
+struct KSkybandState {
+  std::vector<int> ids;
+  std::vector<int> counts;
+};
+
+/// Sort-based k-skyband restricted to `pool` (e.g. a snapshot's live
+/// rows), with dominator counts. The id set equals SortBasedKSkyband over
+/// a dataset containing exactly the pool rows.
+KSkybandState SortBasedKSkybandPool(const DatasetView& data,
+                                    const std::vector<int>& pool, int k);
+
+/// True when any of `deleted` (ascending or not) is a member of the
+/// ascending `ids` -- the rebuild trigger for a snapshot delta.
+bool KSkybandDeleteHitsMember(const std::vector<int>& deleted,
+                              const std::vector<int>& ids);
+
+/// Folds inserted rows into the skyband state in place: for each row,
+/// counts its member dominators (joining when < k), increments the counts
+/// of members it dominates, and evicts members whose count reaches k.
+/// Exact for any one-at-a-time insert order; rows must be live in `data`
+/// and absent from the state. Deletions of non-members need no call (the
+/// state is unchanged); a member deletion requires a rebuild instead.
+/// Internally the members are kept in decreasing attribute-sum order, so
+/// each insert scans only the higher-sum prefix for dominators (stopping
+/// at k) and the lower-sum suffix for dominatees, which keeps the common
+/// weak-insert case far below the O(|skyband| * d) worst case.
+void KSkybandApplyInserts(const DatasetView& data, int k,
+                          const std::vector<int>& inserted,
+                          KSkybandState* state);
 
 }  // namespace toprr
 

@@ -28,7 +28,7 @@ std::vector<int> TopkResult::IdSet() const {
   return ids;
 }
 
-TopkResult ComputeTopK(const Dataset& data, const Vec& w, int k) {
+TopkResult ComputeTopK(const DatasetView& data, const Vec& w, int k) {
   CHECK_GT(k, 0);
   CHECK(!data.empty());
   std::vector<ScoredOption> scored;
@@ -39,7 +39,7 @@ TopkResult ComputeTopK(const Dataset& data, const Vec& w, int k) {
   return SelectTopK(std::move(scored), k);
 }
 
-TopkResult ComputeTopKReduced(const Dataset& data,
+TopkResult ComputeTopKReduced(const DatasetView& data,
                               const std::vector<int>& ids, const Vec& x,
                               int k) {
   CHECK_GT(k, 0);
@@ -53,7 +53,7 @@ TopkResult ComputeTopKReduced(const Dataset& data,
   return SelectTopK(std::move(scored), k);
 }
 
-int RankOfOption(const Dataset& data, const std::vector<int>& ids,
+int RankOfOption(const DatasetView& data, const std::vector<int>& ids,
                  const Vec& x, int id) {
   const double target_score = ReducedScore(data.Row(id), x);
   int rank = 1;

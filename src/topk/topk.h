@@ -42,16 +42,16 @@ struct TopkResult {
 };
 
 /// Top-k over the full dataset at full weight vector w (dim d).
-TopkResult ComputeTopK(const Dataset& data, const Vec& w, int k);
+TopkResult ComputeTopK(const DatasetView& data, const Vec& w, int k);
 
 /// Top-k over the candidate subset `ids` at reduced weights x (dim d-1).
-TopkResult ComputeTopKReduced(const Dataset& data,
+TopkResult ComputeTopKReduced(const DatasetView& data,
                               const std::vector<int>& ids, const Vec& x,
                               int k);
 
 /// Exact rank of option `id` at reduced weights x within `ids` (1-based;
 /// options scoring strictly higher, or equal with smaller id, rank above).
-int RankOfOption(const Dataset& data, const std::vector<int>& ids,
+int RankOfOption(const DatasetView& data, const std::vector<int>& ids,
                  const Vec& x, int id);
 
 /// RankOfOption from a precomputed score row aligned with `ids` (e.g. a

@@ -18,6 +18,7 @@
 #include "core/engine.h"
 #include "core/toprr.h"
 #include "data/generator.h"
+#include "data/snapshot.h"
 #include "pref/pref_space.h"
 #include "pref/region.h"
 
@@ -422,6 +423,50 @@ TEST(RegionCacheTest, ConcurrentSolveBatchMixesHitsAndMisses) {
   const RegionCacheCounters counters = warm.region_cache()->Counters();
   EXPECT_GT(counters.hits + counters.partial_hits, 0u);
   EXPECT_GT(counters.misses, 0u);
+}
+
+TEST(RegionCacheTest, StaleSnapshotEntriesAreNeverServedAfterPublish) {
+  // The snapshot id is folded into every entry's signature: after a
+  // publish changes the data, the same query must miss (old entries stop
+  // matching) and resolve against the new snapshot -- never against the
+  // old entry, whose cells would be stale.
+  Dataset data = GenerateSynthetic(300, 3, Distribution::kIndependent, 6);
+  MutableCatalog catalog(data);
+  ToprrEngine engine(catalog.Current());
+  engine.EnableRegionCache({});
+  ToprrOptions cached;
+  cached.use_region_cache = true;
+  const PrefBox box = GridBox(2, 1.0 / 256.0, 12, 4);
+  const int k = 3;
+
+  engine.Solve(k, box, cached);
+  const ToprrResult warm_v1 = engine.Solve(k, box, cached);
+  EXPECT_EQ(warm_v1.stats.scheduler.cache_hits, 1u);
+
+  // Publish a row that lands in the box's top-k everywhere: the correct
+  // answer changes, so serving the stale entry would be detectable.
+  catalog.StageInsert(Vec{0.99, 0.99, 0.99});
+  const SnapshotPtr v2 = catalog.Publish();
+  engine.SetSnapshot(v2);
+
+  const uint64_t hits_before = engine.region_cache()->Counters().hits;
+  const ToprrResult after = engine.Solve(k, box, cached);
+  EXPECT_EQ(after.stats.scheduler.cache_misses, 1u);  // not a (stale) hit
+  EXPECT_EQ(engine.region_cache()->Counters().hits, hits_before);
+  EXPECT_EQ(after.snapshot_id, v2->id());
+  // The re-solved entry answers from the new snapshot, bit-identical to
+  // a cold engine pinned there.
+  ToprrEngine cold(v2);
+  ToprrOptions plain = cached;
+  plain.use_region_cache = false;
+  ExpectBitIdentical(cold.Solve(k, box, plain), after);
+  // Both versions' entries coexist in the LRU (the old one just ages
+  // out); nothing was mass-dropped.
+  EXPECT_EQ(engine.region_cache()->NumEntries(), 2u);
+  // And the new entry serves hits for the new version.
+  const ToprrResult warm_v2 = engine.Solve(k, box, cached);
+  EXPECT_EQ(warm_v2.stats.scheduler.cache_hits, 1u);
+  ExpectBitIdentical(after, warm_v2);
 }
 
 }  // namespace

@@ -394,6 +394,52 @@ TEST(ServeServerTest, ConcurrentConnectionsAllComplete) {
             static_cast<uint64_t>(kClients));
 }
 
+TEST(ServeServerTest, CatalogPublishBecomesVisibleAfterSync) {
+  // The live-catalog constructor: publish + SyncCatalog moves traffic to
+  // the new snapshot without restarting the server or quiescing clients.
+  const Dataset data =
+      GenerateSynthetic(800, 3, Distribution::kIndependent, 60);
+  auto catalog = std::make_shared<MutableCatalog>(data);
+  ServerConfig config;
+  config.host = "127.0.0.1";
+  config.port = 0;
+  auto server = std::make_unique<ToprrServer>(catalog, config);
+  std::string error;
+  ASSERT_TRUE(server->Start(&error)) << error;
+
+  ToprrClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server->port()))
+      << client.last_error();
+  const ToprrQuery query =
+      ToprrQuery::FromBox(3, Box({0.2, 0.2}, {0.25, 0.25}));
+  auto before = client.SolveBatch({query});
+  ASSERT_TRUE(before.has_value());
+  ASSERT_EQ((*before)[0].status, ServeStatus::kOk);
+
+  // A dominating row changes the answer; before Sync the server still
+  // serves the pinned old version, after Sync the new one.
+  catalog->StageInsert(Vec{0.99, 0.99, 0.99});
+  const SnapshotPtr v2 = catalog->Publish();
+  auto unsynced = client.SolveBatch({query});
+  ASSERT_TRUE(unsynced.has_value());
+  EXPECT_EQ((*unsynced)[0].impact_halfspaces.size(),
+            (*before)[0].impact_halfspaces.size());
+
+  EXPECT_EQ(server->SyncCatalog(), v2->id());
+  auto after = client.SolveBatch({query});
+  ASSERT_TRUE(after.has_value());
+  ASSERT_EQ((*after)[0].status, ServeStatus::kOk);
+  ToprrEngine reference(v2);
+  const ToprrResult expected = reference.Solve(query);
+  ASSERT_EQ((*after)[0].impact_halfspaces.size(),
+            expected.impact_halfspaces.size());
+  for (size_t h = 0; h < expected.impact_halfspaces.size(); ++h) {
+    EXPECT_EQ((*after)[0].impact_halfspaces[h].offset,
+              expected.impact_halfspaces[h].offset);
+  }
+  server->Stop();
+}
+
 }  // namespace
 }  // namespace serve
 }  // namespace toprr

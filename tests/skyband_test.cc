@@ -6,6 +6,7 @@
 
 #include "common/rng.h"
 #include "data/generator.h"
+#include "data/snapshot.h"
 #include "pref/pref_space.h"
 #include "topk/topk.h"
 
@@ -99,6 +100,106 @@ TEST(SkybandTest, AllPointsWhenKIsLarge) {
   const Dataset ds = GenerateSynthetic(50, 2,
                                        Distribution::kAnticorrelated, 14);
   EXPECT_EQ(SortBasedKSkyband(ds, 50).size(), 50u);
+}
+
+// ---- Incremental maintenance (data/snapshot.h deltas) -----------------
+
+TEST(SkybandTest, PoolVariantMatchesFullScan) {
+  const Dataset ds = GenerateSynthetic(400, 3,
+                                       Distribution::kAnticorrelated, 20);
+  const SnapshotPtr snap = DatasetSnapshot::FromDataset(ds);
+  for (int k : {1, 3, 10}) {
+    const KSkybandState state =
+        SortBasedKSkybandPool(snap->View(), snap->live_ids(), k);
+    EXPECT_EQ(state.ids, SortBasedKSkyband(ds, k)) << "k=" << k;
+    ASSERT_EQ(state.counts.size(), state.ids.size());
+    for (const int count : state.counts) EXPECT_LT(count, k);
+    EXPECT_TRUE(std::is_sorted(state.ids.begin(), state.ids.end()));
+  }
+}
+
+TEST(SkybandTest, IncrementalMatchesRebuildAcrossDeltaMatrix) {
+  // Insert-only, non-member-delete-only, and mixed deltas, across dims
+  // and ks: the incremental state must be *bit-identical* (ids and
+  // counts) to a from-scratch rebuild over the new snapshot's live rows.
+  Rng rng(21);
+  for (const size_t d : {size_t{2}, size_t{4}}) {
+    for (const int k : {1, 3, 8}) {
+      for (const int pattern : {0, 1, 2}) {  // insert / delete / mixed
+        SCOPED_TRACE("d=" + std::to_string(d) + " k=" + std::to_string(k) +
+                     " pattern=" + std::to_string(pattern));
+        const Dataset ds = GenerateSynthetic(
+            300, d, Distribution::kIndependent,
+            static_cast<uint64_t>(100 + 10 * d + k + pattern));
+        MutableCatalog catalog(ds);
+        const SnapshotPtr v1 = catalog.Current();
+        KSkybandState state =
+            SortBasedKSkybandPool(v1->View(), v1->live_ids(), k);
+
+        if (pattern != 1) {  // inserts
+          for (int i = 0; i < 15; ++i) {
+            Vec row(d);
+            for (size_t j = 0; j < d; ++j) row[j] = rng.Uniform();
+            catalog.StageInsert(row);
+          }
+        }
+        if (pattern != 0) {  // non-member deletes
+          int staged = 0;
+          for (int id = 0; id < 300 && staged < 10; ++id) {
+            if (!std::binary_search(state.ids.begin(), state.ids.end(),
+                                    id)) {
+              catalog.StageDelete(id);
+              ++staged;
+            }
+          }
+          ASSERT_EQ(staged, 10);
+        }
+        const SnapshotPtr v2 = catalog.Publish();
+        ASSERT_FALSE(
+            KSkybandDeleteHitsMember(v2->delta().deleted, state.ids));
+
+        KSkybandApplyInserts(v2->View(), k, v2->delta().inserted, &state);
+        const KSkybandState rebuilt =
+            SortBasedKSkybandPool(v2->View(), v2->live_ids(), k);
+        EXPECT_EQ(state.ids, rebuilt.ids);
+        EXPECT_EQ(state.counts, rebuilt.counts);
+      }
+    }
+  }
+}
+
+TEST(SkybandTest, ChainedIncrementalPublishesStayExact) {
+  // Several publishes applied one after the other onto the same carried
+  // state -- the induction step of the correctness argument.
+  const Dataset ds = GenerateSynthetic(250, 3, Distribution::kCorrelated,
+                                       22);
+  MutableCatalog catalog(ds);
+  const int k = 5;
+  SnapshotPtr snap = catalog.Current();
+  KSkybandState state =
+      SortBasedKSkybandPool(snap->View(), snap->live_ids(), k);
+  Rng rng(23);
+  for (int round = 0; round < 5; ++round) {
+    SCOPED_TRACE(round);
+    for (int i = 0; i < 6; ++i) {
+      Vec row(3);
+      for (size_t j = 0; j < 3; ++j) row[j] = rng.Uniform();
+      catalog.StageInsert(row);
+    }
+    snap = catalog.Publish();
+    KSkybandApplyInserts(snap->View(), k, snap->delta().inserted, &state);
+    const KSkybandState rebuilt =
+        SortBasedKSkybandPool(snap->View(), snap->live_ids(), k);
+    ASSERT_EQ(state.ids, rebuilt.ids);
+    ASSERT_EQ(state.counts, rebuilt.counts);
+  }
+}
+
+TEST(SkybandTest, DeleteHitsMemberDetection) {
+  const std::vector<int> members = {2, 5, 9};
+  EXPECT_FALSE(KSkybandDeleteHitsMember({}, members));
+  EXPECT_FALSE(KSkybandDeleteHitsMember({0, 3, 10}, members));
+  EXPECT_TRUE(KSkybandDeleteHitsMember({3, 5}, members));
 }
 
 }  // namespace
