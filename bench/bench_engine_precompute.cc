@@ -18,9 +18,12 @@ void RunPoint(::benchmark::State& state, size_t n, bool warm) {
       *new std::map<const Dataset*, ToprrEngine>();
   auto it = engines.find(&data);
   if (it == engines.end()) {
-    it = engines.emplace(std::piecewise_construct,
-                         std::forward_as_tuple(&data),
-                         std::forward_as_tuple(&data)).first;
+    it = engines
+             .emplace(std::piecewise_construct,
+                      std::forward_as_tuple(&data),
+                      std::forward_as_tuple(
+                          DatasetSnapshot::FromDataset(data)))
+             .first;
   }
   ToprrEngine& engine = it->second;
   if (warm) engine.KSkyband(config.default_k());  // precompute outside timing

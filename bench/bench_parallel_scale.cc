@@ -110,7 +110,7 @@ void RunBatchPoint(::benchmark::State& state, size_t batch_size,
   const Dataset& data =
       CachedSynthetic(config.default_n(), config.default_d(),
                       Distribution::kIndependent, config.seed);
-  ToprrEngine engine(&data);
+  ToprrEngine engine(DatasetSnapshot::FromDataset(data));
   engine.KSkyband(config.default_k());  // warm: timing the query path
 
   Rng rng(config.seed * 31 + batch_size * 7 +

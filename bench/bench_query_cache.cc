@@ -139,7 +139,7 @@ void RunPoint(::benchmark::State& state, const ReplayConfig& config,
   const std::vector<ToprrQuery> queries =
       BuildReplay(config, warm, global.seed * 101 + config.d);
 
-  ToprrEngine engine(&data);
+  ToprrEngine engine(DatasetSnapshot::FromDataset(data));
   if (warm) engine.EnableRegionCache({});
 
   uint64_t hits = 0;

@@ -32,7 +32,8 @@ serve::ToprrServer& LoopbackServer() {
                         Distribution::kIndependent, config.seed);
     serve::ServerConfig server_config;
     server_config.max_inflight_queries = 1024;
-    auto* started = new serve::ToprrServer(&data, server_config);
+    auto* started = new serve::ToprrServer(
+        DatasetSnapshot::FromDataset(data), server_config);
     std::string error;
     CHECK(started->Start(&error)) << error;
     started->WarmSkyband(GlobalConfig().default_k());

@@ -26,8 +26,24 @@ fails when:
     env var, default 0.5), or
   * the hits saved zero partition tasks (cache plumbing broken).
 
+--churn mode gates a `toprr_loadgen --zipf --churn` report (a writer
+publishing mutation deltas during the replay against a cache-enabled
+server): every base and cache check above (with the relaxed
+SERVE_SMOKE_CHURN_HIT_RATE floor, default 0.4 -- each publish
+invalidates cached regions, so some misses are the point), plus it
+fails when:
+
+  * the report has no `churn` block or the writer never ran
+    (enabled false / zero publishes),
+  * any stage/publish ack came back non-OK (publish_failures),
+  * any post-publish query observed a snapshot_seq older than its own
+    publish ack (ryw_violations -- the read-your-writes contract), or
+  * any connection saw its snapshot_seq stream regress
+    (seq_regressions -- the monotone stamp ordering).
+
 Usage: check_serve_smoke.py loadgen.json
        check_serve_smoke.py --cache loadgen_cache.json
+       check_serve_smoke.py --churn loadgen_churn.json
 Self-test: check_serve_smoke.py --self-test
 """
 
@@ -108,6 +124,51 @@ def evaluate_cache(report, p99_bound_ms, hit_rate_floor):
     return True, summary
 
 
+def evaluate_churn(report, p99_bound_ms, hit_rate_floor):
+    """Returns (ok, one_line_message) for a zipf replay with a live
+    mutation writer: the cache gate plus the protocol-v3 ordering
+    contracts (writer health, read-your-writes, monotone stamps)."""
+    ok, base = evaluate_cache(report, p99_bound_ms, hit_rate_floor)
+    if not ok:
+        return False, base
+    churn = report.get("churn")
+    if not isinstance(churn, dict) or not churn.get("enabled", False):
+        return False, (
+            "report has no active churn block (did toprr_loadgen run "
+            "with --churn?)"
+        )
+    publishes = churn.get("publishes", 0)
+    publish_failures = churn.get("publish_failures", 0)
+    ryw_violations = churn.get("ryw_violations", 0)
+    seq_regressions = churn.get("seq_regressions", 0)
+    summary = (
+        f"{base}; {publishes} publishes "
+        f"({churn.get('staged_rows', 0)} rows / "
+        f"{churn.get('staged_deletes', 0)} deletes staged), "
+        f"{ryw_violations} ryw violations, "
+        f"{seq_regressions} seq regressions, "
+        f"last snapshot seq {churn.get('last_snapshot_seq', 0)}"
+    )
+    if publishes <= 0:
+        return False, f"churn writer never published -- {summary}"
+    if publish_failures != 0:
+        return False, (
+            f"{publish_failures} stage/publish acks were not OK -- "
+            f"{summary}"
+        )
+    if ryw_violations != 0:
+        return False, (
+            f"read-your-writes broken: {ryw_violations} post-publish "
+            f"queries saw a pre-publish snapshot -- {summary}"
+        )
+    if seq_regressions != 0:
+        return False, (
+            f"snapshot_seq regressed {seq_regressions} times on a "
+            f"connection -- {summary}"
+        )
+    return True, summary
+
+
 def self_test():
     good = {
         "completed_queries": 100,
@@ -166,6 +227,55 @@ def self_test():
         dict(good, cache=dict(good_cache["cache"], tasks_saved=0)),
         1000.0, 0.5)
     assert not ok and "zero partition tasks saved" in message
+
+    good_churn = dict(good_cache, churn={
+        "enabled": True, "publishes": 20, "staged_rows": 80,
+        "staged_deletes": 60, "publish_failures": 0,
+        "ryw_violations": 0, "seq_regressions": 0,
+        "last_snapshot_seq": 21,
+    })
+    ok, _ = evaluate_churn(good_churn, 1000.0, 0.4)
+    assert ok, "healthy churn replay must pass"
+
+    # The base and cache gates still apply in --churn mode.
+    ok, message = evaluate_churn(
+        dict(good_churn, protocol_errors=2), 1000.0, 0.4)
+    assert not ok and "protocol errors" in message
+    ok, message = evaluate_churn(
+        dict(good_churn, cache=dict(good_cache["cache"], hit_rate=0.1)),
+        1000.0, 0.4)
+    assert not ok and "hit rate" in message
+
+    ok, message = evaluate_churn(good_cache, 1000.0, 0.4)
+    assert not ok and "no active churn block" in message
+
+    ok, message = evaluate_churn(
+        dict(good_churn, churn=dict(good_churn["churn"], enabled=False)),
+        1000.0, 0.4)
+    assert not ok and "no active churn block" in message
+
+    ok, message = evaluate_churn(
+        dict(good_churn, churn=dict(good_churn["churn"], publishes=0)),
+        1000.0, 0.4)
+    assert not ok and "never published" in message
+
+    ok, message = evaluate_churn(
+        dict(good_churn,
+             churn=dict(good_churn["churn"], publish_failures=3)),
+        1000.0, 0.4)
+    assert not ok and "not OK" in message
+
+    ok, message = evaluate_churn(
+        dict(good_churn,
+             churn=dict(good_churn["churn"], ryw_violations=1)),
+        1000.0, 0.4)
+    assert not ok and "read-your-writes" in message
+
+    ok, message = evaluate_churn(
+        dict(good_churn,
+             churn=dict(good_churn["churn"], seq_regressions=2)),
+        1000.0, 0.4)
+    assert not ok and "regressed" in message
     print("serve-smoke: self-test PASS")
 
 
@@ -173,15 +283,17 @@ def main():
     if len(sys.argv) == 2 and sys.argv[1] == "--self-test":
         self_test()
         return
-    cache_mode = len(sys.argv) == 3 and sys.argv[1] == "--cache"
-    if not cache_mode and len(sys.argv) != 2:
+    mode = "base"
+    if len(sys.argv) == 3 and sys.argv[1] in ("--cache", "--churn"):
+        mode = sys.argv[1][2:]
+    elif len(sys.argv) != 2:
         print(
             f"serve-smoke: FAIL: usage: {sys.argv[0]} "
-            "[--cache] <loadgen.json>",
+            "[--cache|--churn] <loadgen.json>",
             file=sys.stderr,
         )
         sys.exit(1)
-    path = sys.argv[2] if cache_mode else sys.argv[1]
+    path = sys.argv[2] if mode != "base" else sys.argv[1]
     p99_bound_ms = float(os.environ.get("SERVE_SMOKE_P99_MS", "10000"))
     try:
         with open(path, "r", encoding="utf-8") as handle:
@@ -192,7 +304,11 @@ def main():
             file=sys.stderr,
         )
         sys.exit(1)
-    if cache_mode:
+    if mode == "churn":
+        hit_rate_floor = float(
+            os.environ.get("SERVE_SMOKE_CHURN_HIT_RATE", "0.4"))
+        ok, message = evaluate_churn(report, p99_bound_ms, hit_rate_floor)
+    elif mode == "cache":
         hit_rate_floor = float(
             os.environ.get("SERVE_SMOKE_HIT_RATE", "0.5"))
         ok, message = evaluate_cache(report, p99_bound_ms, hit_rate_floor)

@@ -155,7 +155,7 @@ int main(int argc, char** argv) {
   // ---- Serving mode: a batch of random clientele boxes through the
   // engine (shared per-k skyband cache, pool-dispatched queries). ----
   if (batch > 0) {
-    ToprrEngine engine(&data);
+    ToprrEngine engine(DatasetSnapshot::FromDataset(data));
     if (cache) engine.EnableRegionCache({});
     Rng rng(static_cast<uint64_t>(seed) + 2);
     std::vector<ToprrQuery> queries;

@@ -15,8 +15,19 @@
 // server converges to hits; the JSON report gains a "cache" block with
 // per-class solve-time percentiles (consumed by
 // ci/check_serve_smoke.py --cache).
+//
+// --churn adds one writer connection alongside the query workers: it
+// stages --churn_rows random inserts (and, once its own inserts have
+// landed, deletes of them) and publishes every --churn_interval seconds
+// over the protocol v3 mutation RPCs. After each publish the writer
+// issues a query on the same connection and requires the response's
+// snapshot_seq to be >= the publish ack's seq (read-your-writes); query
+// workers require their per-connection snapshot_seq stream to be
+// monotone non-decreasing. Violations land in the JSON "churn" block
+// (consumed by ci/check_serve_smoke.py --churn) and fail the exit code.
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <string>
@@ -53,6 +64,23 @@ struct WorkerReport {
   uint64_t cache_tasks_saved = 0;
   std::vector<double> hit_solve_millis;
   std::vector<double> miss_solve_millis;
+
+  // Snapshot-stamp ordering (protocol v3): every response carries the
+  // served snapshot_seq, which must never regress on one connection.
+  uint64_t seq_regressions = 0;
+  uint64_t last_snapshot_seq = 0;
+};
+
+// Outcome of the single --churn writer connection.
+struct ChurnReport {
+  uint64_t publishes = 0;
+  uint64_t staged_rows = 0;
+  uint64_t staged_deletes = 0;
+  uint64_t publish_failures = 0;   // stage/publish acks other than kOk
+  uint64_t ryw_violations = 0;     // post-publish query saw an older seq
+  uint64_t protocol_errors = 0;
+  uint64_t last_snapshot_seq = 0;
+  std::string first_error;
 };
 
 // The zipf query mix: profile boxes plus the sampling distribution.
@@ -211,6 +239,113 @@ void RunConnection(const std::string& host, int port, size_t dim, int k,
           break;
       }
       report->cache_tasks_saved += response.stats.cache_tasks_saved;
+      if (response.snapshot_seq < report->last_snapshot_seq) {
+        ++report->seq_regressions;
+      } else {
+        report->last_snapshot_seq = response.snapshot_seq;
+      }
+    }
+  }
+}
+
+// The --churn writer: keeps publishing small deltas for the whole run.
+// Inserted row ids are derived from the publish acks (single writer:
+// the batch lands at [previous physical_rows, ack.physical_rows)), so
+// once enough of its own rows are live it deletes the oldest ones back
+// out and the dataset size stays roughly flat.
+void RunChurnWriter(const std::string& host, int port, int k, double sigma,
+                    double interval_seconds, int rows_per_publish,
+                    double duration_seconds, uint64_t seed,
+                    ChurnReport* report) {
+  serve::ToprrClient client;
+  if (!client.Connect(host, port)) {
+    ++report->protocol_errors;
+    report->first_error = client.last_error();
+    return;
+  }
+  const size_t dim = client.server().dim;
+  uint64_t physical_rows = client.server().physical_rows;
+  std::vector<uint64_t> own_rows;  // our published inserts, oldest first
+  Rng rng(seed);
+  Timer clock;
+  const auto fail = [&](const std::string& what) {
+    ++report->publish_failures;
+    if (report->first_error.empty()) report->first_error = what;
+  };
+  while (clock.Seconds() < duration_seconds) {
+    std::vector<Vec> rows(static_cast<size_t>(rows_per_publish), Vec(dim));
+    for (Vec& row : rows) {
+      for (size_t j = 0; j < dim; ++j) row[j] = rng.Uniform();
+    }
+    auto staged = client.StageInsert(rows);
+    if (!staged.has_value()) {
+      ++report->protocol_errors;
+      if (report->first_error.empty()) report->first_error = client.last_error();
+      return;
+    }
+    if (staged->status != serve::MutationStatus::kOk) {
+      fail("stage insert: " + staged->message);
+      continue;
+    }
+    report->staged_rows += rows.size();
+    // Delete our oldest inserts once a backlog has built up.
+    size_t deletes = 0;
+    if (own_rows.size() >= static_cast<size_t>(2 * rows_per_publish)) {
+      deletes = static_cast<size_t>(rows_per_publish);
+      std::vector<uint64_t> victims(own_rows.begin(),
+                                    own_rows.begin() + deletes);
+      auto staged_del = client.StageDelete(victims);
+      if (!staged_del.has_value()) {
+        ++report->protocol_errors;
+        if (report->first_error.empty()) {
+          report->first_error = client.last_error();
+        }
+        return;
+      }
+      if (staged_del->status != serve::MutationStatus::kOk) {
+        fail("stage delete: " + staged_del->message);
+        deletes = 0;
+      }
+    }
+    auto published = client.Publish();
+    if (!published.has_value()) {
+      ++report->protocol_errors;
+      if (report->first_error.empty()) report->first_error = client.last_error();
+      return;
+    }
+    if (published->status != serve::MutationStatus::kOk) {
+      fail("publish: " + published->message);
+      continue;
+    }
+    ++report->publishes;
+    report->staged_deletes += deletes;
+    own_rows.erase(own_rows.begin(),
+                   own_rows.begin() + static_cast<ptrdiff_t>(deletes));
+    for (uint64_t id = physical_rows; id < published->physical_rows; ++id) {
+      own_rows.push_back(id);
+    }
+    physical_rows = published->physical_rows;
+    report->last_snapshot_seq = published->snapshot_seq;
+
+    // Read-your-writes: the next query on this connection must already
+    // be served at (or after) the version the publish ack promised.
+    ToprrOptions options;
+    options.build_geometry = false;
+    auto response = client.Query(ToprrQuery::FromBox(
+        k, RandomPrefBox(dim - 1, sigma, rng), options));
+    if (!response.has_value()) {
+      ++report->protocol_errors;
+      if (report->first_error.empty()) report->first_error = client.last_error();
+      return;
+    }
+    if (response->snapshot_seq < published->snapshot_seq) {
+      ++report->ryw_violations;
+    }
+    const double sleep_left =
+        std::min(interval_seconds, duration_seconds - clock.Seconds());
+    if (sleep_left > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(sleep_left));
     }
   }
 }
@@ -234,6 +369,9 @@ int main(int argc, char** argv) {
   double zipf_s = 1.2;
   int profiles = 32;
   double quantum = 1.0 / 256.0;
+  bool churn = false;
+  double churn_interval = 0.25;
+  int churn_rows = 4;
   bool help = false;
   flags.AddString("host", &host, "server address");
   flags.AddString("out", &out_path, "write the JSON report here (default: stdout)");
@@ -255,6 +393,12 @@ int main(int argc, char** argv) {
   flags.AddDouble("quantum", &quantum,
                   "cache grid the profiles align to (must match the "
                   "server's --cache_quantum)");
+  flags.AddBool("churn", &churn,
+                "run a writer connection publishing mutation deltas "
+                "during the replay (protocol v3)");
+  flags.AddDouble("churn_interval", &churn_interval,
+                  "seconds between churn publishes");
+  flags.AddInt("churn_rows", &churn_rows, "rows staged per churn publish");
   flags.AddBool("help", &help, "print usage");
   if (!flags.Parse(&argc, argv)) return 1;
   if (help) {
@@ -269,6 +413,10 @@ int main(int argc, char** argv) {
                quantum >= 1.0)) {
     std::fprintf(stderr,
                  "need --profiles >= 1, --zipf_s > 0, 0 < --quantum < 1\n");
+    return 1;
+  }
+  if (churn && (churn_rows < 1 || churn_interval < 0.0)) {
+    std::fprintf(stderr, "need --churn_rows >= 1, --churn_interval >= 0\n");
     return 1;
   }
 
@@ -292,7 +440,16 @@ int main(int argc, char** argv) {
                          duration, static_cast<uint64_t>(seed) + 31 * c,
                          zipf ? &mix : nullptr, &reports[c]);
   }
+  ChurnReport churn_report;
+  std::thread churn_writer;
+  if (churn) {
+    churn_writer = std::thread(RunChurnWriter, host, port, k, sigma,
+                               churn_interval, churn_rows, duration,
+                               static_cast<uint64_t>(seed) + 977,
+                               &churn_report);
+  }
   for (std::thread& worker : workers) worker.join();
+  if (churn_writer.joinable()) churn_writer.join();
   const double elapsed = wall.Seconds();
 
   WorkerReport total;
@@ -310,6 +467,9 @@ int main(int argc, char** argv) {
     total.cache_misses += report.cache_misses;
     total.cache_bypass += report.cache_bypass;
     total.cache_tasks_saved += report.cache_tasks_saved;
+    total.seq_regressions += report.seq_regressions;
+    total.last_snapshot_seq =
+        std::max(total.last_snapshot_seq, report.last_snapshot_seq);
     total.hit_solve_millis.insert(total.hit_solve_millis.end(),
                                   report.hit_solve_millis.begin(),
                                   report.hit_solve_millis.end());
@@ -318,6 +478,8 @@ int main(int argc, char** argv) {
                                    report.miss_solve_millis.end());
     if (total.first_error.empty()) total.first_error = report.first_error;
   }
+  total.protocol_errors += churn_report.protocol_errors;
+  if (total.first_error.empty()) total.first_error = churn_report.first_error;
   std::sort(total.rpc_millis.begin(), total.rpc_millis.end());
   std::sort(total.hit_solve_millis.begin(), total.hit_solve_millis.end());
   std::sort(total.miss_solve_millis.begin(), total.miss_solve_millis.end());
@@ -394,6 +556,27 @@ int main(int argc, char** argv) {
                 Percentile(total.miss_solve_millis, 0.50),
                 Percentile(total.miss_solve_millis, 0.99));
   json += line;
+  std::snprintf(line, sizeof(line),
+                "  \"churn\": {\"enabled\": %s, \"publishes\": %llu, "
+                "\"staged_rows\": %llu, \"staged_deletes\": %llu,\n",
+                churn ? "true" : "false",
+                static_cast<unsigned long long>(churn_report.publishes),
+                static_cast<unsigned long long>(churn_report.staged_rows),
+                static_cast<unsigned long long>(churn_report.staged_deletes));
+  json += line;
+  std::snprintf(
+      line, sizeof(line),
+      "    \"publish_failures\": %llu, \"ryw_violations\": %llu,\n",
+      static_cast<unsigned long long>(churn_report.publish_failures),
+      static_cast<unsigned long long>(churn_report.ryw_violations));
+  json += line;
+  std::snprintf(
+      line, sizeof(line),
+      "    \"seq_regressions\": %llu, \"last_snapshot_seq\": %llu},\n",
+      static_cast<unsigned long long>(total.seq_regressions),
+      static_cast<unsigned long long>(std::max(
+          churn_report.last_snapshot_seq, total.last_snapshot_seq)));
+  json += line;
   std::string safe_error = total.first_error.substr(0, 120);
   for (char& c : safe_error) {
     if (c == '"' || c == '\\') c = '\'';
@@ -413,12 +596,24 @@ int main(int argc, char** argv) {
     std::fputs(json.c_str(), out);
     std::fclose(out);
     std::printf("toprr_loadgen: %llu queries ok (%.1f q/s), %llu rejected, "
-                "%llu over budget, %llu protocol errors -> %s\n",
+                "%llu over budget, %llu protocol errors",
                 static_cast<unsigned long long>(total.completed), qps,
                 static_cast<unsigned long long>(total.rejected),
                 static_cast<unsigned long long>(total.budget_exceeded),
-                static_cast<unsigned long long>(total.protocol_errors),
-                out_path.c_str());
+                static_cast<unsigned long long>(total.protocol_errors));
+    if (churn) {
+      std::printf(", %llu publishes (%llu failed, %llu ryw violations)",
+                  static_cast<unsigned long long>(churn_report.publishes),
+                  static_cast<unsigned long long>(
+                      churn_report.publish_failures),
+                  static_cast<unsigned long long>(
+                      churn_report.ryw_violations));
+    }
+    std::printf(" -> %s\n", out_path.c_str());
   }
-  return total.protocol_errors == 0 ? 0 : 1;
+  const bool churn_clean =
+      !churn || (churn_report.publish_failures == 0 &&
+                 churn_report.ryw_violations == 0 &&
+                 total.seq_regressions == 0);
+  return total.protocol_errors == 0 && churn_clean ? 0 : 1;
 }

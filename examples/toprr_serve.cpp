@@ -42,6 +42,7 @@ int main(int argc, char** argv) {
   double max_budget = 10.0;
   int batch_threads = 1;
   int warm_k = 10;
+  int max_staged = 4096;
   bool normalize = true;
   bool cache = false;
   double cache_budget_mb = 64.0;
@@ -63,6 +64,8 @@ int main(int argc, char** argv) {
                "SolveBatch dispatch threads per request (0 = all cores)");
   flags.AddInt("warm_k", &warm_k,
                "pre-compute the k-skyband for this k at startup (0 = skip)");
+  flags.AddInt("max_staged", &max_staged,
+               "per-connection staged-mutation bound (inserts + deletes)");
   flags.AddBool("normalize", &normalize, "min-max normalize CSV columns");
   flags.AddBool("cache", &cache,
                 "enable the cross-query region cache for admitted queries");
@@ -114,7 +117,10 @@ int main(int argc, char** argv) {
   if (cache_quantum > 0.0 && cache_quantum < 1.0) {
     config.region_cache_quantum = cache_quantum;
   }
-  serve::ToprrServer server(&data, config);
+  if (max_staged > 0) {
+    config.max_staged_mutations = static_cast<size_t>(max_staged);
+  }
+  serve::ToprrServer server(DatasetSnapshot::FromDataset(data), config);
   std::string error;
   if (!server.Start(&error)) {
     std::fprintf(stderr, "toprr_serve: start failed: %s\n", error.c_str());

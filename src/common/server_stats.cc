@@ -20,6 +20,15 @@ std::string ServerStatsSnapshot::DebugString() const {
         << " cache_misses=" << cache_misses
         << " cache_tasks_saved=" << cache_tasks_saved;
   }
+  if (mutations_staged + mutations_rejected + publishes_applied +
+          publishes_rejected + version_mismatches >
+      0) {
+    out << " mutations_staged=" << mutations_staged
+        << " mutations_rejected=" << mutations_rejected
+        << " publishes=" << publishes_applied
+        << " publishes_rejected=" << publishes_rejected
+        << " version_mismatches=" << version_mismatches;
+  }
   return out.str();
 }
 
@@ -43,6 +52,14 @@ ServerStatsSnapshot ServerStats::Snapshot() const {
       cache_partial_hits_.load(std::memory_order_relaxed);
   snap.cache_misses = cache_misses_.load(std::memory_order_relaxed);
   snap.cache_tasks_saved = cache_tasks_saved_.load(std::memory_order_relaxed);
+  snap.mutations_staged = mutations_staged_.load(std::memory_order_relaxed);
+  snap.mutations_rejected =
+      mutations_rejected_.load(std::memory_order_relaxed);
+  snap.publishes_applied = publishes_applied_.load(std::memory_order_relaxed);
+  snap.publishes_rejected =
+      publishes_rejected_.load(std::memory_order_relaxed);
+  snap.version_mismatches =
+      version_mismatches_.load(std::memory_order_relaxed);
   return snap;
 }
 

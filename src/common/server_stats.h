@@ -37,6 +37,13 @@ struct ServerStatsSnapshot {
   uint64_t cache_misses = 0;
   uint64_t cache_tasks_saved = 0;  // partition tasks avoided via reuse
 
+  // Protocol v3 mutation path (zero on a read-only workload).
+  uint64_t mutations_staged = 0;     // rows + delete ids accepted
+  uint64_t mutations_rejected = 0;   // rows/ids refused (validation/limit)
+  uint64_t publishes_applied = 0;    // deltas published + SyncCatalog run
+  uint64_t publishes_rejected = 0;   // conflict/empty/shutdown publishes
+  uint64_t version_mismatches = 0;   // connections rejected at handshake
+
   std::string DebugString() const;
 };
 
@@ -71,6 +78,15 @@ class ServerStats {
   void OnCacheTasksSaved(uint64_t count) {
     cache_tasks_saved_.fetch_add(count, std::memory_order_relaxed);
   }
+  void OnMutationsStaged(uint64_t count) {
+    mutations_staged_.fetch_add(count, std::memory_order_relaxed);
+  }
+  void OnMutationsRejected(uint64_t count) {
+    mutations_rejected_.fetch_add(count, std::memory_order_relaxed);
+  }
+  void OnPublishApplied() { Bump(publishes_applied_); }
+  void OnPublishRejected() { Bump(publishes_rejected_); }
+  void OnVersionMismatch() { Bump(version_mismatches_); }
 
   ServerStatsSnapshot Snapshot() const;
 
@@ -93,6 +109,11 @@ class ServerStats {
   std::atomic<uint64_t> cache_partial_hits_{0};
   std::atomic<uint64_t> cache_misses_{0};
   std::atomic<uint64_t> cache_tasks_saved_{0};
+  std::atomic<uint64_t> mutations_staged_{0};
+  std::atomic<uint64_t> mutations_rejected_{0};
+  std::atomic<uint64_t> publishes_applied_{0};
+  std::atomic<uint64_t> publishes_rejected_{0};
+  std::atomic<uint64_t> version_mismatches_{0};
 };
 
 }  // namespace toprr

@@ -24,25 +24,6 @@ ToprrEngine::ToprrEngine(SnapshotPtr snapshot)
   CHECK(snapshot_ != nullptr);
 }
 
-ToprrEngine::ToprrEngine(const Dataset* data) : data_(data) {
-  CHECK(data != nullptr);
-  snapshot_ = DatasetSnapshot::FromDataset(*data);
-  // A root snapshot's id IS DatasetContentHash of its source table, so
-  // the debug mutation check gets its reference hash for free.
-  legacy_hash_ = snapshot_->id();
-}
-
-void ToprrEngine::CheckDatasetUnchanged() const {
-#ifndef NDEBUG
-  if (data_ == nullptr) return;  // snapshot-constructed: nothing borrowed
-  DCHECK_EQ(legacy_hash_, DatasetContentHash(*data_))
-      << "the Dataset borrowed by the legacy ToprrEngine constructor was "
-         "mutated in place; call InvalidateCache() between mutation and "
-         "the next query (or better, move to MutableCatalog + "
-         "SetSnapshot)";
-#endif
-}
-
 SnapshotPtr ToprrEngine::PinSnapshot() const {
   std::lock_guard<std::mutex> lock(cache_mu_);
   return snapshot_;
@@ -58,12 +39,7 @@ size_t ToprrEngine::dataset_rows() const {
 
 size_t ToprrEngine::dataset_dim() const { return PinSnapshot()->dim(); }
 
-const Dataset& ToprrEngine::data() const {
-  CHECK(data_ != nullptr)
-      << "ToprrEngine::data() is only available on engines built with the "
-         "legacy Dataset* constructor; use snapshot() instead";
-  return *data_;
-}
+uint64_t ToprrEngine::snapshot_seq() const { return PinSnapshot()->seq(); }
 
 ToprrEngine::UpdateCounters ToprrEngine::update_counters() const {
   UpdateCounters counters;
@@ -193,21 +169,6 @@ void ToprrEngine::SetSnapshot(SnapshotPtr snapshot) {
   }
 }
 
-void ToprrEngine::InvalidateCache() {
-  if (data_ != nullptr) {
-    // Legacy contract: the caller mutated the borrowed Dataset in place.
-    // Re-read it into a fresh root snapshot; queries already in flight
-    // finish on their pinned (pre-mutation) copy, which is the best the
-    // old API can promise.
-    SnapshotPtr fresh = DatasetSnapshot::FromDataset(*data_);
-    legacy_hash_ = fresh->id();
-    SetSnapshot(std::move(fresh));
-  }
-  // Region-cache entries are version-keyed and would age out on their
-  // own, but the legacy contract says "drop everything now".
-  if (region_cache_ != nullptr) region_cache_->Clear();
-}
-
 void ToprrEngine::EnableRegionCache(const RegionCacheConfig& config) {
   region_cache_ = std::make_unique<RegionCache>(config);
 }
@@ -240,19 +201,19 @@ std::string SignatureFor(const ToprrOptions& options,
 
 ToprrResult ToprrEngine::Solve(int k, const PrefBox& region,
                                const ToprrOptions& options) {
-  CheckDatasetUnchanged();
   const SnapshotPtr snap = PinSnapshot();
   ToprrResult result = SolveBox(snap, k, region, options);
   result.snapshot_id = snap->id();
+  result.snapshot_seq = snap->seq();
   return result;
 }
 
 ToprrResult ToprrEngine::Solve(int k, const PrefRegion& region,
                                const ToprrOptions& options) {
-  CheckDatasetUnchanged();
   const SnapshotPtr snap = PinSnapshot();
   ToprrResult result = SolveRegion(snap, k, region, options);
   result.snapshot_id = snap->id();
+  result.snapshot_seq = snap->seq();
   return result;
 }
 

@@ -35,14 +35,9 @@
 //    the mutex only guards map lookups -- skyband builds run outside the
 //    lock, and a batch mixing k values builds its skybands concurrently.
 //  * KSkyband's returned reference stays valid until the next
-//    SetSnapshot / InvalidateCache (older-version entries are garbage
-//    collected then; in-flight solves are safe because they hold the
-//    entry by shared_ptr, not by reference).
-//  * The legacy raw-pointer constructor copies the dataset into a root
-//    snapshot, so even that path has no exclusive-access requirement
-//    anymore; debug builds still DCHECK a content hash each query to
-//    flag callers mutating the borrowed Dataset without telling the
-//    engine.
+//    SetSnapshot (older-version entries are garbage collected then;
+//    in-flight solves are safe because they hold the entry by
+//    shared_ptr, not by reference).
 #ifndef TOPRR_CORE_ENGINE_H_
 #define TOPRR_CORE_ENGINE_H_
 
@@ -81,24 +76,21 @@ struct ToprrQuery {
 class ToprrEngine {
  public:
   /// Serves from `snapshot` (and any successors handed to SetSnapshot).
-  /// The canonical constructor for live catalogs:
+  /// The canonical construction for a fixed table is
+  ///   ToprrEngine engine(DatasetSnapshot::FromDataset(data));
+  /// and for a live catalog
   ///   MutableCatalog catalog(...);
   ///   ToprrEngine engine(catalog.Current());
+  /// (The pre-snapshot Dataset* constructor and its InvalidateCache()
+  /// shim were removed; snapshots are the only ownership model.)
   explicit ToprrEngine(SnapshotPtr snapshot);
-
-  /// Legacy shim: copies `data` into a root snapshot (one O(n*d) pass,
-  /// comparable to the old debug fingerprint). `data` is only retained
-  /// for the debug mutation DCHECK and for InvalidateCache's re-read;
-  /// the engine itself serves from the copy. Prefer the snapshot
-  /// constructor.
-  explicit ToprrEngine(const Dataset* data);
 
   ToprrEngine(const ToprrEngine&) = delete;
   ToprrEngine& operator=(const ToprrEngine&) = delete;
 
   /// The cached k-skyband of the current snapshot (computed on first use
   /// for each (k, version)). The returned reference stays valid until
-  /// the next SetSnapshot / InvalidateCache.
+  /// the next SetSnapshot.
   const std::vector<int>& KSkyband(int k);
 
   /// Solves TopRR(D, k, wR) reusing the cached k-skyband: the per-query
@@ -147,20 +139,12 @@ class ToprrEngine {
   SnapshotPtr snapshot() const;
   /// The current snapshot's 64-bit content id.
   uint64_t snapshot_id() const;
+  /// The current snapshot's monotone publish sequence number.
+  uint64_t snapshot_seq() const;
   /// Live rows / dimension of the current snapshot -- what a query
   /// observes as the dataset size.
   size_t dataset_rows() const;
   size_t dataset_dim() const;
-
-  /// DEPRECATED: use SetSnapshot (or a MutableCatalog) instead. Shim for
-  /// the pre-snapshot API: re-reads the legacy constructor's borrowed
-  /// Dataset into a fresh snapshot (so in-place mutations become
-  /// visible), moves the engine onto it, and clears the region cache.
-  /// Unlike the old contract this is safe with queries in flight -- they
-  /// complete on their pinned snapshot. On a snapshot-constructed engine
-  /// it only clears the region cache (there is no borrowed Dataset to
-  /// re-read; the current snapshot is already authoritative).
-  void InvalidateCache();
 
   /// Enables the cross-query region cache (core/region_cache.h).
   /// Queries opt in per-solve via ToprrOptions::use_region_cache; box
@@ -173,11 +157,6 @@ class ToprrEngine {
   /// The enabled region cache, or null. Entries pin their payloads via
   /// shared_ptr, so counters/inspection race safely with serving.
   RegionCache* region_cache() { return region_cache_.get(); }
-
-  /// Legacy accessor for the borrowed Dataset of the raw-pointer
-  /// constructor; CHECK-fails on snapshot-constructed engines (use
-  /// snapshot() there).
-  const Dataset& data() const;
 
   /// Monotone telemetry of the snapshot-update path.
   struct UpdateCounters {
@@ -214,10 +193,6 @@ class ToprrEngine {
   void BuildSkybandEntry(const SnapshotPtr& snap, int k,
                          SkybandEntry* entry);
 
-  /// DCHECKs that the legacy-constructor Dataset still matches the
-  /// content hash taken at construction / last InvalidateCache.
-  void CheckDatasetUnchanged() const;
-
   /// Snapshot-pinned solve bodies behind the public Solve overloads.
   ToprrResult SolveBox(const SnapshotPtr& snap, int k, const PrefBox& box,
                        const ToprrOptions& options);
@@ -252,9 +227,6 @@ class ToprrEngine {
                                  const PrefBox& box,
                                  const ToprrOptions& options,
                                  const std::string& signature);
-
-  const Dataset* data_ = nullptr;  // legacy ctor only (debug check)
-  uint64_t legacy_hash_ = 0;       // DatasetContentHash at ctor/invalidate
 
   mutable std::mutex cache_mu_;
   SnapshotPtr snapshot_;  // current version; guarded by cache_mu_

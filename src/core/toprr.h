@@ -209,6 +209,10 @@ struct ToprrResult {
   /// functions). A writer publishing mid-batch changes ids for later
   /// solves but never this one: each solve pins its snapshot.
   uint64_t snapshot_id = 0;
+  /// The pinned snapshot's monotone publish sequence number (1 for a
+  /// root; 0 from the free SolveToprr functions). Content ids have no
+  /// order, so read-your-writes assertions compare this instead.
+  uint64_t snapshot_seq = 0;
 
   ToprrStats stats;
 

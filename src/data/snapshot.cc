@@ -133,7 +133,9 @@ int MutableCatalog::StageInsert(const Vec& row) {
   if (d == 0 && !staged_alive_.empty()) {
     d = staged_values_.size() / staged_alive_.size();
   }
-  if (d != 0) CHECK_EQ(row.dim(), d);
+  if (d != 0) {
+    CHECK_EQ(row.dim(), d);
+  }
   staged_values_.insert(staged_values_.end(), row.begin(), row.end());
   staged_alive_.push_back(1);
   return static_cast<int>(current_->rows() + staged_alive_.size()) - 1;
@@ -186,6 +188,7 @@ SnapshotPtr MutableCatalog::Publish() {
   snapshot->dim_ = d;
   snapshot->rows_ = new_rows;
   snapshot->parent_id_ = parent.id();
+  snapshot->seq_ = parent.seq() + 1;
 
   // Copy-on-write chunk table: every full parent chunk is shared by
   // pointer; only the partial tail chunk (when inserts extend it) is

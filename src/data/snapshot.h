@@ -97,6 +97,13 @@ class DatasetSnapshot {
   /// (modulo hash collisions). Keys the versioned skyband cache and the
   /// region-cache signature.
   uint64_t id() const { return id_; }
+  /// Monotone publish sequence number: 1 for roots, parent + 1 for every
+  /// published successor. Unlike id() (a content hash with no order),
+  /// seq() totally orders a snapshot chain, which is what the serving
+  /// protocol's read-your-writes contract compares (a client that saw a
+  /// publish ack with seq S is promised every later response has
+  /// seq >= S).
+  uint64_t seq() const { return seq_; }
   /// The parent snapshot's id (0 for roots). With delta(), lets the
   /// engine maintain caches incrementally instead of rebuilding.
   uint64_t parent_id() const { return parent_id_; }
@@ -124,6 +131,7 @@ class DatasetSnapshot {
   size_t rows_ = 0;
   size_t dim_ = 0;
   uint64_t id_ = 0;
+  uint64_t seq_ = 1;
   uint64_t parent_id_ = 0;
   SnapshotDelta delta_;
 };

@@ -1,7 +1,9 @@
 #include "serve/client.h"
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -14,71 +16,121 @@
 namespace toprr {
 namespace serve {
 
+const char* ClientErrorName(ClientError error) {
+  switch (error) {
+    case ClientError::kNone:
+      return "NONE";
+    case ClientError::kNotConnected:
+      return "NOT_CONNECTED";
+    case ClientError::kTransport:
+      return "TRANSPORT";
+    case ClientError::kProtocol:
+      return "PROTOCOL";
+    case ClientError::kVersionMismatch:
+      return "VERSION_MISMATCH";
+  }
+  return "UNKNOWN";
+}
+
 ToprrClient::~ToprrClient() { Close(); }
+
+bool ToprrClient::Fail(ClientError code, std::string message) {
+  last_error_code_ = code;
+  last_error_ = std::move(message);
+  Close();
+  return false;
+}
 
 bool ToprrClient::Connect(const std::string& host, int port) {
   Close();
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) {
-    last_error_ = std::strerror(errno);
-    return false;
+    return Fail(ClientError::kTransport, std::strerror(errno));
   }
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(static_cast<uint16_t>(port));
   if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    last_error_ = "bad host " + host;
-    Close();
-    return false;
+    return Fail(ClientError::kTransport, "bad host " + host);
   }
   int rc;
   do {
     rc = ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
   } while (rc < 0 && errno == EINTR);
   if (rc < 0) {
-    last_error_ = "connect " + host + ":" + std::to_string(port) + ": " +
-                  std::strerror(errno);
-    Close();
-    return false;
+    return Fail(ClientError::kTransport,
+                "connect " + host + ":" + std::to_string(port) + ": " +
+                    std::strerror(errno));
   }
   // Frames go out as prefix + payload writes; Nagle + delayed ACK would
   // add ~40 ms to every RPC (the server side sets this too).
   const int one = 1;
   ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  // Handshake: learn the server's version (a mismatched server answers
+  // the Hello with the frozen rejection frame, surfaced as the typed
+  // kVersionMismatch by RoundTrip) and its limits.
+  std::string payload;
+  if (!RoundTrip(EncodeHello(), &payload)) return false;
+  std::string decode_error;
+  if (!DecodeServerHello(payload, &server_, &decode_error)) {
+    return Fail(ClientError::kProtocol,
+                "undecodable server hello: " + decode_error);
+  }
   last_error_.clear();
+  last_error_code_ = ClientError::kNone;
   return true;
 }
 
-std::optional<std::vector<ServeResponse>> ToprrClient::SolveBatch(
-    const std::vector<ToprrQuery>& queries) {
+bool ToprrClient::RoundTrip(const std::string& request,
+                            std::string* payload) {
   if (fd_ < 0) {
-    last_error_ = "not connected";
-    return std::nullopt;
+    return Fail(ClientError::kNotConnected, "not connected");
   }
   FdStream stream(fd_);
-  const std::string request = EncodeQueryBatch(queries);
   if (!WriteFrame(stream, request)) {
-    last_error_ =
-        std::string("request write failed: ") + std::strerror(errno);
-    Close();
-    return std::nullopt;
+    return Fail(ClientError::kTransport,
+                std::string("request write failed: ") +
+                    std::strerror(errno));
   }
-  std::string payload;
-  const FrameReadStatus read_status = ReadFrame(stream, &payload);
+  const FrameReadStatus read_status = ReadFrame(stream, payload);
   if (read_status != FrameReadStatus::kOk) {
-    last_error_ = std::string("response frame ") +
-                  FrameReadStatusName(read_status) +
-                  (read_status == FrameReadStatus::kIoError
-                       ? std::string(": ") + std::strerror(errno)
-                       : std::string());
-    Close();
-    return std::nullopt;
+    return Fail(ClientError::kTransport,
+                std::string("response frame ") +
+                    FrameReadStatusName(read_status) +
+                    (read_status == FrameReadStatus::kIoError
+                         ? std::string(": ") + std::strerror(errno)
+                         : std::string()));
   }
+  // The frozen rejection is decodable regardless of what version the
+  // server speaks; every other reply kind must match ours to parse.
+  uint8_t server_version, min_version;
+  if (DecodeVersionMismatch(*payload, &server_version, &min_version)) {
+    return Fail(ClientError::kVersionMismatch,
+                "server speaks protocol v" +
+                    std::to_string(static_cast<int>(server_version)) +
+                    " (min v" +
+                    std::to_string(static_cast<int>(min_version)) +
+                    "), this client is v" +
+                    std::to_string(static_cast<int>(kProtocolVersion)));
+  }
+  return true;
+}
+
+std::optional<ServeResponse> ToprrClient::Query(const ToprrQuery& query) {
+  std::optional<std::vector<ServeResponse>> responses = QueryBatch({query});
+  if (!responses.has_value() || responses->empty()) return std::nullopt;
+  return std::move(responses->front());
+}
+
+std::optional<std::vector<ServeResponse>> ToprrClient::QueryBatch(
+    const std::vector<ToprrQuery>& queries) {
+  std::string payload;
+  if (!RoundTrip(EncodeQueryBatch(queries), &payload)) return std::nullopt;
   std::vector<ServeResponse> responses;
   std::string decode_error;
   if (!DecodeResponseBatch(payload, &responses, &decode_error)) {
-    last_error_ = "undecodable response: " + decode_error;
-    Close();
+    Fail(ClientError::kProtocol, "undecodable response: " + decode_error);
     return std::nullopt;
   }
   // A lone kMalformed marker is the server's "could not decode your
@@ -88,12 +140,68 @@ std::optional<std::vector<ServeResponse>> ToprrClient::SolveBatch(
       responses.size() == 1 && queries.size() != 1 &&
       responses[0].status == ServeStatus::kMalformed;
   if (responses.size() != queries.size() && !malformed_marker) {
-    last_error_ = "response count mismatch";
-    Close();
+    Fail(ClientError::kTransport, "response count mismatch");
     return std::nullopt;
   }
   last_error_.clear();
+  last_error_code_ = ClientError::kNone;
   return responses;
+}
+
+std::optional<MutationAck> ToprrClient::MutationRoundTrip(
+    const std::string& request) {
+  std::string payload;
+  if (!RoundTrip(request, &payload)) return std::nullopt;
+  MutationAck ack;
+  std::string decode_error;
+  if (!DecodeMutationAck(payload, &ack, &decode_error)) {
+    Fail(ClientError::kProtocol,
+         "undecodable mutation ack: " + decode_error);
+    return std::nullopt;
+  }
+  last_error_.clear();
+  last_error_code_ = ClientError::kNone;
+  return ack;
+}
+
+std::optional<MutationAck> ToprrClient::StageInsert(
+    const std::vector<Vec>& rows) {
+  return MutationRoundTrip(EncodeStageInsert(rows));
+}
+
+std::optional<MutationAck> ToprrClient::StageDelete(
+    const std::vector<uint64_t>& row_ids) {
+  return MutationRoundTrip(EncodeStageDelete(row_ids));
+}
+
+std::optional<MutationAck> ToprrClient::Publish() {
+  return MutationRoundTrip(EncodePublish());
+}
+
+std::optional<MutationAck> ToprrClient::CatalogInfo() {
+  return MutationRoundTrip(EncodeCatalogInfo());
+}
+
+bool ToprrClient::WaitForSnapshot(uint64_t min_snapshot_seq,
+                                  double timeout_seconds) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(timeout_seconds));
+  for (;;) {
+    const std::optional<MutationAck> ack = CatalogInfo();
+    if (!ack.has_value()) return false;  // typed error already recorded
+    if (ack->snapshot_seq >= min_snapshot_seq) return true;
+    if (std::chrono::steady_clock::now() >= deadline) {
+      last_error_code_ = ClientError::kNone;
+      last_error_ =
+          "timed out waiting for snapshot seq " +
+          std::to_string(min_snapshot_seq) + " (served: " +
+          std::to_string(ack->snapshot_seq) + ")";
+      return false;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
 }
 
 void ToprrClient::Close() {
@@ -101,6 +209,7 @@ void ToprrClient::Close() {
     ::close(fd_);
     fd_ = -1;
   }
+  server_ = ServerHello{};
 }
 
 }  // namespace serve

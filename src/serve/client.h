@@ -1,23 +1,50 @@
-// ToprrClient: blocking TCP client for the serving protocol.
+// ToprrClient: blocking TCP session client for the v3 serving protocol.
 //
-// One client owns one connection and issues SolveBatch round-trips
-// (request frame out, response frame in) sequentially; drive parallel
-// load with one client per thread (see examples/toprr_loadgen.cpp). All
-// failures -- connect errors, a server-closed connection, short frames,
-// undecodable replies -- surface as a false/empty return plus a one-line
-// last_error(); the framing layer retries EINTR and partial transfers
-// internally, so an error here is a real one.
+// One client owns one connection. Connect() performs the Hello /
+// ServerHello handshake, so a connected client knows the server's limits
+// (server()). The session surface is unified: Query / QueryBatch for
+// solves, StageInsert / StageDelete / Publish / CatalogInfo for the
+// mutation RPCs, and WaitForSnapshot as the read-your-writes helper (the
+// bare pre-v3 SolveBatch name survives as a deprecated alias of
+// QueryBatch). Drive parallel load with one client per thread (see
+// examples/toprr_loadgen.cpp).
+//
+// All failures -- connect errors, a server-closed connection, short
+// frames, undecodable replies -- surface as a false/empty return plus a
+// one-line last_error() and a typed last_error_code(); the framing layer
+// retries EINTR and partial transfers internally, so an error here is a
+// real one. A server from another protocol generation answers with the
+// frozen version-mismatch frame, which the client surfaces as
+// ClientError::kVersionMismatch instead of a generic decode failure.
 #ifndef TOPRR_SERVE_CLIENT_H_
 #define TOPRR_SERVE_CLIENT_H_
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "geom/vec.h"
 #include "serve/protocol.h"
 
 namespace toprr {
 namespace serve {
+
+/// The typed failure category behind a false/empty client return.
+enum class ClientError : uint8_t {
+  kNone = 0,
+  kNotConnected = 1,
+  /// Socket-level failure, or the stream lost request/response
+  /// alignment; the connection was closed.
+  kTransport = 2,
+  /// The reply did not decode under this client's protocol version.
+  kProtocol = 3,
+  /// The server speaks a different protocol generation and sent the
+  /// frozen rejection frame (see last_error() for its versions).
+  kVersionMismatch = 4,
+};
+
+const char* ClientErrorName(ClientError error);
 
 class ToprrClient {
  public:
@@ -26,25 +53,77 @@ class ToprrClient {
   ToprrClient& operator=(const ToprrClient&) = delete;
   ~ToprrClient();
 
-  /// Connects to host:port. Returns false (see last_error()) on failure.
+  /// Connects to host:port and runs the Hello/ServerHello handshake.
+  /// Returns false (see last_error()/last_error_code()) on failure --
+  /// including a clean typed kVersionMismatch when the server is from
+  /// another protocol generation.
   bool Connect(const std::string& host, int port);
 
   bool connected() const { return fd_ >= 0; }
+
+  /// The server's advertised limits and served snapshot, captured at
+  /// handshake time. Zero-initialized until Connect() succeeds.
+  const ServerHello& server() const { return server_; }
+
+  /// Sends one query and blocks for its response.
+  std::optional<ServeResponse> Query(const ToprrQuery& query);
 
   /// Sends one query batch and blocks for the response batch. Returns
   /// std::nullopt on any transport or protocol failure (the connection
   /// is closed: request/response alignment cannot be trusted after an
   /// error). A successful return is positionally aligned with `queries`.
-  std::optional<std::vector<ServeResponse>> SolveBatch(
+  std::optional<std::vector<ServeResponse>> QueryBatch(
       const std::vector<ToprrQuery>& queries);
+
+  /// DEPRECATED pre-v3 name of QueryBatch; new call sites should use the
+  /// session surface above.
+  std::optional<std::vector<ServeResponse>> SolveBatch(
+      const std::vector<ToprrQuery>& queries) {
+    return QueryBatch(queries);
+  }
+
+  /// Mutation RPCs: stage rows/deletes into this connection's session on
+  /// the server, publish the staged delta, or read the served snapshot
+  /// (CatalogInfo also reports this session's staged sizes). Each blocks
+  /// for its MutationAck; std::nullopt means transport/protocol failure
+  /// (connection closed), while a returned ack with a non-kOk status is
+  /// a server-side rejection on a healthy connection.
+  std::optional<MutationAck> StageInsert(const std::vector<Vec>& rows);
+  std::optional<MutationAck> StageDelete(
+      const std::vector<uint64_t>& row_ids);
+  std::optional<MutationAck> Publish();
+  std::optional<MutationAck> CatalogInfo();
+
+  /// Read-your-writes helper: polls CatalogInfo until the served
+  /// snapshot's seq reaches `min_snapshot_seq` (typically a Publish
+  /// ack's snapshot_seq) or `timeout_seconds` elapses. On this server a
+  /// publish ack already implies visibility -- SyncCatalog runs before
+  /// the ack -- so this exists for cross-connection ordering: wait here
+  /// before reading a write acked to a different connection.
+  bool WaitForSnapshot(uint64_t min_snapshot_seq,
+                       double timeout_seconds = 5.0);
 
   void Close();
 
   const std::string& last_error() const { return last_error_; }
+  ClientError last_error_code() const { return last_error_code_; }
 
  private:
+  /// One request/reply exchange. On success leaves the reply payload in
+  /// `payload`; on failure sets the typed error (detecting the frozen
+  /// version-mismatch frame) and closes the connection.
+  bool RoundTrip(const std::string& request, std::string* payload);
+
+  /// Shared body of the four mutation RPCs.
+  std::optional<MutationAck> MutationRoundTrip(const std::string& request);
+
+  /// Records the error and returns false (every failure path closes).
+  bool Fail(ClientError code, std::string message);
+
   int fd_ = -1;
+  ServerHello server_{};
   std::string last_error_;
+  ClientError last_error_code_ = ClientError::kNone;
 };
 
 }  // namespace serve

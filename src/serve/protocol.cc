@@ -30,8 +30,14 @@ constexpr uint8_t kFlagGeometrySkipped = 1u << 1;
 constexpr size_t kMinQueryBytes =
     4 + 1 + 1 + 8 + 8 + 8 + 8 + 8 + 4 + 4 + 4;
 // Response: status + flags + stats block (f64 + 6 u64 counters + cache
-// lookup byte + cache u64) + two u32 counts.
-constexpr size_t kMinResponseBytes = 1 + 1 + 8 + 6 * 8 + 1 + 8 + 4 + 4;
+// lookup byte + cache u64) + snapshot stamp (id + seq u64) + two u32
+// counts.
+constexpr size_t kMinResponseBytes =
+    1 + 1 + 8 + 6 * 8 + 1 + 8 + 2 * 8 + 4 + 4;
+
+// Longest MutationAck diagnostic accepted off the wire; a hostile frame
+// must not make the server/client buffer an arbitrary string.
+constexpr uint32_t kMaxAckMessageBytes = 256;
 
 void WriteHeader(WireWriter& writer, MessageType type) {
   writer.U32(kProtocolMagic);
@@ -183,6 +189,8 @@ void WriteResponse(WireWriter& writer, const ServeResponse& response) {
   writer.U64(response.stats.steal_failures);
   writer.U8(response.stats.cache_lookup);
   writer.U64(response.stats.cache_tasks_saved);
+  writer.U64(response.snapshot_id);
+  writer.U64(response.snapshot_seq);
   writer.U32(static_cast<uint32_t>(response.impact_halfspaces.size()));
   for (const Halfspace& hs : response.impact_halfspaces) {
     writer.VecField(hs.normal);
@@ -204,7 +212,9 @@ bool ReadResponse(WireReader& reader, ServeResponse* response) {
       !reader.U64(&response->stats.tasks_stolen) ||
       !reader.U64(&response->stats.steal_failures) ||
       !reader.U8(&response->stats.cache_lookup) ||
-      !reader.U64(&response->stats.cache_tasks_saved)) {
+      !reader.U64(&response->stats.cache_tasks_saved) ||
+      !reader.U64(&response->snapshot_id) ||
+      !reader.U64(&response->snapshot_seq)) {
     return false;
   }
   if (status > static_cast<uint8_t>(ServeStatus::kInternalError)) return false;
@@ -290,6 +300,8 @@ ServeResponse ResponseFromResult(const ToprrResult& result) {
   }
   response.stats.cache_lookup = static_cast<uint8_t>(lookup);
   response.stats.cache_tasks_saved = sched.cache_tasks_saved;
+  response.snapshot_id = result.snapshot_id;
+  response.snapshot_seq = result.snapshot_seq;
   return response;
 }
 
@@ -360,6 +372,267 @@ bool DecodeResponseBatch(const std::string& payload,
     return FailDecode(error, "trailing bytes after the last response");
   }
   return true;
+}
+
+const char* MutationStatusName(MutationStatus status) {
+  switch (status) {
+    case MutationStatus::kOk:
+      return "OK";
+    case MutationStatus::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case MutationStatus::kLimitExceeded:
+      return "LIMIT_EXCEEDED";
+    case MutationStatus::kConflict:
+      return "CONFLICT";
+    case MutationStatus::kShutdown:
+      return "SHUTDOWN";
+    case MutationStatus::kInternalError:
+      return "INTERNAL_ERROR";
+  }
+  return "UNKNOWN";
+}
+
+bool PeekHeader(const std::string& payload, FrameHeader* header) {
+  WireReader reader(payload);
+  return reader.U32(&header->magic) && reader.U8(&header->version) &&
+         reader.U8(&header->type);
+}
+
+namespace {
+
+// Shared shape of the three body-less requests (Hello / Publish /
+// CatalogInfo): header + one reserved u32 (0 for now; gives a future
+// minor revision somewhere to put flags without a new message kind).
+std::string EncodeEmptyBody(MessageType type) {
+  std::string payload;
+  WireWriter writer(&payload);
+  WriteHeader(writer, type);
+  writer.U32(0);
+  return payload;
+}
+
+bool DecodeEmptyBody(const std::string& payload, MessageType type,
+                     const char* what, std::string* error) {
+  WireReader reader(payload);
+  if (!ReadHeader(reader, type, error)) return false;
+  uint32_t reserved;
+  if (!reader.U32(&reserved)) {
+    return FailDecode(error, std::string("truncated ") + what);
+  }
+  if (reader.remaining() != 0) {
+    return FailDecode(error,
+                      std::string("trailing bytes after the ") + what);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string EncodeHello() { return EncodeEmptyBody(MessageType::kHello); }
+
+bool DecodeHello(const std::string& payload, std::string* error) {
+  return DecodeEmptyBody(payload, MessageType::kHello, "hello", error);
+}
+
+std::string EncodeServerHello(const ServerHello& hello) {
+  std::string payload;
+  WireWriter writer(&payload);
+  WriteHeader(writer, MessageType::kServerHello);
+  writer.U64(hello.max_frame_payload_bytes);
+  writer.U32(hello.max_inflight_queries);
+  writer.U32(hello.max_staged_mutations);
+  writer.U64(hello.snapshot_id);
+  writer.U64(hello.snapshot_seq);
+  writer.U64(hello.live_rows);
+  writer.U64(hello.physical_rows);
+  writer.U32(hello.dim);
+  return payload;
+}
+
+bool DecodeServerHello(const std::string& payload, ServerHello* hello,
+                       std::string* error) {
+  *hello = ServerHello{};
+  WireReader reader(payload);
+  if (!ReadHeader(reader, MessageType::kServerHello, error)) return false;
+  if (!reader.U64(&hello->max_frame_payload_bytes) ||
+      !reader.U32(&hello->max_inflight_queries) ||
+      !reader.U32(&hello->max_staged_mutations) ||
+      !reader.U64(&hello->snapshot_id) || !reader.U64(&hello->snapshot_seq) ||
+      !reader.U64(&hello->live_rows) || !reader.U64(&hello->physical_rows) ||
+      !reader.U32(&hello->dim)) {
+    return FailDecode(error, "truncated server hello");
+  }
+  if (reader.remaining() != 0) {
+    return FailDecode(error, "trailing bytes after the server hello");
+  }
+  return true;
+}
+
+std::string EncodeStageInsert(const std::vector<Vec>& rows) {
+  std::string payload;
+  WireWriter writer(&payload);
+  WriteHeader(writer, MessageType::kStageInsert);
+  writer.U32(static_cast<uint32_t>(rows.size()));
+  for (const Vec& row : rows) writer.VecField(row);
+  return payload;
+}
+
+bool DecodeStageInsert(const std::string& payload, std::vector<Vec>* rows,
+                       std::string* error) {
+  rows->clear();
+  WireReader reader(payload);
+  if (!ReadHeader(reader, MessageType::kStageInsert, error)) return false;
+  uint32_t count;
+  // Smallest meaningful row: dim prefix + one coordinate.
+  if (!reader.U32(&count) ||
+      !reader.CheckCount(count, sizeof(uint32_t) + sizeof(double))) {
+    return FailDecode(error, "bad staged-row count");
+  }
+  rows->resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    if (!reader.VecField(&(*rows)[i])) {
+      rows->clear();
+      return FailDecode(error,
+                        "truncated or malformed row " + std::to_string(i));
+    }
+  }
+  if (reader.remaining() != 0) {
+    rows->clear();
+    return FailDecode(error, "trailing bytes after the last row");
+  }
+  return true;
+}
+
+std::string EncodeStageDelete(const std::vector<uint64_t>& row_ids) {
+  std::string payload;
+  WireWriter writer(&payload);
+  WriteHeader(writer, MessageType::kStageDelete);
+  writer.U32(static_cast<uint32_t>(row_ids.size()));
+  for (const uint64_t id : row_ids) writer.U64(id);
+  return payload;
+}
+
+bool DecodeStageDelete(const std::string& payload,
+                       std::vector<uint64_t>* row_ids, std::string* error) {
+  row_ids->clear();
+  WireReader reader(payload);
+  if (!ReadHeader(reader, MessageType::kStageDelete, error)) return false;
+  uint32_t count;
+  if (!reader.U32(&count) || !reader.CheckCount(count, sizeof(uint64_t))) {
+    return FailDecode(error, "bad delete-id count");
+  }
+  row_ids->resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    if (!reader.U64(&(*row_ids)[i])) {
+      row_ids->clear();
+      return FailDecode(error, "truncated delete id " + std::to_string(i));
+    }
+  }
+  if (reader.remaining() != 0) {
+    row_ids->clear();
+    return FailDecode(error, "trailing bytes after the last delete id");
+  }
+  return true;
+}
+
+std::string EncodePublish() {
+  return EncodeEmptyBody(MessageType::kPublish);
+}
+
+bool DecodePublish(const std::string& payload, std::string* error) {
+  return DecodeEmptyBody(payload, MessageType::kPublish, "publish", error);
+}
+
+std::string EncodeCatalogInfo() {
+  return EncodeEmptyBody(MessageType::kCatalogInfo);
+}
+
+bool DecodeCatalogInfo(const std::string& payload, std::string* error) {
+  return DecodeEmptyBody(payload, MessageType::kCatalogInfo, "catalog info",
+                         error);
+}
+
+std::string EncodeMutationAck(const MutationAck& ack) {
+  std::string payload;
+  WireWriter writer(&payload);
+  WriteHeader(writer, MessageType::kMutationAck);
+  writer.U8(static_cast<uint8_t>(ack.status));
+  writer.U64(ack.snapshot_id);
+  writer.U64(ack.snapshot_seq);
+  writer.U64(ack.live_rows);
+  writer.U64(ack.physical_rows);
+  writer.U32(ack.staged_inserts);
+  writer.U32(ack.staged_deletes);
+  const uint32_t message_len = static_cast<uint32_t>(
+      std::min<size_t>(ack.message.size(), kMaxAckMessageBytes));
+  writer.U32(message_len);
+  for (uint32_t i = 0; i < message_len; ++i) {
+    writer.U8(static_cast<uint8_t>(ack.message[i]));
+  }
+  return payload;
+}
+
+bool DecodeMutationAck(const std::string& payload, MutationAck* ack,
+                       std::string* error) {
+  *ack = MutationAck{};
+  WireReader reader(payload);
+  if (!ReadHeader(reader, MessageType::kMutationAck, error)) return false;
+  uint8_t status;
+  uint32_t message_len;
+  if (!reader.U8(&status) || !reader.U64(&ack->snapshot_id) ||
+      !reader.U64(&ack->snapshot_seq) || !reader.U64(&ack->live_rows) ||
+      !reader.U64(&ack->physical_rows) || !reader.U32(&ack->staged_inserts) ||
+      !reader.U32(&ack->staged_deletes) || !reader.U32(&message_len)) {
+    return FailDecode(error, "truncated mutation ack");
+  }
+  if (status > static_cast<uint8_t>(MutationStatus::kInternalError)) {
+    return FailDecode(error, "unknown mutation status");
+  }
+  ack->status = static_cast<MutationStatus>(status);
+  if (message_len > kMaxAckMessageBytes ||
+      !reader.CheckCount(message_len, 1)) {
+    return FailDecode(error, "bad ack message length");
+  }
+  ack->message.reserve(message_len);
+  for (uint32_t i = 0; i < message_len; ++i) {
+    uint8_t ch;
+    if (!reader.U8(&ch)) return FailDecode(error, "truncated ack message");
+    ack->message.push_back(static_cast<char>(ch));
+  }
+  if (reader.remaining() != 0) {
+    return FailDecode(error, "trailing bytes after the mutation ack");
+  }
+  return true;
+}
+
+std::string EncodeVersionMismatch(uint8_t server_version,
+                                  uint8_t min_version) {
+  std::string payload;
+  WireWriter writer(&payload);
+  // Hand-rolled header: the version byte is the SERVER's version, which
+  // by definition differs from the peer's; the frozen type byte is what
+  // the peer keys on.
+  writer.U32(kProtocolMagic);
+  writer.U8(server_version);
+  writer.U8(static_cast<uint8_t>(MessageType::kVersionMismatch));
+  writer.U8(min_version);
+  return payload;
+}
+
+bool DecodeVersionMismatch(const std::string& payload,
+                           uint8_t* server_version, uint8_t* min_version) {
+  WireReader reader(payload);
+  uint32_t magic;
+  uint8_t type;
+  if (!reader.U32(&magic) || !reader.U8(server_version) ||
+      !reader.U8(&type) || !reader.U8(min_version)) {
+    return false;
+  }
+  // Any version byte is acceptable -- this frame exists to cross version
+  // boundaries -- but magic and the frozen type byte must match.
+  return magic == kProtocolMagic &&
+         type == static_cast<uint8_t>(MessageType::kVersionMismatch) &&
+         reader.remaining() == 0;
 }
 
 }  // namespace serve

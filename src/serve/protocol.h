@@ -1,5 +1,6 @@
 // Message layer of the serving protocol: binary serialization of
-// ToprrQuery batches and their responses.
+// ToprrQuery batches, their responses, and (since v3) the catalog
+// mutation RPCs.
 //
 // Every frame payload starts with a fixed header (magic, protocol
 // version, message type); the framing layer (serve/framing.h) only moves
@@ -13,6 +14,14 @@
 // -- admission control and budget expiry are explicit statuses, never
 // silence -- plus, for accepted queries, the region constraints and a
 // compact stats block including the scheduler telemetry totals.
+//
+// v3 adds the mutation RPCs (StageInsert / StageDelete / Publish /
+// CatalogInfo, each answered by a MutationAck), a Hello/ServerHello
+// handshake through which the server advertises its version and limits,
+// and the snapshot stamp (content id + monotone publish sequence) on
+// every query response. The read-your-writes contract: a Publish ack
+// carries the new snapshot_seq S, and every response the server sends
+// afterwards -- on any connection -- carries snapshot_seq >= S.
 #ifndef TOPRR_SERVE_PROTOCOL_H_
 #define TOPRR_SERVE_PROTOCOL_H_
 
@@ -30,11 +39,16 @@ namespace serve {
 
 /// First bytes of every payload: "TPRR" read as a little-endian u32.
 constexpr uint32_t kProtocolMagic = 0x52525054;
-/// v2 appended the cache_lookup / cache_tasks_saved stats fields to every
-/// response (the cross-query region cache). The format is not
-/// self-describing, so the bump is breaking by design: a v1 client would
-/// misparse the longer stats block.
-constexpr uint8_t kProtocolVersion = 2;
+/// v3 added the mutation RPC message kinds, the Hello/ServerHello
+/// handshake, and the snapshot stamp (id + seq) trailing every query
+/// response's stats block. The format is not self-describing, so the
+/// bump is breaking by design: a v2 client would misparse the longer
+/// response. Version-mismatched peers are answered with the frozen
+/// kVersionMismatch frame (below) instead of a garbage-frame drop.
+constexpr uint8_t kProtocolVersion = 3;
+/// Oldest version this server generation can still name in a mismatch
+/// reply (purely informational; only kProtocolVersion is spoken).
+constexpr uint8_t kMinProtocolVersion = 3;
 
 /// Hard ceiling on a frame payload; ReadFrame rejects bigger length
 /// prefixes before buffering anything (oversized-frame protection).
@@ -43,6 +57,24 @@ constexpr size_t kMaxFramePayloadBytes = size_t{64} << 20;
 enum class MessageType : uint8_t {
   kQueryBatch = 1,
   kResponseBatch = 2,
+  /// v3 handshake: client opens with kHello, server answers kServerHello
+  /// advertising its version and limits. Optional -- a v3 client may
+  /// send queries without it -- but the only way to learn the limits.
+  kHello = 3,
+  kServerHello = 4,
+  /// v3 mutation RPCs. Staging is per connection; Publish applies the
+  /// connection's staged delta atomically. Each is answered by one
+  /// kMutationAck.
+  kStageInsert = 5,
+  kStageDelete = 6,
+  kPublish = 7,
+  kCatalogInfo = 8,
+  kMutationAck = 9,
+  /// FROZEN across all protocol versions: the reply a server sends when
+  /// the peer's version byte does not match. Layout (magic u32, version
+  /// u8 = the server's version, type u8 = 255, min_version u8) must
+  /// never change, so any client generation can decode the rejection.
+  kVersionMismatch = 255,
 };
 
 /// Per-query outcome carried in every response. Values are wire-stable;
@@ -64,6 +96,26 @@ enum class ServeStatus : uint8_t {
 
 const char* ServeStatusName(ServeStatus status);
 
+/// Per-mutation-RPC outcome. Values are wire-stable; append only.
+enum class MutationStatus : uint8_t {
+  kOk = 0,
+  /// A row/id in the request failed validation (dimension mismatch,
+  /// non-finite value, unknown or dead row id). Nothing was staged.
+  kInvalidArgument = 1,
+  /// Staging the request would exceed the server's per-connection
+  /// staged-delta bound (ServerConfig::max_staged_mutations). Nothing
+  /// was staged; publish (or drop the connection) first.
+  kLimitExceeded = 2,
+  /// Publish only: a staged delete no longer names a live row (another
+  /// writer's publish won). The whole delta was rejected -- it stays
+  /// staged on the connection so the client can amend and retry.
+  kConflict = 3,
+  kShutdown = 4,
+  kInternalError = 5,
+};
+
+const char* MutationStatusName(MutationStatus status);
+
 /// How the cross-query region cache classified a query. Values are
 /// wire-stable; append only.
 enum class CacheLookup : uint8_t {
@@ -72,6 +124,19 @@ enum class CacheLookup : uint8_t {
   kHit = 2,      // served by clipping a cached superset
   kPartial = 3,  // resumed from a cached overlap's frontier
 };
+
+/// The parsed fixed header every payload opens with.
+struct FrameHeader {
+  uint32_t magic = 0;
+  uint8_t version = 0;
+  uint8_t type = 0;
+};
+
+/// Reads the 6-byte header without consuming the payload. Returns false
+/// when the payload is shorter than a header. The header layout is
+/// version-invariant, so this is how the server detects (and cleanly
+/// rejects) frames from other protocol generations.
+bool PeekHeader(const std::string& payload, FrameHeader* header);
 
 /// Compact per-query solve statistics (a stable subset of ToprrStats
 /// plus the scheduler telemetry totals).
@@ -88,7 +153,8 @@ struct ServeQueryStats {
 };
 
 /// One query's response. Only kOk responses carry region payloads; every
-/// response carries the stats block (zeroed when nothing ran).
+/// response carries the stats block (zeroed when nothing ran) and the
+/// snapshot stamp of the version it was answered against.
 struct ServeResponse {
   ServeStatus status = ServeStatus::kInternalError;
   bool degenerate = false;
@@ -96,10 +162,52 @@ struct ServeResponse {
   std::vector<Halfspace> impact_halfspaces;
   std::vector<Vec> vertices;  // when the query asked for geometry
   ServeQueryStats stats;
+  /// Content id of the snapshot this query was solved against (the
+  /// engine's current version for non-solved statuses).
+  uint64_t snapshot_id = 0;
+  /// Monotone publish sequence of that snapshot. Per connection the
+  /// server guarantees: every response in frame N+1 has snapshot_seq >=
+  /// every response in frame N, and >= the seq of any publish this
+  /// connection was acked before frame N+1 (read-your-writes).
+  uint64_t snapshot_seq = 0;
+};
+
+/// The server side of the v3 handshake: version (in the header) plus
+/// the limits a well-behaved client needs to stay under.
+struct ServerHello {
+  uint64_t max_frame_payload_bytes = 0;
+  uint32_t max_inflight_queries = 0;
+  /// Per-connection staged-delta bound (inserts + deletes).
+  uint32_t max_staged_mutations = 0;
+  uint64_t snapshot_id = 0;
+  uint64_t snapshot_seq = 0;
+  /// Live rows / physical rows / dimension of the served snapshot.
+  uint64_t live_rows = 0;
+  uint64_t physical_rows = 0;
+  uint32_t dim = 0;
+};
+
+/// The answer to every mutation RPC. `snapshot_*` is the version the
+/// server is serving after the RPC (for a successful Publish: the newly
+/// published one -- SyncCatalog has already run when the ack is sent).
+struct MutationAck {
+  MutationStatus status = MutationStatus::kInternalError;
+  uint64_t snapshot_id = 0;
+  uint64_t snapshot_seq = 0;
+  uint64_t live_rows = 0;
+  /// Physical rows of the served snapshot. A single writer can derive
+  /// the ids its published inserts received: the previous physical row
+  /// count counts up.
+  uint64_t physical_rows = 0;
+  /// This connection's staged-delta sizes after the RPC.
+  uint32_t staged_inserts = 0;
+  uint32_t staged_deletes = 0;
+  /// One-line diagnostic for non-kOk statuses (capped on the wire).
+  std::string message;
 };
 
 /// Builds a response from a finished solve (status chosen from the
-/// result's timed_out/cancelled flags).
+/// result's timed_out/cancelled flags; snapshot stamp copied through).
 ServeResponse ResponseFromResult(const ToprrResult& result);
 
 /// Serializes a query batch into a frame payload (header included).
@@ -118,6 +226,36 @@ std::string EncodeResponseBatch(const std::vector<ServeResponse>& responses);
 bool DecodeResponseBatch(const std::string& payload,
                          std::vector<ServeResponse>* responses,
                          std::string* error);
+
+/// Handshake frames.
+std::string EncodeHello();
+bool DecodeHello(const std::string& payload, std::string* error);
+std::string EncodeServerHello(const ServerHello& hello);
+bool DecodeServerHello(const std::string& payload, ServerHello* hello,
+                       std::string* error);
+
+/// Mutation RPC requests. StageDelete carries physical row ids.
+std::string EncodeStageInsert(const std::vector<Vec>& rows);
+bool DecodeStageInsert(const std::string& payload, std::vector<Vec>* rows,
+                       std::string* error);
+std::string EncodeStageDelete(const std::vector<uint64_t>& row_ids);
+bool DecodeStageDelete(const std::string& payload,
+                       std::vector<uint64_t>* row_ids, std::string* error);
+std::string EncodePublish();
+bool DecodePublish(const std::string& payload, std::string* error);
+std::string EncodeCatalogInfo();
+bool DecodeCatalogInfo(const std::string& payload, std::string* error);
+std::string EncodeMutationAck(const MutationAck& ack);
+bool DecodeMutationAck(const std::string& payload, MutationAck* ack,
+                       std::string* error);
+
+/// The frozen version-mismatch frame (layout documented at
+/// kVersionMismatch). Decode accepts ANY version byte -- that is the
+/// point -- and reports the server's advertised versions back.
+std::string EncodeVersionMismatch(uint8_t server_version,
+                                  uint8_t min_version);
+bool DecodeVersionMismatch(const std::string& payload,
+                           uint8_t* server_version, uint8_t* min_version);
 
 }  // namespace serve
 }  // namespace toprr

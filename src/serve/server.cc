@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <cstring>
 #include <thread>
+#include <unordered_set>
 #include <utility>
 
 #include <arpa/inet.h>
@@ -33,17 +35,20 @@ bool QueryIsSolvable(size_t live_rows, size_t dim,
   return query.region.dim() + 1 == dim;
 }
 
+// The stream is still in sync (framing was intact) but the payload did
+// not parse as anything actionable: a one-response batch with the
+// explicit malformed marker, so the client sees a reply, not a hang.
+std::string MalformedMarkerReply() {
+  ServeResponse malformed;
+  malformed.status = ServeStatus::kMalformed;
+  return EncodeResponseBatch({malformed});
+}
+
 }  // namespace
 
-ToprrServer::ToprrServer(const Dataset* data, ServerConfig config)
-    : config_(std::move(config)), engine_(data) {
-  if (config_.use_region_cache) {
-    RegionCacheConfig cache_config;
-    cache_config.byte_budget = config_.region_cache_budget_bytes;
-    cache_config.quantum = config_.region_cache_quantum;
-    engine_.EnableRegionCache(cache_config);
-  }
-}
+ToprrServer::ToprrServer(SnapshotPtr snapshot, ServerConfig config)
+    : ToprrServer(std::make_shared<MutableCatalog>(std::move(snapshot)),
+                  std::move(config)) {}
 
 ToprrServer::ToprrServer(std::shared_ptr<MutableCatalog> catalog,
                          ServerConfig config)
@@ -59,7 +64,7 @@ ToprrServer::ToprrServer(std::shared_ptr<MutableCatalog> catalog,
 }
 
 uint64_t ToprrServer::SyncCatalog() {
-  if (catalog_ != nullptr) engine_.SetSnapshot(catalog_->Current());
+  engine_.SetSnapshot(catalog_->Current());
   return engine_.snapshot_id();
 }
 
@@ -273,9 +278,228 @@ std::vector<ServeResponse> ToprrServer::SolveAdmitted(
   return responses;
 }
 
+std::string ToprrServer::HandleQueryBatch(const std::string& payload) {
+  std::vector<ToprrQuery> queries;
+  std::string decode_error;
+  if (!DecodeQueryBatch(payload, &queries, &decode_error)) {
+    stats_.OnProtocolError();
+    LOG(WARNING) << "malformed query batch: " << decode_error;
+    return MalformedMarkerReply();
+  }
+  stats_.OnQueriesReceived(queries.size());
+
+  // Per-query validation, then all-or-nothing admission of the
+  // solvable remainder. The bounds are sampled once per frame; a
+  // SyncCatalog racing with admission is harmless -- physical rows
+  // never shrink, so a query validated here cannot trip the engine's
+  // hard bound even if a delete publishes before its solve pins.
+  const size_t live_rows = engine_.dataset_rows();
+  const size_t data_dim = engine_.dataset_dim();
+  std::vector<ServeResponse> responses(queries.size());
+  std::vector<size_t> solvable;
+  solvable.reserve(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (QueryIsSolvable(live_rows, data_dim, queries[i])) {
+      solvable.push_back(i);
+    } else {
+      responses[i].status = ServeStatus::kMalformed;
+    }
+  }
+  if (!solvable.empty()) {
+    if (stopping_.load(std::memory_order_acquire)) {
+      for (size_t i : solvable) {
+        responses[i].status = ServeStatus::kShutdown;
+        stats_.OnQueryCancelled();
+      }
+    } else if (!TryAdmitQueries(solvable.size())) {
+      for (size_t i : solvable) {
+        responses[i].status = ServeStatus::kRejectedOverload;
+      }
+      stats_.OnQueriesRejectedOverload(solvable.size());
+    } else {
+      std::vector<ToprrQuery> admitted;
+      admitted.reserve(solvable.size());
+      for (size_t i : solvable) admitted.push_back(queries[i]);
+      std::vector<ServeResponse> solved = SolveAdmitted(std::move(admitted));
+      ReleaseQueries(solvable.size());
+      for (size_t j = 0; j < solvable.size(); ++j) {
+        responses[solvable[j]] = std::move(solved[j]);
+      }
+    }
+  }
+
+  // Responses that never reached a solve (malformed, rejected, shutdown)
+  // carry the engine's current version stamp, so every response on a
+  // connection participates in the monotone snapshot_seq stream. A solve
+  // pinned before a concurrent publish may stamp an older seq than a
+  // rejection stamped here after it -- still monotone across frames,
+  // which is the contract.
+  const SnapshotPtr snap = engine_.snapshot();
+  for (ServeResponse& response : responses) {
+    if (response.snapshot_id == 0) {
+      response.snapshot_id = snap->id();
+      response.snapshot_seq = snap->seq();
+    }
+  }
+
+  std::string reply = EncodeResponseBatch(responses);
+  if (reply.size() > config_.max_frame_payload_bytes) {
+    // The client's ReadFrame would reject this as oversized and tear
+    // the connection down, discarding solved work. Degrade instead:
+    // drop the vertex geometry first (the halfspace description stays
+    // exact), then the payloads entirely (stats survive).
+    for (ServeResponse& response : responses) {
+      if (!response.vertices.empty()) {
+        response.vertices.clear();
+        response.geometry_skipped = true;
+      }
+    }
+    reply = EncodeResponseBatch(responses);
+    if (reply.size() > config_.max_frame_payload_bytes) {
+      for (ServeResponse& response : responses) {
+        response.impact_halfspaces.clear();
+        if (response.status == ServeStatus::kOk) {
+          response.status = ServeStatus::kInternalError;
+        }
+      }
+      reply = EncodeResponseBatch(responses);
+    }
+  }
+  return reply;
+}
+
+MutationAck ToprrServer::StampAck(MutationStatus status,
+                                  const MutationSession& session,
+                                  std::string message) {
+  MutationAck ack;
+  ack.status = status;
+  const SnapshotPtr snap = engine_.snapshot();
+  ack.snapshot_id = snap->id();
+  ack.snapshot_seq = snap->seq();
+  ack.live_rows = snap->live_rows();
+  ack.physical_rows = snap->rows();
+  ack.staged_inserts = static_cast<uint32_t>(session.rows.size());
+  ack.staged_deletes = static_cast<uint32_t>(session.deletes.size());
+  ack.message = std::move(message);
+  return ack;
+}
+
+MutationAck ToprrServer::HandleStageInsert(MutationSession* session,
+                                           std::vector<Vec> rows) {
+  // Validate the whole frame before staging any of it: admission is
+  // all-or-nothing, so a rejected frame leaves the session untouched.
+  const size_t dim = engine_.dataset_dim();
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (rows[i].dim() != dim) {
+      stats_.OnMutationsRejected(rows.size());
+      return StampAck(MutationStatus::kInvalidArgument, *session,
+                      "row " + std::to_string(i) + " has dimension " +
+                          std::to_string(rows[i].dim()) + ", dataset is " +
+                          std::to_string(dim));
+    }
+    for (const double value : rows[i]) {
+      if (!std::isfinite(value)) {
+        stats_.OnMutationsRejected(rows.size());
+        return StampAck(MutationStatus::kInvalidArgument, *session,
+                        "row " + std::to_string(i) +
+                            " has a non-finite coordinate");
+      }
+    }
+  }
+  if (session->size() + rows.size() > config_.max_staged_mutations) {
+    stats_.OnMutationsRejected(rows.size());
+    return StampAck(MutationStatus::kLimitExceeded, *session,
+                    "staged-delta bound is " +
+                        std::to_string(config_.max_staged_mutations));
+  }
+  session->rows.insert(session->rows.end(),
+                       std::make_move_iterator(rows.begin()),
+                       std::make_move_iterator(rows.end()));
+  stats_.OnMutationsStaged(rows.size());
+  return StampAck(MutationStatus::kOk, *session);
+}
+
+MutationAck ToprrServer::HandleStageDelete(MutationSession* session,
+                                           std::vector<uint64_t> row_ids) {
+  // Validated against the currently served snapshot; a row that dies
+  // between staging and Publish is caught again there (kConflict).
+  const SnapshotPtr snap = engine_.snapshot();
+  std::unordered_set<uint64_t> seen(session->deletes.begin(),
+                                    session->deletes.end());
+  for (size_t i = 0; i < row_ids.size(); ++i) {
+    const uint64_t id = row_ids[i];
+    if (id >= snap->rows() || !snap->IsLive(id)) {
+      stats_.OnMutationsRejected(row_ids.size());
+      return StampAck(MutationStatus::kInvalidArgument, *session,
+                      "row id " + std::to_string(id) +
+                          " is unknown or not live");
+    }
+    if (!seen.insert(id).second) {
+      stats_.OnMutationsRejected(row_ids.size());
+      return StampAck(MutationStatus::kInvalidArgument, *session,
+                      "row id " + std::to_string(id) +
+                          " staged for deletion twice");
+    }
+  }
+  if (session->size() + row_ids.size() > config_.max_staged_mutations) {
+    stats_.OnMutationsRejected(row_ids.size());
+    return StampAck(MutationStatus::kLimitExceeded, *session,
+                    "staged-delta bound is " +
+                        std::to_string(config_.max_staged_mutations));
+  }
+  session->deletes.insert(session->deletes.end(), row_ids.begin(),
+                          row_ids.end());
+  stats_.OnMutationsStaged(row_ids.size());
+  return StampAck(MutationStatus::kOk, *session);
+}
+
+MutationAck ToprrServer::HandlePublish(MutationSession* session) {
+  if (stopping_.load(std::memory_order_acquire)) {
+    stats_.OnPublishRejected();
+    return StampAck(MutationStatus::kShutdown, *session,
+                    "server shutting down");
+  }
+  if (session->size() == 0) {
+    // Idempotent no-op: ack the currently served version.
+    return StampAck(MutationStatus::kOk, *session);
+  }
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  // Re-validate the delete set against the snapshot this publish will
+  // build on: another connection's publish may have tombstoned a row
+  // since it was staged here. Rows were fully validated at staging time
+  // (dimension, finiteness) and the delete set is unique, so past this
+  // check the stage + publish below cannot fail partway -- which is what
+  // makes wire publishes all-or-nothing without catalog rollback.
+  const SnapshotPtr base = catalog_->Current();
+  for (const uint64_t id : session->deletes) {
+    if (id >= base->rows() || !base->IsLive(id)) {
+      stats_.OnPublishRejected();
+      return StampAck(MutationStatus::kConflict, *session,
+                      "row id " + std::to_string(id) +
+                          " is no longer live; delta kept staged");
+    }
+  }
+  for (const Vec& row : session->rows) catalog_->StageInsert(row);
+  for (const uint64_t id : session->deletes) {
+    if (!catalog_->StageDelete(static_cast<int>(id))) {
+      // Only reachable when an external writer races the wire path on a
+      // shared catalog; the delete validated moments ago.
+      LOG(WARNING) << "staged delete of row " << id
+                   << " rejected by the catalog (external writer race)";
+    }
+  }
+  catalog_->Publish();
+  SyncCatalog();
+  stats_.OnPublishApplied();
+  session->rows.clear();
+  session->deletes.clear();
+  return StampAck(MutationStatus::kOk, *session);
+}
+
 void ToprrServer::ServeConnection(int fd) {
   FdStream stream(fd);
   std::string payload;
+  MutationSession session;
   while (!stopping_.load(std::memory_order_acquire)) {
     const FrameReadStatus read_status =
         ReadFrame(stream, &payload, config_.max_frame_payload_bytes);
@@ -293,86 +517,115 @@ void ToprrServer::ServeConnection(int fd) {
     }
     stats_.OnFrameReceived(payload.size() + 4);
 
-    std::vector<ToprrQuery> queries;
+    // Dispatch on the version-invariant header. Bad magic or a short
+    // payload keeps the connection (framing is still in sync); a foreign
+    // protocol version gets the frozen rejection frame and a close --
+    // nothing else we send would parse on the peer's side.
+    FrameHeader header;
+    bool close_connection = false;
+    std::string reply;
     std::string decode_error;
-    if (!DecodeQueryBatch(payload, &queries, &decode_error)) {
-      // Framing was intact, so the stream is still in sync: answer with
-      // an explicit malformed-marker and keep the connection.
+    if (!PeekHeader(payload, &header) || header.magic != kProtocolMagic) {
       stats_.OnProtocolError();
-      LOG(WARNING) << "malformed query batch: " << decode_error;
-      ServeResponse malformed;
-      malformed.status = ServeStatus::kMalformed;
-      const std::string reply = EncodeResponseBatch({malformed});
-      if (!WriteFrame(stream, reply)) return;
-      stats_.OnBytesSent(reply.size() + 4);
-      continue;
-    }
-    stats_.OnQueriesReceived(queries.size());
-
-    // Per-query validation, then all-or-nothing admission of the
-    // solvable remainder. The bounds are sampled once per frame; a
-    // SyncCatalog racing with admission is harmless -- physical rows
-    // never shrink, so a query validated here cannot trip the engine's
-    // hard bound even if a delete publishes before its solve pins.
-    const size_t live_rows = engine_.dataset_rows();
-    const size_t data_dim = engine_.dataset_dim();
-    std::vector<ServeResponse> responses(queries.size());
-    std::vector<size_t> solvable;
-    solvable.reserve(queries.size());
-    for (size_t i = 0; i < queries.size(); ++i) {
-      if (QueryIsSolvable(live_rows, data_dim, queries[i])) {
-        solvable.push_back(i);
-      } else {
-        responses[i].status = ServeStatus::kMalformed;
-      }
-    }
-    if (!solvable.empty()) {
-      if (stopping_.load(std::memory_order_acquire)) {
-        for (size_t i : solvable) {
-          responses[i].status = ServeStatus::kShutdown;
-          stats_.OnQueryCancelled();
-        }
-      } else if (!TryAdmitQueries(solvable.size())) {
-        for (size_t i : solvable) {
-          responses[i].status = ServeStatus::kRejectedOverload;
-        }
-        stats_.OnQueriesRejectedOverload(solvable.size());
-      } else {
-        std::vector<ToprrQuery> admitted;
-        admitted.reserve(solvable.size());
-        for (size_t i : solvable) admitted.push_back(queries[i]);
-        std::vector<ServeResponse> solved =
-            SolveAdmitted(std::move(admitted));
-        ReleaseQueries(solvable.size());
-        for (size_t j = 0; j < solvable.size(); ++j) {
-          responses[solvable[j]] = std::move(solved[j]);
-        }
-      }
-    }
-
-    std::string reply = EncodeResponseBatch(responses);
-    if (reply.size() > config_.max_frame_payload_bytes) {
-      // The client's ReadFrame would reject this as oversized and tear
-      // the connection down, discarding solved work. Degrade instead:
-      // drop the vertex geometry first (the halfspace description stays
-      // exact), then the payloads entirely (stats survive).
-      for (ServeResponse& response : responses) {
-        if (!response.vertices.empty()) {
-          response.vertices.clear();
-          response.geometry_skipped = true;
-        }
-      }
-      reply = EncodeResponseBatch(responses);
-      if (reply.size() > config_.max_frame_payload_bytes) {
-        for (ServeResponse& response : responses) {
-          response.impact_halfspaces.clear();
-          if (response.status == ServeStatus::kOk) {
-            response.status = ServeStatus::kInternalError;
+      LOG(WARNING) << "malformed frame: bad or short header";
+      reply = MalformedMarkerReply();
+    } else if (header.version != kProtocolVersion) {
+      stats_.OnVersionMismatch();
+      stats_.OnProtocolError();
+      LOG(WARNING) << "closing connection: peer spoke protocol v"
+                   << static_cast<int>(header.version)
+                   << ", this server is v"
+                   << static_cast<int>(kProtocolVersion);
+      reply = EncodeVersionMismatch(kProtocolVersion, kMinProtocolVersion);
+      close_connection = true;
+    } else {
+      switch (static_cast<MessageType>(header.type)) {
+        case MessageType::kQueryBatch:
+          reply = HandleQueryBatch(payload);
+          break;
+        case MessageType::kHello: {
+          if (!DecodeHello(payload, &decode_error)) {
+            stats_.OnProtocolError();
+            LOG(WARNING) << "malformed hello: " << decode_error;
+            reply = MalformedMarkerReply();
+            break;
           }
+          const SnapshotPtr snap = engine_.snapshot();
+          ServerHello hello;
+          hello.max_frame_payload_bytes = config_.max_frame_payload_bytes;
+          hello.max_inflight_queries =
+              static_cast<uint32_t>(config_.max_inflight_queries);
+          hello.max_staged_mutations =
+              static_cast<uint32_t>(config_.max_staged_mutations);
+          hello.snapshot_id = snap->id();
+          hello.snapshot_seq = snap->seq();
+          hello.live_rows = snap->live_rows();
+          hello.physical_rows = snap->rows();
+          hello.dim = static_cast<uint32_t>(snap->dim());
+          reply = EncodeServerHello(hello);
+          break;
         }
-        reply = EncodeResponseBatch(responses);
+        case MessageType::kStageInsert: {
+          std::vector<Vec> rows;
+          if (!DecodeStageInsert(payload, &rows, &decode_error)) {
+            stats_.OnProtocolError();
+            reply = EncodeMutationAck(
+                StampAck(MutationStatus::kInvalidArgument, session,
+                         decode_error));
+            break;
+          }
+          reply = EncodeMutationAck(
+              HandleStageInsert(&session, std::move(rows)));
+          break;
+        }
+        case MessageType::kStageDelete: {
+          std::vector<uint64_t> row_ids;
+          if (!DecodeStageDelete(payload, &row_ids, &decode_error)) {
+            stats_.OnProtocolError();
+            reply = EncodeMutationAck(
+                StampAck(MutationStatus::kInvalidArgument, session,
+                         decode_error));
+            break;
+          }
+          reply = EncodeMutationAck(
+              HandleStageDelete(&session, std::move(row_ids)));
+          break;
+        }
+        case MessageType::kPublish: {
+          if (!DecodePublish(payload, &decode_error)) {
+            stats_.OnProtocolError();
+            reply = EncodeMutationAck(
+                StampAck(MutationStatus::kInvalidArgument, session,
+                         decode_error));
+            break;
+          }
+          reply = EncodeMutationAck(HandlePublish(&session));
+          break;
+        }
+        case MessageType::kCatalogInfo: {
+          if (!DecodeCatalogInfo(payload, &decode_error)) {
+            stats_.OnProtocolError();
+            reply = EncodeMutationAck(
+                StampAck(MutationStatus::kInvalidArgument, session,
+                         decode_error));
+            break;
+          }
+          reply = EncodeMutationAck(
+              StampAck(MutationStatus::kOk, session));
+          break;
+        }
+        default:
+          // A v3 frame of a kind the server never accepts (a response
+          // kind, or from a future minor). Stream is in sync: marker,
+          // keep the connection.
+          stats_.OnProtocolError();
+          LOG(WARNING) << "unexpected message type "
+                       << static_cast<int>(header.type);
+          reply = MalformedMarkerReply();
+          break;
       }
     }
+
     if (!WriteFrame(stream, reply)) {
       if (!stopping_.load(std::memory_order_acquire)) {
         stats_.OnProtocolError();
@@ -381,6 +634,7 @@ void ToprrServer::ServeConnection(int fd) {
       return;
     }
     stats_.OnBytesSent(reply.size() + 4);
+    if (close_connection) return;
   }
 }
 

@@ -1,16 +1,28 @@
-// ToprrServer: a long-lived TCP front-end over ToprrEngine::SolveBatch.
+// ToprrServer: a long-lived TCP front-end over ToprrEngine::SolveBatch
+// and, since protocol v3, over the catalog mutation path.
 //
-// One server owns one engine over a snapshot-versioned dataset
-// (data/snapshot.h): construct it from a MutableCatalog to serve a live
-// catalog (publish + SyncCatalog moves traffic to the new version with
-// queries in flight -- each pins its snapshot), or from a raw Dataset*
-// for the legacy fixed-table deployment. Clients connect over TCP and
-// exchange length-prefixed frames (serve/framing.h): each request frame
-// carries a ToprrQuery batch, each reply frame the positionally aligned
-// responses. A connection serves any number of
-// request frames sequentially; concurrency comes from concurrent
-// connections, which all feed the one engine and its shared skyband
-// cache.
+// One server owns one engine AND one MutableCatalog over a
+// snapshot-versioned dataset (data/snapshot.h). Clients connect over TCP
+// and exchange length-prefixed frames (serve/framing.h); each payload is
+// dispatched on its v3 header type: query batches, the Hello/ServerHello
+// handshake, and the mutation RPCs (StageInsert / StageDelete / Publish /
+// CatalogInfo). A connection serves any number of frames sequentially;
+// concurrency comes from concurrent connections, which all feed the one
+// engine and its shared skyband cache.
+//
+// Frames whose header carries a foreign protocol version are answered
+// with the frozen kVersionMismatch frame and the connection is closed --
+// an old client gets a decodable rejection, never a garbage frame.
+//
+// Mutation model: each connection buffers its staged rows/deletes
+// locally (bounded by ServerConfig::max_staged_mutations, all-or-nothing
+// per frame). Publish takes a server-wide publish mutex, pre-validates
+// the whole delta against the current snapshot, stages it into the
+// catalog, publishes, and runs SyncCatalog() before acking -- so a
+// Publish ack carrying snapshot_seq S promises every later response
+// (any connection) carries seq >= S: read-your-writes. A conflicting
+// delta (a staged delete lost a race with another writer's publish) is
+// rejected whole and stays staged on the connection for amendment.
 //
 // Admission control: the server maintains a bounded in-flight query
 // count (ServerConfig::max_inflight_queries). A batch is admitted
@@ -70,6 +82,12 @@ struct ServerConfig {
   /// Frames with a longer length prefix are rejected before buffering.
   size_t max_frame_payload_bytes = kMaxFramePayloadBytes;
 
+  /// Per-connection staged-delta bound: staged inserts + staged deletes.
+  /// A StageInsert/StageDelete frame that would push a connection past it
+  /// is rejected whole with kLimitExceeded (nothing from the frame is
+  /// staged) -- publish or drop the connection to reclaim the budget.
+  size_t max_staged_mutations = 4096;
+
   /// Enables the engine's cross-query region cache
   /// (core/region_cache.h) and opts every admitted query into it.
   /// Server-side policy only -- nothing on the wire selects caching, so
@@ -85,14 +103,19 @@ struct ServerConfig {
 
 class ToprrServer {
  public:
-  /// Legacy fixed-table form: the dataset must outlive the server and
-  /// stay immutable (the engine copies it into a root snapshot).
-  ToprrServer(const Dataset* data, ServerConfig config);
+  /// Serves `snapshot` as the root of a server-owned MutableCatalog;
+  /// protocol-v3 mutation RPCs publish successors onto it. The canonical
+  /// fixed-table construction is
+  ///   ToprrServer server(DatasetSnapshot::FromDataset(data), config);
+  /// (the pre-snapshot Dataset* constructor was removed with the engine's
+  /// legacy ownership model).
+  ToprrServer(SnapshotPtr snapshot, ServerConfig config);
 
-  /// Live-catalog form: serves catalog->Current() and follows later
-  /// publishes via SyncCatalog(). The writer stages/publishes on the
-  /// catalog from any thread; queries in flight when SyncCatalog lands
-  /// finish on their pinned snapshot.
+  /// Shared-catalog form: serves catalog->Current() and follows later
+  /// publishes via SyncCatalog(). An external writer may stage/publish on
+  /// the catalog from any thread alongside the wire mutation path --
+  /// MutableCatalog serializes writers internally; queries in flight when
+  /// a publish lands finish on their pinned snapshot.
   ToprrServer(std::shared_ptr<MutableCatalog> catalog, ServerConfig config);
 
   ToprrServer(const ToprrServer&) = delete;
@@ -123,15 +146,41 @@ class ToprrServer {
   void WarmSkyband(int k) { engine_.KSkyband(k); }
 
   /// Moves the engine onto the catalog's current snapshot (no-op when
-  /// already there, or on Dataset-constructed servers). Call after
-  /// MutableCatalog::Publish to make the new version visible to queries.
-  /// Returns the snapshot id now being served. Safe at any time: this is
-  /// the serve-side half of the snapshot contract, no quiescing needed.
+  /// already there). The wire Publish path calls this itself before
+  /// acking; call it manually after an external MutableCatalog::Publish
+  /// to make that version visible to queries. Returns the snapshot id
+  /// now being served. Safe at any time: this is the serve-side half of
+  /// the snapshot contract, no quiescing needed.
   uint64_t SyncCatalog();
 
  private:
+  /// One connection's locally buffered mutation delta (not yet in the
+  /// catalog). Dropped with the connection if never published.
+  struct MutationSession {
+    std::vector<Vec> rows;           // staged inserts
+    std::vector<uint64_t> deletes;   // staged physical row ids
+    size_t size() const { return rows.size() + deletes.size(); }
+  };
+
   void AcceptLoop();
   void ServeConnection(int fd);
+
+  /// Handles one decoded query-batch payload; returns the encoded reply
+  /// frame (admission, solving, and oversized-reply degradation inside).
+  std::string HandleQueryBatch(const std::string& payload);
+
+  /// Mutation RPC bodies. Each returns the ack to send; session state is
+  /// mutated only on kOk.
+  MutationAck HandleStageInsert(MutationSession* session,
+                                std::vector<Vec> rows);
+  MutationAck HandleStageDelete(MutationSession* session,
+                                std::vector<uint64_t> row_ids);
+  MutationAck HandlePublish(MutationSession* session);
+
+  /// An ack stamped with the engine's current snapshot and the session's
+  /// post-RPC staged sizes.
+  MutationAck StampAck(MutationStatus status, const MutationSession& session,
+                       std::string message = std::string());
 
   /// All-or-nothing admission of `count` queries against the in-flight
   /// bound. Returns true when admitted; the caller must ReleaseQueries.
@@ -144,10 +193,16 @@ class ToprrServer {
 
   const ServerConfig config_;
   // Declared before engine_: the engine is seeded from
-  // catalog_->Current() in the member-init list.
-  std::shared_ptr<MutableCatalog> catalog_;  // null on Dataset-built servers
+  // catalog_->Current() in the member-init list. Never null.
+  std::shared_ptr<MutableCatalog> catalog_;
   ToprrEngine engine_;
   ServerStats stats_;
+
+  /// Serializes the validate + stage + publish + SyncCatalog critical
+  /// section of wire publishes, so pre-validation stays true while the
+  /// delta is applied and the catalog's staging area is empty between
+  /// wire publishes.
+  std::mutex publish_mu_;
 
   int listen_fd_ = -1;
   int port_ = 0;

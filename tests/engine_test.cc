@@ -24,7 +24,7 @@ PrefBox Box(std::initializer_list<double> lo, std::initializer_list<double> hi) 
 TEST(EngineTest, SkybandIsCachedAndCorrect) {
   const Dataset ds = GenerateSynthetic(2000, 3, Distribution::kIndependent,
                                        42);
-  ToprrEngine engine(&ds);
+  ToprrEngine engine(DatasetSnapshot::FromDataset(ds));
   const std::vector<int>& first = engine.KSkyband(5);
   EXPECT_EQ(first, SortBasedKSkyband(ds, 5));
   // Second call returns the same cached object.
@@ -38,7 +38,7 @@ TEST(EngineTest, SkybandIsCachedAndCorrect) {
 TEST(EngineTest, SolveMatchesDirectSolve) {
   const Dataset ds = GenerateSynthetic(3000, 3, Distribution::kIndependent,
                                        43);
-  ToprrEngine engine(&ds);
+  ToprrEngine engine(DatasetSnapshot::FromDataset(ds));
   Rng rng(44);
   for (int trial = 0; trial < 4; ++trial) {
     const PrefBox box = RandomPrefBox(2, 0.03, rng);
@@ -64,7 +64,7 @@ TEST(EngineTest, RepeatedQueriesFilterWithinSkyband) {
   // same filter set as the full-dataset scan.
   const Dataset ds = GenerateSynthetic(5000, 4,
                                        Distribution::kAnticorrelated, 45);
-  ToprrEngine engine(&ds);
+  ToprrEngine engine(DatasetSnapshot::FromDataset(ds));
   Rng rng(46);
   const PrefBox box = RandomPrefBox(3, 0.02, rng);
   const ToprrResult a = engine.Solve(10, box);
@@ -76,7 +76,7 @@ TEST(EngineTest, RepeatedQueriesFilterWithinSkyband) {
 TEST(EngineTest, PolytopeRegionOverload) {
   const Dataset ds = GenerateSynthetic(1000, 3, Distribution::kIndependent,
                                        47);
-  ToprrEngine engine(&ds);
+  ToprrEngine engine(DatasetSnapshot::FromDataset(ds));
   const PrefBox box = Box({0.2, 0.2}, {0.25, 0.25});
   const ToprrResult via_box = engine.Solve(5, box);
   const ToprrResult via_region = engine.Solve(5, PrefRegion::FromBox(box));
@@ -105,7 +105,7 @@ void ExpectSameRegion(const ToprrResult& a, const ToprrResult& b) {
 TEST(EngineTest, SolveBatchMatchesIndividualSolves) {
   const Dataset ds = GenerateSynthetic(1500, 3, Distribution::kIndependent,
                                        49);
-  ToprrEngine engine(&ds);
+  ToprrEngine engine(DatasetSnapshot::FromDataset(ds));
   Rng rng(50);
   std::vector<ToprrQuery> queries;
   for (int i = 0; i < 12; ++i) {
@@ -126,7 +126,7 @@ TEST(EngineTest, SolveBatchMatchesIndividualSolves) {
 TEST(EngineTest, SolveBatchSequentialAndParallelAgree) {
   const Dataset ds = GenerateSynthetic(1000, 4, Distribution::kCorrelated,
                                        51);
-  ToprrEngine engine(&ds);
+  ToprrEngine engine(DatasetSnapshot::FromDataset(ds));
   Rng rng(52);
   std::vector<ToprrQuery> queries;
   for (int i = 0; i < 8; ++i) {
@@ -147,7 +147,7 @@ TEST(EngineTest, SolveBatchWithRegionLevelParallelismComposes) {
   // active at once must stay correct (the pool saturates gracefully).
   const Dataset ds = GenerateSynthetic(800, 3, Distribution::kIndependent,
                                        53);
-  ToprrEngine engine(&ds);
+  ToprrEngine engine(DatasetSnapshot::FromDataset(ds));
   Rng rng(54);
   std::vector<ToprrQuery> queries;
   for (int i = 0; i < 6; ++i) {
@@ -173,7 +173,7 @@ TEST(EngineTest, SolveBatchSurfacesSchedulerTelemetry) {
   // when the batch dispatch saturates the pool.
   const Dataset ds = GenerateSynthetic(900, 3, Distribution::kIndependent,
                                        58);
-  ToprrEngine engine(&ds);
+  ToprrEngine engine(DatasetSnapshot::FromDataset(ds));
   Rng rng(59);
   std::vector<ToprrQuery> queries;
   for (int i = 0; i < 5; ++i) {
@@ -195,14 +195,14 @@ TEST(EngineTest, SolveBatchSurfacesSchedulerTelemetry) {
 TEST(EngineTest, SolveBatchEmpty) {
   const Dataset ds = GenerateSynthetic(100, 3, Distribution::kIndependent,
                                        55);
-  ToprrEngine engine(&ds);
+  ToprrEngine engine(DatasetSnapshot::FromDataset(ds));
   EXPECT_TRUE(engine.SolveBatch({}, 4).empty());
 }
 
 TEST(EngineTest, ConcurrentSolvesShareTheCache) {
   const Dataset ds = GenerateSynthetic(1200, 3, Distribution::kIndependent,
                                        56);
-  ToprrEngine engine(&ds);
+  ToprrEngine engine(DatasetSnapshot::FromDataset(ds));
   Rng rng(57);
   // Same k across all queries: every worker hits the same cache entry.
   std::vector<ToprrQuery> queries;
@@ -225,7 +225,7 @@ TEST(EngineTest, SolveBatchMixedKBuildsSkybandsConcurrently) {
   // direct computation.
   const Dataset ds = GenerateSynthetic(2500, 3, Distribution::kAnticorrelated,
                                        58);
-  ToprrEngine engine(&ds);
+  ToprrEngine engine(DatasetSnapshot::FromDataset(ds));
   Rng rng(59);
   std::vector<ToprrQuery> queries;
   const int ks[] = {1, 3, 5, 8, 12, 3, 8, 1, 12, 5, 7, 2};
@@ -236,7 +236,7 @@ TEST(EngineTest, SolveBatchMixedKBuildsSkybandsConcurrently) {
   ASSERT_EQ(batch.size(), queries.size());
   for (size_t i = 0; i < queries.size(); ++i) {
     ASSERT_FALSE(batch[i].timed_out) << "query " << i;
-    ToprrEngine cold(&ds);
+    ToprrEngine cold(DatasetSnapshot::FromDataset(ds));
     const ToprrResult reference = cold.Solve(queries[i]);
     EXPECT_EQ(batch[i].impact_halfspaces.size(),
               reference.impact_halfspaces.size())
@@ -284,7 +284,7 @@ TEST(EngineTest, SolveBatchCancelResolvesEveryQuery) {
   // never leave slots untouched.
   const Dataset ds = GenerateSynthetic(800, 3, Distribution::kIndependent,
                                        62);
-  ToprrEngine engine(&ds);
+  ToprrEngine engine(DatasetSnapshot::FromDataset(ds));
   Rng rng(63);
   std::vector<ToprrQuery> queries;
   for (int i = 0; i < 8; ++i) {
@@ -308,36 +308,42 @@ TEST(EngineTest, SolveBatchCancelResolvesEveryQuery) {
   }
 }
 
-TEST(EngineTest, InvalidateCacheRecomputes) {
+TEST(EngineTest, RebindingAnEqualSnapshotKeepsTheSkyband) {
+  // The post-shim form of the old InvalidateCache test: moving the
+  // engine onto an independently built snapshot of the same content (a
+  // fresh root, so no shared delta chain) must yield the same skyband.
   const Dataset ds = GenerateSynthetic(500, 3, Distribution::kIndependent,
                                        48);
-  ToprrEngine engine(&ds);
-  const std::vector<int>* before = &engine.KSkyband(3);
-  const std::vector<int> copy = *before;
-  engine.InvalidateCache();
+  ToprrEngine engine(DatasetSnapshot::FromDataset(ds));
+  const std::vector<int> copy = engine.KSkyband(3);
+  engine.SetSnapshot(DatasetSnapshot::FromDataset(ds));
   const std::vector<int>& after = engine.KSkyband(3);
   EXPECT_EQ(copy, after);  // same dataset, same answer
 }
 
-TEST(EngineTest, SnapshotConstructorMatchesLegacy) {
+TEST(EngineTest, IndependentSnapshotsOfEqualContentAgree) {
   const Dataset ds = GenerateSynthetic(1200, 3, Distribution::kIndependent,
                                        70);
   const SnapshotPtr snap = DatasetSnapshot::FromDataset(ds);
-  ToprrEngine via_snapshot(snap);
-  ToprrEngine via_pointer(&ds);
-  // The legacy constructor is a snapshot of the same content: same id.
-  EXPECT_EQ(via_snapshot.snapshot_id(), via_pointer.snapshot_id());
-  EXPECT_EQ(via_snapshot.snapshot_id(), DatasetContentHash(ds));
-  EXPECT_EQ(via_snapshot.dataset_rows(), ds.size());
-  EXPECT_EQ(via_snapshot.dataset_dim(), ds.dim());
+  ToprrEngine first(snap);
+  ToprrEngine second(DatasetSnapshot::FromDataset(ds));
+  // Independent snapshots of the same content hash to the same id.
+  EXPECT_EQ(first.snapshot_id(), second.snapshot_id());
+  EXPECT_EQ(first.snapshot_id(), DatasetContentHash(ds));
+  EXPECT_EQ(first.dataset_rows(), ds.size());
+  EXPECT_EQ(first.dataset_dim(), ds.dim());
+  // Both are roots: publish sequence 1.
+  EXPECT_EQ(first.snapshot_seq(), 1u);
+  EXPECT_EQ(second.snapshot_seq(), 1u);
   Rng rng(71);
   const PrefBox box = RandomPrefBox(2, 0.03, rng);
-  const ToprrResult a = via_snapshot.Solve(5, box);
-  const ToprrResult b = via_pointer.Solve(5, box);
+  const ToprrResult a = first.Solve(5, box);
+  const ToprrResult b = second.Solve(5, box);
   ExpectSameRegion(a, b);
   // Every engine solve stamps the snapshot it pinned.
   EXPECT_EQ(a.snapshot_id, snap->id());
   EXPECT_EQ(b.snapshot_id, snap->id());
+  EXPECT_EQ(a.snapshot_seq, 1u);
 }
 
 TEST(EngineTest, SetSnapshotMaintainsSkybandIncrementally) {
@@ -469,7 +475,7 @@ TEST(EngineTest, EngineConfigPresets) {
   // core claim, re-asserted here at the preset level).
   const Dataset ds = GenerateSynthetic(800, 3, Distribution::kIndependent,
                                        77);
-  ToprrEngine engine(&ds);
+  ToprrEngine engine(DatasetSnapshot::FromDataset(ds));
   Rng rng(78);
   const PrefBox box = RandomPrefBox(2, 0.03, rng);
   ExpectSameRegion(engine.Solve(5, box, production),

@@ -177,8 +177,8 @@ TEST(RegionCacheTest, HitsBitIdenticalToColdSolves) {
         const PrefBox aligned = GridBox(d - 1, quantum, 8, width);
         if (!aligned.InsideSimplex()) continue;
 
-        ToprrEngine cold_engine(&data);
-        ToprrEngine warm_engine(&data);
+        ToprrEngine cold_engine(DatasetSnapshot::FromDataset(data));
+        ToprrEngine warm_engine(DatasetSnapshot::FromDataset(data));
         warm_engine.EnableRegionCache({});
 
         ToprrOptions options;
@@ -208,7 +208,7 @@ TEST(RegionCacheTest, HitsBitIdenticalToColdSolves) {
           sub.lo[j] += 0.3 * quantum;
           sub.hi[j] -= 0.4 * quantum;
         }
-        ToprrEngine fresh_engine(&data);
+        ToprrEngine fresh_engine(DatasetSnapshot::FromDataset(data));
         fresh_engine.EnableRegionCache({});
         const ToprrResult sub_miss = fresh_engine.Solve(k, sub, cached);
         const ToprrResult sub_hit = warm_engine.Solve(k, sub, cached);
@@ -227,7 +227,7 @@ TEST(RegionCacheTest, HitsBitIdenticalToColdSolves) {
 // exact boxes.
 TEST(RegionCacheTest, RegionQueriesRecoverTheBoxAndHit) {
   Dataset data = GenerateSynthetic(500, 3, Distribution::kIndependent, 21);
-  ToprrEngine engine(&data);
+  ToprrEngine engine(DatasetSnapshot::FromDataset(data));
   engine.EnableRegionCache({});
   ToprrOptions cached;
   cached.use_region_cache = true;
@@ -247,8 +247,8 @@ TEST(RegionCacheTest, PartialOverlapMatchesColdSolve) {
   const double quantum = 1.0 / 256.0;
   Dataset data = GenerateSynthetic(600, 3, Distribution::kAnticorrelated,
                                    1234);
-  ToprrEngine cold_engine(&data);
-  ToprrEngine warm_engine(&data);
+  ToprrEngine cold_engine(DatasetSnapshot::FromDataset(data));
+  ToprrEngine warm_engine(DatasetSnapshot::FromDataset(data));
   warm_engine.EnableRegionCache({});
   ToprrOptions options;
   ToprrOptions cached = options;
@@ -323,16 +323,16 @@ TEST(RegionCacheTest, InsertIsFirstWinsAndIdempotent) {
   EXPECT_EQ(cache.Counters().insertions, 1u);
 }
 
-TEST(RegionCacheTest, InvalidateCacheEmptiesTheRegionCache) {
+TEST(RegionCacheTest, ClearEmptiesTheRegionCache) {
   Dataset data = GenerateSynthetic(300, 3, Distribution::kIndependent, 5);
-  ToprrEngine engine(&data);
+  ToprrEngine engine(DatasetSnapshot::FromDataset(data));
   engine.EnableRegionCache({});
   ToprrOptions cached;
   cached.use_region_cache = true;
   const PrefBox box = GridBox(2, 1.0 / 256.0, 10, 4);
   engine.Solve(5, box, cached);
   ASSERT_EQ(engine.region_cache()->NumEntries(), 1u);
-  engine.InvalidateCache();
+  engine.region_cache()->Clear();
   EXPECT_EQ(engine.region_cache()->NumEntries(), 0u);
   // The next identical query misses again (and repopulates).
   const ToprrResult after = engine.Solve(5, box, cached);
@@ -377,9 +377,9 @@ TEST(RegionCacheTest, PinnedEntrySurvivesClear) {
 TEST(RegionCacheTest, ConcurrentSolveBatchMixesHitsAndMisses) {
   const double quantum = 1.0 / 256.0;
   Dataset data = GenerateSynthetic(400, 3, Distribution::kIndependent, 77);
-  ToprrEngine warm(&data);
+  ToprrEngine warm(DatasetSnapshot::FromDataset(data));
   warm.EnableRegionCache({});
-  ToprrEngine cold(&data);
+  ToprrEngine cold(DatasetSnapshot::FromDataset(data));
   Rng rng(40);
   std::vector<ToprrQuery> queries;
   for (int i = 0; i < 64; ++i) {

@@ -250,6 +250,242 @@ TEST(ServeProtocolTest, StatusNamesAreStable) {
                "REJECTED_OVERLOAD");
   EXPECT_STREQ(ServeStatusName(ServeStatus::kBudgetExceeded),
                "BUDGET_EXCEEDED");
+  EXPECT_STREQ(MutationStatusName(MutationStatus::kOk), "OK");
+  EXPECT_STREQ(MutationStatusName(MutationStatus::kLimitExceeded),
+               "LIMIT_EXCEEDED");
+  EXPECT_STREQ(MutationStatusName(MutationStatus::kConflict), "CONFLICT");
+}
+
+TEST(ServeProtocolTest, SnapshotStampSurvivesResponseRoundTrip) {
+  std::vector<ServeResponse> responses(2);
+  responses[0].status = ServeStatus::kOk;
+  responses[0].snapshot_id = 0xdeadbeefcafef00dull;
+  responses[0].snapshot_seq = 41;
+  responses[1].status = ServeStatus::kRejectedOverload;
+  responses[1].snapshot_id = 7;
+  responses[1].snapshot_seq = 42;
+  std::vector<ServeResponse> decoded;
+  std::string error;
+  ASSERT_TRUE(
+      DecodeResponseBatch(EncodeResponseBatch(responses), &decoded, &error))
+      << error;
+  ASSERT_EQ(decoded.size(), 2u);
+  EXPECT_EQ(decoded[0].snapshot_id, 0xdeadbeefcafef00dull);
+  EXPECT_EQ(decoded[0].snapshot_seq, 41u);
+  EXPECT_EQ(decoded[1].snapshot_id, 7u);
+  EXPECT_EQ(decoded[1].snapshot_seq, 42u);
+}
+
+TEST(ServeProtocolTest, PeekHeaderReadsAnyPayloadKind) {
+  FrameHeader header;
+  ASSERT_TRUE(PeekHeader(EncodeHello(), &header));
+  EXPECT_EQ(header.magic, kProtocolMagic);
+  EXPECT_EQ(header.version, kProtocolVersion);
+  EXPECT_EQ(header.type, static_cast<uint8_t>(MessageType::kHello));
+  ASSERT_TRUE(PeekHeader(EncodeQueryBatch({}), &header));
+  EXPECT_EQ(header.type, static_cast<uint8_t>(MessageType::kQueryBatch));
+  // Shorter than a header: false, never a read past the end.
+  EXPECT_FALSE(PeekHeader("TPRR", &header));
+  EXPECT_FALSE(PeekHeader("", &header));
+}
+
+TEST(ServeProtocolTest, HandshakeFramesRoundTrip) {
+  std::string error;
+  ASSERT_TRUE(DecodeHello(EncodeHello(), &error)) << error;
+
+  ServerHello hello;
+  hello.max_frame_payload_bytes = kMaxFramePayloadBytes;
+  hello.max_inflight_queries = 64;
+  hello.max_staged_mutations = 4096;
+  hello.snapshot_id = 0x1234567890abcdefull;
+  hello.snapshot_seq = 9;
+  hello.live_rows = 4999;
+  hello.physical_rows = 5003;
+  hello.dim = 4;
+  ServerHello decoded;
+  ASSERT_TRUE(DecodeServerHello(EncodeServerHello(hello), &decoded, &error))
+      << error;
+  EXPECT_EQ(decoded.max_frame_payload_bytes, hello.max_frame_payload_bytes);
+  EXPECT_EQ(decoded.max_inflight_queries, hello.max_inflight_queries);
+  EXPECT_EQ(decoded.max_staged_mutations, hello.max_staged_mutations);
+  EXPECT_EQ(decoded.snapshot_id, hello.snapshot_id);
+  EXPECT_EQ(decoded.snapshot_seq, hello.snapshot_seq);
+  EXPECT_EQ(decoded.live_rows, hello.live_rows);
+  EXPECT_EQ(decoded.physical_rows, hello.physical_rows);
+  EXPECT_EQ(decoded.dim, hello.dim);
+}
+
+TEST(ServeProtocolTest, MutationRequestsRoundTrip) {
+  std::string error;
+  const std::vector<Vec> rows{Vec{0.5, 0.25, 0.125}, Vec{1.0, 0.0, -2.5}};
+  std::vector<Vec> decoded_rows;
+  ASSERT_TRUE(
+      DecodeStageInsert(EncodeStageInsert(rows), &decoded_rows, &error))
+      << error;
+  ASSERT_EQ(decoded_rows.size(), 2u);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    ExpectSameVec(rows[i], decoded_rows[i]);
+  }
+
+  const std::vector<uint64_t> ids{0, 17, 0xffffffffffull};
+  std::vector<uint64_t> decoded_ids;
+  ASSERT_TRUE(
+      DecodeStageDelete(EncodeStageDelete(ids), &decoded_ids, &error))
+      << error;
+  EXPECT_EQ(decoded_ids, ids);
+
+  ASSERT_TRUE(DecodePublish(EncodePublish(), &error)) << error;
+  ASSERT_TRUE(DecodeCatalogInfo(EncodeCatalogInfo(), &error)) << error;
+}
+
+TEST(ServeProtocolTest, MutationAckRoundTripAndMessageCap) {
+  MutationAck ack;
+  ack.status = MutationStatus::kConflict;
+  ack.snapshot_id = 0xfeedfacefeedfaceull;
+  ack.snapshot_seq = 12;
+  ack.live_rows = 100;
+  ack.physical_rows = 105;
+  ack.staged_inserts = 3;
+  ack.staged_deletes = 2;
+  ack.message = "row id 7 is no longer live";
+  MutationAck decoded;
+  std::string error;
+  ASSERT_TRUE(DecodeMutationAck(EncodeMutationAck(ack), &decoded, &error))
+      << error;
+  EXPECT_EQ(decoded.status, ack.status);
+  EXPECT_EQ(decoded.snapshot_id, ack.snapshot_id);
+  EXPECT_EQ(decoded.snapshot_seq, ack.snapshot_seq);
+  EXPECT_EQ(decoded.live_rows, ack.live_rows);
+  EXPECT_EQ(decoded.physical_rows, ack.physical_rows);
+  EXPECT_EQ(decoded.staged_inserts, ack.staged_inserts);
+  EXPECT_EQ(decoded.staged_deletes, ack.staged_deletes);
+  EXPECT_EQ(decoded.message, ack.message);
+
+  // An over-long diagnostic is truncated on encode, not rejected.
+  ack.message.assign(10000, 'x');
+  ASSERT_TRUE(DecodeMutationAck(EncodeMutationAck(ack), &decoded, &error))
+      << error;
+  EXPECT_EQ(decoded.message.size(), 256u);
+}
+
+TEST(ServeProtocolTest, RejectsUnknownMutationStatus) {
+  MutationAck ack;
+  ack.status = MutationStatus::kOk;
+  std::string payload = EncodeMutationAck(ack);
+  payload[6] = 99;  // the status byte right after the 6-byte header
+  MutationAck decoded;
+  std::string error;
+  EXPECT_FALSE(DecodeMutationAck(payload, &decoded, &error));
+  EXPECT_NE(error.find("mutation status"), std::string::npos);
+}
+
+TEST(ServeProtocolTest, NewMessageKindsRejectEveryTruncation) {
+  // Every proper prefix of every v3 payload kind must decode to an
+  // error, never crash or succeed -- same matrix the query batch gets.
+  const std::vector<Vec> rows{Vec{0.5, 0.25}, Vec{0.75, 0.125}};
+  MutationAck ack;
+  ack.status = MutationStatus::kInvalidArgument;
+  ack.message = "why";
+  ServerHello hello;
+  hello.dim = 3;
+  const std::vector<std::pair<const char*, std::string>> payloads{
+      {"hello", EncodeHello()},
+      {"server_hello", EncodeServerHello(hello)},
+      {"stage_insert", EncodeStageInsert(rows)},
+      {"stage_delete", EncodeStageDelete({1, 2, 3})},
+      {"publish", EncodePublish()},
+      {"catalog_info", EncodeCatalogInfo()},
+      {"mutation_ack", EncodeMutationAck(ack)},
+  };
+  for (const auto& [kind, payload] : payloads) {
+    SCOPED_TRACE(kind);
+    for (size_t cut = 0; cut < payload.size(); ++cut) {
+      SCOPED_TRACE(cut);
+      const std::string prefix = payload.substr(0, cut);
+      std::string error;
+      std::vector<Vec> out_rows;
+      std::vector<uint64_t> out_ids;
+      MutationAck out_ack;
+      ServerHello out_hello;
+      EXPECT_FALSE(DecodeHello(prefix, &error));
+      EXPECT_FALSE(DecodeServerHello(prefix, &out_hello, &error));
+      EXPECT_FALSE(DecodeStageInsert(prefix, &out_rows, &error));
+      EXPECT_FALSE(DecodeStageDelete(prefix, &out_ids, &error));
+      EXPECT_FALSE(DecodePublish(prefix, &error));
+      EXPECT_FALSE(DecodeCatalogInfo(prefix, &error));
+      EXPECT_FALSE(DecodeMutationAck(prefix, &out_ack, &error));
+    }
+  }
+}
+
+TEST(ServeProtocolTest, NewMessageKindsRejectTrailingGarbageAndCrossKind) {
+  std::string error;
+  // Trailing bytes after a complete body.
+  EXPECT_FALSE(DecodeHello(EncodeHello() + "x", &error));
+  EXPECT_FALSE(DecodePublish(EncodePublish() + "x", &error));
+  EXPECT_FALSE(DecodeCatalogInfo(EncodeCatalogInfo() + "x", &error));
+  std::vector<uint64_t> ids;
+  EXPECT_FALSE(DecodeStageDelete(EncodeStageDelete({1}) + "x", &ids, &error));
+  std::vector<Vec> rows;
+  EXPECT_FALSE(
+      DecodeStageInsert(EncodeStageInsert({Vec{0.5}}) + "x", &rows, &error));
+  MutationAck ack;
+  EXPECT_FALSE(
+      DecodeMutationAck(EncodeMutationAck(MutationAck{}) + "x", &ack,
+                        &error));
+  // One kind's payload fed to another kind's decoder.
+  EXPECT_FALSE(DecodePublish(EncodeHello(), &error));
+  EXPECT_NE(error.find("message type"), std::string::npos);
+  EXPECT_FALSE(DecodeStageInsert(EncodeStageDelete({1}), &rows, &error));
+}
+
+TEST(ServeProtocolTest, StageRequestsRejectAbsurdCounts) {
+  // Count fields far beyond what the remaining bytes could hold must be
+  // rejected before any allocation happens.
+  std::string insert = EncodeStageInsert({});
+  for (int i = 1; i <= 4; ++i) {
+    insert[insert.size() - i] = static_cast<char>(0xff);
+  }
+  std::vector<Vec> rows;
+  std::string error;
+  EXPECT_FALSE(DecodeStageInsert(insert, &rows, &error));
+
+  std::string del = EncodeStageDelete({});
+  for (int i = 1; i <= 4; ++i) {
+    del[del.size() - i] = static_cast<char>(0xff);
+  }
+  std::vector<uint64_t> ids;
+  EXPECT_FALSE(DecodeStageDelete(del, &ids, &error));
+}
+
+TEST(ServeProtocolTest, VersionMismatchFrameDecodesAcrossVersions) {
+  // The rejection frame must decode no matter which version byte it
+  // carries -- that is the whole point of freezing its layout.
+  for (int version = 0; version < 256; ++version) {
+    const std::string payload =
+        EncodeVersionMismatch(static_cast<uint8_t>(version), 3);
+    uint8_t server_version = 0, min_version = 0;
+    ASSERT_TRUE(
+        DecodeVersionMismatch(payload, &server_version, &min_version))
+        << "version byte " << version;
+    EXPECT_EQ(server_version, static_cast<uint8_t>(version));
+    EXPECT_EQ(min_version, 3u);
+  }
+  // Bad magic, wrong type byte, truncation, trailing bytes: all rejected.
+  uint8_t sv, mv;
+  std::string bad_magic = EncodeVersionMismatch(3, 3);
+  bad_magic[0] = 'X';
+  EXPECT_FALSE(DecodeVersionMismatch(bad_magic, &sv, &mv));
+  std::string bad_type = EncodeVersionMismatch(3, 3);
+  bad_type[5] = 1;  // kQueryBatch, not the frozen 255
+  EXPECT_FALSE(DecodeVersionMismatch(bad_type, &sv, &mv));
+  const std::string ok = EncodeVersionMismatch(3, 3);
+  for (size_t cut = 0; cut < ok.size(); ++cut) {
+    EXPECT_FALSE(DecodeVersionMismatch(ok.substr(0, cut), &sv, &mv));
+  }
+  EXPECT_FALSE(DecodeVersionMismatch(ok + "x", &sv, &mv));
+  // A regular v3 frame is NOT a version-mismatch frame.
+  EXPECT_FALSE(DecodeVersionMismatch(EncodeHello(), &sv, &mv));
 }
 
 }  // namespace

@@ -41,7 +41,8 @@ std::unique_ptr<ToprrServer> StartServer(const Dataset& data,
                                          ServerConfig config) {
   config.host = "127.0.0.1";
   config.port = 0;
-  auto server = std::make_unique<ToprrServer>(&data, config);
+  auto server = std::make_unique<ToprrServer>(
+      DatasetSnapshot::FromDataset(data), config);
   std::string error;
   EXPECT_TRUE(server->Start(&error)) << error;
   return server;
@@ -65,7 +66,7 @@ TEST(ServeServerTest, ServedResultsMatchTheEngine) {
   ASSERT_TRUE(responses.has_value()) << client.last_error();
   ASSERT_EQ(responses->size(), queries.size());
 
-  ToprrEngine reference(&data);
+  ToprrEngine reference(DatasetSnapshot::FromDataset(data));
   for (size_t i = 0; i < queries.size(); ++i) {
     SCOPED_TRACE(i);
     const ServeResponse& response = (*responses)[i];
@@ -245,7 +246,7 @@ TEST(ServeServerTest, CacheEnabledServerHitsOnRepeatedQueries) {
   ASSERT_TRUE(responses.has_value()) << client.last_error();
   ASSERT_EQ(responses->size(), 4u);
 
-  ToprrEngine reference(&data);
+  ToprrEngine reference(DatasetSnapshot::FromDataset(data));
   const ToprrResult expected = reference.Solve(queries[0]);
   uint64_t hits = 0;
   uint64_t misses = 0;
@@ -438,6 +439,353 @@ TEST(ServeServerTest, CatalogPublishBecomesVisibleAfterSync) {
               expected.impact_halfspaces[h].offset);
   }
   server->Stop();
+}
+
+TEST(ServeServerTest, HandshakeAdvertisesLimitsAndServedSnapshot) {
+  const Dataset data =
+      GenerateSynthetic(700, 3, Distribution::kIndependent, 61);
+  ServerConfig config;
+  config.max_inflight_queries = 48;
+  config.max_staged_mutations = 123;
+  auto server = StartServer(data, config);
+
+  ToprrClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server->port()))
+      << client.last_error();
+  const ServerHello& hello = client.server();
+  EXPECT_EQ(hello.max_frame_payload_bytes, kMaxFramePayloadBytes);
+  EXPECT_EQ(hello.max_inflight_queries, 48u);
+  EXPECT_EQ(hello.max_staged_mutations, 123u);
+  EXPECT_EQ(hello.live_rows, 700u);
+  EXPECT_EQ(hello.physical_rows, 700u);
+  EXPECT_EQ(hello.dim, 3u);
+  EXPECT_EQ(hello.snapshot_seq, 1u);  // a root snapshot
+  EXPECT_NE(hello.snapshot_id, 0u);
+}
+
+TEST(ServeServerTest, WireMutationsPublishAndBecomeVisible) {
+  const Dataset data =
+      GenerateSynthetic(800, 3, Distribution::kIndependent, 62);
+  auto server = StartServer(data, ServerConfig{});
+  ToprrClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server->port()))
+      << client.last_error();
+  const ToprrQuery query =
+      ToprrQuery::FromBox(3, Box({0.2, 0.2}, {0.25, 0.25}));
+  auto before = client.Query(query);
+  ASSERT_TRUE(before.has_value()) << client.last_error();
+  ASSERT_EQ(before->status, ServeStatus::kOk);
+  EXPECT_EQ(before->snapshot_seq, 1u);
+
+  // Stage a dominating row and publish: the ack must already reflect the
+  // new version (SyncCatalog runs before the ack goes out).
+  auto staged = client.StageInsert({Vec{0.99, 0.99, 0.99}});
+  ASSERT_TRUE(staged.has_value()) << client.last_error();
+  ASSERT_EQ(staged->status, MutationStatus::kOk) << staged->message;
+  EXPECT_EQ(staged->staged_inserts, 1u);
+  EXPECT_EQ(staged->snapshot_seq, 1u);  // staged, not yet published
+  auto published = client.Publish();
+  ASSERT_TRUE(published.has_value()) << client.last_error();
+  ASSERT_EQ(published->status, MutationStatus::kOk) << published->message;
+  EXPECT_EQ(published->snapshot_seq, 2u);
+  EXPECT_EQ(published->live_rows, 801u);
+  EXPECT_EQ(published->physical_rows, 801u);
+  EXPECT_EQ(published->staged_inserts, 0u);  // session cleared
+
+  // Read-your-writes on the same connection: the very next query must
+  // observe the published write, no waiting.
+  auto after = client.Query(query);
+  ASSERT_TRUE(after.has_value()) << client.last_error();
+  ASSERT_EQ(after->status, ServeStatus::kOk);
+  EXPECT_GE(after->snapshot_seq, published->snapshot_seq);
+  ToprrEngine reference(server->engine().snapshot());
+  const ToprrResult expected = reference.Solve(query);
+  ASSERT_EQ(after->impact_halfspaces.size(),
+            expected.impact_halfspaces.size());
+  for (size_t h = 0; h < expected.impact_halfspaces.size(); ++h) {
+    EXPECT_EQ(after->impact_halfspaces[h].offset,
+              expected.impact_halfspaces[h].offset);
+  }
+  // The dominating row changed the answer.
+  EXPECT_NE(after->impact_halfspaces.size(),
+            before->impact_halfspaces.size());
+
+  // Delete the inserted row again (its physical id counts up from the
+  // pre-publish physical row count) and the original answer returns.
+  const uint64_t inserted_id = published->physical_rows - 1;
+  auto del = client.StageDelete({inserted_id});
+  ASSERT_TRUE(del.has_value()) << client.last_error();
+  ASSERT_EQ(del->status, MutationStatus::kOk) << del->message;
+  auto republished = client.Publish();
+  ASSERT_TRUE(republished.has_value()) << client.last_error();
+  ASSERT_EQ(republished->status, MutationStatus::kOk)
+      << republished->message;
+  EXPECT_EQ(republished->snapshot_seq, 3u);
+  EXPECT_EQ(republished->live_rows, 800u);
+  auto restored = client.Query(query);
+  ASSERT_TRUE(restored.has_value()) << client.last_error();
+  EXPECT_EQ(restored->impact_halfspaces.size(),
+            before->impact_halfspaces.size());
+
+  const ServerStatsSnapshot stats = server->stats().Snapshot();
+  EXPECT_EQ(stats.publishes_applied, 2u);
+  EXPECT_EQ(stats.mutations_staged, 2u);
+  EXPECT_EQ(stats.protocol_errors, 0u);
+}
+
+TEST(ServeServerTest, StagedDeltaLimitRejectsWholeFrames) {
+  const Dataset data =
+      GenerateSynthetic(300, 3, Distribution::kIndependent, 63);
+  ServerConfig config;
+  config.max_staged_mutations = 4;
+  auto server = StartServer(data, config);
+  ToprrClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server->port()));
+
+  auto first = client.StageInsert(
+      {Vec{0.1, 0.1, 0.1}, Vec{0.2, 0.2, 0.2}, Vec{0.3, 0.3, 0.3}});
+  ASSERT_TRUE(first.has_value());
+  ASSERT_EQ(first->status, MutationStatus::kOk);
+  EXPECT_EQ(first->staged_inserts, 3u);
+
+  // 3 + 2 > 4: rejected whole, nothing from the frame staged.
+  auto over = client.StageInsert({Vec{0.4, 0.4, 0.4}, Vec{0.5, 0.5, 0.5}});
+  ASSERT_TRUE(over.has_value());
+  EXPECT_EQ(over->status, MutationStatus::kLimitExceeded);
+  EXPECT_EQ(over->staged_inserts, 3u);
+  auto over_del = client.StageDelete({0, 1});
+  ASSERT_TRUE(over_del.has_value());
+  EXPECT_EQ(over_del->status, MutationStatus::kLimitExceeded);
+  EXPECT_EQ(over_del->staged_deletes, 0u);
+
+  // Exactly at the bound is fine, and publishing frees the budget.
+  auto fits = client.StageDelete({0});
+  ASSERT_TRUE(fits.has_value());
+  EXPECT_EQ(fits->status, MutationStatus::kOk);
+  auto published = client.Publish();
+  ASSERT_TRUE(published.has_value());
+  ASSERT_EQ(published->status, MutationStatus::kOk) << published->message;
+  auto again = client.StageInsert({Vec{0.6, 0.6, 0.6}});
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->status, MutationStatus::kOk);
+}
+
+TEST(ServeServerTest, InvalidMutationsStageNothing) {
+  const Dataset data =
+      GenerateSynthetic(300, 3, Distribution::kIndependent, 64);
+  auto server = StartServer(data, ServerConfig{});
+  ToprrClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server->port()));
+
+  // Dimension mismatch poisons the whole frame, valid rows included.
+  auto bad_dim = client.StageInsert({Vec{0.1, 0.1, 0.1}, Vec{0.2, 0.2}});
+  ASSERT_TRUE(bad_dim.has_value());
+  EXPECT_EQ(bad_dim->status, MutationStatus::kInvalidArgument);
+  EXPECT_EQ(bad_dim->staged_inserts, 0u);
+  EXPECT_FALSE(bad_dim->message.empty());
+
+  auto non_finite = client.StageInsert(
+      {Vec{0.1, std::numeric_limits<double>::infinity(), 0.1}});
+  ASSERT_TRUE(non_finite.has_value());
+  EXPECT_EQ(non_finite->status, MutationStatus::kInvalidArgument);
+
+  auto unknown_row = client.StageDelete({0, 999999});
+  ASSERT_TRUE(unknown_row.has_value());
+  EXPECT_EQ(unknown_row->status, MutationStatus::kInvalidArgument);
+  EXPECT_EQ(unknown_row->staged_deletes, 0u);
+
+  auto duplicate = client.StageDelete({5, 5});
+  ASSERT_TRUE(duplicate.has_value());
+  EXPECT_EQ(duplicate->status, MutationStatus::kInvalidArgument);
+  EXPECT_EQ(duplicate->staged_deletes, 0u);
+
+  // CatalogInfo is a pure read: session untouched, current version out.
+  auto info = client.CatalogInfo();
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->status, MutationStatus::kOk);
+  EXPECT_EQ(info->staged_inserts, 0u);
+  EXPECT_EQ(info->snapshot_seq, 1u);
+  EXPECT_EQ(server->stats().Snapshot().publishes_applied, 0u);
+}
+
+TEST(ServeServerTest, PublishConflictKeepsTheDeltaStaged) {
+  const Dataset data =
+      GenerateSynthetic(300, 3, Distribution::kIndependent, 65);
+  auto server = StartServer(data, ServerConfig{});
+  ToprrClient loser, winner;
+  ASSERT_TRUE(loser.Connect("127.0.0.1", server->port()));
+  ASSERT_TRUE(winner.Connect("127.0.0.1", server->port()));
+
+  // Both connections stage a delete of the same row; the first publish
+  // wins, the second must come back kConflict with its delta kept.
+  auto staged_l = loser.StageDelete({7});
+  ASSERT_TRUE(staged_l.has_value());
+  ASSERT_EQ(staged_l->status, MutationStatus::kOk);
+  auto staged_w = winner.StageDelete({7});
+  ASSERT_TRUE(staged_w.has_value());
+  ASSERT_EQ(staged_w->status, MutationStatus::kOk);
+
+  auto won = winner.Publish();
+  ASSERT_TRUE(won.has_value());
+  ASSERT_EQ(won->status, MutationStatus::kOk) << won->message;
+  auto lost = loser.Publish();
+  ASSERT_TRUE(lost.has_value());
+  EXPECT_EQ(lost->status, MutationStatus::kConflict);
+  EXPECT_EQ(lost->staged_deletes, 1u);  // kept for amendment
+  EXPECT_FALSE(lost->message.empty());
+  EXPECT_EQ(server->stats().Snapshot().publishes_rejected, 1u);
+}
+
+TEST(ServeServerTest, ForeignVersionFrameGetsFrozenRejection) {
+  const Dataset data =
+      GenerateSynthetic(300, 3, Distribution::kIndependent, 66);
+  auto server = StartServer(data, ServerConfig{});
+
+  // Hand-roll a v2 frame: a well-formed v3 hello with the version byte
+  // patched, the shape an old client generation would produce.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(server->port()));
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  FdStream stream(fd);
+  std::string old_frame = EncodeHello();
+  old_frame[4] = 2;  // the version byte
+  ASSERT_TRUE(WriteFrame(stream, old_frame));
+  std::string reply;
+  ASSERT_EQ(ReadFrame(stream, &reply), FrameReadStatus::kOk);
+  uint8_t server_version = 0, min_version = 0;
+  ASSERT_TRUE(DecodeVersionMismatch(reply, &server_version, &min_version));
+  EXPECT_EQ(server_version, kProtocolVersion);
+  EXPECT_EQ(min_version, kMinProtocolVersion);
+  // The server closed the connection after the rejection.
+  EXPECT_EQ(ReadFrame(stream, &reply), FrameReadStatus::kEof);
+  ::close(fd);
+  EXPECT_EQ(server->stats().Snapshot().version_mismatches, 1u);
+
+  // The typed client error: point a client at a fake v2 server.
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listener, 0);
+  sockaddr_in bind_addr{};
+  bind_addr.sin_family = AF_INET;
+  bind_addr.sin_port = 0;
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &bind_addr.sin_addr), 1);
+  ASSERT_EQ(::bind(listener, reinterpret_cast<sockaddr*>(&bind_addr),
+                   sizeof(bind_addr)),
+            0);
+  ASSERT_EQ(::listen(listener, 1), 0);
+  socklen_t addr_len = sizeof(bind_addr);
+  ::getsockname(listener, reinterpret_cast<sockaddr*>(&bind_addr),
+                &addr_len);
+  std::thread fake_server([listener] {
+    const int conn = ::accept(listener, nullptr, nullptr);
+    if (conn < 0) return;
+    FdStream conn_stream(conn);
+    std::string ignored;
+    ReadFrame(conn_stream, &ignored);
+    WriteFrame(conn_stream, EncodeVersionMismatch(2, 2));
+    ::close(conn);
+  });
+  ToprrClient client;
+  EXPECT_FALSE(
+      client.Connect("127.0.0.1", ntohs(bind_addr.sin_port)));
+  EXPECT_EQ(client.last_error_code(), ClientError::kVersionMismatch);
+  EXPECT_NE(client.last_error().find("v2"), std::string::npos);
+  fake_server.join();
+  ::close(listener);
+}
+
+TEST(ServeServerTest, ReadYourWritesAcrossConnections) {
+  const Dataset data =
+      GenerateSynthetic(600, 3, Distribution::kIndependent, 67);
+  auto server = StartServer(data, ServerConfig{});
+  ToprrClient writer, reader;
+  ASSERT_TRUE(writer.Connect("127.0.0.1", server->port()));
+  ASSERT_TRUE(reader.Connect("127.0.0.1", server->port()));
+
+  auto staged = writer.StageInsert({Vec{0.95, 0.95, 0.95}});
+  ASSERT_TRUE(staged.has_value());
+  ASSERT_EQ(staged->status, MutationStatus::kOk);
+  auto published = writer.Publish();
+  ASSERT_TRUE(published.has_value());
+  ASSERT_EQ(published->status, MutationStatus::kOk);
+
+  // The reader waits for the acked seq, then must observe it.
+  ASSERT_TRUE(reader.WaitForSnapshot(published->snapshot_seq))
+      << reader.last_error();
+  auto response =
+      reader.Query(ToprrQuery::FromBox(3, Box({0.2, 0.2}, {0.25, 0.25})));
+  ASSERT_TRUE(response.has_value()) << reader.last_error();
+  ASSERT_EQ(response->status, ServeStatus::kOk);
+  EXPECT_GE(response->snapshot_seq, published->snapshot_seq);
+}
+
+TEST(ServeServerTest, ConcurrentWriterAndReadersStayMonotone) {
+  // The TSan-relevant stress: one connection publishing deltas while
+  // two others query. Every reader's snapshot_seq stream must be
+  // monotone non-decreasing across its RPC rounds, and nothing may
+  // race, drop, or error.
+  const Dataset data =
+      GenerateSynthetic(500, 3, Distribution::kIndependent, 68);
+  ServerConfig config;
+  config.max_inflight_queries = 64;
+  auto server = StartServer(data, config);
+
+  constexpr int kPublishes = 8;
+  constexpr int kReaderRpcs = 12;
+  std::atomic<int> ok_publishes{0};
+  std::atomic<int> ok_queries{0};
+  std::atomic<int> seq_regressions{0};
+  std::thread writer_thread([&] {
+    ToprrClient writer;
+    if (!writer.Connect("127.0.0.1", server->port())) return;
+    Rng rng(200);
+    uint64_t last_seq = 0;
+    for (int i = 0; i < kPublishes; ++i) {
+      Vec row(3);
+      for (size_t j = 0; j < 3; ++j) row[j] = rng.Uniform();
+      auto staged = writer.StageInsert({row});
+      if (!staged.has_value() || staged->status != MutationStatus::kOk) {
+        return;
+      }
+      auto published = writer.Publish();
+      if (!published.has_value() ||
+          published->status != MutationStatus::kOk) {
+        return;
+      }
+      if (published->snapshot_seq < last_seq) seq_regressions.fetch_add(1);
+      last_seq = published->snapshot_seq;
+      ok_publishes.fetch_add(1);
+    }
+  });
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&, r] {
+      ToprrClient reader;
+      if (!reader.Connect("127.0.0.1", server->port())) return;
+      Rng rng(300 + r);
+      uint64_t last_seq = 0;
+      for (int i = 0; i < kReaderRpcs; ++i) {
+        auto response = reader.Query(
+            ToprrQuery::FromBox(3, RandomPrefBox(2, 0.02, rng)));
+        if (!response.has_value()) return;
+        if (response->status == ServeStatus::kOk) ok_queries.fetch_add(1);
+        if (response->snapshot_seq < last_seq) seq_regressions.fetch_add(1);
+        last_seq = response->snapshot_seq;
+      }
+    });
+  }
+  writer_thread.join();
+  for (std::thread& thread : readers) thread.join();
+  EXPECT_EQ(ok_publishes.load(), kPublishes);
+  EXPECT_EQ(ok_queries.load(), 2 * kReaderRpcs);
+  EXPECT_EQ(seq_regressions.load(), 0);
+  const ServerStatsSnapshot stats = server->stats().Snapshot();
+  EXPECT_EQ(stats.publishes_applied, static_cast<uint64_t>(kPublishes));
+  EXPECT_EQ(stats.protocol_errors, 0u);
 }
 
 }  // namespace
