@@ -41,9 +41,35 @@ fails when:
   * any connection saw its snapshot_seq stream regress
     (seq_regressions -- the monotone stamp ordering).
 
+--chaos mode gates a `toprr_loadgen --retries --deadline_ms --churn`
+report taken THROUGH toprr_chaosproxy (resets, truncations, stalls past
+the idle timeout) with a server drain + restart mid-run. Transient
+failure is the point of the exercise, so the base protocol-errors and
+latency checks do NOT apply; what must hold is that the system degrades
+and recovers cleanly:
+
+  * the report carries the resilience fields (attempted_queries,
+    retries, reconnects -- old loadgen or --retries not passed
+    otherwise),
+  * no worker thread died (dead_workers -- every error class must be
+    survivable),
+  * the run actually saw chaos (zero reconnects means the proxy never
+    broke a connection and the phase tested nothing),
+  * the churn writer stayed healthy end to end: publishes happened,
+    every eventually-delivered ack was OK, zero duplicate publishes
+    (idempotency dedupe held across retried Publish RPCs), zero
+    read-your-writes violations, zero snapshot_seq regressions, and
+  * the ultimately-completed fraction meets the floor
+    (CHAOS_COMPLETION_FLOOR env var, default 0.9): retries must
+    actually recover the load, not just count failures. Queries
+    answered REJECTED_DRAINING during the scripted drain+restart are
+    deliberate typed rejections (like admission control in the base
+    gate) and leave the denominator; terminally-lost queries stay in.
+
 Usage: check_serve_smoke.py loadgen.json
        check_serve_smoke.py --cache loadgen_cache.json
        check_serve_smoke.py --churn loadgen_churn.json
+       check_serve_smoke.py --chaos loadgen_chaos.json
 Self-test: check_serve_smoke.py --self-test
 """
 
@@ -169,6 +195,95 @@ def evaluate_churn(report, p99_bound_ms, hit_rate_floor):
     return True, summary
 
 
+def evaluate_chaos(report, completion_floor):
+    """Returns (ok, one_line_message) for a retrying loadgen run driven
+    through the chaos proxy: recovery and ordering contracts, not the
+    zero-transient-errors contract of the clean-loopback modes."""
+    if not isinstance(report, dict):
+        return False, "report is not a JSON object"
+    attempted = report.get("attempted_queries")
+    completed = report.get("completed_queries")
+    retries = report.get("retries")
+    reconnects = report.get("reconnects")
+    dead_workers = report.get("dead_workers")
+    if attempted is None or retries is None or reconnects is None:
+        return False, (
+            "report missing attempted_queries/retries/reconnects "
+            "(old toprr_loadgen, or --retries not passed?)"
+        )
+    completed = completed or 0
+    # REJECTED_DRAINING is a deliberate typed answer during the scripted
+    # drain+restart -- correct behavior, like admission-control
+    # rejections in the base gate -- so it leaves the denominator.
+    # Queries lost terminally (retries exhausted) stay in it.
+    eligible = max(1, attempted - report.get("rejected_draining", 0))
+    ratio = completed / eligible
+    summary = (
+        f"{completed}/{eligible} eligible completed ({ratio:.3f}, floor "
+        f"{completion_floor:.2f}), {retries} retries, {reconnects} "
+        f"reconnects, {report.get('deadline_exceeded', 0)} deadline "
+        f"exceeded, {report.get('rejected_draining', 0)} rejected "
+        f"draining, {dead_workers} dead workers"
+    )
+    if attempted <= 0 or completed <= 0:
+        return False, f"no queries completed under chaos -- {summary}"
+    if dead_workers is None or dead_workers != 0:
+        return False, (
+            f"{dead_workers} loadgen workers died: an error class was "
+            f"not survivable -- {summary}"
+        )
+    if reconnects <= 0:
+        return False, (
+            "zero reconnects: the proxy never broke a connection, so "
+            f"this phase tested nothing -- {summary}"
+        )
+    churn = report.get("churn")
+    if not isinstance(churn, dict) or not churn.get("enabled", False):
+        return False, (
+            "report has no active churn block (the chaos phase must "
+            "exercise the mutation path; pass --churn)"
+        )
+    publishes = churn.get("publishes", 0)
+    duplicates = churn.get("duplicate_publishes", 0)
+    summary += (
+        f"; {publishes} publishes "
+        f"({churn.get('publishes_deduped', 0)} deduped), "
+        f"{duplicates} duplicates, "
+        f"{churn.get('ryw_violations', 0)} ryw violations, "
+        f"{churn.get('seq_regressions', 0)} seq regressions"
+    )
+    if publishes <= 0:
+        return False, f"churn writer never published -- {summary}"
+    if churn.get("publish_failures", 0) != 0:
+        return False, (
+            f"{churn['publish_failures']} mutation RPCs failed "
+            f"terminally despite retries -- {summary}"
+        )
+    if duplicates != 0:
+        return False, (
+            f"idempotency dedupe broken: {duplicates} retried publishes "
+            f"were applied twice -- {summary}"
+        )
+    if churn.get("ryw_violations", 0) != 0:
+        return False, (
+            "read-your-writes broken under chaos: "
+            f"{churn['ryw_violations']} post-publish queries saw a "
+            f"pre-publish snapshot -- {summary}"
+        )
+    if churn.get("seq_regressions", 0) != 0:
+        return False, (
+            f"snapshot_seq regressed {churn['seq_regressions']} times "
+            f"on a stable connection -- {summary}"
+        )
+    if ratio < completion_floor:
+        return False, (
+            f"completion ratio {ratio:.3f} below the "
+            f"{completion_floor:.2f} floor: retries did not recover the "
+            f"load -- {summary}"
+        )
+    return True, summary
+
+
 def self_test():
     good = {
         "completed_queries": 100,
@@ -276,6 +391,62 @@ def self_test():
              churn=dict(good_churn["churn"], seq_regressions=2)),
         1000.0, 0.4)
     assert not ok and "regressed" in message
+
+    good_chaos = {
+        "attempted_queries": 1000,
+        "completed_queries": 960,
+        "protocol_errors": 12,  # expected under chaos; must NOT fail
+        "deadline_exceeded": 4,
+        "rejected_draining": 3,
+        "retries": 40,
+        "reconnects": 9,
+        "dead_workers": 0,
+        "latency_ms": {"p99": 99999.0},  # latency gate must NOT apply
+        "churn": {
+            "enabled": True, "publishes": 30, "publishes_deduped": 2,
+            "duplicate_publishes": 0, "publish_failures": 0,
+            "ryw_violations": 0, "seq_regressions": 0,
+        },
+    }
+    ok, _ = evaluate_chaos(good_chaos, 0.9)
+    assert ok, "recovered chaos run must pass despite transient errors"
+
+    ok, message = evaluate_chaos(good, 0.9)
+    assert not ok and "missing attempted_queries" in message
+
+    ok, message = evaluate_chaos(
+        dict(good_chaos, completed_queries=500), 0.9)
+    assert not ok and "completion ratio" in message
+
+    ok, message = evaluate_chaos(dict(good_chaos, dead_workers=1), 0.9)
+    assert not ok and "died" in message
+
+    ok, message = evaluate_chaos(dict(good_chaos, reconnects=0), 0.9)
+    assert not ok and "zero reconnects" in message
+
+    ok, message = evaluate_chaos(
+        dict(good_chaos,
+             churn=dict(good_chaos["churn"], duplicate_publishes=1)),
+        0.9)
+    assert not ok and "dedupe broken" in message
+
+    ok, message = evaluate_chaos(
+        dict(good_chaos,
+             churn=dict(good_chaos["churn"], ryw_violations=1)), 0.9)
+    assert not ok and "read-your-writes" in message
+
+    ok, message = evaluate_chaos(
+        dict(good_chaos,
+             churn=dict(good_chaos["churn"], publish_failures=2)), 0.9)
+    assert not ok and "terminally" in message
+
+    ok, message = evaluate_chaos(
+        dict(good_chaos,
+             churn=dict(good_chaos["churn"], seq_regressions=1)), 0.9)
+    assert not ok and "regressed" in message
+
+    ok, message = evaluate_chaos(dict(good_chaos, churn=None), 0.9)
+    assert not ok and "no active churn block" in message
     print("serve-smoke: self-test PASS")
 
 
@@ -284,12 +455,13 @@ def main():
         self_test()
         return
     mode = "base"
-    if len(sys.argv) == 3 and sys.argv[1] in ("--cache", "--churn"):
+    if len(sys.argv) == 3 and sys.argv[1] in ("--cache", "--churn",
+                                              "--chaos"):
         mode = sys.argv[1][2:]
     elif len(sys.argv) != 2:
         print(
             f"serve-smoke: FAIL: usage: {sys.argv[0]} "
-            "[--cache|--churn] <loadgen.json>",
+            "[--cache|--churn|--chaos] <loadgen.json>",
             file=sys.stderr,
         )
         sys.exit(1)
@@ -304,7 +476,11 @@ def main():
             file=sys.stderr,
         )
         sys.exit(1)
-    if mode == "churn":
+    if mode == "chaos":
+        completion_floor = float(
+            os.environ.get("CHAOS_COMPLETION_FLOOR", "0.9"))
+        ok, message = evaluate_chaos(report, completion_floor)
+    elif mode == "churn":
         hit_rate_floor = float(
             os.environ.get("SERVE_SMOKE_CHURN_HIT_RATE", "0.4"))
         ok, message = evaluate_churn(report, p99_bound_ms, hit_rate_floor)

@@ -25,6 +25,16 @@
 // workers require their per-connection snapshot_seq stream to be
 // monotone non-decreasing. Violations land in the JSON "churn" block
 // (consumed by ci/check_serve_smoke.py --churn) and fail the exit code.
+//
+// --retries N (> 1) arms the client-side retry policy: workers survive
+// connection loss, server restarts, and injected faults (see
+// examples/toprr_chaosproxy.cpp), transparently reconnecting with
+// backoff; per-error-class counts plus "retries"/"reconnects" land in
+// the JSON (consumed by ci/check_serve_smoke.py --chaos), and only
+// correctness violations -- duplicate publishes, read-your-writes or
+// ordering breaks, dead workers -- fail the exit code. --deadline_ms
+// attaches a deadline to every batch, enforced server-side
+// (DEADLINE_EXCEEDED) and as a local socket timeout.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -45,14 +55,28 @@ namespace {
 
 using namespace toprr;
 
+// Per-worker failure-hardening knobs (defaults = the pre-retry behavior).
+struct Resilience {
+  int attempts = 1;               // client RetryPolicy::max_attempts
+  double deadline_seconds = 0.0;  // per-batch deadline (0 = none)
+};
+
 // Outcome of one connection's run (merged after the join).
 struct WorkerReport {
   std::vector<double> rpc_millis;  // per-round-trip latency
+  uint64_t attempted = 0;          // queries sent (or retried to death)
   uint64_t completed = 0;          // queries answered kOk
   uint64_t rejected = 0;           // kRejectedOverload
   uint64_t budget_exceeded = 0;
+  uint64_t deadline_exceeded = 0;  // kDeadlineExceeded answers
+  uint64_t rejected_draining = 0;  // kRejectedDraining answers
   uint64_t other_statuses = 0;     // kShutdown etc.
-  uint64_t protocol_errors = 0;    // transport/decode failures
+  uint64_t protocol_errors = 0;    // decode/alignment failures
+  uint64_t transport_errors = 0;   // connection-level failures
+  uint64_t timeout_errors = 0;     // client-side deadline expiries
+  uint64_t retries = 0;            // client's re-sent attempts
+  uint64_t reconnects = 0;         // client's internal reconnect cycles
+  bool died = false;               // gave up before the duration elapsed
   std::string first_error;
 
   // Region-cache outcomes reported back by the server (ServeQueryStats),
@@ -77,9 +101,14 @@ struct ChurnReport {
   uint64_t staged_rows = 0;
   uint64_t staged_deletes = 0;
   uint64_t publish_failures = 0;   // stage/publish acks other than kOk
+  uint64_t publishes_deduped = 0;  // retried Publish answered already_applied
+  uint64_t duplicate_publishes = 0;  // the delta landed more than once
   uint64_t ryw_violations = 0;     // post-publish query saw an older seq
   uint64_t protocol_errors = 0;
+  uint64_t retries = 0;
+  uint64_t reconnects = 0;
   uint64_t last_snapshot_seq = 0;
+  bool died = false;
   std::string first_error;
 };
 
@@ -167,15 +196,47 @@ double Percentile(std::vector<double>& sorted, double p) {
   return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
 }
 
+// Classifies a failed RPC into the per-error-class counters.
+void CountClientError(const serve::ToprrClient& client, uint64_t* protocol,
+                      uint64_t* transport, uint64_t* timeout,
+                      std::string* first_error) {
+  switch (client.last_error_code()) {
+    case serve::ClientError::kTimeout:
+      ++*timeout;
+      break;
+    case serve::ClientError::kProtocol:
+      ++*protocol;
+      break;
+    default:
+      ++*transport;
+      break;
+  }
+  if (first_error->empty()) *first_error = client.last_error();
+}
+
 void RunConnection(const std::string& host, int port, size_t dim, int k,
                    double sigma, int batch, double budget_seconds,
                    double duration_seconds, uint64_t seed,
-                   const ZipfMix* mix, WorkerReport* report) {
+                   const ZipfMix* mix, const Resilience& resilience,
+                   WorkerReport* report) {
   serve::ToprrClient client;
+  const bool retrying = resilience.attempts > 1;
+  if (retrying) {
+    serve::RetryPolicy policy;
+    policy.max_attempts = resilience.attempts;
+    client.set_retry_policy(policy);
+  }
+  serve::QueryOptions query_options;
+  query_options.deadline_seconds = resilience.deadline_seconds;
   if (!client.Connect(host, port)) {
-    ++report->protocol_errors;
-    report->first_error = client.last_error();
-    return;
+    if (!retrying) {
+      ++report->transport_errors;
+      report->first_error = client.last_error();
+      report->died = true;
+      return;
+    }
+    // With retry on, the first QueryBatch below reconnects internally.
+    if (report->first_error.empty()) report->first_error = client.last_error();
   }
   Rng rng(seed);
   Timer clock;
@@ -192,19 +253,35 @@ void RunConnection(const std::string& host, int port, size_t dim, int k,
                          : RandomPrefBox(dim, sigma, rng),
           options));
     }
+    report->attempted += queries.size();
     Timer rpc;
-    auto responses = client.SolveBatch(queries);
+    auto responses = client.QueryBatch(queries, query_options);
     if (!responses.has_value()) {
-      ++report->protocol_errors;
-      if (report->first_error.empty()) {
-        report->first_error = client.last_error();
+      CountClientError(client, &report->protocol_errors,
+                       &report->transport_errors, &report->timeout_errors,
+                       &report->first_error);
+      if (!retrying) {
+        // The client closed the broken connection; reconnect and go on
+        // so one hiccup does not silence a whole worker.
+        if (!client.Connect(host, port)) {
+          report->died = true;
+          break;
+        }
+        continue;
       }
-      // The client closed the broken connection; reconnect and go on so
-      // one hiccup does not silence a whole worker.
-      if (!client.Connect(host, port)) return;
+      // Retries are already spent; breathe so an extended outage does
+      // not turn this worker into a busy loop, then try the next batch.
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
       continue;
     }
     report->rpc_millis.push_back(rpc.Millis());
+    if (client.reconnects() != report->reconnects) {
+      // The batch crossed an internal reconnect. If the server was
+      // restarted, its snapshot seq restarted too -- re-baseline the
+      // per-connection monotonicity check instead of flagging it.
+      report->reconnects = client.reconnects();
+      report->last_snapshot_seq = 0;
+    }
     for (const serve::ServeResponse& response : *responses) {
       switch (response.status) {
         case serve::ServeStatus::kOk:
@@ -215,6 +292,12 @@ void RunConnection(const std::string& host, int port, size_t dim, int k,
           break;
         case serve::ServeStatus::kBudgetExceeded:
           ++report->budget_exceeded;
+          break;
+        case serve::ServeStatus::kDeadlineExceeded:
+          ++report->deadline_exceeded;
+          break;
+        case serve::ServeStatus::kRejectedDraining:
+          ++report->rejected_draining;
           break;
         default:
           ++report->other_statuses;
@@ -246,6 +329,8 @@ void RunConnection(const std::string& host, int port, size_t dim, int k,
       }
     }
   }
+  report->retries = client.retries();
+  report->reconnects = client.reconnects();
 }
 
 // The --churn writer: keeps publishing small deltas for the whole run.
@@ -253,18 +338,30 @@ void RunConnection(const std::string& host, int port, size_t dim, int k,
 // the batch lands at [previous physical_rows, ack.physical_rows)), so
 // once enough of its own rows are live it deletes the oldest ones back
 // out and the dataset size stays roughly flat.
-void RunChurnWriter(const std::string& host, int port, int k, double sigma,
-                    double interval_seconds, int rows_per_publish,
-                    double duration_seconds, uint64_t seed,
+void RunChurnWriter(const std::string& host, int port, size_t data_dim,
+                    int k, double sigma, double interval_seconds,
+                    int rows_per_publish, double duration_seconds,
+                    uint64_t seed, const Resilience& resilience,
                     ChurnReport* report) {
   serve::ToprrClient client;
-  if (!client.Connect(host, port)) {
+  const bool retrying = resilience.attempts > 1;
+  if (retrying) {
+    serve::RetryPolicy policy;
+    policy.max_attempts = resilience.attempts;
+    client.set_retry_policy(policy);
+  }
+  if (!client.Connect(host, port) && !retrying) {
     ++report->protocol_errors;
     report->first_error = client.last_error();
+    report->died = true;
     return;
   }
-  const size_t dim = client.server().dim;
+  // The hello is authoritative when available; before the first
+  // successful handshake (retrying through an outage) trust the flag.
+  const size_t dim =
+      client.server().dim != 0 ? client.server().dim : data_dim;
   uint64_t physical_rows = client.server().physical_rows;
+  uint64_t seen_reconnects = client.reconnects();
   std::vector<uint64_t> own_rows;  // our published inserts, oldest first
   Rng rng(seed);
   Timer clock;
@@ -272,16 +369,40 @@ void RunChurnWriter(const std::string& host, int port, int k, double sigma,
     ++report->publish_failures;
     if (report->first_error.empty()) report->first_error = what;
   };
+  // An RPC-level failure kills the whole writer without retry (the old
+  // behavior); with retry it just skips this churn round -- the sleep at
+  // the loop bottom paces the next try.
+  const auto rpc_failed = [&]() {
+    CountClientError(client, &report->protocol_errors,
+                     &report->protocol_errors, &report->protocol_errors,
+                     &report->first_error);
+    if (!retrying) report->died = true;
+    return !retrying;
+  };
+  // Derived row-id bookkeeping is only sound while the connection (and
+  // the server incarnation behind it) is stable. After any reconnect the
+  // server may have restarted with a fresh catalog, so drop the id state
+  // and re-baseline from the new handshake's hello.
+  const auto rebaseline_if_reconnected = [&]() {
+    if (client.reconnects() == seen_reconnects) return false;
+    seen_reconnects = client.reconnects();
+    own_rows.clear();
+    physical_rows = client.server().physical_rows;
+    return true;
+  };
   while (clock.Seconds() < duration_seconds) {
+    const double sleep_left =
+        std::min(interval_seconds, duration_seconds - clock.Seconds());
     std::vector<Vec> rows(static_cast<size_t>(rows_per_publish), Vec(dim));
     for (Vec& row : rows) {
       for (size_t j = 0; j < dim; ++j) row[j] = rng.Uniform();
     }
     auto staged = client.StageInsert(rows);
+    rebaseline_if_reconnected();
     if (!staged.has_value()) {
-      ++report->protocol_errors;
-      if (report->first_error.empty()) report->first_error = client.last_error();
-      return;
+      if (rpc_failed()) return;
+      std::this_thread::sleep_for(std::chrono::duration<double>(sleep_left));
+      continue;
     }
     if (staged->status != serve::MutationStatus::kOk) {
       fail("stage insert: " + staged->message);
@@ -295,36 +416,53 @@ void RunChurnWriter(const std::string& host, int port, int k, double sigma,
       std::vector<uint64_t> victims(own_rows.begin(),
                                     own_rows.begin() + deletes);
       auto staged_del = client.StageDelete(victims);
+      if (rebaseline_if_reconnected()) deletes = 0;
       if (!staged_del.has_value()) {
-        ++report->protocol_errors;
-        if (report->first_error.empty()) {
-          report->first_error = client.last_error();
-        }
-        return;
-      }
-      if (staged_del->status != serve::MutationStatus::kOk) {
+        if (rpc_failed()) return;
+        deletes = 0;
+      } else if (staged_del->status != serve::MutationStatus::kOk) {
         fail("stage delete: " + staged_del->message);
         deletes = 0;
       }
     }
+    const uint64_t reconnects_before_publish = client.reconnects();
     auto published = client.Publish();
     if (!published.has_value()) {
-      ++report->protocol_errors;
-      if (report->first_error.empty()) report->first_error = client.last_error();
-      return;
+      rebaseline_if_reconnected();
+      if (rpc_failed()) return;
+      std::this_thread::sleep_for(std::chrono::duration<double>(sleep_left));
+      continue;
     }
     if (published->status != serve::MutationStatus::kOk) {
       fail("publish: " + published->message);
+      rebaseline_if_reconnected();
       continue;
     }
     ++report->publishes;
-    report->staged_deletes += deletes;
-    own_rows.erase(own_rows.begin(),
-                   own_rows.begin() + static_cast<ptrdiff_t>(deletes));
-    for (uint64_t id = physical_rows; id < published->physical_rows; ++id) {
-      own_rows.push_back(id);
+    if (published->already_applied) ++report->publishes_deduped;
+    const bool stable_connection =
+        client.reconnects() == reconnects_before_publish &&
+        reconnects_before_publish == seen_reconnects;
+    if (stable_connection && !published->already_applied) {
+      // Single writer on a stable incarnation: the publish must have
+      // grown the catalog by exactly the rows staged this round. More
+      // means the delta landed twice (idempotency failure).
+      const uint64_t grew = published->physical_rows - physical_rows;
+      if (grew > rows.size()) ++report->duplicate_publishes;
+      report->staged_deletes += deletes;
+      own_rows.erase(own_rows.begin(),
+                     own_rows.begin() + static_cast<ptrdiff_t>(deletes));
+      for (uint64_t id = physical_rows; id < published->physical_rows; ++id) {
+        own_rows.push_back(id);
+      }
+      physical_rows = published->physical_rows;
+    } else {
+      // The publish crossed a reconnect (or was deduped): derived ids
+      // are unreliable, start the id bookkeeping over from the ack.
+      own_rows.clear();
+      physical_rows = published->physical_rows;
+      seen_reconnects = client.reconnects();
     }
-    physical_rows = published->physical_rows;
     report->last_snapshot_seq = published->snapshot_seq;
 
     // Read-your-writes: the next query on this connection must already
@@ -334,20 +472,23 @@ void RunChurnWriter(const std::string& host, int port, int k, double sigma,
     auto response = client.Query(ToprrQuery::FromBox(
         k, RandomPrefBox(dim - 1, sigma, rng), options));
     if (!response.has_value()) {
-      ++report->protocol_errors;
-      if (report->first_error.empty()) report->first_error = client.last_error();
-      return;
-    }
-    if (response->snapshot_seq < published->snapshot_seq) {
+      rebaseline_if_reconnected();
+      if (rpc_failed()) return;
+    } else if (client.reconnects() == seen_reconnects &&
+               response->snapshot_seq < published->snapshot_seq) {
+      // Only meaningful when no reconnect separated publish and query: a
+      // restarted server legitimately serves a younger seq.
       ++report->ryw_violations;
+    } else {
+      rebaseline_if_reconnected();
     }
-    const double sleep_left =
-        std::min(interval_seconds, duration_seconds - clock.Seconds());
     if (sleep_left > 0.0) {
       std::this_thread::sleep_for(
           std::chrono::duration<double>(sleep_left));
     }
   }
+  report->retries = client.retries();
+  report->reconnects = client.reconnects();
 }
 
 }  // namespace
@@ -372,6 +513,8 @@ int main(int argc, char** argv) {
   bool churn = false;
   double churn_interval = 0.25;
   int churn_rows = 4;
+  int retries = 1;
+  double deadline_ms = 0.0;
   bool help = false;
   flags.AddString("host", &host, "server address");
   flags.AddString("out", &out_path, "write the JSON report here (default: stdout)");
@@ -399,6 +542,13 @@ int main(int argc, char** argv) {
   flags.AddDouble("churn_interval", &churn_interval,
                   "seconds between churn publishes");
   flags.AddInt("churn_rows", &churn_rows, "rows staged per churn publish");
+  flags.AddInt("retries", &retries,
+               "attempts per RPC (>1 turns on the client retry policy: "
+               "transparent reconnect + backoff; workers then survive "
+               "connection loss and server restarts)");
+  flags.AddDouble("deadline_ms", &deadline_ms,
+                  "per-batch deadline in milliseconds (0 = none); enforced "
+                  "server-side AND as a local socket timeout");
   flags.AddBool("help", &help, "print usage");
   if (!flags.Parse(&argc, argv)) return 1;
   if (help) {
@@ -430,6 +580,10 @@ int main(int argc, char** argv) {
                        quantum, static_cast<uint64_t>(seed));
   }
 
+  Resilience resilience;
+  resilience.attempts = std::max(retries, 1);
+  resilience.deadline_seconds = deadline_ms > 0.0 ? deadline_ms / 1000.0 : 0.0;
+
   std::vector<WorkerReport> reports(static_cast<size_t>(connections));
   std::vector<std::thread> workers;
   workers.reserve(reports.size());
@@ -438,14 +592,15 @@ int main(int argc, char** argv) {
     workers.emplace_back(RunConnection, host, port,
                          static_cast<size_t>(d - 1), k, sigma, batch, budget,
                          duration, static_cast<uint64_t>(seed) + 31 * c,
-                         zipf ? &mix : nullptr, &reports[c]);
+                         zipf ? &mix : nullptr, resilience, &reports[c]);
   }
   ChurnReport churn_report;
   std::thread churn_writer;
   if (churn) {
-    churn_writer = std::thread(RunChurnWriter, host, port, k, sigma,
+    churn_writer = std::thread(RunChurnWriter, host, port,
+                               static_cast<size_t>(d), k, sigma,
                                churn_interval, churn_rows, duration,
-                               static_cast<uint64_t>(seed) + 977,
+                               static_cast<uint64_t>(seed) + 977, resilience,
                                &churn_report);
   }
   for (std::thread& worker : workers) worker.join();
@@ -453,12 +608,21 @@ int main(int argc, char** argv) {
   const double elapsed = wall.Seconds();
 
   WorkerReport total;
+  uint64_t dead_workers = 0;
   for (const WorkerReport& report : reports) {
+    total.attempted += report.attempted;
     total.completed += report.completed;
     total.rejected += report.rejected;
     total.budget_exceeded += report.budget_exceeded;
+    total.deadline_exceeded += report.deadline_exceeded;
+    total.rejected_draining += report.rejected_draining;
     total.other_statuses += report.other_statuses;
     total.protocol_errors += report.protocol_errors;
+    total.transport_errors += report.transport_errors;
+    total.timeout_errors += report.timeout_errors;
+    total.retries += report.retries;
+    total.reconnects += report.reconnects;
+    if (report.died) ++dead_workers;
     total.rpc_millis.insert(total.rpc_millis.end(),
                             report.rpc_millis.begin(),
                             report.rpc_millis.end());
@@ -479,6 +643,9 @@ int main(int argc, char** argv) {
     if (total.first_error.empty()) total.first_error = report.first_error;
   }
   total.protocol_errors += churn_report.protocol_errors;
+  total.retries += churn_report.retries;
+  total.reconnects += churn_report.reconnects;
+  if (churn_report.died) ++dead_workers;
   if (total.first_error.empty()) total.first_error = churn_report.first_error;
   std::sort(total.rpc_millis.begin(), total.rpc_millis.end());
   std::sort(total.hit_solve_millis.begin(), total.hit_solve_millis.end());
@@ -508,8 +675,25 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(total.other_statuses));
   json += line;
   std::snprintf(line, sizeof(line),
-                "  \"protocol_errors\": %llu,\n  \"rpcs\": %zu,\n",
+                "  \"attempted_queries\": %llu,\n  \"deadline_exceeded\": "
+                "%llu,\n  \"rejected_draining\": %llu,\n",
+                static_cast<unsigned long long>(total.attempted),
+                static_cast<unsigned long long>(total.deadline_exceeded),
+                static_cast<unsigned long long>(total.rejected_draining));
+  json += line;
+  std::snprintf(line, sizeof(line),
+                "  \"retries\": %llu,\n  \"reconnects\": %llu,\n  "
+                "\"dead_workers\": %llu,\n",
+                static_cast<unsigned long long>(total.retries),
+                static_cast<unsigned long long>(total.reconnects),
+                static_cast<unsigned long long>(dead_workers));
+  json += line;
+  std::snprintf(line, sizeof(line),
+                "  \"protocol_errors\": %llu,\n  \"transport_errors\": "
+                "%llu,\n  \"timeout_errors\": %llu,\n  \"rpcs\": %zu,\n",
                 static_cast<unsigned long long>(total.protocol_errors),
+                static_cast<unsigned long long>(total.transport_errors),
+                static_cast<unsigned long long>(total.timeout_errors),
                 total.rpc_millis.size());
   json += line;
   std::snprintf(line, sizeof(line), "  \"queries_per_second\": %.2f,\n",
@@ -572,6 +756,12 @@ int main(int argc, char** argv) {
   json += line;
   std::snprintf(
       line, sizeof(line),
+      "    \"publishes_deduped\": %llu, \"duplicate_publishes\": %llu,\n",
+      static_cast<unsigned long long>(churn_report.publishes_deduped),
+      static_cast<unsigned long long>(churn_report.duplicate_publishes));
+  json += line;
+  std::snprintf(
+      line, sizeof(line),
       "    \"seq_regressions\": %llu, \"last_snapshot_seq\": %llu},\n",
       static_cast<unsigned long long>(total.seq_regressions),
       static_cast<unsigned long long>(std::max(
@@ -614,6 +804,17 @@ int main(int argc, char** argv) {
   const bool churn_clean =
       !churn || (churn_report.publish_failures == 0 &&
                  churn_report.ryw_violations == 0 &&
+                 churn_report.duplicate_publishes == 0 &&
                  total.seq_regressions == 0);
-  return total.protocol_errors == 0 && churn_clean ? 0 : 1;
+  if (resilience.attempts > 1) {
+    // Chaos semantics: transient errors are the point of the run -- the
+    // retry layer is expected to absorb them. Only correctness failures
+    // (ordering, duplicates) and workers that gave up are fatal; the
+    // completion floor is the gate script's call, not an exit code.
+    return churn_clean && dead_workers == 0 ? 0 : 1;
+  }
+  return total.protocol_errors == 0 && total.transport_errors == 0 &&
+                 total.timeout_errors == 0 && dead_workers == 0 && churn_clean
+             ? 0
+             : 1;
 }

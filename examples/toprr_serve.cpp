@@ -43,6 +43,10 @@ int main(int argc, char** argv) {
   int batch_threads = 1;
   int warm_k = 10;
   int max_staged = 4096;
+  int idle_timeout_ms = 0;
+  int header_timeout_ms = 0;
+  int64_t max_deadline_ms = 30000;
+  double drain_grace = 0.0;
   bool normalize = true;
   bool cache = false;
   double cache_budget_mb = 64.0;
@@ -66,6 +70,15 @@ int main(int argc, char** argv) {
                "pre-compute the k-skyband for this k at startup (0 = skip)");
   flags.AddInt("max_staged", &max_staged,
                "per-connection staged-mutation bound (inserts + deletes)");
+  flags.AddInt("idle_timeout_ms", &idle_timeout_ms,
+               "evict a connection idle between frames this long (0 = never)");
+  flags.AddInt("header_timeout_ms", &header_timeout_ms,
+               "evict a peer that stalls mid-frame this long (0 = never)");
+  flags.AddInt("max_deadline_ms", &max_deadline_ms,
+               "clamp client-requested query deadlines to this ceiling");
+  flags.AddDouble("drain_grace", &drain_grace,
+                  "on SIGTERM, drain: let in-flight work finish up to this "
+                  "many seconds before stopping (<= 0: stop immediately)");
   flags.AddBool("normalize", &normalize, "min-max normalize CSV columns");
   flags.AddBool("cache", &cache,
                 "enable the cross-query region cache for admitted queries");
@@ -120,6 +133,10 @@ int main(int argc, char** argv) {
   if (max_staged > 0) {
     config.max_staged_mutations = static_cast<size_t>(max_staged);
   }
+  config.idle_timeout_ms = idle_timeout_ms;
+  config.header_read_timeout_ms = header_timeout_ms;
+  config.max_deadline_ms =
+      max_deadline_ms > 0 ? static_cast<uint64_t>(max_deadline_ms) : 0;
   serve::ToprrServer server(DatasetSnapshot::FromDataset(data), config);
   std::string error;
   if (!server.Start(&error)) {
@@ -140,6 +157,11 @@ int main(int argc, char** argv) {
     ::usleep(100 * 1000);
   }
 
+  if (drain_grace > 0.0) {
+    std::printf("toprr_serve: draining (grace %.1fs)\n", drain_grace);
+    std::fflush(stdout);
+    server.Drain(drain_grace);
+  }
   server.Stop();
   const ServerStatsSnapshot stats = server.stats().Snapshot();
   std::printf("toprr_serve: shut down; %s\n", stats.DebugString().c_str());

@@ -21,13 +21,25 @@ std::string ServerStatsSnapshot::DebugString() const {
         << " cache_tasks_saved=" << cache_tasks_saved;
   }
   if (mutations_staged + mutations_rejected + publishes_applied +
-          publishes_rejected + version_mismatches >
+          publishes_rejected + publishes_deduped + version_mismatches >
       0) {
     out << " mutations_staged=" << mutations_staged
         << " mutations_rejected=" << mutations_rejected
         << " publishes=" << publishes_applied
         << " publishes_rejected=" << publishes_rejected
+        << " publishes_deduped=" << publishes_deduped
         << " version_mismatches=" << version_mismatches;
+  }
+  if (timeouts_idle + timeouts_read + timeouts_write +
+          queries_deadline_exceeded + queries_rejected_draining +
+          brownout_clamps >
+      0) {
+    out << " timeouts_idle=" << timeouts_idle
+        << " timeouts_read=" << timeouts_read
+        << " timeouts_write=" << timeouts_write
+        << " deadline_exceeded=" << queries_deadline_exceeded
+        << " rejected_draining=" << queries_rejected_draining
+        << " brownout_clamps=" << brownout_clamps;
   }
   return out.str();
 }
@@ -58,8 +70,17 @@ ServerStatsSnapshot ServerStats::Snapshot() const {
   snap.publishes_applied = publishes_applied_.load(std::memory_order_relaxed);
   snap.publishes_rejected =
       publishes_rejected_.load(std::memory_order_relaxed);
+  snap.publishes_deduped = publishes_deduped_.load(std::memory_order_relaxed);
   snap.version_mismatches =
       version_mismatches_.load(std::memory_order_relaxed);
+  snap.timeouts_idle = timeouts_idle_.load(std::memory_order_relaxed);
+  snap.timeouts_read = timeouts_read_.load(std::memory_order_relaxed);
+  snap.timeouts_write = timeouts_write_.load(std::memory_order_relaxed);
+  snap.queries_deadline_exceeded =
+      queries_deadline_exceeded_.load(std::memory_order_relaxed);
+  snap.queries_rejected_draining =
+      queries_rejected_draining_.load(std::memory_order_relaxed);
+  snap.brownout_clamps = brownout_clamps_.load(std::memory_order_relaxed);
   return snap;
 }
 

@@ -42,7 +42,18 @@ struct ServerStatsSnapshot {
   uint64_t mutations_rejected = 0;   // rows/ids refused (validation/limit)
   uint64_t publishes_applied = 0;    // deltas published + SyncCatalog run
   uint64_t publishes_rejected = 0;   // conflict/empty/shutdown publishes
+  uint64_t publishes_deduped = 0;    // retried publishes answered from the
+                                     // applied-publish record (idempotency)
   uint64_t version_mismatches = 0;   // connections rejected at handshake
+
+  // Failure-hardening counters (PR 9): socket timeouts, deadline
+  // expiries, draining rejections, and overload brownouts.
+  uint64_t timeouts_idle = 0;   // connections dropped: no frame started
+  uint64_t timeouts_read = 0;   // connections dropped: stalled mid-frame
+  uint64_t timeouts_write = 0;  // connections dropped: reply write stalled
+  uint64_t queries_deadline_exceeded = 0;
+  uint64_t queries_rejected_draining = 0;
+  uint64_t brownout_clamps = 0;  // budgets clamped under sustained overload
 
   std::string DebugString() const;
 };
@@ -86,7 +97,16 @@ class ServerStats {
   }
   void OnPublishApplied() { Bump(publishes_applied_); }
   void OnPublishRejected() { Bump(publishes_rejected_); }
+  void OnPublishDeduped() { Bump(publishes_deduped_); }
   void OnVersionMismatch() { Bump(version_mismatches_); }
+  void OnIdleTimeout() { Bump(timeouts_idle_); }
+  void OnReadTimeout() { Bump(timeouts_read_); }
+  void OnWriteTimeout() { Bump(timeouts_write_); }
+  void OnQueryDeadlineExceeded() { Bump(queries_deadline_exceeded_); }
+  void OnQueriesRejectedDraining(uint64_t count) {
+    queries_rejected_draining_.fetch_add(count, std::memory_order_relaxed);
+  }
+  void OnBrownoutClamp() { Bump(brownout_clamps_); }
 
   ServerStatsSnapshot Snapshot() const;
 
@@ -113,7 +133,14 @@ class ServerStats {
   std::atomic<uint64_t> mutations_rejected_{0};
   std::atomic<uint64_t> publishes_applied_{0};
   std::atomic<uint64_t> publishes_rejected_{0};
+  std::atomic<uint64_t> publishes_deduped_{0};
   std::atomic<uint64_t> version_mismatches_{0};
+  std::atomic<uint64_t> timeouts_idle_{0};
+  std::atomic<uint64_t> timeouts_read_{0};
+  std::atomic<uint64_t> timeouts_write_{0};
+  std::atomic<uint64_t> queries_deadline_exceeded_{0};
+  std::atomic<uint64_t> queries_rejected_draining_{0};
+  std::atomic<uint64_t> brownout_clamps_{0};
 };
 
 }  // namespace toprr

@@ -1,7 +1,9 @@
 #include "serve/client.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <cstring>
 #include <thread>
 
@@ -15,6 +17,18 @@
 
 namespace toprr {
 namespace serve {
+namespace {
+
+// Milliseconds remaining until `deadline`, clamped at zero.
+double RemainingMs(const std::chrono::steady_clock::time_point& deadline) {
+  const double remaining =
+      std::chrono::duration<double, std::milli>(
+          deadline - std::chrono::steady_clock::now())
+          .count();
+  return remaining > 0.0 ? remaining : 0.0;
+}
+
+}  // namespace
 
 const char* ClientErrorName(ClientError error) {
   switch (error) {
@@ -28,11 +42,31 @@ const char* ClientErrorName(ClientError error) {
       return "PROTOCOL";
     case ClientError::kVersionMismatch:
       return "VERSION_MISMATCH";
+    case ClientError::kTimeout:
+      return "TIMEOUT";
   }
   return "UNKNOWN";
 }
 
+ToprrClient::ToprrClient() {
+  // Seed the jitter RNG and the idempotency token from the system
+  // entropy source; the token must be non-zero (0 means "no token" on
+  // the wire) and should not collide across client processes.
+  std::random_device rd;
+  rng_.seed((static_cast<uint64_t>(rd()) << 32) ^ rd());
+  do {
+    mutation_token_ = (static_cast<uint64_t>(rd()) << 32) ^ rd();
+  } while (mutation_token_ == 0);
+  retry_tokens_ = retry_policy_.retry_budget;
+}
+
 ToprrClient::~ToprrClient() { Close(); }
+
+void ToprrClient::set_retry_policy(const RetryPolicy& policy) {
+  retry_policy_ = policy;
+  retry_tokens_ = policy.retry_budget;
+  prev_backoff_ms_ = 0.0;
+}
 
 bool ToprrClient::Fail(ClientError code, std::string message) {
   last_error_code_ = code;
@@ -41,7 +75,7 @@ bool ToprrClient::Fail(ClientError code, std::string message) {
   return false;
 }
 
-bool ToprrClient::Connect(const std::string& host, int port) {
+bool ToprrClient::ConnectInternal() {
   Close();
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) {
@@ -49,9 +83,9 @@ bool ToprrClient::Connect(const std::string& host, int port) {
   }
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<uint16_t>(port));
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    return Fail(ClientError::kTransport, "bad host " + host);
+  addr.sin_port = htons(static_cast<uint16_t>(port_));
+  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+    return Fail(ClientError::kTransport, "bad host " + host_);
   }
   int rc;
   do {
@@ -59,7 +93,7 @@ bool ToprrClient::Connect(const std::string& host, int port) {
   } while (rc < 0 && errno == EINTR);
   if (rc < 0) {
     return Fail(ClientError::kTransport,
-                "connect " + host + ":" + std::to_string(port) + ": " +
+                "connect " + host_ + ":" + std::to_string(port_) + ": " +
                     std::strerror(errno));
   }
   // Frames go out as prefix + payload writes; Nagle + delayed ACK would
@@ -82,6 +116,107 @@ bool ToprrClient::Connect(const std::string& host, int port) {
   return true;
 }
 
+bool ToprrClient::Connect(const std::string& host, int port) {
+  host_ = host;
+  port_ = port;
+  // An explicit Connect starts a fresh session: whatever delta the old
+  // session had staged died with it on the server, and the caller chose
+  // not to ride the internal reconnect path that would restore it.
+  staged_rows_.clear();
+  staged_deletes_.clear();
+  if (!ConnectInternal()) return false;
+  ever_connected_ = true;
+  return true;
+}
+
+bool ToprrClient::ConsumeRetry(ClientError error) {
+  switch (error) {
+    case ClientError::kTransport:
+    case ClientError::kTimeout:
+    case ClientError::kProtocol:
+    case ClientError::kNotConnected:
+      break;
+    // A version mismatch will not heal by retrying against the same
+    // address, and kNone means no failure happened.
+    case ClientError::kVersionMismatch:
+    case ClientError::kNone:
+      return false;
+  }
+  if (retry_tokens_ < 1.0) return false;
+  retry_tokens_ -= 1.0;
+  ++retries_;
+  return true;
+}
+
+void ToprrClient::RefundRetryToken() {
+  retry_tokens_ = std::min(retry_policy_.retry_budget,
+                           retry_tokens_ + retry_policy_.retry_refund);
+}
+
+void ToprrClient::Backoff(double remaining_ms) {
+  // Decorrelated jitter: each sleep is uniform over [base, 3 * previous],
+  // capped -- spreads a thundering herd of reconnecting clients without
+  // the lockstep of plain exponential backoff.
+  const double base = std::max(retry_policy_.initial_backoff_ms, 0.0);
+  const double prev = std::max(prev_backoff_ms_, base);
+  double hi = std::min(prev * 3.0, retry_policy_.max_backoff_ms);
+  if (hi < base) hi = base;
+  std::uniform_real_distribution<double> dist(base, hi);
+  double sleep_ms = dist(rng_);
+  prev_backoff_ms_ = sleep_ms;
+  if (remaining_ms >= 0.0) sleep_ms = std::min(sleep_ms, remaining_ms);
+  if (sleep_ms > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+        sleep_ms));
+  }
+}
+
+bool ToprrClient::ReconnectAndRestore() {
+  if (host_.empty() || !ever_connected_) {
+    return Fail(ClientError::kNotConnected, "never connected");
+  }
+  if (!ConnectInternal()) return false;
+  // The server-side session is born empty on every connection: restore
+  // the mirror (all-or-nothing frames, so a kOk ack means everything in
+  // it is staged again) before the caller re-sends anything.
+  if (!staged_rows_.empty()) {
+    std::optional<MutationAck> ack =
+        MutationRoundTrip(EncodeStageInsert(staged_rows_));
+    if (!ack.has_value()) return false;
+    if (ack->status != MutationStatus::kOk) {
+      return Fail(ClientError::kProtocol,
+                  std::string("re-staging rows after reconnect failed: ") +
+                      MutationStatusName(ack->status) +
+                      (ack->message.empty() ? "" : " (" + ack->message + ")"));
+    }
+  }
+  if (!staged_deletes_.empty()) {
+    std::optional<MutationAck> ack =
+        MutationRoundTrip(EncodeStageDelete(staged_deletes_));
+    if (!ack.has_value()) return false;
+    if (ack->status != MutationStatus::kOk) {
+      return Fail(ClientError::kProtocol,
+                  std::string("re-staging deletes after reconnect failed: ") +
+                      MutationStatusName(ack->status) +
+                      (ack->message.empty() ? "" : " (" + ack->message + ")"));
+    }
+  }
+  ++reconnects_;
+  return true;
+}
+
+void ToprrClient::ArmSocketDeadline(uint64_t deadline_ms) {
+  if (fd_ < 0) return;
+  FdStream stream(fd_);
+  const int ms =
+      deadline_ms > 0
+          ? static_cast<int>(std::min<uint64_t>(deadline_ms, INT32_MAX) +
+                             kDeadlineSocketSlackMs)
+          : 0;
+  stream.SetReadTimeoutMs(ms);
+  stream.SetWriteTimeoutMs(ms);
+}
+
 bool ToprrClient::RoundTrip(const std::string& request,
                             std::string* payload) {
   if (fd_ < 0) {
@@ -89,11 +224,15 @@ bool ToprrClient::RoundTrip(const std::string& request,
   }
   FdStream stream(fd_);
   if (!WriteFrame(stream, request)) {
-    return Fail(ClientError::kTransport,
+    const bool timed_out = errno == EAGAIN || errno == EWOULDBLOCK;
+    return Fail(timed_out ? ClientError::kTimeout : ClientError::kTransport,
                 std::string("request write failed: ") +
                     std::strerror(errno));
   }
   const FrameReadStatus read_status = ReadFrame(stream, payload);
+  if (read_status == FrameReadStatus::kTimeout) {
+    return Fail(ClientError::kTimeout, "deadline expired awaiting the reply");
+  }
   if (read_status != FrameReadStatus::kOk) {
     return Fail(ClientError::kTransport,
                 std::string("response frame ") +
@@ -118,38 +257,96 @@ bool ToprrClient::RoundTrip(const std::string& request,
 }
 
 std::optional<ServeResponse> ToprrClient::Query(const ToprrQuery& query) {
-  std::optional<std::vector<ServeResponse>> responses = QueryBatch({query});
+  return Query(query, QueryOptions{});
+}
+
+std::optional<ServeResponse> ToprrClient::Query(const ToprrQuery& query,
+                                                const QueryOptions& options) {
+  std::optional<std::vector<ServeResponse>> responses =
+      QueryBatch({query}, options);
   if (!responses.has_value() || responses->empty()) return std::nullopt;
   return std::move(responses->front());
 }
 
 std::optional<std::vector<ServeResponse>> ToprrClient::QueryBatch(
     const std::vector<ToprrQuery>& queries) {
-  std::string payload;
-  if (!RoundTrip(EncodeQueryBatch(queries), &payload)) return std::nullopt;
-  std::vector<ServeResponse> responses;
-  std::string decode_error;
-  if (!DecodeResponseBatch(payload, &responses, &decode_error)) {
-    Fail(ClientError::kProtocol, "undecodable response: " + decode_error);
-    return std::nullopt;
+  return QueryBatch(queries, QueryOptions{});
+}
+
+std::optional<std::vector<ServeResponse>> ToprrClient::QueryBatch(
+    const std::vector<ToprrQuery>& queries, const QueryOptions& options) {
+  const bool has_deadline = options.deadline_seconds > 0.0;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(
+              has_deadline ? options.deadline_seconds : 0.0));
+
+  const int max_attempts = std::max(retry_policy_.max_attempts, 1);
+  for (int attempt = 0;; ++attempt) {
+    // Each attempt sends the REMAINING deadline: the wire field is
+    // relative to frame arrival, and time burned on failed attempts and
+    // backoff must count against the caller's budget, not reset it.
+    uint64_t deadline_ms = 0;
+    if (has_deadline) {
+      const double remaining = RemainingMs(deadline);
+      if (remaining <= 0.0) {
+        Fail(ClientError::kTimeout, "deadline expired before the request");
+        return std::nullopt;
+      }
+      deadline_ms = static_cast<uint64_t>(std::ceil(remaining));
+    }
+
+    if (fd_ < 0) {
+      // Reconnect counts as part of this attempt; a failed reconnect
+      // falls through to the shared retry decision below.
+      if (!ReconnectAndRestore()) {
+        if (attempt + 1 >= max_attempts || !ConsumeRetry(last_error_code_)) {
+          return std::nullopt;
+        }
+        Backoff(has_deadline ? RemainingMs(deadline) : -1.0);
+        continue;
+      }
+    }
+
+    ArmSocketDeadline(has_deadline ? deadline_ms : 0);
+    std::string payload;
+    const bool sent =
+        RoundTrip(EncodeQueryBatch(queries, deadline_ms), &payload);
+    if (sent) {
+      std::vector<ServeResponse> responses;
+      std::string decode_error;
+      if (!DecodeResponseBatch(payload, &responses, &decode_error)) {
+        Fail(ClientError::kProtocol,
+             "undecodable response: " + decode_error);
+        return std::nullopt;
+      }
+      // A lone kMalformed marker is the server's "could not decode your
+      // request" answer and legitimately mismatches the query count; any
+      // other count mismatch means the stream lost alignment.
+      const bool malformed_marker =
+          responses.size() == 1 && queries.size() != 1 &&
+          responses[0].status == ServeStatus::kMalformed;
+      if (responses.size() != queries.size() && !malformed_marker) {
+        Fail(ClientError::kTransport, "response count mismatch");
+        return std::nullopt;
+      }
+      last_error_.clear();
+      last_error_code_ = ClientError::kNone;
+      RefundRetryToken();
+      ResetBackoff();
+      return responses;
+    }
+    if (attempt + 1 >= max_attempts || !ConsumeRetry(last_error_code_)) {
+      return std::nullopt;
+    }
+    Backoff(has_deadline ? RemainingMs(deadline) : -1.0);
   }
-  // A lone kMalformed marker is the server's "could not decode your
-  // request" answer and legitimately mismatches the query count; any
-  // other count mismatch means the stream lost alignment.
-  const bool malformed_marker =
-      responses.size() == 1 && queries.size() != 1 &&
-      responses[0].status == ServeStatus::kMalformed;
-  if (responses.size() != queries.size() && !malformed_marker) {
-    Fail(ClientError::kTransport, "response count mismatch");
-    return std::nullopt;
-  }
-  last_error_.clear();
-  last_error_code_ = ClientError::kNone;
-  return responses;
 }
 
 std::optional<MutationAck> ToprrClient::MutationRoundTrip(
     const std::string& request) {
+  ArmSocketDeadline(0);
   std::string payload;
   if (!RoundTrip(request, &payload)) return std::nullopt;
   MutationAck ack;
@@ -166,20 +363,101 @@ std::optional<MutationAck> ToprrClient::MutationRoundTrip(
 
 std::optional<MutationAck> ToprrClient::StageInsert(
     const std::vector<Vec>& rows) {
-  return MutationRoundTrip(EncodeStageInsert(rows));
+  const int max_attempts = std::max(retry_policy_.max_attempts, 1);
+  for (int attempt = 0;; ++attempt) {
+    std::optional<MutationAck> ack;
+    if (fd_ >= 0 || ReconnectAndRestore()) {
+      ack = MutationRoundTrip(EncodeStageInsert(rows));
+    }
+    if (ack.has_value()) {
+      // Mirror only what the server actually staged: a rejected frame
+      // (validation, limit) staged nothing, all-or-nothing.
+      if (ack->status == MutationStatus::kOk) {
+        staged_rows_.insert(staged_rows_.end(), rows.begin(), rows.end());
+      }
+      RefundRetryToken();
+      ResetBackoff();
+      return ack;
+    }
+    if (attempt + 1 >= max_attempts || !ConsumeRetry(last_error_code_)) {
+      return std::nullopt;
+    }
+    Backoff(-1.0);
+  }
 }
 
 std::optional<MutationAck> ToprrClient::StageDelete(
     const std::vector<uint64_t>& row_ids) {
-  return MutationRoundTrip(EncodeStageDelete(row_ids));
+  const int max_attempts = std::max(retry_policy_.max_attempts, 1);
+  for (int attempt = 0;; ++attempt) {
+    std::optional<MutationAck> ack;
+    if (fd_ >= 0 || ReconnectAndRestore()) {
+      ack = MutationRoundTrip(EncodeStageDelete(row_ids));
+    }
+    if (ack.has_value()) {
+      if (ack->status == MutationStatus::kOk) {
+        staged_deletes_.insert(staged_deletes_.end(), row_ids.begin(),
+                               row_ids.end());
+      }
+      RefundRetryToken();
+      ResetBackoff();
+      return ack;
+    }
+    if (attempt + 1 >= max_attempts || !ConsumeRetry(last_error_code_)) {
+      return std::nullopt;
+    }
+    Backoff(-1.0);
+  }
 }
 
 std::optional<MutationAck> ToprrClient::Publish() {
-  return MutationRoundTrip(EncodePublish());
+  // The publish id is fixed for the whole retry loop: a lost-ack retry
+  // must present the same (token, id) for the server to recognize it as
+  // already applied. It only advances after a definitive kOk.
+  const uint64_t publish_id = next_publish_id_;
+  const std::string request = EncodePublish(mutation_token_, publish_id);
+  const int max_attempts = std::max(retry_policy_.max_attempts, 1);
+  for (int attempt = 0;; ++attempt) {
+    std::optional<MutationAck> ack;
+    if (fd_ >= 0 || ReconnectAndRestore()) {
+      ack = MutationRoundTrip(request);
+    }
+    if (ack.has_value()) {
+      if (ack->status == MutationStatus::kOk) {
+        // Applied now, or recognized as applied before the ack was lost
+        // (already_applied): either way the delta is in the catalog.
+        staged_rows_.clear();
+        staged_deletes_.clear();
+        ++next_publish_id_;
+      }
+      RefundRetryToken();
+      ResetBackoff();
+      return ack;
+    }
+    if (attempt + 1 >= max_attempts || !ConsumeRetry(last_error_code_)) {
+      return std::nullopt;
+    }
+    Backoff(-1.0);
+  }
 }
 
 std::optional<MutationAck> ToprrClient::CatalogInfo() {
-  return MutationRoundTrip(EncodeCatalogInfo());
+  const int max_attempts = std::max(retry_policy_.max_attempts, 1);
+  for (int attempt = 0;; ++attempt) {
+    std::optional<MutationAck> ack;
+    if (fd_ >= 0 || ReconnectAndRestore()) {
+      ack = MutationRoundTrip(EncodeCatalogInfo());
+    }
+    if (ack.has_value()) {
+      RefundRetryToken();
+      ResetBackoff();
+      return ack;
+    }
+    if (attempt + 1 >= max_attempts || !ConsumeRetry(last_error_code_)) {
+      return std::nullopt;
+    }
+    Backoff(-1.0);
+  }
 }
 
 bool ToprrClient::WaitForSnapshot(uint64_t min_snapshot_seq,
@@ -188,11 +466,18 @@ bool ToprrClient::WaitForSnapshot(uint64_t min_snapshot_seq,
       std::chrono::steady_clock::now() +
       std::chrono::duration_cast<std::chrono::steady_clock::duration>(
           std::chrono::duration<double>(timeout_seconds));
+  // Exponential backoff between polls: starts near-immediate (a publish
+  // usually syncs within a round trip), caps at 250ms so a long wait
+  // does not hammer the server, and every sleep is clipped to the time
+  // remaining so the deadline is honored exactly, never overshot.
+  double poll_ms = 2.0;
+  constexpr double kMaxPollMs = 250.0;
   for (;;) {
     const std::optional<MutationAck> ack = CatalogInfo();
     if (!ack.has_value()) return false;  // typed error already recorded
     if (ack->snapshot_seq >= min_snapshot_seq) return true;
-    if (std::chrono::steady_clock::now() >= deadline) {
+    const double remaining = RemainingMs(deadline);
+    if (remaining <= 0.0) {
       last_error_code_ = ClientError::kNone;
       last_error_ =
           "timed out waiting for snapshot seq " +
@@ -200,7 +485,9 @@ bool ToprrClient::WaitForSnapshot(uint64_t min_snapshot_seq,
           std::to_string(ack->snapshot_seq) + ")";
       return false;
     }
-    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+        std::min(poll_ms, remaining)));
+    poll_ms = std::min(poll_ms * 2.0, kMaxPollMs);
   }
 }
 

@@ -12,21 +12,31 @@ namespace serve {
 namespace {
 
 // Outcome of draining an exact byte count from a stream.
-enum class FillStatus { kOk, kEof, kError };
+enum class FillStatus { kOk, kEof, kTimeout, kError };
+
+// A stream that keeps returning 0 from WriteSome is not making progress
+// and never will; after this many consecutive zero-length transfers the
+// loop gives up instead of spinning forever.
+constexpr int kMaxConsecutiveZeroWrites = 16;
 
 // Reads exactly `length` bytes, looping over short reads; EINTR restarts
 // the read. kEof means the stream ended before `length` bytes arrived
-// (*filled tells the caller whether any arrived at all).
+// (*filled tells the caller whether any arrived at all). kTimeout means
+// an armed SO_RCVTIMEO expired (EAGAIN/EWOULDBLOCK). `watcher`, when
+// non-null, is notified once when the first byte arrives.
 FillStatus ReadFull(ByteStream& stream, void* buffer, size_t length,
-                    size_t* filled) {
+                    size_t* filled, FrameWatcher* watcher = nullptr) {
   *filled = 0;
   char* out = static_cast<char*>(buffer);
   while (*filled < length) {
     const ssize_t n = stream.ReadSome(out + *filled, length - *filled);
     if (n > 0) {
+      if (*filled == 0 && watcher != nullptr) watcher->OnFrameStart();
       *filled += static_cast<size_t>(n);
     } else if (n == 0) {
       return FillStatus::kEof;
+    } else if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return FillStatus::kTimeout;
     } else if (errno != EINTR) {
       return FillStatus::kError;
     }
@@ -35,19 +45,40 @@ FillStatus ReadFull(ByteStream& stream, void* buffer, size_t length,
 }
 
 // Writes exactly `length` bytes, looping over short writes and EINTR.
+// Returns false with errno set on failure: an armed SO_SNDTIMEO expiry
+// keeps EAGAIN, and a stream stuck at zero-length writes is reported as
+// EIO after a bounded number of consecutive zero returns.
 bool WriteFull(ByteStream& stream, const void* buffer, size_t length) {
   const char* in = static_cast<const char*>(buffer);
   size_t sent = 0;
+  int zero_writes = 0;
   while (sent < length) {
     const ssize_t n = stream.WriteSome(in + sent, length - sent);
     if (n > 0) {
       sent += static_cast<size_t>(n);
-    } else if (n < 0 && errno != EINTR) {
+      zero_writes = 0;
+    } else if (n == 0) {
+      if (++zero_writes >= kMaxConsecutiveZeroWrites) {
+        errno = EIO;
+        return false;
+      }
+    } else if (errno != EINTR) {
       return false;
     }
-    // n == 0 from a blocking stream is odd but not an error; retry.
   }
   return true;
+}
+
+// Converts a millisecond timeout into the struct timeval SO_*TIMEO
+// expects; 0 means "blocking" in both representations.
+bool SetFdTimeout(int fd, int optname, int ms) {
+  struct timeval tv;
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = (ms % 1000) * 1000;
+  if (::setsockopt(fd, SOL_SOCKET, optname, &tv, sizeof(tv)) == 0) return true;
+  // Pipes and other non-sockets simply have no timeout support; tests
+  // drive FdStream over pipes, so tolerate that quietly.
+  return errno == ENOTSOCK;
 }
 
 }  // namespace
@@ -62,6 +93,14 @@ ssize_t FdStream::WriteSome(const void* buffer, size_t length) {
   return n;
 }
 
+bool FdStream::SetReadTimeoutMs(int ms) {
+  return SetFdTimeout(fd_, SO_RCVTIMEO, ms);
+}
+
+bool FdStream::SetWriteTimeoutMs(int ms) {
+  return SetFdTimeout(fd_, SO_SNDTIMEO, ms);
+}
+
 const char* FrameReadStatusName(FrameReadStatus status) {
   switch (status) {
     case FrameReadStatus::kOk:
@@ -72,6 +111,8 @@ const char* FrameReadStatusName(FrameReadStatus status) {
       return "truncated";
     case FrameReadStatus::kOversized:
       return "oversized";
+    case FrameReadStatus::kTimeout:
+      return "timeout";
     case FrameReadStatus::kIoError:
       return "io-error";
   }
@@ -79,16 +120,23 @@ const char* FrameReadStatusName(FrameReadStatus status) {
 }
 
 FrameReadStatus ReadFrame(ByteStream& stream, std::string* payload,
-                          size_t max_payload) {
+                          size_t max_payload, FrameWatcher* watcher,
+                          bool* frame_started) {
   payload->clear();
+  if (frame_started != nullptr) *frame_started = false;
   unsigned char prefix[4];
   size_t filled = 0;
-  switch (ReadFull(stream, prefix, sizeof(prefix), &filled)) {
+  const FillStatus prefix_status =
+      ReadFull(stream, prefix, sizeof(prefix), &filled, watcher);
+  if (frame_started != nullptr) *frame_started = filled > 0;
+  switch (prefix_status) {
     case FillStatus::kOk:
       break;
     case FillStatus::kEof:
       // Nothing of a new frame yet: the peer simply closed.
       return filled == 0 ? FrameReadStatus::kEof : FrameReadStatus::kTruncated;
+    case FillStatus::kTimeout:
+      return FrameReadStatus::kTimeout;
     case FillStatus::kError:
       return FrameReadStatus::kIoError;
   }
@@ -105,6 +153,9 @@ FrameReadStatus ReadFrame(ByteStream& stream, std::string* payload,
     case FillStatus::kEof:
       payload->clear();
       return FrameReadStatus::kTruncated;
+    case FillStatus::kTimeout:
+      payload->clear();
+      return FrameReadStatus::kTimeout;
     case FillStatus::kError:
       payload->clear();
       return FrameReadStatus::kIoError;

@@ -14,6 +14,15 @@
 // loops run against the abstract ByteStream so the serve-labeled framing
 // test can drive them through a deliberately fragmenting mock stream;
 // production code wraps a socket fd in FdStream.
+//
+// Socket timeouts (SO_RCVTIMEO/SO_SNDTIMEO, armed via
+// FdStream::SetReadTimeoutMs/SetWriteTimeoutMs) surface as the typed
+// kTimeout status — distinct from EOF and from hard I/O errors — so the
+// server can evict idle or glacial peers without mistaking them for
+// clean disconnects. A FrameWatcher lets the caller observe the first
+// byte of a frame arriving, which is the hook the server uses to switch
+// from the (long) idle timeout to the (short) header-read timeout once a
+// peer has committed to sending a frame.
 #ifndef TOPRR_SERVE_FRAMING_H_
 #define TOPRR_SERVE_FRAMING_H_
 
@@ -49,6 +58,13 @@ class FdStream : public ByteStream {
   ssize_t ReadSome(void* buffer, size_t length) override;
   ssize_t WriteSome(const void* buffer, size_t length) override;
 
+  /// Arms SO_RCVTIMEO / SO_SNDTIMEO so a blocked read/write returns
+  /// EAGAIN after `ms` milliseconds (0 restores fully blocking).
+  /// Returns false only on a real setsockopt failure; ENOTSOCK (pipes
+  /// in tests) is tolerated and reported as success-without-effect.
+  bool SetReadTimeoutMs(int ms);
+  bool SetWriteTimeoutMs(int ms);
+
  private:
   int fd_;
 };
@@ -61,19 +77,40 @@ enum class FrameReadStatus {
   kTruncated,
   /// The length prefix exceeds `max_payload`; nothing was buffered.
   kOversized,
+  /// An armed socket timeout expired (EAGAIN/EWOULDBLOCK). Check
+  /// `frame_started` on the watcher (or the out-param) to distinguish an
+  /// idle peer from one that stalled mid-frame.
+  kTimeout,
   /// read(2) failed (errno-level error other than EINTR).
   kIoError,
 };
 
 const char* FrameReadStatusName(FrameReadStatus status);
 
+/// Observer for frame-read progress. OnFrameStart fires once per frame,
+/// when the first byte of the length prefix arrives — the moment a peer
+/// stops being "idle" and starts being "mid-frame".
+class FrameWatcher {
+ public:
+  virtual ~FrameWatcher() = default;
+  virtual void OnFrameStart() {}
+};
+
 /// Reads one complete frame, looping over short reads and EINTR.
+/// `frame_started`, when non-null, is set to whether at least one byte
+/// of this frame had arrived before the status was reached (always true
+/// for kOk; meaningful for kTimeout/kTruncated classification).
 FrameReadStatus ReadFrame(ByteStream& stream, std::string* payload,
-                          size_t max_payload = kMaxFramePayloadBytes);
+                          size_t max_payload = kMaxFramePayloadBytes,
+                          FrameWatcher* watcher = nullptr,
+                          bool* frame_started = nullptr);
 
 /// Writes one complete frame (prefix + payload), looping over short
 /// writes and EINTR. Returns false on a write error (e.g. EPIPE when the
-/// peer already closed).
+/// peer already closed) with errno describing the failure — EAGAIN/
+/// EWOULDBLOCK means an armed write timeout expired. A stream stuck
+/// returning 0 is treated as broken after a small bounded number of
+/// consecutive zero-length writes (errno EIO) rather than spinning.
 bool WriteFrame(ByteStream& stream, const std::string& payload);
 
 }  // namespace serve

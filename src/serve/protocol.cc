@@ -39,6 +39,20 @@ constexpr size_t kMinResponseBytes =
 // must not make the server/client buffer an arbitrary string.
 constexpr uint32_t kMaxAckMessageBytes = 256;
 
+// Query-batch extension-block flags (the optional trailing block after
+// the last query). Unknown bits are a decode error: the block is only
+// emitted by encoders that know about it, so garbage here means a
+// desynced or corrupt frame, not a future peer.
+constexpr uint32_t kBatchFlagDeadline = 1u << 0;
+constexpr uint32_t kBatchFlagsKnown = kBatchFlagDeadline;
+
+// Publish reserved-word flags.
+constexpr uint32_t kPublishFlagIdempotency = 1u << 0;
+constexpr uint32_t kPublishFlagsKnown = kPublishFlagIdempotency;
+
+// MutationAck flags byte.
+constexpr uint8_t kAckFlagAlreadyApplied = 1u << 0;
+
 void WriteHeader(WireWriter& writer, MessageType type) {
   writer.U32(kProtocolMagic);
   writer.U8(kProtocolVersion);
@@ -217,7 +231,9 @@ bool ReadResponse(WireReader& reader, ServeResponse* response) {
       !reader.U64(&response->snapshot_seq)) {
     return false;
   }
-  if (status > static_cast<uint8_t>(ServeStatus::kInternalError)) return false;
+  if (status > static_cast<uint8_t>(ServeStatus::kRejectedDraining)) {
+    return false;
+  }
   if (response->stats.cache_lookup >
       static_cast<uint8_t>(CacheLookup::kPartial)) {
     return false;
@@ -264,6 +280,10 @@ const char* ServeStatusName(ServeStatus status) {
       return "SHUTDOWN";
     case ServeStatus::kInternalError:
       return "INTERNAL_ERROR";
+    case ServeStatus::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case ServeStatus::kRejectedDraining:
+      return "REJECTED_DRAINING";
   }
   return "UNKNOWN";
 }
@@ -305,18 +325,25 @@ ServeResponse ResponseFromResult(const ToprrResult& result) {
   return response;
 }
 
-std::string EncodeQueryBatch(const std::vector<ToprrQuery>& queries) {
+std::string EncodeQueryBatch(const std::vector<ToprrQuery>& queries,
+                             uint64_t deadline_ms) {
   std::string payload;
   WireWriter writer(&payload);
   WriteHeader(writer, MessageType::kQueryBatch);
   writer.U32(static_cast<uint32_t>(queries.size()));
   for (const ToprrQuery& query : queries) WriteQuery(writer, query);
+  if (deadline_ms > 0) {
+    writer.U32(kBatchFlagDeadline);
+    writer.U64(deadline_ms);
+  }
   return payload;
 }
 
 bool DecodeQueryBatch(const std::string& payload,
-                      std::vector<ToprrQuery>* queries, std::string* error) {
+                      std::vector<ToprrQuery>* queries, uint64_t* deadline_ms,
+                      std::string* error) {
   queries->clear();
+  if (deadline_ms != nullptr) *deadline_ms = 0;
   WireReader reader(payload);
   if (!ReadHeader(reader, MessageType::kQueryBatch, error)) return false;
   uint32_t count;
@@ -331,11 +358,32 @@ bool DecodeQueryBatch(const std::string& payload,
                         "truncated or malformed query " + std::to_string(i));
     }
   }
+  // Optional extension block: absent entirely on pre-deadline encoders.
   if (reader.remaining() != 0) {
-    queries->clear();
-    return FailDecode(error, "trailing bytes after the last query");
+    uint32_t flags;
+    if (!reader.U32(&flags) || (flags & ~kBatchFlagsKnown) != 0) {
+      queries->clear();
+      return FailDecode(error, "bad query-batch extension flags");
+    }
+    if ((flags & kBatchFlagDeadline) != 0) {
+      uint64_t deadline;
+      if (!reader.U64(&deadline)) {
+        queries->clear();
+        return FailDecode(error, "truncated query-batch deadline");
+      }
+      if (deadline_ms != nullptr) *deadline_ms = deadline;
+    }
+    if (reader.remaining() != 0) {
+      queries->clear();
+      return FailDecode(error, "trailing bytes after the extension block");
+    }
   }
   return true;
+}
+
+bool DecodeQueryBatch(const std::string& payload,
+                      std::vector<ToprrQuery>* queries, std::string* error) {
+  return DecodeQueryBatch(payload, queries, nullptr, error);
 }
 
 std::string EncodeResponseBatch(const std::vector<ServeResponse>& responses) {
@@ -535,12 +583,53 @@ bool DecodeStageDelete(const std::string& payload,
   return true;
 }
 
-std::string EncodePublish() {
-  return EncodeEmptyBody(MessageType::kPublish);
+std::string EncodePublish(uint64_t idempotency_token, uint64_t publish_id) {
+  if (idempotency_token == 0) {
+    // Byte-identical to the pre-idempotency encoding (reserved word 0).
+    return EncodeEmptyBody(MessageType::kPublish);
+  }
+  std::string payload;
+  WireWriter writer(&payload);
+  WriteHeader(writer, MessageType::kPublish);
+  writer.U32(kPublishFlagIdempotency);
+  writer.U64(idempotency_token);
+  writer.U64(publish_id);
+  return payload;
+}
+
+bool DecodePublish(const std::string& payload, uint64_t* idempotency_token,
+                   uint64_t* publish_id, std::string* error) {
+  if (idempotency_token != nullptr) *idempotency_token = 0;
+  if (publish_id != nullptr) *publish_id = 0;
+  WireReader reader(payload);
+  if (!ReadHeader(reader, MessageType::kPublish, error)) return false;
+  uint32_t flags;
+  if (!reader.U32(&flags)) {
+    return FailDecode(error, "truncated publish");
+  }
+  if ((flags & ~kPublishFlagsKnown) != 0) {
+    return FailDecode(error, "unknown publish flags");
+  }
+  if ((flags & kPublishFlagIdempotency) != 0) {
+    uint64_t token;
+    uint64_t id;
+    if (!reader.U64(&token) || !reader.U64(&id)) {
+      return FailDecode(error, "truncated publish idempotency token");
+    }
+    if (token == 0) {
+      return FailDecode(error, "zero publish idempotency token");
+    }
+    if (idempotency_token != nullptr) *idempotency_token = token;
+    if (publish_id != nullptr) *publish_id = id;
+  }
+  if (reader.remaining() != 0) {
+    return FailDecode(error, "trailing bytes after the publish");
+  }
+  return true;
 }
 
 bool DecodePublish(const std::string& payload, std::string* error) {
-  return DecodeEmptyBody(payload, MessageType::kPublish, "publish", error);
+  return DecodePublish(payload, nullptr, nullptr, error);
 }
 
 std::string EncodeCatalogInfo() {
@@ -563,6 +652,9 @@ std::string EncodeMutationAck(const MutationAck& ack) {
   writer.U64(ack.physical_rows);
   writer.U32(ack.staged_inserts);
   writer.U32(ack.staged_deletes);
+  writer.U8(ack.already_applied ? kAckFlagAlreadyApplied : 0);
+  writer.U64(ack.idempotency_token);
+  writer.U64(ack.publish_id);
   const uint32_t message_len = static_cast<uint32_t>(
       std::min<size_t>(ack.message.size(), kMaxAckMessageBytes));
   writer.U32(message_len);
@@ -578,17 +670,24 @@ bool DecodeMutationAck(const std::string& payload, MutationAck* ack,
   WireReader reader(payload);
   if (!ReadHeader(reader, MessageType::kMutationAck, error)) return false;
   uint8_t status;
+  uint8_t ack_flags;
   uint32_t message_len;
   if (!reader.U8(&status) || !reader.U64(&ack->snapshot_id) ||
       !reader.U64(&ack->snapshot_seq) || !reader.U64(&ack->live_rows) ||
       !reader.U64(&ack->physical_rows) || !reader.U32(&ack->staged_inserts) ||
-      !reader.U32(&ack->staged_deletes) || !reader.U32(&message_len)) {
+      !reader.U32(&ack->staged_deletes) || !reader.U8(&ack_flags) ||
+      !reader.U64(&ack->idempotency_token) || !reader.U64(&ack->publish_id) ||
+      !reader.U32(&message_len)) {
     return FailDecode(error, "truncated mutation ack");
   }
   if (status > static_cast<uint8_t>(MutationStatus::kInternalError)) {
     return FailDecode(error, "unknown mutation status");
   }
+  if ((ack_flags & ~kAckFlagAlreadyApplied) != 0) {
+    return FailDecode(error, "unknown mutation-ack flags");
+  }
   ack->status = static_cast<MutationStatus>(status);
+  ack->already_applied = (ack_flags & kAckFlagAlreadyApplied) != 0;
   if (message_len > kMaxAckMessageBytes ||
       !reader.CheckCount(message_len, 1)) {
     return FailDecode(error, "bad ack message length");

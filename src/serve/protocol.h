@@ -92,6 +92,15 @@ enum class ServeStatus : uint8_t {
   /// The server is shutting down; in-flight work was cancelled.
   kShutdown = 4,
   kInternalError = 5,
+  /// The batch's deadline (client-requested, server-clamped by
+  /// ServerConfig::max_deadline_ms) expired before the solve finished.
+  /// Unlike kBudgetExceeded this is an end-to-end wall-clock promise:
+  /// the server armed the cooperative-cancel flag from a deadline timer.
+  kDeadlineExceeded = 6,
+  /// The server is draining (Drain() was called): it finishes in-flight
+  /// work but answers new queries with this status. Retryable against
+  /// another replica -- or the same address after the restart completes.
+  kRejectedDraining = 7,
 };
 
 const char* ServeStatusName(ServeStatus status);
@@ -202,6 +211,13 @@ struct MutationAck {
   /// This connection's staged-delta sizes after the RPC.
   uint32_t staged_inserts = 0;
   uint32_t staged_deletes = 0;
+  /// Echo of the Publish request's idempotency token and publish id
+  /// (both 0 when the request carried none). A retried Publish whose
+  /// original ack was lost is answered from the server's applied-publish
+  /// record with already_applied = true instead of being applied twice.
+  uint64_t idempotency_token = 0;
+  uint64_t publish_id = 0;
+  bool already_applied = false;
   /// One-line diagnostic for non-kOk statuses (capped on the wire).
   std::string message;
 };
@@ -211,10 +227,20 @@ struct MutationAck {
 ServeResponse ResponseFromResult(const ToprrResult& result);
 
 /// Serializes a query batch into a frame payload (header included).
-std::string EncodeQueryBatch(const std::vector<ToprrQuery>& queries);
+/// `deadline_ms` > 0 appends the optional deadline extension block (a
+/// flags word + the relative wall-clock deadline in milliseconds);
+/// 0 emits a byte-identical payload to pre-deadline encoders, so old
+/// clients are unaffected and old servers never see the block.
+std::string EncodeQueryBatch(const std::vector<ToprrQuery>& queries,
+                             uint64_t deadline_ms = 0);
 
 /// Parses a query-batch payload. On failure returns false and leaves a
-/// one-line reason in `error`; `queries` is cleared.
+/// one-line reason in `error`; `queries` is cleared. `deadline_ms`
+/// (when non-null) receives the extension block's deadline, or 0 when
+/// the batch carries none.
+bool DecodeQueryBatch(const std::string& payload,
+                      std::vector<ToprrQuery>* queries, uint64_t* deadline_ms,
+                      std::string* error);
 bool DecodeQueryBatch(const std::string& payload,
                       std::vector<ToprrQuery>* queries, std::string* error);
 
@@ -241,7 +267,16 @@ bool DecodeStageInsert(const std::string& payload, std::vector<Vec>* rows,
 std::string EncodeStageDelete(const std::vector<uint64_t>& row_ids);
 bool DecodeStageDelete(const std::string& payload,
                        std::vector<uint64_t>* row_ids, std::string* error);
-std::string EncodePublish();
+/// Publish. A non-zero `idempotency_token` (with its per-token
+/// `publish_id`) rides the previously-reserved flags word, so token-less
+/// publishes stay byte-identical to older encoders. The server records
+/// (token, publish_id) after applying and answers an exact retry with
+/// the recorded ack (already_applied = true) instead of publishing the
+/// re-staged delta twice.
+std::string EncodePublish(uint64_t idempotency_token = 0,
+                          uint64_t publish_id = 0);
+bool DecodePublish(const std::string& payload, uint64_t* idempotency_token,
+                   uint64_t* publish_id, std::string* error);
 bool DecodePublish(const std::string& payload, std::string* error);
 std::string EncodeCatalogInfo();
 bool DecodeCatalogInfo(const std::string& payload, std::string* error);

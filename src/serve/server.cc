@@ -4,6 +4,7 @@
 #include <cerrno>
 #include <chrono>
 #include <cmath>
+#include <condition_variable>
 #include <cstring>
 #include <thread>
 #include <unordered_set>
@@ -119,6 +120,16 @@ void ToprrServer::Stop() {
   if (!running_.exchange(false, std::memory_order_acq_rel)) return;
   stopping_.store(true, std::memory_order_release);
 
+  // Every batch inside SolveAdmitted polls its own cancel flag (the
+  // deadline timer shares it); flip them all so in-flight solves unwind
+  // promptly even though they no longer watch stopping_ directly.
+  {
+    std::lock_guard<std::mutex> lock(cancels_mu_);
+    for (std::atomic<bool>* cancel : active_cancels_) {
+      cancel->store(true, std::memory_order_release);
+    }
+  }
+
   // Unblock accept(2), then the per-connection reads. shutdown() rather
   // than close() so each thread keeps a valid fd until it exits and
   // closes it itself -- no fd reuse race.
@@ -144,11 +155,50 @@ void ToprrServer::Stop() {
   }
 }
 
+void ToprrServer::Drain(double grace_seconds) {
+  if (!running_.load(std::memory_order_acquire)) return;
+  bool expected = false;
+  if (!draining_.compare_exchange_strong(expected, true,
+                                         std::memory_order_acq_rel)) {
+    // Second Drain (or Drain after Drain): just finish the shutdown.
+    Stop();
+    return;
+  }
+  LOG(INFO) << "toprr server draining (grace "
+            << grace_seconds << "s)";
+  // Stop accepting. The accept loop sees draining_ and exits silently;
+  // existing connections stay up so in-flight work can answer and new
+  // frames get explicit kRejectedDraining responses.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RD);
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(grace_seconds > 0.0 ? grace_seconds
+                                                            : 0.0));
+  while (inflight_queries_.load(std::memory_order_acquire) > 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  if (inflight_queries_.load(std::memory_order_acquire) == 0) {
+    // Give the connection threads a beat to flush the final replies
+    // before Stop() shuts their sockets down.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  } else {
+    LOG(WARNING) << "drain grace expired with "
+                 << inflight_queries_.load(std::memory_order_acquire)
+                 << " queries in flight; cancelling";
+  }
+  Stop();
+}
+
 void ToprrServer::AcceptLoop() {
   for (;;) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
-      if (stopping_.load(std::memory_order_acquire)) return;
+      if (stopping_.load(std::memory_order_acquire) ||
+          draining_.load(std::memory_order_acquire)) {
+        return;
+      }
       if (errno == EINTR) continue;
       // A client that reset before we accepted, or transient fd
       // exhaustion under a connection burst, must not brick the server:
@@ -171,7 +221,8 @@ void ToprrServer::AcceptLoop() {
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     std::lock_guard<std::mutex> lock(connections_mu_);
-    if (stopping_.load(std::memory_order_acquire)) {
+    if (stopping_.load(std::memory_order_acquire) ||
+        draining_.load(std::memory_order_acquire)) {
       ::close(fd);
       return;
     }
@@ -218,7 +269,27 @@ void ToprrServer::ReleaseQueries(size_t count) {
 }
 
 std::vector<ServeResponse> ToprrServer::SolveAdmitted(
-    std::vector<ToprrQuery> queries) {
+    std::vector<ToprrQuery> queries,
+    const std::chrono::steady_clock::time_point* deadline) {
+  // Brownout: sampled once per batch. When the admitted in-flight count
+  // (this batch included) is already past the configured fraction of the
+  // ceiling, clamp budgets harder so answers degrade (kBudgetExceeded
+  // with partial stats) instead of queueing up behind full-budget solves
+  // until admission starts rejecting outright.
+  double budget_ceiling = config_.max_query_budget_seconds;
+  if (config_.brownout_budget_seconds > 0.0 &&
+      config_.max_inflight_queries > 0) {
+    const double inflight = static_cast<double>(
+        inflight_queries_.load(std::memory_order_acquire));
+    const double threshold = config_.brownout_inflight_fraction *
+                             static_cast<double>(config_.max_inflight_queries);
+    if (inflight > threshold &&
+        (budget_ceiling <= 0.0 ||
+         config_.brownout_budget_seconds < budget_ceiling)) {
+      budget_ceiling = config_.brownout_budget_seconds;
+      stats_.OnBrownoutClamp();
+    }
+  }
   for (ToprrQuery& query : queries) {
     // Clamp the budget: unlimited (<= 0), over-the-cap, and NaN requests
     // all drop to the server's ceiling, enforced by the scheduler budget
@@ -226,9 +297,9 @@ std::vector<ServeResponse> ToprrServer::SolveAdmitted(
     // true for NaN where `budget <= 0` would not be, and a NaN that
     // slipped through would read as "unlimited" in the scheduler too.
     double budget = query.options.time_budget_seconds;
-    if (config_.max_query_budget_seconds > 0.0 &&
-        (!(budget > 0.0) || budget > config_.max_query_budget_seconds)) {
-      budget = config_.max_query_budget_seconds;
+    if (budget_ceiling > 0.0 &&
+        (!(budget > 0.0) || budget > budget_ceiling)) {
+      budget = budget_ceiling;
     }
     query.options.time_budget_seconds = budget;
     // A client must not be able to grab every core via num_threads=0
@@ -239,12 +310,66 @@ std::vector<ServeResponse> ToprrServer::SolveAdmitted(
     // server opts admitted queries in (or not) uniformly.
     query.options.use_region_cache = config_.use_region_cache;
   }
+
+  // Per-batch cancel flag: armed by Stop() (via active_cancels_) and by
+  // the deadline watcher. Registered before the stopping_ re-check so a
+  // Stop() racing this batch cannot miss it.
+  std::atomic<bool> cancel{false};
+  std::atomic<bool> deadline_fired{false};
+  {
+    std::lock_guard<std::mutex> lock(cancels_mu_);
+    active_cancels_.push_back(&cancel);
+  }
+  if (stopping_.load(std::memory_order_acquire)) {
+    cancel.store(true, std::memory_order_release);
+  }
+
+  std::thread watcher;
+  std::mutex watch_mu;
+  std::condition_variable watch_cv;
+  bool solve_done = false;
+  if (deadline != nullptr) {
+    const auto when = *deadline;
+    watcher = std::thread([&, when] {
+      std::unique_lock<std::mutex> lk(watch_mu);
+      if (!watch_cv.wait_until(lk, when, [&] { return solve_done; })) {
+        deadline_fired.store(true, std::memory_order_release);
+        cancel.store(true, std::memory_order_release);
+      }
+    });
+  }
+
   const std::vector<ToprrResult> results =
-      engine_.SolveBatch(queries, config_.batch_threads, &stopping_);
+      engine_.SolveBatch(queries, config_.batch_threads, &cancel);
+
+  if (watcher.joinable()) {
+    {
+      std::lock_guard<std::mutex> lk(watch_mu);
+      solve_done = true;
+    }
+    watch_cv.notify_all();
+    watcher.join();
+  }
+  {
+    std::lock_guard<std::mutex> lock(cancels_mu_);
+    active_cancels_.erase(
+        std::remove(active_cancels_.begin(), active_cancels_.end(), &cancel),
+        active_cancels_.end());
+  }
+  // A cancel can have two causes; shutdown wins the tie because those
+  // queries genuinely were cut loose by Stop(), deadline or not.
+  const bool attribute_deadline =
+      deadline_fired.load(std::memory_order_acquire) &&
+      !stopping_.load(std::memory_order_acquire);
+
   std::vector<ServeResponse> responses;
   responses.reserve(results.size());
   for (const ToprrResult& result : results) {
     responses.push_back(ResponseFromResult(result));
+    if (attribute_deadline &&
+        responses.back().status == ServeStatus::kShutdown) {
+      responses.back().status = ServeStatus::kDeadlineExceeded;
+    }
     switch (static_cast<CacheLookup>(responses.back().stats.cache_lookup)) {
       case CacheLookup::kHit:
         stats_.OnCacheHit();
@@ -271,6 +396,9 @@ std::vector<ServeResponse> ToprrServer::SolveAdmitted(
       case ServeStatus::kShutdown:
         stats_.OnQueryCancelled();
         break;
+      case ServeStatus::kDeadlineExceeded:
+        stats_.OnQueryDeadlineExceeded();
+        break;
       default:
         break;
     }
@@ -279,14 +407,30 @@ std::vector<ServeResponse> ToprrServer::SolveAdmitted(
 }
 
 std::string ToprrServer::HandleQueryBatch(const std::string& payload) {
+  const auto arrival = std::chrono::steady_clock::now();
   std::vector<ToprrQuery> queries;
+  uint64_t deadline_ms = 0;
   std::string decode_error;
-  if (!DecodeQueryBatch(payload, &queries, &decode_error)) {
+  if (!DecodeQueryBatch(payload, &queries, &deadline_ms, &decode_error)) {
     stats_.OnProtocolError();
     LOG(WARNING) << "malformed query batch: " << decode_error;
     return MalformedMarkerReply();
   }
   stats_.OnQueriesReceived(queries.size());
+
+  // The wire deadline is relative to frame arrival; clamp it to the
+  // server's ceiling and convert to an absolute point so decode and
+  // admission time count against it.
+  if (deadline_ms > 0 && config_.max_deadline_ms > 0 &&
+      deadline_ms > config_.max_deadline_ms) {
+    deadline_ms = config_.max_deadline_ms;
+  }
+  std::chrono::steady_clock::time_point deadline_point;
+  const std::chrono::steady_clock::time_point* deadline = nullptr;
+  if (deadline_ms > 0) {
+    deadline_point = arrival + std::chrono::milliseconds(deadline_ms);
+    deadline = &deadline_point;
+  }
 
   // Per-query validation, then all-or-nothing admission of the
   // solvable remainder. The bounds are sampled once per frame; a
@@ -311,6 +455,21 @@ std::string ToprrServer::HandleQueryBatch(const std::string& payload) {
         responses[i].status = ServeStatus::kShutdown;
         stats_.OnQueryCancelled();
       }
+    } else if (draining_.load(std::memory_order_acquire)) {
+      // Drain mode: in-flight work finishes, new work is turned away
+      // with an explicitly retryable status.
+      for (size_t i : solvable) {
+        responses[i].status = ServeStatus::kRejectedDraining;
+      }
+      stats_.OnQueriesRejectedDraining(solvable.size());
+    } else if (deadline != nullptr &&
+               std::chrono::steady_clock::now() >= *deadline) {
+      // Expired on arrival (or while decoding): answering without
+      // solving IS the deadline contract.
+      for (size_t i : solvable) {
+        responses[i].status = ServeStatus::kDeadlineExceeded;
+        stats_.OnQueryDeadlineExceeded();
+      }
     } else if (!TryAdmitQueries(solvable.size())) {
       for (size_t i : solvable) {
         responses[i].status = ServeStatus::kRejectedOverload;
@@ -320,7 +479,8 @@ std::string ToprrServer::HandleQueryBatch(const std::string& payload) {
       std::vector<ToprrQuery> admitted;
       admitted.reserve(solvable.size());
       for (size_t i : solvable) admitted.push_back(queries[i]);
-      std::vector<ServeResponse> solved = SolveAdmitted(std::move(admitted));
+      std::vector<ServeResponse> solved =
+          SolveAdmitted(std::move(admitted), deadline);
       ReleaseQueries(solvable.size());
       for (size_t j = 0; j < solvable.size(); ++j) {
         responses[solvable[j]] = std::move(solved[j]);
@@ -453,15 +613,42 @@ MutationAck ToprrServer::HandleStageDelete(MutationSession* session,
   return StampAck(MutationStatus::kOk, *session);
 }
 
-MutationAck ToprrServer::HandlePublish(MutationSession* session) {
-  if (stopping_.load(std::memory_order_acquire)) {
+MutationAck ToprrServer::HandlePublish(MutationSession* session,
+                                       uint64_t idempotency_token,
+                                       uint64_t publish_id) {
+  if (stopping_.load(std::memory_order_acquire) ||
+      draining_.load(std::memory_order_acquire)) {
     stats_.OnPublishRejected();
     return StampAck(MutationStatus::kShutdown, *session,
-                    "server shutting down");
+                    draining_.load(std::memory_order_acquire)
+                        ? "server draining"
+                        : "server shutting down");
+  }
+  if (idempotency_token != 0) {
+    // A retried Publish whose original ack was lost arrives with the
+    // same (token, publish_id) after the client re-staged its delta on
+    // the fresh connection. The delta is already in the catalog: drop
+    // the re-staged copy and answer from the applied-publish record.
+    std::lock_guard<std::mutex> lock(publish_mu_);
+    auto it = applied_publishes_.find(idempotency_token);
+    if (it != applied_publishes_.end() &&
+        it->second.publish_id == publish_id) {
+      session->rows.clear();
+      session->deletes.clear();
+      MutationAck ack = it->second.ack;
+      ack.already_applied = true;
+      ack.staged_inserts = 0;
+      ack.staged_deletes = 0;
+      stats_.OnPublishDeduped();
+      return ack;
+    }
   }
   if (session->size() == 0) {
     // Idempotent no-op: ack the currently served version.
-    return StampAck(MutationStatus::kOk, *session);
+    MutationAck ack = StampAck(MutationStatus::kOk, *session);
+    ack.idempotency_token = idempotency_token;
+    ack.publish_id = publish_id;
+    return ack;
   }
   std::lock_guard<std::mutex> lock(publish_mu_);
   // Re-validate the delete set against the snapshot this publish will
@@ -493,17 +680,75 @@ MutationAck ToprrServer::HandlePublish(MutationSession* session) {
   stats_.OnPublishApplied();
   session->rows.clear();
   session->deletes.clear();
-  return StampAck(MutationStatus::kOk, *session);
+  MutationAck ack = StampAck(MutationStatus::kOk, *session);
+  ack.idempotency_token = idempotency_token;
+  ack.publish_id = publish_id;
+  if (idempotency_token != 0) {
+    // Record (still under publish_mu_) so an exact retry is recognized.
+    // Distinct tokens are bounded by evicting the oldest token whole; a
+    // token republishing just overwrites its record in place.
+    if (applied_publishes_.find(idempotency_token) ==
+        applied_publishes_.end()) {
+      applied_token_order_.push_back(idempotency_token);
+      while (applied_token_order_.size() > config_.idempotency_cache_entries &&
+             !applied_token_order_.empty()) {
+        applied_publishes_.erase(applied_token_order_.front());
+        applied_token_order_.pop_front();
+      }
+    }
+    applied_publishes_[idempotency_token] = AppliedPublish{publish_id, ack};
+  }
+  return ack;
 }
 
 void ToprrServer::ServeConnection(int fd) {
   FdStream stream(fd);
   std::string payload;
   MutationSession session;
+
+  // Slowloris defense: between frames the (long) idle timeout applies;
+  // the moment a peer commits to a frame — first prefix byte — the
+  // watcher switches the socket to the (short) header-read timeout, so
+  // a trickling peer cannot pin this thread. Restored per frame below.
+  struct HeaderTimeoutSwitcher : FrameWatcher {
+    FdStream* stream = nullptr;
+    int header_timeout_ms = 0;
+    void OnFrameStart() override {
+      if (header_timeout_ms > 0) stream->SetReadTimeoutMs(header_timeout_ms);
+    }
+  };
+  HeaderTimeoutSwitcher switcher;
+  switcher.stream = &stream;
+  switcher.header_timeout_ms = config_.header_read_timeout_ms;
+  const bool use_read_timeouts =
+      config_.idle_timeout_ms > 0 || config_.header_read_timeout_ms > 0;
+  if (config_.write_timeout_ms > 0) {
+    stream.SetWriteTimeoutMs(config_.write_timeout_ms);
+  }
+
   while (!stopping_.load(std::memory_order_acquire)) {
+    if (use_read_timeouts) {
+      stream.SetReadTimeoutMs(config_.idle_timeout_ms > 0
+                                  ? config_.idle_timeout_ms
+                                  : config_.header_read_timeout_ms);
+    }
+    bool frame_started = false;
     const FrameReadStatus read_status =
-        ReadFrame(stream, &payload, config_.max_frame_payload_bytes);
+        ReadFrame(stream, &payload, config_.max_frame_payload_bytes,
+                  use_read_timeouts ? &switcher : nullptr, &frame_started);
     if (read_status == FrameReadStatus::kEof) return;  // clean close
+    if (read_status == FrameReadStatus::kTimeout) {
+      if (!stopping_.load(std::memory_order_acquire)) {
+        if (frame_started) {
+          stats_.OnReadTimeout();
+          LOG(WARNING) << "connection dropped: stalled mid-frame";
+        } else {
+          stats_.OnIdleTimeout();
+          LOG(WARNING) << "connection dropped: idle timeout";
+        }
+      }
+      return;
+    }
     if (read_status != FrameReadStatus::kOk) {
       // Oversized/truncated/io-error: the stream is out of sync (or
       // gone); count it and drop the connection. A response cannot be
@@ -592,14 +837,17 @@ void ToprrServer::ServeConnection(int fd) {
           break;
         }
         case MessageType::kPublish: {
-          if (!DecodePublish(payload, &decode_error)) {
+          uint64_t token = 0;
+          uint64_t publish_id = 0;
+          if (!DecodePublish(payload, &token, &publish_id, &decode_error)) {
             stats_.OnProtocolError();
             reply = EncodeMutationAck(
                 StampAck(MutationStatus::kInvalidArgument, session,
                          decode_error));
             break;
           }
-          reply = EncodeMutationAck(HandlePublish(&session));
+          reply = EncodeMutationAck(
+              HandlePublish(&session, token, publish_id));
           break;
         }
         case MessageType::kCatalogInfo: {
@@ -628,8 +876,13 @@ void ToprrServer::ServeConnection(int fd) {
 
     if (!WriteFrame(stream, reply)) {
       if (!stopping_.load(std::memory_order_acquire)) {
-        stats_.OnProtocolError();
-        LOG(WARNING) << "reply write failed: " << std::strerror(errno);
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          stats_.OnWriteTimeout();
+          LOG(WARNING) << "connection dropped: reply write timed out";
+        } else {
+          stats_.OnProtocolError();
+          LOG(WARNING) << "reply write failed: " << std::strerror(errno);
+        }
       }
       return;
     }

@@ -41,11 +41,15 @@
 #define TOPRR_SERVE_SERVER_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
+#include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/server_stats.h"
@@ -87,6 +91,36 @@ struct ServerConfig {
   /// is rejected whole with kLimitExceeded (nothing from the frame is
   /// staged) -- publish or drop the connection to reclaim the budget.
   size_t max_staged_mutations = 4096;
+
+  /// Ceiling on a batch's wire-requested deadline (milliseconds).
+  /// Requests asking for longer are clamped down; 0 trusts the client.
+  /// The deadline arms the cooperative-cancel flag from a timer, so an
+  /// expired batch answers kDeadlineExceeded in bounded time instead of
+  /// running to budget expiry.
+  uint64_t max_deadline_ms = 30000;
+
+  /// Connection read timeouts (milliseconds, 0 = disabled). The idle
+  /// timeout bounds how long a connection may sit between frames; once
+  /// the first byte of a frame arrives the (typically much shorter)
+  /// header-read timeout takes over, so a slowloris peer trickling a
+  /// frame cannot pin a connection thread. Expiry drops the connection
+  /// and bumps ServerStats::timeouts_{idle,read}.
+  int idle_timeout_ms = 0;
+  int header_read_timeout_ms = 0;
+  /// Reply-write timeout (milliseconds, 0 = disabled): a peer that stops
+  /// draining its receive buffer is dropped (timeouts_write).
+  int write_timeout_ms = 0;
+
+  /// Brownout: when admitted in-flight queries exceed this fraction of
+  /// max_inflight_queries, budgets of newly admitted queries are clamped
+  /// to brownout_budget_seconds (when > 0) so the server sheds load by
+  /// degrading answers before it starts rejecting outright.
+  double brownout_inflight_fraction = 0.75;
+  double brownout_budget_seconds = 0.0;
+
+  /// Bound on remembered (idempotency token -> last applied publish)
+  /// records; oldest tokens are evicted first.
+  size_t idempotency_cache_entries = 1024;
 
   /// Enables the engine's cross-query region cache
   /// (core/region_cache.h) and opts every admitted query into it.
@@ -136,7 +170,16 @@ class ToprrServer {
   /// and joins all threads. Idempotent.
   void Stop();
 
+  /// Draining shutdown: stops accepting new connections, answers new
+  /// query frames with kRejectedDraining (mutations with kShutdown acks)
+  /// while letting admitted work finish, waits up to `grace_seconds` for
+  /// the in-flight count to hit zero, then Stop()s — which cancels
+  /// whatever is still running. Idempotent; callable from a signal
+  /// handler's drain thread.
+  void Drain(double grace_seconds);
+
   bool running() const { return running_.load(std::memory_order_acquire); }
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
 
   const ServerStats& stats() const { return stats_; }
   ToprrEngine& engine() { return engine_; }
@@ -175,7 +218,8 @@ class ToprrServer {
                                 std::vector<Vec> rows);
   MutationAck HandleStageDelete(MutationSession* session,
                                 std::vector<uint64_t> row_ids);
-  MutationAck HandlePublish(MutationSession* session);
+  MutationAck HandlePublish(MutationSession* session,
+                            uint64_t idempotency_token, uint64_t publish_id);
 
   /// An ack stamped with the engine's current snapshot and the session's
   /// post-RPC staged sizes.
@@ -187,9 +231,14 @@ class ToprrServer {
   bool TryAdmitQueries(size_t count);
   void ReleaseQueries(size_t count);
 
-  /// Solves one admitted batch with budgets clamped and the shutdown
-  /// cancel flag plumbed through.
-  std::vector<ServeResponse> SolveAdmitted(std::vector<ToprrQuery> queries);
+  /// Solves one admitted batch with budgets clamped (harder under
+  /// brownout) and a per-batch cancel flag plumbed through. The flag is
+  /// armed by Stop() (all registered batches) and, when `deadline` is
+  /// non-null, by a watcher timer at the batch's absolute deadline;
+  /// deadline-cancelled queries answer kDeadlineExceeded.
+  std::vector<ServeResponse> SolveAdmitted(
+      std::vector<ToprrQuery> queries,
+      const std::chrono::steady_clock::time_point* deadline);
 
   const ServerConfig config_;
   // Declared before engine_: the engine is seeded from
@@ -204,11 +253,29 @@ class ToprrServer {
   /// wire publishes.
   std::mutex publish_mu_;
 
+  /// The record a Publish carrying an idempotency token leaves behind:
+  /// an exact retry (same token, same publish id) is answered from it
+  /// with already_applied = true instead of publishing twice. Guarded by
+  /// publish_mu_; bounded by config_.idempotency_cache_entries with
+  /// oldest-token-first eviction.
+  struct AppliedPublish {
+    uint64_t publish_id = 0;
+    MutationAck ack;
+  };
+  std::unordered_map<uint64_t, AppliedPublish> applied_publishes_;
+  std::deque<uint64_t> applied_token_order_;
+
   int listen_fd_ = -1;
   int port_ = 0;
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
+  std::atomic<bool> draining_{false};
   std::atomic<size_t> inflight_queries_{0};
+
+  /// Cancel flags of batches currently inside SolveAdmitted; Stop()
+  /// flips them all so every in-flight solve unwinds promptly.
+  std::mutex cancels_mu_;
+  std::vector<std::atomic<bool>*> active_cancels_;
 
   std::thread accept_thread_;
   std::mutex connections_mu_;

@@ -171,6 +171,147 @@ TEST(ServeFramingTest, BackToBackFramesStaySynced) {
   EXPECT_EQ(ReadFrame(reader, &decoded), FrameReadStatus::kEof);
 }
 
+// A stream whose writes return 0 (no progress, no error) -- first
+// `zeros` times, then behave; or forever when zeros < 0.
+class ZeroWriteStream : public ByteStream {
+ public:
+  explicit ZeroWriteStream(int zeros) : zeros_(zeros) {}
+
+  ssize_t ReadSome(void*, size_t) override { return 0; }
+
+  ssize_t WriteSome(const void* buffer, size_t length) override {
+    ++write_calls_;
+    if (zeros_ < 0) return 0;
+    if (zeros_ > 0) {
+      --zeros_;
+      return 0;
+    }
+    output_.append(static_cast<const char*>(buffer), length);
+    return static_cast<ssize_t>(length);
+  }
+
+  const std::string& output() const { return output_; }
+  int write_calls() const { return write_calls_; }
+
+ private:
+  int zeros_;
+  std::string output_;
+  int write_calls_ = 0;
+};
+
+TEST(ServeFramingTest, StuckAtZeroWriterFailsBoundedInsteadOfSpinning) {
+  ZeroWriteStream stuck(/*zeros=*/-1);
+  errno = 0;
+  EXPECT_FALSE(WriteFrame(stuck, "payload"));
+  EXPECT_EQ(errno, EIO);
+  // The loop gave up after a small bounded number of attempts -- the
+  // regression this guards against is an infinite 0-return spin.
+  EXPECT_LE(stuck.write_calls(), 64);
+}
+
+TEST(ServeFramingTest, TransientZeroWritesStillComplete) {
+  ZeroWriteStream sluggish(/*zeros=*/5);
+  ASSERT_TRUE(WriteFrame(sluggish, "payload"));
+  EXPECT_EQ(sluggish.output(), Framed("payload"));
+}
+
+// A stream that delivers `deliver` bytes of its input, then fails with
+// EAGAIN forever -- what a socket with an armed SO_RCVTIMEO looks like
+// when the peer stalls.
+class StallingStream : public ByteStream {
+ public:
+  StallingStream(std::string input, size_t deliver)
+      : input_(std::move(input)), deliver_(deliver) {}
+
+  ssize_t ReadSome(void* buffer, size_t length) override {
+    if (pos_ >= deliver_) {
+      errno = EAGAIN;
+      return -1;
+    }
+    const size_t n = std::min(length, deliver_ - pos_);
+    std::memcpy(buffer, input_.data() + pos_, n);
+    pos_ += n;
+    return static_cast<ssize_t>(n);
+  }
+
+  ssize_t WriteSome(const void*, size_t) override {
+    errno = EAGAIN;
+    return -1;
+  }
+
+ private:
+  std::string input_;
+  size_t deliver_;
+  size_t pos_ = 0;
+};
+
+// Counts OnFrameStart firings (the idle -> mid-frame transition hook).
+class CountingWatcher : public FrameWatcher {
+ public:
+  void OnFrameStart() override { ++frame_starts_; }
+  int frame_starts() const { return frame_starts_; }
+
+ private:
+  int frame_starts_ = 0;
+};
+
+TEST(ServeFramingTest, TimeoutBeforeAnyByteIsIdle) {
+  StallingStream idle(Framed("payload"), /*deliver=*/0);
+  CountingWatcher watcher;
+  std::string decoded;
+  bool frame_started = true;
+  EXPECT_EQ(ReadFrame(idle, &decoded, kMaxFramePayloadBytes, &watcher,
+                      &frame_started),
+            FrameReadStatus::kTimeout);
+  EXPECT_FALSE(frame_started);
+  EXPECT_EQ(watcher.frame_starts(), 0);
+}
+
+TEST(ServeFramingTest, TimeoutInsidePrefixIsMidFrame) {
+  StallingStream stalled(Framed("payload"), /*deliver=*/2);
+  CountingWatcher watcher;
+  std::string decoded;
+  bool frame_started = false;
+  EXPECT_EQ(ReadFrame(stalled, &decoded, kMaxFramePayloadBytes, &watcher,
+                      &frame_started),
+            FrameReadStatus::kTimeout);
+  EXPECT_TRUE(frame_started);
+  EXPECT_EQ(watcher.frame_starts(), 1);
+}
+
+TEST(ServeFramingTest, TimeoutInsidePayloadIsMidFrame) {
+  StallingStream stalled(Framed("payload"), /*deliver=*/6);
+  std::string decoded;
+  bool frame_started = false;
+  EXPECT_EQ(ReadFrame(stalled, &decoded, kMaxFramePayloadBytes, nullptr,
+                      &frame_started),
+            FrameReadStatus::kTimeout);
+  EXPECT_TRUE(frame_started);
+  EXPECT_TRUE(decoded.empty());
+}
+
+TEST(ServeFramingTest, WriteTimeoutSurfacesAsEagain) {
+  StallingStream stalled("", 0);
+  errno = 0;
+  EXPECT_FALSE(WriteFrame(stalled, "payload"));
+  EXPECT_EQ(errno, EAGAIN);
+}
+
+TEST(ServeFramingTest, WatcherFiresOncePerFrame) {
+  FragmentingStream writer("", 3);
+  ASSERT_TRUE(WriteFrame(writer, "first"));
+  ASSERT_TRUE(WriteFrame(writer, "second"));
+  FragmentingStream reader(writer.output(), 1);
+  CountingWatcher watcher;
+  std::string decoded;
+  ASSERT_EQ(ReadFrame(reader, &decoded, kMaxFramePayloadBytes, &watcher),
+            FrameReadStatus::kOk);
+  EXPECT_EQ(watcher.frame_starts(), 1);
+  ASSERT_EQ(ReadFrame(reader, &decoded, kMaxFramePayloadBytes, &watcher),
+            FrameReadStatus::kOk);
+  EXPECT_EQ(watcher.frame_starts(), 2);
+}
+
 TEST(ServeFramingTest, FdStreamRoundTripsOverAPipe) {
   int fds[2];
   ASSERT_EQ(::pipe(fds), 0);

@@ -236,12 +236,97 @@ TEST(ServeProtocolTest, RejectsAbsurdElementCounts) {
 TEST(ServeProtocolTest, RejectsTrailingGarbage) {
   const std::vector<ToprrQuery> queries{
       ToprrQuery::FromBox(3, Box({0.1, 0.1}, {0.2, 0.2}))};
+  // Random bytes after the last query land in the optional extension
+  // block's flags word and are rejected there (unknown bits).
   std::string payload = EncodeQueryBatch(queries);
   payload += "extra";
   std::vector<ToprrQuery> decoded;
   std::string error;
   EXPECT_FALSE(DecodeQueryBatch(payload, &decoded, &error));
+  EXPECT_NE(error.find("extension flags"), std::string::npos);
+  // Bytes after a WELL-FORMED extension block are trailing garbage.
+  payload = EncodeQueryBatch(queries, /*deadline_ms=*/250);
+  payload += "x";
+  error.clear();
+  EXPECT_FALSE(DecodeQueryBatch(payload, &decoded, &error));
   EXPECT_NE(error.find("trailing"), std::string::npos);
+}
+
+TEST(ServeProtocolTest, QueryBatchDeadlineRoundTrip) {
+  const std::vector<ToprrQuery> queries{
+      ToprrQuery::FromBox(3, Box({0.1, 0.1}, {0.2, 0.2}))};
+  // No deadline: byte-identical to the pre-deadline encoding, and the
+  // 4-arg decoder leaves the out-param at its sentinel.
+  const std::string bare = EncodeQueryBatch(queries);
+  EXPECT_EQ(bare, EncodeQueryBatch(queries, /*deadline_ms=*/0));
+  std::vector<ToprrQuery> decoded;
+  uint64_t deadline_ms = 0;
+  std::string error;
+  ASSERT_TRUE(DecodeQueryBatch(bare, &decoded, &deadline_ms, &error)) << error;
+  EXPECT_EQ(deadline_ms, 0u);
+  // With a deadline: the extension block rides the wire and decodes.
+  const std::string with_deadline =
+      EncodeQueryBatch(queries, /*deadline_ms=*/1234);
+  EXPECT_GT(with_deadline.size(), bare.size());
+  deadline_ms = 0;
+  ASSERT_TRUE(
+      DecodeQueryBatch(with_deadline, &decoded, &deadline_ms, &error))
+      << error;
+  EXPECT_EQ(deadline_ms, 1234u);
+  ASSERT_EQ(decoded.size(), 1u);
+  // The 3-arg (deadline-blind) decoder still accepts the new block, so
+  // old decode call sites keep working against new encoders.
+  decoded.clear();
+  EXPECT_TRUE(DecodeQueryBatch(with_deadline, &decoded, &error)) << error;
+  // A truncated extension block (flags present, deadline cut off) is a
+  // decode error, not a silently missing deadline.
+  std::string truncated = with_deadline;
+  truncated.resize(truncated.size() - 3);
+  EXPECT_FALSE(DecodeQueryBatch(truncated, &decoded, &deadline_ms, &error));
+}
+
+TEST(ServeProtocolTest, PublishIdempotencyRoundTrip) {
+  // Token-less publish is byte-identical to the pre-token encoding.
+  std::string error;
+  const std::string bare = EncodePublish();
+  EXPECT_EQ(bare, EncodePublish(/*idempotency_token=*/0, /*publish_id=*/7));
+  uint64_t token = 99, publish_id = 99;
+  ASSERT_TRUE(DecodePublish(bare, &token, &publish_id, &error)) << error;
+  EXPECT_EQ(token, 0u);
+  EXPECT_EQ(publish_id, 0u);
+  // Token + id round-trip through both decoder arities.
+  const std::string stamped = EncodePublish(0xfeedfaceu, 42);
+  ASSERT_TRUE(DecodePublish(stamped, &token, &publish_id, &error)) << error;
+  EXPECT_EQ(token, 0xfeedfaceu);
+  EXPECT_EQ(publish_id, 42u);
+  EXPECT_TRUE(DecodePublish(stamped, &error)) << error;
+  // Trailing bytes after the idempotency block are rejected.
+  std::string garbage = stamped;
+  garbage += "z";
+  EXPECT_FALSE(DecodePublish(garbage, &token, &publish_id, &error));
+}
+
+TEST(ServeProtocolTest, MutationAckIdempotencyEchoRoundTrip) {
+  MutationAck ack;
+  ack.status = MutationStatus::kOk;
+  ack.snapshot_id = 11;
+  ack.snapshot_seq = 5;
+  ack.live_rows = 100;
+  ack.physical_rows = 120;
+  ack.staged_inserts = 0;
+  ack.staged_deletes = 0;
+  ack.idempotency_token = 0xdeadbeefu;
+  ack.publish_id = 3;
+  ack.already_applied = true;
+  ack.message = "duplicate publish";
+  MutationAck decoded;
+  std::string error;
+  ASSERT_TRUE(DecodeMutationAck(EncodeMutationAck(ack), &decoded, &error))
+      << error;
+  EXPECT_EQ(decoded.idempotency_token, 0xdeadbeefu);
+  EXPECT_EQ(decoded.publish_id, 3u);
+  EXPECT_TRUE(decoded.already_applied);
+  EXPECT_EQ(decoded.message, "duplicate publish");
 }
 
 TEST(ServeProtocolTest, StatusNamesAreStable) {
@@ -250,6 +335,10 @@ TEST(ServeProtocolTest, StatusNamesAreStable) {
                "REJECTED_OVERLOAD");
   EXPECT_STREQ(ServeStatusName(ServeStatus::kBudgetExceeded),
                "BUDGET_EXCEEDED");
+  EXPECT_STREQ(ServeStatusName(ServeStatus::kDeadlineExceeded),
+               "DEADLINE_EXCEEDED");
+  EXPECT_STREQ(ServeStatusName(ServeStatus::kRejectedDraining),
+               "REJECTED_DRAINING");
   EXPECT_STREQ(MutationStatusName(MutationStatus::kOk), "OK");
   EXPECT_STREQ(MutationStatusName(MutationStatus::kLimitExceeded),
                "LIMIT_EXCEEDED");

@@ -16,13 +16,16 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <sys/resource.h>
 #include <sys/socket.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include "common/rng.h"
 #include "data/generator.h"
 #include "serve/client.h"
 #include "serve/framing.h"
+#include "serve/protocol.h"
 
 namespace toprr {
 namespace serve {
@@ -786,6 +789,431 @@ TEST(ServeServerTest, ConcurrentWriterAndReadersStayMonotone) {
   const ServerStatsSnapshot stats = server->stats().Snapshot();
   EXPECT_EQ(stats.publishes_applied, static_cast<uint64_t>(kPublishes));
   EXPECT_EQ(stats.protocol_errors, 0u);
+}
+
+// ---- Failure hardening: deadlines, timeouts, drain, retry, EMFILE ----
+
+// The stalled-solve fixture: a huge anticorrelated instance with no
+// budget clamp runs far longer than any deadline in these tests.
+Dataset StalledSolveData() {
+  return GenerateSynthetic(20000, 4, Distribution::kAnticorrelated, 50);
+}
+
+ToprrQuery StalledSolveQuery(int num_threads) {
+  ToprrOptions options;
+  options.num_threads = num_threads;
+  return ToprrQuery::FromBox(
+      10, Box({0.05, 0.05, 0.05}, {0.45, 0.45, 0.45}), options);
+}
+
+// Sends a 50ms-deadline batch over a raw socket (no client-side read
+// timeout, so a sanitizer-slowed cancel unwind cannot fail the test on
+// the client end) and requires the server to answer DEADLINE_EXCEEDED
+// in bounded time. The client-knob path (QueryOptions::deadline_seconds
+// -> wire) is covered by ServerClampsDeadlineToConfiguredCeiling.
+void ExpectDeadlineExceeded(int solver_threads) {
+  ServerConfig config;
+  config.max_query_budget_seconds = 0.0;  // no clamp: rely on the deadline
+  auto server = StartServer(StalledSolveData(), config);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(server->port()));
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  FdStream stream(fd);
+
+  const auto start = std::chrono::steady_clock::now();
+  ASSERT_TRUE(WriteFrame(
+      stream, EncodeQueryBatch({StalledSolveQuery(solver_threads)},
+                               /*deadline_ms=*/50)));
+  std::string reply;
+  ASSERT_EQ(ReadFrame(stream, &reply), FrameReadStatus::kOk);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  ::close(fd);
+  // Bounded time: the deadline fires at 50ms and the cooperative cancel
+  // unwinds the solve promptly -- nowhere near the minutes the full
+  // solve would take. The bound is generous for sanitizer builds.
+  EXPECT_LT(elapsed, 30.0);
+  std::vector<ServeResponse> responses;
+  std::string error;
+  ASSERT_TRUE(DecodeResponseBatch(reply, &responses, &error)) << error;
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].status, ServeStatus::kDeadlineExceeded);
+  EXPECT_GE(server->stats().Snapshot().queries_deadline_exceeded, 1u);
+}
+
+TEST(ServeServerTest, DeadlineExceededOnStalledSequentialSolve) {
+  ExpectDeadlineExceeded(/*solver_threads=*/1);
+}
+
+TEST(ServeServerTest, DeadlineExceededOnStalledWorkStealingSolve) {
+  ExpectDeadlineExceeded(/*solver_threads=*/4);
+}
+
+TEST(ServeServerTest, GenerousDeadlineDoesNotDisturbFastQueries) {
+  const Dataset data =
+      GenerateSynthetic(500, 3, Distribution::kIndependent, 71);
+  auto server = StartServer(data, ServerConfig{});
+  ToprrClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server->port()));
+  QueryOptions options;
+  options.deadline_seconds = 30.0;
+  auto response = client.Query(
+      ToprrQuery::FromBox(3, Box({0.1, 0.1}, {0.2, 0.2})), options);
+  ASSERT_TRUE(response.has_value()) << client.last_error();
+  EXPECT_EQ(response->status, ServeStatus::kOk);
+  EXPECT_EQ(server->stats().Snapshot().queries_deadline_exceeded, 0u);
+}
+
+TEST(ServeServerTest, ServerClampsDeadlineToConfiguredCeiling) {
+  // With the ceiling at 1ms, even a generous client deadline expires:
+  // proof the server-side clamp (not the client knob) is in charge.
+  auto server = [] {
+    ServerConfig config;
+    config.max_query_budget_seconds = 0.0;
+    config.max_deadline_ms = 1;
+    return StartServer(StalledSolveData(), config);
+  }();
+  ToprrClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server->port()));
+  QueryOptions options;
+  options.deadline_seconds = 60.0;
+  auto response = client.Query(StalledSolveQuery(1), options);
+  ASSERT_TRUE(response.has_value()) << client.last_error();
+  EXPECT_EQ(response->status, ServeStatus::kDeadlineExceeded);
+}
+
+TEST(ServeServerTest, IdleTimeoutEvictsSilentConnections) {
+  const Dataset data =
+      GenerateSynthetic(300, 3, Distribution::kIndependent, 72);
+  ServerConfig config;
+  config.idle_timeout_ms = 100;
+  auto server = StartServer(data, config);
+
+  // A connection that never sends a byte must be evicted, not pinned.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(server->port()));
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  char byte;
+  // The blocking read returns 0 (EOF) when the server closes our end.
+  const ssize_t n = ::read(fd, &byte, 1);
+  EXPECT_EQ(n, 0);
+  ::close(fd);
+  EXPECT_GE(server->stats().Snapshot().timeouts_idle, 1u);
+
+  // A well-behaved client on the same server is unaffected.
+  ToprrClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server->port()));
+  auto ok = client.Query(ToprrQuery::FromBox(3, Box({0.1, 0.1},
+                                                    {0.2, 0.2})));
+  ASSERT_TRUE(ok.has_value()) << client.last_error();
+  EXPECT_EQ(ok->status, ServeStatus::kOk);
+}
+
+TEST(ServeServerTest, HeaderTimeoutEvictsMidFramePeers) {
+  const Dataset data =
+      GenerateSynthetic(300, 3, Distribution::kIndependent, 73);
+  ServerConfig config;
+  config.idle_timeout_ms = 10000;  // generous between frames...
+  config.header_read_timeout_ms = 100;  // ...strict once one starts
+  auto server = StartServer(data, config);
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(server->port()));
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  // Two bytes of a length prefix, then silence: a slowloris peer. The
+  // watcher switched to the header timeout, so eviction comes at 100ms,
+  // not the 10s idle allowance.
+  const auto start = std::chrono::steady_clock::now();
+  ASSERT_EQ(::send(fd, "\x08\x00", 2, 0), 2);
+  char byte;
+  const ssize_t n = ::read(fd, &byte, 1);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_EQ(n, 0);
+  EXPECT_LT(elapsed, 5.0);
+  ::close(fd);
+  EXPECT_GE(server->stats().Snapshot().timeouts_read, 1u);
+}
+
+TEST(ServeServerTest, DrainRejectsNewWorkThenStops) {
+  ServerConfig config;
+  config.max_query_budget_seconds = 0.0;
+  auto server = StartServer(StalledSolveData(), config);
+
+  ToprrClient stalled, probe;
+  ASSERT_TRUE(stalled.Connect("127.0.0.1", server->port()));
+  ASSERT_TRUE(probe.Connect("127.0.0.1", server->port()));
+  std::thread stalled_rpc([&stalled] {
+    // Will be cancelled when the drain grace expires; a kShutdown
+    // response or a dropped connection are both acceptable.
+    stalled.Query(StalledSolveQuery(1));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+
+  std::thread drainer([&server] { server->Drain(/*grace_seconds=*/1.5); });
+  // Give Drain a moment to flip the flag, then offer new work on the
+  // EXISTING connection: it must be answered (connection still up) with
+  // the typed rejection, not solved and not dropped.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  EXPECT_TRUE(server->draining());
+  auto rejected = probe.Query(ToprrQuery::FromBox(
+      10, Box({0.05, 0.05, 0.05}, {0.45, 0.45, 0.45})));
+  if (rejected.has_value()) {
+    EXPECT_EQ(rejected->status, ServeStatus::kRejectedDraining);
+    EXPECT_GE(server->stats().Snapshot().queries_rejected_draining, 1u);
+  }
+  drainer.join();
+  stalled_rpc.join();
+  // Drain ends in a full stop: no accepting, no serving.
+  ToprrClient late;
+  EXPECT_FALSE(late.Connect("127.0.0.1", server->port()));
+}
+
+TEST(ServeServerTest, RetryingClientSurvivesServerRestart) {
+  const Dataset data =
+      GenerateSynthetic(400, 3, Distribution::kIndependent, 74);
+  auto first = StartServer(data, ServerConfig{});
+  const int port = first->port();
+
+  ToprrClient client;
+  RetryPolicy policy;
+  policy.max_attempts = 6;
+  policy.initial_backoff_ms = 5.0;
+  client.set_retry_policy(policy);
+  ASSERT_TRUE(client.Connect("127.0.0.1", port));
+  const ToprrQuery query =
+      ToprrQuery::FromBox(3, Box({0.1, 0.1}, {0.2, 0.2}));
+  auto before = client.Query(query);
+  ASSERT_TRUE(before.has_value()) << client.last_error();
+  ASSERT_EQ(before->status, ServeStatus::kOk);
+
+  // Kill the server, bring a fresh one up on the SAME port, query again:
+  // the retry policy must reconnect + re-handshake transparently.
+  first->Stop();
+  first.reset();
+  ServerConfig config;
+  config.host = "127.0.0.1";
+  config.port = port;
+  auto second = std::make_unique<ToprrServer>(
+      DatasetSnapshot::FromDataset(data), config);
+  std::string error;
+  ASSERT_TRUE(second->Start(&error)) << error;
+
+  auto after = client.Query(query);
+  ASSERT_TRUE(after.has_value()) << client.last_error();
+  EXPECT_EQ(after->status, ServeStatus::kOk);
+  EXPECT_GE(client.reconnects(), 1u);
+  EXPECT_GE(client.retries(), 1u);
+}
+
+TEST(ServeServerTest, RetryingClientRestoresStagedDeltaAcrossReconnect) {
+  const Dataset data =
+      GenerateSynthetic(400, 3, Distribution::kIndependent, 75);
+  auto first = StartServer(data, ServerConfig{});
+  const int port = first->port();
+
+  ToprrClient client;
+  RetryPolicy policy;
+  policy.max_attempts = 6;
+  policy.initial_backoff_ms = 5.0;
+  client.set_retry_policy(policy);
+  ASSERT_TRUE(client.Connect("127.0.0.1", port));
+  auto staged = client.StageInsert({Vec{0.9, 0.9, 0.9}});
+  ASSERT_TRUE(staged.has_value());
+  ASSERT_EQ(staged->status, MutationStatus::kOk);
+
+  first->Stop();
+  first.reset();
+  ServerConfig config;
+  config.host = "127.0.0.1";
+  config.port = port;
+  auto second = std::make_unique<ToprrServer>(
+      DatasetSnapshot::FromDataset(data), config);
+  std::string error;
+  ASSERT_TRUE(second->Start(&error)) << error;
+
+  // The server-side session died with the connection; the client's
+  // mirror re-stages it during the internal reconnect, so the publish
+  // carries the insert.
+  auto published = client.Publish();
+  ASSERT_TRUE(published.has_value()) << client.last_error();
+  ASSERT_EQ(published->status, MutationStatus::kOk) << published->message;
+  EXPECT_EQ(published->physical_rows, 401u);
+  EXPECT_GE(client.reconnects(), 1u);
+}
+
+TEST(ServeServerTest, DuplicatePublishIsDedupedByIdempotencyToken) {
+  const Dataset data =
+      GenerateSynthetic(300, 3, Distribution::kIndependent, 76);
+  auto server = StartServer(data, ServerConfig{});
+
+  // Drive the wire directly: the library client never re-sends a
+  // publish whose ack it received, so the lost-ack retry is hand-rolled
+  // here -- stage, publish (token 42, id 1), re-stage the same delta
+  // (what a reconnecting client's mirror restore does), re-publish the
+  // SAME (token, id). The second publish must answer already_applied
+  // with the catalog unchanged.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(server->port()));
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  FdStream stream(fd);
+  std::string reply, error;
+  MutationAck ack;
+
+  const auto mutate = [&](const std::string& request) {
+    ASSERT_TRUE(WriteFrame(stream, request));
+    ASSERT_EQ(ReadFrame(stream, &reply), FrameReadStatus::kOk);
+    ASSERT_TRUE(DecodeMutationAck(reply, &ack, &error)) << error;
+  };
+
+  mutate(EncodeStageInsert({Vec{0.9, 0.9, 0.9}}));
+  ASSERT_EQ(ack.status, MutationStatus::kOk) << ack.message;
+  mutate(EncodePublish(/*idempotency_token=*/42, /*publish_id=*/1));
+  ASSERT_EQ(ack.status, MutationStatus::kOk) << ack.message;
+  EXPECT_FALSE(ack.already_applied);
+  EXPECT_EQ(ack.idempotency_token, 42u);
+  EXPECT_EQ(ack.publish_id, 1u);
+  const uint64_t rows_after_first = ack.physical_rows;
+  EXPECT_EQ(rows_after_first, 301u);
+
+  mutate(EncodeStageInsert({Vec{0.9, 0.9, 0.9}}));
+  ASSERT_EQ(ack.status, MutationStatus::kOk) << ack.message;
+  mutate(EncodePublish(/*idempotency_token=*/42, /*publish_id=*/1));
+  ASSERT_EQ(ack.status, MutationStatus::kOk) << ack.message;
+  EXPECT_TRUE(ack.already_applied);
+  EXPECT_EQ(ack.physical_rows, rows_after_first);  // nothing re-applied
+  EXPECT_EQ(ack.staged_inserts, 0u);  // the duplicate delta was cleared
+
+  // A NEW publish id from the same token applies normally.
+  mutate(EncodeStageInsert({Vec{0.8, 0.8, 0.8}}));
+  ASSERT_EQ(ack.status, MutationStatus::kOk) << ack.message;
+  mutate(EncodePublish(/*idempotency_token=*/42, /*publish_id=*/2));
+  ASSERT_EQ(ack.status, MutationStatus::kOk) << ack.message;
+  EXPECT_FALSE(ack.already_applied);
+  EXPECT_EQ(ack.physical_rows, rows_after_first + 1);
+  ::close(fd);
+
+  const ServerStatsSnapshot stats = server->stats().Snapshot();
+  EXPECT_EQ(stats.publishes_applied, 2u);
+  EXPECT_EQ(stats.publishes_deduped, 1u);
+}
+
+TEST(ServeServerTest, WaitForSnapshotHonorsItsDeadlineExactly) {
+  const Dataset data =
+      GenerateSynthetic(300, 3, Distribution::kIndependent, 77);
+  auto server = StartServer(data, ServerConfig{});
+  ToprrClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server->port()));
+
+  // Already satisfied: returns immediately.
+  EXPECT_TRUE(client.WaitForSnapshot(1, /*timeout_seconds=*/5.0));
+
+  // Unsatisfiable: must give up at the deadline -- not at the next
+  // multiple of a fixed poll interval past it, and not early.
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(client.WaitForSnapshot(999999, /*timeout_seconds=*/0.3));
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_GE(elapsed, 0.28);
+  EXPECT_LT(elapsed, 1.0);
+}
+
+TEST(ServeServerTest, AcceptSurvivesFdExhaustion) {
+#if defined(__SANITIZE_THREAD__)
+  GTEST_SKIP() << "TSan cannot run threads after a multi-threaded fork";
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+  GTEST_SKIP() << "TSan cannot run threads after a multi-threaded fork";
+#endif
+#endif
+  // RLIMIT_NOFILE games poison the whole process, so the scenario runs
+  // in a forked child: exhaust fds, prove accept fails EMFILE without
+  // killing the accept loop, prove existing connections keep being
+  // served, lift the limit, prove new connections work again. Each
+  // numbered _exit marks the failing step.
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    const Dataset data =
+        GenerateSynthetic(200, 3, Distribution::kIndependent, 78);
+    ServerConfig config;
+    config.host = "127.0.0.1";
+    config.port = 0;
+    ToprrServer server(DatasetSnapshot::FromDataset(data), config);
+    std::string error;
+    if (!server.Start(&error)) ::_exit(2);
+    ToprrClient existing;
+    if (!existing.Connect("127.0.0.1", server.port())) ::_exit(3);
+    const ToprrQuery query =
+        ToprrQuery::FromBox(3, Box({0.1, 0.1}, {0.2, 0.2}));
+    auto first = existing.Query(query);
+    if (!first.has_value() || first->status != ServeStatus::kOk) ::_exit(4);
+
+    // Pre-open the probe socket while fds are still available, then
+    // drop the soft limit to zero: every accept(2) now fails EMFILE.
+    const int probe = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (probe < 0) ::_exit(5);
+    struct rlimit saved;
+    if (::getrlimit(RLIMIT_NOFILE, &saved) != 0) ::_exit(6);
+    struct rlimit tight = saved;
+    tight.rlim_cur = 0;
+    if (::setrlimit(RLIMIT_NOFILE, &tight) != 0) ::_exit(7);
+
+    // The TCP handshake completes via the backlog regardless; the
+    // server-side accept fails EMFILE, logs, breathes, and keeps going.
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(server.port()));
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    ::connect(probe, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+
+    // The accept loop must still be alive AND existing connections must
+    // still be served while fds are exhausted.
+    auto during = existing.Query(query);
+    if (!during.has_value() || during->status != ServeStatus::kOk) {
+      ::_exit(8);
+    }
+
+    // Lift the limit: the loop (which never died) accepts again.
+    if (::setrlimit(RLIMIT_NOFILE, &saved) != 0) ::_exit(9);
+    ::close(probe);
+    ToprrClient late;
+    if (!late.Connect("127.0.0.1", server.port())) ::_exit(10);
+    auto after = late.Query(query);
+    if (!after.has_value() || after->status != ServeStatus::kOk) {
+      ::_exit(11);
+    }
+    server.Stop();
+    ::_exit(0);
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status)) << "child did not exit cleanly";
+  EXPECT_EQ(WEXITSTATUS(status), 0) << "failing child step";
 }
 
 }  // namespace
