@@ -1,0 +1,158 @@
+// Durable publish latency vs WAL fsync policy: what a writer pays, per
+// acked publish, for each point on the durability dial.
+//
+// Each config opens a fresh DurableCatalog (checkpoints disabled so the
+// timing isolates the append path) and times whole Publish() calls --
+// delta staging, WAL framing + append, the policy's fsync, and the
+// in-memory catalog publish -- for deltas of `rows_per_publish` fresh
+// inserts. The three series share the bootstrap and delta shape:
+//  * off     -- page cache only; the floor (a crash can lose the tail);
+//  * batched -- group commit: fsync once per wal_batch_bytes of frames;
+//  * always  -- fsync before every ack (the serve-smoke crash phase and
+//               the kill -9 durability guarantee run here).
+// Points carry fsyncs_per_publish and wal_bytes_per_publish from the
+// catalog's own counters, and the non-off series carry
+// `slowdown_vs_off` against the matching off point (registered and
+// therefore run first).
+//
+// Emit the committed JSON trajectory with the stock flags:
+//   bench_wal_append --benchmark_format=json
+//                    --benchmark_out=BENCH_wal_append.json
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "bench/bench_common.h"
+#include "common/rng.h"
+#include "data/recovery.h"
+
+namespace toprr {
+namespace bench {
+namespace {
+
+constexpr int kWarmupRounds = 2;
+constexpr int kMeasuredRounds = 8;
+
+struct WalConfig {
+  FsyncPolicy policy;
+  size_t rows_per_publish;
+
+  std::string Label() const {
+    return "rows:" + std::to_string(rows_per_publish);
+  }
+  std::string Name() const {
+    return std::string("wal_append/") + FsyncPolicyName(policy) + "/" +
+           Label();
+  }
+};
+
+const WalConfig kConfigs[] = {
+    {FsyncPolicy::kOff, 16},      {FsyncPolicy::kOff, 256},
+    {FsyncPolicy::kBatched, 16},  {FsyncPolicy::kBatched, 256},
+    {FsyncPolicy::kAlways, 16},   {FsyncPolicy::kAlways, 256},
+};
+
+// Per-delta-shape median seconds of the kOff series (registered first),
+// read by the batched/always points for `slowdown_vs_off`.
+std::map<std::string, double>& OffSeconds() {
+  static auto& seconds = *new std::map<std::string, double>();
+  return seconds;
+}
+
+void RunPoint(::benchmark::State& state, const WalConfig& config) {
+  const BenchConfig& global = GlobalConfig();
+  char tmpl[] = "/tmp/toprr_bench_wal_XXXXXX";
+  if (::mkdtemp(tmpl) == nullptr) {
+    state.SkipWithError("mkdtemp failed");
+    return;
+  }
+  const Dataset bootstrap = CachedSynthetic(
+      10000, 4, Distribution::kIndependent, global.seed);
+  DurabilityOptions options;
+  options.data_dir = tmpl;
+  options.fsync_policy = config.policy;
+  options.checkpoint_every = 0;  // isolate the append path
+  std::string error;
+  std::unique_ptr<DurableCatalog> durable =
+      DurableCatalog::Open(options, &bootstrap, &error);
+  if (durable == nullptr) {
+    state.SkipWithError(("open failed: " + error).c_str());
+    return;
+  }
+
+  Rng rng(global.seed * 17 + config.rows_per_publish);
+  std::vector<Vec> delta(config.rows_per_publish, Vec(4));
+  uint64_t publish_id = 0;
+  double checksum = 0.0;
+  const auto payload = [&]() {
+    for (Vec& row : delta) {
+      for (size_t j = 0; j < 4; ++j) row[j] = rng.Uniform();
+    }
+    const DurableCatalog::PublishOutcome outcome =
+        durable->Publish(delta, {}, /*token=*/71, ++publish_id);
+    checksum += outcome.ok ? 1.0 : -1e9;  // a failed publish poisons it
+  };
+
+  RoundTiming timing;
+  for (auto _ : state) {
+    timing = RunTimedRounds(kWarmupRounds, kMeasuredRounds, payload);
+    state.SetIterationTime(timing.median_seconds);
+  }
+  ::benchmark::DoNotOptimize(checksum);
+
+  const DurableCounters counters = durable->counters();
+  const double publishes = static_cast<double>(publish_id);
+  state.counters["publish_ms"] = timing.median_seconds * 1e3;
+  state.counters["wal_bytes_per_publish"] =
+      publishes > 0 ? static_cast<double>(counters.wal_bytes) / publishes
+                    : 0.0;
+  state.counters["fsyncs_per_publish"] =
+      publishes > 0 ? static_cast<double>(counters.wal_fsyncs) / publishes
+                    : 0.0;
+  if (config.policy == FsyncPolicy::kOff) {
+    OffSeconds()[config.Label()] = timing.median_seconds;
+  } else {
+    const auto it = OffSeconds().find(config.Label());
+    if (it != OffSeconds().end() && it->second > 0.0 &&
+        timing.median_seconds > 0.0) {
+      state.counters["slowdown_vs_off"] =
+          timing.median_seconds / it->second;
+    }
+  }
+  durable.reset();  // releases the directory lock before cleanup
+  const std::string cleanup = "rm -rf " + std::string(tmpl);
+  if (std::system(cleanup.c_str()) != 0) {
+    // Leftover temp dirs are harmless; the timing already happened.
+  }
+}
+
+void RegisterAll() {
+  for (const WalConfig& config : kConfigs) {
+    // One manual-timed iteration per point: RunTimedRounds already
+    // medians over kMeasuredRounds publishes, and letting the harness
+    // iterate would keep growing the catalog, so later iterations (and
+    // therefore slower policies, which get fewer of them) would time a
+    // bigger snapshot -- the fixed count keeps the series comparable.
+    ::benchmark::RegisterBenchmark(
+        config.Name().c_str(),
+        [config](::benchmark::State& state) { RunPoint(state, config); })
+        ->UseManualTime()
+        ->Iterations(1);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace toprr
+
+int main(int argc, char** argv) {
+  if (!toprr::bench::ParseBenchFlags(&argc, argv)) return 1;
+  toprr::bench::RegisterAll();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

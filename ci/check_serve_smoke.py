@@ -66,10 +66,28 @@ and recovers cleanly:
     deliberate typed rejections (like admission control in the base
     gate) and leave the denominator; terminally-lost queries stay in.
 
+--crash mode gates a `toprr_loadgen --retries --churn --expect_durable`
+report taken against a `toprr_serve --data_dir` server that was killed
+with SIGKILL mid-run and restarted from the same directory. Every
+chaos-mode check applies (with the relaxed CRASH_COMPLETION_FLOOR,
+default 0.5 -- the restart window swallows more attempts than proxy
+chaos does), plus the durability contract:
+
+  * the report has an enabled `durable` block (old loadgen, or
+    --expect_durable not passed),
+  * zero acked publishes were lost across the kill -9 (lost_publishes
+    -- the WAL-before-ack invariant),
+  * recovery was bit-identical: no snapshot seq ever came back with a
+    different snapshot id before vs after the crash
+    (snapshot_id_mismatches), and
+  * the final catalog audit ran and passed (final_info_ok -- the
+    served catalog's last seq covers every acked publish).
+
 Usage: check_serve_smoke.py loadgen.json
        check_serve_smoke.py --cache loadgen_cache.json
        check_serve_smoke.py --churn loadgen_churn.json
        check_serve_smoke.py --chaos loadgen_chaos.json
+       check_serve_smoke.py --crash loadgen_crash.json
 Self-test: check_serve_smoke.py --self-test
 """
 
@@ -284,6 +302,46 @@ def evaluate_chaos(report, completion_floor):
     return True, summary
 
 
+def evaluate_crash(report, completion_floor):
+    """Returns (ok, one_line_message) for a retrying durable-churn run
+    across a kill -9 server restart: every chaos-mode recovery check
+    plus the crash-durability contract (no acked publish lost, recovery
+    bit-identical, final catalog audit clean)."""
+    ok, base = evaluate_chaos(report, completion_floor)
+    if not ok:
+        return False, base
+    durable = report.get("durable")
+    if not isinstance(durable, dict) or not durable.get("enabled", False):
+        return False, (
+            "report has no active durable block (the crash phase must "
+            "verify durability; pass --expect_durable)"
+        )
+    lost = durable.get("lost_publishes", 0)
+    mismatches = durable.get("snapshot_id_mismatches", 0)
+    summary = (
+        f"{base}; durable: {lost} lost publishes, {mismatches} "
+        f"snapshot-id mismatches, final seq "
+        f"{durable.get('final_snapshot_seq', 0)} "
+        f"(id {durable.get('final_snapshot_id', '?')})"
+    )
+    if lost != 0:
+        return False, (
+            f"durability broken: {lost} acked publishes missing after "
+            f"the kill -9 restart -- {summary}"
+        )
+    if mismatches != 0:
+        return False, (
+            f"recovery not bit-identical: {mismatches} snapshot seqs "
+            f"came back with a different snapshot id -- {summary}"
+        )
+    if not durable.get("final_info_ok", False):
+        return False, (
+            "final catalog audit failed: the loadgen could not confirm "
+            f"the served catalog covers every acked publish -- {summary}"
+        )
+    return True, summary
+
+
 def self_test():
     good = {
         "completed_queries": 100,
@@ -447,6 +505,47 @@ def self_test():
 
     ok, message = evaluate_chaos(dict(good_chaos, churn=None), 0.9)
     assert not ok and "no active churn block" in message
+
+    good_crash = dict(good_chaos, durable={
+        "enabled": True, "lost_publishes": 0,
+        "snapshot_id_mismatches": 0, "final_info_ok": True,
+        "final_snapshot_seq": 31, "final_snapshot_id": "00deadbeef00f00d",
+    })
+    ok, _ = evaluate_crash(good_crash, 0.5)
+    assert ok, "recovered kill -9 run must pass"
+
+    # The chaos gates still apply in --crash mode.
+    ok, message = evaluate_crash(dict(good_crash, dead_workers=1), 0.5)
+    assert not ok and "died" in message
+    ok, message = evaluate_crash(
+        dict(good_crash,
+             churn=dict(good_chaos["churn"], duplicate_publishes=1)), 0.5)
+    assert not ok and "dedupe broken" in message
+
+    ok, message = evaluate_crash(good_chaos, 0.5)
+    assert not ok and "no active durable block" in message
+
+    ok, message = evaluate_crash(
+        dict(good_crash,
+             durable=dict(good_crash["durable"], enabled=False)), 0.5)
+    assert not ok and "no active durable block" in message
+
+    ok, message = evaluate_crash(
+        dict(good_crash,
+             durable=dict(good_crash["durable"], lost_publishes=2)), 0.5)
+    assert not ok and "durability broken" in message
+
+    ok, message = evaluate_crash(
+        dict(good_crash,
+             durable=dict(good_crash["durable"],
+                          snapshot_id_mismatches=1)), 0.5)
+    assert not ok and "bit-identical" in message
+
+    ok, message = evaluate_crash(
+        dict(good_crash,
+             durable=dict(good_crash["durable"], final_info_ok=False)),
+        0.5)
+    assert not ok and "final catalog audit" in message
     print("serve-smoke: self-test PASS")
 
 
@@ -456,12 +555,12 @@ def main():
         return
     mode = "base"
     if len(sys.argv) == 3 and sys.argv[1] in ("--cache", "--churn",
-                                              "--chaos"):
+                                              "--chaos", "--crash"):
         mode = sys.argv[1][2:]
     elif len(sys.argv) != 2:
         print(
             f"serve-smoke: FAIL: usage: {sys.argv[0]} "
-            "[--cache|--churn|--chaos] <loadgen.json>",
+            "[--cache|--churn|--chaos|--crash] <loadgen.json>",
             file=sys.stderr,
         )
         sys.exit(1)
@@ -476,7 +575,11 @@ def main():
             file=sys.stderr,
         )
         sys.exit(1)
-    if mode == "chaos":
+    if mode == "crash":
+        completion_floor = float(
+            os.environ.get("CRASH_COMPLETION_FLOOR", "0.5"))
+        ok, message = evaluate_crash(report, completion_floor)
+    elif mode == "chaos":
         completion_floor = float(
             os.environ.get("CHAOS_COMPLETION_FLOOR", "0.9"))
         ok, message = evaluate_chaos(report, completion_floor)

@@ -187,6 +187,12 @@ int main(int argc, char** argv) {
                 batch, k, seconds, batch / seconds,
                 static_cast<double>(vall_total) / batch, failed);
     if (stats) {
+      // The snapshot stamp every response would carry if this batch had
+      // come over the wire -- lets a human line this run up with server
+      // logs and loadgen JSON (which print the same id/seq pair).
+      std::printf("served snapshot: id=%016llx seq=%llu\n",
+                  static_cast<unsigned long long>(engine.snapshot_id()),
+                  static_cast<unsigned long long>(engine.snapshot_seq()));
       uint64_t executed = 0;
       uint64_t stolen = 0;
       uint64_t steal_failures = 0;
@@ -240,15 +246,22 @@ int main(int argc, char** argv) {
   }
 
   // ---- Solve. ----
+  // Through the engine (not bare SolveToprr) so the result carries the
+  // snapshot stamp that --stats prints: the id is the same content hash
+  // a server over this catalog would advertise, greppable in its logs.
   ToprrOptions solve_options;
   solve_options.num_threads = threads;
-  const ToprrResult region = SolveToprr(data, k, box, solve_options);
+  ToprrEngine engine(DatasetSnapshot::FromDataset(data));
+  const ToprrResult region = engine.Solve(k, box, solve_options);
   if (region.timed_out) {
     std::fprintf(stderr, "solver exceeded its budget\n");
     return 1;
   }
   std::printf("\nTopRR(k=%d): %s\n", k, region.stats.DebugString().c_str());
   if (stats) {
+    std::printf("served snapshot: id=%016llx seq=%llu\n",
+                static_cast<unsigned long long>(region.snapshot_id),
+                static_cast<unsigned long long>(region.snapshot_seq));
     std::printf("scheduler: %s\n",
                 region.stats.scheduler.DebugString().c_str());
   }

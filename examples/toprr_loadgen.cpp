@@ -35,6 +35,15 @@
 // ordering breaks, dead workers -- fail the exit code. --deadline_ms
 // attaches a deadline to every batch, enforced server-side
 // (DEADLINE_EXCEEDED) and as a local socket timeout.
+// --expect_durable (with --churn against a --data_dir server) switches
+// the writer to durable verification: row-id bookkeeping and the
+// publish-growth accounting survive reconnects instead of re-baselining,
+// because a crash-restarted durable server must recover every acked
+// publish bit-identically. Acked-row loss, duplicate applies, snapshot
+// ids that differ across the restart for the same seq, and a final
+// catalog seq below the max acked seq all land in the JSON "durable"
+// block (consumed by ci/check_serve_smoke.py --crash) and fail the exit
+// code.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -42,6 +51,7 @@
 #include <cstdio>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/flags.h"
@@ -108,6 +118,17 @@ struct ChurnReport {
   uint64_t retries = 0;
   uint64_t reconnects = 0;
   uint64_t last_snapshot_seq = 0;
+
+  // Durable verification (--expect_durable): acked-publish loss,
+  // double-applies, and snapshot-id identity across restarts.
+  uint64_t lost_publishes = 0;   // catalog grew less than the acked delta
+  uint64_t snapshot_id_mismatches = 0;  // same seq, different id
+  uint64_t last_snapshot_id = 0;
+  uint64_t final_snapshot_seq = 0;  // closing CatalogInfo after the run
+  uint64_t final_snapshot_id = 0;
+  bool final_info_ok = false;
+  std::string final_info_message;  // the server's durability one-liner
+
   bool died = false;
   std::string first_error;
 };
@@ -218,7 +239,7 @@ void RunConnection(const std::string& host, int port, size_t dim, int k,
                    double sigma, int batch, double budget_seconds,
                    double duration_seconds, uint64_t seed,
                    const ZipfMix* mix, const Resilience& resilience,
-                   WorkerReport* report) {
+                   bool expect_durable, WorkerReport* report) {
   serve::ToprrClient client;
   const bool retrying = resilience.attempts > 1;
   if (retrying) {
@@ -279,8 +300,11 @@ void RunConnection(const std::string& host, int port, size_t dim, int k,
       // The batch crossed an internal reconnect. If the server was
       // restarted, its snapshot seq restarted too -- re-baseline the
       // per-connection monotonicity check instead of flagging it.
+      // UNLESS the server is durable: recovery resumes the seq chain
+      // where the crash cut it, so a regression across the restart is a
+      // real violation and the baseline must survive the reconnect.
       report->reconnects = client.reconnects();
-      report->last_snapshot_seq = 0;
+      if (!expect_durable) report->last_snapshot_seq = 0;
     }
     for (const serve::ServeResponse& response : *responses) {
       switch (response.status) {
@@ -342,7 +366,7 @@ void RunChurnWriter(const std::string& host, int port, size_t data_dim,
                     int k, double sigma, double interval_seconds,
                     int rows_per_publish, double duration_seconds,
                     uint64_t seed, const Resilience& resilience,
-                    ChurnReport* report) {
+                    bool expect_durable, ChurnReport* report) {
   serve::ToprrClient client;
   const bool retrying = resilience.attempts > 1;
   if (retrying) {
@@ -363,6 +387,24 @@ void RunChurnWriter(const std::string& host, int port, size_t data_dim,
   uint64_t physical_rows = client.server().physical_rows;
   uint64_t seen_reconnects = client.reconnects();
   std::vector<uint64_t> own_rows;  // our published inserts, oldest first
+  // Durable verification state. `pending_*` mirror what the client has
+  // staged-but-unpublished (surviving failed rounds), so the growth
+  // check stays exact even when a publish spans a crash-restart.
+  uint64_t pending_inserts = 0;
+  size_t pending_deletes = 0;
+  bool publish_pending = false;  // resolve the in-flight publish before
+                                 // staging more (durable mode only)
+  std::unordered_map<uint64_t, uint64_t> seq_to_id;
+  // Snapshot-id identity: recovery must re-derive bit-identical ids, so
+  // any two stamps with the same seq -- before or after the crash --
+  // must carry the same id.
+  const auto note_stamp = [&](uint64_t seq, uint64_t id) {
+    if (!expect_durable || id == 0) return;
+    const auto inserted = seq_to_id.emplace(seq, id);
+    if (!inserted.second && inserted.first->second != id) {
+      ++report->snapshot_id_mismatches;
+    }
+  };
   Rng rng(seed);
   Timer clock;
   const auto fail = [&](const std::string& what) {
@@ -382,10 +424,13 @@ void RunChurnWriter(const std::string& host, int port, size_t data_dim,
   // Derived row-id bookkeeping is only sound while the connection (and
   // the server incarnation behind it) is stable. After any reconnect the
   // server may have restarted with a fresh catalog, so drop the id state
-  // and re-baseline from the new handshake's hello.
+  // and re-baseline from the new handshake's hello. A durable server is
+  // the exception: its restart recovers the same catalog, so the
+  // bookkeeping deliberately survives -- that IS the check.
   const auto rebaseline_if_reconnected = [&]() {
     if (client.reconnects() == seen_reconnects) return false;
     seen_reconnects = client.reconnects();
+    if (expect_durable) return true;
     own_rows.clear();
     physical_rows = client.server().physical_rows;
     return true;
@@ -393,77 +438,125 @@ void RunChurnWriter(const std::string& host, int port, size_t data_dim,
   while (clock.Seconds() < duration_seconds) {
     const double sleep_left =
         std::min(interval_seconds, duration_seconds - clock.Seconds());
-    std::vector<Vec> rows(static_cast<size_t>(rows_per_publish), Vec(dim));
-    for (Vec& row : rows) {
-      for (size_t j = 0; j < dim; ++j) row[j] = rng.Uniform();
-    }
-    auto staged = client.StageInsert(rows);
-    rebaseline_if_reconnected();
-    if (!staged.has_value()) {
-      if (rpc_failed()) return;
-      std::this_thread::sleep_for(std::chrono::duration<double>(sleep_left));
-      continue;
-    }
-    if (staged->status != serve::MutationStatus::kOk) {
-      fail("stage insert: " + staged->message);
-      continue;
-    }
-    report->staged_rows += rows.size();
-    // Delete our oldest inserts once a backlog has built up.
+    size_t rows_this_round = 0;
     size_t deletes = 0;
-    if (own_rows.size() >= static_cast<size_t>(2 * rows_per_publish)) {
-      deletes = static_cast<size_t>(rows_per_publish);
-      std::vector<uint64_t> victims(own_rows.begin(),
-                                    own_rows.begin() + deletes);
-      auto staged_del = client.StageDelete(victims);
-      if (rebaseline_if_reconnected()) deletes = 0;
-      if (!staged_del.has_value()) {
-        if (rpc_failed()) return;
-        deletes = 0;
-      } else if (staged_del->status != serve::MutationStatus::kOk) {
-        fail("stage delete: " + staged_del->message);
-        deletes = 0;
+    if (!publish_pending) {
+      std::vector<Vec> rows(static_cast<size_t>(rows_per_publish), Vec(dim));
+      for (Vec& row : rows) {
+        for (size_t j = 0; j < dim; ++j) row[j] = rng.Uniform();
       }
+      auto staged = client.StageInsert(rows);
+      rebaseline_if_reconnected();
+      if (!staged.has_value()) {
+        if (rpc_failed()) return;
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(sleep_left));
+        continue;
+      }
+      if (staged->status != serve::MutationStatus::kOk) {
+        fail("stage insert: " + staged->message);
+        continue;
+      }
+      report->staged_rows += rows.size();
+      pending_inserts += rows.size();
+      rows_this_round = rows.size();
+      // Delete our oldest inserts once a backlog has built up.
+      if (own_rows.size() >= static_cast<size_t>(2 * rows_per_publish)) {
+        deletes = static_cast<size_t>(rows_per_publish);
+        std::vector<uint64_t> victims(own_rows.begin(),
+                                      own_rows.begin() + deletes);
+        auto staged_del = client.StageDelete(victims);
+        if (rebaseline_if_reconnected() && !expect_durable) deletes = 0;
+        if (!staged_del.has_value()) {
+          if (rpc_failed()) return;
+          deletes = 0;
+        } else if (staged_del->status != serve::MutationStatus::kOk) {
+          fail("stage delete: " + staged_del->message);
+          deletes = 0;
+        }
+      }
+      pending_deletes += deletes;
     }
     const uint64_t reconnects_before_publish = client.reconnects();
     auto published = client.Publish();
     if (!published.has_value()) {
       rebaseline_if_reconnected();
       if (rpc_failed()) return;
+      // Durable mode: the delta may or may not have landed; staging MORE
+      // on top before this publish resolves would entangle two deltas in
+      // one accounting round. Retry the same publish next round instead.
+      if (expect_durable) publish_pending = true;
       std::this_thread::sleep_for(std::chrono::duration<double>(sleep_left));
       continue;
     }
     if (published->status != serve::MutationStatus::kOk) {
       fail("publish: " + published->message);
       rebaseline_if_reconnected();
+      if (expect_durable) publish_pending = true;
       continue;
     }
     ++report->publishes;
     if (published->already_applied) ++report->publishes_deduped;
-    const bool stable_connection =
-        client.reconnects() == reconnects_before_publish &&
-        reconnects_before_publish == seen_reconnects;
-    if (stable_connection && !published->already_applied) {
-      // Single writer on a stable incarnation: the publish must have
-      // grown the catalog by exactly the rows staged this round. More
-      // means the delta landed twice (idempotency failure).
+    publish_pending = false;
+    note_stamp(published->snapshot_seq, published->snapshot_id);
+    report->last_snapshot_id = published->snapshot_id;
+    if (expect_durable) {
+      // Durable accounting holds across reconnects AND restarts: the
+      // recovered catalog is the same catalog. The publish (fresh or
+      // deduped -- either way applied exactly once) must have grown the
+      // physical row count by exactly the staged inserts; more means a
+      // double-apply, less means an acked row vanished. Netted
+      // staged-then-deleted inserts still materialize as tombstones, so
+      // physical growth equals staged inserts regardless of deletes.
       const uint64_t grew = published->physical_rows - physical_rows;
-      if (grew > rows.size()) ++report->duplicate_publishes;
-      report->staged_deletes += deletes;
+      if (grew > pending_inserts) {
+        ++report->duplicate_publishes;
+      } else if (grew < pending_inserts) {
+        ++report->lost_publishes;
+      }
+      report->staged_deletes += pending_deletes;
       own_rows.erase(own_rows.begin(),
-                     own_rows.begin() + static_cast<ptrdiff_t>(deletes));
-      for (uint64_t id = physical_rows; id < published->physical_rows; ++id) {
+                     own_rows.begin() +
+                         static_cast<ptrdiff_t>(
+                             std::min(pending_deletes, own_rows.size())));
+      for (uint64_t id = physical_rows; id < published->physical_rows;
+           ++id) {
         own_rows.push_back(id);
       }
       physical_rows = published->physical_rows;
-    } else {
-      // The publish crossed a reconnect (or was deduped): derived ids
-      // are unreliable, start the id bookkeeping over from the ack.
-      own_rows.clear();
-      physical_rows = published->physical_rows;
+      pending_inserts = 0;
+      pending_deletes = 0;
       seen_reconnects = client.reconnects();
+    } else {
+      const bool stable_connection =
+          client.reconnects() == reconnects_before_publish &&
+          reconnects_before_publish == seen_reconnects;
+      if (stable_connection && !published->already_applied) {
+        // Single writer on a stable incarnation: the publish must have
+        // grown the catalog by exactly the rows staged this round. More
+        // means the delta landed twice (idempotency failure).
+        const uint64_t grew = published->physical_rows - physical_rows;
+        if (grew > rows_this_round) ++report->duplicate_publishes;
+        report->staged_deletes += deletes;
+        own_rows.erase(own_rows.begin(),
+                       own_rows.begin() + static_cast<ptrdiff_t>(deletes));
+        for (uint64_t id = physical_rows; id < published->physical_rows;
+             ++id) {
+          own_rows.push_back(id);
+        }
+        physical_rows = published->physical_rows;
+      } else {
+        // The publish crossed a reconnect (or was deduped): derived ids
+        // are unreliable, start the id bookkeeping over from the ack.
+        own_rows.clear();
+        physical_rows = published->physical_rows;
+        seen_reconnects = client.reconnects();
+      }
+      pending_inserts = 0;
+      pending_deletes = 0;
     }
-    report->last_snapshot_seq = published->snapshot_seq;
+    report->last_snapshot_seq =
+        std::max(report->last_snapshot_seq, published->snapshot_seq);
 
     // Read-your-writes: the next query on this connection must already
     // be served at (or after) the version the publish ack promised.
@@ -474,17 +567,49 @@ void RunChurnWriter(const std::string& host, int port, size_t data_dim,
     if (!response.has_value()) {
       rebaseline_if_reconnected();
       if (rpc_failed()) return;
-    } else if (client.reconnects() == seen_reconnects &&
-               response->snapshot_seq < published->snapshot_seq) {
-      // Only meaningful when no reconnect separated publish and query: a
-      // restarted server legitimately serves a younger seq.
-      ++report->ryw_violations;
     } else {
-      rebaseline_if_reconnected();
+      note_stamp(response->snapshot_seq, response->snapshot_id);
+      if (expect_durable) {
+        // A durable restart recovers at (or after) every acked seq, so
+        // the promise holds even when a crash separated publish and
+        // query -- no reconnect exemption.
+        if (response->snapshot_seq < published->snapshot_seq) {
+          ++report->ryw_violations;
+        }
+        rebaseline_if_reconnected();
+      } else if (client.reconnects() == seen_reconnects &&
+                 response->snapshot_seq < published->snapshot_seq) {
+        // Only meaningful when no reconnect separated publish and query:
+        // a restarted server legitimately serves a younger seq.
+        ++report->ryw_violations;
+      } else {
+        rebaseline_if_reconnected();
+      }
     }
     if (sleep_left > 0.0) {
       std::this_thread::sleep_for(
           std::chrono::duration<double>(sleep_left));
+    }
+  }
+  if (expect_durable) {
+    // Closing audit: the catalog the server ends on must sit at (or
+    // past) every seq it ever acked to this writer -- across however
+    // many kill -9 restarts the run contained.
+    auto info = client.CatalogInfo();
+    if (info.has_value() && info->status == serve::MutationStatus::kOk) {
+      report->final_info_ok = true;
+      report->final_snapshot_seq = info->snapshot_seq;
+      report->final_snapshot_id = info->snapshot_id;
+      report->final_info_message = info->message;
+      note_stamp(info->snapshot_seq, info->snapshot_id);
+      if (info->snapshot_seq < report->last_snapshot_seq) {
+        ++report->lost_publishes;
+        if (report->first_error.empty()) {
+          report->first_error = "final catalog seq below max acked seq";
+        }
+      }
+    } else if (report->first_error.empty()) {
+      report->first_error = "final catalog info failed";
     }
   }
   report->retries = client.retries();
@@ -515,6 +640,7 @@ int main(int argc, char** argv) {
   int churn_rows = 4;
   int retries = 1;
   double deadline_ms = 0.0;
+  bool expect_durable = false;
   bool help = false;
   flags.AddString("host", &host, "server address");
   flags.AddString("out", &out_path, "write the JSON report here (default: stdout)");
@@ -549,6 +675,10 @@ int main(int argc, char** argv) {
   flags.AddDouble("deadline_ms", &deadline_ms,
                   "per-batch deadline in milliseconds (0 = none); enforced "
                   "server-side AND as a local socket timeout");
+  flags.AddBool("expect_durable", &expect_durable,
+                "the server runs with --data_dir: verify acked publishes "
+                "survive restarts (no loss, no double-apply, bit-identical "
+                "snapshot ids); requires --churn, pair with --retries");
   flags.AddBool("help", &help, "print usage");
   if (!flags.Parse(&argc, argv)) return 1;
   if (help) {
@@ -567,6 +697,10 @@ int main(int argc, char** argv) {
   }
   if (churn && (churn_rows < 1 || churn_interval < 0.0)) {
     std::fprintf(stderr, "need --churn_rows >= 1, --churn_interval >= 0\n");
+    return 1;
+  }
+  if (expect_durable && !churn) {
+    std::fprintf(stderr, "--expect_durable requires --churn\n");
     return 1;
   }
 
@@ -592,7 +726,8 @@ int main(int argc, char** argv) {
     workers.emplace_back(RunConnection, host, port,
                          static_cast<size_t>(d - 1), k, sigma, batch, budget,
                          duration, static_cast<uint64_t>(seed) + 31 * c,
-                         zipf ? &mix : nullptr, resilience, &reports[c]);
+                         zipf ? &mix : nullptr, resilience, expect_durable,
+                         &reports[c]);
   }
   ChurnReport churn_report;
   std::thread churn_writer;
@@ -601,7 +736,7 @@ int main(int argc, char** argv) {
                                static_cast<size_t>(d), k, sigma,
                                churn_interval, churn_rows, duration,
                                static_cast<uint64_t>(seed) + 977, resilience,
-                               &churn_report);
+                               expect_durable, &churn_report);
   }
   for (std::thread& worker : workers) worker.join();
   if (churn_writer.joinable()) churn_writer.join();
@@ -767,6 +902,35 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(std::max(
           churn_report.last_snapshot_seq, total.last_snapshot_seq)));
   json += line;
+  std::snprintf(
+      line, sizeof(line),
+      "  \"durable\": {\"enabled\": %s, \"lost_publishes\": %llu, "
+      "\"snapshot_id_mismatches\": %llu,\n",
+      expect_durable ? "true" : "false",
+      static_cast<unsigned long long>(churn_report.lost_publishes),
+      static_cast<unsigned long long>(churn_report.snapshot_id_mismatches));
+  json += line;
+  std::snprintf(
+      line, sizeof(line),
+      "    \"last_snapshot_id\": \"%016llx\", \"max_acked_seq\": %llu,\n",
+      static_cast<unsigned long long>(churn_report.last_snapshot_id),
+      static_cast<unsigned long long>(churn_report.last_snapshot_seq));
+  json += line;
+  std::snprintf(
+      line, sizeof(line),
+      "    \"final_snapshot_id\": \"%016llx\", \"final_snapshot_seq\": "
+      "%llu, \"final_info_ok\": %s,\n",
+      static_cast<unsigned long long>(churn_report.final_snapshot_id),
+      static_cast<unsigned long long>(churn_report.final_snapshot_seq),
+      churn_report.final_info_ok ? "true" : "false");
+  json += line;
+  std::string safe_info = churn_report.final_info_message.substr(0, 160);
+  for (char& c : safe_info) {
+    if (c == '"' || c == '\\') c = '\'';
+  }
+  std::snprintf(line, sizeof(line), "    \"server_info\": \"%s\"},\n",
+                safe_info.c_str());
+  json += line;
   std::string safe_error = total.first_error.substr(0, 120);
   for (char& c : safe_error) {
     if (c == '"' || c == '\\') c = '\'';
@@ -806,15 +970,23 @@ int main(int argc, char** argv) {
                  churn_report.ryw_violations == 0 &&
                  churn_report.duplicate_publishes == 0 &&
                  total.seq_regressions == 0);
+  // Durable verification failures are always fatal: losing an acked
+  // publish (or serving a different snapshot id for a seen seq) is the
+  // exact crime the WAL exists to prevent.
+  const bool durable_clean =
+      !expect_durable || (churn_report.lost_publishes == 0 &&
+                          churn_report.snapshot_id_mismatches == 0 &&
+                          churn_report.final_info_ok);
   if (resilience.attempts > 1) {
     // Chaos semantics: transient errors are the point of the run -- the
     // retry layer is expected to absorb them. Only correctness failures
     // (ordering, duplicates) and workers that gave up are fatal; the
     // completion floor is the gate script's call, not an exit code.
-    return churn_clean && dead_workers == 0 ? 0 : 1;
+    return churn_clean && durable_clean && dead_workers == 0 ? 0 : 1;
   }
   return total.protocol_errors == 0 && total.transport_errors == 0 &&
-                 total.timeout_errors == 0 && dead_workers == 0 && churn_clean
+                 total.timeout_errors == 0 && dead_workers == 0 &&
+                 churn_clean && durable_clean
              ? 0
              : 1;
 }

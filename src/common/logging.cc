@@ -2,8 +2,18 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cerrno>
+#include <cstring>
 
 namespace toprr {
+
+std::string LogErrno(const std::string& context) {
+  const int saved = errno;  // capture before any allocation can clobber it
+  std::string message = context;
+  message += ": ";
+  message += std::strerror(saved);
+  return message;
+}
 
 LogLevel& GlobalLogLevel() {
   static LogLevel level = LogLevel::kWarning;

@@ -23,6 +23,13 @@ LogLevel& GlobalLogLevel();
 /// Returns true on success.
 bool ParseLogLevel(const std::string& text, LogLevel* level);
 
+/// Formats "context: strerror(errno)" for the CURRENT errno, e.g.
+/// "accept failed: Too many open files". Call it in the same statement
+/// as (or immediately after) the failing syscall -- streaming other
+/// values first may clobber errno. The one spelling every errno log in
+/// the server routes through, so failure messages stay greppable.
+std::string LogErrno(const std::string& context);
+
 namespace internal_log {
 
 class LogMessage {

@@ -41,6 +41,16 @@ std::string ServerStatsSnapshot::DebugString() const {
         << " rejected_draining=" << queries_rejected_draining
         << " brownout_clamps=" << brownout_clamps;
   }
+  if (recovered || wal_appends + wal_bytes + checkpoints_written > 0) {
+    out << " wal_appends=" << wal_appends << " wal_bytes=" << wal_bytes
+        << " wal_fsyncs=" << wal_fsyncs
+        << " checkpoints=" << checkpoints_written
+        << " recovered=" << (recovered ? 1 : 0)
+        << " recovery_replayed=" << recovery_replayed_records
+        << " recovery_skipped=" << recovery_skipped_records
+        << " recovery_seq=" << recovery_snapshot_seq
+        << " recovery_ms=" << recovery_seconds * 1e3;
+  }
   return out.str();
 }
 
@@ -81,6 +91,19 @@ ServerStatsSnapshot ServerStats::Snapshot() const {
   snap.queries_rejected_draining =
       queries_rejected_draining_.load(std::memory_order_relaxed);
   snap.brownout_clamps = brownout_clamps_.load(std::memory_order_relaxed);
+  snap.wal_appends = wal_appends_.load(std::memory_order_relaxed);
+  snap.wal_bytes = wal_bytes_.load(std::memory_order_relaxed);
+  snap.wal_fsyncs = wal_fsyncs_.load(std::memory_order_relaxed);
+  snap.checkpoints_written =
+      checkpoints_written_.load(std::memory_order_relaxed);
+  snap.recovered = recovered_.load(std::memory_order_relaxed);
+  snap.recovery_replayed_records =
+      recovery_replayed_records_.load(std::memory_order_relaxed);
+  snap.recovery_skipped_records =
+      recovery_skipped_records_.load(std::memory_order_relaxed);
+  snap.recovery_snapshot_seq =
+      recovery_snapshot_seq_.load(std::memory_order_relaxed);
+  snap.recovery_seconds = recovery_seconds_;
   return snap;
 }
 

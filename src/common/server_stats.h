@@ -55,6 +55,20 @@ struct ServerStatsSnapshot {
   uint64_t queries_rejected_draining = 0;
   uint64_t brownout_clamps = 0;  // budgets clamped under sustained overload
 
+  // Durability (PR 10): mirrored from the durable catalog after each
+  // publish so `--stats` readers see WAL traffic without linking data/.
+  // All zero when the server runs without a durable catalog.
+  uint64_t wal_appends = 0;
+  uint64_t wal_bytes = 0;
+  uint64_t wal_fsyncs = 0;
+  uint64_t checkpoints_written = 0;
+  // Startup recovery outcome (set once, before serving begins).
+  bool recovered = false;               // true: state rebuilt from disk
+  uint64_t recovery_replayed_records = 0;
+  uint64_t recovery_skipped_records = 0;  // already in the checkpoint
+  uint64_t recovery_snapshot_seq = 0;     // seq recovery landed on
+  double recovery_seconds = 0.0;
+
   std::string DebugString() const;
 };
 
@@ -108,6 +122,33 @@ class ServerStats {
   }
   void OnBrownoutClamp() { Bump(brownout_clamps_); }
 
+  /// Mirrors the durable catalog's monotonic counters (absolute values,
+  /// not increments -- the catalog owns the counts, stats just reflect
+  /// them). Plain uint64 parameters keep this header free of data/
+  /// includes: toprr_data depends on toprr_common, never the reverse.
+  void SetDurableCounters(uint64_t wal_appends, uint64_t wal_bytes,
+                          uint64_t wal_fsyncs, uint64_t checkpoints_written) {
+    wal_appends_.store(wal_appends, std::memory_order_relaxed);
+    wal_bytes_.store(wal_bytes, std::memory_order_relaxed);
+    wal_fsyncs_.store(wal_fsyncs, std::memory_order_relaxed);
+    checkpoints_written_.store(checkpoints_written,
+                               std::memory_order_relaxed);
+  }
+
+  /// Records the startup-recovery outcome. Called once, before the
+  /// accept loop starts, so the non-atomic double is never raced.
+  void SetRecovery(bool recovered, uint64_t replayed_records,
+                   uint64_t skipped_records, uint64_t snapshot_seq,
+                   double seconds) {
+    recovered_.store(recovered, std::memory_order_relaxed);
+    recovery_replayed_records_.store(replayed_records,
+                                     std::memory_order_relaxed);
+    recovery_skipped_records_.store(skipped_records,
+                                    std::memory_order_relaxed);
+    recovery_snapshot_seq_.store(snapshot_seq, std::memory_order_relaxed);
+    recovery_seconds_ = seconds;
+  }
+
   ServerStatsSnapshot Snapshot() const;
 
  private:
@@ -141,6 +182,17 @@ class ServerStats {
   std::atomic<uint64_t> queries_deadline_exceeded_{0};
   std::atomic<uint64_t> queries_rejected_draining_{0};
   std::atomic<uint64_t> brownout_clamps_{0};
+  std::atomic<uint64_t> wal_appends_{0};
+  std::atomic<uint64_t> wal_bytes_{0};
+  std::atomic<uint64_t> wal_fsyncs_{0};
+  std::atomic<uint64_t> checkpoints_written_{0};
+  std::atomic<bool> recovered_{false};
+  std::atomic<uint64_t> recovery_replayed_records_{0};
+  std::atomic<uint64_t> recovery_skipped_records_{0};
+  std::atomic<uint64_t> recovery_snapshot_seq_{0};
+  // Written once in SetRecovery before the accept loop exists; read by
+  // Snapshot afterwards. No concurrent writer, so a plain double is safe.
+  double recovery_seconds_ = 0.0;
 };
 
 }  // namespace toprr

@@ -84,6 +84,46 @@ const double* VecRowAt(const void* source, size_t i) {
 
 }  // namespace
 
+SnapshotPtr DatasetSnapshot::Restore(
+    std::vector<std::shared_ptr<const std::vector<double>>> chunks,
+    std::vector<uint8_t> live, size_t rows, size_t dim, uint64_t id,
+    uint64_t seq, uint64_t parent_id) {
+  if (dim == 0 && rows != 0) return nullptr;
+  if (live.size() != rows) return nullptr;
+  const size_t want_chunks =
+      (rows + DatasetSnapshot::kChunkRows - 1) >> DatasetSnapshot::kChunkShift;
+  if (chunks.size() != want_chunks) return nullptr;
+  for (size_t c = 0; c < chunks.size(); ++c) {
+    if (chunks[c] == nullptr) return nullptr;
+    const size_t chunk_rows =
+        c + 1 < chunks.size()
+            ? DatasetSnapshot::kChunkRows
+            : rows - c * DatasetSnapshot::kChunkRows;
+    if (chunks[c]->size() != chunk_rows * dim) return nullptr;
+  }
+  for (const uint8_t bit : live) {
+    if (bit > 1) return nullptr;
+  }
+  auto snapshot = std::shared_ptr<DatasetSnapshot>(new DatasetSnapshot());
+  snapshot->chunks_ = std::move(chunks);
+  snapshot->chunk_bases_.reserve(snapshot->chunks_.size());
+  for (const auto& chunk : snapshot->chunks_) {
+    snapshot->chunk_bases_.push_back(chunk->data());
+  }
+  snapshot->live_ = std::move(live);
+  snapshot->rows_ = rows;
+  snapshot->dim_ = dim;
+  snapshot->id_ = id;
+  snapshot->seq_ = seq;
+  snapshot->parent_id_ = parent_id;
+  for (size_t row = 0; row < rows; ++row) {
+    if (snapshot->live_[row] != 0) {
+      snapshot->live_ids_.push_back(static_cast<int>(row));
+    }
+  }
+  return snapshot;
+}
+
 SnapshotPtr DatasetSnapshot::FromDataset(const Dataset& data) {
   return BuildRoot(data.size(), data.dim(), &DatasetRowAt, &data);
 }
@@ -171,6 +211,44 @@ size_t MutableCatalog::staged_inserts() const {
 size_t MutableCatalog::staged_deletes() const {
   std::lock_guard<std::mutex> lock(mu_);
   return staged_deleted_.size();
+}
+
+void MutableCatalog::DiscardStaged() {
+  std::lock_guard<std::mutex> lock(mu_);
+  staged_values_.clear();
+  staged_alive_.clear();
+  staged_deleted_.clear();
+}
+
+bool MutableCatalog::PredictPublish(uint64_t* child_id,
+                                    uint64_t* child_seq) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (staged_alive_.empty() && staged_deleted_.empty()) return false;
+  const DatasetSnapshot& parent = *current_;
+  const size_t d = parent.dim() != 0
+                       ? parent.dim()
+                       : staged_values_.size() / staged_alive_.size();
+  const size_t old_rows = parent.rows();
+
+  // Mirrors Publish()'s chain mix exactly: sorted deletes, then the
+  // alive staged ids with their row bytes, under the same section
+  // markers. Any drift between the two is a logic bug the durable
+  // publish path turns into a typed error (and a test failure).
+  std::vector<int> deleted(staged_deleted_);
+  std::sort(deleted.begin(), deleted.end());
+  uint64_t h = MixU64(parent.id(), 0x64656c65ull);  // "dele"
+  for (const int id : deleted) {
+    h = MixU64(h, static_cast<uint64_t>(id));
+  }
+  h = MixU64(h, 0x696e7372ull);  // "insr"
+  for (size_t idx = 0; idx < staged_alive_.size(); ++idx) {
+    if (staged_alive_[idx] == 0) continue;
+    h = MixU64(h, static_cast<uint64_t>(old_rows + idx));
+    h = MixRow(h, staged_values_.data() + idx * d, d);
+  }
+  *child_id = h;
+  *child_seq = parent.seq() + 1;
+  return true;
 }
 
 SnapshotPtr MutableCatalog::Publish() {

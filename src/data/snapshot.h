@@ -72,6 +72,18 @@ class DatasetSnapshot {
   static SnapshotPtr FromDataset(const Dataset& data);
   static SnapshotPtr FromRows(const std::vector<Vec>& rows);
 
+  /// Rehydrates a snapshot from checkpointed state (data/recovery.cc):
+  /// value chunks, tombstone bitmap, and the recorded id/seq/parent --
+  /// recovery trusts the per-record checksums, not a re-hash, because a
+  /// published snapshot's id is a chain mix that cannot be recomputed
+  /// from its bytes alone. Returns null (never aborts) when the shapes
+  /// are inconsistent: wrong chunk count, wrong chunk sizes, or a
+  /// bitmap that does not cover `rows`. delta() is empty, like a root.
+  static SnapshotPtr Restore(
+      std::vector<std::shared_ptr<const std::vector<double>>> chunks,
+      std::vector<uint8_t> live, size_t rows, size_t dim, uint64_t id,
+      uint64_t seq, uint64_t parent_id);
+
   /// Physical rows, including tombstones. Valid row ids are [0, rows()).
   size_t rows() const { return rows_; }
   size_t dim() const { return dim_; }
@@ -183,11 +195,24 @@ class MutableCatalog {
   size_t staged_inserts() const;
   size_t staged_deletes() const;
 
+  /// The id and seq the snapshot produced by Publish() WILL carry,
+  /// computed from the staged state without publishing. The WAL append
+  /// path (data/recovery.cc) logs this id BEFORE mutating memory, so a
+  /// failed append leaves the catalog untouched and replay can verify
+  /// it re-derived the recorded id bit-for-bit. Returns false when
+  /// nothing is staged (Publish would be a no-op).
+  bool PredictPublish(uint64_t* child_id, uint64_t* child_seq) const;
+
   /// Applies the staged delta as a new immutable snapshot, shares every
   /// untouched value chunk with the parent, clears the staging area, and
   /// returns the new current snapshot. With nothing staged this is a
   /// no-op returning the unchanged current snapshot.
   SnapshotPtr Publish();
+
+  /// Drops every staged (unpublished) insert and delete. The durable
+  /// publish path (data/recovery.cc) rolls staging back with this when
+  /// the WAL append fails, so a failed publish leaves no trace.
+  void DiscardStaged();
 
  private:
   mutable std::mutex mu_;

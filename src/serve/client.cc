@@ -176,6 +176,26 @@ bool ToprrClient::ReconnectAndRestore() {
     return Fail(ClientError::kNotConnected, "never connected");
   }
   if (!ConnectInternal()) return false;
+  // Before re-staging, ask whether the publish currently in flight
+  // (mutation_token_, next_publish_id_) already landed. If the server
+  // applied it but the ack was lost to the disconnect (or to a server
+  // crash-restart: the durable server rebuilds its dedupe table from
+  // disk), the mirror describes a delta that is already in the catalog
+  // -- re-staging it would replay inserts and name already-tombstoned
+  // delete ids. Drop the mirror instead; the caller's retried Publish
+  // then hits the dedupe record and hears already_applied.
+  if (mutation_token_ != 0 &&
+      !(staged_rows_.empty() && staged_deletes_.empty())) {
+    std::optional<MutationAck> probe = MutationRoundTrip(
+        EncodePublish(mutation_token_, next_publish_id_, /*probe=*/true));
+    if (!probe.has_value()) return false;
+    if (probe->status == MutationStatus::kOk && probe->already_applied) {
+      staged_rows_.clear();
+      staged_deletes_.clear();
+    }
+    // A non-kOk probe (e.g. a pre-probe server answering the unknown
+    // flag with kInvalidArgument) falls through to plain re-staging.
+  }
   // The server-side session is born empty on every connection: restore
   // the mirror (all-or-nothing frames, so a kOk ack means everything in
   // it is staged again) before the caller re-sends anything.

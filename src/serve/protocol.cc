@@ -46,9 +46,13 @@ constexpr uint32_t kMaxAckMessageBytes = 256;
 constexpr uint32_t kBatchFlagDeadline = 1u << 0;
 constexpr uint32_t kBatchFlagsKnown = kBatchFlagDeadline;
 
-// Publish reserved-word flags.
+// Publish reserved-word flags. A probe asks "was (token, publish_id)
+// already applied?" without publishing anything, so a reconnecting
+// writer can learn whether its unacked publish landed before a crash.
 constexpr uint32_t kPublishFlagIdempotency = 1u << 0;
-constexpr uint32_t kPublishFlagsKnown = kPublishFlagIdempotency;
+constexpr uint32_t kPublishFlagProbe = 1u << 1;
+constexpr uint32_t kPublishFlagsKnown =
+    kPublishFlagIdempotency | kPublishFlagProbe;
 
 // MutationAck flags byte.
 constexpr uint8_t kAckFlagAlreadyApplied = 1u << 0;
@@ -583,24 +587,27 @@ bool DecodeStageDelete(const std::string& payload,
   return true;
 }
 
-std::string EncodePublish(uint64_t idempotency_token, uint64_t publish_id) {
+std::string EncodePublish(uint64_t idempotency_token, uint64_t publish_id,
+                          bool probe) {
   if (idempotency_token == 0) {
     // Byte-identical to the pre-idempotency encoding (reserved word 0).
+    // A probe without a token is meaningless, so it falls through here.
     return EncodeEmptyBody(MessageType::kPublish);
   }
   std::string payload;
   WireWriter writer(&payload);
   WriteHeader(writer, MessageType::kPublish);
-  writer.U32(kPublishFlagIdempotency);
+  writer.U32(kPublishFlagIdempotency | (probe ? kPublishFlagProbe : 0u));
   writer.U64(idempotency_token);
   writer.U64(publish_id);
   return payload;
 }
 
 bool DecodePublish(const std::string& payload, uint64_t* idempotency_token,
-                   uint64_t* publish_id, std::string* error) {
+                   uint64_t* publish_id, bool* probe, std::string* error) {
   if (idempotency_token != nullptr) *idempotency_token = 0;
   if (publish_id != nullptr) *publish_id = 0;
+  if (probe != nullptr) *probe = false;
   WireReader reader(payload);
   if (!ReadHeader(reader, MessageType::kPublish, error)) return false;
   uint32_t flags;
@@ -609,6 +616,10 @@ bool DecodePublish(const std::string& payload, uint64_t* idempotency_token,
   }
   if ((flags & ~kPublishFlagsKnown) != 0) {
     return FailDecode(error, "unknown publish flags");
+  }
+  if ((flags & kPublishFlagProbe) != 0 &&
+      (flags & kPublishFlagIdempotency) == 0) {
+    return FailDecode(error, "publish probe without an idempotency token");
   }
   if ((flags & kPublishFlagIdempotency) != 0) {
     uint64_t token;
@@ -621,6 +632,7 @@ bool DecodePublish(const std::string& payload, uint64_t* idempotency_token,
     }
     if (idempotency_token != nullptr) *idempotency_token = token;
     if (publish_id != nullptr) *publish_id = id;
+    if (probe != nullptr) *probe = (flags & kPublishFlagProbe) != 0;
   }
   if (reader.remaining() != 0) {
     return FailDecode(error, "trailing bytes after the publish");
@@ -628,8 +640,13 @@ bool DecodePublish(const std::string& payload, uint64_t* idempotency_token,
   return true;
 }
 
+bool DecodePublish(const std::string& payload, uint64_t* idempotency_token,
+                   uint64_t* publish_id, std::string* error) {
+  return DecodePublish(payload, idempotency_token, publish_id, nullptr, error);
+}
+
 bool DecodePublish(const std::string& payload, std::string* error) {
-  return DecodePublish(payload, nullptr, nullptr, error);
+  return DecodePublish(payload, nullptr, nullptr, nullptr, error);
 }
 
 std::string EncodeCatalogInfo() {

@@ -273,8 +273,18 @@ bool DecodeStageDelete(const std::string& payload,
 /// (token, publish_id) after applying and answers an exact retry with
 /// the recorded ack (already_applied = true) instead of publishing the
 /// re-staged delta twice.
+///
+/// `probe` = true asks only whether (token, publish_id) was already
+/// applied -- the server answers from its applied-publish record
+/// (already_applied = true, the recorded ack) or with a fresh-state ack
+/// (already_applied = false) WITHOUT publishing or touching the staged
+/// delta. A reconnecting writer probes before re-staging so a publish
+/// that was applied-but-unacked before a crash is not replayed. A probe
+/// requires a token; probe-without-token is a decode error.
 std::string EncodePublish(uint64_t idempotency_token = 0,
-                          uint64_t publish_id = 0);
+                          uint64_t publish_id = 0, bool probe = false);
+bool DecodePublish(const std::string& payload, uint64_t* idempotency_token,
+                   uint64_t* publish_id, bool* probe, std::string* error);
 bool DecodePublish(const std::string& payload, uint64_t* idempotency_token,
                    uint64_t* publish_id, std::string* error);
 bool DecodePublish(const std::string& payload, std::string* error);

@@ -64,6 +64,51 @@ ToprrServer::ToprrServer(std::shared_ptr<MutableCatalog> catalog,
   }
 }
 
+ToprrServer::ToprrServer(std::shared_ptr<DurableCatalog> durable,
+                         ServerConfig config)
+    : config_(std::move(config)),
+      durable_(std::move(durable)),
+      catalog_(durable_->catalog()),
+      engine_(catalog_->Current()) {
+  if (config_.use_region_cache) {
+    RegionCacheConfig cache_config;
+    cache_config.byte_budget = config_.region_cache_budget_bytes;
+    cache_config.quantum = config_.region_cache_quantum;
+    engine_.EnableRegionCache(cache_config);
+  }
+  // Seed the idempotency dedupe table from the publishes recovered off
+  // disk so a writer retrying (or probing) a pre-crash publish against
+  // this restarted server is answered already_applied, not applied
+  // twice. Oldest first, same bound and eviction order as live entries.
+  for (const AppliedPublishRecord& record : durable_->recovered_publishes()) {
+    if (record.token == 0) continue;
+    MutationAck ack;
+    ack.status = MutationStatus::kOk;
+    ack.snapshot_id = record.snapshot_id;
+    ack.snapshot_seq = record.snapshot_seq;
+    ack.live_rows = record.live_rows;
+    ack.physical_rows = record.physical_rows;
+    ack.idempotency_token = record.token;
+    ack.publish_id = record.publish_id;
+    if (applied_publishes_.find(record.token) == applied_publishes_.end()) {
+      applied_token_order_.push_back(record.token);
+    }
+    applied_publishes_[record.token] = AppliedPublish{record.publish_id, ack};
+    while (applied_token_order_.size() > config_.idempotency_cache_entries) {
+      applied_publishes_.erase(applied_token_order_.front());
+      applied_token_order_.pop_front();
+    }
+  }
+  const RecoveryStats& recovery = durable_->recovery();
+  stats_.SetRecovery(recovery.recovered, recovery.replayed_records,
+                     recovery.skipped_records, recovery.snapshot_seq,
+                     recovery.recovery_seconds);
+  const DurableCounters counters = durable_->counters();
+  stats_.SetDurableCounters(counters.wal_appends, counters.wal_bytes,
+                            counters.wal_fsyncs,
+                            counters.checkpoints_written);
+}
+
 uint64_t ToprrServer::SyncCatalog() {
   engine_.SetSnapshot(catalog_->Current());
   return engine_.snapshot_id();
@@ -74,7 +119,7 @@ ToprrServer::~ToprrServer() { Stop(); }
 bool ToprrServer::Start(std::string* error) {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) {
-    if (error != nullptr) *error = std::strerror(errno);
+    if (error != nullptr) *error = LogErrno("socket");
     return false;
   }
   const int one = 1;
@@ -92,15 +137,15 @@ bool ToprrServer::Start(std::string* error) {
   if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
       0) {
     if (error != nullptr) {
-      *error = "bind " + config_.host + ":" +
-               std::to_string(config_.port) + ": " + std::strerror(errno);
+      *error = LogErrno("bind " + config_.host + ":" +
+                        std::to_string(config_.port));
     }
     ::close(listen_fd_);
     listen_fd_ = -1;
     return false;
   }
   if (::listen(listen_fd_, config_.listen_backlog) < 0) {
-    if (error != nullptr) *error = std::strerror(errno);
+    if (error != nullptr) *error = LogErrno("listen");
     ::close(listen_fd_);
     listen_fd_ = -1;
     return false;
@@ -205,14 +250,13 @@ void ToprrServer::AcceptLoop() {
       // log, breathe (so EMFILE does not spin), and keep accepting.
       if (errno == ECONNABORTED || errno == EMFILE || errno == ENFILE ||
           errno == EAGAIN || errno == ENOBUFS || errno == ENOMEM) {
-        LOG(WARNING) << "accept failed (transient): "
-                     << std::strerror(errno);
+        LOG(WARNING) << LogErrno("accept failed (transient)");
         std::this_thread::sleep_for(std::chrono::milliseconds(10));
         continue;
       }
       // Anything else (EBADF/EINVAL from Stop's shutdown, or a real
       // listener failure) ends the loop.
-      LOG(WARNING) << "accept failed: " << std::strerror(errno);
+      LOG(WARNING) << LogErrno("accept failed");
       return;
     }
     // Request/response framing sends the 4-byte prefix and the payload
@@ -615,7 +659,7 @@ MutationAck ToprrServer::HandleStageDelete(MutationSession* session,
 
 MutationAck ToprrServer::HandlePublish(MutationSession* session,
                                        uint64_t idempotency_token,
-                                       uint64_t publish_id) {
+                                       uint64_t publish_id, bool probe) {
   if (stopping_.load(std::memory_order_acquire) ||
       draining_.load(std::memory_order_acquire)) {
     stats_.OnPublishRejected();
@@ -623,6 +667,26 @@ MutationAck ToprrServer::HandlePublish(MutationSession* session,
                     draining_.load(std::memory_order_acquire)
                         ? "server draining"
                         : "server shutting down");
+  }
+  if (probe) {
+    // Read-only query of the applied-publish record: did (token, id)
+    // land? Nothing is published and the session's staged delta is left
+    // untouched, so a reconnecting writer can probe before deciding
+    // whether to re-stage (the decoder guarantees a non-zero token).
+    std::lock_guard<std::mutex> lock(publish_mu_);
+    auto it = applied_publishes_.find(idempotency_token);
+    if (it != applied_publishes_.end() &&
+        it->second.publish_id == publish_id) {
+      MutationAck ack = it->second.ack;
+      ack.already_applied = true;
+      ack.staged_inserts = static_cast<uint32_t>(session->rows.size());
+      ack.staged_deletes = static_cast<uint32_t>(session->deletes.size());
+      return ack;
+    }
+    MutationAck ack = StampAck(MutationStatus::kOk, *session);
+    ack.idempotency_token = idempotency_token;
+    ack.publish_id = publish_id;
+    return ack;
   }
   if (idempotency_token != 0) {
     // A retried Publish whose original ack was lost arrives with the
@@ -666,16 +730,36 @@ MutationAck ToprrServer::HandlePublish(MutationSession* session,
                           " is no longer live; delta kept staged");
     }
   }
-  for (const Vec& row : session->rows) catalog_->StageInsert(row);
-  for (const uint64_t id : session->deletes) {
-    if (!catalog_->StageDelete(static_cast<int>(id))) {
-      // Only reachable when an external writer races the wire path on a
-      // shared catalog; the delete validated moments ago.
-      LOG(WARNING) << "staged delete of row " << id
-                   << " rejected by the catalog (external writer race)";
+  if (durable_ != nullptr) {
+    // Durable path: WAL append (+ fsync per policy) happens inside
+    // DurableCatalog::Publish BEFORE the in-memory publish, so by the
+    // time this ack leaves the server the delta survives kill -9. On
+    // failure nothing was applied (the staged delta was rolled back
+    // inside); the session keeps its copy for amendment/retry.
+    const DurableCatalog::PublishOutcome outcome = durable_->Publish(
+        session->rows, session->deletes, idempotency_token, publish_id);
+    if (!outcome.ok) {
+      stats_.OnPublishRejected();
+      LOG(ERROR) << "durable publish failed: " << outcome.error;
+      return StampAck(MutationStatus::kInternalError, *session,
+                      "durable publish failed: " + outcome.error);
     }
+    const DurableCounters counters = durable_->counters();
+    stats_.SetDurableCounters(counters.wal_appends, counters.wal_bytes,
+                              counters.wal_fsyncs,
+                              counters.checkpoints_written);
+  } else {
+    for (const Vec& row : session->rows) catalog_->StageInsert(row);
+    for (const uint64_t id : session->deletes) {
+      if (!catalog_->StageDelete(static_cast<int>(id))) {
+        // Only reachable when an external writer races the wire path on
+        // a shared catalog; the delete validated moments ago.
+        LOG(WARNING) << "staged delete of row " << id
+                     << " rejected by the catalog (external writer race)";
+      }
+    }
+    catalog_->Publish();
   }
-  catalog_->Publish();
   SyncCatalog();
   stats_.OnPublishApplied();
   session->rows.clear();
@@ -839,7 +923,9 @@ void ToprrServer::ServeConnection(int fd) {
         case MessageType::kPublish: {
           uint64_t token = 0;
           uint64_t publish_id = 0;
-          if (!DecodePublish(payload, &token, &publish_id, &decode_error)) {
+          bool probe = false;
+          if (!DecodePublish(payload, &token, &publish_id, &probe,
+                             &decode_error)) {
             stats_.OnProtocolError();
             reply = EncodeMutationAck(
                 StampAck(MutationStatus::kInvalidArgument, session,
@@ -847,7 +933,7 @@ void ToprrServer::ServeConnection(int fd) {
             break;
           }
           reply = EncodeMutationAck(
-              HandlePublish(&session, token, publish_id));
+              HandlePublish(&session, token, publish_id, probe));
           break;
         }
         case MessageType::kCatalogInfo: {
@@ -858,8 +944,21 @@ void ToprrServer::ServeConnection(int fd) {
                          decode_error));
             break;
           }
-          reply = EncodeMutationAck(
-              StampAck(MutationStatus::kOk, session));
+          MutationAck info = StampAck(MutationStatus::kOk, session);
+          if (durable_ != nullptr) {
+            // Durability one-liner for human correlation with client
+            // logs (capped on the wire alongside error messages).
+            const DurableCounters counters = durable_->counters();
+            const RecoveryStats& recovery = durable_->recovery();
+            info.message = "durable wal_appends=" +
+                           std::to_string(counters.wal_appends) +
+                           " checkpoints=" +
+                           std::to_string(counters.checkpoints_written) +
+                           " recovered=" + (recovery.recovered ? "1" : "0") +
+                           " replayed=" +
+                           std::to_string(recovery.replayed_records);
+          }
+          reply = EncodeMutationAck(info);
           break;
         }
         default:
@@ -881,7 +980,7 @@ void ToprrServer::ServeConnection(int fd) {
           LOG(WARNING) << "connection dropped: reply write timed out";
         } else {
           stats_.OnProtocolError();
-          LOG(WARNING) << "reply write failed: " << std::strerror(errno);
+          LOG(WARNING) << LogErrno("reply write failed");
         }
       }
       return;

@@ -55,6 +55,7 @@
 #include "common/server_stats.h"
 #include "core/engine.h"
 #include "data/dataset.h"
+#include "data/recovery.h"
 #include "data/snapshot.h"
 #include "serve/protocol.h"
 
@@ -152,6 +153,16 @@ class ToprrServer {
   /// a publish lands finish on their pinned snapshot.
   ToprrServer(std::shared_ptr<MutableCatalog> catalog, ServerConfig config);
 
+  /// Crash-durable form: serves `durable->catalog()` and routes every
+  /// wire Publish through DurableCatalog::Publish (WAL append, fsync per
+  /// the catalog's policy, checkpoint cadence) before acking -- an acked
+  /// publish survives kill -9. The idempotency dedupe table is seeded
+  /// from the publishes recovered off disk, so a writer retrying (or
+  /// probing) a pre-crash publish against the restarted server is
+  /// answered already_applied instead of applying twice. Recovery and
+  /// WAL counters surface through stats().
+  ToprrServer(std::shared_ptr<DurableCatalog> durable, ServerConfig config);
+
   ToprrServer(const ToprrServer&) = delete;
   ToprrServer& operator=(const ToprrServer&) = delete;
 
@@ -219,7 +230,8 @@ class ToprrServer {
   MutationAck HandleStageDelete(MutationSession* session,
                                 std::vector<uint64_t> row_ids);
   MutationAck HandlePublish(MutationSession* session,
-                            uint64_t idempotency_token, uint64_t publish_id);
+                            uint64_t idempotency_token, uint64_t publish_id,
+                            bool probe = false);
 
   /// An ack stamped with the engine's current snapshot and the session's
   /// post-RPC staged sizes.
@@ -241,6 +253,10 @@ class ToprrServer {
       const std::chrono::steady_clock::time_point* deadline);
 
   const ServerConfig config_;
+  // Null unless the durable constructor ran; when set, catalog_ is
+  // durable_->catalog() and wire publishes go through durable_->Publish
+  // so the WAL append happens before the ack.
+  std::shared_ptr<DurableCatalog> durable_;
   // Declared before engine_: the engine is seeded from
   // catalog_->Current() in the member-init list. Never null.
   std::shared_ptr<MutableCatalog> catalog_;
